@@ -1,0 +1,80 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! what each µ-engine structure buys. Prints the ablated speed-ups and
+//! times the underlying simulations.
+//!
+//! - **Source Buffers**: depth 1 (no buffering) vs the Table I depth 16;
+//! - **AccMem/DSU (Bison-e style)**: binary segmentation without the
+//!   µ-engine structures, as an executable kernel;
+//! - **Mixed precision**: `a8-w2` vs symmetric `a8-w8`/`a2-w2`,
+//!   quantifying what weight-only narrowing buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mixgemm::gemm::baseline::{self, BaselineKind};
+use mixgemm::gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel};
+
+fn run(cfg: &str, srcbuf_depth: usize, dims: GemmDims) -> mixgemm::gemm::GemmReport {
+    let mut opts = GemmOptions::new(cfg.parse().unwrap());
+    opts.srcbuf_depth = srcbuf_depth;
+    MixGemmKernel::new(opts).simulate(dims, Fidelity::Sampled).unwrap()
+}
+
+fn ablation_srcbuf(c: &mut Criterion) {
+    let dims = GemmDims::square(512);
+    let with = run("a2-w2", 16, dims);
+    let without = run("a2-w2", 1, dims);
+    println!(
+        "ablation srcbuf (a2-w2): depth 16 -> {:.2} GOPS, depth 1 -> {:.2} GOPS ({:.2}x loss)",
+        with.gops(),
+        without.gops(),
+        without.cycles as f64 / with.cycles as f64
+    );
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("srcbuf_depth1_sim", |b| {
+        b.iter(|| run("a2-w2", 1, dims))
+    });
+    group.finish();
+}
+
+fn ablation_bisone(c: &mut Criterion) {
+    let dims = GemmDims::square(512);
+    let mix = run("a8-w8", 16, dims);
+    let bisone = baseline::simulate(BaselineKind::BisonELike, dims, Fidelity::Sampled).unwrap();
+    println!(
+        "ablation engine structures (a8-w8): Mix-GEMM {:.2} GOPS vs Bison-e-style {:.2} GOPS ({:.1}x)",
+        mix.gops(),
+        bisone.gops(),
+        mix.speedup_over(&bisone)
+    );
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("bisone_style_sim", |b| {
+        b.iter(|| baseline::simulate(BaselineKind::BisonELike, dims, Fidelity::Sampled).unwrap())
+    });
+    group.finish();
+}
+
+fn ablation_mixed_precision(c: &mut Criterion) {
+    let dims = GemmDims::square(512);
+    let a8w8 = run("a8-w8", 16, dims);
+    let a8w2 = run("a8-w2", 16, dims);
+    let a2w2 = run("a2-w2", 16, dims);
+    println!(
+        "ablation mixed precision: a8-w8 {:.2} GOPS, a8-w2 {:.2} GOPS, a2-w2 {:.2} GOPS",
+        a8w8.gops(),
+        a8w2.gops(),
+        a2w2.gops()
+    );
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("mixed_a8w2_sim", |b| b.iter(|| run("a8-w2", 16, dims)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_srcbuf,
+    ablation_bisone,
+    ablation_mixed_precision
+);
+criterion_main!(benches);

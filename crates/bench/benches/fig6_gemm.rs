@@ -1,0 +1,31 @@
+//! Criterion wrapper for the Fig. 6 experiment: times the *simulator*
+//! regenerating each speed-up point, and prints the measured speed-ups
+//! as it goes (the full sweep lives in the `fig6` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mixgemm::gemm::baseline::{self, BaselineKind};
+use mixgemm::gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel};
+
+fn bench_fig6_points(c: &mut Criterion) {
+    let dims = GemmDims::square(512);
+    let dgemm = baseline::simulate(BaselineKind::DgemmF64, dims, Fidelity::Sampled).unwrap();
+
+    let mut group = c.benchmark_group("fig6_sim_512");
+    group.sample_size(10);
+    for cfg in ["a8-w8", "a4-w4", "a2-w2"] {
+        let kernel = MixGemmKernel::new(GemmOptions::new(cfg.parse().unwrap()));
+        let report = kernel.simulate(dims, Fidelity::Sampled).unwrap();
+        println!(
+            "fig6 point {cfg}: {:.1}x over DGEMM ({:.2} GOPS)",
+            report.speedup_over(&dgemm),
+            report.gops()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(cfg), &(), |b, _| {
+            b.iter(|| kernel.simulate(dims, Fidelity::Sampled).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_points);
+criterion_main!(benches);

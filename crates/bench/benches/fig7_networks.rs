@@ -1,0 +1,38 @@
+//! Criterion wrapper for the Fig. 7 experiment: times whole-network
+//! simulation (with layer deduplication) and prints the conv-layer
+//! GOPS points (the full Pareto sweep lives in the `fig7` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mixgemm::dnn::runtime::{simulate_network, PrecisionPlan};
+use mixgemm::dnn::zoo;
+use mixgemm::gemm::Fidelity;
+
+fn bench_fig7_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_network_sim");
+    group.sample_size(10);
+    for net in [zoo::alexnet(), zoo::mobilenet_v1()] {
+        for cfg in ["a8-w8", "a2-w2"] {
+            let plan = PrecisionPlan {
+                default: cfg.parse().unwrap(),
+                pin_first_last: false,
+                overrides: Vec::new(),
+            };
+            let perf = simulate_network(&net, &plan, Fidelity::Sampled).unwrap();
+            println!(
+                "fig7 point {} {cfg}: {:.2} GOPS ({:.1} fps)",
+                net.name(),
+                perf.conv_gops(),
+                perf.fps()
+            );
+            group.bench_with_input(
+                BenchmarkId::new(net.name(), cfg),
+                &(),
+                |b, _| b.iter(|| simulate_network(&net, &plan, Fidelity::Sampled).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7_networks);
+criterion_main!(benches);

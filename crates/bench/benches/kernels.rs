@@ -1,0 +1,90 @@
+//! Host-level microbenchmarks of the arithmetic kernels: the bit-exact
+//! binary-segmentation inner product versus a naive dot product,
+//! µ-vector packing, and the two functional GEMM paths.
+//!
+//! Note on interpretation: binary segmentation's arithmetic-complexity
+//! reduction (paper §II-B, up to 13x at 2-bit) pays off in *hardware*,
+//! where one 64-bit multiplication replaces 3..7 MAC datapath passes.
+//! The software model here exists for bit-exactness, not speed — its
+//! per-element packing/extraction makes it slower than a plain integer
+//! loop on a host CPU, which is precisely why the paper builds a
+//! µ-engine instead of a software library alone. These benches quantify
+//! that host-side cost and track regressions in the model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mixgemm::binseg::{cluster, ip, muvec, BinSegConfig, PrecisionConfig};
+use mixgemm::gemm::{GemmOptions, MixGemmKernel, QuantMatrix};
+use std::hint::black_box;
+
+fn vectors(pcfg: PrecisionConfig, len: usize) -> (Vec<i32>, Vec<i32>) {
+    let (oa, ow) = pcfg.operand_types();
+    let a = (0..len)
+        .map(|i| {
+            let span = (oa.max_value() - oa.min_value() + 1) as usize;
+            oa.min_value() + ((i * 13 + 5) % span) as i32
+        })
+        .collect();
+    let b = (0..len)
+        .map(|i| {
+            let span = (ow.max_value() - ow.min_value() + 1) as usize;
+            ow.min_value() + ((i * 7 + 2) % span) as i32
+        })
+        .collect();
+    (a, b)
+}
+
+fn bench_inner_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inner_product_1k");
+    let len = 1024;
+    for cfg_name in ["a8-w8", "a4-w4", "a2-w2"] {
+        let pcfg: PrecisionConfig = cfg_name.parse().unwrap();
+        let (oa, ow) = pcfg.operand_types();
+        let cfg = BinSegConfig::new(oa, ow);
+        let (a, b) = vectors(pcfg, len);
+        let aw = muvec::pack_slice(oa, &a).unwrap();
+        let bw = muvec::pack_slice(ow, &b).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("binseg", cfg_name), &(), |bch, _| {
+            bch.iter(|| ip::inner_product(&cfg, black_box(&aw), black_box(&bw), len).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", cfg_name), &(), |bch, _| {
+            bch.iter(|| cluster::naive_inner_product(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("muvec_pack_4k");
+    for cfg_name in ["a8-w8", "a2-w2"] {
+        let pcfg: PrecisionConfig = cfg_name.parse().unwrap();
+        let (oa, _) = pcfg.operand_types();
+        let (a, _) = vectors(pcfg, 4096);
+        group.bench_with_input(BenchmarkId::from_parameter(cfg_name), &(), |bch, _| {
+            bch.iter(|| muvec::pack_slice(oa, black_box(&a)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_gemm_64");
+    group.sample_size(20);
+    for cfg_name in ["a8-w8", "a4-w4"] {
+        let pcfg: PrecisionConfig = cfg_name.parse().unwrap();
+        let (oa, ow) = pcfg.operand_types();
+        let a = QuantMatrix::from_fn(64, 64, oa, |i, j| ((i * 31 + j * 7) % 200) as i32);
+        let b = QuantMatrix::from_fn(64, 64, ow, |i, j| ((i * 11 + j * 3) % 15) as i32 - 7);
+        let kernel = MixGemmKernel::new(GemmOptions::new(pcfg));
+        group.bench_with_input(BenchmarkId::new("binseg", cfg_name), &(), |bch, _| {
+            bch.iter(|| kernel.compute(black_box(&a), black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("plain_i32", cfg_name), &(), |bch, _| {
+            bch.iter(|| kernel.compute_fast(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inner_product, bench_packing, bench_functional_gemm);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Figure 6: speed-up of Mix-GEMM over the BLIS-based DGEMM baseline on
+//! square matrices (64..2048 per dimension) for 12 activation/weight
+//! combinations. Paper steady-state anchors: 10.2x at `a8-w8`, ~16x at
+//! `a4-w4`, 27.2x at `a2-w2`; BLIS int8 reaches only ~2.5x.
+//!
+//! Run with: `cargo run --release -p mixgemm-bench --bin fig6`
+
+use mixgemm::gemm::baseline::{self, BaselineKind};
+use mixgemm::gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel};
+use mixgemm_bench::{cell, pc, rule, FIG6_CONFIGS, FIG6_SIZES};
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    if csv {
+        return emit_csv();
+    }
+    println!("Figure 6 — Mix-GEMM speed-up over BLIS DGEMM (square GEMM)\n");
+    print!("{:>8}", "config");
+    for s in FIG6_SIZES {
+        print!("{s:>9}");
+    }
+    println!("{:>10}", "steady");
+    rule(8 + 9 * FIG6_SIZES.len() + 10);
+
+    // Baseline DGEMM per size.
+    let mut dgemm = Vec::new();
+    for s in FIG6_SIZES {
+        dgemm.push(
+            baseline::simulate(BaselineKind::DgemmF64, GemmDims::square(s), Fidelity::Sampled)
+                .expect("baseline simulation"),
+        );
+    }
+
+    // BLIS with 8-bit data (the paper's §IV-B reference point).
+    print!("{:>8}", "blis-i8");
+    let mut steady = 0.0;
+    for (i, s) in FIG6_SIZES.iter().enumerate() {
+        let r = baseline::simulate(
+            BaselineKind::GemmI8Scalar,
+            GemmDims::square(*s),
+            Fidelity::Sampled,
+        )
+        .expect("baseline simulation");
+        let speedup = r.speedup_over(&dgemm[i]);
+        steady = speedup;
+        print!("{}", cell(speedup, 9, 2));
+    }
+    println!("{}  (paper: ~2.5x)", cell(steady, 10, 1));
+
+    for config in FIG6_CONFIGS {
+        print!("{config:>8}");
+        let kernel = MixGemmKernel::new(GemmOptions::new(pc(config)));
+        let mut steady = 0.0;
+        for (i, s) in FIG6_SIZES.iter().enumerate() {
+            let r = kernel
+                .simulate(GemmDims::square(*s), Fidelity::Sampled)
+                .expect("mix-gemm simulation");
+            let speedup = r.speedup_over(&dgemm[i]);
+            steady = speedup;
+            print!("{}", cell(speedup, 9, 2));
+        }
+        let anchor = match config {
+            "a8-w8" => "  (paper: 10.2x)",
+            "a4-w4" => "  (paper: ~16x)",
+            "a2-w2" => "  (paper: 27.2x)",
+            _ => "",
+        };
+        println!("{}{anchor}", cell(steady, 10, 1));
+    }
+    println!(
+        "\nDGEMM baseline: {:.2} cycles/MAC at n=2048; theoretical compression bounds 8x..32x.",
+        dgemm.last().unwrap().cycles_per_mac()
+    );
+}
+
+/// Machine-readable output for plotting (`--csv`).
+fn emit_csv() {
+    println!("config,n,cycles,gops,speedup_over_dgemm");
+    for s in FIG6_SIZES {
+        let dims = GemmDims::square(s);
+        let dgemm = baseline::simulate(BaselineKind::DgemmF64, dims, Fidelity::Sampled)
+            .expect("baseline simulation");
+        for config in FIG6_CONFIGS {
+            let kernel = MixGemmKernel::new(GemmOptions::new(pc(config)));
+            let r = kernel.simulate(dims, Fidelity::Sampled).expect("simulation");
+            println!(
+                "{config},{s},{},{:.4},{:.4}",
+                r.cycles,
+                r.gops(),
+                r.speedup_over(&dgemm)
+            );
+        }
+    }
+}

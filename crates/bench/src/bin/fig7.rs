@@ -1,0 +1,111 @@
+//! Figure 7: performance (conv-layer GOPS) versus TOP-1 accuracy Pareto
+//! frontier for the six CNNs, against the OpenBLAS FP32 baseline on the
+//! SiFive U740. Also prints the §IV-C energy efficiency per point.
+//!
+//! Run with: `cargo run --release -p mixgemm-bench --bin fig7`
+
+use mixgemm::api::EdgeSoc;
+use mixgemm::dnn::memory;
+use mixgemm::dnn::runtime::{pareto_frontier, ParetoPoint, PrecisionPlan};
+use mixgemm::dnn::zoo;
+use mixgemm::gemm::baseline::{self, BaselineKind};
+use mixgemm::gemm::{Fidelity, GemmDims};
+use mixgemm::qat::accuracy;
+use mixgemm_bench::{cell, pc, rule, FIG7_CONFIGS};
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    if csv {
+        return emit_csv();
+    }
+    // FP32 baseline: OpenBLAS-style SGEMM on the U740 preset (the paper
+    // reports ~0.9 GOPS across the networks).
+    let fp32 = baseline::simulate(BaselineKind::SgemmF32, GemmDims::square(1024), Fidelity::Sampled)
+        .expect("baseline simulation");
+    println!(
+        "Figure 7 — performance vs TOP-1 accuracy (FP32 baseline on U740: {:.2} GOPS)\n",
+        fp32.gops()
+    );
+
+    let soc = EdgeSoc::sargantana();
+    for net in zoo::all_networks() {
+        let table = accuracy::for_network(net.name()).expect("accuracy table");
+        println!(
+            "{} (FP32 TOP-1 {:.2}%):",
+            net.name(),
+            table.fp32_top1
+        );
+        println!(
+            "  {:>7} {:>10} {:>9} {:>11} {:>12} {:>9} {:>10}",
+            "config", "TOP-1 [%]", "GOPS", "vs FP32", "GOPS/W", "fps", "weights"
+        );
+        rule(84);
+        let mut points = Vec::new();
+        let mut rows = Vec::new();
+        for config in FIG7_CONFIGS {
+            let precision = pc(config);
+            // Fig. 7 measures throughput with the whole network at the
+            // configuration (accuracy training pins first/last at 8-bit,
+            // the performance accounting does not).
+            let plan = PrecisionPlan {
+                default: precision,
+                pin_first_last: false,
+                overrides: Vec::new(),
+            };
+            let footprint = memory::footprint(&net, &plan);
+            let summary = soc.run_network(&net, plan).expect("network simulation");
+            let gops = summary.conv_gops();
+            let top1 = table.top1_for(precision).unwrap_or(f64::NAN);
+            points.push(ParetoPoint { gops, top1 });
+            rows.push((config, top1, gops, summary, footprint));
+        }
+        let frontier = pareto_frontier(&points);
+        for (i, (config, top1, gops, summary, footprint)) in rows.iter().enumerate() {
+            let speedup = gops / fp32.gops();
+            println!(
+                "  {:>7} {} {} {}x {} {} {:>7.1}MB{}",
+                config,
+                cell(*top1, 10, 2),
+                cell(*gops, 9, 2),
+                cell(speedup, 10, 1),
+                cell(summary.conv_gops_per_watt(), 12, 0),
+                cell(summary.fps(), 10, 1),
+                footprint.packed_weight_bytes as f64 / 1e6,
+                if frontier.contains(&i) { "  *pareto" } else { "" }
+            );
+        }
+        println!();
+    }
+    println!("Paper ranges: AlexNet 5.2-13.6 GOPS (5.8x-15.1x), VGG-16 5.3-13.1 (5.8x-14.6x),");
+    println!("ResNet-18 5.1-12.4 (5.7x-13.8x), MobileNet-V1 4.8-9.5 (5.3x-10.6x),");
+    println!("RegNet 5.1-9.9 (5.7x-11x), EfficientNet-B0 5.1-13.1 (5.7x-14.5x);");
+    println!("efficiency 477.5 GOPS/W .. 1.3 TOPS/W.");
+}
+
+/// Machine-readable output for plotting (`--csv`).
+fn emit_csv() {
+    let soc = EdgeSoc::sargantana();
+    println!("network,config,top1,conv_gops,gops_per_watt,fps,packed_weight_mb");
+    for net in zoo::all_networks() {
+        let table = accuracy::for_network(net.name()).expect("accuracy table");
+        for config in FIG7_CONFIGS {
+            let precision = pc(config);
+            let plan = PrecisionPlan {
+                default: precision,
+                pin_first_last: false,
+                overrides: Vec::new(),
+            };
+            let footprint = memory::footprint(&net, &plan);
+            let summary = soc.run_network(&net, plan).expect("simulation");
+            println!(
+                "{},{config},{:.2},{:.3},{:.1},{:.2},{:.2}",
+                net.name(),
+                table.top1_for(precision).unwrap_or(f64::NAN),
+                summary.conv_gops(),
+                summary.conv_gops_per_watt(),
+                summary.fps(),
+                footprint.packed_weight_bytes as f64 / 1e6
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Table II: the µ-engine area breakdown in GF 22FDX and its overhead
+//! on the SoC, plus the Source Buffer area/depth trade-off.
+//!
+//! Run with: `cargo run --release -p mixgemm-bench --bin table2_area`
+
+use mixgemm::phys::area;
+use mixgemm_bench::rule;
+
+fn main() {
+    println!("Table II — µ-engine area breakdown (GF 22FDX)\n");
+    println!("{:<16} {:>12} {:>18}", "Component", "Area [µm²]", "SoC overhead [%]");
+    rule(48);
+    for c in area::table2_breakdown() {
+        println!(
+            "{:<16} {:>12.2} {:>18.2}",
+            c.name,
+            c.area_um2,
+            100.0 * c.area_um2 / (area::SOC_CORE_AREA_MM2 * 1e6)
+        );
+    }
+    rule(48);
+    println!(
+        "{:<16} {:>12.2} {:>18.2}",
+        "Total: µ-engine",
+        area::uengine_area_um2(),
+        100.0 * area::uengine_soc_overhead()
+    );
+
+    println!("\nSoC: {:.2} mm² total (incl. pad-ring), µ-engine {:.4} mm²,", area::SOC_AREA_MM2, area::uengine_area_mm2());
+    println!("post-layout power overhead {:.1}% (paper: 2.3%).", 100.0 * area::UENGINE_POWER_OVERHEAD);
+
+    println!("\nSource Buffer depth vs µ-engine area (§III-C):");
+    for depth in [8, 16, 32] {
+        let a = area::uengine_area_at_depth_um2(depth);
+        println!(
+            "  depth {:>2}: {:>9.0} µm²  ({:+.1}% vs depth 16)",
+            depth,
+            a,
+            100.0 * (a / area::uengine_area_um2() - 1.0)
+        );
+    }
+    println!("  (paper: +67.6% from 16 to 32 entries)");
+
+    println!("\nCache configurations (§IV-B):");
+    for (l1, l2) in [(32, 512), (16, 64)] {
+        println!(
+            "  L1 {:>2}KB + L2 {:>3}KB: SoC core {:.2} mm²",
+            l1,
+            l2,
+            area::soc_area_mm2(l1, l2)
+        );
+    }
+    println!("  (paper: the small configuration reduces the SoC area by 53%)");
+}

@@ -1,0 +1,60 @@
+//! Shared helpers for the Mix-GEMM experiment harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §3 for the experiment index); this library
+//! holds the configuration lists and formatting they share.
+
+use mixgemm::PrecisionConfig;
+
+/// The 12 activation/weight combinations plotted in Fig. 6.
+pub const FIG6_CONFIGS: [&str; 12] = [
+    "a8-w8", "a8-w6", "a8-w4", "a8-w2", "a6-w6", "a6-w4", "a6-w2", "a5-w5", "a4-w4",
+    "a4-w2", "a3-w2", "a2-w2",
+];
+
+/// The square matrix sizes swept in Fig. 6 (64..2048 per dimension).
+pub const FIG6_SIZES: [usize; 6] = [64, 128, 256, 512, 1024, 2048];
+
+/// The configurations reported on the Fig. 7 Pareto frontier.
+pub const FIG7_CONFIGS: [&str; 9] = [
+    "a8-w8", "a7-w7", "a6-w6", "a5-w5", "a4-w4", "a4-w3", "a3-w3", "a3-w2", "a2-w2",
+];
+
+/// Parses a configuration literal (infallible for the constants above).
+pub fn pc(s: &str) -> PrecisionConfig {
+    s.parse().expect("valid configuration literal")
+}
+
+/// Prints a horizontal rule of `n` dashes.
+pub fn rule(n: usize) {
+    println!("{}", "-".repeat(n));
+}
+
+/// Formats a float with a fixed width, using a dash for non-finite.
+pub fn cell(v: f64, width: usize, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:>width$.decimals$}")
+    } else {
+        format!("{:>width$}", "-")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_lists_parse() {
+        for s in FIG6_CONFIGS.iter().chain(FIG7_CONFIGS.iter()) {
+            let _ = pc(s);
+        }
+        assert_eq!(FIG6_CONFIGS.len(), 12);
+        assert_eq!(FIG6_SIZES.len(), 6);
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(cell(1.234, 7, 2), "   1.23");
+        assert_eq!(cell(f64::NAN, 5, 1), "    -");
+    }
+}

@@ -1,0 +1,256 @@
+//! µ-vector chunk balancing for mixed-precision computations.
+//!
+//! When the A and B operands use different data sizes, a single µ-vector on
+//! each side carries a different number of narrow elements, so the µ-kernel
+//! issues `kua` consecutive A µ-vectors against `kub` consecutive B
+//! µ-vectors per innermost iteration (paper §III-A, Fig. 4). The shorter
+//! side determines the number of logical elements; the longer side is
+//! zero-padded, which the paper measures at 2.4 % average memory overhead
+//! with `kua`, `kub <= 4` (§III-C).
+
+use crate::datasize::{DataSize, PrecisionConfig};
+
+/// The paper's upper bound on `kua`/`kub`, set by the 32-entry register
+/// file: `kua * mr + kub * nr <= 32` with `mr = nr = 4` (§III-C, Table I).
+pub const DEFAULT_KMAX: usize = 4;
+
+/// A balanced µ-vector chunk shape for one precision configuration.
+///
+/// # Example
+///
+/// The Fig. 4 configurations:
+///
+/// ```
+/// use mixgemm_binseg::{chunk::ChunkShape, PrecisionConfig};
+/// # fn main() -> Result<(), mixgemm_binseg::BinSegError> {
+/// let c88 = ChunkShape::balanced(PrecisionConfig::from_bits(8, 8)?);
+/// assert_eq!((c88.kua(), c88.kub()), (4, 4));
+/// let c86 = ChunkShape::balanced(PrecisionConfig::from_bits(8, 6)?);
+/// assert_eq!((c86.kua(), c86.kub()), (4, 3));
+/// let c64 = ChunkShape::balanced(PrecisionConfig::from_bits(6, 4)?);
+/// assert_eq!((c64.kua(), c64.kub()), (3, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct ChunkShape {
+    precision: PrecisionConfig,
+    kua: usize,
+    kub: usize,
+}
+
+impl ChunkShape {
+    /// Selects `kua`/`kub` for `precision` with the default register budget.
+    pub fn balanced(precision: PrecisionConfig) -> Self {
+        Self::balanced_with_kmax(precision, DEFAULT_KMAX)
+    }
+
+    /// Selects `kua`/`kub` bounded by `kmax` µ-vectors per side.
+    ///
+    /// Among all pairs `1..=kmax x 1..=kmax`, the pair minimising the
+    /// zero-padded element count is chosen; ties prefer the larger logical
+    /// chunk (better amortisation of loop overhead), then the smaller
+    /// register footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kmax` is zero.
+    pub fn balanced_with_kmax(precision: PrecisionConfig, kmax: usize) -> Self {
+        assert!(kmax >= 1, "kmax must be at least 1");
+        let epv_a = precision.activations().elems_per_muvec();
+        let epv_b = precision.weights().elems_per_muvec();
+        let mut best: Option<(usize, usize, usize, usize)> = None;
+        for kua in 1..=kmax {
+            for kub in 1..=kmax {
+                let slots_a = kua * epv_a;
+                let slots_b = kub * epv_b;
+                let logical = slots_a.min(slots_b);
+                let waste = (slots_a - logical) + (slots_b - logical);
+                let better = match best {
+                    None => true,
+                    Some((bw, bl, bka, bkb)) => {
+                        (waste, usize::MAX - logical, kua + kub)
+                            < (bw, usize::MAX - bl, bka + bkb)
+                    }
+                };
+                if better {
+                    best = Some((waste, logical, kua, kub));
+                }
+            }
+        }
+        let (_, _, kua, kub) = best.expect("kmax >= 1 yields at least one candidate");
+        ChunkShape {
+            precision,
+            kua,
+            kub,
+        }
+    }
+
+    /// The precision configuration this shape balances.
+    #[inline]
+    pub const fn precision(&self) -> PrecisionConfig {
+        self.precision
+    }
+
+    /// Number of consecutive A µ-vectors per innermost iteration.
+    #[inline]
+    pub const fn kua(&self) -> usize {
+        self.kua
+    }
+
+    /// Number of consecutive B µ-vectors per innermost iteration.
+    #[inline]
+    pub const fn kub(&self) -> usize {
+        self.kub
+    }
+
+    /// Physical element slots on the A side (`kua * elems_per_muvec(a)`).
+    #[inline]
+    pub fn slots_a(&self) -> usize {
+        self.kua * self.precision.activations().elems_per_muvec()
+    }
+
+    /// Physical element slots on the B side.
+    #[inline]
+    pub fn slots_b(&self) -> usize {
+        self.kub * self.precision.weights().elems_per_muvec()
+    }
+
+    /// Logical elements carried per chunk: `min(slots_a, slots_b)`.
+    #[inline]
+    pub fn logical_elems(&self) -> usize {
+        self.slots_a().min(self.slots_b())
+    }
+
+    /// Zero-padded slots on the A side per chunk.
+    #[inline]
+    pub fn padding_a(&self) -> usize {
+        self.slots_a() - self.logical_elems()
+    }
+
+    /// Zero-padded slots on the B side per chunk.
+    #[inline]
+    pub fn padding_b(&self) -> usize {
+        self.slots_b() - self.logical_elems()
+    }
+
+    /// Fraction of stored slots that are padding, across both operands.
+    ///
+    /// Averaged over all supported configurations this is the §III-C
+    /// "2.4 % on average" memory-overhead figure.
+    pub fn padding_overhead(&self) -> f64 {
+        let total = self.slots_a() + self.slots_b();
+        (self.padding_a() + self.padding_b()) as f64 / total as f64
+    }
+}
+
+/// Average padding overhead across a set of precision configurations, as
+/// reported in the paper's DSE (§III-C).
+pub fn average_padding_overhead<I>(configs: I, kmax: usize) -> f64
+where
+    I: IntoIterator<Item = PrecisionConfig>,
+{
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for cfg in configs {
+        total += ChunkShape::balanced_with_kmax(cfg, kmax).padding_overhead();
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Theoretical problem-size compression of a data size versus 64-bit
+/// elements (8x for 8-bit up to 32x for 2-bit, paper §IV-B).
+#[inline]
+pub fn compression_versus_f64(size: DataSize) -> usize {
+    size.elems_per_muvec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(a: u8, w: u8) -> ChunkShape {
+        ChunkShape::balanced(PrecisionConfig::from_bits(a, w).unwrap())
+    }
+
+    #[test]
+    fn fig4_configurations() {
+        assert_eq!((shape(8, 8).kua(), shape(8, 8).kub()), (4, 4));
+        assert_eq!((shape(8, 6).kua(), shape(8, 6).kub()), (4, 3));
+        assert_eq!((shape(6, 4).kua(), shape(6, 4).kub()), (3, 2));
+    }
+
+    #[test]
+    fn extreme_ratio_needs_no_padding() {
+        // a8-w2: one 32-element B µ-vector balances four 8-element A ones.
+        let s = shape(8, 2);
+        assert_eq!((s.kua(), s.kub()), (4, 1));
+        assert_eq!(s.padding_a() + s.padding_b(), 0);
+        assert_eq!(s.logical_elems(), 32);
+    }
+
+    #[test]
+    fn equal_sizes_never_pad() {
+        for bits in 2..=8u8 {
+            let s = shape(bits, bits);
+            assert_eq!(s.padding_a(), 0);
+            assert_eq!(s.padding_b(), 0);
+            assert_eq!(s.kua(), s.kub());
+        }
+    }
+
+    #[test]
+    fn logical_elems_consistency() {
+        for cfg in PrecisionConfig::all_pairs() {
+            let s = ChunkShape::balanced(cfg);
+            assert_eq!(
+                s.logical_elems() + s.padding_a(),
+                s.slots_a(),
+                "{cfg}"
+            );
+            assert_eq!(s.logical_elems() + s.padding_b(), s.slots_b());
+            assert!(s.kua() <= DEFAULT_KMAX && s.kub() <= DEFAULT_KMAX);
+            assert!(s.kua() >= 1 && s.kub() >= 1);
+        }
+    }
+
+    #[test]
+    fn average_overhead_matches_paper_band() {
+        // §III-C: "the memory overhead introduced by the padded elements
+        // with kua and kub equal [at most] 4 is 2.4 % on average,
+        // considering all the supported configurations."
+        let avg = average_padding_overhead(PrecisionConfig::all_pairs(), DEFAULT_KMAX);
+        assert!(
+            avg > 0.005 && avg < 0.05,
+            "average padding overhead {avg:.4} is outside the plausible band \
+             around the paper's 2.4 %"
+        );
+    }
+
+    #[test]
+    fn larger_kmax_reduces_padding() {
+        let avg4 = average_padding_overhead(PrecisionConfig::all_pairs(), 4);
+        let avg8 = average_padding_overhead(PrecisionConfig::all_pairs(), 8);
+        assert!(avg8 <= avg4);
+    }
+
+    #[test]
+    fn register_budget_of_table1_is_respected() {
+        // kua * mr + kub * nr <= 32 registers with mr = nr = 4.
+        for cfg in PrecisionConfig::all_pairs() {
+            let s = ChunkShape::balanced(cfg);
+            assert!(s.kua() * 4 + s.kub() * 4 <= 32, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn compression_bounds() {
+        assert_eq!(compression_versus_f64(DataSize::B8), 8);
+        assert_eq!(compression_versus_f64(DataSize::B2), 32);
+    }
+}

@@ -1,0 +1,325 @@
+//! Input-cluster composition, multiplication and slice extraction.
+//!
+//! This module is the arithmetic heart of binary segmentation: it packs a
+//! *sub-µ-vector* pair into two wide integers (the *input-clusters*),
+//! multiplies them, and reads the cluster inner product back from the bit
+//! slice given by Eqs. 5–7 of the paper.
+//!
+//! Operand A is packed with its first element at the most significant
+//! cluster position; operand B is packed *reversed* (first element at the
+//! least significant position, paper §II-B first step). The product is then
+//! the polynomial convolution of the two element sequences in base `2^cw`,
+//! whose coefficient at position `n - 1` is exactly `sum(a[i] * b[i])`.
+//!
+//! For signed operands, elements are embedded as signed coefficients (the
+//! integer-sum formulation is bit-identical to the hardware's
+//! sign-extension-plus-carry datapath) and the extracted slice is corrected
+//! for the borrow the lower product coefficients may have propagated into
+//! it. The clustering width's guard bit (the `1 +` term of Eq. 3)
+//! guarantees the correction is at most one unit; see
+//! [`extract_slice`] for the argument.
+
+use crate::config::BinSegConfig;
+use crate::error::BinSegError;
+
+/// Packs the A-side elements of one cluster into a wide integer.
+///
+/// Element `i` of `elems` lands at bit offset `cw * (n - 1 - i)`, where `n`
+/// is the configured cluster size; clusters shorter than `n` are implicitly
+/// zero-padded at the low positions, which keeps the product slice location
+/// independent of the chunk length (this is what lets the hardware DSU feed
+/// partial chunks without reconfiguring the Data Filtering Unit).
+///
+/// Multiplier widths up to 128 bits are supported (the §III-B SIMD
+/// scaling discussion); the packed value always fits the signed
+/// `mul_width`-bit operand.
+///
+/// # Errors
+///
+/// Returns an error when `elems` exceeds the cluster size or contains a
+/// value outside the A operand range.
+pub fn pack_cluster_a(cfg: &BinSegConfig, elems: &[i32]) -> Result<i128, BinSegError> {
+    let n = cfg.cluster_size();
+    if elems.len() > n {
+        return Err(BinSegError::ClusterTooLong {
+            len: elems.len(),
+            cluster_size: n,
+        });
+    }
+    let cw = cfg.clustering_width();
+    let mut packed: i128 = 0;
+    for (i, &e) in elems.iter().enumerate() {
+        cfg.operand_a().check(e)?;
+        packed += (e as i128) << (cw as usize * (n - 1 - i));
+    }
+    Ok(packed)
+}
+
+/// Packs the B-side elements of one cluster into a wide integer, reversed.
+///
+/// Element `i` of `elems` lands at bit offset `cw * i` (first element least
+/// significant), implementing the "reverted" ordering of the paper's first
+/// binary-segmentation step.
+///
+/// # Errors
+///
+/// Returns an error when `elems` exceeds the cluster size or contains a
+/// value outside the B operand range.
+pub fn pack_cluster_b(cfg: &BinSegConfig, elems: &[i32]) -> Result<i128, BinSegError> {
+    let n = cfg.cluster_size();
+    if elems.len() > n {
+        return Err(BinSegError::ClusterTooLong {
+            len: elems.len(),
+            cluster_size: n,
+        });
+    }
+    let cw = cfg.clustering_width();
+    let mut packed: i128 = 0;
+    for (i, &e) in elems.iter().enumerate() {
+        cfg.operand_b().check(e)?;
+        packed += (e as i128) << (cw as usize * i);
+    }
+    Ok(packed)
+}
+
+/// Multiplies two packed input-clusters, as the scalar multiplier does in
+/// hardware (paper Fig. 5, blue stage).
+///
+/// Only the low 128 bits of the product are kept — sufficient because the
+/// extracted slice ends at bit `n * cw - 1 <= mul_width - 1 <= 127`
+/// ([`crate::BinSegConfig::slice_msb`]), so a hardware datapath never
+/// needs the upper product half either.
+#[inline]
+pub fn multiply_clusters(packed_a: i128, packed_b: i128) -> i128 {
+    packed_a.wrapping_mul(packed_b)
+}
+
+/// Extracts the cluster inner product from a multiplication output
+/// (paper Eqs. 5–7; Fig. 5 Data Filtering Unit, orange stage).
+///
+/// For unsigned operands the slice `[slice_msb : slice_lsb]` is the result
+/// directly. When either operand is signed, the product's lower
+/// coefficients may be negative, borrowing one unit from the slice; the
+/// guard bit of Eq. 3 bounds the magnitude of the lower part `R` to
+/// `|R| < 2^(slice_lsb - 1)`, so `R` is negative exactly when the low
+/// `slice_lsb` bits of the product, read as an unsigned number, are at
+/// least `2^(slice_lsb - 1)` — in which case one unit is added back.
+#[inline]
+pub fn extract_slice(cfg: &BinSegConfig, product: i128) -> i64 {
+    let cw = cfg.clustering_width();
+    let lsb = cfg.slice_lsb();
+    let field = (product >> lsb) & ((1i128 << cw) - 1);
+    if cfg.signed_result() {
+        let mut value = if field >= 1i128 << (cw - 1) {
+            field - (1i128 << cw)
+        } else {
+            field
+        };
+        if lsb > 0 {
+            let low = product & ((1i128 << lsb) - 1);
+            if low >= 1i128 << (lsb - 1) {
+                value += 1;
+            }
+        }
+        value as i64
+    } else {
+        field as i64
+    }
+}
+
+/// Computes the inner product of one cluster pair end to end: pack both
+/// operands, multiply, extract.
+///
+/// This is the software-reference equivalent of one µ-engine execution
+/// cycle and is exhaustively property-tested against the naive dot product.
+///
+/// # Errors
+///
+/// Propagates packing errors ([`BinSegError::ClusterTooLong`],
+/// [`BinSegError::ValueOutOfRange`]) and rejects operand slices of unequal
+/// length.
+pub fn cluster_inner_product(
+    cfg: &BinSegConfig,
+    a: &[i32],
+    b: &[i32],
+) -> Result<i64, BinSegError> {
+    if a.len() != b.len() {
+        return Err(BinSegError::LengthMismatch {
+            len_a: a.len(),
+            len_b: b.len(),
+        });
+    }
+    let pa = pack_cluster_a(cfg, a)?;
+    let pb = pack_cluster_b(cfg, b)?;
+    Ok(extract_slice(cfg, multiply_clusters(pa, pb)))
+}
+
+/// Naive reference inner product used to validate the binary-segmentation
+/// path in tests and documentation.
+pub fn naive_inner_product(a: &[i32], b: &[i32]) -> i64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x as i64 * y as i64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasize::{DataSize, OperandType, Signedness};
+
+    fn cfg(a: OperandType, b: OperandType) -> BinSegConfig {
+        BinSegConfig::new(a, b)
+    }
+
+    #[test]
+    fn unsigned_cluster_matches_naive() {
+        let c = cfg(
+            OperandType::unsigned(DataSize::B8),
+            OperandType::unsigned(DataSize::B8),
+        );
+        let a = [255, 255, 255];
+        let b = [255, 255, 255];
+        assert_eq!(
+            cluster_inner_product(&c, &a, &b).unwrap(),
+            naive_inner_product(&a, &b)
+        );
+    }
+
+    #[test]
+    fn signed_extremes_match_naive() {
+        let c = cfg(
+            OperandType::signed(DataSize::B8),
+            OperandType::signed(DataSize::B8),
+        );
+        for a0 in [-128, -1, 0, 127] {
+            for b0 in [-128, -1, 0, 127] {
+                let a = [a0, -128, 127];
+                let b = [b0, 127, -128];
+                assert_eq!(
+                    cluster_inner_product(&c, &a, &b).unwrap(),
+                    naive_inner_product(&a, &b),
+                    "a={a:?} b={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_signedness_matches_naive() {
+        let c = cfg(
+            OperandType::unsigned(DataSize::B8),
+            OperandType::signed(DataSize::B4),
+        );
+        let a = [255, 0, 128, 1];
+        let b = [-8, 7, -1, -8];
+        assert_eq!(
+            cluster_inner_product(&c, &a, &b).unwrap(),
+            naive_inner_product(&a, &b)
+        );
+    }
+
+    #[test]
+    fn partial_clusters_are_zero_padded() {
+        let c = cfg(
+            OperandType::unsigned(DataSize::B8),
+            OperandType::signed(DataSize::B8),
+        );
+        assert_eq!(c.cluster_size(), 3);
+        let a = [200, 13];
+        let b = [-100, 77];
+        assert_eq!(
+            cluster_inner_product(&c, &a, &b).unwrap(),
+            naive_inner_product(&a, &b)
+        );
+        let a = [250];
+        let b = [-128];
+        assert_eq!(cluster_inner_product(&c, &a, &b).unwrap(), -32000);
+        assert_eq!(cluster_inner_product(&c, &[], &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn exhaustive_small_widths() {
+        // 2..=4-bit pairs are small enough to sweep every 2-element corner
+        // combination of extreme and near-extreme values.
+        for a_bits in 2..=4u8 {
+            for b_bits in 2..=4u8 {
+                for a_sig in [Signedness::Signed, Signedness::Unsigned] {
+                    for b_sig in [Signedness::Signed, Signedness::Unsigned] {
+                        let oa =
+                            OperandType::new(DataSize::new(a_bits).unwrap(), a_sig);
+                        let ob =
+                            OperandType::new(DataSize::new(b_bits).unwrap(), b_sig);
+                        let c = cfg(oa, ob);
+                        let n = c.cluster_size();
+                        let avals: Vec<i32> =
+                            (oa.min_value()..=oa.max_value()).collect();
+                        let bvals: Vec<i32> =
+                            (ob.min_value()..=ob.max_value()).collect();
+                        for &a0 in &avals {
+                            for &b0 in &bvals {
+                                let a: Vec<i32> = (0..n)
+                                    .map(|i| if i % 2 == 0 { a0 } else { oa.max_value() })
+                                    .collect();
+                                let b: Vec<i32> = (0..n)
+                                    .map(|i| if i % 2 == 0 { b0 } else { ob.min_value() })
+                                    .collect();
+                                assert_eq!(
+                                    cluster_inner_product(&c, &a, &b).unwrap(),
+                                    naive_inner_product(&a, &b),
+                                    "{c} a={a:?} b={b:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        let c = cfg(
+            OperandType::unsigned(DataSize::B4),
+            OperandType::signed(DataSize::B4),
+        );
+        assert!(matches!(
+            cluster_inner_product(&c, &[16, 0, 0, 0], &[0, 0, 0, 0]),
+            Err(BinSegError::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            cluster_inner_product(&c, &[0, 0, 0, 0], &[8, 0, 0, 0]),
+            Err(BinSegError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overlong_and_mismatched() {
+        let c = cfg(
+            OperandType::unsigned(DataSize::B8),
+            OperandType::signed(DataSize::B8),
+        );
+        let too_long = vec![1; c.cluster_size() + 1];
+        assert!(matches!(
+            cluster_inner_product(&c, &too_long, &too_long),
+            Err(BinSegError::ClusterTooLong { .. })
+        ));
+        assert!(matches!(
+            cluster_inner_product(&c, &[1, 2], &[1]),
+            Err(BinSegError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn packing_positions_match_fig1_layout() {
+        // 3-bit x 2-bit, 16-bit multiplier, cw = 8, n = 2.
+        let c = BinSegConfig::with_mul_width(
+            OperandType::unsigned(DataSize::B3),
+            OperandType::unsigned(DataSize::B2),
+            16,
+        )
+        .unwrap();
+        assert_eq!(pack_cluster_a(&c, &[4, 7]).unwrap(), 4 * 256 + 7);
+        assert_eq!(pack_cluster_b(&c, &[3, 2]).unwrap(), 2 * 256 + 3);
+    }
+}

@@ -1,0 +1,379 @@
+use std::fmt;
+
+use crate::datasize::OperandType;
+use crate::error::BinSegError;
+use crate::DEFAULT_MUL_WIDTH;
+
+/// A fully resolved binary-segmentation configuration for one operand pair.
+///
+/// Given the two operand types and the multiplier width, this computes
+/// (paper §II-B):
+///
+/// - the *clustering width* `cw ≥ 1 + bw_a + bw_b + ceil(log2(n + 1))`
+///   (Eq. 3), the width each narrow element is converted to inside an
+///   input-cluster;
+/// - the *input-cluster size* `n = floor(mul_width / cw)` (Eq. 4), i.e. how
+///   many element pairs one wide multiplication reduces — equivalently the
+///   MAC/cycle rate of the µ-engine for this configuration;
+/// - the bit slice `[slice_msb : slice_lsb]` of the multiplication output
+///   holding the cluster inner product (Eqs. 5–7).
+///
+/// The pair `(cw, n)` is chosen to maximise `n`: for each candidate `n` the
+/// minimal `cw` admitted by Eq. 3 is used, and the largest `n` with
+/// `n * cw <= mul_width` wins.
+///
+/// # Example
+///
+/// The paper's throughput envelope — 3 MAC/cycle at `a8-w8` up to 7 MAC/cycle
+/// at `a2-w2` on a 64-bit multiplier:
+///
+/// ```
+/// use mixgemm_binseg::{BinSegConfig, DataSize, OperandType};
+///
+/// let cfg8 = BinSegConfig::new(
+///     OperandType::unsigned(DataSize::B8),
+///     OperandType::signed(DataSize::B8),
+/// );
+/// assert_eq!(cfg8.cluster_size(), 3);
+///
+/// let cfg2 = BinSegConfig::new(
+///     OperandType::unsigned(DataSize::B2),
+///     OperandType::signed(DataSize::B2),
+/// );
+/// assert_eq!(cfg2.cluster_size(), 7);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct BinSegConfig {
+    a: OperandType,
+    b: OperandType,
+    mul_width: u32,
+    cw: u32,
+    cluster_size: usize,
+}
+
+impl BinSegConfig {
+    /// Creates a configuration for the default 64-bit scalar multiplier.
+    pub fn new(a: OperandType, b: OperandType) -> Self {
+        Self::with_mul_width(a, b, DEFAULT_MUL_WIDTH)
+            .expect("a 64-bit multiplier admits every 2..=8-bit operand pair")
+    }
+
+    /// Creates a configuration for a multiplier of `mul_width` bits
+    /// (up to 128).
+    ///
+    /// Narrower multipliers are useful for tests (the paper's Fig. 1 example
+    /// uses 16 bits); widths beyond 64 model the §III-B SIMD scaling
+    /// discussion — a 128-bit datapath reaches 6 (`a8-w8`) to 14 (`a2-w2`)
+    /// MAC/cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinSegError::MulWidthTooSmall`] when not even a
+    /// single-element cluster fits the multiplier.
+    pub fn with_mul_width(
+        a: OperandType,
+        b: OperandType,
+        mul_width: u32,
+    ) -> Result<Self, BinSegError> {
+        if mul_width > 128 {
+            return Err(BinSegError::MulWidthTooLarge { mul_width });
+        }
+        let single = clustering_width_for(a, b, 1);
+        if single > mul_width {
+            return Err(BinSegError::MulWidthTooSmall {
+                mul_width,
+                required: single,
+            });
+        }
+        let mut best_n = 1;
+        let mut best_cw = single;
+        let mut n = 2;
+        loop {
+            let cw = clustering_width_for(a, b, n);
+            if (n as u32) * cw > mul_width {
+                break;
+            }
+            best_n = n;
+            best_cw = cw;
+            n += 1;
+        }
+        Ok(BinSegConfig {
+            a,
+            b,
+            mul_width,
+            cw: best_cw,
+            cluster_size: best_n,
+        })
+    }
+
+    /// The A-side (by Mix-GEMM convention, activation) operand type.
+    #[inline]
+    pub const fn operand_a(&self) -> OperandType {
+        self.a
+    }
+
+    /// The B-side (weight) operand type.
+    #[inline]
+    pub const fn operand_b(&self) -> OperandType {
+        self.b
+    }
+
+    /// The multiplier width in bits.
+    #[inline]
+    pub const fn mul_width(&self) -> u32 {
+        self.mul_width
+    }
+
+    /// The clustering width `cw` of Eq. 3, in bits.
+    #[inline]
+    pub const fn clustering_width(&self) -> u32 {
+        self.cw
+    }
+
+    /// The input-cluster size `n` of Eq. 4: element pairs per multiplication.
+    #[inline]
+    pub const fn cluster_size(&self) -> usize {
+        self.cluster_size
+    }
+
+    /// MAC operations retired per µ-engine execution cycle; an alias of
+    /// [`BinSegConfig::cluster_size`] (paper §II-B: 3..=7 MAC/cycle on a
+    /// 64-bit multiplier).
+    #[inline]
+    pub const fn macs_per_cycle(&self) -> usize {
+        self.cluster_size
+    }
+
+    /// Least significant bit of the product slice holding the inner product
+    /// (Eq. 6): `(n - 1) * cw`.
+    #[inline]
+    pub const fn slice_lsb(&self) -> u32 {
+        (self.cluster_size as u32 - 1) * self.cw
+    }
+
+    /// Most significant bit of the product slice (Eq. 7):
+    /// `slice_lsb + cw - 1`.
+    #[inline]
+    pub const fn slice_msb(&self) -> u32 {
+        self.slice_lsb() + self.cw - 1
+    }
+
+    /// `true` when the slice extraction must apply signed two's-complement
+    /// handling (either operand signed).
+    #[inline]
+    pub const fn signed_result(&self) -> bool {
+        self.a.is_signed() || self.b.is_signed()
+    }
+
+    /// The arithmetic-complexity reduction of binary segmentation over naive
+    /// element-wise multiply-accumulate, e.g. `2.33x` in the paper's Fig. 1
+    /// example (2 multiplications + 1 addition instead of 4 + 3).
+    pub fn complexity_reduction(&self, vector_len: usize) -> f64 {
+        if vector_len == 0 {
+            return 1.0;
+        }
+        let naive_ops = 2 * vector_len - 1;
+        let clusters = vector_len.div_ceil(self.cluster_size);
+        let binseg_ops = clusters + (clusters - 1);
+        naive_ops as f64 / binseg_ops as f64
+    }
+}
+
+impl fmt::Display for BinSegConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "binseg[{}x{} mul{}: cw={} n={}]",
+            self.a, self.b, self.mul_width, self.cw, self.cluster_size
+        )
+    }
+}
+
+/// Minimal clustering width per Eq. 3 for a cluster of `n` element pairs.
+fn clustering_width_for(a: OperandType, b: OperandType, n: usize) -> u32 {
+    1 + a.bits() as u32 + b.bits() as u32 + ceil_log2(n as u64 + 1)
+}
+
+/// `ceil(log2(x))` for `x >= 1`.
+fn ceil_log2(x: u64) -> u32 {
+    debug_assert!(x >= 1);
+    64 - (x - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasize::{DataSize, OperandType, PrecisionConfig};
+
+    fn cfg(a_bits: u8, b_bits: u8) -> BinSegConfig {
+        BinSegConfig::new(
+            OperandType::unsigned(DataSize::new(a_bits).unwrap()),
+            OperandType::signed(DataSize::new(b_bits).unwrap()),
+        )
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn cluster_sizes_match_paper_envelope() {
+        // §II-B: a 64-bit multiplier yields 3 MAC/cycle at 8-bit and
+        // 7 MAC/cycle at 2-bit.
+        assert_eq!(cfg(8, 8).cluster_size(), 3);
+        assert_eq!(cfg(2, 2).cluster_size(), 7);
+        // Fig. 4 examples: a8-w8 and a8-w6 run at 3 MAC/cycle, a6-w4 at 4.
+        assert_eq!(cfg(8, 6).cluster_size(), 3);
+        assert_eq!(cfg(6, 4).cluster_size(), 4);
+        for a in DataSize::all() {
+            for b in DataSize::all() {
+                let c = BinSegConfig::new(
+                    OperandType::unsigned(a),
+                    OperandType::signed(b),
+                );
+                assert!(
+                    (3..=7).contains(&c.cluster_size()),
+                    "{c} outside the 3..=7 MAC/cycle envelope"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_size_is_symmetric_and_monotone() {
+        for a in DataSize::all() {
+            for b in DataSize::all() {
+                let ab = cfg(a.bits(), b.bits()).cluster_size();
+                let ba = cfg(b.bits(), a.bits()).cluster_size();
+                assert_eq!(ab, ba);
+            }
+        }
+        // Narrower operands never cluster fewer elements.
+        for pair in PrecisionConfig::all_pairs() {
+            let base = cfg(pair.activations().bits(), pair.weights().bits());
+            if pair.weights().bits() > DataSize::MIN_BITS {
+                let narrower =
+                    cfg(pair.activations().bits(), pair.weights().bits() - 1);
+                assert!(narrower.cluster_size() >= base.cluster_size());
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_configuration() {
+        // Fig. 1: 3-bit x 2-bit on a 16-bit multiplier -> cw = 8, n = 2.
+        let c = BinSegConfig::with_mul_width(
+            OperandType::unsigned(DataSize::B3),
+            OperandType::unsigned(DataSize::B2),
+            16,
+        )
+        .unwrap();
+        assert_eq!(c.clustering_width(), 8);
+        assert_eq!(c.cluster_size(), 2);
+        assert_eq!(c.slice_lsb(), 8);
+        assert_eq!(c.slice_msb(), 15);
+    }
+
+    #[test]
+    fn slice_fits_low_multiplier_result() {
+        // n * cw <= 64 implies slice_msb <= 63: the slice is available from
+        // the low 64-bit multiplication result, so the µ-engine reuses the
+        // plain `mul` datapath without `mulh`.
+        for a in DataSize::all() {
+            for b in DataSize::all() {
+                let c = cfg(a.bits(), b.bits());
+                assert!(c.slice_msb() < 64, "{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_128bit_envelope() {
+        // §III-B scalability: a 128-bit datapath reaches 6 MAC/cycle at
+        // 8-bit and 14 MAC/cycle at 2-bit.
+        let wide = |bits: u8| {
+            BinSegConfig::with_mul_width(
+                OperandType::unsigned(DataSize::new(bits).unwrap()),
+                OperandType::signed(DataSize::new(bits).unwrap()),
+                128,
+            )
+            .unwrap()
+        };
+        assert_eq!(wide(8).cluster_size(), 6);
+        assert_eq!(wide(2).cluster_size(), 14);
+        assert!(matches!(
+            BinSegConfig::with_mul_width(
+                OperandType::signed(DataSize::B8),
+                OperandType::signed(DataSize::B8),
+                129,
+            ),
+            Err(BinSegError::MulWidthTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn too_narrow_multiplier_is_rejected() {
+        let err = BinSegConfig::with_mul_width(
+            OperandType::signed(DataSize::B8),
+            OperandType::signed(DataSize::B8),
+            8,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BinSegError::MulWidthTooSmall { .. }));
+    }
+
+    #[test]
+    fn eq3_is_satisfied_with_guard_bit() {
+        for a in DataSize::all() {
+            for b in DataSize::all() {
+                let c = cfg(a.bits(), b.bits());
+                let n = c.cluster_size() as u32;
+                let min_cw = 1
+                    + a.bits() as u32
+                    + b.bits() as u32
+                    + ceil_log2(n as u64 + 1);
+                assert_eq!(c.clustering_width(), min_cw);
+                assert!(n * c.clustering_width() <= 64);
+            }
+        }
+    }
+
+    #[test]
+    fn complexity_reduction_matches_fig1() {
+        let c = BinSegConfig::with_mul_width(
+            OperandType::unsigned(DataSize::B3),
+            OperandType::unsigned(DataSize::B2),
+            16,
+        )
+        .unwrap();
+        // 4-element inner product: 7 naive ops vs 2 muls + 1 add = 2.33x.
+        let r = c.complexity_reduction(4);
+        assert!((r - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_precision_is_first_class() {
+        // Every one of the 49 pairs resolves; spot-check a few widths.
+        assert_eq!(cfg(8, 2).cluster_size(), 4);
+        assert_eq!(cfg(4, 4).cluster_size(), 5);
+        assert_eq!(cfg(3, 3).cluster_size(), 6);
+        assert_eq!(cfg(3, 2).cluster_size(), 7);
+        assert_eq!(cfg(5, 5).cluster_size(), 4);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = cfg(8, 4);
+        let s = c.to_string();
+        assert!(s.contains("u8"));
+        assert!(s.contains("i4"));
+        assert!(s.contains("n="));
+    }
+}

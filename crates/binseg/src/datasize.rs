@@ -1,0 +1,443 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::BinSegError;
+use crate::MUVEC_BITS;
+
+/// A narrow-integer element width, between 2 and 8 bits inclusive.
+///
+/// Mix-GEMM supports every activation/weight data-size combination in this
+/// range (paper §I, §III). A [`DataSize`] also determines how many elements
+/// fit one 64-bit µ-vector, see [`DataSize::elems_per_muvec`].
+///
+/// # Example
+///
+/// ```
+/// use mixgemm_binseg::DataSize;
+/// # fn main() -> Result<(), mixgemm_binseg::BinSegError> {
+/// let four = DataSize::new(4)?;
+/// assert_eq!(four.bits(), 4);
+/// assert_eq!(four.elems_per_muvec(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub struct DataSize(u8);
+
+impl DataSize {
+    /// Smallest supported width.
+    pub const MIN_BITS: u8 = 2;
+    /// Largest supported width.
+    pub const MAX_BITS: u8 = 8;
+
+    /// 2-bit elements.
+    pub const B2: DataSize = DataSize(2);
+    /// 3-bit elements.
+    pub const B3: DataSize = DataSize(3);
+    /// 4-bit elements.
+    pub const B4: DataSize = DataSize(4);
+    /// 5-bit elements.
+    pub const B5: DataSize = DataSize(5);
+    /// 6-bit elements.
+    pub const B6: DataSize = DataSize(6);
+    /// 7-bit elements.
+    pub const B7: DataSize = DataSize(7);
+    /// 8-bit elements.
+    pub const B8: DataSize = DataSize(8);
+
+    /// Creates a data size of `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinSegError::InvalidBits`] when `bits` is outside `2..=8`.
+    pub fn new(bits: u8) -> Result<Self, BinSegError> {
+        if (Self::MIN_BITS..=Self::MAX_BITS).contains(&bits) {
+            Ok(DataSize(bits))
+        } else {
+            Err(BinSegError::InvalidBits { bits })
+        }
+    }
+
+    /// The element width in bits.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Number of elements packed in one 64-bit µ-vector: `floor(64 / bits)`.
+    ///
+    /// This is 8 elements for 8-bit data up to 32 elements for 2-bit data
+    /// (paper §III-A).
+    #[inline]
+    pub const fn elems_per_muvec(self) -> usize {
+        (MUVEC_BITS / self.0 as u32) as usize
+    }
+
+    /// Bits left unused at the top of a µ-vector (e.g. 4 pad bits at 5-bit).
+    #[inline]
+    pub const fn muvec_pad_bits(self) -> u32 {
+        MUVEC_BITS - (self.elems_per_muvec() as u32) * self.0 as u32
+    }
+
+    /// All supported data sizes, from 2 to 8 bits.
+    pub fn all() -> impl DoubleEndedIterator<Item = DataSize> + Clone {
+        (Self::MIN_BITS..=Self::MAX_BITS).map(DataSize)
+    }
+}
+
+impl fmt::Display for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.0)
+    }
+}
+
+impl TryFrom<u8> for DataSize {
+    type Error = BinSegError;
+
+    fn try_from(bits: u8) -> Result<Self, Self::Error> {
+        DataSize::new(bits)
+    }
+}
+
+impl From<DataSize> for u8 {
+    fn from(size: DataSize) -> u8 {
+        size.bits()
+    }
+}
+
+/// Whether narrow elements are interpreted as signed or unsigned integers.
+///
+/// The µ-engine Control Unit is configured with the computation type via
+/// `bs.set()` and the Data Conversion Unit sign- or zero-extends operands
+/// accordingly (paper §III-B).
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub enum Signedness {
+    /// Two's-complement signed elements, range `[-2^(n-1), 2^(n-1) - 1]`.
+    Signed,
+    /// Unsigned elements, range `[0, 2^n - 1]`.
+    Unsigned,
+}
+
+impl Signedness {
+    /// `true` for [`Signedness::Signed`].
+    #[inline]
+    pub const fn is_signed(self) -> bool {
+        matches!(self, Signedness::Signed)
+    }
+}
+
+impl fmt::Display for Signedness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Signedness::Signed => f.write_str("signed"),
+            Signedness::Unsigned => f.write_str("unsigned"),
+        }
+    }
+}
+
+/// A narrow-integer operand type: a width plus a signedness.
+///
+/// The representable range follows the paper's Eq. 2.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct OperandType {
+    size: DataSize,
+    signedness: Signedness,
+}
+
+impl OperandType {
+    /// Creates an operand type from a width and signedness.
+    pub const fn new(size: DataSize, signedness: Signedness) -> Self {
+        OperandType { size, signedness }
+    }
+
+    /// Convenience constructor for signed operands.
+    pub const fn signed(size: DataSize) -> Self {
+        Self::new(size, Signedness::Signed)
+    }
+
+    /// Convenience constructor for unsigned operands.
+    pub const fn unsigned(size: DataSize) -> Self {
+        Self::new(size, Signedness::Unsigned)
+    }
+
+    /// The element width.
+    #[inline]
+    pub const fn size(self) -> DataSize {
+        self.size
+    }
+
+    /// The element width in bits.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.size.bits()
+    }
+
+    /// The signedness.
+    #[inline]
+    pub const fn signedness(self) -> Signedness {
+        self.signedness
+    }
+
+    /// `true` when elements are two's-complement signed.
+    #[inline]
+    pub const fn is_signed(self) -> bool {
+        self.signedness.is_signed()
+    }
+
+    /// Smallest representable value (`y_min` of Eq. 2).
+    #[inline]
+    pub const fn min_value(self) -> i32 {
+        match self.signedness {
+            Signedness::Signed => -(1 << (self.size.bits() - 1)),
+            Signedness::Unsigned => 0,
+        }
+    }
+
+    /// Largest representable value (`y_max` of Eq. 2).
+    #[inline]
+    pub const fn max_value(self) -> i32 {
+        match self.signedness {
+            Signedness::Signed => (1 << (self.size.bits() - 1)) - 1,
+            Signedness::Unsigned => (1 << self.size.bits()) - 1,
+        }
+    }
+
+    /// `true` when `value` is representable by this operand type.
+    #[inline]
+    pub const fn contains(self, value: i32) -> bool {
+        value >= self.min_value() && value <= self.max_value()
+    }
+
+    /// Validates that `value` is representable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinSegError::ValueOutOfRange`] when `value` does not fit.
+    pub fn check(self, value: i32) -> Result<(), BinSegError> {
+        if self.contains(value) {
+            Ok(())
+        } else {
+            Err(BinSegError::ValueOutOfRange {
+                value,
+                operand: self,
+            })
+        }
+    }
+
+    /// Number of elements per 64-bit µ-vector for this operand type.
+    #[inline]
+    pub const fn elems_per_muvec(self) -> usize {
+        self.size.elems_per_muvec()
+    }
+}
+
+impl fmt::Display for OperandType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.signedness {
+            Signedness::Signed => write!(f, "i{}", self.size.bits()),
+            Signedness::Unsigned => write!(f, "u{}", self.size.bits()),
+        }
+    }
+}
+
+/// An activation/weight precision pair such as `a8-w4` (paper Figs. 4, 6, 7).
+///
+/// The paper names configurations `aX-wY` where `X` is the activation data
+/// size and `Y` the weight data size; [`fmt::Display`] and [`FromStr`] follow
+/// that convention.
+///
+/// # Example
+///
+/// ```
+/// use mixgemm_binseg::{DataSize, PrecisionConfig};
+/// # fn main() -> Result<(), mixgemm_binseg::BinSegError> {
+/// let cfg: PrecisionConfig = "a8-w4".parse()?;
+/// assert_eq!(cfg.activations(), DataSize::new(8)?);
+/// assert_eq!(cfg.weights(), DataSize::new(4)?);
+/// assert_eq!(cfg.to_string(), "a8-w4");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct PrecisionConfig {
+    activations: DataSize,
+    weights: DataSize,
+}
+
+impl PrecisionConfig {
+    /// Creates a configuration from activation and weight data sizes.
+    pub const fn new(activations: DataSize, weights: DataSize) -> Self {
+        PrecisionConfig {
+            activations,
+            weights,
+        }
+    }
+
+    /// Parses a pair of bit widths, e.g. `PrecisionConfig::from_bits(8, 4)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinSegError::InvalidBits`] when either width is unsupported.
+    pub fn from_bits(activations: u8, weights: u8) -> Result<Self, BinSegError> {
+        Ok(PrecisionConfig::new(
+            DataSize::new(activations)?,
+            DataSize::new(weights)?,
+        ))
+    }
+
+    /// The activation data size (`aX`).
+    #[inline]
+    pub const fn activations(self) -> DataSize {
+        self.activations
+    }
+
+    /// The weight data size (`wY`).
+    #[inline]
+    pub const fn weights(self) -> DataSize {
+        self.weights
+    }
+
+    /// `true` when activation and weight widths differ (mixed precision).
+    #[inline]
+    pub const fn is_mixed(self) -> bool {
+        self.activations.bits() != self.weights.bits()
+    }
+
+    /// All 49 supported combinations, 8b–2b on both operands.
+    pub fn all_pairs() -> impl Iterator<Item = PrecisionConfig> {
+        DataSize::all()
+            .flat_map(|a| DataSize::all().map(move |w| PrecisionConfig::new(a, w)))
+    }
+
+    /// The 28 combinations with activations at least as wide as weights, the
+    /// subset typically explored by quantized CNNs (paper Fig. 7).
+    pub fn canonical_pairs() -> impl Iterator<Item = PrecisionConfig> {
+        Self::all_pairs().filter(|c| c.activations.bits() >= c.weights.bits())
+    }
+
+    /// Operand types with the paper's default signedness: unsigned
+    /// activations and signed weights (§IV-A: zero-point fixed at zero,
+    /// weights symmetric per-channel, activations post-ReLU).
+    pub fn operand_types(self) -> (OperandType, OperandType) {
+        (
+            OperandType::unsigned(self.activations),
+            OperandType::signed(self.weights),
+        )
+    }
+}
+
+impl fmt::Display for PrecisionConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "a{}-w{}",
+            self.activations.bits(),
+            self.weights.bits()
+        )
+    }
+}
+
+impl FromStr for PrecisionConfig {
+    type Err = BinSegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parse = || -> Option<PrecisionConfig> {
+            let rest = s.strip_prefix('a')?;
+            let (a, w) = rest.split_once("-w")?;
+            let a: u8 = a.parse().ok()?;
+            let w: u8 = w.parse().ok()?;
+            PrecisionConfig::from_bits(a, w).ok()
+        };
+        parse().ok_or_else(|| BinSegError::ParseConfig {
+            input: s.to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasize_rejects_out_of_range() {
+        assert!(DataSize::new(1).is_err());
+        assert!(DataSize::new(9).is_err());
+        assert!(DataSize::new(0).is_err());
+        for bits in 2..=8 {
+            assert_eq!(DataSize::new(bits).unwrap().bits(), bits);
+        }
+    }
+
+    #[test]
+    fn elems_per_muvec_matches_paper_range() {
+        // Paper §III-A: chunks range from 8 elements (8-bit) to 32 (2-bit).
+        assert_eq!(DataSize::B8.elems_per_muvec(), 8);
+        assert_eq!(DataSize::B7.elems_per_muvec(), 9);
+        assert_eq!(DataSize::B6.elems_per_muvec(), 10);
+        assert_eq!(DataSize::B5.elems_per_muvec(), 12);
+        assert_eq!(DataSize::B4.elems_per_muvec(), 16);
+        assert_eq!(DataSize::B3.elems_per_muvec(), 21);
+        assert_eq!(DataSize::B2.elems_per_muvec(), 32);
+    }
+
+    #[test]
+    fn muvec_pad_bits_are_consistent() {
+        for size in DataSize::all() {
+            let used = size.elems_per_muvec() as u32 * size.bits() as u32;
+            assert_eq!(size.muvec_pad_bits(), 64 - used);
+            assert!(size.muvec_pad_bits() < size.bits() as u32);
+        }
+    }
+
+    #[test]
+    fn operand_ranges_follow_eq2() {
+        let s4 = OperandType::signed(DataSize::B4);
+        assert_eq!(s4.min_value(), -8);
+        assert_eq!(s4.max_value(), 7);
+        let u4 = OperandType::unsigned(DataSize::B4);
+        assert_eq!(u4.min_value(), 0);
+        assert_eq!(u4.max_value(), 15);
+        assert!(u4.contains(15));
+        assert!(!u4.contains(16));
+        assert!(s4.contains(-8));
+        assert!(!s4.contains(-9));
+        assert!(s4.check(8).is_err());
+        assert!(s4.check(7).is_ok());
+    }
+
+    #[test]
+    fn precision_config_roundtrips_through_display() {
+        for cfg in PrecisionConfig::all_pairs() {
+            let parsed: PrecisionConfig = cfg.to_string().parse().unwrap();
+            assert_eq!(parsed, cfg);
+        }
+    }
+
+    #[test]
+    fn precision_config_rejects_garbage() {
+        for bad in ["", "a8w8", "a9-w2", "w8-a8", "a8-w1", "8-4", "a8-w"] {
+            assert!(bad.parse::<PrecisionConfig>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn pair_counts() {
+        assert_eq!(PrecisionConfig::all_pairs().count(), 49);
+        assert_eq!(PrecisionConfig::canonical_pairs().count(), 28);
+    }
+
+    #[test]
+    fn default_operand_signedness() {
+        let (a, w) = PrecisionConfig::from_bits(8, 4).unwrap().operand_types();
+        assert!(!a.is_signed());
+        assert!(w.is_signed());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DataSize::B3.to_string(), "3b");
+        assert_eq!(OperandType::signed(DataSize::B5).to_string(), "i5");
+        assert_eq!(OperandType::unsigned(DataSize::B2).to_string(), "u2");
+        assert_eq!(Signedness::Signed.to_string(), "signed");
+    }
+}

@@ -1,0 +1,128 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::datasize::{DataSize, OperandType};
+
+/// Errors produced while configuring or executing binary segmentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BinSegError {
+    /// A data size outside the supported 2..=8-bit range was requested.
+    InvalidBits {
+        /// The rejected bit width.
+        bits: u8,
+    },
+    /// The multiplier is too narrow to hold even a single-element cluster.
+    MulWidthTooSmall {
+        /// The rejected multiplier width.
+        mul_width: u32,
+        /// Minimum clustering width required for one element (Eq. 3, n = 1).
+        required: u32,
+    },
+    /// The multiplier width exceeds the 128-bit model limit.
+    MulWidthTooLarge {
+        /// The rejected multiplier width.
+        mul_width: u32,
+    },
+    /// An element value does not fit the declared operand type.
+    ValueOutOfRange {
+        /// The offending value.
+        value: i32,
+        /// The operand type it was checked against.
+        operand: OperandType,
+    },
+    /// A cluster slice carried more elements than the input-cluster size.
+    ClusterTooLong {
+        /// Number of elements supplied.
+        len: usize,
+        /// Maximum cluster size for the configuration (Eq. 4).
+        cluster_size: usize,
+    },
+    /// Two µ-vector operands carried a different number of logical elements.
+    LengthMismatch {
+        /// Elements on the A side.
+        len_a: usize,
+        /// Elements on the B side.
+        len_b: usize,
+    },
+    /// An element index is outside a µ-vector's capacity.
+    IndexOutOfRange {
+        /// The rejected index.
+        index: usize,
+        /// Elements per µ-vector for the data size.
+        capacity: usize,
+    },
+    /// A precision-configuration string could not be parsed.
+    ParseConfig {
+        /// The rejected input.
+        input: String,
+    },
+    /// A µ-vector buffer is too short for the requested logical length.
+    BufferTooShort {
+        /// Number of 64-bit words supplied.
+        words: usize,
+        /// Number of 64-bit words required.
+        required: usize,
+        /// Logical element count requested.
+        len: usize,
+    },
+}
+
+impl fmt::Display for BinSegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinSegError::InvalidBits { bits } => write!(
+                f,
+                "data size of {bits} bits is outside the supported {}..={} bit range",
+                DataSize::MIN_BITS,
+                DataSize::MAX_BITS
+            ),
+            BinSegError::MulWidthTooSmall {
+                mul_width,
+                required,
+            } => write!(
+                f,
+                "multiplier width {mul_width} cannot hold one clustered element \
+                 (needs at least {required} bits)"
+            ),
+            BinSegError::MulWidthTooLarge { mul_width } => write!(
+                f,
+                "multiplier width {mul_width} exceeds the 128-bit model limit"
+            ),
+            BinSegError::ValueOutOfRange { value, operand } => write!(
+                f,
+                "value {value} does not fit operand type {operand} \
+                 (range {}..={})",
+                operand.min_value(),
+                operand.max_value()
+            ),
+            BinSegError::ClusterTooLong { len, cluster_size } => write!(
+                f,
+                "cluster of {len} elements exceeds the input-cluster size {cluster_size}"
+            ),
+            BinSegError::LengthMismatch { len_a, len_b } => write!(
+                f,
+                "operand element counts differ: {len_a} (A) versus {len_b} (B)"
+            ),
+            BinSegError::IndexOutOfRange { index, capacity } => write!(
+                f,
+                "element index {index} is outside the µ-vector capacity {capacity}"
+            ),
+            BinSegError::ParseConfig { input } => write!(
+                f,
+                "cannot parse precision configuration from {input:?} (expected e.g. \"a8-w4\")"
+            ),
+            BinSegError::BufferTooShort {
+                words,
+                required,
+                len,
+            } => write!(
+                f,
+                "µ-vector buffer of {words} words is too short for {len} elements \
+                 ({required} words required)"
+            ),
+        }
+    }
+}
+
+impl Error for BinSegError {}

@@ -1,0 +1,122 @@
+//! The paper's Fig. 1 worked example, reproduced value by value.
+//!
+//! Fig. 1 computes the inner product `4*3 + 7*2 + 3*0 + 6*1 = 32` of two
+//! 4-element µ-vectors `a = [4, 7, 3, 6]` (3-bit) and `b = [3, 2, 0, 1]`
+//! (2-bit) on a 16-bit multiplier. Eqs. 3 and 4 give a clustering width of
+//! 8 bits and an input-cluster size of 2, so the computation proceeds as
+//! two cluster multiplications:
+//!
+//! | step | A cluster | B cluster (reversed) | product | slice [15:8] |
+//! |------|-----------|----------------------|---------|--------------|
+//! | 1    | `1031` (= 4·256 + 7) | `515` (= 2·256 + 3) | `530965` | `26` |
+//! | 2    | `774`  (= 3·256 + 6) | `256` (= 1·256 + 0) | `198144` | `6`  |
+//!
+//! with `26 + 6 = 32`, a 2.33x arithmetic-complexity reduction (2
+//! multiplications + 1 addition instead of 4 + 3).
+
+use crate::cluster;
+use crate::config::BinSegConfig;
+use crate::datasize::{DataSize, OperandType, Signedness};
+
+/// Intermediate values of one Fig. 1 cluster step.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct Fig1Step {
+    /// The packed A input-cluster (e.g. `1031`).
+    pub input_cluster_a: i128,
+    /// The packed, element-reversed B input-cluster (e.g. `515`).
+    pub input_cluster_b: i128,
+    /// The 16-bit multiplication output (e.g. `530965`).
+    pub product: i128,
+    /// The extracted partial inner product (e.g. `26`).
+    pub partial_ip: i64,
+}
+
+/// The complete trace of the Fig. 1 computation.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct Fig1Trace {
+    /// The binary-segmentation configuration (cw = 8, cluster size = 2).
+    pub config: BinSegConfig,
+    /// Both cluster steps with their intermediate values.
+    pub steps: Vec<Fig1Step>,
+    /// The accumulated inner product (`32`).
+    pub inner_product: i64,
+}
+
+/// Runs the Fig. 1 example and returns every intermediate value.
+///
+/// # Example
+///
+/// ```
+/// let trace = mixgemm_binseg::example::fig1();
+/// assert_eq!(trace.steps[0].input_cluster_a, 1031);
+/// assert_eq!(trace.steps[0].input_cluster_b, 515);
+/// assert_eq!(trace.steps[0].partial_ip, 26);
+/// assert_eq!(trace.inner_product, 32);
+/// ```
+pub fn fig1() -> Fig1Trace {
+    let config = BinSegConfig::with_mul_width(
+        OperandType::new(DataSize::B3, Signedness::Unsigned),
+        OperandType::new(DataSize::B2, Signedness::Unsigned),
+        16,
+    )
+    .expect("Fig. 1 parameters are valid");
+    let a = [4, 7, 3, 6];
+    let b = [3, 2, 0, 1];
+    let n = config.cluster_size();
+    let mut steps = Vec::new();
+    let mut inner_product = 0i64;
+    for (sa, sb) in a.chunks(n).zip(b.chunks(n)) {
+        let input_cluster_a =
+            cluster::pack_cluster_a(&config, sa).expect("values fit 3 bits");
+        let input_cluster_b =
+            cluster::pack_cluster_b(&config, sb).expect("values fit 2 bits");
+        let product = cluster::multiply_clusters(input_cluster_a, input_cluster_b);
+        let partial_ip = cluster::extract_slice(&config, product);
+        inner_product += partial_ip;
+        steps.push(Fig1Step {
+            input_cluster_a,
+            input_cluster_b,
+            product,
+            partial_ip,
+        });
+    }
+    Fig1Trace {
+        config,
+        steps,
+        inner_product,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_every_published_value() {
+        let trace = fig1();
+        assert_eq!(trace.config.clustering_width(), 8);
+        assert_eq!(trace.config.cluster_size(), 2);
+        assert_eq!(trace.steps.len(), 2);
+
+        // First sub-µ-vector pair: a' = [4, 7], b' reversed = [2, 3].
+        assert_eq!(trace.steps[0].input_cluster_a, 1031);
+        assert_eq!(trace.steps[0].input_cluster_b, 515);
+        assert_eq!(trace.steps[0].product, 530_965);
+        assert_eq!(trace.steps[0].partial_ip, 26);
+
+        // Second pair: a'' = [3, 6], b'' reversed = [1, 0].
+        assert_eq!(trace.steps[1].input_cluster_a, 774);
+        assert_eq!(trace.steps[1].input_cluster_b, 256);
+        assert_eq!(trace.steps[1].product, 198_144);
+        assert_eq!(trace.steps[1].partial_ip, 6);
+
+        assert_eq!(trace.inner_product, 32);
+    }
+
+    #[test]
+    fn fig1_complexity_reduction_is_2_33x() {
+        let trace = fig1();
+        let r = trace.config.complexity_reduction(4);
+        assert!((r - 2.333_333).abs() < 1e-3);
+    }
+}

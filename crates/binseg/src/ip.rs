@@ -1,0 +1,372 @@
+//! Full inner products over packed µ-vectors, including the element
+//! selection walk performed by the µ-engine's Data Selection Unit (DSU).
+//!
+//! The DSU selects, on every execution cycle, up to `input_cluster_size`
+//! element pairs starting from element 0 of the current µ-vector pair.
+//! When fewer elements remain in either current µ-vector, a smaller chunk
+//! is selected and the exhausted side advances to its next µ-vector
+//! (paper §III-B, Fig. 4). This walk — never merging elements across a
+//! µ-vector boundary into one cluster — is what produces the paper's
+//! published per-chunk cycle counts (12 for `a8-w8`, 12 for `a8-w6`, 9 for
+//! `a6-w4` with the Table I parameters).
+
+use crate::cluster;
+use crate::config::BinSegConfig;
+use crate::error::BinSegError;
+use crate::muvec;
+
+/// One DSU selection step: `take` element pairs starting at logical
+/// position `pos`.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct DsuStep {
+    /// Logical element index of the first pair selected this cycle.
+    pub pos: usize,
+    /// Number of element pairs selected this cycle (1..=cluster size).
+    pub take: usize,
+}
+
+/// Iterator over the DSU selection steps for a µ-vector pair stream.
+///
+/// Each item corresponds to one µ-engine execution cycle.
+#[derive(Clone, Debug)]
+pub struct DsuWalk {
+    cluster: usize,
+    epv_a: usize,
+    epv_b: usize,
+    len: usize,
+    pos: usize,
+}
+
+impl DsuWalk {
+    /// Creates a walk over `len` logical element pairs where the A side
+    /// packs `epv_a` elements per µ-vector and the B side `epv_b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster`, `epv_a` or `epv_b` is zero.
+    pub fn new(cluster: usize, epv_a: usize, epv_b: usize, len: usize) -> Self {
+        assert!(cluster > 0 && epv_a > 0 && epv_b > 0);
+        DsuWalk {
+            cluster,
+            epv_a,
+            epv_b,
+            len,
+            pos: 0,
+        }
+    }
+
+    /// Creates a walk for a configuration, reading the per-µ-vector element
+    /// counts from the operand data sizes.
+    pub fn for_config(cfg: &BinSegConfig, len: usize) -> Self {
+        Self::new(
+            cfg.cluster_size(),
+            cfg.operand_a().elems_per_muvec(),
+            cfg.operand_b().elems_per_muvec(),
+            len,
+        )
+    }
+
+    /// Total number of execution cycles the walk takes, without iterating.
+    pub fn cycle_count(&self) -> usize {
+        self.clone().count()
+    }
+}
+
+impl Iterator for DsuWalk {
+    type Item = DsuStep;
+
+    fn next(&mut self) -> Option<DsuStep> {
+        if self.pos >= self.len {
+            return None;
+        }
+        let rem_total = self.len - self.pos;
+        let rem_a = self.epv_a - self.pos % self.epv_a;
+        let rem_b = self.epv_b - self.pos % self.epv_b;
+        let take = self.cluster.min(rem_a).min(rem_b).min(rem_total);
+        let step = DsuStep {
+            pos: self.pos,
+            take,
+        };
+        self.pos += take;
+        Some(step)
+    }
+}
+
+/// Number of µ-engine execution cycles needed for `len` element pairs.
+///
+/// # Example
+///
+/// The paper's per-chunk accumulation counts (§III-B): with the Table I
+/// parameters, the Control Unit advances the AccMem address after 12, 12
+/// and 9 accumulations for the `a8-w8`, `a8-w6` and `a6-w4` configurations.
+///
+/// ```
+/// use mixgemm_binseg::{ip::execution_cycles, BinSegConfig, DataSize, OperandType};
+///
+/// let cfg = |a, w| BinSegConfig::new(
+///     OperandType::unsigned(DataSize::new(a).unwrap()),
+///     OperandType::signed(DataSize::new(w).unwrap()),
+/// );
+/// assert_eq!(execution_cycles(&cfg(8, 8), 32), 12);
+/// assert_eq!(execution_cycles(&cfg(8, 6), 30), 12);
+/// assert_eq!(execution_cycles(&cfg(6, 4), 30), 9);
+/// ```
+pub fn execution_cycles(cfg: &BinSegConfig, len: usize) -> usize {
+    DsuWalk::for_config(cfg, len).cycle_count()
+}
+
+/// Computes the inner product of `len` logical elements stored in packed
+/// µ-vector form, exactly as the µ-engine pipeline would.
+///
+/// This is the software-reference path: functionally identical to the
+/// cycle-level model in `mixgemm-uengine`, which is tested against it.
+///
+/// # Errors
+///
+/// Returns [`BinSegError::BufferTooShort`] when either word slice cannot
+/// hold `len` elements.
+pub fn inner_product(
+    cfg: &BinSegConfig,
+    a_words: &[u64],
+    b_words: &[u64],
+    len: usize,
+) -> Result<i64, BinSegError> {
+    Ok(inner_product_with_cycles(cfg, a_words, b_words, len)?.0)
+}
+
+/// Like [`inner_product`], also returning the execution cycle count.
+///
+/// # Errors
+///
+/// Returns [`BinSegError::BufferTooShort`] when either word slice cannot
+/// hold `len` elements.
+pub fn inner_product_with_cycles(
+    cfg: &BinSegConfig,
+    a_words: &[u64],
+    b_words: &[u64],
+    len: usize,
+) -> Result<(i64, usize), BinSegError> {
+    let op_a = cfg.operand_a();
+    let op_b = cfg.operand_b();
+    check_capacity(a_words.len(), op_a.elems_per_muvec(), len)?;
+    check_capacity(b_words.len(), op_b.elems_per_muvec(), len)?;
+
+    let mut acc: i64 = 0;
+    let mut cycles = 0usize;
+    let mut a_buf = [0i32; 32];
+    let mut b_buf = [0i32; 32];
+    for step in DsuWalk::for_config(cfg, len) {
+        let epv_a = op_a.elems_per_muvec();
+        let epv_b = op_b.elems_per_muvec();
+        for i in 0..step.take {
+            let pa = step.pos + i;
+            a_buf[i] = muvec::get_elem(op_a, a_words[pa / epv_a], pa % epv_a)?;
+            b_buf[i] = muvec::get_elem(op_b, b_words[pa / epv_b], pa % epv_b)?;
+        }
+        acc += cluster::cluster_inner_product(cfg, &a_buf[..step.take], &b_buf[..step.take])?;
+        cycles += 1;
+    }
+    Ok((acc, cycles))
+}
+
+/// Convenience: packs two raw element slices and computes their inner
+/// product through the binary-segmentation path.
+///
+/// # Errors
+///
+/// Returns [`BinSegError::LengthMismatch`] for unequal inputs and
+/// propagates range errors from packing.
+pub fn inner_product_raw(
+    cfg: &BinSegConfig,
+    a: &[i32],
+    b: &[i32],
+) -> Result<i64, BinSegError> {
+    if a.len() != b.len() {
+        return Err(BinSegError::LengthMismatch {
+            len_a: a.len(),
+            len_b: b.len(),
+        });
+    }
+    let a_words = muvec::pack_slice(cfg.operand_a(), a)?;
+    let b_words = muvec::pack_slice(cfg.operand_b(), b)?;
+    inner_product(cfg, &a_words, &b_words, a.len())
+}
+
+fn check_capacity(words: usize, epv: usize, len: usize) -> Result<(), BinSegError> {
+    let required = len.div_ceil(epv);
+    if words < required {
+        Err(BinSegError::BufferTooShort {
+            words,
+            required,
+            len,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::naive_inner_product;
+    use crate::datasize::{DataSize, OperandType, PrecisionConfig, Signedness};
+
+    fn cfg(a: u8, w: u8) -> BinSegConfig {
+        BinSegConfig::new(
+            OperandType::unsigned(DataSize::new(a).unwrap()),
+            OperandType::signed(DataSize::new(w).unwrap()),
+        )
+    }
+
+    #[test]
+    fn paper_accumulation_counts() {
+        // §III-B: AccMem address advances after 12 / 12 / 9 accumulations
+        // for the Fig. 4 chunk shapes.
+        assert_eq!(execution_cycles(&cfg(8, 8), 32), 12);
+        assert_eq!(execution_cycles(&cfg(8, 6), 30), 12);
+        assert_eq!(execution_cycles(&cfg(6, 4), 30), 9);
+    }
+
+    #[test]
+    fn fig4_dsu_activity_sequences() {
+        // Fig. 4 colours one DSU selection per execution cycle; the
+        // exact per-cycle element counts follow from the selection rule.
+        let takes = |c: &BinSegConfig, len: usize| -> Vec<usize> {
+            DsuWalk::for_config(c, len).map(|s| s.take).collect()
+        };
+        // a8-w8: each 8-element µ-vector pair takes 3 + 3 + 2.
+        assert_eq!(
+            takes(&cfg(8, 8), 32),
+            vec![3, 3, 2, 3, 3, 2, 3, 3, 2, 3, 3, 2]
+        );
+        // a8-w6: 8- and 10-element µ-vectors interleave their boundaries.
+        assert_eq!(
+            takes(&cfg(8, 6), 30),
+            vec![3, 3, 2, 2, 3, 3, 3, 1, 3, 1, 3, 3]
+        );
+        // a6-w4: 10- and 16-element µ-vectors at 4 MAC/cycle.
+        assert_eq!(takes(&cfg(6, 4), 30), vec![4, 4, 2, 4, 2, 4, 4, 4, 2]);
+    }
+
+    #[test]
+    fn a2w2_muvector_takes_five_cycles() {
+        // §IV-B: a 32-element 2-bit µ-vector needs 5 cycles at 7 MAC/cycle.
+        assert_eq!(execution_cycles(&cfg(2, 2), 32), 5);
+    }
+
+    #[test]
+    fn dsu_never_crosses_muvec_boundaries() {
+        for pair in PrecisionConfig::all_pairs() {
+            let c = cfg(pair.activations().bits(), pair.weights().bits());
+            let epv_a = c.operand_a().elems_per_muvec();
+            let epv_b = c.operand_b().elems_per_muvec();
+            for step in DsuWalk::for_config(&c, 3 * epv_a.max(epv_b)) {
+                assert!(step.take >= 1 && step.take <= c.cluster_size());
+                let end = step.pos + step.take;
+                // A selection never spans two µ-vectors on either side.
+                assert_eq!(step.pos / epv_a, (end - 1) / epv_a, "{c}");
+                assert_eq!(step.pos / epv_b, (end - 1) / epv_b, "{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn walk_covers_every_element_exactly_once() {
+        let c = cfg(5, 3);
+        let len = 100;
+        let mut covered = vec![false; len];
+        for step in DsuWalk::for_config(&c, len) {
+            for slot in covered.iter_mut().skip(step.pos).take(step.take) {
+                assert!(!*slot);
+                *slot = true;
+            }
+        }
+        assert!(covered.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn inner_product_matches_naive_for_all_pairs() {
+        for pair in PrecisionConfig::all_pairs() {
+            let c = cfg(pair.activations().bits(), pair.weights().bits());
+            let oa = c.operand_a();
+            let ob = c.operand_b();
+            let len = 77;
+            let a: Vec<i32> = (0..len)
+                .map(|i| {
+                    let span = (oa.max_value() - oa.min_value() + 1) as usize;
+                    oa.min_value() + ((i * 7 + 3) % span) as i32
+                })
+                .collect();
+            let b: Vec<i32> = (0..len)
+                .map(|i| {
+                    let span = (ob.max_value() - ob.min_value() + 1) as usize;
+                    ob.min_value() + ((i * 5 + 1) % span) as i32
+                })
+                .collect();
+            assert_eq!(
+                inner_product_raw(&c, &a, &b).unwrap(),
+                naive_inner_product(&a, &b),
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn signed_signed_long_vectors() {
+        for (a_sig, b_sig) in [
+            (Signedness::Signed, Signedness::Signed),
+            (Signedness::Signed, Signedness::Unsigned),
+            (Signedness::Unsigned, Signedness::Signed),
+            (Signedness::Unsigned, Signedness::Unsigned),
+        ] {
+            let c = BinSegConfig::new(
+                OperandType::new(DataSize::B7, a_sig),
+                OperandType::new(DataSize::B3, b_sig),
+            );
+            let oa = c.operand_a();
+            let ob = c.operand_b();
+            let len = 256i32;
+            let a: Vec<i32> = (0..len)
+                .map(|i| oa.min_value() + (i * 13 % (oa.max_value() - oa.min_value() + 1)))
+                .collect();
+            let b: Vec<i32> = (0..len)
+                .map(|i| ob.min_value() + (i * 11 % (ob.max_value() - ob.min_value() + 1)))
+                .collect();
+            assert_eq!(
+                inner_product_raw(&c, &a, &b).unwrap(),
+                naive_inner_product(&a, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn cycles_scale_with_cluster_size() {
+        // More MAC/cycle at narrower sizes means fewer cycles for the same
+        // element count.
+        let len = 672; // divisible by every epv
+        let cyc8 = execution_cycles(&cfg(8, 8), len);
+        let cyc4 = execution_cycles(&cfg(4, 4), len);
+        let cyc2 = execution_cycles(&cfg(2, 2), len);
+        assert!(cyc8 > cyc4 && cyc4 > cyc2);
+    }
+
+    #[test]
+    fn short_buffers_are_rejected() {
+        let c = cfg(8, 8);
+        assert!(matches!(
+            inner_product(&c, &[0], &[0, 0], 16),
+            Err(BinSegError::BufferTooShort { .. })
+        ));
+        assert!(matches!(
+            inner_product(&c, &[0, 0], &[0], 16),
+            Err(BinSegError::BufferTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_inner_product_is_zero() {
+        let c = cfg(4, 4);
+        assert_eq!(inner_product(&c, &[], &[], 0).unwrap(), 0);
+        assert_eq!(execution_cycles(&c, 0), 0);
+    }
+}

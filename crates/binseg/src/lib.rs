@@ -1,0 +1,70 @@
+//! Bit-exact software model of the *binary segmentation* technique at the core
+//! of Mix-GEMM (Reggiani et al., HPCA 2023).
+//!
+//! Binary segmentation (Pan, 1984/1993) computes the inner product of two
+//! vectors of narrow integers ("µ-vectors") as a small number of wide integer
+//! multiplications. Sets of narrow elements are packed into wide
+//! *input-clusters* whose product, read at the right bit slice, yields the
+//! inner product of the packed elements (paper §II-B, Fig. 1).
+//!
+//! This crate provides:
+//!
+//! - [`DataSize`] / [`OperandType`]: the 2..=8-bit narrow-integer element
+//!   types supported by Mix-GEMM, with signed/unsigned ranges (paper Eq. 2).
+//! - [`BinSegConfig`]: the clustering width `cw` (paper Eq. 3), the
+//!   input-cluster size (Eq. 4) and the product slice bounds (Eqs. 5–7) for a
+//!   given operand pair and multiplier width.
+//! - [`muvec`]: packing/unpacking of narrow elements into 64-bit µ-vectors at
+//!   `floor(64 / bits)` elements per word (8..32 elements, paper §III-A).
+//! - [`cluster`]: input-cluster composition, the wide multiplication, and the
+//!   slice extraction with two's-complement borrow correction for signed
+//!   operands.
+//! - [`ip`]: a full software inner-product path over packed µ-vectors,
+//!   equivalent to what the µ-engine hardware computes.
+//! - [`chunk`]: the `kua`/`kub` µ-vector balancing rule for mixed-precision
+//!   chunks (paper §III-A, Fig. 4) and its zero-padding overhead.
+//! - [`example`]: the paper's Fig. 1 worked example, value by value.
+//!
+//! # Example
+//!
+//! ```
+//! use mixgemm_binseg::{BinSegConfig, OperandType, DataSize, Signedness};
+//!
+//! # fn main() -> Result<(), mixgemm_binseg::BinSegError> {
+//! // 8-bit unsigned activations times 4-bit signed weights on a 64-bit
+//! // multiplier: 4 MACs per multiplication.
+//! let a = OperandType::new(DataSize::new(8)?, Signedness::Unsigned);
+//! let w = OperandType::new(DataSize::new(4)?, Signedness::Signed);
+//! let cfg = BinSegConfig::new(a, w);
+//! assert_eq!(cfg.cluster_size(), 4);
+//!
+//! let acts = [200, 3, 17, 255];
+//! let wgts = [-8, 7, -1, 3];
+//! let ip = mixgemm_binseg::cluster::cluster_inner_product(&cfg, &acts, &wgts)?;
+//! assert_eq!(ip, 200 * -8 + 3 * 7 + 17 * -1 + 255 * 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod datasize;
+mod error;
+
+pub mod chunk;
+pub mod cluster;
+pub mod example;
+pub mod ip;
+pub mod muvec;
+
+pub use config::BinSegConfig;
+pub use datasize::{DataSize, OperandType, PrecisionConfig, Signedness};
+pub use error::BinSegError;
+
+/// Width in bits of the scalar multiplier Mix-GEMM reuses (paper §III-B).
+pub const DEFAULT_MUL_WIDTH: u32 = 64;
+
+/// Width in bits of one µ-vector, matching the processor word size.
+pub const MUVEC_BITS: u32 = 64;

@@ -1,0 +1,232 @@
+//! µ-vector packing: narrow elements stored densely inside 64-bit words.
+//!
+//! The Mix-GEMM software library keeps the GEMM input matrices compressed
+//! over their `k` dimension in chunks of 8 (8-bit) to 32 (2-bit) elements,
+//! each chunk abstracted as a single 64-bit value called a *µ-vector*
+//! (paper §III-A). Element `i` of a µ-vector occupies bits
+//! `[i * bits, (i + 1) * bits)`; any bits above `elems_per_muvec() * bits`
+//! are padding and always zero.
+//!
+//! Signed elements are stored as truncated two's complement and
+//! sign-extended on unpacking, mirroring what the Data Conversion Unit does
+//! in hardware.
+
+use crate::datasize::OperandType;
+use crate::error::BinSegError;
+
+/// Packs up to `elems_per_muvec()` elements into a single µ-vector word.
+///
+/// Missing trailing elements are zero-padded, matching the library's
+/// zero-padding of chunk tails (paper §III-C).
+///
+/// # Errors
+///
+/// Returns [`BinSegError::ClusterTooLong`] when more elements than fit one
+/// word are supplied, or [`BinSegError::ValueOutOfRange`] when a value does
+/// not fit the operand type.
+pub fn pack_word(op: OperandType, elems: &[i32]) -> Result<u64, BinSegError> {
+    let epv = op.elems_per_muvec();
+    if elems.len() > epv {
+        return Err(BinSegError::ClusterTooLong {
+            len: elems.len(),
+            cluster_size: epv,
+        });
+    }
+    let bits = op.bits() as u32;
+    let mask = (1u64 << bits) - 1;
+    let mut word = 0u64;
+    for (i, &e) in elems.iter().enumerate() {
+        op.check(e)?;
+        word |= ((e as u64) & mask) << (i as u32 * bits);
+    }
+    Ok(word)
+}
+
+/// Reads element `index` of a µ-vector word, sign-extending when signed.
+///
+/// # Errors
+///
+/// Returns [`BinSegError::IndexOutOfRange`] when `index` is outside the
+/// word's capacity.
+pub fn get_elem(op: OperandType, word: u64, index: usize) -> Result<i32, BinSegError> {
+    let epv = op.elems_per_muvec();
+    if index >= epv {
+        return Err(BinSegError::IndexOutOfRange {
+            index,
+            capacity: epv,
+        });
+    }
+    let bits = op.bits() as u32;
+    let raw = (word >> (index as u32 * bits)) & ((1u64 << bits) - 1);
+    Ok(decode(op, raw))
+}
+
+/// Unpacks all `elems_per_muvec()` elements of a word into `out`.
+///
+/// # Panics
+///
+/// Panics when `out` is shorter than the word capacity.
+pub fn unpack_word_into(op: OperandType, word: u64, out: &mut [i32]) {
+    let epv = op.elems_per_muvec();
+    assert!(
+        out.len() >= epv,
+        "output buffer of {} elements cannot hold {} unpacked values",
+        out.len(),
+        epv
+    );
+    let bits = op.bits() as u32;
+    let mask = (1u64 << bits) - 1;
+    for (i, slot) in out.iter_mut().enumerate().take(epv) {
+        *slot = decode(op, (word >> (i as u32 * bits)) & mask);
+    }
+}
+
+/// Unpacks a word into a freshly allocated vector.
+pub fn unpack_word(op: OperandType, word: u64) -> Vec<i32> {
+    let mut out = vec![0; op.elems_per_muvec()];
+    unpack_word_into(op, word, &mut out);
+    out
+}
+
+/// Packs a slice of values into consecutive µ-vector words, zero-padding
+/// the final word.
+///
+/// # Errors
+///
+/// Returns [`BinSegError::ValueOutOfRange`] when a value does not fit.
+pub fn pack_slice(op: OperandType, values: &[i32]) -> Result<Vec<u64>, BinSegError> {
+    let epv = op.elems_per_muvec();
+    values.chunks(epv).map(|c| pack_word(op, c)).collect()
+}
+
+/// Unpacks `len` logical elements from consecutive µ-vector words.
+///
+/// # Errors
+///
+/// Returns [`BinSegError::BufferTooShort`] when `words` cannot hold `len`
+/// elements.
+pub fn unpack_slice(
+    op: OperandType,
+    words: &[u64],
+    len: usize,
+) -> Result<Vec<i32>, BinSegError> {
+    let epv = op.elems_per_muvec();
+    let required = len.div_ceil(epv);
+    if words.len() < required {
+        return Err(BinSegError::BufferTooShort {
+            words: words.len(),
+            required,
+            len,
+        });
+    }
+    let mut out = Vec::with_capacity(len);
+    let mut scratch = vec![0; epv];
+    for word in words {
+        if out.len() == len {
+            break;
+        }
+        unpack_word_into(op, *word, &mut scratch);
+        let take = (len - out.len()).min(epv);
+        out.extend_from_slice(&scratch[..take]);
+    }
+    Ok(out)
+}
+
+/// Number of 64-bit µ-vector words needed to store `len` elements.
+#[inline]
+pub fn words_for(op: OperandType, len: usize) -> usize {
+    len.div_ceil(op.elems_per_muvec())
+}
+
+/// Memory footprint in bytes of `len` elements stored as µ-vectors.
+#[inline]
+pub fn bytes_for(op: OperandType, len: usize) -> usize {
+    words_for(op, len) * 8
+}
+
+#[inline]
+fn decode(op: OperandType, raw: u64) -> i32 {
+    let bits = op.bits() as u32;
+    if op.is_signed() && (raw >> (bits - 1)) & 1 == 1 {
+        (raw as i32) - (1i32 << bits)
+    } else {
+        raw as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasize::{DataSize, Signedness};
+
+    #[test]
+    fn roundtrip_all_values_all_types() {
+        for size in DataSize::all() {
+            for sig in [Signedness::Signed, Signedness::Unsigned] {
+                let op = OperandType::new(size, sig);
+                let values: Vec<i32> = (op.min_value()..=op.max_value()).collect();
+                let words = pack_slice(op, &values).unwrap();
+                let back = unpack_slice(op, &words, values.len()).unwrap();
+                assert_eq!(back, values, "{op}");
+            }
+        }
+    }
+
+    #[test]
+    fn tail_padding_is_zero() {
+        let op = OperandType::unsigned(DataSize::B3);
+        let word = pack_word(op, &[7, 7]).unwrap();
+        // Elements above index 1 and the 64 - 21*3 = 1 pad bit must be zero.
+        assert_eq!(word, 0b111_111);
+        for i in 2..op.elems_per_muvec() {
+            assert_eq!(get_elem(op, word, i).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn get_elem_matches_unpack() {
+        let op = OperandType::signed(DataSize::B5);
+        let values: Vec<i32> = (0..op.elems_per_muvec() as i32)
+            .map(|i| if i % 2 == 0 { -16 + i } else { 15 - i })
+            .collect();
+        let word = pack_word(op, &values).unwrap();
+        let unpacked = unpack_word(op, word);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(get_elem(op, word, i).unwrap(), v);
+            assert_eq!(unpacked[i], v);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let op = OperandType::unsigned(DataSize::B8);
+        assert!(pack_word(op, &[0; 9]).is_err());
+        assert!(pack_word(op, &[256]).is_err());
+        assert!(get_elem(op, 0, 8).is_err());
+        assert!(unpack_slice(op, &[0], 9).is_err());
+    }
+
+    #[test]
+    fn words_and_bytes_accounting() {
+        let op = OperandType::unsigned(DataSize::B2);
+        assert_eq!(words_for(op, 0), 0);
+        assert_eq!(words_for(op, 32), 1);
+        assert_eq!(words_for(op, 33), 2);
+        assert_eq!(bytes_for(op, 64), 16);
+        let op3 = OperandType::signed(DataSize::B3);
+        assert_eq!(words_for(op3, 21), 1);
+        assert_eq!(words_for(op3, 22), 2);
+    }
+
+    #[test]
+    fn compression_ratio_versus_f64() {
+        // Paper §IV-B: problem-size reduction of 8x (8-bit) to 32x (2-bit)
+        // with respect to a 64-bit DGEMM element.
+        let elems = 4096;
+        let f64_bytes = elems * 8;
+        let b8 = bytes_for(OperandType::unsigned(DataSize::B8), elems);
+        let b2 = bytes_for(OperandType::unsigned(DataSize::B2), elems);
+        assert_eq!(f64_bytes / b8, 8);
+        assert_eq!(f64_bytes / b2, 32);
+    }
+}

@@ -1,0 +1,277 @@
+//! # Mix-GEMM
+//!
+//! A production-quality Rust reproduction of **"Mix-GEMM: An efficient
+//! HW-SW Architecture for Mixed-Precision Quantized Deep Neural
+//! Networks Inference on Edge Devices"** (Reggiani et al., HPCA 2023).
+//!
+//! Mix-GEMM accelerates quantized GEMM — the core kernel of DNN
+//! inference — on edge RISC-V processors with a tiny in-pipeline
+//! functional unit (the *µ-engine*) built on the *binary segmentation*
+//! technique: narrow integers (2 to 8 bits, any mixed combination) are
+//! packed into 64-bit input-clusters whose single scalar multiplication
+//! computes several multiply-accumulates at once. Performance scales
+//! with decreasing data size, from 3 MAC/cycle at `a8-w8` up to
+//! 7 MAC/cycle at `a2-w2`, at ~1 % SoC area cost.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`binseg`] | bit-exact binary-segmentation arithmetic, µ-vector packing |
+//! | [`quant`] | uniform affine quantization (Eq. 1–2) |
+//! | [`uengine`] | cycle-level µ-engine (Source Buffers, DSU, DCU, DFU, AccMem, PMU) |
+//! | [`soc`] | in-order edge SoC timing model (pipeline scoreboard + caches) |
+//! | [`gemm`] | the BLIS-style Mix-GEMM library, baselines, DSE |
+//! | [`dnn`] | layer IR, im2col, the six-CNN zoo, quantized runtime |
+//! | [`qat`] | miniature QAT training framework + the paper's accuracy tables |
+//! | [`phys`] | area / energy / technology-scaling models |
+//!
+//! The [`api`] module offers a compact high-level entry point.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mixgemm::api::EdgeSoc;
+//! use mixgemm::gemm::GemmDims;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+//! let soc = EdgeSoc::sargantana();
+//! let summary = soc.run_gemm("a4-w4".parse()?, GemmDims::square(256))?;
+//! println!(
+//!     "a4-w4 256^3 GEMM: {:.2} GOPS at {:.0} GOPS/W",
+//!     summary.gops(),
+//!     summary.gops_per_watt()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mixgemm_binseg as binseg;
+pub use mixgemm_dnn as dnn;
+pub use mixgemm_gemm as gemm;
+pub use mixgemm_phys as phys;
+pub use mixgemm_qat as qat;
+pub use mixgemm_quant as quant;
+pub use mixgemm_soc as soc;
+pub use mixgemm_uengine as uengine;
+
+pub use mixgemm_binseg::{BinSegConfig, DataSize, OperandType, PrecisionConfig, Signedness};
+
+pub mod api {
+    //! High-level convenience API combining the timing, functional and
+    //! physical models.
+
+    use mixgemm_binseg::PrecisionConfig;
+    use mixgemm_dnn::runtime::{self, NetworkPerf, PrecisionPlan};
+    use mixgemm_dnn::Network;
+    use mixgemm_gemm::baseline::{self, BaselineKind};
+    use mixgemm_gemm::{Fidelity, GemmDims, GemmOptions, GemmReport, MixGemmKernel};
+    use mixgemm_phys::energy::ActivityProfile;
+    use mixgemm_qat::accuracy;
+    use mixgemm_soc::{presets, SocConfig};
+
+    /// Errors surfaced by the high-level API.
+    pub type ApiError = Box<dyn std::error::Error + Send + Sync>;
+
+    /// An evaluated edge platform: a SoC preset plus µ-engine sizing.
+    #[derive(Clone, Debug)]
+    pub struct EdgeSoc {
+        soc: SocConfig,
+        srcbuf_depth: usize,
+    }
+
+    impl EdgeSoc {
+        /// The paper's Sargantana-like RV64 edge SoC with the Table I
+        /// µ-engine configuration.
+        pub fn sargantana() -> Self {
+            EdgeSoc {
+                soc: presets::sargantana(),
+                srcbuf_depth: mixgemm_uengine::DEFAULT_SRCBUF_DEPTH,
+            }
+        }
+
+        /// The same core with reduced caches (§IV-B exploration).
+        pub fn sargantana_small_caches(l1_kib: usize, l2_kib: usize) -> Self {
+            EdgeSoc {
+                soc: presets::sargantana_small_caches(l1_kib, l2_kib),
+                srcbuf_depth: mixgemm_uengine::DEFAULT_SRCBUF_DEPTH,
+            }
+        }
+
+        /// Overrides the Source Buffer depth (§III-C DSE).
+        pub fn with_srcbuf_depth(mut self, depth: usize) -> Self {
+            self.srcbuf_depth = depth;
+            self
+        }
+
+        /// The underlying SoC configuration.
+        pub fn soc(&self) -> &SocConfig {
+            &self.soc
+        }
+
+        fn gemm_options(&self, precision: PrecisionConfig) -> GemmOptions {
+            let mut opts = GemmOptions::new(precision);
+            opts.soc = self.soc;
+            opts.srcbuf_depth = self.srcbuf_depth;
+            opts
+        }
+
+        /// Simulates one Mix-GEMM execution and derives its efficiency.
+        ///
+        /// # Errors
+        ///
+        /// Propagates GEMM simulation errors.
+        pub fn run_gemm(
+            &self,
+            precision: PrecisionConfig,
+            dims: GemmDims,
+        ) -> Result<GemmSummary, ApiError> {
+            let report = MixGemmKernel::new(self.gemm_options(precision))
+                .simulate(dims, Fidelity::Sampled)?;
+            Ok(GemmSummary::from_report(report))
+        }
+
+        /// Simulates a baseline kernel on its default platform.
+        ///
+        /// # Errors
+        ///
+        /// Propagates GEMM simulation errors.
+        pub fn run_baseline(
+            &self,
+            kind: BaselineKind,
+            dims: GemmDims,
+        ) -> Result<GemmReport, ApiError> {
+            Ok(baseline::simulate(kind, dims, Fidelity::Sampled)?)
+        }
+
+        /// Times a whole network under a precision plan, attaching the
+        /// paper's TOP-1 accuracy when the network and configuration are
+        /// in the published tables.
+        ///
+        /// # Errors
+        ///
+        /// Propagates simulation errors.
+        pub fn run_network(
+            &self,
+            net: &Network,
+            plan: PrecisionPlan,
+        ) -> Result<NetworkSummary, ApiError> {
+            let perf = runtime::simulate_network_with(net, &plan, Fidelity::Sampled, |pc| {
+                let mut opts = GemmOptions::new(pc);
+                opts.soc = self.soc;
+                opts.srcbuf_depth = self.srcbuf_depth;
+                opts
+            })?;
+            let top1 = accuracy::for_network(net.name())
+                .and_then(|t| t.top1_for(plan.default));
+            Ok(NetworkSummary { perf, top1 })
+        }
+    }
+
+    /// A GEMM run with derived throughput and efficiency.
+    #[derive(Clone, Debug)]
+    pub struct GemmSummary {
+        /// The simulation report.
+        pub report: GemmReport,
+    }
+
+    impl GemmSummary {
+        fn from_report(report: GemmReport) -> Self {
+            GemmSummary { report }
+        }
+
+        /// Throughput in GOPS.
+        pub fn gops(&self) -> f64 {
+            self.report.gops()
+        }
+
+        /// Efficiency in GOPS/W from the §IV-C energy model.
+        pub fn gops_per_watt(&self) -> f64 {
+            let busy = self.report.pmu.map(|p| p.busy_cycles).unwrap_or(0);
+            ActivityProfile {
+                total_cycles: self.report.cycles,
+                busy_cycles: busy,
+                macs: self.report.macs,
+                freq_ghz: self.report.freq_ghz,
+            }
+            .gops_per_watt()
+        }
+    }
+
+    /// A network run with derived metrics and (when published) accuracy.
+    #[derive(Clone, Debug)]
+    pub struct NetworkSummary {
+        /// Per-layer performance.
+        pub perf: NetworkPerf,
+        /// Paper TOP-1 accuracy for the plan's default configuration,
+        /// when recorded.
+        pub top1: Option<f64>,
+    }
+
+    impl NetworkSummary {
+        /// Conv-layer throughput in GOPS (the paper's Fig. 7 metric).
+        pub fn conv_gops(&self) -> f64 {
+            self.perf.conv_gops()
+        }
+
+        /// Conv-layer efficiency in GOPS/W (§IV-C).
+        pub fn conv_gops_per_watt(&self) -> f64 {
+            ActivityProfile {
+                total_cycles: self.perf.conv_cycles(),
+                busy_cycles: self.perf.conv_busy_cycles(),
+                macs: self.perf.conv_macs(),
+                freq_ghz: self.perf.freq_ghz,
+            }
+            .gops_per_watt()
+        }
+
+        /// Frames per second over all GEMM layers.
+        pub fn fps(&self) -> f64 {
+            self.perf.fps()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::api::EdgeSoc;
+    use mixgemm_dnn::runtime::PrecisionPlan;
+    use mixgemm_dnn::zoo;
+    use mixgemm_gemm::GemmDims;
+
+    #[test]
+    fn facade_gemm_roundtrip() {
+        let soc = EdgeSoc::sargantana();
+        let s = soc
+            .run_gemm("a4-w4".parse().unwrap(), GemmDims::square(128))
+            .unwrap();
+        assert!(s.gops() > 1.0);
+        assert!(s.gops_per_watt() > 100.0);
+    }
+
+    #[test]
+    fn facade_network_with_accuracy() {
+        let soc = EdgeSoc::sargantana();
+        let net = zoo::alexnet();
+        let s = soc
+            .run_network(&net, PrecisionPlan::uniform("a4-w4".parse().unwrap()))
+            .unwrap();
+        assert!(s.conv_gops() > 1.0);
+        assert!(s.top1.is_some());
+        assert!(s.fps() > 1.0);
+    }
+
+    #[test]
+    fn srcbuf_depth_is_configurable() {
+        let shallow = EdgeSoc::sargantana().with_srcbuf_depth(4);
+        let deep = EdgeSoc::sargantana().with_srcbuf_depth(32);
+        let dims = GemmDims::square(128);
+        let pc = "a2-w2".parse().unwrap();
+        let a = shallow.run_gemm(pc, dims).unwrap();
+        let b = deep.run_gemm(pc, dims).unwrap();
+        assert!(a.report.cycles >= b.report.cycles);
+    }
+}

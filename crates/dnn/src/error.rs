@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors produced while building or executing networks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DnnError {
+    /// A node references an input that does not exist (yet).
+    DanglingInput {
+        /// The offending node.
+        node: NodeId,
+        /// The missing input id.
+        input: NodeId,
+    },
+    /// An op received inputs of incompatible shapes.
+    ShapeMismatch {
+        /// The offending node.
+        node: NodeId,
+        /// Explanation.
+        reason: String,
+    },
+    /// A convolution's channel/group combination is invalid.
+    BadGroups {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Groups.
+        groups: usize,
+    },
+    /// The spatial output of a conv/pool would be empty.
+    EmptySpatialOutput {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A tensor payload does not match its declared shape.
+    DataMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// An error bubbled up from the GEMM layer.
+    Gemm(mixgemm_gemm::GemmError),
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::DanglingInput { node, input } => {
+                write!(f, "node {node} references missing input {input}")
+            }
+            DnnError::ShapeMismatch { node, reason } => {
+                write!(f, "shape mismatch at node {node}: {reason}")
+            }
+            DnnError::BadGroups { in_c, out_c, groups } => write!(
+                f,
+                "groups {groups} must divide both in_c {in_c} and out_c {out_c}"
+            ),
+            DnnError::EmptySpatialOutput { node } => {
+                write!(f, "node {node} produces an empty spatial output")
+            }
+            DnnError::DataMismatch { expected, actual } => {
+                write!(f, "tensor data of {actual} elements, shape implies {expected}")
+            }
+            DnnError::Gemm(e) => write!(f, "gemm error: {e}"),
+        }
+    }
+}
+
+impl Error for DnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DnnError::Gemm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mixgemm_gemm::GemmError> for DnnError {
+    fn from(e: mixgemm_gemm::GemmError) -> Self {
+        DnnError::Gemm(e)
+    }
+}

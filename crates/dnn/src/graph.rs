@@ -1,0 +1,217 @@
+use std::fmt;
+
+use crate::error::DnnError;
+use crate::layer::OpKind;
+use crate::tensor::Shape;
+
+/// Identifier of a value in the graph: 0 is the network input, `i + 1`
+/// is the output of node `i`.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// One operation instance with its value inputs.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The operation.
+    pub op: OpKind,
+    /// Value inputs (most ops take one; `Add`/`Scale` take two).
+    pub inputs: Vec<NodeId>,
+}
+
+/// A feed-forward network: a DAG of [`Node`]s over one input tensor,
+/// with precomputed shape inference.
+///
+/// Built through the push-style API; the last node is the output.
+#[derive(Clone, Debug)]
+pub struct Network {
+    name: &'static str,
+    input: Shape,
+    nodes: Vec<Node>,
+    /// `shapes[0]` is the input shape; `shapes[i + 1]` node `i`'s output.
+    shapes: Vec<Shape>,
+}
+
+impl Network {
+    /// Starts a network with the given input shape.
+    pub fn new(name: &'static str, input: Shape) -> Self {
+        Network {
+            name,
+            input,
+            nodes: Vec::new(),
+            shapes: vec![input],
+        }
+    }
+
+    /// The network name (e.g. `"resnet-18"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The input shape.
+    pub fn input_shape(&self) -> Shape {
+        self.input
+    }
+
+    /// The nodes in topological (insertion) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The value shape for `id` (input or node output).
+    pub fn shape(&self, id: NodeId) -> Shape {
+        self.shapes[id.0]
+    }
+
+    /// The output value id (the last node).
+    pub fn output(&self) -> NodeId {
+        NodeId(self.nodes.len())
+    }
+
+    /// The output shape.
+    pub fn output_shape(&self) -> Shape {
+        *self.shapes.last().expect("shapes is never empty")
+    }
+
+    /// Appends a node, returning its output value id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::DanglingInput`] for forward references and
+    /// [`DnnError::ShapeMismatch`] when the op rejects the input shapes.
+    pub fn push(&mut self, op: OpKind, inputs: &[NodeId]) -> Result<NodeId, DnnError> {
+        let node_id = NodeId(self.nodes.len());
+        let mut in_shapes = Vec::with_capacity(inputs.len());
+        for &input in inputs {
+            if input.0 >= self.shapes.len() {
+                return Err(DnnError::DanglingInput {
+                    node: node_id,
+                    input,
+                });
+            }
+            in_shapes.push(self.shapes[input.0]);
+        }
+        let out = op.output_shape(&in_shapes).ok_or_else(|| DnnError::ShapeMismatch {
+            node: node_id,
+            reason: format!("{op} rejects inputs {in_shapes:?}"),
+        })?;
+        self.nodes.push(Node {
+            op,
+            inputs: inputs.to_vec(),
+        });
+        self.shapes.push(out);
+        Ok(NodeId(self.nodes.len()))
+    }
+
+    /// Appends a node consuming the current output (sequential style).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::push`].
+    pub fn push_seq(&mut self, op: OpKind) -> Result<NodeId, DnnError> {
+        let last = self.output();
+        self.push(op, &[last])
+    }
+
+    /// Total multiply-accumulates of GEMM-bearing ops (convolutions and
+    /// fully-connected layers), the paper's operation accounting.
+    pub fn total_macs(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let shapes: Vec<Shape> = n.inputs.iter().map(|i| self.shapes[i.0]).collect();
+                n.op.macs(&shapes)
+            })
+            .sum()
+    }
+
+    /// Number of GEMM-bearing layers.
+    pub fn gemm_layer_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.op.is_gemm_op()).count()
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} -> {}], {} nodes, {:.2} GMAC",
+            self.name,
+            self.input,
+            self.output_shape(),
+            self.nodes.len(),
+            self.total_macs() as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ActKind;
+
+    #[test]
+    fn sequential_builder_tracks_shapes() {
+        let mut net = Network::new("tiny", Shape::new(3, 8, 8));
+        net.push_seq(OpKind::Conv2d {
+            out_c: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        })
+        .unwrap();
+        net.push_seq(OpKind::Activation(ActKind::Relu)).unwrap();
+        net.push_seq(OpKind::GlobalAvgPool).unwrap();
+        net.push_seq(OpKind::Linear { out_features: 10 }).unwrap();
+        assert_eq!(net.output_shape(), Shape::flat(10));
+        assert_eq!(net.gemm_layer_count(), 2);
+        assert_eq!(net.total_macs(), (8 * 8 * 4 * 3 * 9) as u64 + 40);
+    }
+
+    #[test]
+    fn residual_blocks_wire_correctly() {
+        let mut net = Network::new("res", Shape::new(4, 4, 4));
+        let x = net.output();
+        let c1 = net
+            .push(
+                OpKind::Conv2d {
+                    out_c: 4,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                    groups: 1,
+                },
+                &[x],
+            )
+            .unwrap();
+        let sum = net.push(OpKind::Add, &[c1, x]).unwrap();
+        assert_eq!(net.shape(sum), Shape::new(4, 4, 4));
+    }
+
+    #[test]
+    fn dangling_and_mismatched_inputs_error() {
+        let mut net = Network::new("bad", Shape::new(3, 4, 4));
+        assert!(matches!(
+            net.push(OpKind::Add, &[NodeId(0), NodeId(5)]),
+            Err(DnnError::DanglingInput { .. })
+        ));
+        net.push_seq(OpKind::Conv2d {
+            out_c: 8,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        })
+        .unwrap();
+        assert!(matches!(
+            net.push(OpKind::Add, &[NodeId(0), NodeId(1)]),
+            Err(DnnError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,245 @@
+//! Convolution → GEMM lowering with the *im2col* approach (paper §II-A).
+//!
+//! Every (grouped) convolution becomes `groups` GEMMs: the input patches
+//! are unrolled into an `M x K` matrix A (`M = H_out * W_out`,
+//! `K = (C_in / groups) * k * k`) and the kernel weights into a `K x N`
+//! matrix B (`N = C_out / groups`). Modern implementations compose A
+//! implicitly in memory (§II-A cites [22], [48], [72], [79]), so the
+//! timing path only uses the dimension arithmetic in
+//! [`conv_gemm_dims`]; the explicit [`im2col_group`] transformation
+//! backs the functional path and its tests.
+
+use mixgemm_gemm::GemmDims;
+
+use crate::tensor::Shape;
+
+/// Convolution geometry used by the lowering helpers.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct ConvGeom {
+    /// Input shape.
+    pub input: Shape,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel extent.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Padding.
+    pub pad: usize,
+    /// Groups.
+    pub groups: usize,
+}
+
+impl ConvGeom {
+    /// Output spatial shape.
+    pub fn output(&self) -> Shape {
+        Shape::new(
+            self.out_c,
+            Shape::conv_out(self.input.h, self.k, self.stride, self.pad),
+            Shape::conv_out(self.input.w, self.k, self.stride, self.pad),
+        )
+    }
+}
+
+/// GEMM dimensions of one group's im2col lowering. The full convolution
+/// executes this GEMM `groups` times.
+pub fn conv_gemm_dims(g: &ConvGeom) -> GemmDims {
+    let out = g.output();
+    GemmDims::new(
+        out.h * out.w,
+        (g.input.c / g.groups) * g.k * g.k,
+        g.out_c / g.groups,
+    )
+}
+
+/// Builds the explicit `M x K` im2col matrix for `group`, row-major.
+///
+/// `data` is the CHW input tensor. Out-of-bounds taps read zero
+/// (zero padding).
+///
+/// # Panics
+///
+/// Panics when `data` does not match `geom.input` or `group` is out of
+/// range — both indicate caller bugs, not user input.
+pub fn im2col_group(data: &[i32], geom: &ConvGeom, group: usize) -> Vec<i32> {
+    assert_eq!(data.len(), geom.input.numel(), "input data/shape mismatch");
+    assert!(group < geom.groups, "group out of range");
+    let out = geom.output();
+    let cg = geom.input.c / geom.groups;
+    let c0 = group * cg;
+    let (h, w) = (geom.input.h as isize, geom.input.w as isize);
+    let mut a = Vec::with_capacity(out.h * out.w * cg * geom.k * geom.k);
+    for oh in 0..out.h {
+        for ow in 0..out.w {
+            for c in 0..cg {
+                for kh in 0..geom.k {
+                    for kw in 0..geom.k {
+                        let ih = (oh * geom.stride + kh) as isize - geom.pad as isize;
+                        let iw = (ow * geom.stride + kw) as isize - geom.pad as isize;
+                        let v = if ih >= 0 && ih < h && iw >= 0 && iw < w {
+                            data[(c0 + c) * geom.input.h * geom.input.w
+                                + ih as usize * geom.input.w
+                                + iw as usize]
+                        } else {
+                            0
+                        };
+                        a.push(v);
+                    }
+                }
+            }
+        }
+    }
+    a
+}
+
+/// Builds the `K x N` weight matrix for `group`, row-major.
+///
+/// `weights` is laid out `[out_c][in_c / groups][k][k]`.
+///
+/// # Panics
+///
+/// Panics on a weight-length mismatch (caller bug).
+pub fn weights_group(weights: &[i32], geom: &ConvGeom, group: usize) -> Vec<i32> {
+    let cg = geom.input.c / geom.groups;
+    let ng = geom.out_c / geom.groups;
+    let kk = geom.k * geom.k;
+    assert_eq!(weights.len(), geom.out_c * cg * kk, "weight length mismatch");
+    let mut b = Vec::with_capacity(cg * kk * ng);
+    for row in 0..cg * kk {
+        for col in 0..ng {
+            let oc = group * ng + col;
+            b.push(weights[oc * cg * kk + row]);
+        }
+    }
+    b
+}
+
+/// Direct (nested-loop) convolution reference for validating the GEMM
+/// lowering, returning the CHW output as i64 accumulators.
+pub fn direct_conv(data: &[i32], weights: &[i32], geom: &ConvGeom) -> Vec<i64> {
+    let out = geom.output();
+    let cg = geom.input.c / geom.groups;
+    let ng = geom.out_c / geom.groups;
+    let mut y = vec![0i64; out.numel()];
+    for oc in 0..geom.out_c {
+        let group = oc / ng;
+        let c0 = group * cg;
+        for oh in 0..out.h {
+            for ow in 0..out.w {
+                let mut acc = 0i64;
+                for c in 0..cg {
+                    for kh in 0..geom.k {
+                        for kw in 0..geom.k {
+                            let ih =
+                                (oh * geom.stride + kh) as isize - geom.pad as isize;
+                            let iw =
+                                (ow * geom.stride + kw) as isize - geom.pad as isize;
+                            if ih < 0
+                                || iw < 0
+                                || ih >= geom.input.h as isize
+                                || iw >= geom.input.w as isize
+                            {
+                                continue;
+                            }
+                            let x = data[(c0 + c) * geom.input.h * geom.input.w
+                                + ih as usize * geom.input.w
+                                + iw as usize]
+                                as i64;
+                            let wv = weights
+                                [oc * cg * geom.k * geom.k + c * geom.k * geom.k + kh * geom.k + kw]
+                                as i64;
+                            acc += x * wv;
+                        }
+                    }
+                }
+                y[oc * out.h * out.w + oh * out.w + ow] = acc;
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixgemm_binseg::{DataSize, OperandType};
+    use mixgemm_gemm::{GemmOptions, MixGemmKernel, QuantMatrix};
+
+    fn geom(c: usize, h: usize, out_c: usize, k: usize, stride: usize, pad: usize, groups: usize) -> ConvGeom {
+        ConvGeom {
+            input: Shape::new(c, h, h),
+            out_c,
+            k,
+            stride,
+            pad,
+            groups,
+        }
+    }
+
+    fn test_data(len: usize, span: i32, offset: i32) -> Vec<i32> {
+        (0..len).map(|i| (i as i32 * 7 + 3) % span + offset).collect()
+    }
+
+    #[test]
+    fn gemm_dims_match_geometry() {
+        let g = geom(3, 224, 64, 11, 4, 2, 1);
+        let d = conv_gemm_dims(&g);
+        assert_eq!((d.m, d.k, d.n), (55 * 55, 3 * 121, 64));
+        let dw = geom(32, 112, 32, 3, 1, 1, 32);
+        let d = conv_gemm_dims(&dw);
+        assert_eq!((d.m, d.k, d.n), (112 * 112, 9, 1));
+    }
+
+    /// im2col + GEMM must equal the direct convolution, for dense,
+    /// strided, padded, grouped and depthwise cases.
+    #[test]
+    fn im2col_gemm_equals_direct_conv() {
+        let cases = [
+            geom(3, 8, 4, 3, 1, 1, 1),
+            geom(4, 9, 6, 3, 2, 1, 1),
+            geom(6, 8, 8, 3, 1, 1, 2),  // grouped
+            geom(8, 7, 8, 3, 1, 1, 8),  // depthwise
+            geom(5, 6, 7, 1, 1, 0, 1),  // pointwise
+            geom(3, 11, 2, 5, 2, 2, 1), // 5x5 strided
+        ];
+        let oa = OperandType::unsigned(DataSize::B8);
+        let ow = OperandType::signed(DataSize::B8);
+        let kernel = MixGemmKernel::new(GemmOptions::new("a8-w8".parse().unwrap()));
+        for g in cases {
+            let cg = g.input.c / g.groups;
+            let data = test_data(g.input.numel(), 200, 0);
+            let weights = test_data(g.out_c * cg * g.k * g.k, 200, -100);
+            let direct = direct_conv(&data, &weights, &g);
+
+            let out = g.output();
+            let dims = conv_gemm_dims(&g);
+            let ng = g.out_c / g.groups;
+            let mut via_gemm = vec![0i64; out.numel()];
+            for group in 0..g.groups {
+                let a = QuantMatrix::new(dims.m, dims.k, oa, im2col_group(&data, &g, group))
+                    .unwrap();
+                let b =
+                    QuantMatrix::new(dims.k, dims.n, ow, weights_group(&weights, &g, group))
+                        .unwrap();
+                let c = kernel.compute(&a, &b).unwrap();
+                for m in 0..dims.m {
+                    for col in 0..dims.n {
+                        let oc = group * ng + col;
+                        via_gemm[oc * out.h * out.w + m] = c[m * dims.n + col];
+                    }
+                }
+            }
+            assert_eq!(via_gemm, direct, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn padding_reads_zero() {
+        let g = geom(1, 2, 1, 3, 1, 1, 1);
+        let data = vec![1, 2, 3, 4];
+        let a = im2col_group(&data, &g, 0);
+        // First output pixel: the 3x3 patch centred at (0,0) has five
+        // zero taps from padding.
+        assert_eq!(&a[..9], &[0, 0, 0, 0, 1, 2, 0, 3, 4]);
+    }
+}

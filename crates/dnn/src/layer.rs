@@ -1,0 +1,241 @@
+use std::fmt;
+
+use crate::tensor::Shape;
+
+/// Non-linear activation functions used by the zoo networks.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum ActKind {
+    /// `max(0, x)`.
+    Relu,
+    /// `min(max(0, x), 6)` — used by the paper's VGG-16 low-bit recipe.
+    Relu6,
+    /// `x * sigmoid(x)` (EfficientNet).
+    Silu,
+    /// `1 / (1 + e^-x)` (squeeze-and-excite gating).
+    Sigmoid,
+}
+
+/// One graph operation.
+///
+/// Convolutions carry `groups` to express both grouped convolutions
+/// (RegNet) and depthwise convolutions (`groups == in_channels`,
+/// MobileNet-V1 / EfficientNet-B0).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+#[non_exhaustive]
+pub enum OpKind {
+    /// 2-D convolution.
+    Conv2d {
+        /// Output channels.
+        out_c: usize,
+        /// Kernel extent (square kernels; the zoo uses 1/3/5/7/11).
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+        /// Channel groups (1 = dense, `in_c` = depthwise).
+        groups: usize,
+    },
+    /// Fully-connected layer over a flattened input.
+    Linear {
+        /// Output features.
+        out_features: usize,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Window extent.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+    },
+    /// Global average pooling to `c x 1 x 1`.
+    GlobalAvgPool,
+    /// Elementwise activation.
+    Activation(ActKind),
+    /// Elementwise sum of two inputs (residual connections).
+    Add,
+    /// Elementwise product of two inputs, broadcasting a `c x 1 x 1`
+    /// gate over the spatial extent (squeeze-and-excite scaling).
+    Scale,
+}
+
+impl OpKind {
+    /// Infers the output shape for the given input shapes.
+    ///
+    /// Returns `None` when shapes are incompatible; the graph layer
+    /// turns that into a descriptive error.
+    pub fn output_shape(&self, inputs: &[Shape]) -> Option<Shape> {
+        match *self {
+            OpKind::Conv2d {
+                out_c,
+                k,
+                stride,
+                pad,
+                groups,
+            } => {
+                let x = inputs.first()?;
+                if groups == 0 || !x.c.is_multiple_of(groups) || !out_c.is_multiple_of(groups) {
+                    return None;
+                }
+                let h = Shape::conv_out(x.h, k, stride, pad);
+                let w = Shape::conv_out(x.w, k, stride, pad);
+                (h > 0 && w > 0).then_some(Shape::new(out_c, h, w))
+            }
+            OpKind::Linear { out_features } => {
+                let _ = inputs.first()?;
+                Some(Shape::flat(out_features))
+            }
+            OpKind::MaxPool { k, stride, pad } => {
+                let x = inputs.first()?;
+                let h = Shape::conv_out(x.h, k, stride, pad);
+                let w = Shape::conv_out(x.w, k, stride, pad);
+                (h > 0 && w > 0).then_some(Shape::new(x.c, h, w))
+            }
+            OpKind::GlobalAvgPool => inputs.first().map(|x| Shape::flat(x.c)),
+            OpKind::Activation(_) => inputs.first().copied(),
+            OpKind::Add => {
+                let (a, b) = (inputs.first()?, inputs.get(1)?);
+                (a == b).then_some(*a)
+            }
+            OpKind::Scale => {
+                let (x, gate) = (inputs.first()?, inputs.get(1)?);
+                (gate.c == x.c && gate.h == 1 && gate.w == 1).then_some(*x)
+            }
+        }
+    }
+
+    /// Multiply-accumulate operations of the op for the given input
+    /// shapes (GEMM-bearing ops only; pooling/activations return 0, as
+    /// the paper accounts performance over the convolutional layers).
+    pub fn macs(&self, inputs: &[Shape]) -> u64 {
+        match *self {
+            OpKind::Conv2d {
+                out_c,
+                k,
+                groups,
+                ..
+            } => {
+                let Some(out) = self.output_shape(inputs) else {
+                    return 0;
+                };
+                let in_c = inputs[0].c;
+                (out.h * out.w) as u64
+                    * out_c as u64
+                    * (in_c / groups) as u64
+                    * (k * k) as u64
+            }
+            OpKind::Linear { out_features } => {
+                let in_features = inputs.first().map(|s| s.numel()).unwrap_or(0);
+                in_features as u64 * out_features as u64
+            }
+            _ => 0,
+        }
+    }
+
+    /// `true` for ops lowered to GEMM and timed on the µ-engine.
+    pub fn is_gemm_op(&self) -> bool {
+        matches!(self, OpKind::Conv2d { .. } | OpKind::Linear { .. })
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            OpKind::Conv2d {
+                out_c,
+                k,
+                stride,
+                groups,
+                ..
+            } => {
+                if groups == 1 {
+                    write!(f, "conv{k}x{k}/{stride}->{out_c}")
+                } else {
+                    write!(f, "conv{k}x{k}/{stride}g{groups}->{out_c}")
+                }
+            }
+            OpKind::Linear { out_features } => write!(f, "fc->{out_features}"),
+            OpKind::MaxPool { k, stride, .. } => write!(f, "maxpool{k}/{stride}"),
+            OpKind::GlobalAvgPool => f.write_str("gap"),
+            OpKind::Activation(a) => write!(f, "{a:?}"),
+            OpKind::Add => f.write_str("add"),
+            OpKind::Scale => f.write_str("scale"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_and_macs() {
+        let op = OpKind::Conv2d {
+            out_c: 64,
+            k: 11,
+            stride: 4,
+            pad: 2,
+            groups: 1,
+        };
+        let input = [Shape::new(3, 224, 224)];
+        assert_eq!(op.output_shape(&input), Some(Shape::new(64, 55, 55)));
+        // AlexNet conv1: 55*55*64*3*121 MACs.
+        assert_eq!(op.macs(&input), 55 * 55 * 64 * 3 * 121);
+    }
+
+    #[test]
+    fn depthwise_macs_divide_by_groups() {
+        let op = OpKind::Conv2d {
+            out_c: 32,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            groups: 32,
+        };
+        let input = [Shape::new(32, 112, 112)];
+        assert_eq!(op.macs(&input), 112 * 112 * 32 * 9);
+    }
+
+    #[test]
+    fn invalid_groups_rejected() {
+        let op = OpKind::Conv2d {
+            out_c: 30,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            groups: 4,
+        };
+        assert_eq!(op.output_shape(&[Shape::new(32, 8, 8)]), None);
+    }
+
+    #[test]
+    fn add_and_scale_shape_rules() {
+        let a = Shape::new(8, 4, 4);
+        assert_eq!(OpKind::Add.output_shape(&[a, a]), Some(a));
+        assert_eq!(OpKind::Add.output_shape(&[a, Shape::new(8, 2, 2)]), None);
+        let gate = Shape::flat(8);
+        assert_eq!(OpKind::Scale.output_shape(&[a, gate]), Some(a));
+        assert_eq!(OpKind::Scale.output_shape(&[a, Shape::flat(4)]), None);
+    }
+
+    #[test]
+    fn linear_flattens() {
+        let op = OpKind::Linear { out_features: 10 };
+        assert_eq!(
+            op.output_shape(&[Shape::new(256, 6, 6)]),
+            Some(Shape::flat(10))
+        );
+        assert_eq!(op.macs(&[Shape::new(256, 6, 6)]), 256 * 36 * 10);
+    }
+
+    #[test]
+    fn pooling_and_activation_carry_no_macs() {
+        let x = [Shape::new(16, 8, 8)];
+        assert_eq!(OpKind::GlobalAvgPool.macs(&x), 0);
+        assert_eq!(OpKind::Activation(ActKind::Relu).macs(&x), 0);
+        assert!(!OpKind::GlobalAvgPool.is_gemm_op());
+        assert!(OpKind::Linear { out_features: 1 }.is_gemm_op());
+    }
+}

@@ -1,0 +1,70 @@
+//! Quantized CNN inference over Mix-GEMM (paper §II-A, §IV).
+//!
+//! The paper evaluates Mix-GEMM on six image-classification CNNs —
+//! AlexNet, VGG-16, ResNet-18, MobileNet-V1, RegNetX-400MF and
+//! EfficientNet-B0 — lowering every convolution to GEMM with the
+//! *im2col* approach (§II-A) and timing the convolutional layers on the
+//! µ-engine SoC.
+//!
+//! This crate provides:
+//!
+//! - a small layer-graph IR ([`Network`], [`OpKind`]) with shape
+//!   inference and MAC accounting;
+//! - the [`zoo`] module defining the six evaluation networks with their
+//!   standard (torchvision) topologies;
+//! - [`im2col`]: the convolution → GEMM lowering, both as dimension
+//!   arithmetic for the timing path and as an actual data
+//!   transformation for the functional path, validated against a direct
+//!   convolution reference;
+//! - [`memory`]: parameter counts and packed µ-vector footprints under a
+//!   precision plan (the §I memory-saving motivation, in bytes);
+//! - [`runtime`]: quantized fake-quant inference (integer GEMMs through
+//!   the Mix-GEMM functional kernel, float glue for activations and
+//!   pooling, per-channel weights / per-tensor activations as in §IV-A)
+//!   and cycle-level per-network performance simulation with layer-shape
+//!   deduplication;
+//! - [`winograd`]: an exact integer F(2x2, 3x3) fast convolution, used to
+//!   demonstrate the §II-A claim that fast algorithms fit quantized
+//!   values poorly (restrictive applicability, inflated operand ranges).
+//!
+//! # Example
+//!
+//! ```
+//! use mixgemm_dnn::{zoo, runtime};
+//! use mixgemm_gemm::Fidelity;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = zoo::alexnet();
+//! // ~0.71 GMAC of convolution + fully-connected work at 224x224.
+//! let gmacs = net.total_macs() as f64 / 1e9;
+//! assert!(gmacs > 0.6 && gmacs < 0.8);
+//!
+//! let perf = runtime::simulate_network(
+//!     &net,
+//!     &runtime::PrecisionPlan::uniform("a8-w8".parse()?),
+//!     Fidelity::Sampled,
+//! )?;
+//! assert!(perf.gops() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+pub mod im2col;
+mod layer;
+pub mod memory;
+pub mod runtime;
+mod tensor;
+pub mod winograd;
+pub mod zoo;
+
+pub use error::DnnError;
+pub use graph::{Network, Node, NodeId};
+pub use layer::{ActKind, OpKind};
+pub use tensor::Shape;
+
+pub use mixgemm_binseg::{DataSize, PrecisionConfig};

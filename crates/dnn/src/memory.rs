@@ -1,0 +1,163 @@
+//! Model memory-footprint accounting.
+//!
+//! A central motivation of the paper (§I): keeping weights and
+//! activations compressed at non-standard data sizes "allows deploying
+//! bigger DNNs on resource-constrained devices". This module counts
+//! parameters per layer and computes packed µ-vector footprints under a
+//! precision plan, so the trade-off of Fig. 7 can be read in megabytes
+//! as well as GOPS.
+
+use mixgemm_binseg::muvec;
+
+use crate::graph::Network;
+use crate::layer::OpKind;
+use crate::runtime::PrecisionPlan;
+use crate::tensor::Shape;
+
+/// Per-network memory accounting under a precision plan.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Trainable parameters (weights, biases excluded as the paper keeps
+    /// them in floating point alongside the scales).
+    pub parameters: u64,
+    /// Bytes of the weights packed as µ-vectors at the plan's widths.
+    pub packed_weight_bytes: u64,
+    /// Bytes of the weights at FP32.
+    pub fp32_weight_bytes: u64,
+    /// Peak single-tensor activation footprint, packed at the plan's
+    /// activation widths.
+    pub peak_activation_bytes: u64,
+}
+
+impl MemoryFootprint {
+    /// Weight compression ratio versus FP32.
+    pub fn compression_vs_fp32(&self) -> f64 {
+        if self.packed_weight_bytes == 0 {
+            return 0.0;
+        }
+        self.fp32_weight_bytes as f64 / self.packed_weight_bytes as f64
+    }
+}
+
+/// Weights of one GEMM-bearing op, given its input shape.
+pub fn layer_parameters(op: &OpKind, input: Shape) -> u64 {
+    match *op {
+        OpKind::Conv2d {
+            out_c, k, groups, ..
+        } => (out_c * (input.c / groups) * k * k) as u64,
+        OpKind::Linear { out_features } => (input.numel() * out_features) as u64,
+        _ => 0,
+    }
+}
+
+/// Computes the footprint of `net` under `plan`.
+pub fn footprint(net: &Network, plan: &PrecisionPlan) -> MemoryFootprint {
+    let gemm_count = net.gemm_layer_count();
+    let mut out = MemoryFootprint::default();
+    let mut gemm_index = 0usize;
+    for (i, node) in net.nodes().iter().enumerate() {
+        let input = net.shape(node.inputs[0]);
+        let params = layer_parameters(&node.op, input);
+        if node.op.is_gemm_op() {
+            let precision = plan.layer_precision(gemm_index, gemm_count);
+            gemm_index += 1;
+            let (_, ow) = precision.operand_types();
+            out.parameters += params;
+            out.packed_weight_bytes += muvec::bytes_for(ow, params as usize) as u64;
+            out.fp32_weight_bytes += params * 4;
+
+            let (oa, _) = precision.operand_types();
+            let act = net.shape(crate::graph::NodeId(i + 1)).numel();
+            out.peak_activation_bytes = out
+                .peak_activation_bytes
+                .max(muvec::bytes_for(oa, act) as u64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn params_m(net: &Network) -> f64 {
+        footprint(net, &PrecisionPlan::uniform("a8-w8".parse().unwrap())).parameters as f64
+            / 1e6
+    }
+
+    /// The zoo's parameter counts match the published model sizes —
+    /// a strong structural check on every layer definition.
+    #[test]
+    fn zoo_parameter_counts_match_literature() {
+        let cases = [
+            (zoo::alexnet(), 61.1, 1.5),       // torchvision: 61.1 M
+            (zoo::vgg16(), 138.4, 2.0),        // 138.4 M
+            (zoo::resnet18(), 11.7, 0.4),      // 11.7 M
+            (zoo::mobilenet_v1(), 4.2, 0.3),   // 4.2 M
+            (zoo::regnet_x_400mf(), 5.2, 0.6), // 5.5 M (incl. stem/fc)
+            (zoo::efficientnet_b0(), 5.3, 0.6),// 5.3 M
+        ];
+        for (net, published, tol) in cases {
+            let got = params_m(&net);
+            assert!(
+                (got - published).abs() < tol,
+                "{}: {got:.2} M params vs published ~{published} M",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn narrower_weights_shrink_the_model() {
+        let net = zoo::resnet18();
+        let at = |cfg: &str| {
+            footprint(
+                &net,
+                &PrecisionPlan {
+                    default: cfg.parse().unwrap(),
+                    pin_first_last: false,
+                    overrides: Vec::new(),
+                },
+            )
+        };
+        let w8 = at("a8-w8");
+        let w5 = at("a5-w5");
+        let w2 = at("a2-w2");
+        assert!(w5.packed_weight_bytes < w8.packed_weight_bytes);
+        assert!(w2.packed_weight_bytes < w5.packed_weight_bytes);
+        // 8-bit weights: ~4x smaller than FP32; 2-bit: ~16x.
+        assert!((w8.compression_vs_fp32() - 4.0).abs() < 0.2);
+        assert!((w2.compression_vs_fp32() - 16.0).abs() < 0.8);
+        // §IV-B: a5-w5 saves ~1/3 of the a8-w8 footprint (12 vs 8
+        // elements per µ-vector word).
+        let saving =
+            1.0 - w5.packed_weight_bytes as f64 / w8.packed_weight_bytes as f64;
+        assert!((0.25..0.40).contains(&saving), "a5-w5 saving {saving:.2}");
+    }
+
+    #[test]
+    fn activation_peak_tracks_the_widest_tensor() {
+        let net = zoo::alexnet();
+        let fp = footprint(&net, &PrecisionPlan::uniform("a8-w8".parse().unwrap()));
+        // AlexNet's widest conv output is 64 x 55 x 55 = 193,600 elements.
+        assert_eq!(fp.peak_activation_bytes, 193_600);
+        assert!(fp.parameters > 0);
+    }
+
+    #[test]
+    fn pinned_first_last_layers_stay_wide() {
+        let net = zoo::alexnet();
+        let pinned = footprint(&net, &PrecisionPlan::uniform("a2-w2".parse().unwrap()));
+        let unpinned = footprint(
+            &net,
+            &PrecisionPlan {
+                default: "a2-w2".parse().unwrap(),
+                pin_first_last: false,
+                overrides: Vec::new(),
+            },
+        );
+        // The pinned 8-bit final FC layer keeps the model bigger.
+        assert!(pinned.packed_weight_bytes > unpinned.packed_weight_bytes);
+    }
+}

@@ -1,0 +1,896 @@
+//! Quantized inference and cycle-level network timing (paper §IV-B).
+//!
+//! Two paths, mirroring the GEMM crate's split:
+//!
+//! - [`forward_quantized`] executes a network functionally: every
+//!   convolution / fully-connected layer quantizes its input per-tensor
+//!   and its (deterministically generated) weights per-channel, runs the
+//!   integer GEMM through the Mix-GEMM kernel and dequantizes; pooling,
+//!   activations and residual adds run in floating point, as ONNX
+//!   Runtime QDQ-style execution does (paper Fig. 3 deploys through
+//!   ONNX Runtime with Mix-GEMM as the BLAS backend).
+//! - [`simulate_network`] times every GEMM-bearing layer on the SoC +
+//!   µ-engine model, deduplicating identical (dimensions, precision)
+//!   pairs — grouped convolutions run one GEMM per group, identical
+//!   across groups, and VGG-style networks repeat layer shapes many
+//!   times.
+
+use std::collections::HashMap;
+
+use mixgemm_binseg::PrecisionConfig;
+use mixgemm_gemm::{
+    Fidelity, GemmDims, GemmOptions, MixGemmKernel, QuantMatrix,
+};
+
+use crate::error::DnnError;
+use crate::graph::Network;
+use crate::im2col::{self, ConvGeom};
+use crate::layer::{ActKind, OpKind};
+use crate::tensor::Shape;
+
+/// Per-network precision assignment.
+///
+/// The paper quantizes every layer to the configuration under test
+/// "except for the first and last layers, which are kept at 8-bit to
+/// preserve accuracy" (§IV-A), and stresses that the single-cycle
+/// `bs.set` reconfiguration makes *per-layer* data-size selection free
+/// (§III-B) — expressed here through [`PrecisionPlan::per_layer`]
+/// overrides.
+#[derive(Clone, Debug)]
+pub struct PrecisionPlan {
+    /// The configuration applied to interior layers.
+    pub default: PrecisionConfig,
+    /// Pin the first and last GEMM layer at `a8-w8`.
+    pub pin_first_last: bool,
+    /// Explicit per-GEMM-layer overrides (by GEMM layer index); takes
+    /// precedence over `default` and the pinning rule.
+    pub overrides: Vec<(usize, PrecisionConfig)>,
+}
+
+impl PrecisionPlan {
+    /// A uniform plan with the paper's first/last-layer pinning.
+    pub fn uniform(default: PrecisionConfig) -> Self {
+        PrecisionPlan {
+            default,
+            pin_first_last: true,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// A fully explicit per-layer plan: `layers[i]` is the configuration
+    /// of the i-th GEMM-bearing layer.
+    pub fn per_layer(default: PrecisionConfig, layers: Vec<PrecisionConfig>) -> Self {
+        PrecisionPlan {
+            default,
+            pin_first_last: false,
+            overrides: layers.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Adds one per-layer override (builder style).
+    pub fn with_override(mut self, layer: usize, precision: PrecisionConfig) -> Self {
+        self.overrides.push((layer, precision));
+        self
+    }
+
+    /// Precision for GEMM layer `index` of `count`.
+    pub fn layer_precision(&self, index: usize, count: usize) -> PrecisionConfig {
+        if let Some(&(_, pc)) = self.overrides.iter().find(|(i, _)| *i == index) {
+            return pc;
+        }
+        if self.pin_first_last && (index == 0 || index + 1 == count) {
+            PrecisionConfig::from_bits(8, 8).expect("8 bits is valid")
+        } else {
+            self.default
+        }
+    }
+}
+
+/// One candidate point for a performance/accuracy Pareto frontier.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ParetoPoint {
+    /// Throughput in GOPS (higher is better).
+    pub gops: f64,
+    /// TOP-1 accuracy in percent (higher is better).
+    pub top1: f64,
+}
+
+/// Returns the indices of the Pareto-optimal points (no other point is
+/// at least as good in both throughput and accuracy and strictly better
+/// in one) — the frontier highlighted in Fig. 7.
+pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points.iter().enumerate().any(|(j, q)| {
+                j != i
+                    && q.gops >= points[i].gops
+                    && q.top1 >= points[i].top1
+                    && (q.gops > points[i].gops || q.top1 > points[i].top1)
+            })
+        })
+        .collect()
+}
+
+/// Performance of one GEMM-bearing layer.
+#[derive(Clone, Debug)]
+pub struct LayerPerf {
+    /// The op (for reporting).
+    pub op: OpKind,
+    /// Per-group GEMM dimensions.
+    pub dims: GemmDims,
+    /// GEMM repetitions (the group count of grouped convolutions).
+    pub reps: u64,
+    /// The precision the layer ran at.
+    pub precision: PrecisionConfig,
+    /// Total cycles across repetitions.
+    pub cycles: u64,
+    /// Total µ-engine busy cycles across repetitions (drives the §IV-C
+    /// energy model).
+    pub busy_cycles: u64,
+    /// Total MACs across repetitions.
+    pub macs: u64,
+}
+
+/// Whole-network performance report.
+#[derive(Clone, Debug)]
+pub struct NetworkPerf {
+    /// Network name.
+    pub name: &'static str,
+    /// SoC preset name.
+    pub soc: &'static str,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Per-layer results in execution order.
+    pub layers: Vec<LayerPerf>,
+}
+
+impl NetworkPerf {
+    /// Total cycles over all GEMM-bearing layers (the paper accounts
+    /// execution time over the convolutional layers).
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total MACs.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// End-to-end seconds at the modelled frequency.
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles() as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Throughput in GOPS (2 operations per MAC).
+    pub fn gops(&self) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            return 0.0;
+        }
+        (2 * self.total_macs()) as f64 / s / 1e9
+    }
+
+    /// Frames per second.
+    pub fn fps(&self) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            1.0 / s
+        }
+    }
+
+    /// Cycles over convolutional layers only — the paper's Fig. 7
+    /// accounting ("the execution time spent on each convolutional
+    /// layer").
+    pub fn conv_cycles(&self) -> u64 {
+        self.conv_layers().map(|l| l.cycles).sum()
+    }
+
+    /// MACs over convolutional layers only.
+    pub fn conv_macs(&self) -> u64 {
+        self.conv_layers().map(|l| l.macs).sum()
+    }
+
+    /// µ-engine busy cycles over convolutional layers only.
+    pub fn conv_busy_cycles(&self) -> u64 {
+        self.conv_layers().map(|l| l.busy_cycles).sum()
+    }
+
+    /// Total µ-engine busy cycles.
+    pub fn total_busy_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.busy_cycles).sum()
+    }
+
+    /// Throughput in GOPS over convolutional layers only.
+    pub fn conv_gops(&self) -> f64 {
+        let cycles = self.conv_cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        (2 * self.conv_macs()) as f64 * self.freq_ghz / cycles as f64
+    }
+
+    fn conv_layers(&self) -> impl Iterator<Item = &LayerPerf> {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Conv2d { .. }))
+    }
+
+    /// Renders a human-readable per-layer table (op, GEMM dims, reps,
+    /// precision, cycle share, GOPS).
+    pub fn layer_table(&self) -> String {
+        use std::fmt::Write;
+        let total = self.total_cycles().max(1) as f64;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>18} {:>5} {:>7} {:>7} {:>7}",
+            "layer", "gemm (MxKxN)", "reps", "prec", "cyc %", "GOPS"
+        );
+        for l in &self.layers {
+            let gops = if l.cycles == 0 {
+                0.0
+            } else {
+                2.0 * l.macs as f64 * self.freq_ghz / l.cycles as f64
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>18} {:>5} {:>7} {:>6.1}% {:>7.2}",
+                l.op.to_string(),
+                l.dims.to_string(),
+                l.reps,
+                l.precision.to_string(),
+                100.0 * l.cycles as f64 / total,
+                gops
+            );
+        }
+        out
+    }
+}
+
+/// The GEMM work of one layer: per-group dimensions plus repetitions.
+pub fn layer_gemm(op: &OpKind, input: Shape) -> Option<(GemmDims, u64)> {
+    match *op {
+        OpKind::Conv2d {
+            out_c,
+            k,
+            stride,
+            pad,
+            groups,
+        } => {
+            let geom = ConvGeom {
+                input,
+                out_c,
+                k,
+                stride,
+                pad,
+                groups,
+            };
+            Some((im2col::conv_gemm_dims(&geom), groups as u64))
+        }
+        OpKind::Linear { out_features } => {
+            Some((GemmDims::new(1, input.numel(), out_features), 1))
+        }
+        _ => None,
+    }
+}
+
+/// Times every GEMM-bearing layer of `net` under `plan` on the default
+/// Sargantana SoC, deduplicating identical (dims, precision) pairs.
+///
+/// # Errors
+///
+/// Propagates GEMM simulation errors.
+pub fn simulate_network(
+    net: &Network,
+    plan: &PrecisionPlan,
+    fidelity: Fidelity,
+) -> Result<NetworkPerf, DnnError> {
+    simulate_network_with(net, plan, fidelity, GemmOptions::new)
+}
+
+/// Like [`simulate_network`] with caller-controlled GEMM options (SoC
+/// preset, Source Buffer depth, blocking) per precision.
+///
+/// # Errors
+///
+/// Propagates GEMM simulation errors.
+pub fn simulate_network_with<F>(
+    net: &Network,
+    plan: &PrecisionPlan,
+    fidelity: Fidelity,
+    mut options: F,
+) -> Result<NetworkPerf, DnnError>
+where
+    F: FnMut(PrecisionConfig) -> GemmOptions,
+{
+    let gemm_count = net.gemm_layer_count();
+    let mut cache: HashMap<(GemmDims, PrecisionConfig), (u64, u64)> = HashMap::new();
+    let mut layers = Vec::new();
+    let mut soc_name = "sargantana-rv64g";
+    let mut freq = 1.2;
+    let mut gemm_index = 0usize;
+    for node in net.nodes() {
+        let input = net.shape(node.inputs[0]);
+        let Some((dims, reps)) = layer_gemm(&node.op, input) else {
+            continue;
+        };
+        let precision = plan.layer_precision(gemm_index, gemm_count);
+        gemm_index += 1;
+        let (cycles_per_gemm, busy_per_gemm) = match cache.get(&(dims, precision)) {
+            Some(&c) => c,
+            None => {
+                let opts = options(precision);
+                soc_name = opts.soc.name;
+                freq = opts.soc.freq_ghz;
+                let report = MixGemmKernel::new(opts).simulate(dims, fidelity)?;
+                let busy = report.pmu.map(|p| p.busy_cycles).unwrap_or(0);
+                cache.insert((dims, precision), (report.cycles, busy));
+                (report.cycles, busy)
+            }
+        };
+        layers.push(LayerPerf {
+            op: node.op,
+            dims,
+            reps,
+            precision,
+            cycles: cycles_per_gemm * reps,
+            busy_cycles: busy_per_gemm * reps,
+            macs: dims.macs() * reps,
+        });
+    }
+    Ok(NetworkPerf {
+        name: net.name(),
+        soc: soc_name,
+        freq_ghz: freq,
+        layers,
+    })
+}
+
+/// A float tensor with its shape, used by the functional runtime.
+#[derive(Clone, Debug)]
+pub struct Tensor {
+    /// CHW shape.
+    pub shape: Shape,
+    /// Row-major CHW data.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Wraps data with a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::DataMismatch`] when sizes disagree.
+    pub fn new(shape: Shape, data: Vec<f32>) -> Result<Self, DnnError> {
+        if shape.numel() != data.len() {
+            return Err(DnnError::DataMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+}
+
+/// Executes `net` functionally with quantized GEMM layers.
+///
+/// Weights are generated deterministically from `seed` (there are no
+/// trained weights in this reproduction; the QAT substrate lives in
+/// `mixgemm-qat`). Each GEMM layer fake-quantizes activations
+/// per-tensor (absmax) and weights per-channel, and computes through the
+/// integer Mix-GEMM kernel. Returns the output tensor.
+///
+/// # Errors
+///
+/// Propagates shape and GEMM errors.
+pub fn forward_quantized(
+    net: &Network,
+    input: &Tensor,
+    plan: &PrecisionPlan,
+    seed: u64,
+) -> Result<Tensor, DnnError> {
+    if input.shape != net.input_shape() {
+        return Err(DnnError::DataMismatch {
+            expected: net.input_shape().numel(),
+            actual: input.data.len(),
+        });
+    }
+    let gemm_count = net.gemm_layer_count();
+    let mut values: Vec<Tensor> = vec![input.clone()];
+    let mut gemm_index = 0usize;
+    for (i, node) in net.nodes().iter().enumerate() {
+        let ins: Vec<&Tensor> = node.inputs.iter().map(|id| &values[id.0]).collect();
+        let out_shape = net.shape(crate::graph::NodeId(i + 1));
+        let out = match node.op {
+            OpKind::Conv2d {
+                out_c,
+                k,
+                stride,
+                pad,
+                groups,
+            } => {
+                let precision = plan.layer_precision(gemm_index, gemm_count);
+                gemm_index += 1;
+                let geom = ConvGeom {
+                    input: ins[0].shape,
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                    groups,
+                };
+                conv_layer(ins[0], &geom, precision, seed ^ (i as u64) << 17)?
+            }
+            OpKind::Linear { out_features } => {
+                let precision = plan.layer_precision(gemm_index, gemm_count);
+                gemm_index += 1;
+                linear_layer(ins[0], out_features, precision, seed ^ (i as u64) << 17)?
+            }
+            OpKind::MaxPool { k, stride, pad } => max_pool(ins[0], k, stride, pad, out_shape),
+            OpKind::GlobalAvgPool => global_avg_pool(ins[0]),
+            OpKind::Activation(a) => activation(ins[0], a),
+            OpKind::Add => Tensor {
+                shape: out_shape,
+                data: ins[0]
+                    .data
+                    .iter()
+                    .zip(&ins[1].data)
+                    .map(|(x, y)| x + y)
+                    .collect(),
+            },
+            OpKind::Scale => scale(ins[0], ins[1]),
+        };
+        values.push(out);
+    }
+    Ok(values.pop().expect("network has at least the input"))
+}
+
+/// Deterministic pseudo-random weights in `[-limit, limit]`.
+fn gen_weights(seed: u64, len: usize, limit: f32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let unit = ((state >> 32) as f32) / (1u64 << 31) as f32 - 1.0;
+            unit * limit
+        })
+        .collect()
+}
+
+/// Quantizes a float slice per-tensor to `op`, returning values + scale.
+fn quantize_per_tensor(
+    data: &[f32],
+    op: mixgemm_binseg::OperandType,
+) -> (Vec<i32>, f32) {
+    let absmax = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    let scale = if absmax > 0.0 {
+        absmax / op.max_value().max(1) as f32
+    } else {
+        1.0
+    };
+    let q = data
+        .iter()
+        .map(|&x| {
+            ((x / scale).round() as i64)
+                .clamp(op.min_value() as i64, op.max_value() as i64) as i32
+        })
+        .collect();
+    (q, scale)
+}
+
+/// Quantizes weights per output channel (leading dimension `channels`).
+fn quantize_per_channel(
+    data: &[f32],
+    channels: usize,
+    op: mixgemm_binseg::OperandType,
+) -> (Vec<i32>, Vec<f32>) {
+    let per = data.len() / channels.max(1);
+    let mut q = Vec::with_capacity(data.len());
+    let mut scales = Vec::with_capacity(channels);
+    for ch in data.chunks(per.max(1)) {
+        let absmax = ch.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let scale = if absmax > 0.0 {
+            absmax / op.max_value().max(1) as f32
+        } else {
+            1.0
+        };
+        scales.push(scale);
+        for &x in ch {
+            q.push(
+                ((x / scale).round() as i64)
+                    .clamp(op.min_value() as i64, op.max_value() as i64) as i32,
+            );
+        }
+    }
+    (q, scales)
+}
+
+fn conv_layer(
+    x: &Tensor,
+    geom: &ConvGeom,
+    precision: PrecisionConfig,
+    seed: u64,
+) -> Result<Tensor, DnnError> {
+    let (oa, ow) = precision.operand_types();
+    let out = geom.output();
+    let cg = geom.input.c / geom.groups;
+    let ng = geom.out_c / geom.groups;
+    let fan_in = (cg * geom.k * geom.k) as f32;
+    let weights_f = gen_weights(seed, geom.out_c * cg * geom.k * geom.k, (2.0 / fan_in).sqrt());
+
+    let (xq, x_scale) = quantize_per_tensor(&x.data, oa);
+    let (wq, w_scales) = quantize_per_channel(&weights_f, geom.out_c, ow);
+
+    let dims = im2col::conv_gemm_dims(geom);
+    let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+    let mut y = vec![0.0f32; out.numel()];
+    for group in 0..geom.groups {
+        let a = QuantMatrix::new(dims.m, dims.k, oa, im2col::im2col_group(&xq, geom, group))?;
+        let b = QuantMatrix::new(dims.k, dims.n, ow, im2col::weights_group(&wq, geom, group))?;
+        let c = kernel.compute_fast(&a, &b)?;
+        for m in 0..dims.m {
+            for col in 0..dims.n {
+                let oc = group * ng + col;
+                y[oc * out.h * out.w + m] =
+                    c[m * dims.n + col] as f32 * x_scale * w_scales[oc];
+            }
+        }
+    }
+    Tensor::new(out, y)
+}
+
+fn linear_layer(
+    x: &Tensor,
+    out_features: usize,
+    precision: PrecisionConfig,
+    seed: u64,
+) -> Result<Tensor, DnnError> {
+    let (oa, ow) = precision.operand_types();
+    let in_features = x.shape.numel();
+    let weights_f = gen_weights(
+        seed,
+        out_features * in_features,
+        (2.0 / in_features as f32).sqrt(),
+    );
+    let (xq, x_scale) = quantize_per_tensor(&x.data, oa);
+    let (wq, w_scales) = quantize_per_channel(&weights_f, out_features, ow);
+
+    // B as K x N: B[k][n] = W[n][k].
+    let mut b_data = vec![0i32; in_features * out_features];
+    for n in 0..out_features {
+        for k in 0..in_features {
+            b_data[k * out_features + n] = wq[n * in_features + k];
+        }
+    }
+    let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+    let a = QuantMatrix::new(1, in_features, oa, xq)?;
+    let b = QuantMatrix::new(in_features, out_features, ow, b_data)?;
+    let c = kernel.compute_fast(&a, &b)?;
+    let y = c
+        .iter()
+        .enumerate()
+        .map(|(n, &v)| v as f32 * x_scale * w_scales[n])
+        .collect();
+    Tensor::new(Shape::flat(out_features), y)
+}
+
+fn max_pool(x: &Tensor, k: usize, stride: usize, pad: usize, out: Shape) -> Tensor {
+    let mut y = vec![f32::NEG_INFINITY; out.numel()];
+    for c in 0..x.shape.c {
+        for oh in 0..out.h {
+            for ow_ in 0..out.w {
+                let mut best = f32::NEG_INFINITY;
+                for kh in 0..k {
+                    for kw in 0..k {
+                        let ih = (oh * stride + kh) as isize - pad as isize;
+                        let iw = (ow_ * stride + kw) as isize - pad as isize;
+                        if ih < 0
+                            || iw < 0
+                            || ih >= x.shape.h as isize
+                            || iw >= x.shape.w as isize
+                        {
+                            continue;
+                        }
+                        best = best.max(
+                            x.data[c * x.shape.h * x.shape.w
+                                + ih as usize * x.shape.w
+                                + iw as usize],
+                        );
+                    }
+                }
+                y[c * out.h * out.w + oh * out.w + ow_] = best;
+            }
+        }
+    }
+    Tensor { shape: out, data: y }
+}
+
+fn global_avg_pool(x: &Tensor) -> Tensor {
+    let hw = (x.shape.h * x.shape.w) as f32;
+    let data = (0..x.shape.c)
+        .map(|c| {
+            x.data[c * x.shape.h * x.shape.w..(c + 1) * x.shape.h * x.shape.w]
+                .iter()
+                .sum::<f32>()
+                / hw
+        })
+        .collect();
+    Tensor {
+        shape: Shape::flat(x.shape.c),
+        data,
+    }
+}
+
+fn activation(x: &Tensor, a: ActKind) -> Tensor {
+    let f = |v: f32| match a {
+        ActKind::Relu => v.max(0.0),
+        ActKind::Relu6 => v.clamp(0.0, 6.0),
+        ActKind::Silu => v / (1.0 + (-v).exp()),
+        ActKind::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+    };
+    Tensor {
+        shape: x.shape,
+        data: x.data.iter().map(|&v| f(v)).collect(),
+    }
+}
+
+fn scale(x: &Tensor, gate: &Tensor) -> Tensor {
+    let hw = x.shape.h * x.shape.w;
+    let data = x
+        .data
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v * gate.data[i / hw])
+        .collect();
+    Tensor {
+        shape: x.shape,
+        data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn precision_plan_pins_boundaries() {
+        let plan = PrecisionPlan::uniform("a4-w4".parse().unwrap());
+        assert_eq!(plan.layer_precision(0, 8).to_string(), "a8-w8");
+        assert_eq!(plan.layer_precision(7, 8).to_string(), "a8-w8");
+        assert_eq!(plan.layer_precision(3, 8).to_string(), "a4-w4");
+    }
+
+    #[test]
+    fn layer_table_renders_every_gemm_layer() {
+        let net = zoo::alexnet();
+        let perf = simulate_network(
+            &net,
+            &PrecisionPlan::uniform("a8-w8".parse().unwrap()),
+            Fidelity::Sampled,
+        )
+        .unwrap();
+        let table = perf.layer_table();
+        assert_eq!(table.lines().count(), 1 + perf.layers.len());
+        assert!(table.contains("conv11x11/4->64"));
+        assert!(table.contains("fc->1000"));
+    }
+
+    #[test]
+    fn per_layer_overrides_take_precedence() {
+        let plan = PrecisionPlan::uniform("a4-w4".parse().unwrap())
+            .with_override(3, "a2-w2".parse().unwrap());
+        assert_eq!(plan.layer_precision(3, 8).to_string(), "a2-w2");
+        assert_eq!(plan.layer_precision(0, 8).to_string(), "a8-w8"); // pinned
+        assert_eq!(plan.layer_precision(4, 8).to_string(), "a4-w4");
+        let explicit = PrecisionPlan::per_layer(
+            "a8-w8".parse().unwrap(),
+            vec!["a6-w6".parse().unwrap(), "a3-w3".parse().unwrap()],
+        );
+        assert_eq!(explicit.layer_precision(0, 2).to_string(), "a6-w6");
+        assert_eq!(explicit.layer_precision(1, 2).to_string(), "a3-w3");
+    }
+
+    #[test]
+    fn pareto_frontier_filters_dominated_points() {
+        let pts = [
+            ParetoPoint { gops: 5.0, top1: 70.0 },
+            ParetoPoint { gops: 8.0, top1: 69.0 },
+            ParetoPoint { gops: 7.0, top1: 68.0 },  // dominated by (8, 69)
+            ParetoPoint { gops: 12.0, top1: 60.0 },
+            ParetoPoint { gops: 4.0, top1: 69.5 },  // dominated by (5, 70)
+        ];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1, 3]);
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn mixed_per_layer_plan_lands_between_uniform_plans() {
+        let net = zoo::alexnet();
+        let count = net.gemm_layer_count();
+        let hi = simulate_network(
+            &net,
+            &PrecisionPlan {
+                default: "a8-w8".parse().unwrap(),
+                pin_first_last: false,
+                overrides: Vec::new(),
+            },
+            Fidelity::Sampled,
+        )
+        .unwrap();
+        let lo = simulate_network(
+            &net,
+            &PrecisionPlan {
+                default: "a2-w2".parse().unwrap(),
+                pin_first_last: false,
+                overrides: Vec::new(),
+            },
+            Fidelity::Sampled,
+        )
+        .unwrap();
+        // Narrow only the second half of the layers.
+        let mut mixed = PrecisionPlan {
+            default: "a8-w8".parse().unwrap(),
+            pin_first_last: false,
+            overrides: Vec::new(),
+        };
+        for i in count / 2..count {
+            mixed = mixed.with_override(i, "a2-w2".parse().unwrap());
+        }
+        let mid = simulate_network(&net, &mixed, Fidelity::Sampled).unwrap();
+        assert!(mid.total_cycles() < hi.total_cycles());
+        assert!(mid.total_cycles() > lo.total_cycles());
+    }
+
+    #[test]
+    fn simulate_alexnet_dedupes_shapes() {
+        let net = zoo::alexnet();
+        let plan = PrecisionPlan::uniform("a8-w8".parse().unwrap());
+        let perf = simulate_network(&net, &plan, Fidelity::Sampled).unwrap();
+        assert_eq!(perf.layers.len(), 8);
+        assert_eq!(perf.total_macs(), net.total_macs());
+        assert!(perf.gops() > 1.0, "alexnet at {:.2} GOPS", perf.gops());
+    }
+
+    #[test]
+    fn narrower_precision_is_faster_network_wide() {
+        let net = zoo::resnet18();
+        let p8 = simulate_network(
+            &net,
+            &PrecisionPlan::uniform("a8-w8".parse().unwrap()),
+            Fidelity::Sampled,
+        )
+        .unwrap();
+        let p2 = simulate_network(
+            &net,
+            &PrecisionPlan::uniform("a2-w2".parse().unwrap()),
+            Fidelity::Sampled,
+        )
+        .unwrap();
+        assert!(p2.total_cycles() < p8.total_cycles());
+        assert!(p2.gops() > p8.gops());
+    }
+
+    #[test]
+    fn forward_tiny_network_runs() {
+        let mut net = Network::new("tiny", Shape::new(3, 12, 12));
+        net.push_seq(OpKind::Conv2d {
+            out_c: 8,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        })
+        .unwrap();
+        net.push_seq(OpKind::Activation(ActKind::Relu)).unwrap();
+        net.push_seq(OpKind::MaxPool {
+            k: 2,
+            stride: 2,
+            pad: 0,
+        })
+        .unwrap();
+        net.push_seq(OpKind::GlobalAvgPool).unwrap();
+        net.push_seq(OpKind::Linear { out_features: 5 }).unwrap();
+
+        let input = Tensor::new(
+            Shape::new(3, 12, 12),
+            (0..3 * 144).map(|i| (i % 17) as f32 * 0.1 - 0.8).collect(),
+        )
+        .unwrap();
+        let plan = PrecisionPlan::uniform("a8-w8".parse().unwrap());
+        let out = forward_quantized(&net, &input, &plan, 42).unwrap();
+        assert_eq!(out.shape, Shape::flat(5));
+        assert!(out.data.iter().all(|v| v.is_finite()));
+        // Deterministic across runs.
+        let out2 = forward_quantized(&net, &input, &plan, 42).unwrap();
+        assert_eq!(out.data, out2.data);
+        // Different seeds give different weights, hence outputs.
+        let out3 = forward_quantized(&net, &input, &plan, 43).unwrap();
+        assert_ne!(out.data, out3.data);
+    }
+
+    #[test]
+    fn quantization_noise_shrinks_with_bits() {
+        // Compare a8-w8 against a3-w3 outputs on the same tiny network:
+        // the 8-bit output must be closer to the (separately computed)
+        // high-precision output.
+        let mut net = Network::new("tiny", Shape::new(2, 8, 8));
+        net.push_seq(OpKind::Conv2d {
+            out_c: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        })
+        .unwrap();
+        net.push_seq(OpKind::GlobalAvgPool).unwrap();
+
+        let input = Tensor::new(
+            Shape::new(2, 8, 8),
+            (0..128).map(|i| ((i * 13) % 31) as f32 * 0.07 - 1.0).collect(),
+        )
+        .unwrap();
+        // No pinning so the single conv actually runs at the plan width.
+        let run = |bits: u8| {
+            let plan = PrecisionPlan {
+                default: PrecisionConfig::from_bits(bits, bits).unwrap(),
+                pin_first_last: false,
+                overrides: Vec::new(),
+            };
+            forward_quantized(&net, &input, &plan, 7).unwrap().data
+        };
+        let hi = run(8);
+        let mid = run(5);
+        let lo = run(3);
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+        };
+        assert!(dist(&hi, &mid) < dist(&hi, &lo));
+    }
+
+    #[test]
+    fn forward_depthwise_and_residual() {
+        let mut net = Network::new("dwres", Shape::new(4, 6, 6));
+        let x = net.output();
+        let dw = net
+            .push(
+                OpKind::Conv2d {
+                    out_c: 4,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                    groups: 4,
+                },
+                &[x],
+            )
+            .unwrap();
+        net.push(OpKind::Add, &[dw, x]).unwrap();
+        let input = Tensor::new(
+            Shape::new(4, 6, 6),
+            (0..144).map(|i| (i % 5) as f32 - 2.0).collect(),
+        )
+        .unwrap();
+        let plan = PrecisionPlan {
+            default: "a8-w8".parse().unwrap(),
+            pin_first_last: false,
+            overrides: Vec::new(),
+        };
+        let out = forward_quantized(&net, &input, &plan, 1).unwrap();
+        assert_eq!(out.shape, Shape::new(4, 6, 6));
+    }
+
+    #[test]
+    fn input_shape_is_validated() {
+        let net = zoo::alexnet();
+        let bad = Tensor::new(Shape::new(3, 32, 32), vec![0.0; 3 * 32 * 32]).unwrap();
+        let plan = PrecisionPlan::uniform("a8-w8".parse().unwrap());
+        assert!(matches!(
+            forward_quantized(&net, &bad, &plan, 0),
+            Err(DnnError::DataMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,75 @@
+use std::fmt;
+
+/// A single-image (batch 1) activation shape in CHW order.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Shape {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Shape {
+    /// Creates a CHW shape.
+    pub const fn new(c: usize, h: usize, w: usize) -> Self {
+        Shape { c, h, w }
+    }
+
+    /// A flat (1-dimensional) shape, as produced by global pooling or
+    /// consumed by fully-connected layers.
+    pub const fn flat(features: usize) -> Self {
+        Shape {
+            c: features,
+            h: 1,
+            w: 1,
+        }
+    }
+
+    /// Total number of elements.
+    pub const fn numel(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Spatial output extent of a convolution/pool window; zero when the
+    /// window does not fit the padded input.
+    pub fn conv_out(extent: usize, k: usize, stride: usize, pad: usize) -> usize {
+        let padded = extent + 2 * pad;
+        if padded < k {
+            0
+        } else {
+            (padded - k) / stride + 1
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_out_arithmetic() {
+        // AlexNet conv1: 224, k11, s4, p2 -> 55.
+        assert_eq!(Shape::conv_out(224, 11, 4, 2), 55);
+        // 3x3 stride-1 pad-1 preserves extent.
+        assert_eq!(Shape::conv_out(56, 3, 1, 1), 56);
+        // 7x7 stride-2 pad-3 on 224 -> 112.
+        assert_eq!(Shape::conv_out(224, 7, 2, 3), 112);
+        // Degenerate window larger than padded input.
+        assert_eq!(Shape::conv_out(2, 7, 2, 0), 0);
+    }
+
+    #[test]
+    fn numel_and_flat() {
+        assert_eq!(Shape::new(3, 224, 224).numel(), 150_528);
+        assert_eq!(Shape::flat(1000).numel(), 1000);
+        assert_eq!(Shape::new(3, 4, 5).to_string(), "3x4x5");
+    }
+}

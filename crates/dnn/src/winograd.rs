@@ -1,0 +1,277 @@
+//! Winograd F(2x2, 3x3) convolution over quantized integers.
+//!
+//! The paper's background (§II-A) contrasts GEMM-based lowering against
+//! "fast algorithms like FFTs or Winograd", noting they are "efficient
+//! only for certain dimensions of the layer, and have additional
+//! limitations when applied to quantized values" (citing Meng &
+//! Brothers [49]). This module makes that claim executable:
+//!
+//! - [`winograd_conv3x3`] implements F(2x2, 3x3) exactly over integers
+//!   (the fractional filter-transform coefficients are scaled by 2 per
+//!   dimension, making the final division by 4 exact), so it can be
+//!   validated bit-for-bit against the direct convolution;
+//! - [`transform_ranges`] measures the intermediate value growth the
+//!   transforms introduce — the reason quantized Winograd needs wider
+//!   datapaths (and why Mix-GEMM's ability to keep the *GEMM* lowering
+//!   fast at narrow widths is the more general answer).
+//!
+//! Only stride-1 3x3 kernels qualify — exactly the "certain dimensions"
+//! restriction the paper points out; everything else must fall back to
+//! im2col + GEMM.
+
+use crate::im2col::ConvGeom;
+
+/// `true` when a convolution qualifies for the F(2x2, 3x3) fast path.
+pub fn applicable(geom: &ConvGeom) -> bool {
+    geom.k == 3 && geom.stride == 1 && geom.groups == 1
+}
+
+/// Input-tile transform `B^T d B` for one 4x4 tile (integer, exact).
+fn transform_input(d: &[i64; 16]) -> [i64; 16] {
+    // B^T = [1  0 -1  0; 0  1  1  0; 0 -1  1  0; 0  1  0 -1]
+    let mut tmp = [0i64; 16];
+    for c in 0..4 {
+        let (d0, d1, d2, d3) = (d[c], d[4 + c], d[8 + c], d[12 + c]);
+        tmp[c] = d0 - d2;
+        tmp[4 + c] = d1 + d2;
+        tmp[8 + c] = d2 - d1;
+        tmp[12 + c] = d1 - d3;
+    }
+    let mut out = [0i64; 16];
+    for r in 0..4 {
+        let (t0, t1, t2, t3) = (tmp[4 * r], tmp[4 * r + 1], tmp[4 * r + 2], tmp[4 * r + 3]);
+        out[4 * r] = t0 - t2;
+        out[4 * r + 1] = t1 + t2;
+        out[4 * r + 2] = t2 - t1;
+        out[4 * r + 3] = t1 - t3;
+    }
+    out
+}
+
+/// Filter transform `(2G) g (2G)^T` (scaled by 2 per dimension so it
+/// stays integral; the scaling is compensated by the final `/ 4`).
+fn transform_filter(g: &[i64; 9]) -> [i64; 16] {
+    // 2G = [2 0 0; 1 1 1; 1 -1 1; 0 0 2]
+    let mut tmp = [0i64; 12]; // 4x3
+    for c in 0..3 {
+        let (g0, g1, g2) = (g[c], g[3 + c], g[6 + c]);
+        tmp[c] = 2 * g0;
+        tmp[3 + c] = g0 + g1 + g2;
+        tmp[6 + c] = g0 - g1 + g2;
+        tmp[9 + c] = 2 * g2;
+    }
+    let mut out = [0i64; 16];
+    for r in 0..4 {
+        let (t0, t1, t2) = (tmp[3 * r], tmp[3 * r + 1], tmp[3 * r + 2]);
+        out[4 * r] = 2 * t0;
+        out[4 * r + 1] = t0 + t1 + t2;
+        out[4 * r + 2] = t0 - t1 + t2;
+        out[4 * r + 3] = 2 * t2;
+    }
+    out
+}
+
+/// Output transform `A^T m A` reducing a 4x4 tile to 2x2 outputs.
+fn transform_output(m: &[i64; 16]) -> [i64; 4] {
+    // A^T = [1 1 1 0; 0 1 -1 -1]
+    let mut tmp = [0i64; 8]; // 2x4
+    for c in 0..4 {
+        let (m0, m1, m2, m3) = (m[c], m[4 + c], m[8 + c], m[12 + c]);
+        tmp[c] = m0 + m1 + m2;
+        tmp[4 + c] = m1 - m2 - m3;
+    }
+    let mut out = [0i64; 4];
+    for r in 0..2 {
+        let (t0, t1, t2, t3) = (tmp[4 * r], tmp[4 * r + 1], tmp[4 * r + 2], tmp[4 * r + 3]);
+        out[2 * r] = t0 + t1 + t2;
+        out[2 * r + 1] = t1 - t2 - t3;
+    }
+    out
+}
+
+/// Exact integer Winograd F(2x2, 3x3) convolution (stride 1, `pad`
+/// zero padding), returning the same accumulators as the direct method.
+///
+/// Intermediates are held in `i64`: the transforms grow values by up to
+/// 4x (input side) and 8x (scaled filter side), which is precisely the
+/// datapath-width cost [49] identifies for quantized Winograd.
+///
+/// # Panics
+///
+/// Panics when the geometry is not [`applicable`] or `data`/`weights`
+/// do not match it (caller bugs).
+pub fn winograd_conv3x3(data: &[i32], weights: &[i32], geom: &ConvGeom) -> Vec<i64> {
+    assert!(applicable(geom), "only 3x3 stride-1 dense convolutions");
+    assert_eq!(data.len(), geom.input.numel());
+    assert_eq!(weights.len(), geom.out_c * geom.input.c * 9);
+    let out = geom.output();
+    let (h, w) = (geom.input.h as isize, geom.input.w as isize);
+    let pad = geom.pad as isize;
+    let mut y = vec![0i64; out.numel()];
+
+    // Pre-transform every filter once.
+    let mut u = vec![[0i64; 16]; geom.out_c * geom.input.c];
+    for oc in 0..geom.out_c {
+        for ic in 0..geom.input.c {
+            let base = (oc * geom.input.c + ic) * 9;
+            let mut g = [0i64; 9];
+            for (gi, wv) in g.iter_mut().zip(&weights[base..base + 9]) {
+                *gi = *wv as i64;
+            }
+            u[oc * geom.input.c + ic] = transform_filter(&g);
+        }
+    }
+
+    // 2x2 output tiles.
+    for ty in (0..out.h).step_by(2) {
+        for tx in (0..out.w).step_by(2) {
+            for oc in 0..geom.out_c {
+                let mut m = [0i64; 16];
+                for ic in 0..geom.input.c {
+                    // Gather the 4x4 input tile (with zero padding).
+                    let mut d = [0i64; 16];
+                    for dy in 0..4isize {
+                        for dx in 0..4isize {
+                            let iy = ty as isize + dy - pad;
+                            let ix = tx as isize + dx - pad;
+                            if iy >= 0 && ix >= 0 && iy < h && ix < w {
+                                d[(dy * 4 + dx) as usize] = data[ic * (h * w) as usize
+                                    + (iy * w + ix) as usize]
+                                    as i64;
+                            }
+                        }
+                    }
+                    let v = transform_input(&d);
+                    let uf = &u[oc * geom.input.c + ic];
+                    for i in 0..16 {
+                        m[i] += v[i] * uf[i];
+                    }
+                }
+                let o = transform_output(&m);
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let (py, px) = (ty + dy, tx + dx);
+                        if py < out.h && px < out.w {
+                            debug_assert_eq!(o[dy * 2 + dx] % 4, 0);
+                            y[oc * out.h * out.w + py * out.w + px] = o[dy * 2 + dx] / 4;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Worst-case magnitude growth of the Winograd transforms for operands
+/// of the given bit widths — the extra datapath bits quantized Winograd
+/// demands (§II-A / [49]).
+#[derive(Copy, Clone, Debug)]
+pub struct TransformRanges {
+    /// Maximum magnitude after the input transform.
+    pub input_max: i64,
+    /// Maximum magnitude after the (scaled) filter transform.
+    pub filter_max: i64,
+    /// Extra bits the elementwise-product operands need versus the raw
+    /// quantized widths.
+    pub extra_operand_bits: u32,
+}
+
+/// Computes the transform ranges for `a_bits` activations and `w_bits`
+/// weights (both treated at their extreme magnitudes).
+pub fn transform_ranges(a_bits: u8, w_bits: u8) -> TransformRanges {
+    let a_max = (1i64 << a_bits) - 1; // unsigned activations
+    let w_max = 1i64 << (w_bits - 1); // signed weights
+    // |B^T d B| <= 4 * a_max (each 1-D pass at most doubles).
+    let input_max = 4 * a_max;
+    // |(2G) g (2G)^T| <= 16 * w_max (rows of 2G sum to at most 4... the
+    // exact bound: per pass max factor 4 on the corner rows).
+    let filter_max = 16 * w_max;
+    let raw_bits = (a_bits + w_bits) as u32;
+    let product_bits = 64 - ((input_max * filter_max) as u64).leading_zeros();
+    TransformRanges {
+        input_max,
+        filter_max,
+        extra_operand_bits: product_bits.saturating_sub(raw_bits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::im2col::direct_conv;
+    use crate::tensor::Shape;
+
+    fn geom(c: usize, h: usize, out_c: usize, pad: usize) -> ConvGeom {
+        ConvGeom {
+            input: Shape::new(c, h, h),
+            out_c,
+            k: 3,
+            stride: 1,
+            pad,
+            groups: 1,
+        }
+    }
+
+    #[test]
+    fn winograd_equals_direct_conv() {
+        for g in [geom(3, 8, 4, 1), geom(2, 10, 3, 1), geom(1, 6, 1, 0), geom(4, 7, 2, 1)] {
+            let data: Vec<i32> = (0..g.input.numel())
+                .map(|i| ((i * 7 + 3) % 256) as i32)
+                .collect();
+            let weights: Vec<i32> = (0..g.out_c * g.input.c * 9)
+                .map(|i| ((i * 11) % 255) as i32 - 127)
+                .collect();
+            assert_eq!(
+                winograd_conv3x3(&data, &weights, &g),
+                direct_conv(&data, &weights, &g),
+                "{g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn applicability_is_restrictive() {
+        // Only 3x3 stride-1 dense convolutions qualify — the paper's
+        // "efficient only for certain dimensions" restriction.
+        assert!(applicable(&geom(3, 8, 4, 1)));
+        let mut g = geom(3, 8, 4, 1);
+        g.k = 5;
+        assert!(!applicable(&g));
+        let mut g = geom(3, 8, 4, 1);
+        g.stride = 2;
+        assert!(!applicable(&g));
+        let mut g = geom(4, 8, 4, 1);
+        g.groups = 4;
+        assert!(!applicable(&g));
+    }
+
+    #[test]
+    fn quantized_winograd_needs_wider_datapaths() {
+        // §II-A / [49]: the transforms inflate the operand ranges, so
+        // the elementwise products need several more bits than the raw
+        // a-bits x w-bits multiply — at 8-bit, beyond a 16-bit datapath.
+        let r8 = transform_ranges(8, 8);
+        assert!(r8.input_max > 255);
+        assert!(r8.extra_operand_bits >= 5, "{r8:?}");
+        // The binary-segmentation clustering width would have to grow by
+        // the same amount, collapsing the input-cluster size — Winograd
+        // and binary segmentation compose poorly, which is why the paper
+        // sticks to the GEMM lowering.
+        let r2 = transform_ranges(2, 2);
+        assert!(r2.extra_operand_bits >= 5);
+    }
+
+    #[test]
+    fn odd_output_extents_are_handled() {
+        // 7x7 output: the last tile row/column is partial.
+        let g = geom(2, 7, 2, 1);
+        let data: Vec<i32> = (0..g.input.numel()).map(|i| (i % 64) as i32).collect();
+        let weights: Vec<i32> =
+            (0..g.out_c * g.input.c * 9).map(|i| (i % 15) as i32 - 7).collect();
+        assert_eq!(
+            winograd_conv3x3(&data, &weights, &g),
+            direct_conv(&data, &weights, &g)
+        );
+    }
+}

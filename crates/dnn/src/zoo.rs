@@ -1,0 +1,341 @@
+//! The six image-classification CNNs of the evaluation (paper §IV):
+//! AlexNet, VGG-16, ResNet-18, MobileNet-V1, RegNetX-400MF and
+//! EfficientNet-B0, in their standard (torchvision) topologies at
+//! 3x224x224 input.
+//!
+//! Each builder is validated by MAC-count tests against the published
+//! figures for these architectures.
+
+use crate::graph::{Network, NodeId};
+use crate::layer::{ActKind, OpKind};
+use crate::tensor::Shape;
+
+fn conv(out_c: usize, k: usize, stride: usize, pad: usize) -> OpKind {
+    OpKind::Conv2d {
+        out_c,
+        k,
+        stride,
+        pad,
+        groups: 1,
+    }
+}
+
+fn gconv(out_c: usize, k: usize, stride: usize, pad: usize, groups: usize) -> OpKind {
+    OpKind::Conv2d {
+        out_c,
+        k,
+        stride,
+        pad,
+        groups,
+    }
+}
+
+const RELU: OpKind = OpKind::Activation(ActKind::Relu);
+const SILU: OpKind = OpKind::Activation(ActKind::Silu);
+
+/// Builds every zoo network.
+pub fn all_networks() -> Vec<Network> {
+    vec![
+        alexnet(),
+        vgg16(),
+        resnet18(),
+        mobilenet_v1(),
+        regnet_x_400mf(),
+        efficientnet_b0(),
+    ]
+}
+
+/// AlexNet (Krizhevsky et al., 2012): 5 convolutions + 3 FC layers.
+pub fn alexnet() -> Network {
+    let mut net = Network::new("alexnet", Shape::new(3, 224, 224));
+    let s = &mut net;
+    seq(s, conv(64, 11, 4, 2));
+    seq(s, RELU);
+    seq(s, OpKind::MaxPool { k: 3, stride: 2, pad: 0 });
+    seq(s, conv(192, 5, 1, 2));
+    seq(s, RELU);
+    seq(s, OpKind::MaxPool { k: 3, stride: 2, pad: 0 });
+    seq(s, conv(384, 3, 1, 1));
+    seq(s, RELU);
+    seq(s, conv(256, 3, 1, 1));
+    seq(s, RELU);
+    seq(s, conv(256, 3, 1, 1));
+    seq(s, RELU);
+    seq(s, OpKind::MaxPool { k: 3, stride: 2, pad: 0 });
+    seq(s, OpKind::Linear { out_features: 4096 });
+    seq(s, RELU);
+    seq(s, OpKind::Linear { out_features: 4096 });
+    seq(s, RELU);
+    seq(s, OpKind::Linear { out_features: 1000 });
+    net
+}
+
+/// VGG-16 (Simonyan & Zisserman, 2015): 13 convolutions + 3 FC layers.
+pub fn vgg16() -> Network {
+    let mut net = Network::new("vgg-16", Shape::new(3, 224, 224));
+    let s = &mut net;
+    let blocks: [&[usize]; 5] = [&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+    for widths in blocks {
+        for &w in widths {
+            seq(s, conv(w, 3, 1, 1));
+            seq(s, RELU);
+        }
+        seq(s, OpKind::MaxPool { k: 2, stride: 2, pad: 0 });
+    }
+    seq(s, OpKind::Linear { out_features: 4096 });
+    seq(s, RELU);
+    seq(s, OpKind::Linear { out_features: 4096 });
+    seq(s, RELU);
+    seq(s, OpKind::Linear { out_features: 1000 });
+    net
+}
+
+/// ResNet-18 (He et al., 2016): 4 stages of 2 basic blocks.
+pub fn resnet18() -> Network {
+    let mut net = Network::new("resnet-18", Shape::new(3, 224, 224));
+    let s = &mut net;
+    seq(s, conv(64, 7, 2, 3));
+    seq(s, RELU);
+    seq(s, OpKind::MaxPool { k: 3, stride: 2, pad: 1 });
+    let mut channels = 64;
+    for (stage, &width) in [64usize, 128, 256, 512].iter().enumerate() {
+        for block in 0..2 {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let x = s.output();
+            let c1 = push(s, conv(width, 3, stride, 1), &[x]);
+            let r1 = push(s, RELU, &[c1]);
+            let c2 = push(s, conv(width, 3, 1, 1), &[r1]);
+            let shortcut = if stride != 1 || channels != width {
+                push(s, conv(width, 1, stride, 0), &[x])
+            } else {
+                x
+            };
+            let sum = push(s, OpKind::Add, &[c2, shortcut]);
+            push(s, RELU, &[sum]);
+            channels = width;
+        }
+    }
+    seq(s, OpKind::GlobalAvgPool);
+    seq(s, OpKind::Linear { out_features: 1000 });
+    net
+}
+
+/// MobileNet-V1 (Howard et al., 2017): 13 depthwise-separable pairs.
+pub fn mobilenet_v1() -> Network {
+    let mut net = Network::new("mobilenet-v1", Shape::new(3, 224, 224));
+    let s = &mut net;
+    seq(s, conv(32, 3, 2, 1));
+    seq(s, RELU);
+    // (stride of the depthwise conv, output channels of the pointwise).
+    let pairs: [(usize, usize); 13] = [
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
+    ];
+    let mut channels = 32;
+    for (stride, out_c) in pairs {
+        seq(s, gconv(channels, 3, stride, 1, channels)); // depthwise
+        seq(s, RELU);
+        seq(s, conv(out_c, 1, 1, 0)); // pointwise
+        seq(s, RELU);
+        channels = out_c;
+    }
+    seq(s, OpKind::GlobalAvgPool);
+    seq(s, OpKind::Linear { out_features: 1000 });
+    net
+}
+
+/// RegNetX-400MF (Radosavovic et al., 2020, as shipped by torchvision):
+/// depths [1, 2, 7, 12], widths [32, 64, 160, 400], group width 16,
+/// bottleneck ratio 1.
+pub fn regnet_x_400mf() -> Network {
+    let mut net = Network::new("regnet-x-400mf", Shape::new(3, 224, 224));
+    let s = &mut net;
+    seq(s, conv(32, 3, 2, 1));
+    seq(s, RELU);
+    let mut channels = 32;
+    for (&width, &depth) in [32usize, 64, 160, 400].iter().zip([1usize, 2, 7, 12].iter()) {
+        for block in 0..depth {
+            let stride = if block == 0 { 2 } else { 1 };
+            let x = s.output();
+            let c1 = push(s, conv(width, 1, 1, 0), &[x]);
+            let r1 = push(s, RELU, &[c1]);
+            let c2 = push(s, gconv(width, 3, stride, 1, width / 16), &[r1]);
+            let r2 = push(s, RELU, &[c2]);
+            let c3 = push(s, conv(width, 1, 1, 0), &[r2]);
+            let shortcut = if stride != 1 || channels != width {
+                push(s, conv(width, 1, stride, 0), &[x])
+            } else {
+                x
+            };
+            let sum = push(s, OpKind::Add, &[c3, shortcut]);
+            push(s, RELU, &[sum]);
+            channels = width;
+        }
+    }
+    seq(s, OpKind::GlobalAvgPool);
+    seq(s, OpKind::Linear { out_features: 1000 });
+    net
+}
+
+/// EfficientNet-B0 (Tan & Le, 2019): MBConv blocks with squeeze-and-
+/// excite and SiLU activations.
+pub fn efficientnet_b0() -> Network {
+    let mut net = Network::new("efficientnet-b0", Shape::new(3, 224, 224));
+    let s = &mut net;
+    seq(s, conv(32, 3, 2, 1));
+    seq(s, SILU);
+    // (expand ratio, kernel, stride, output channels, repeats).
+    let stages: [(usize, usize, usize, usize, usize); 7] = [
+        (1, 3, 1, 16, 1),
+        (6, 3, 2, 24, 2),
+        (6, 5, 2, 40, 2),
+        (6, 3, 2, 80, 3),
+        (6, 5, 1, 112, 3),
+        (6, 5, 2, 192, 4),
+        (6, 3, 1, 320, 1),
+    ];
+    let mut channels = 32;
+    for (expand, k, stage_stride, out_c, repeats) in stages {
+        for r in 0..repeats {
+            let stride = if r == 0 { stage_stride } else { 1 };
+            channels = mbconv(s, channels, expand, k, stride, out_c);
+        }
+    }
+    seq(s, conv(1280, 1, 1, 0));
+    seq(s, SILU);
+    seq(s, OpKind::GlobalAvgPool);
+    seq(s, OpKind::Linear { out_features: 1000 });
+    net
+}
+
+/// One MBConv block: expand 1x1 → depthwise kxk → SE → project 1x1,
+/// with a residual when the shape is preserved. Returns the output
+/// channel count.
+fn mbconv(
+    s: &mut Network,
+    in_c: usize,
+    expand: usize,
+    k: usize,
+    stride: usize,
+    out_c: usize,
+) -> usize {
+    let x = s.output();
+    let mid = in_c * expand;
+    let mut cur = x;
+    if expand != 1 {
+        cur = push(s, conv(mid, 1, 1, 0), &[cur]);
+        cur = push(s, SILU, &[cur]);
+    }
+    cur = push(s, gconv(mid, k, stride, k / 2, mid), &[cur]);
+    cur = push(s, SILU, &[cur]);
+    // Squeeze-and-excite with a reduction of in_c / 4 (ratio 0.25 of the
+    // block's input channels).
+    let se_c = (in_c / 4).max(1);
+    let gap = push(s, OpKind::GlobalAvgPool, &[cur]);
+    let fc1 = push(s, OpKind::Linear { out_features: se_c }, &[gap]);
+    let a1 = push(s, SILU, &[fc1]);
+    let fc2 = push(s, OpKind::Linear { out_features: mid }, &[a1]);
+    let gate = push(s, OpKind::Activation(ActKind::Sigmoid), &[fc2]);
+    cur = push(s, OpKind::Scale, &[cur, gate]);
+    cur = push(s, conv(out_c, 1, 1, 0), &[cur]);
+    if stride == 1 && in_c == out_c {
+        cur = push(s, OpKind::Add, &[cur, x]);
+    }
+    // Make `cur` the network tail for the next sequential op.
+    debug_assert_eq!(cur, s.output());
+    out_c
+}
+
+fn seq(net: &mut Network, op: OpKind) -> NodeId {
+    net.push_seq(op).expect("zoo networks are well-formed")
+}
+
+fn push(net: &mut Network, op: OpKind, inputs: &[NodeId]) -> NodeId {
+    net.push(op, inputs).expect("zoo networks are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gmacs(net: &Network) -> f64 {
+        net.total_macs() as f64 / 1e9
+    }
+
+    #[test]
+    fn alexnet_macs_match_literature() {
+        let net = alexnet();
+        // ~0.71 GMAC (0.655 conv + 0.059 FC) for single-crop 224x224.
+        let g = gmacs(&net);
+        assert!((0.65..0.78).contains(&g), "alexnet at {g:.3} GMAC");
+        assert_eq!(net.gemm_layer_count(), 8);
+        assert_eq!(net.output_shape(), Shape::flat(1000));
+    }
+
+    #[test]
+    fn vgg16_macs_match_literature() {
+        let g = gmacs(&vgg16());
+        // ~15.5 GMAC.
+        assert!((15.0..16.0).contains(&g), "vgg-16 at {g:.3} GMAC");
+        assert_eq!(vgg16().gemm_layer_count(), 16);
+    }
+
+    #[test]
+    fn resnet18_macs_match_literature() {
+        let g = gmacs(&resnet18());
+        // ~1.82 GMAC.
+        assert!((1.7..1.95).contains(&g), "resnet-18 at {g:.3} GMAC");
+        assert_eq!(resnet18().output_shape(), Shape::flat(1000));
+    }
+
+    #[test]
+    fn mobilenet_v1_macs_match_literature() {
+        let g = gmacs(&mobilenet_v1());
+        // ~0.57 GMAC.
+        assert!((0.52..0.62).contains(&g), "mobilenet-v1 at {g:.3} GMAC");
+        // 1 stem + 13 dw + 13 pw + 1 fc = 28 GEMM layers.
+        assert_eq!(mobilenet_v1().gemm_layer_count(), 28);
+    }
+
+    #[test]
+    fn regnet_x_400mf_macs_match_literature() {
+        let g = gmacs(&regnet_x_400mf());
+        // The "400MF" name is the design target: ~0.4 GFLOP multiply-adds.
+        assert!((0.38..0.46).contains(&g), "regnet at {g:.3} GMAC");
+    }
+
+    #[test]
+    fn efficientnet_b0_macs_match_literature() {
+        let g = gmacs(&efficientnet_b0());
+        // ~0.39 GMAC.
+        assert!((0.36..0.45).contains(&g), "efficientnet-b0 at {g:.3} GMAC");
+        assert_eq!(efficientnet_b0().output_shape(), Shape::flat(1000));
+    }
+
+    #[test]
+    fn all_networks_build_and_classify() {
+        let nets = all_networks();
+        assert_eq!(nets.len(), 6);
+        for net in nets {
+            assert_eq!(net.output_shape(), Shape::flat(1000), "{}", net.name());
+            assert!(net.total_macs() > 0);
+        }
+    }
+
+    #[test]
+    fn resnet18_has_downsample_convs() {
+        // 17 weight convs + 3 downsample 1x1 convs + 1 fc = 21.
+        assert_eq!(resnet18().gemm_layer_count(), 21);
+    }
+}

@@ -1,0 +1,143 @@
+//! Asymmetric (non-zero zero-point) quantized GEMM.
+//!
+//! The paper trains with zero-points fixed at zero (§IV-A) so the
+//! µ-engine multiplies raw quantized values; but the acceleration
+//! strategy "applies to uniform affine integer quantization" in general
+//! (§II-A, Eq. 1 with `z != 0`). The standard lowering keeps the inner
+//! loop zero-point-free:
+//!
+//! ```text
+//! sum_k (Aq[i,k] - za)(Bq[k,j] - zb)
+//!   = sum_k Aq Bq  -  zb * rowsum_A[i]  -  za * colsum_B[j]  +  K za zb
+//! ```
+//!
+//! so the µ-engine computes the raw product term exactly as in the
+//! symmetric case, and O(M + N) precomputed sums provide the correction
+//! — this is also how GEMMLowp handles its asymmetric operands.
+
+use crate::error::GemmError;
+use crate::kernel::MixGemmKernel;
+use crate::matrix::QuantMatrix;
+
+/// Zero-points of an asymmetric GEMM.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ZeroPoints {
+    /// Activation (A-side) zero-point.
+    pub za: i32,
+    /// Weight (B-side) zero-point.
+    pub zb: i32,
+}
+
+/// Computes `C[i,j] = sum_k (A[i,k] - za) * (B[k,j] - zb)` using the
+/// binary-segmentation kernel for the raw product term and the rank-1
+/// zero-point corrections outside the inner loop.
+///
+/// # Errors
+///
+/// Propagates dimension/value errors from the kernel.
+pub fn compute_asymmetric(
+    kernel: &MixGemmKernel,
+    a: &QuantMatrix,
+    b: &QuantMatrix,
+    zp: ZeroPoints,
+) -> Result<Vec<i64>, GemmError> {
+    let raw = kernel.compute(a, b)?;
+    Ok(apply_corrections(&raw, a, b, zp))
+}
+
+/// The same lowering over the fast functional path (used by big layers).
+///
+/// # Errors
+///
+/// Propagates dimension errors.
+pub fn compute_asymmetric_fast(
+    kernel: &MixGemmKernel,
+    a: &QuantMatrix,
+    b: &QuantMatrix,
+    zp: ZeroPoints,
+) -> Result<Vec<i64>, GemmError> {
+    let raw = kernel.compute_fast(a, b)?;
+    Ok(apply_corrections(&raw, a, b, zp))
+}
+
+fn apply_corrections(raw: &[i64], a: &QuantMatrix, b: &QuantMatrix, zp: ZeroPoints) -> Vec<i64> {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if zp == ZeroPoints::default() {
+        return raw.to_vec();
+    }
+    let row_sums: Vec<i64> = (0..m)
+        .map(|i| a.row(i).iter().map(|&v| v as i64).sum())
+        .collect();
+    let col_sums: Vec<i64> = (0..n)
+        .map(|j| (0..k).map(|p| b.get(p, j) as i64).sum())
+        .collect();
+    let constant = k as i64 * zp.za as i64 * zp.zb as i64;
+    raw.iter()
+        .enumerate()
+        .map(|(idx, &v)| {
+            let (i, j) = (idx / n, idx % n);
+            v - zp.zb as i64 * row_sums[i] - zp.za as i64 * col_sums[j] + constant
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::GemmOptions;
+    use mixgemm_binseg::PrecisionConfig;
+
+    fn setup(pc: &str) -> (MixGemmKernel, QuantMatrix, QuantMatrix) {
+        let precision: PrecisionConfig = pc.parse().unwrap();
+        let (oa, ow) = precision.operand_types();
+        let a = QuantMatrix::from_fn(7, 33, oa, |i, k| {
+            let span = (oa.max_value() - oa.min_value() + 1) as usize;
+            oa.min_value() + ((i * 33 + k * 5) % span) as i32
+        });
+        let b = QuantMatrix::from_fn(33, 5, ow, |k, j| {
+            let span = (ow.max_value() - ow.min_value() + 1) as usize;
+            ow.min_value() + ((k * 5 + j * 11) % span) as i32
+        });
+        (MixGemmKernel::new(GemmOptions::new(precision)), a, b)
+    }
+
+    fn direct(a: &QuantMatrix, b: &QuantMatrix, zp: ZeroPoints) -> Vec<i64> {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut c = vec![0i64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += (a.get(i, p) - zp.za) as i64
+                        * (b.get(p, j) - zp.zb) as i64;
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn corrections_match_direct_expansion() {
+        for (pc, za, zb) in [
+            ("a8-w8", 128, -3),
+            ("a8-w8", 0, 5),
+            ("a4-w4", 8, 0),
+            ("a5-w3", -7, 2),
+            ("a2-w2", 2, -1),
+        ] {
+            let (kernel, a, b) = setup(pc);
+            let zp = ZeroPoints { za, zb };
+            let got = compute_asymmetric(&kernel, &a, &b, zp).unwrap();
+            assert_eq!(got, direct(&a, &b, zp), "{pc} za={za} zb={zb}");
+            let fast = compute_asymmetric_fast(&kernel, &a, &b, zp).unwrap();
+            assert_eq!(fast, got);
+        }
+    }
+
+    #[test]
+    fn zero_zero_points_are_the_symmetric_path() {
+        let (kernel, a, b) = setup("a8-w8");
+        let symmetric = kernel.compute(&a, &b).unwrap();
+        let asym = compute_asymmetric(&kernel, &a, &b, ZeroPoints::default()).unwrap();
+        assert_eq!(symmetric, asym);
+    }
+}

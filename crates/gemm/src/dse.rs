@@ -1,0 +1,287 @@
+//! The design-space exploration of paper §III-C and the cache
+//! sensitivity study of §IV-B.
+//!
+//! Three explorations are reproduced:
+//!
+//! 1. **Blocking parameters (Table I)** — [`analytical_params`] derives
+//!    `mc/nc/kc/mr/nr` from the SoC cache geometry following the
+//!    analytical model of Low et al. [45], and
+//!    [`validate_params_by_simulation`] confirms the analytical optimum
+//!    against simulated neighbours.
+//! 2. **Source Buffer depth** — [`srcbuf_depth_sweep`] measures the
+//!    full-buffer stall share and `bs.get` stall share for depths 8, 16
+//!    and 32 across data-size configurations (paper: 17.8 %, 14.3 %,
+//!    11.2 % full-buffer stalls; `bs.get` stalls only at depth 32).
+//! 3. **Cache sizes** — [`cache_sweep`] re-times the GEMM suite with
+//!    reduced L1/L2 (paper: −5.2 % for L1 64→16 KB, −7 % for L2
+//!    512→64 KB, −11.8 % for both).
+
+use mixgemm_binseg::PrecisionConfig;
+use mixgemm_soc::{presets, SocConfig};
+use mixgemm_uengine::DEFAULT_ACCMEM_SLOTS;
+
+use crate::error::GemmError;
+use crate::kernel::{Fidelity, GemmOptions, MixGemmKernel};
+use crate::matrix::GemmDims;
+use crate::params::BlisParams;
+
+/// Derives BLIS blocking parameters from the SoC cache geometry,
+/// following the analytical model of [45] (paper §II-C, §III-C):
+///
+/// - `mr = nr = sqrt(AccMem)`: the C µ-panel lives in the AccMem, whose
+///   16 entries set `mr = nr = 4`; this also balances the 32-entry
+///   register file between A and B µ-vector slices (`kua*mr + kub*nr <=
+///   32` with `kua = kub = 4`).
+/// - `kc`: one A µ-panel (`mr x kc`) plus one B µ-panel (`nr x kc`) must
+///   fit half the L1 alongside the streams; sized at the worst-case
+///   8-byte element so the same blocking serves the DGEMM baseline:
+///   `kc = L1 / (2 * (mr + nr) * 8)`.
+/// - `mc`: the packed A panel (`mc x kc` elements) must leave room in L2
+///   for the B panel stream: `mc = L2 / (2 * kc * elem_bytes)` capped at
+///   `kc`.
+/// - `nc`: sized like `mc` (square blocks maximise C-update reuse on the
+///   small SoC).
+///
+/// For the Sargantana preset (32 KB L1, 512 KB L2) this yields the
+/// paper's Table I values `mc = nc = kc = 256`, `mr = nr = 4`.
+pub fn analytical_params(soc: &SocConfig) -> BlisParams {
+    let mr = (DEFAULT_ACCMEM_SLOTS as f64).sqrt() as usize; // 4
+    let nr = DEFAULT_ACCMEM_SLOTS / mr; // 4
+    let kc = (soc.l1.size_bytes / (2 * (mr + nr) * 8)).max(mr);
+    // Mix-GEMM panels store 8-bit-or-narrower data: ~1 byte per element.
+    let mc = (soc.l2.size_bytes / (2 * kc)).clamp(mr, kc);
+    let nc = mc;
+    BlisParams { mc, nc, kc, mr, nr }
+}
+
+/// Result of simulating one candidate blocking around the optimum.
+#[derive(Clone, Debug)]
+pub struct ParamCandidate {
+    /// The candidate blocking.
+    pub params: BlisParams,
+    /// Simulated cycles on the probe problem.
+    pub cycles: u64,
+}
+
+/// Simulates the analytical optimum against halved/doubled `kc`/`mc`
+/// neighbours on a probe GEMM, returning all candidates sorted by
+/// cycles (best first). Used by the Table I harness to show the
+/// analytical point is on the simulated optimum's plateau.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn validate_params_by_simulation(
+    precision: PrecisionConfig,
+    probe: GemmDims,
+) -> Result<Vec<ParamCandidate>, GemmError> {
+    let soc = presets::sargantana();
+    let base = analytical_params(&soc);
+    let mut candidates = vec![base];
+    for f in [2, 4] {
+        let mut smaller = base;
+        smaller.kc = (base.kc / f).max(base.mr);
+        candidates.push(smaller);
+        let mut bigger = base;
+        bigger.kc = base.kc * f;
+        candidates.push(bigger);
+        let mut small_mc = base;
+        small_mc.mc = (base.mc / f).max(base.mr);
+        small_mc.nc = small_mc.mc;
+        candidates.push(small_mc);
+    }
+    let mut out = Vec::new();
+    for params in candidates {
+        let mut opts = GemmOptions::new(precision);
+        opts.params = params;
+        let report = MixGemmKernel::new(opts).simulate(probe, Fidelity::Sampled)?;
+        out.push(ParamCandidate {
+            params,
+            cycles: report.cycles,
+        });
+    }
+    out.sort_by_key(|c| c.cycles);
+    Ok(out)
+}
+
+/// One row of the Source Buffer depth exploration.
+#[derive(Clone, Debug)]
+pub struct SrcBufRow {
+    /// Buffer depth in µ-vectors.
+    pub depth: usize,
+    /// Share of total cycles the core stalled on full Source Buffers.
+    pub srcbuf_stall_fraction: f64,
+    /// Share of total cycles lost waiting on `bs.get`.
+    pub get_stall_fraction: f64,
+}
+
+/// Sweeps Source Buffer depths over the supported precision
+/// configurations (paper §III-C), averaging stall fractions over
+/// `configs` on a `probe`-sized GEMM.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn srcbuf_depth_sweep(
+    depths: &[usize],
+    configs: &[PrecisionConfig],
+    probe: GemmDims,
+) -> Result<Vec<SrcBufRow>, GemmError> {
+    let mut rows = Vec::new();
+    for &depth in depths {
+        let mut src_frac = 0.0;
+        let mut get_frac = 0.0;
+        for &pc in configs {
+            let mut opts = GemmOptions::new(pc);
+            opts.srcbuf_depth = depth;
+            let report = MixGemmKernel::new(opts).simulate(probe, Fidelity::Sampled)?;
+            let pmu = report.pmu.expect("mix-gemm reports carry a PMU");
+            src_frac += pmu.srcbuf_stall_fraction(report.cycles);
+            get_frac += pmu.get_stall_fraction(report.cycles);
+        }
+        let n = configs.len().max(1) as f64;
+        rows.push(SrcBufRow {
+            depth,
+            srcbuf_stall_fraction: src_frac / n,
+            get_stall_fraction: get_frac / n,
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the cache-size sensitivity study.
+#[derive(Clone, Debug)]
+pub struct CacheSweepRow {
+    /// L1 size in KiB.
+    pub l1_kib: usize,
+    /// L2 size in KiB.
+    pub l2_kib: usize,
+    /// Average cycles over the probe suite.
+    pub avg_cycles: f64,
+    /// Slowdown relative to the baseline cache configuration.
+    pub slowdown: f64,
+}
+
+/// Re-times a probe GEMM suite across cache configurations (§IV-B).
+/// The first `(l1_kib, l2_kib)` pair is the baseline the slowdowns are
+/// relative to.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn cache_sweep(
+    cache_configs: &[(usize, usize)],
+    configs: &[PrecisionConfig],
+    probe: GemmDims,
+) -> Result<Vec<CacheSweepRow>, GemmError> {
+    let mut rows: Vec<CacheSweepRow> = Vec::new();
+    for &(l1, l2) in cache_configs {
+        let soc = presets::sargantana_small_caches(l1, l2);
+        let mut total = 0.0;
+        for &pc in configs {
+            let mut opts = GemmOptions::new(pc);
+            opts.soc = soc;
+            // Re-derive blocking for the smaller caches, as the paper's
+            // methodology [45] prescribes.
+            opts.params = analytical_params(&soc);
+            let report = MixGemmKernel::new(opts).simulate(probe, Fidelity::Sampled)?;
+            total += report.cycles as f64;
+        }
+        let avg = total / configs.len().max(1) as f64;
+        let slowdown = if let Some(first) = rows.first() {
+            avg / first.avg_cycles
+        } else {
+            1.0
+        };
+        rows.push(CacheSweepRow {
+            l1_kib: l1,
+            l2_kib: l2,
+            avg_cycles: avg,
+            slowdown,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytical_params_reproduce_table1() {
+        let p = analytical_params(&presets::sargantana());
+        assert_eq!((p.mc, p.nc, p.kc, p.mr, p.nr), (256, 256, 256, 4, 4));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn analytical_params_shrink_with_caches() {
+        let small = analytical_params(&presets::sargantana_small_caches(16, 64));
+        let base = analytical_params(&presets::sargantana());
+        assert!(small.kc < base.kc);
+        assert!(small.mc <= base.mc);
+        assert!(small.validate().is_ok());
+    }
+
+    #[test]
+    fn table1_point_is_near_simulated_optimum() {
+        let probe = GemmDims::square(512);
+        let candidates =
+            validate_params_by_simulation("a8-w8".parse().unwrap(), probe).unwrap();
+        let best = &candidates[0];
+        let table1 = analytical_params(&presets::sargantana());
+        let table1_cycles = candidates
+            .iter()
+            .find(|c| c.params == table1)
+            .expect("analytical point simulated")
+            .cycles;
+        // The analytical point must be within 10 % of the best candidate.
+        assert!(
+            table1_cycles as f64 <= best.cycles as f64 * 1.10,
+            "Table I point {} vs best {}",
+            table1_cycles,
+            best.cycles
+        );
+    }
+
+    #[test]
+    fn srcbuf_stalls_shrink_with_depth() {
+        let configs: Vec<PrecisionConfig> = ["a8-w8", "a4-w4", "a2-w2"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let rows =
+            srcbuf_depth_sweep(&[8, 16, 32], &configs, GemmDims::square(256)).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].srcbuf_stall_fraction >= rows[1].srcbuf_stall_fraction);
+        assert!(rows[1].srcbuf_stall_fraction >= rows[2].srcbuf_stall_fraction);
+        // The paper reports 17.8 / 14.3 / 11.2 % full-buffer stall
+        // shares; our model reproduces the monotonic trend with higher
+        // absolute shares because the modelled single-issue core is
+        // fully engine-bound and back-pressure absorbs all of its slack
+        // (see EXPERIMENTS.md).
+        assert!(rows[1].srcbuf_stall_fraction > 0.03);
+        assert!(rows[0].srcbuf_stall_fraction < 0.9);
+    }
+
+    #[test]
+    fn cache_sweep_shows_graceful_degradation() {
+        let configs: Vec<PrecisionConfig> =
+            ["a8-w8", "a4-w4"].iter().map(|s| s.parse().unwrap()).collect();
+        let rows = cache_sweep(
+            &[(32, 512), (16, 512), (16, 64)],
+            &configs,
+            GemmDims::square(512),
+        )
+        .unwrap();
+        assert_eq!(rows[0].slowdown, 1.0);
+        // Smaller caches must cost something, but the penalty stays
+        // moderate (paper: 11.8 % average for 16 KB L1 + 64 KB L2).
+        assert!(rows[2].slowdown > 1.0);
+        assert!(
+            rows[2].slowdown < 1.6,
+            "16KB/64KB slowdown {:.3} too severe",
+            rows[2].slowdown
+        );
+    }
+}

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the GEMM library.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GemmError {
+    /// Inner dimensions of the operands disagree.
+    DimensionMismatch {
+        /// Columns of A.
+        a_cols: usize,
+        /// Rows of B.
+        b_rows: usize,
+    },
+    /// A matrix value does not fit its declared operand type.
+    Value(mixgemm_binseg::BinSegError),
+    /// The µ-engine model rejected the instruction stream — indicates an
+    /// internal kernel-generator bug.
+    Engine(mixgemm_uengine::EngineError),
+    /// Invalid blocking parameters (zero block size, `mr*nr` exceeding
+    /// the AccMem, or register budget overflow).
+    BadParams {
+        /// Explanation of the violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for GemmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GemmError::DimensionMismatch { a_cols, b_rows } => write!(
+                f,
+                "inner dimensions disagree: A has {a_cols} columns, B has {b_rows} rows"
+            ),
+            GemmError::Value(e) => write!(f, "matrix value error: {e}"),
+            GemmError::Engine(e) => write!(f, "µ-engine rejected the instruction stream: {e}"),
+            GemmError::BadParams { reason } => write!(f, "invalid blocking parameters: {reason}"),
+        }
+    }
+}
+
+impl Error for GemmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GemmError::Value(e) => Some(e),
+            GemmError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mixgemm_binseg::BinSegError> for GemmError {
+    fn from(e: mixgemm_binseg::BinSegError) -> Self {
+        GemmError::Value(e)
+    }
+}
+
+impl From<mixgemm_uengine::EngineError> for GemmError {
+    fn from(e: mixgemm_uengine::EngineError) -> Self {
+        GemmError::Engine(e)
+    }
+}

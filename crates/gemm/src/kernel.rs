@@ -1,0 +1,966 @@
+use std::collections::HashMap;
+
+use mixgemm_binseg::chunk::ChunkShape;
+use mixgemm_binseg::{ip, BinSegConfig, PrecisionConfig};
+use mixgemm_soc::{presets, CacheStats, Core, CoreStats, Op, Reg, SocConfig};
+use mixgemm_uengine::{EngineConfig, Pmu, TimedEngine, DEFAULT_SRCBUF_DEPTH};
+
+use crate::error::GemmError;
+use crate::matrix::{GemmDims, QuantMatrix};
+use crate::params::BlisParams;
+use crate::report::GemmReport;
+
+/// Timing-simulation fidelity.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum Fidelity {
+    /// Simulate every instruction of every block. Exact; use for small
+    /// problems and for validating the sampled mode.
+    Full,
+    /// Memoize macro-kernel and block costs: each distinct blocking class
+    /// is simulated (twice, to separate cold from steady state) and
+    /// repetitions are extrapolated. Exact for uniform interior blocks up
+    /// to cache-warm-up effects; validated against [`Fidelity::Full`].
+    Sampled,
+}
+
+/// Configuration of one Mix-GEMM execution.
+#[derive(Clone, Debug)]
+pub struct GemmOptions {
+    /// Activation/weight data sizes.
+    pub precision: PrecisionConfig,
+    /// BLIS blocking parameters (Table I defaults).
+    pub params: BlisParams,
+    /// The SoC preset to time on (Sargantana-like by default).
+    pub soc: SocConfig,
+    /// Source Buffer depth in µ-vectors (16 per Table I).
+    pub srcbuf_depth: usize,
+    /// Start with the operand and output regions resident in the cache
+    /// hierarchy, as after the warm-up iteration of the paper's
+    /// 10-run measurement methodology (§IV-A) or when activations were
+    /// just produced by a preceding layer. Regions beyond the cache
+    /// capacity self-evict, so large problems are unaffected.
+    pub warm_start: bool,
+}
+
+impl GemmOptions {
+    /// Default options for `precision`: Table I blocking on the
+    /// Sargantana-like SoC with 16-entry Source Buffers.
+    pub fn new(precision: PrecisionConfig) -> Self {
+        GemmOptions {
+            precision,
+            params: BlisParams::table1(),
+            soc: presets::sargantana(),
+            srcbuf_depth: DEFAULT_SRCBUF_DEPTH,
+            warm_start: true,
+        }
+    }
+}
+
+/// The Mix-GEMM kernel: Algorithm 1 over the µ-engine.
+#[derive(Clone, Debug)]
+pub struct MixGemmKernel {
+    opts: GemmOptions,
+}
+
+impl MixGemmKernel {
+    /// Creates a kernel with the given options.
+    pub fn new(opts: GemmOptions) -> Self {
+        MixGemmKernel { opts }
+    }
+
+    /// The options.
+    pub fn options(&self) -> &GemmOptions {
+        &self.opts
+    }
+
+    /// Computes `C = A * B` bit-exactly through the binary-segmentation
+    /// arithmetic path (packed µ-vectors, cluster multiplications, slice
+    /// extraction) — the reference functional semantics of the µ-engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::DimensionMismatch`] on shape disagreement and
+    /// propagates value-range errors.
+    pub fn compute(&self, a: &QuantMatrix, b: &QuantMatrix) -> Result<Vec<i64>, GemmError> {
+        if a.cols() != b.rows() {
+            return Err(GemmError::DimensionMismatch {
+                a_cols: a.cols(),
+                b_rows: b.rows(),
+            });
+        }
+        let (oa, ob) = self.opts.precision.operand_types();
+        let cfg = BinSegConfig::new(oa, ob);
+        let a_rows = a.pack_rows();
+        let b_cols = b.pack_cols();
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut c = vec![0i64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                c[i * n + j] = ip::inner_product(&cfg, &a_rows[i], &b_cols[j], k)?;
+            }
+        }
+        Ok(c)
+    }
+
+    /// Computes `C = A * B` with plain blocked integer arithmetic.
+    ///
+    /// Produces results identical to [`MixGemmKernel::compute`] (the
+    /// binary-segmentation path is bit-exact integer arithmetic; the two
+    /// are property-tested equal) at much higher host speed — the entry
+    /// point the DNN runtime uses for full-network inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::DimensionMismatch`] on shape disagreement.
+    pub fn compute_fast(
+        &self,
+        a: &QuantMatrix,
+        b: &QuantMatrix,
+    ) -> Result<Vec<i64>, GemmError> {
+        crate::matrix::naive_gemm(a, b)
+    }
+
+    /// Computes `C = A * B` like [`MixGemmKernel::compute_fast`], split
+    /// across `threads` OS threads along the `m` dimension — the
+    /// multi-threaded BLIS deployment of §III-B ("our BLIS-based library
+    /// can easily enable multi-threading support"), which parallelizes
+    /// trivially because each thread owns a disjoint slab of C.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::DimensionMismatch`] on shape disagreement.
+    pub fn compute_parallel(
+        &self,
+        a: &QuantMatrix,
+        b: &QuantMatrix,
+        threads: usize,
+    ) -> Result<Vec<i64>, GemmError> {
+        if a.cols() != b.rows() {
+            return Err(GemmError::DimensionMismatch {
+                a_cols: a.cols(),
+                b_rows: b.rows(),
+            });
+        }
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let threads = threads.clamp(1, m.max(1));
+        let mut c = vec![0i64; m * n];
+        let rows_per = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slab) in c.chunks_mut(rows_per * n).enumerate() {
+                let row0 = t * rows_per;
+                scope.spawn(move || {
+                    for (local_i, row_out) in slab.chunks_mut(n).enumerate() {
+                        let i = row0 + local_i;
+                        for p in 0..k {
+                            let av = a.get(i, p) as i64;
+                            if av == 0 {
+                                continue;
+                            }
+                            for (j, out) in row_out.iter_mut().enumerate() {
+                                *out += av * b.get(p, j) as i64;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        Ok(c)
+    }
+
+    /// Simulates the execution of an `m x k x n` problem on the modelled
+    /// SoC + µ-engine, returning cycle-level results.
+    ///
+    /// The simulation is data-independent (DESIGN.md §4): the DSU
+    /// schedule, cache behaviour and scoreboard depend only on shapes and
+    /// addresses, so no operand values are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::BadParams`] for invalid blocking parameters
+    /// and propagates µ-engine protocol errors (which indicate bugs in
+    /// the instruction generator, not user error).
+    pub fn simulate(&self, dims: GemmDims, fidelity: Fidelity) -> Result<GemmReport, GemmError> {
+        self.opts.params.validate()?;
+        let mut sim = Sim::new(&self.opts, dims, fidelity)?;
+        sim.run()?;
+        Ok(sim.into_report())
+    }
+}
+
+/// Accumulated cost of a simulated (or extrapolated) region.
+#[derive(Copy, Clone, Default, Debug)]
+struct Cost {
+    cycles: u64,
+    core: CoreStats,
+    l1: CacheStats,
+    l2: CacheStats,
+    pmu: Pmu,
+}
+
+impl Cost {
+    fn add_scaled(&mut self, other: &Cost, reps: u64) {
+        self.cycles += other.cycles * reps;
+        scale_core(&mut self.core, &other.core, reps);
+        self.l1.accesses += other.l1.accesses * reps;
+        self.l1.misses += other.l1.misses * reps;
+        self.l2.accesses += other.l2.accesses * reps;
+        self.l2.misses += other.l2.misses * reps;
+        let mut p = other.pmu;
+        scale_pmu(&mut p, reps);
+        self.pmu.merge(&p);
+    }
+
+    fn minus(&self, other: &Cost) -> Cost {
+        Cost {
+            cycles: self.cycles - other.cycles,
+            core: CoreStats {
+                instructions: self.core.instructions - other.core.instructions,
+                loads: self.core.loads - other.core.loads,
+                stores: self.core.stores - other.core.stores,
+                data_stall_cycles: self.core.data_stall_cycles - other.core.data_stall_cycles,
+                structural_stall_cycles: self.core.structural_stall_cycles
+                    - other.core.structural_stall_cycles,
+                external_stall_cycles: self.core.external_stall_cycles
+                    - other.core.external_stall_cycles,
+            },
+            l1: CacheStats {
+                accesses: self.l1.accesses - other.l1.accesses,
+                misses: self.l1.misses - other.l1.misses,
+            },
+            l2: CacheStats {
+                accesses: self.l2.accesses - other.l2.accesses,
+                misses: self.l2.misses - other.l2.misses,
+            },
+            pmu: {
+                let mut p = Pmu::new();
+                p.busy_cycles = self.pmu.busy_cycles - other.pmu.busy_cycles;
+                p.srcbuf_stall_cycles =
+                    self.pmu.srcbuf_stall_cycles - other.pmu.srcbuf_stall_cycles;
+                p.get_stall_cycles = self.pmu.get_stall_cycles - other.pmu.get_stall_cycles;
+                p.ip_instructions = self.pmu.ip_instructions - other.pmu.ip_instructions;
+                p.get_instructions = self.pmu.get_instructions - other.pmu.get_instructions;
+                p.macs = self.pmu.macs - other.pmu.macs;
+                p.chunks = self.pmu.chunks - other.pmu.chunks;
+                p
+            },
+        }
+    }
+}
+
+fn scale_core(into: &mut CoreStats, from: &CoreStats, reps: u64) {
+    into.instructions += from.instructions * reps;
+    into.loads += from.loads * reps;
+    into.stores += from.stores * reps;
+    into.data_stall_cycles += from.data_stall_cycles * reps;
+    into.structural_stall_cycles += from.structural_stall_cycles * reps;
+    into.external_stall_cycles += from.external_stall_cycles * reps;
+}
+
+fn scale_pmu(p: &mut Pmu, reps: u64) {
+    p.busy_cycles *= reps;
+    p.srcbuf_stall_cycles *= reps;
+    p.get_stall_cycles *= reps;
+    p.ip_instructions *= reps;
+    p.get_instructions *= reps;
+    p.macs *= reps;
+    p.chunks *= reps;
+}
+
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+struct BlockClass {
+    nc_eff: usize,
+    kc_eff: usize,
+    cold: bool,
+}
+
+/// Register-file map of the µ-kernel (paper §III-C: 16 A + 16 B slices).
+const A_REG_BASE: u16 = 1;
+const B_REG_BASE: u16 = 17;
+const TMP_REG: u16 = 33; // ..=48: bs.get results, one per AccMem slot
+const C_REG: u16 = 49; // ..=64: C tile loads
+
+struct Sim<'o> {
+    opts: &'o GemmOptions,
+    /// Blocking parameters, possibly re-balanced for skinny matrices.
+    params: BlisParams,
+    dims: GemmDims,
+    fidelity: Fidelity,
+
+    core: Core,
+    engine: TimedEngine,
+    shape: ChunkShape,
+    engine_cfg: EngineConfig,
+
+    // Simulated memory layout (packed µ-vector words everywhere).
+    a_base: u64,
+    b_base: u64,
+    c_base: u64,
+    a_panel: u64,
+    b_panel: u64,
+    a_words_per_row: usize,
+    b_words_per_col: usize,
+
+    total: Cost,
+    memo: HashMap<BlockClass, Cost>,
+}
+
+#[derive(Copy, Clone, Default)]
+struct Snapshot {
+    now: u64,
+    core: CoreStats,
+    l1: CacheStats,
+    l2: CacheStats,
+    pmu: Pmu,
+}
+
+impl<'o> Sim<'o> {
+    fn new(
+        opts: &'o GemmOptions,
+        dims: GemmDims,
+        fidelity: Fidelity,
+    ) -> Result<Self, GemmError> {
+        let shape = ChunkShape::balanced(opts.precision);
+        let (oa, ob) = opts.precision.operand_types();
+        let binseg = BinSegConfig::new(oa, ob);
+        let mut p = opts.params;
+        // Skinny-matrix register re-balancing: when n < nr (depthwise
+        // convolutions lower to N = 1), widen mr so the AccMem and the
+        // register file stay filled — the bs.set flexibility makes the C
+        // µ-panel shape a free parameter per GEMM call (paper §III-B).
+        if dims.n > 0 && dims.n < p.nr {
+            let epv_a = oa.elems_per_muvec();
+            let epv_b = ob.elems_per_muvec();
+            let ip = (shape.kua() * epv_a)
+                .min(shape.kub() * epv_b)
+                .min(dims.k.max(1));
+            let kua_e = shape.kua().min(ip.div_ceil(epv_a)).max(1);
+            let kub_e = shape.kub().min(ip.div_ceil(epv_b)).max(1);
+            let nr_p = dims.n;
+            let by_accmem = mixgemm_uengine::DEFAULT_ACCMEM_SLOTS / nr_p;
+            let by_regs = (32usize.saturating_sub(kub_e * nr_p) / kua_e).max(1);
+            p.nr = nr_p;
+            p.mr = p.mr.max(by_accmem.min(by_regs)).max(1);
+            p.mc = p.mc.max(p.mr);
+        }
+        let engine_cfg = EngineConfig::new(binseg, shape.kua(), shape.kub(), p.mr * p.nr)?;
+        let mut engine = TimedEngine::new(engine_cfg, opts.srcbuf_depth);
+        engine.set_timing_only(true);
+        let mut core = Core::new(opts.soc);
+
+        let epv_a = oa.elems_per_muvec();
+        let epv_b = ob.elems_per_muvec();
+        let a_words_per_row = dims.k.div_ceil(epv_a);
+        let b_words_per_col = dims.k.div_ceil(epv_b);
+        let a_base = core.alloc((dims.m * a_words_per_row) as u64 * 8);
+        let b_base = core.alloc((dims.n * b_words_per_col) as u64 * 8);
+        let c_base = core.alloc((dims.m * dims.n) as u64 * 4);
+        // Panel buffers sized for the worst-case k-group padding.
+        let kg_max = p.kc.div_ceil(shape.logical_elems()).max(1);
+        let a_panel = core.alloc((p.mc * kg_max * shape.kua()) as u64 * 8);
+        let b_panel = core.alloc((p.nc * kg_max * shape.kub()) as u64 * 8);
+
+        Ok(Sim {
+            opts,
+            params: p,
+            dims,
+            fidelity,
+            core,
+            engine,
+            shape,
+            engine_cfg,
+            a_base,
+            b_base,
+            c_base,
+            a_panel,
+            b_panel,
+            a_words_per_row,
+            b_words_per_col,
+            total: Cost::default(),
+            memo: HashMap::new(),
+        })
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            now: self.core.now(),
+            core: self.core.stats(),
+            l1: self.core.l1_stats(),
+            l2: self.core.l2_stats(),
+            pmu: *self.engine.pmu(),
+        }
+    }
+
+    fn delta_since(&self, s: &Snapshot) -> Cost {
+        let now = self.snapshot();
+        Cost {
+            cycles: now.now - s.now,
+            core: CoreStats {
+                instructions: now.core.instructions - s.core.instructions,
+                loads: now.core.loads - s.core.loads,
+                stores: now.core.stores - s.core.stores,
+                data_stall_cycles: now.core.data_stall_cycles - s.core.data_stall_cycles,
+                structural_stall_cycles: now.core.structural_stall_cycles
+                    - s.core.structural_stall_cycles,
+                external_stall_cycles: now.core.external_stall_cycles
+                    - s.core.external_stall_cycles,
+            },
+            l1: CacheStats {
+                accesses: now.l1.accesses - s.l1.accesses,
+                misses: now.l1.misses - s.l1.misses,
+            },
+            l2: CacheStats {
+                accesses: now.l2.accesses - s.l2.accesses,
+                misses: now.l2.misses - s.l2.misses,
+            },
+            pmu: {
+                let mut p = Pmu::new();
+                p.busy_cycles = now.pmu.busy_cycles - s.pmu.busy_cycles;
+                p.srcbuf_stall_cycles = now.pmu.srcbuf_stall_cycles - s.pmu.srcbuf_stall_cycles;
+                p.get_stall_cycles = now.pmu.get_stall_cycles - s.pmu.get_stall_cycles;
+                p.ip_instructions = now.pmu.ip_instructions - s.pmu.ip_instructions;
+                p.get_instructions = now.pmu.get_instructions - s.pmu.get_instructions;
+                p.macs = now.pmu.macs - s.pmu.macs;
+                p.chunks = now.pmu.chunks - s.pmu.chunks;
+                p
+            },
+        }
+    }
+
+    fn run(&mut self) -> Result<(), GemmError> {
+        let GemmDims { m, k, n } = self.dims;
+        if m == 0 || k == 0 || n == 0 {
+            return Ok(());
+        }
+        let p = self.params;
+
+        if self.opts.warm_start {
+            let a_bytes = (m * self.a_words_per_row) as u64 * 8;
+            let b_bytes = (n * self.b_words_per_col) as u64 * 8;
+            let c_bytes = (m * n) as u64 * 4;
+            // Warm in reverse recency order: the A stream is the most
+            // recently produced (previous layer's output).
+            self.core.warm_region(self.c_base, c_bytes);
+            self.core.warm_region(self.b_base, b_bytes);
+            self.core.warm_region(self.a_base, a_bytes);
+        }
+
+        // bs.set: load the µ-engine configuration once for the GEMM
+        // (Algorithm 1 line 22).
+        self.core.issue(Op::BsSet, &[], None);
+
+        // Count repetitions per block class, then simulate each class at
+        // most twice (cold + steady) and extrapolate.
+        let mut seen: HashMap<BlockClass, u64> = HashMap::new();
+        let mut first_block = true;
+        for jc in (0..n).step_by(p.nc) {
+            let nc_eff = (n - jc).min(p.nc);
+            for pc in (0..k).step_by(p.kc) {
+                let kc_eff = (k - pc).min(p.kc);
+                let class = BlockClass {
+                    nc_eff,
+                    kc_eff,
+                    cold: first_block,
+                };
+                first_block = false;
+                let count = seen.entry(class).or_insert(0);
+                *count += 1;
+                let simulate = match self.fidelity {
+                    Fidelity::Full => true,
+                    // Simulate the first instance of each class; the
+                    // second instance refreshes the memo (steadier cache
+                    // state); later instances extrapolate.
+                    Fidelity::Sampled => *count <= 2,
+                };
+                if simulate {
+                    // `simulate_block` adds every contribution (B pack,
+                    // simulated and extrapolated macro-kernels) to
+                    // `self.total`; the block cost is its growth.
+                    let before = self.total;
+                    self.simulate_block(jc, pc, nc_eff, kc_eff)?;
+                    self.memo.insert(class, self.total.minus(&before));
+                } else {
+                    let cost = *self.memo.get(&class).expect("memoized on 2nd instance");
+                    self.total.add_scaled(&cost, 1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One (jc, pc) block: pack the B panel, then run the m-loop of
+    /// macro-kernels (Algorithm 1 M-GEMM body).
+    fn simulate_block(
+        &mut self,
+        jc: usize,
+        pc: usize,
+        nc_eff: usize,
+        kc_eff: usize,
+    ) -> Result<(), GemmError> {
+        let p = self.params;
+        let m = self.dims.m;
+        // GEMV fast path: with m <= mr every B µ-vector is consumed
+        // exactly once, so the library streams B directly instead of
+        // packing it (packing would dominate the fully-connected layers).
+        if m > p.mr {
+            let snap = self.snapshot();
+            self.pack_b_panel(jc, pc, nc_eff, kc_eff);
+            let pack_cost = self.delta_since(&snap);
+            self.total.add_scaled(&pack_cost, 1);
+        }
+
+        // Macro-kernel sampling within the block: simulate the first two
+        // full-mc iterations and any partial tail; extrapolate the rest.
+        let mut macro_memo: Option<Cost> = None;
+        let mut full_seen = 0u64;
+        for ic in (0..m).step_by(p.mc) {
+            let mc_eff = (m - ic).min(p.mc);
+            let is_full = mc_eff == p.mc;
+            let simulate = match self.fidelity {
+                Fidelity::Full => true,
+                Fidelity::Sampled => !is_full || full_seen < 2,
+            };
+            if simulate {
+                let snap = self.snapshot();
+                self.pack_a_panel(ic, pc, mc_eff, kc_eff);
+                self.macro_kernel(ic, jc, pc, mc_eff, nc_eff, kc_eff)?;
+                let cost = self.delta_since(&snap);
+                self.total.add_scaled(&cost, 1);
+                if is_full {
+                    full_seen += 1;
+                    macro_memo = Some(cost);
+                }
+            } else {
+                let cost = macro_memo.expect("two full macro-kernels simulated");
+                self.total.add_scaled(&cost, 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective chunk shape for a panel depth of `kc_eff` elements:
+    /// `(kua_eff, kub_eff, ip_len, k_groups)`. Short accumulation chains
+    /// (e.g. depthwise convolutions) shrink the chunk to `kc_eff`
+    /// logical elements and drop unneeded µ-vectors, exactly as the
+    /// software library reconfigures the Control Unit's inner-product
+    /// length through `bs.set` (paper §III-B).
+    fn chunk_shape_for(&self, kc_eff: usize) -> (usize, usize, usize, usize) {
+        let epv_a = self.shape.precision().activations().elems_per_muvec();
+        let epv_b = self.shape.precision().weights().elems_per_muvec();
+        let ip_len = self.shape.logical_elems().min(kc_eff.max(1));
+        let kua_eff = self.shape.kua().min(ip_len.div_ceil(epv_a));
+        let kub_eff = self.shape.kub().min(ip_len.div_ceil(epv_b));
+        let k_groups = kc_eff.div_ceil(ip_len).max(1);
+        (kua_eff, kub_eff, ip_len, k_groups)
+    }
+
+    /// CreateBPanel: gather `nc_eff` columns x `k_groups * kub` words
+    /// from the packed source into the contiguous panel buffer.
+    fn pack_b_panel(&mut self, jc: usize, pc: usize, nc_eff: usize, kc_eff: usize) {
+        let (_, kub_eff, _, kg) = self.chunk_shape_for(kc_eff);
+        let words_per_col = kg * kub_eff;
+        let epv_b = self.shape.precision().weights().elems_per_muvec();
+        let src_word0 = pc / epv_b;
+        let mut dst = self.b_panel;
+        for col in 0..nc_eff {
+            let src_row = self.b_base + ((jc + col) * self.b_words_per_col + src_word0) as u64 * 8;
+            for w in 0..words_per_col {
+                self.core
+                    .issue_load(src_row + w as u64 * 8, 8, &[], Some(Reg(TMP_REG)));
+                self.core.issue_store(dst, 8, &[Reg(TMP_REG)]);
+                if w % 4 == 3 {
+                    self.core.issue(Op::IntAlu, &[], None);
+                }
+                dst += 8;
+            }
+            self.core.issue(Op::IntAlu, &[], None);
+            self.core.issue(Op::Branch, &[], None);
+        }
+    }
+
+    /// CreateAPanel: gather `mc_eff` rows x `k_groups * kua` words.
+    fn pack_a_panel(&mut self, ic: usize, pc: usize, mc_eff: usize, kc_eff: usize) {
+        let (kua_eff, _, _, kg) = self.chunk_shape_for(kc_eff);
+        let words_per_row = kg * kua_eff;
+        let epv_a = self.shape.precision().activations().elems_per_muvec();
+        let src_word0 = pc / epv_a;
+        let mut dst = self.a_panel;
+        for row in 0..mc_eff {
+            let src_row = self.a_base + ((ic + row) * self.a_words_per_row + src_word0) as u64 * 8;
+            for w in 0..words_per_row {
+                self.core
+                    .issue_load(src_row + w as u64 * 8, 8, &[], Some(Reg(TMP_REG)));
+                self.core.issue_store(dst, 8, &[Reg(TMP_REG)]);
+                if w % 4 == 3 {
+                    self.core.issue(Op::IntAlu, &[], None);
+                }
+                dst += 8;
+            }
+            self.core.issue(Op::IntAlu, &[], None);
+            self.core.issue(Op::Branch, &[], None);
+        }
+    }
+
+    /// MACRO-KERNEL: split panels into µ-panels and run µ-kernels.
+    fn macro_kernel(
+        &mut self,
+        ic: usize,
+        jc: usize,
+        pc: usize,
+        mc_eff: usize,
+        nc_eff: usize,
+        kc_eff: usize,
+    ) -> Result<(), GemmError> {
+        let p = self.params;
+        let accumulate = pc > 0;
+        for jr in (0..nc_eff).step_by(p.nr) {
+            let nr_eff = (nc_eff - jr).min(p.nr);
+            for ir in (0..mc_eff).step_by(p.mr) {
+                let mr_eff = (mc_eff - ir).min(p.mr);
+                self.micro_kernel(
+                    ic + ir,
+                    jc + jr,
+                    mr_eff,
+                    nr_eff,
+                    ir,
+                    jr,
+                    kc_eff,
+                    accumulate,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// µ-KERNEL (Algorithm 1): loads µ-vector registers, issues `bs.ip`
+    /// chunks, drains the AccMem with `bs.get`, updates C.
+    #[allow(clippy::too_many_arguments)]
+    fn micro_kernel(
+        &mut self,
+        c_row0: usize,
+        c_col0: usize,
+        mr_eff: usize,
+        nr_eff: usize,
+        a_panel_row0: usize,
+        b_panel_col0: usize,
+        kc_eff: usize,
+        accumulate: bool,
+    ) -> Result<(), GemmError> {
+        let (kua, kub, ip_len, kg) = self.chunk_shape_for(kc_eff);
+        let slots = mr_eff * nr_eff;
+
+        // Reconfigure the Control Unit when the AccMem footprint, chunk
+        // shape or inner-product length changes (edge µ-panels, short k).
+        // Single-cycle bs.set (§III-B).
+        let current = self.engine.config();
+        if current.accmem_slots() != slots
+            || current.kua() != kua
+            || current.kub() != kub
+            || current.chunk_len() != ip_len
+        {
+            let cfg = EngineConfig::with_ip_len(
+                *self.engine_cfg.binseg(),
+                kua,
+                kub,
+                slots,
+                ip_len,
+            )?;
+            let _ = self.core.issue(Op::BsSet, &[], None);
+            self.engine.bs_set(cfg)?;
+        }
+
+        let words_per_row_a = kg * kua;
+        let words_per_col_b = kg * kub;
+        let a_up = self.a_panel + (a_panel_row0 * words_per_row_a) as u64 * 8;
+        let b_up = self.b_panel + (b_panel_col0 * words_per_col_b) as u64 * 8;
+
+        for g in 0..kg {
+            // Load the A and B µ-vector register slices for this k-group
+            // (kua x mr + kub x nr words, the full register budget).
+            for j in 0..mr_eff {
+                for ku in 0..kua {
+                    let addr = a_up + ((j * words_per_row_a) + g * kua + ku) as u64 * 8;
+                    let reg = Reg(A_REG_BASE + (j * kua + ku) as u16);
+                    self.core.issue_load(addr, 8, &[], Some(reg));
+                }
+            }
+            self.core.issue(Op::IntAlu, &[], None); // LoadNextAddress(A)
+            for i in 0..nr_eff {
+                for ku in 0..kub {
+                    let addr = b_up + ((i * words_per_col_b) + g * kub + ku) as u64 * 8;
+                    let reg = Reg(B_REG_BASE + (i * kub + ku) as u16);
+                    self.core.issue_load(addr, 8, &[], Some(reg));
+                }
+            }
+            self.core.issue(Op::IntAlu, &[], None); // LoadNextAddress(B)
+
+            // Issue the chunks: one per C element, kua/kub µ-vectors each.
+            let per_chunk = kua.max(kub);
+            for i in 0..nr_eff {
+                for j in 0..mr_eff {
+                    for ku in 0..per_chunk {
+                        let a_src = (ku < kua).then(|| Reg(A_REG_BASE + (j * kua + ku) as u16));
+                        let b_src = (ku < kub).then(|| Reg(B_REG_BASE + (i * kub + ku) as u16));
+                        let srcs: Vec<Reg> =
+                            a_src.iter().chain(b_src.iter()).copied().collect();
+                        let t = self.core.issue(Op::BsIp, &srcs, None);
+                        let out = self.engine.issue_ip(
+                            t,
+                            a_src.map(|_| 0u64),
+                            b_src.map(|_| 0u64),
+                        )?;
+                        if out.completes_at > t {
+                            self.core.stall_until(out.completes_at);
+                        }
+                    }
+                }
+                self.core.issue(Op::Branch, &[], None);
+            }
+            self.core.issue(Op::IntAlu, &[], None);
+            self.core.issue(Op::Branch, &[], None);
+        }
+
+        // Drain the AccMem (mr x nr bs.get) and update C. As in a real
+        // unrolled µ-kernel, all gets and C loads are hoisted ahead of
+        // the dependent adds and stores, so C-tile cache misses overlap
+        // one another and the engine's tail processing.
+        for i in 0..nr_eff {
+            for j in 0..mr_eff {
+                let slot = i * mr_eff + j;
+                let t = self
+                    .core
+                    .issue(Op::BsGet, &[], Some(Reg(TMP_REG + slot as u16)));
+                let (_, done) = self.engine.bs_get(t, slot)?;
+                if done > t {
+                    self.core.set_reg_ready(Reg(TMP_REG + slot as u16), done);
+                }
+                if accumulate {
+                    let c_addr =
+                        self.c_base + ((c_row0 + j) * self.dims.n + (c_col0 + i)) as u64 * 4;
+                    self.core
+                        .issue_load(c_addr, 4, &[], Some(Reg(C_REG + slot as u16)));
+                }
+            }
+        }
+        for i in 0..nr_eff {
+            for j in 0..mr_eff {
+                let slot = i * mr_eff + j;
+                let c_addr =
+                    self.c_base + ((c_row0 + j) * self.dims.n + (c_col0 + i)) as u64 * 4;
+                let acc = Reg(TMP_REG + slot as u16);
+                if accumulate {
+                    let c = Reg(C_REG + slot as u16);
+                    self.core.issue(Op::IntAlu, &[acc, c], Some(c));
+                    self.core.issue_store(c_addr, 4, &[c]);
+                } else {
+                    self.core.issue_store(c_addr, 4, &[acc]);
+                }
+            }
+        }
+        self.core.issue(Op::IntAlu, &[], None);
+        self.core.issue(Op::Branch, &[], None);
+        Ok(())
+    }
+
+    fn into_report(self) -> GemmReport {
+        GemmReport {
+            dims: self.dims,
+            precision: Some(self.opts.precision),
+            kernel: "mix-gemm",
+            soc: self.opts.soc.name,
+            freq_ghz: self.opts.soc.freq_ghz,
+            cycles: self.total.cycles,
+            macs: self.dims.macs(),
+            core: self.total.core,
+            l1: self.total.l1,
+            l2: self.total.l2,
+            pmu: Some(self.total.pmu),
+            sampled: matches!(self.fidelity, Fidelity::Sampled),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::naive_gemm;
+
+    fn mat(rows: usize, cols: usize, op: mixgemm_binseg::OperandType, seed: i32) -> QuantMatrix {
+        QuantMatrix::from_fn(rows, cols, op, |r, c| {
+            let span = (op.max_value() - op.min_value() + 1) as i64;
+            (op.min_value() as i64 + ((r * 31 + c * 7 + seed as usize) as i64 % span)) as i32
+        })
+    }
+
+    #[test]
+    fn compute_matches_naive_across_precisions() {
+        for pc in ["a8-w8", "a8-w4", "a6-w4", "a4-w4", "a3-w2", "a2-w2", "a2-w8"] {
+            let precision: PrecisionConfig = pc.parse().unwrap();
+            let (oa, ob) = precision.operand_types();
+            let a = mat(9, 50, oa, 3);
+            let b = mat(50, 7, ob, 11);
+            let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+            let got = kernel.compute(&a, &b).unwrap();
+            let want = naive_gemm(&a, &b).unwrap();
+            assert_eq!(got, want, "{pc}");
+            assert_eq!(kernel.compute_fast(&a, &b).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn parallel_compute_matches_sequential() {
+        let precision: PrecisionConfig = "a6-w3".parse().unwrap();
+        let (oa, ob) = precision.operand_types();
+        let a = mat(37, 64, oa, 5);
+        let b = mat(64, 19, ob, 9);
+        let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+        let seq = kernel.compute_fast(&a, &b).unwrap();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                kernel.compute_parallel(&a, &b, threads).unwrap(),
+                seq,
+                "threads = {threads}"
+            );
+        }
+        // Degenerate thread counts clamp instead of panicking.
+        assert_eq!(kernel.compute_parallel(&a, &b, 0).unwrap(), seq);
+    }
+
+    #[test]
+    fn compute_rejects_mismatched_dims() {
+        let precision: PrecisionConfig = "a8-w8".parse().unwrap();
+        let (oa, ob) = precision.operand_types();
+        let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+        let a = QuantMatrix::zeros(2, 3, oa);
+        let b = QuantMatrix::zeros(4, 2, ob);
+        assert!(matches!(
+            kernel.compute(&a, &b),
+            Err(GemmError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn simulate_small_full() {
+        let kernel =
+            MixGemmKernel::new(GemmOptions::new("a8-w8".parse().unwrap()));
+        let r = kernel.simulate(GemmDims::square(64), Fidelity::Full).unwrap();
+        assert!(r.cycles > 0);
+        assert_eq!(r.macs, 64 * 64 * 64);
+        let pmu = r.pmu.unwrap();
+        // Every logical MAC flows through the engine.
+        assert_eq!(pmu.macs, r.macs);
+        assert!(pmu.busy_cycles > 0);
+        assert!(!r.sampled);
+    }
+
+    #[test]
+    fn sampled_close_to_full() {
+        let kernel =
+            MixGemmKernel::new(GemmOptions::new("a4-w4".parse().unwrap()));
+        let dims = GemmDims::square(320); // several blocks along every dim
+        let full = kernel.simulate(dims, Fidelity::Full).unwrap();
+        let sampled = kernel.simulate(dims, Fidelity::Sampled).unwrap();
+        let ratio = sampled.cycles as f64 / full.cycles as f64;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "sampled {} vs full {} (ratio {ratio:.3})",
+            sampled.cycles,
+            full.cycles
+        );
+    }
+
+    #[test]
+    fn narrower_precisions_run_faster() {
+        let dims = GemmDims::square(256);
+        let mut cycles = Vec::new();
+        for pc in ["a8-w8", "a4-w4", "a2-w2"] {
+            let kernel =
+                MixGemmKernel::new(GemmOptions::new(pc.parse().unwrap()));
+            cycles.push(kernel.simulate(dims, Fidelity::Sampled).unwrap().cycles);
+        }
+        assert!(
+            cycles[0] > cycles[1] && cycles[1] > cycles[2],
+            "performance must scale with decreasing data sizes: {cycles:?}"
+        );
+    }
+
+    #[test]
+    fn zero_dims_are_trivial() {
+        let kernel =
+            MixGemmKernel::new(GemmOptions::new("a8-w8".parse().unwrap()));
+        let r = kernel
+            .simulate(GemmDims::new(0, 16, 16), Fidelity::Full)
+            .unwrap();
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn non_multiple_dims_work() {
+        let precision: PrecisionConfig = "a8-w6".parse().unwrap();
+        let (oa, ob) = precision.operand_types();
+        let a = mat(13, 37, oa, 1);
+        let b = mat(37, 11, ob, 2);
+        let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+        assert_eq!(
+            kernel.compute(&a, &b).unwrap(),
+            naive_gemm(&a, &b).unwrap()
+        );
+        let r = kernel
+            .simulate(GemmDims::new(13, 37, 11), Fidelity::Full)
+            .unwrap();
+        assert_eq!(r.pmu.unwrap().macs % (13 * 11) as u64, 0);
+    }
+
+    #[test]
+    fn instruction_counts_match_algorithm1_closed_form() {
+        // For a uniform problem the bs.ip / bs.get counts follow
+        // directly from Algorithm 1's loop structure.
+        for (pc_str, m, k, n) in [("a8-w8", 8, 64, 8), ("a2-w2", 16, 256, 8), ("a8-w6", 8, 60, 8)] {
+            let precision: PrecisionConfig = pc_str.parse().unwrap();
+            let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+            let dims = GemmDims::new(m, k, n);
+            let r = kernel.simulate(dims, Fidelity::Full).unwrap();
+            let pmu = r.pmu.unwrap();
+
+            let shape = ChunkShape::balanced(precision);
+            let (oa, ob) = precision.operand_types();
+            let epv_a = oa.elems_per_muvec();
+            let epv_b = ob.elems_per_muvec();
+            let ip_len = shape
+                .logical_elems()
+                .min(k.min(kernel.options().params.kc));
+            let kua_eff = shape.kua().min(ip_len.div_ceil(epv_a));
+            let kub_eff = shape.kub().min(ip_len.div_ceil(epv_b));
+            let k_groups = k.div_ceil(ip_len) as u64;
+            let mr = kernel.options().params.mr;
+            let nr = kernel.options().params.nr;
+            let micro_kernels = (m.div_ceil(mr) * n.div_ceil(nr)) as u64;
+
+            // One chunk (kua.max(kub) issues) per C element per k-group.
+            let expected_ips = micro_kernels
+                * (mr * nr) as u64
+                * k_groups
+                * kua_eff.max(kub_eff) as u64;
+            assert_eq!(pmu.ip_instructions, expected_ips, "{pc_str} ip count");
+            // One bs.get per C element per micro-kernel.
+            assert_eq!(
+                pmu.get_instructions,
+                micro_kernels * (mr * nr) as u64,
+                "{pc_str} get count"
+            );
+            // Chunks retire once per C element per k-group.
+            assert_eq!(
+                pmu.chunks,
+                micro_kernels * (mr * nr) as u64 * k_groups,
+                "{pc_str} chunk count"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut opts = GemmOptions::new("a8-w8".parse().unwrap());
+        opts.params.mr = 8; // 8 * 4 = 32 > 16 AccMem slots
+        let kernel = MixGemmKernel::new(opts);
+        assert!(kernel.simulate(GemmDims::square(32), Fidelity::Full).is_err());
+    }
+}

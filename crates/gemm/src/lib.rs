@@ -1,0 +1,73 @@
+//! The Mix-GEMM software library (paper §III-A) and its baselines.
+//!
+//! This crate implements the BLIS-derived blocked GEMM of Algorithm 1:
+//! the `M-GEMM` driver partitions A and B into panels (`mc x kca`,
+//! `nc x kcb` µ-vectors), the `MACRO-KERNEL` splits panels into µ-panels,
+//! and the `µ-KERNEL` issues `bs.ip` chunks to the µ-engine and collects
+//! the C µ-panel from the AccMem with `bs.get`.
+//!
+//! Functional computation and timing are decoupled (DESIGN.md §4):
+//!
+//! - [`MixGemmKernel::compute`] produces the bit-exact integer result via
+//!   the binary-segmentation arithmetic (validated against naive GEMM);
+//! - [`MixGemmKernel::simulate`] replays the full loop nest against the
+//!   cycle-level SoC + µ-engine models, returning a [`GemmReport`]. Large
+//!   problems use memoized macro-kernel sampling ([`Fidelity::Sampled`]),
+//!   exact for uniform blocks and validated against full simulation.
+//!
+//! The [`baseline`] module provides the comparison kernels of the
+//! evaluation: BLIS DGEMM (the Fig. 6 baseline), BLIS int8, scalar FP32
+//! (OpenBLAS-like, Fig. 7 baseline on the U740), a NEON-style 8-bit SIMD
+//! kernel (GEMMLowp-like, Table III), a PULP-NN-style SIMD kernel with
+//! sub-byte pack/extract overheads, and a Bison-e-style binary
+//! segmentation kernel without Source Buffers, DSU or AccMem.
+//!
+//! The [`dse`] module reproduces the §III-C design-space exploration
+//! (Table I parameters, Source-Buffer depth sweep) and the §IV-B cache
+//! sweeps; [`scaling`] makes the §III-B SIMD-datapath and multi-core
+//! scalability arguments executable.
+//!
+//! # Example
+//!
+//! ```
+//! use mixgemm_gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel, QuantMatrix};
+//! use mixgemm_binseg::PrecisionConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let precision: PrecisionConfig = "a8-w4".parse()?;
+//! let (oa, ow) = precision.operand_types();
+//! let a = QuantMatrix::from_fn(6, 40, oa, |i, k| ((i * 40 + k) % 250) as i32);
+//! let b = QuantMatrix::from_fn(40, 5, ow, |k, j| ((k + j) % 15) as i32 - 8);
+//!
+//! let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+//! let c = kernel.compute(&a, &b)?;
+//! assert_eq!(c.len(), 6 * 5);
+//!
+//! let report = kernel.simulate(GemmDims::new(6, 40, 5), Fidelity::Full)?;
+//! assert!(report.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asymmetric;
+pub mod baseline;
+pub mod dse;
+pub mod scaling;
+mod error;
+mod kernel;
+mod matrix;
+mod params;
+mod report;
+
+pub use error::GemmError;
+pub use kernel::{Fidelity, GemmOptions, MixGemmKernel};
+pub use matrix::{GemmDims, QuantMatrix};
+pub use params::BlisParams;
+pub use report::GemmReport;
+
+// Re-export the vocabulary types downstream users need.
+pub use mixgemm_binseg::{DataSize, OperandType, PrecisionConfig, Signedness};
+pub use mixgemm_soc::SocConfig;

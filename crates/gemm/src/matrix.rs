@@ -1,0 +1,265 @@
+use std::fmt;
+
+use mixgemm_binseg::{muvec, OperandType};
+
+use crate::error::GemmError;
+
+/// GEMM problem dimensions: `C[m x n] = A[m x k] * B[k x n]`.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct GemmDims {
+    /// Rows of A and C.
+    pub m: usize,
+    /// Columns of A / rows of B (the compressed dimension).
+    pub k: usize,
+    /// Columns of B and C.
+    pub n: usize,
+}
+
+impl GemmDims {
+    /// Creates a dimension triple.
+    pub const fn new(m: usize, k: usize, n: usize) -> Self {
+        GemmDims { m, k, n }
+    }
+
+    /// A square problem of side `s`.
+    pub const fn square(s: usize) -> Self {
+        GemmDims { m: s, k: s, n: s }
+    }
+
+    /// Multiply-accumulate operations of the problem.
+    pub const fn macs(&self) -> u64 {
+        (self.m as u64) * (self.k as u64) * (self.n as u64)
+    }
+
+    /// Operations as the paper counts them: 2 per MAC.
+    pub const fn ops(&self) -> u64 {
+        2 * self.macs()
+    }
+}
+
+impl fmt::Display for GemmDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.k, self.n)
+    }
+}
+
+/// A dense row-major matrix of narrow integers with a declared operand
+/// type, the input format of the Mix-GEMM library.
+#[derive(Clone, PartialEq, Debug)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    op: OperandType,
+    data: Vec<i32>,
+}
+
+impl QuantMatrix {
+    /// Wraps row-major `data`, validating every value against `op`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::BadParams`] on a shape/data length mismatch or
+    /// [`GemmError::Value`] when a value is out of range.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        op: OperandType,
+        data: Vec<i32>,
+    ) -> Result<Self, GemmError> {
+        if data.len() != rows * cols {
+            return Err(GemmError::BadParams {
+                reason: "data length does not match rows * cols",
+            });
+        }
+        for &v in &data {
+            op.check(v)?;
+        }
+        Ok(QuantMatrix {
+            rows,
+            cols,
+            op,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a generator, clamping values into range.
+    pub fn from_fn<F>(rows: usize, cols: usize, op: OperandType, mut f: F) -> Self
+    where
+        F: FnMut(usize, usize) -> i32,
+    {
+        let data = (0..rows * cols)
+            .map(|idx| f(idx / cols, idx % cols).clamp(op.min_value(), op.max_value()))
+            .collect();
+        QuantMatrix {
+            rows,
+            cols,
+            op,
+            data,
+        }
+    }
+
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize, op: OperandType) -> Self {
+        QuantMatrix {
+            rows,
+            cols,
+            op,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Row count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The operand type.
+    #[inline]
+    pub fn operand(&self) -> OperandType {
+        self.op
+    }
+
+    /// Row-major values.
+    #[inline]
+    pub fn data(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> i32 {
+        self.data[row * self.cols + col]
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[i32] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copies one column into a vector (used to pack B along `k`).
+    pub fn col(&self, col: usize) -> Vec<i32> {
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Packs every row into µ-vectors (A-side layout: compressed along
+    /// the row/`k` dimension, paper §III-A).
+    pub fn pack_rows(&self) -> Vec<Vec<u64>> {
+        (0..self.rows)
+            .map(|r| muvec::pack_slice(self.op, self.row(r)).expect("values validated"))
+            .collect()
+    }
+
+    /// Packs every column into µ-vectors (B-side layout: compressed along
+    /// the column/`k` dimension).
+    pub fn pack_cols(&self) -> Vec<Vec<u64>> {
+        (0..self.cols)
+            .map(|c| muvec::pack_slice(self.op, &self.col(c)).expect("values validated"))
+            .collect()
+    }
+
+    /// Packed memory footprint in bytes (µ-vector format).
+    pub fn packed_bytes(&self) -> usize {
+        let per_vec = muvec::words_for(self.op, self.cols) * 8;
+        self.rows * per_vec
+    }
+}
+
+impl fmt::Display for QuantMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QuantMatrix[{}x{} {}]", self.rows, self.cols, self.op)
+    }
+}
+
+/// Naive i64 reference GEMM over integer matrices (row-major A, B).
+pub fn naive_gemm(a: &QuantMatrix, b: &QuantMatrix) -> Result<Vec<i64>, GemmError> {
+    if a.cols() != b.rows() {
+        return Err(GemmError::DimensionMismatch {
+            a_cols: a.cols(),
+            b_rows: b.rows(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = vec![0i64; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a.get(i, p) as i64;
+            if av == 0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += av * b.get(p, j) as i64;
+            }
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixgemm_binseg::DataSize;
+
+    fn u8op() -> OperandType {
+        OperandType::unsigned(DataSize::B8)
+    }
+
+    #[test]
+    fn dims_accounting() {
+        let d = GemmDims::new(4, 8, 2);
+        assert_eq!(d.macs(), 64);
+        assert_eq!(d.ops(), 128);
+        assert_eq!(GemmDims::square(3).macs(), 27);
+        assert_eq!(d.to_string(), "4x8x2");
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(QuantMatrix::new(2, 2, u8op(), vec![0, 1, 2]).is_err());
+        assert!(QuantMatrix::new(2, 2, u8op(), vec![0, 1, 2, 256]).is_err());
+        let m = QuantMatrix::new(2, 2, u8op(), vec![0, 1, 2, 255]).unwrap();
+        assert_eq!(m.get(1, 1), 255);
+    }
+
+    #[test]
+    fn from_fn_clamps() {
+        let m = QuantMatrix::from_fn(1, 3, u8op(), |_, c| c as i32 * 300 - 100);
+        assert_eq!(m.data(), &[0, 200, 255]);
+    }
+
+    #[test]
+    fn rows_cols_and_packing() {
+        let m = QuantMatrix::from_fn(3, 10, u8op(), |r, c| (r * 10 + c) as i32);
+        assert_eq!(m.row(1), &[10, 11, 12, 13, 14, 15, 16, 17, 18, 19]);
+        assert_eq!(m.col(2), vec![2, 12, 22]);
+        let packed = m.pack_rows();
+        assert_eq!(packed.len(), 3);
+        assert_eq!(packed[0].len(), 2); // 10 elements at 8 per word
+        assert_eq!(m.packed_bytes(), 3 * 16);
+    }
+
+    #[test]
+    fn naive_gemm_small_known_result() {
+        let a = QuantMatrix::new(2, 2, u8op(), vec![1, 2, 3, 4]).unwrap();
+        let b = QuantMatrix::new(2, 2, u8op(), vec![5, 6, 7, 8]).unwrap();
+        let c = naive_gemm(&a, &b).unwrap();
+        assert_eq!(c, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn naive_gemm_rejects_mismatch() {
+        let a = QuantMatrix::zeros(2, 3, u8op());
+        let b = QuantMatrix::zeros(2, 2, u8op());
+        assert!(matches!(
+            naive_gemm(&a, &b),
+            Err(GemmError::DimensionMismatch { .. })
+        ));
+    }
+}

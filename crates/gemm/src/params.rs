@@ -1,0 +1,107 @@
+use std::fmt;
+
+use crate::error::GemmError;
+use mixgemm_uengine::DEFAULT_ACCMEM_SLOTS;
+
+/// BLIS blocking parameters (paper §II-C, Table I).
+///
+/// `mc x kc` A panels live in L2, `nc x kc` B panels in memory/L2,
+/// `mr x kc` / `nr x kc` µ-panels in L1, and the `mr x nr` C µ-panel in
+/// the µ-engine AccMem. `kua`/`kub` (µ-vectors fetched per innermost
+/// iteration) are chosen per precision by
+/// [`mixgemm_binseg::chunk::ChunkShape`] and are not stored here.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct BlisParams {
+    /// Rows of an A panel (L2 blocking).
+    pub mc: usize,
+    /// Columns of a B panel (memory blocking).
+    pub nc: usize,
+    /// Shared panel depth along `k`, in elements (L1 blocking).
+    pub kc: usize,
+    /// µ-panel rows (register blocking).
+    pub mr: usize,
+    /// µ-panel columns (register blocking).
+    pub nr: usize,
+}
+
+impl BlisParams {
+    /// The Table I optimum found by the paper's DSE:
+    /// `mc = nc = kc = 256`, `mr = nr = 4`.
+    pub const fn table1() -> Self {
+        BlisParams {
+            mc: 256,
+            nc: 256,
+            kc: 256,
+            mr: 4,
+            nr: 4,
+        }
+    }
+
+    /// Validates the invariants the µ-engine imposes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::BadParams`] when any block size is zero, the
+    /// register blocking exceeds the AccMem (`mr * nr > 16`), or the
+    /// panel nesting constraints (`mr <= mc`, `nr <= nc`) are violated.
+    pub fn validate(&self) -> Result<(), GemmError> {
+        if self.mc == 0 || self.nc == 0 || self.kc == 0 || self.mr == 0 || self.nr == 0 {
+            return Err(GemmError::BadParams {
+                reason: "block sizes must be positive",
+            });
+        }
+        if self.mr * self.nr > DEFAULT_ACCMEM_SLOTS {
+            return Err(GemmError::BadParams {
+                reason: "mr * nr exceeds the AccMem capacity of 16",
+            });
+        }
+        if self.mr > self.mc || self.nr > self.nc {
+            return Err(GemmError::BadParams {
+                reason: "µ-panel blocking must not exceed panel blocking",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for BlisParams {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+impl fmt::Display for BlisParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mc={} nc={} kc={} mr={} nr={}",
+            self.mc, self.nc, self.kc, self.mr, self.nr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let p = BlisParams::table1();
+        assert_eq!((p.mc, p.nc, p.kc, p.mr, p.nr), (256, 256, 256, 4, 4));
+        assert!(p.validate().is_ok());
+        assert_eq!(BlisParams::default(), p);
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        let mut p = BlisParams::table1();
+        p.mr = 5; // 5 * 4 = 20 > 16 AccMem slots
+        assert!(p.validate().is_err());
+        let mut p = BlisParams::table1();
+        p.kc = 0;
+        assert!(p.validate().is_err());
+        let mut p = BlisParams::table1();
+        p.mc = 2; // mr = 4 > mc
+        assert!(p.validate().is_err());
+    }
+}

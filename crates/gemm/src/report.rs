@@ -1,0 +1,148 @@
+use std::fmt;
+
+use mixgemm_binseg::PrecisionConfig;
+use mixgemm_soc::{CacheStats, CoreStats};
+use mixgemm_uengine::Pmu;
+
+use crate::matrix::GemmDims;
+
+/// The outcome of one simulated GEMM execution.
+///
+/// Cycle counts come from the SoC + µ-engine models; derived rates use
+/// the paper's accounting (2 operations per MAC, core frequency from the
+/// SoC preset). When `sampled` is set, cycles were extrapolated from
+/// memoized macro-kernel simulations (exact for uniform blocks; see
+/// DESIGN.md §4) and the instruction/stall counters cover the simulated
+/// subset scaled by its repetition count.
+#[derive(Clone, Debug)]
+pub struct GemmReport {
+    /// Problem dimensions.
+    pub dims: GemmDims,
+    /// Precision configuration (None for the FP/baseline kernels).
+    pub precision: Option<PrecisionConfig>,
+    /// Kernel name (e.g. `mix-gemm`, `blis-dgemm-f64`).
+    pub kernel: &'static str,
+    /// SoC preset name the run was timed on.
+    pub soc: &'static str,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// Logical multiply-accumulates performed.
+    pub macs: u64,
+    /// Core statistics (instructions, stalls).
+    pub core: CoreStats,
+    /// L1 data-cache statistics.
+    pub l1: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// µ-engine PMU counters (None for baselines without the engine).
+    pub pmu: Option<Pmu>,
+    /// Whether macro-kernel sampling extrapolation was used.
+    pub sampled: bool,
+}
+
+impl GemmReport {
+    /// Wall-clock seconds at the modelled frequency.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Giga-operations per second (2 ops per MAC, as the paper reports).
+    pub fn gops(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (2 * self.macs) as f64 / self.seconds() / 1e9
+    }
+
+    /// MACs retired per cycle.
+    pub fn macs_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.macs as f64 / self.cycles as f64
+    }
+
+    /// Cycles per MAC (the calibration currency of EXPERIMENTS.md).
+    pub fn cycles_per_mac(&self) -> f64 {
+        if self.macs == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / self.macs as f64
+    }
+
+    /// Speed-up of this run over `baseline` on the same problem,
+    /// comparing wall-clock time (the Fig. 6 / Fig. 7 metric; the two
+    /// runs may be on different SoCs, e.g. Mix-GEMM versus the U740).
+    pub fn speedup_over(&self, baseline: &GemmReport) -> f64 {
+        let own = self.seconds();
+        if own == 0.0 {
+            return 0.0;
+        }
+        baseline.seconds() / own
+    }
+}
+
+impl fmt::Display for GemmReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} on {}: {} cycles, {:.2} MAC/cy, {:.2} GOPS{}",
+            self.kernel,
+            self.dims,
+            self.soc,
+            self.cycles,
+            self.macs_per_cycle(),
+            self.gops(),
+            if self.sampled { " (sampled)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, macs: u64) -> GemmReport {
+        GemmReport {
+            dims: GemmDims::square(64),
+            precision: None,
+            kernel: "test",
+            soc: "test-soc",
+            freq_ghz: 1.2,
+            cycles,
+            macs,
+            core: CoreStats::default(),
+            l1: CacheStats::default(),
+            l2: CacheStats::default(),
+            pmu: None,
+            sampled: false,
+        }
+    }
+
+    #[test]
+    fn rates() {
+        let r = report(1_200_000_000, 2_400_000_000);
+        assert!((r.seconds() - 1.0).abs() < 1e-9);
+        assert!((r.gops() - 4.8).abs() < 1e-9);
+        assert!((r.macs_per_cycle() - 2.0).abs() < 1e-9);
+        assert!((r.cycles_per_mac() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup() {
+        let fast = report(100, 1000);
+        let slow = report(1000, 1000);
+        assert!((fast.speedup_over(&slow) - 10.0).abs() < 1e-9);
+        assert!((slow.speedup_over(&fast) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let r = report(0, 0);
+        assert_eq!(r.gops(), 0.0);
+        assert_eq!(r.macs_per_cycle(), 0.0);
+        assert_eq!(r.cycles_per_mac(), 0.0);
+    }
+}

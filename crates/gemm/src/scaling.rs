@@ -1,0 +1,166 @@
+//! The §III-B scalability extensions, made executable.
+//!
+//! The paper argues Mix-GEMM scales along two axes it does not evaluate:
+//!
+//! 1. **Wider datapaths** — "for processors hosting SIMD units, the
+//!    µ-engine can be properly sized to sustain a higher throughput":
+//!    wider Source Buffers (128-bit loads) and a DSU/DCU selecting wider
+//!    clusters across all the multipliers of the arithmetic FUs.
+//!    [`simd_projection`] computes the resulting steady-state MAC/cycle
+//!    from the exact binary-segmentation arithmetic
+//!    ([`BinSegConfig::with_mul_width`], exact up to 128 bits) and the
+//!    exact DSU walk over the wider µ-vector loads.
+//! 2. **Multiple cores** — "our BLIS-based library can easily enable
+//!    multi-threading support while retaining performance-per-core close
+//!    to the single-threaded implementation": [`multicore_projection`]
+//!    applies the BLIS many-threaded scaling model ([67]: near-linear
+//!    with a small per-core efficiency loss, bounded by the shared
+//!    memory system).
+
+use mixgemm_binseg::ip::DsuWalk;
+use mixgemm_binseg::{BinSegConfig, BinSegError, PrecisionConfig};
+
+use crate::report::GemmReport;
+
+/// Steady-state throughput projection for a scaled µ-engine datapath.
+#[derive(Copy, Clone, Debug)]
+pub struct SimdProjection {
+    /// The configuration projected.
+    pub precision: PrecisionConfig,
+    /// Modelled multiplier datapath width in bits.
+    pub mul_width: u32,
+    /// Load width in bits (Source Buffer entry size).
+    pub load_bits: u32,
+    /// Input-cluster size (peak MAC/cycle).
+    pub peak_macs_per_cycle: usize,
+    /// Effective MAC/cycle over a full chunk, accounting for µ-vector
+    /// boundary effects in the DSU walk.
+    pub effective_macs_per_cycle: f64,
+}
+
+impl SimdProjection {
+    /// Projected GOPS at `freq_ghz`, engine-bound.
+    pub fn gops(&self, freq_ghz: f64) -> f64 {
+        2.0 * self.effective_macs_per_cycle * freq_ghz
+    }
+}
+
+/// Projects the µ-engine throughput for a `mul_width`-bit datapath fed by
+/// `load_bits`-wide µ-vector loads (64 = the paper's design; 128 = the
+/// §III-B SIMD sizing).
+///
+/// # Errors
+///
+/// Returns [`BinSegError::MulWidthTooLarge`] above 128 bits and
+/// [`BinSegError::MulWidthTooSmall`] when one element does not fit.
+pub fn simd_projection(
+    precision: PrecisionConfig,
+    mul_width: u32,
+    load_bits: u32,
+) -> Result<SimdProjection, BinSegError> {
+    let (oa, ob) = precision.operand_types();
+    let cfg = BinSegConfig::with_mul_width(oa, ob, mul_width)?;
+    // Elements per load on each side scale with the load width.
+    let scale = (load_bits / 64).max(1) as usize;
+    let epv_a = oa.elems_per_muvec() * scale;
+    let epv_b = ob.elems_per_muvec() * scale;
+    // One chunk: four loads per side, as in the Table I register budget.
+    let len = (4 * epv_a).min(4 * epv_b);
+    let walk = DsuWalk::new(cfg.cluster_size(), epv_a, epv_b, len);
+    let cycles = walk.cycle_count().max(1);
+    Ok(SimdProjection {
+        precision,
+        mul_width,
+        load_bits,
+        peak_macs_per_cycle: cfg.cluster_size(),
+        effective_macs_per_cycle: len as f64 / cycles as f64,
+    })
+}
+
+/// Multi-core scaling projection for a simulated single-core run.
+#[derive(Copy, Clone, Debug)]
+pub struct MulticoreProjection {
+    /// Core count.
+    pub cores: usize,
+    /// Projected aggregate GOPS.
+    pub gops: f64,
+    /// Parallel efficiency versus ideal linear scaling.
+    pub efficiency: f64,
+}
+
+/// Projects `report` onto `cores` cores with the BLIS many-threaded model:
+/// compute parallelizes linearly, while the memory-bound share of the
+/// single-core time (approximated by the data-stall fraction) is serialized
+/// over the shared L2/DRAM. With Mix-GEMM's compressed operands that share
+/// is small, giving the near-linear scaling §III-B claims.
+pub fn multicore_projection(report: &GemmReport, cores: usize) -> MulticoreProjection {
+    let cores = cores.max(1);
+    let total = report.cycles.max(1) as f64;
+    let memory_share =
+        (report.core.data_stall_cycles as f64 / total).clamp(0.0, 1.0);
+    // Amdahl-style: memory time does not shrink (shared memory system),
+    // the rest scales linearly.
+    let scaled_time = memory_share + (1.0 - memory_share) / cores as f64;
+    let speedup = 1.0 / scaled_time;
+    MulticoreProjection {
+        cores,
+        gops: report.gops() * speedup,
+        efficiency: speedup / cores as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Fidelity, GemmOptions, MixGemmKernel};
+    use crate::matrix::GemmDims;
+
+    fn pc(s: &str) -> PrecisionConfig {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn wider_datapaths_scale_throughput() {
+        for cfg in ["a8-w8", "a4-w4", "a2-w2"] {
+            let p64 = simd_projection(pc(cfg), 64, 64).unwrap();
+            let p128 = simd_projection(pc(cfg), 128, 128).unwrap();
+            assert!(
+                p128.effective_macs_per_cycle > 1.5 * p64.effective_macs_per_cycle,
+                "{cfg}: 128-bit {:.2} vs 64-bit {:.2}",
+                p128.effective_macs_per_cycle,
+                p64.effective_macs_per_cycle
+            );
+        }
+        // The 64-bit projections reproduce the paper's envelope.
+        assert_eq!(simd_projection(pc("a8-w8"), 64, 64).unwrap().peak_macs_per_cycle, 3);
+        assert_eq!(simd_projection(pc("a2-w2"), 64, 64).unwrap().peak_macs_per_cycle, 7);
+        // And the 128-bit ones its §III-B extension.
+        assert_eq!(simd_projection(pc("a8-w8"), 128, 128).unwrap().peak_macs_per_cycle, 6);
+        assert_eq!(simd_projection(pc("a2-w2"), 128, 128).unwrap().peak_macs_per_cycle, 14);
+    }
+
+    #[test]
+    fn wider_loads_without_wider_mul_help_little() {
+        // 128-bit loads into a 64-bit multiplier only remove µ-vector
+        // boundary effects.
+        let narrow = simd_projection(pc("a2-w2"), 64, 64).unwrap();
+        let wide_loads = simd_projection(pc("a2-w2"), 64, 128).unwrap();
+        assert!(wide_loads.effective_macs_per_cycle >= narrow.effective_macs_per_cycle);
+        assert!(wide_loads.effective_macs_per_cycle < 1.3 * narrow.effective_macs_per_cycle);
+    }
+
+    #[test]
+    fn multicore_scaling_is_near_linear() {
+        let kernel = MixGemmKernel::new(GemmOptions::new(pc("a8-w8")));
+        let report = kernel
+            .simulate(GemmDims::square(512), Fidelity::Sampled)
+            .unwrap();
+        let p1 = multicore_projection(&report, 1);
+        let p4 = multicore_projection(&report, 4);
+        let p8 = multicore_projection(&report, 8);
+        assert!((p1.efficiency - 1.0).abs() < 1e-9);
+        assert!(p4.gops > 3.0 * p1.gops, "4-core {:.2} vs 1-core {:.2}", p4.gops, p1.gops);
+        assert!(p8.gops > p4.gops);
+        assert!(p8.efficiency > 0.5 && p8.efficiency <= 1.0);
+    }
+}

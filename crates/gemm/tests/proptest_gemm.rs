@@ -1,0 +1,68 @@
+//! Property-based tests of the GEMM library: sampled-fidelity accuracy
+//! against full simulation, parameter robustness, and baseline sanity.
+
+use mixgemm_gemm::baseline::{self, BaselineKind};
+use mixgemm_gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel, PrecisionConfig};
+use proptest::prelude::*;
+
+fn precision() -> impl Strategy<Value = PrecisionConfig> {
+    (2u8..=8, 2u8..=8).prop_map(|(a, w)| PrecisionConfig::from_bits(a, w).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sampled extrapolation stays within 12 % of full simulation on
+    /// random (small) problems and precisions.
+    #[test]
+    fn sampled_tracks_full(
+        pc in precision(),
+        m in 1usize..=96,
+        k in 1usize..=96,
+        n in 1usize..=96,
+    ) {
+        let kernel = MixGemmKernel::new(GemmOptions::new(pc));
+        let dims = GemmDims::new(m * 3, k * 3, n * 3);
+        let full = kernel.simulate(dims, Fidelity::Full).unwrap();
+        let sampled = kernel.simulate(dims, Fidelity::Sampled).unwrap();
+        let ratio = sampled.cycles as f64 / full.cycles.max(1) as f64;
+        prop_assert!(
+            (0.88..=1.12).contains(&ratio),
+            "dims {dims} at {pc}: sampled/full = {ratio:.3}"
+        );
+    }
+
+    /// Any supported precision and buffer depth completes without
+    /// protocol errors on awkward shapes.
+    #[test]
+    fn simulation_never_deadlocks(
+        pc in precision(),
+        depth in 1usize..=32,
+        m in 1usize..40,
+        k in 1usize..80,
+        n in 1usize..12,
+    ) {
+        let mut opts = GemmOptions::new(pc);
+        opts.srcbuf_depth = depth;
+        let kernel = MixGemmKernel::new(opts);
+        let report = kernel.simulate(GemmDims::new(m, k, n), Fidelity::Full).unwrap();
+        prop_assert!(report.cycles > 0);
+        prop_assert_eq!(report.macs, (m * k * n) as u64);
+    }
+
+    /// More MACs never cost fewer cycles (weak monotonicity along each
+    /// dimension) for the scalar baselines.
+    #[test]
+    fn baseline_monotonicity(
+        kind in prop::sample::select(vec![
+            BaselineKind::DgemmF64,
+            BaselineKind::GemmI8Scalar,
+            BaselineKind::SgemmF32,
+        ]),
+        s in 2usize..8,
+    ) {
+        let small = baseline::simulate(kind, GemmDims::square(8 * s), Fidelity::Full).unwrap();
+        let big = baseline::simulate(kind, GemmDims::square(16 * s), Fidelity::Full).unwrap();
+        prop_assert!(big.cycles > small.cycles);
+    }
+}

@@ -1,0 +1,28 @@
+//! Physical-design models: area, energy and technology scaling
+//! (paper §IV-C, Table II, Table III, §V).
+//!
+//! The original evaluation synthesizes and places-and-routes the SoC in
+//! GlobalFoundries 22FDX with the Cadence toolchain — a flow this
+//! reproduction cannot run. Per the substitution policy (DESIGN.md §1),
+//! this crate models the published physical-design data:
+//!
+//! - [`area`]: the Table II µ-engine component breakdown (seeded with
+//!   the published µm² values), the 1.96 mm² SoC floorplan, the Source
+//!   Buffer depth/area trade-off of the §III-C DSE (+67.6 % µ-engine
+//!   area from depth 16 to 32) and the cache-area model behind the
+//!   §IV-B "53 % smaller SoC" claim;
+//! - [`energy`]: a per-event energy model (active µ-engine + multiplier
+//!   cycles, idle leakage) calibrated to the §IV-C efficiency envelope
+//!   (477.5 GOPS/W – 1.3 TOPS/W over the six CNNs);
+//! - [`scaling`]: DeepScaleTool-style technology-node area scaling used
+//!   by the §V comparison against Eyeriss and UNPU;
+//! - [`related`]: the Table III literature rows, recorded as published
+//!   (the paper itself gathers them "from published papers").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod energy;
+pub mod related;
+pub mod scaling;

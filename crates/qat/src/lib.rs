@@ -1,0 +1,46 @@
+//! Quantization-Aware Training (QAT) substrate (paper §II-A, §IV-A,
+//! Fig. 3).
+//!
+//! The paper retrains the six evaluation CNNs on ImageNet with
+//! PyTorch + Brevitas on four V100 GPUs — training infrastructure this
+//! reproduction does not have. Per the substitution policy (DESIGN.md
+//! §1) this crate provides two things:
+//!
+//! 1. **A real, runnable QAT pipeline** demonstrating the Fig. 3
+//!    workflow end to end at laptop scale: a miniature reverse-mode
+//!    training framework ([`nn`]) with convolution, pooling,
+//!    fully-connected, ReLU and softmax-cross-entropy layers;
+//!    fake-quantization with the straight-through estimator
+//!    ([`nn::FakeQuant`], per-channel weights / per-tensor activations,
+//!    symmetric, as §IV-A prescribes); SGD with momentum and a step
+//!    learning-rate schedule ([`train`]); and a procedurally generated
+//!    image-classification dataset ([`data`]). Training a small CNN
+//!    reproduces the qualitative accuracy-versus-bit-width behaviour of
+//!    the paper's Fig. 7 on this synthetic task.
+//! 2. **The paper's TOP-1 accuracy results** ([`accuracy`]): the
+//!    published FP32 baselines and per-configuration accuracies of the
+//!    six CNNs, reconstructed from the figures and loss ranges stated
+//!    in §IV-B, to drive the Fig. 7 Pareto-frontier harness.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mixgemm_qat::{data, train};
+//!
+//! let dataset = data::ShapesDataset::generate(600, 42);
+//! let cfg = train::TrainConfig {
+//!     epochs: 6,
+//!     quant_bits: Some((4, 4)), // a4-w4 QAT
+//!     ..train::TrainConfig::default()
+//! };
+//! let outcome = train::train_cnn(&dataset, &cfg);
+//! println!("a4-w4 validation accuracy: {:.1}%", 100.0 * outcome.val_accuracy);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod data;
+pub mod nn;
+pub mod train;

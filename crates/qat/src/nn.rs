@@ -1,0 +1,595 @@
+//! A miniature reverse-mode neural-network framework.
+//!
+//! Just enough machinery to train small quantization-aware CNNs from
+//! scratch: convolution, max-pooling, ReLU, fully-connected, softmax
+//! cross-entropy, fake-quantization with the straight-through estimator,
+//! and SGD with momentum. Layers process one sample at a time and own
+//! their parameters, gradients and momentum buffers.
+//!
+//! Gradient correctness is verified by finite-difference tests.
+
+use crate::data::Rng;
+
+/// Fake-quantization parameters for QAT (paper §II-A / §IV-A).
+///
+/// Symmetric uniform quantization: values are scaled by an absmax-derived
+/// scale, rounded, clamped to the signed `bits`-wide range and rescaled.
+/// The backward pass is the straight-through estimator: gradients flow
+/// unchanged through the rounding, and are zeroed where the forward
+/// value was clamped.
+#[derive(Copy, Clone, Debug)]
+pub struct FakeQuant {
+    /// Bit width (2..=8); `None`-like behaviour is expressed by not
+    /// constructing a FakeQuant at all.
+    pub bits: u8,
+}
+
+impl FakeQuant {
+    /// Creates a fake-quantizer of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics for widths outside 2..=8.
+    pub fn new(bits: u8) -> Self {
+        assert!((2..=8).contains(&bits), "bits must be 2..=8");
+        FakeQuant { bits }
+    }
+
+    /// Quantization levels on the positive side (`2^(bits-1) - 1`).
+    fn qmax(&self) -> f32 {
+        ((1i32 << (self.bits - 1)) - 1) as f32
+    }
+
+    /// Fake-quantizes `data` per-tensor, writing the result and a clip
+    /// mask (1.0 where the gradient passes, 0.0 where clamped).
+    pub fn apply_per_tensor(&self, data: &mut [f32], mask: &mut [f32]) {
+        let absmax = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let scale = if absmax > 0.0 { absmax / self.qmax() } else { 1.0 };
+        self.apply_with_scale(data, mask, scale);
+    }
+
+    /// Fake-quantizes channel blocks with per-channel scales (weights).
+    pub fn apply_per_channel(&self, data: &mut [f32], mask: &mut [f32], channels: usize) {
+        let per = data.len() / channels.max(1);
+        for ch in 0..channels {
+            let lo = ch * per;
+            let hi = lo + per;
+            let absmax = data[lo..hi].iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let scale = if absmax > 0.0 { absmax / self.qmax() } else { 1.0 };
+            self.apply_with_scale(&mut data[lo..hi], &mut mask[lo..hi], scale);
+        }
+    }
+
+    fn apply_with_scale(&self, data: &mut [f32], mask: &mut [f32], scale: f32) {
+        let qmax = self.qmax();
+        for (x, m) in data.iter_mut().zip(mask.iter_mut()) {
+            let q = (*x / scale).round();
+            let clipped = q.clamp(-qmax - 1.0, qmax);
+            *m = if q == clipped { 1.0 } else { 0.0 };
+            *x = clipped * scale;
+        }
+    }
+}
+
+/// SGD hyperparameters (paper §IV-A trains with SGD, momentum 0.9 and a
+/// step learning-rate schedule).
+#[derive(Copy, Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Sgd {
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        }
+    }
+}
+
+fn sgd_step(sgd: &Sgd, params: &mut [f32], grads: &mut [f32], velocity: &mut [f32]) {
+    for ((p, g), v) in params.iter_mut().zip(grads.iter_mut()).zip(velocity.iter_mut()) {
+        let grad = *g + sgd.weight_decay * *p;
+        *v = sgd.momentum * *v - sgd.lr * grad;
+        *p += *v;
+        *g = 0.0;
+    }
+}
+
+/// 2-D convolution (stride 1, `k/2` padding) over CHW tensors, with
+/// optional weight fake-quantization.
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel extent.
+    pub k: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    w_grad: Vec<f32>,
+    b_grad: Vec<f32>,
+    w_vel: Vec<f32>,
+    b_vel: Vec<f32>,
+    weight_quant: Option<FakeQuant>,
+    // Forward caches.
+    input: Vec<f32>,
+    qweights: Vec<f32>,
+    qmask: Vec<f32>,
+    hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// He-initialized convolution.
+    pub fn new(in_c: usize, out_c: usize, k: usize, rng: &mut Rng) -> Self {
+        let fan_in = (in_c * k * k) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let weights = (0..out_c * in_c * k * k)
+            .map(|_| rng.normalish() * std * 0.5)
+            .collect::<Vec<_>>();
+        let n = weights.len();
+        Conv2d {
+            in_c,
+            out_c,
+            k,
+            weights,
+            bias: vec![0.0; out_c],
+            w_grad: vec![0.0; n],
+            b_grad: vec![0.0; out_c],
+            w_vel: vec![0.0; n],
+            b_vel: vec![0.0; out_c],
+            weight_quant: None,
+            input: Vec::new(),
+            qweights: Vec::new(),
+            qmask: Vec::new(),
+            hw: (0, 0),
+        }
+    }
+
+    /// Enables weight fake-quantization (per-channel, symmetric).
+    pub fn quantize_weights(&mut self, fq: FakeQuant) {
+        self.weight_quant = Some(fq);
+    }
+
+    /// Forward pass over a CHW tensor of `in_c * h * w` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a size mismatch (caller bug).
+    pub fn forward(&mut self, x: &[f32], h: usize, w: usize) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_c * h * w);
+        self.input = x.to_vec();
+        self.hw = (h, w);
+        self.qweights = self.weights.clone();
+        self.qmask = vec![1.0; self.weights.len()];
+        if let Some(fq) = self.weight_quant {
+            fq.apply_per_channel(&mut self.qweights, &mut self.qmask, self.out_c);
+        }
+        let pad = (self.k / 2) as isize;
+        let mut y = vec![0.0f32; self.out_c * h * w];
+        for oc in 0..self.out_c {
+            for oy in 0..h {
+                for ox in 0..w {
+                    let mut acc = self.bias[oc];
+                    for ic in 0..self.in_c {
+                        for ky in 0..self.k {
+                            for kx in 0..self.k {
+                                let iy = oy as isize + ky as isize - pad;
+                                let ix = ox as isize + kx as isize - pad;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += x[ic * h * w + iy as usize * w + ix as usize]
+                                    * self.qweights[((oc * self.in_c + ic) * self.k + ky)
+                                        * self.k
+                                        + kx];
+                            }
+                        }
+                    }
+                    y[oc * h * w + oy * w + ox] = acc;
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates parameter gradients (with the STE clip
+    /// mask applied to the weight gradient) and returns `dL/dx`.
+    pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        let (h, w) = self.hw;
+        let pad = (self.k / 2) as isize;
+        let mut dx = vec![0.0f32; self.in_c * h * w];
+        for oc in 0..self.out_c {
+            for oy in 0..h {
+                for ox in 0..w {
+                    let g = dy[oc * h * w + oy * w + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.b_grad[oc] += g;
+                    for ic in 0..self.in_c {
+                        for ky in 0..self.k {
+                            for kx in 0..self.k {
+                                let iy = oy as isize + ky as isize - pad;
+                                let ix = ox as isize + kx as isize - pad;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = ic * h * w + iy as usize * w + ix as usize;
+                                let wi =
+                                    ((oc * self.in_c + ic) * self.k + ky) * self.k + kx;
+                                self.w_grad[wi] += g * self.input[xi] * self.qmask[wi];
+                                dx[xi] += g * self.qweights[wi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    /// Applies one SGD step and clears gradients.
+    pub fn step(&mut self, sgd: &Sgd) {
+        sgd_step(sgd, &mut self.weights, &mut self.w_grad, &mut self.w_vel);
+        sgd_step(
+            &Sgd {
+                weight_decay: 0.0,
+                ..*sgd
+            },
+            &mut self.bias,
+            &mut self.b_grad,
+            &mut self.b_vel,
+        );
+    }
+}
+
+/// Fully-connected layer with optional weight fake-quantization.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Input features.
+    pub in_f: usize,
+    /// Output features.
+    pub out_f: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    w_grad: Vec<f32>,
+    b_grad: Vec<f32>,
+    w_vel: Vec<f32>,
+    b_vel: Vec<f32>,
+    weight_quant: Option<FakeQuant>,
+    input: Vec<f32>,
+    qweights: Vec<f32>,
+    qmask: Vec<f32>,
+}
+
+impl Linear {
+    /// He-initialized fully-connected layer.
+    pub fn new(in_f: usize, out_f: usize, rng: &mut Rng) -> Self {
+        let std = (2.0 / in_f as f32).sqrt();
+        let weights: Vec<f32> = (0..in_f * out_f)
+            .map(|_| rng.normalish() * std * 0.5)
+            .collect();
+        let n = weights.len();
+        Linear {
+            in_f,
+            out_f,
+            weights,
+            bias: vec![0.0; out_f],
+            w_grad: vec![0.0; n],
+            b_grad: vec![0.0; out_f],
+            w_vel: vec![0.0; n],
+            b_vel: vec![0.0; out_f],
+            weight_quant: None,
+            input: Vec::new(),
+            qweights: Vec::new(),
+            qmask: Vec::new(),
+        }
+    }
+
+    /// Enables weight fake-quantization (per-output-row, symmetric).
+    pub fn quantize_weights(&mut self, fq: FakeQuant) {
+        self.weight_quant = Some(fq);
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a size mismatch (caller bug).
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_f);
+        self.input = x.to_vec();
+        self.qweights = self.weights.clone();
+        self.qmask = vec![1.0; self.weights.len()];
+        if let Some(fq) = self.weight_quant {
+            fq.apply_per_channel(&mut self.qweights, &mut self.qmask, self.out_f);
+        }
+        (0..self.out_f)
+            .map(|o| {
+                self.bias[o]
+                    + self.qweights[o * self.in_f..(o + 1) * self.in_f]
+                        .iter()
+                        .zip(x)
+                        .map(|(w, xi)| w * xi)
+                        .sum::<f32>()
+            })
+            .collect()
+    }
+
+    /// Backward pass: accumulates gradients, returns `dL/dx`.
+    pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        let mut dx = vec![0.0f32; self.in_f];
+        for (o, &g) in dy.iter().enumerate().take(self.out_f) {
+            self.b_grad[o] += g;
+            for (i, slot) in dx.iter_mut().enumerate() {
+                let wi = o * self.in_f + i;
+                self.w_grad[wi] += g * self.input[i] * self.qmask[wi];
+                *slot += g * self.qweights[wi];
+            }
+        }
+        dx
+    }
+
+    /// Applies one SGD step and clears gradients.
+    pub fn step(&mut self, sgd: &Sgd) {
+        sgd_step(sgd, &mut self.weights, &mut self.w_grad, &mut self.w_vel);
+        sgd_step(
+            &Sgd {
+                weight_decay: 0.0,
+                ..*sgd
+            },
+            &mut self.bias,
+            &mut self.b_grad,
+            &mut self.b_vel,
+        );
+    }
+}
+
+/// ReLU with an optional activation fake-quantizer applied after the
+/// non-linearity (per-tensor, as §IV-A quantizes activations).
+#[derive(Clone, Debug, Default)]
+pub struct Relu {
+    mask: Vec<f32>,
+    act_quant: Option<FakeQuant>,
+}
+
+impl Relu {
+    /// Plain ReLU.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+
+    /// Enables activation fake-quantization after the ReLU.
+    pub fn quantize_activations(&mut self, fq: FakeQuant) {
+        self.act_quant = Some(fq);
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut y: Vec<f32> = x.iter().map(|&v| v.max(0.0)).collect();
+        self.mask = x.iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
+        if let Some(fq) = self.act_quant {
+            let mut qmask = vec![1.0; y.len()];
+            fq.apply_per_tensor(&mut y, &mut qmask);
+            for (m, q) in self.mask.iter_mut().zip(&qmask) {
+                *m *= q;
+            }
+        }
+        y
+    }
+
+    /// Backward pass.
+    pub fn backward(&self, dy: &[f32]) -> Vec<f32> {
+        dy.iter().zip(&self.mask).map(|(g, m)| g * m).collect()
+    }
+}
+
+/// 2x2 max pooling with stride 2 over CHW tensors.
+#[derive(Clone, Debug, Default)]
+pub struct MaxPool2 {
+    argmax: Vec<usize>,
+    in_len: usize,
+}
+
+impl MaxPool2 {
+    /// Creates the pool.
+    pub fn new() -> Self {
+        MaxPool2::default()
+    }
+
+    /// Forward pass; `h` and `w` must be even.
+    ///
+    /// # Panics
+    ///
+    /// Panics for odd extents (caller bug).
+    pub fn forward(&mut self, x: &[f32], c: usize, h: usize, w: usize) -> Vec<f32> {
+        assert!(h.is_multiple_of(2) && w.is_multiple_of(2), "extents must be even");
+        let (oh, ow) = (h / 2, w / 2);
+        self.in_len = x.len();
+        self.argmax = Vec::with_capacity(c * oh * ow);
+        let mut y = Vec::with_capacity(c * oh * ow);
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let i = ch * h * w + (2 * oy + dy) * w + 2 * ox + dx;
+                            if x[i] > best {
+                                best = x[i];
+                                best_i = i;
+                            }
+                        }
+                    }
+                    y.push(best);
+                    self.argmax.push(best_i);
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward pass: routes gradients to the argmax positions.
+    pub fn backward(&self, dy: &[f32]) -> Vec<f32> {
+        let mut dx = vec![0.0f32; self.in_len];
+        for (g, &i) in dy.iter().zip(&self.argmax) {
+            dx[i] += g;
+        }
+        dx
+    }
+}
+
+/// Softmax + cross-entropy for one sample: returns `(loss, dlogits)`.
+pub fn softmax_cross_entropy(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|e| e / sum).collect();
+    let loss = -probs[label].max(1e-12).ln();
+    let mut d = probs;
+    d[label] -= 1.0;
+    (loss, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fake_quant_levels() {
+        let fq = FakeQuant::new(2);
+        // 2-bit signed: levels {-2, -1, 0, 1} x scale.
+        let mut data = vec![1.0, 0.6, 0.4, -1.0, 0.0];
+        let mut mask = vec![0.0; 5];
+        fq.apply_per_tensor(&mut data, &mut mask);
+        assert_eq!(data, vec![1.0, 1.0, 0.0, -1.0, 0.0]);
+        assert!(mask.iter().all(|&m| m == 1.0));
+    }
+
+    #[test]
+    fn fake_quant_error_shrinks_with_bits() {
+        let data: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 0.03).collect();
+        let err = |bits| {
+            let fq = FakeQuant::new(bits);
+            let mut d = data.clone();
+            let mut m = vec![0.0; d.len()];
+            fq.apply_per_tensor(&mut d, &mut m);
+            d.iter()
+                .zip(&data)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f32>()
+        };
+        assert!(err(8) < err(4));
+        assert!(err(4) < err(2));
+    }
+
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let mut rng = Rng::new(3);
+        let mut layer = Linear::new(4, 3, &mut rng);
+        let x: Vec<f32> = (0..4).map(|i| 0.3 * i as f32 - 0.4).collect();
+        let label = 1;
+        let f = |l: &mut Linear, x: &[f32]| {
+            let y = l.forward(x);
+            softmax_cross_entropy(&y, label).0
+        };
+        // Analytic input gradient.
+        let y = layer.forward(&x);
+        let (_, dy) = softmax_cross_entropy(&y, label);
+        let dx = layer.backward(&dy);
+        // Finite differences on the input.
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let num = (f(&mut layer.clone(), &xp) - f(&mut layer.clone(), &xm)) / (2.0 * eps);
+            assert!(
+                (num - dx[i]).abs() < 1e-2,
+                "dx[{i}]: analytic {} vs numeric {num}",
+                dx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = Rng::new(5);
+        let mut layer = Conv2d::new(1, 2, 3, &mut rng);
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.13).sin()).collect();
+        let target: Vec<f32> = (0..32).map(|i| (i as f32 * 0.07).cos()).collect();
+        let loss = |l: &mut Conv2d, x: &[f32]| -> f32 {
+            let y = l.forward(x, 4, 4);
+            y.iter().zip(&target).map(|(a, b)| 0.5 * (a - b).powi(2)).sum()
+        };
+        let y = layer.forward(&x, 4, 4);
+        let dy: Vec<f32> = y.iter().zip(&target).map(|(a, b)| a - b).collect();
+        let dx = layer.backward(&dy);
+        let eps = 1e-3;
+        for i in [0, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let num =
+                (loss(&mut layer.clone(), &xp) - loss(&mut layer.clone(), &xm)) / (2.0 * eps);
+            assert!(
+                (num - dx[i]).abs() < 1e-2,
+                "dx[{i}]: analytic {} vs numeric {num}",
+                dx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_routes_gradients() {
+        let mut pool = MaxPool2::new();
+        let x = vec![1.0, 2.0, 3.0, 4.0]; // 1x2x2
+        let y = pool.forward(&x, 1, 2, 2);
+        assert_eq!(y, vec![4.0]);
+        let dx = pool.backward(&[1.0]);
+        assert_eq!(dx, vec![0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_masks_negative_gradients() {
+        let mut r = Relu::new();
+        let y = r.forward(&[-1.0, 2.0]);
+        assert_eq!(y, vec![0.0, 2.0]);
+        assert_eq!(r.backward(&[5.0, 5.0]), vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_sums_to_zero() {
+        let (loss, d) = softmax_cross_entropy(&[1.0, 2.0, -1.0], 0);
+        assert!(loss > 0.0);
+        assert!(d.iter().sum::<f32>().abs() < 1e-6);
+        assert!(d[0] < 0.0);
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let sgd = Sgd {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
+        let mut p = vec![5.0f32];
+        let mut v = vec![0.0f32];
+        for _ in 0..100 {
+            let mut g = vec![p[0]]; // d/dp of p^2 / 2
+            sgd_step(&sgd, &mut p, &mut g, &mut v);
+        }
+        assert!(p[0].abs() < 0.1, "p = {}", p[0]);
+    }
+}

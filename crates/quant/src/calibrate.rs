@@ -1,0 +1,199 @@
+//! Scale calibration from data.
+//!
+//! The paper initialises weight scales from the absolute maximum of the
+//! weight tensor (per-channel) and activation scales by averaging a high
+//! percentile of absolute activation values over calibration batches
+//! (§IV-A: "averaging the 99.999 percentile of the activation absolute
+//! values for 8 batches").
+
+use mixgemm_binseg::OperandType;
+
+use crate::error::QuantError;
+use crate::quantizer::Quantizer;
+
+/// Calibrates a symmetric per-tensor quantizer from the absolute maximum
+/// of `data` (absmax calibration).
+///
+/// # Errors
+///
+/// Returns [`QuantError::EmptyCalibration`] when `data` is empty.
+pub fn absmax_per_tensor(
+    operand: OperandType,
+    data: &[f32],
+) -> Result<Quantizer, QuantError> {
+    if data.is_empty() {
+        return Err(QuantError::EmptyCalibration);
+    }
+    let absmax = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    Quantizer::try_per_tensor(operand, scale_from_absmax(operand, absmax), 0)
+}
+
+/// Calibrates a symmetric per-channel quantizer: `data` is laid out as
+/// `channels` equal contiguous blocks and each block's absmax sets its
+/// scale (the paper's per-channel weight recipe, §IV-A).
+///
+/// # Errors
+///
+/// Returns [`QuantError::EmptyCalibration`] for empty data or
+/// [`QuantError::ShapeMismatch`] when `data` is not divisible into
+/// `channels` blocks.
+pub fn absmax_per_channel(
+    operand: OperandType,
+    data: &[f32],
+    channels: usize,
+) -> Result<Quantizer, QuantError> {
+    if data.is_empty() || channels == 0 {
+        return Err(QuantError::EmptyCalibration);
+    }
+    if !data.len().is_multiple_of(channels) {
+        return Err(QuantError::ShapeMismatch {
+            len: data.len(),
+            channels,
+        });
+    }
+    let per = data.len() / channels;
+    let scales = data
+        .chunks(per)
+        .map(|chunk| {
+            let absmax = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            scale_from_absmax(operand, absmax)
+        })
+        .collect();
+    Quantizer::per_channel_symmetric(operand, scales)
+}
+
+/// Calibrates a symmetric per-tensor quantizer from a percentile of the
+/// absolute values, averaged over `batches` (the paper's activation
+/// recipe with `percentile = 99.999` over 8 batches).
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidPercentile`] for percentiles outside
+/// `(0, 100]` and [`QuantError::EmptyCalibration`] when no batch holds
+/// data.
+pub fn percentile_per_tensor<'a, I>(
+    operand: OperandType,
+    batches: I,
+    percentile: f64,
+) -> Result<Quantizer, QuantError>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    if !(percentile > 0.0 && percentile <= 100.0) {
+        return Err(QuantError::InvalidPercentile { percentile });
+    }
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for batch in batches {
+        if batch.is_empty() {
+            continue;
+        }
+        let mut abs: Vec<f32> = batch.iter().map(|x| x.abs()).collect();
+        abs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in calibration data"));
+        let idx = (((percentile / 100.0) * abs.len() as f64).ceil() as usize)
+            .clamp(1, abs.len())
+            - 1;
+        sum += abs[idx] as f64;
+        count += 1;
+    }
+    if count == 0 {
+        return Err(QuantError::EmptyCalibration);
+    }
+    let absmax = (sum / count as f64) as f32;
+    Quantizer::try_per_tensor(operand, scale_from_absmax(operand, absmax), 0)
+}
+
+/// Scale mapping an absolute maximum onto the operand's positive range.
+///
+/// A zero absmax degrades to scale 1.0 (an all-zero tensor quantizes to
+/// zeros under any scale).
+fn scale_from_absmax(operand: OperandType, absmax: f32) -> f32 {
+    if absmax <= 0.0 {
+        return 1.0;
+    }
+    let headroom = operand.max_value().max(1) as f32;
+    absmax / headroom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixgemm_binseg::{DataSize, OperandType};
+
+    fn s8() -> OperandType {
+        OperandType::signed(DataSize::B8)
+    }
+
+    #[test]
+    fn absmax_covers_range_without_clipping() {
+        let data: Vec<f32> = (-100..=100).map(|i| i as f32 * 0.05).collect();
+        let q = absmax_per_tensor(s8(), &data).unwrap();
+        let max_q = data
+            .iter()
+            .map(|&x| q.quantize_value(x, 0))
+            .max()
+            .unwrap();
+        let min_q = data
+            .iter()
+            .map(|&x| q.quantize_value(x, 0))
+            .min()
+            .unwrap();
+        assert_eq!(max_q, 127);
+        assert!((-128..=-126).contains(&min_q));
+    }
+
+    #[test]
+    fn per_channel_absmax_isolates_channels() {
+        // Channel 0 small magnitudes, channel 1 large: per-channel scales
+        // keep the small channel precise.
+        let mut data = vec![0.0f32; 8];
+        for i in 0..4 {
+            data[i] = 0.01 * (i as f32 + 1.0);
+            data[4 + i] = 10.0 * (i as f32 + 1.0);
+        }
+        let q = absmax_per_channel(s8(), &data, 2).unwrap();
+        assert!(q.scale(0) < q.scale(1) / 100.0);
+        let quantized = q.quantize_slice(&data).unwrap();
+        let back = q.dequantize_slice(&quantized).unwrap();
+        for (x, y) in data.iter().zip(back.iter()) {
+            assert!((x - y).abs() <= q.scale(if *x > 1.0 { 1 } else { 0 }) / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn percentile_is_robust_to_outliers() {
+        let mut data = vec![0.5f32; 999];
+        data.push(1000.0); // a single outlier
+        let q_abs = absmax_per_tensor(s8(), &data).unwrap();
+        let q_pct = percentile_per_tensor(s8(), [data.as_slice()], 99.0).unwrap();
+        assert!(q_pct.scale(0) < q_abs.scale(0) / 100.0);
+    }
+
+    #[test]
+    fn percentile_averages_batches() {
+        let b1 = vec![1.0f32; 100];
+        let b2 = vec![3.0f32; 100];
+        let q = percentile_per_tensor(s8(), [b1.as_slice(), b2.as_slice()], 100.0)
+            .unwrap();
+        // absmax average = 2.0 -> scale = 2 / 127.
+        assert!((q.scale(0) - 2.0 / 127.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(absmax_per_tensor(s8(), &[]).is_err());
+        assert!(absmax_per_channel(s8(), &[1.0; 4], 3).is_err());
+        assert!(absmax_per_channel(s8(), &[], 2).is_err());
+        assert!(percentile_per_tensor(s8(), [[1.0f32].as_slice()], 0.0).is_err());
+        assert!(percentile_per_tensor(s8(), [[1.0f32].as_slice()], 101.0).is_err());
+        let empty: [&[f32]; 0] = [];
+        assert!(percentile_per_tensor(s8(), empty, 99.0).is_err());
+    }
+
+    #[test]
+    fn zero_tensor_calibrates_to_unit_scale() {
+        let q = absmax_per_tensor(s8(), &[0.0; 16]).unwrap();
+        assert_eq!(q.scale(0), 1.0);
+        assert_eq!(q.quantize_value(0.0, 0), 0);
+    }
+}

@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by quantization configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QuantError {
+    /// A scale is zero, negative, NaN or infinite.
+    InvalidScale {
+        /// The rejected scale value.
+        scale: f32,
+    },
+    /// Per-channel parameters do not match the channel count of the data.
+    ChannelMismatch {
+        /// Number of scale entries provided.
+        scales: usize,
+        /// Number of channels in the data.
+        channels: usize,
+    },
+    /// The data length is not divisible by the declared channel count.
+    ShapeMismatch {
+        /// Data length.
+        len: usize,
+        /// Channel count.
+        channels: usize,
+    },
+    /// An empty calibration set was supplied.
+    EmptyCalibration,
+    /// A percentile outside `(0, 100]` was requested.
+    InvalidPercentile {
+        /// The rejected percentile.
+        percentile: f64,
+    },
+    /// A data-size error bubbled up from the binseg layer.
+    DataSize(mixgemm_binseg::BinSegError),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidScale { scale } => {
+                write!(f, "quantization scale {scale} must be a positive finite number")
+            }
+            QuantError::ChannelMismatch { scales, channels } => write!(
+                f,
+                "per-channel quantizer has {scales} scales but the data has {channels} channels"
+            ),
+            QuantError::ShapeMismatch { len, channels } => write!(
+                f,
+                "data of length {len} is not divisible into {channels} channels"
+            ),
+            QuantError::EmptyCalibration => {
+                f.write_str("calibration requires at least one sample")
+            }
+            QuantError::InvalidPercentile { percentile } => {
+                write!(f, "percentile {percentile} must be in (0, 100]")
+            }
+            QuantError::DataSize(e) => write!(f, "data size error: {e}"),
+        }
+    }
+}
+
+impl Error for QuantError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuantError::DataSize(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mixgemm_binseg::BinSegError> for QuantError {
+    fn from(e: mixgemm_binseg::BinSegError) -> Self {
+        QuantError::DataSize(e)
+    }
+}

@@ -1,0 +1,56 @@
+//! Uniform affine integer quantization for Mix-GEMM (paper §II-A).
+//!
+//! Mix-GEMM accelerates DNNs quantized with *uniform affine integer
+//! quantization*:
+//!
+//! ```text
+//! y = q(x) = clamp(round(x / s + z), y_min, y_max)        (Eq. 1)
+//! ```
+//!
+//! where `s` is the scale, `z` the zero-point and `[y_min, y_max]` the
+//! signed or unsigned integer range of the target bit width (Eq. 2). This
+//! crate implements:
+//!
+//! - [`Quantizer`]: scale/zero-point containers with per-tensor
+//!   (layer-wise) and per-channel granularity, symmetric and asymmetric;
+//! - [`calibrate`]: absmax and percentile calibration of scales from data
+//!   (the paper's §IV-A initialisation recipe);
+//! - [`QuantTensor`]: a quantized tensor pairing integer values with their
+//!   quantizer, plus fake-quantization (`quantize` then `dequantize`) used
+//!   by QAT;
+//! - [`requantize`]: folding an `i32` GEMM accumulator back to a narrow
+//!   output data size given input/weight/output scales (scales and biases
+//!   stay in floating point, §IV-A).
+//!
+//! # Example
+//!
+//! ```
+//! use mixgemm_quant::{Quantizer, QuantScheme, DataSize, OperandType};
+//!
+//! # fn main() -> Result<(), mixgemm_quant::QuantError> {
+//! let op = OperandType::signed(DataSize::new(4).unwrap());
+//! let q = Quantizer::per_tensor_symmetric(op, 0.25);
+//! assert_eq!(q.quantize_value(1.0, 0), 4);
+//! assert_eq!(q.quantize_value(100.0, 0), 7); // clamped to the 4-bit max
+//! assert_eq!(q.dequantize_value(4, 0), 1.0);
+//! assert!(matches!(q.scheme(), QuantScheme::PerTensor));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+mod error;
+mod quantizer;
+mod requant;
+mod tensor;
+
+pub use error::QuantError;
+pub use quantizer::{QuantScheme, Quantizer};
+pub use requant::{requantize, requantize_value, RequantParams};
+pub use tensor::QuantTensor;
+
+// Re-export the operand vocabulary so downstream users need one import.
+pub use mixgemm_binseg::{DataSize, OperandType, Signedness};

@@ -1,0 +1,329 @@
+use std::fmt;
+
+use mixgemm_binseg::OperandType;
+
+use crate::error::QuantError;
+
+/// Quantization granularity (paper §II-A).
+///
+/// `PerTensor` (also called layer-wise) uses one scalar scale; `PerChannel`
+/// uses a 1-dimensional tensor of scales, one per output channel — the
+/// paper quantizes weights per-channel and activations per-tensor (§IV-A).
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum QuantScheme {
+    /// One scale/zero-point for the whole tensor.
+    PerTensor,
+    /// One scale/zero-point per output channel.
+    PerChannel,
+}
+
+impl fmt::Display for QuantScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantScheme::PerTensor => f.write_str("per-tensor"),
+            QuantScheme::PerChannel => f.write_str("per-channel"),
+        }
+    }
+}
+
+/// A uniform affine quantizer: scales, zero-points and a target operand
+/// type (paper Eqs. 1–2).
+///
+/// Symmetric quantization fixes the zero-point at zero; the paper trains
+/// both activations and weights with `z = 0` to simplify the integer GEMM
+/// (§IV-A), but asymmetric quantizers are supported for generality.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Quantizer {
+    operand: OperandType,
+    scales: Vec<f32>,
+    zero_points: Vec<i32>,
+    scheme: QuantScheme,
+}
+
+impl Quantizer {
+    /// Creates a symmetric per-tensor quantizer with the given scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale` is not a positive finite number; use
+    /// [`Quantizer::try_per_tensor`] for fallible construction.
+    pub fn per_tensor_symmetric(operand: OperandType, scale: f32) -> Self {
+        Self::try_per_tensor(operand, scale, 0).expect("invalid scale")
+    }
+
+    /// Creates a per-tensor quantizer with an explicit zero-point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidScale`] for non-positive or non-finite
+    /// scales.
+    pub fn try_per_tensor(
+        operand: OperandType,
+        scale: f32,
+        zero_point: i32,
+    ) -> Result<Self, QuantError> {
+        check_scale(scale)?;
+        Ok(Quantizer {
+            operand,
+            scales: vec![scale],
+            zero_points: vec![zero_point],
+            scheme: QuantScheme::PerTensor,
+        })
+    }
+
+    /// Creates a symmetric per-channel quantizer from one scale per channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidScale`] when any scale is invalid, or
+    /// [`QuantError::EmptyCalibration`] when `scales` is empty.
+    pub fn per_channel_symmetric(
+        operand: OperandType,
+        scales: Vec<f32>,
+    ) -> Result<Self, QuantError> {
+        if scales.is_empty() {
+            return Err(QuantError::EmptyCalibration);
+        }
+        for &s in &scales {
+            check_scale(s)?;
+        }
+        let zero_points = vec![0; scales.len()];
+        Ok(Quantizer {
+            operand,
+            scales,
+            zero_points,
+            scheme: QuantScheme::PerChannel,
+        })
+    }
+
+    /// The target operand type (width and signedness).
+    #[inline]
+    pub fn operand(&self) -> OperandType {
+        self.operand
+    }
+
+    /// The granularity of this quantizer.
+    #[inline]
+    pub fn scheme(&self) -> QuantScheme {
+        self.scheme
+    }
+
+    /// Number of channels (1 for per-tensor quantizers).
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// The scale for `channel` (ignored for per-tensor quantizers).
+    #[inline]
+    pub fn scale(&self, channel: usize) -> f32 {
+        self.scales[self.index(channel)]
+    }
+
+    /// The zero-point for `channel`.
+    #[inline]
+    pub fn zero_point(&self, channel: usize) -> i32 {
+        self.zero_points[self.index(channel)]
+    }
+
+    /// `true` when every zero-point is zero (symmetric quantization).
+    pub fn is_symmetric(&self) -> bool {
+        self.zero_points.iter().all(|&z| z == 0)
+    }
+
+    /// Quantizes one value for `channel` per Eq. 1: scale, round to nearest
+    /// (ties away from zero, as `f32::round`), shift by the zero-point and
+    /// clamp to the operand range.
+    #[inline]
+    pub fn quantize_value(&self, x: f32, channel: usize) -> i32 {
+        let i = self.index(channel);
+        let q = (x / self.scales[i]).round() as i64 + self.zero_points[i] as i64;
+        q.clamp(
+            self.operand.min_value() as i64,
+            self.operand.max_value() as i64,
+        ) as i32
+    }
+
+    /// Dequantizes one value: `(q - z) * s`.
+    #[inline]
+    pub fn dequantize_value(&self, q: i32, channel: usize) -> f32 {
+        let i = self.index(channel);
+        (q - self.zero_points[i]) as f32 * self.scales[i]
+    }
+
+    /// Fake-quantizes one value (quantize then dequantize), the operation
+    /// QAT inserts in the training graph (paper §II-A, §IV-A).
+    #[inline]
+    pub fn fake_quantize_value(&self, x: f32, channel: usize) -> f32 {
+        self.dequantize_value(self.quantize_value(x, channel), channel)
+    }
+
+    /// Quantizes a whole tensor laid out as `channels` equal contiguous
+    /// blocks (e.g. weight tensors as `[out_channels, ...]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ShapeMismatch`] when the data is not divisible
+    /// into the quantizer's channel count, or
+    /// [`QuantError::ChannelMismatch`] when a per-channel quantizer is
+    /// applied to a different channel count.
+    pub fn quantize_slice(&self, data: &[f32]) -> Result<Vec<i32>, QuantError> {
+        let channels = self.channels();
+        if self.scheme == QuantScheme::PerChannel && !data.len().is_multiple_of(channels) {
+            return Err(QuantError::ShapeMismatch {
+                len: data.len(),
+                channels,
+            });
+        }
+        let per = data.len().checked_div(channels).unwrap_or(0);
+        Ok(data
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let ch = if self.scheme == QuantScheme::PerTensor {
+                    0
+                } else {
+                    i / per
+                };
+                self.quantize_value(x, ch)
+            })
+            .collect())
+    }
+
+    /// Dequantizes a whole tensor with the same layout rules as
+    /// [`Quantizer::quantize_slice`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ShapeMismatch`] when the data is not divisible
+    /// into the quantizer's channel count.
+    pub fn dequantize_slice(&self, data: &[i32]) -> Result<Vec<f32>, QuantError> {
+        let channels = self.channels();
+        if self.scheme == QuantScheme::PerChannel && !data.len().is_multiple_of(channels) {
+            return Err(QuantError::ShapeMismatch {
+                len: data.len(),
+                channels,
+            });
+        }
+        let per = data.len().checked_div(channels).unwrap_or(0);
+        Ok(data
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let ch = if self.scheme == QuantScheme::PerTensor {
+                    0
+                } else {
+                    i / per
+                };
+                self.dequantize_value(q, ch)
+            })
+            .collect())
+    }
+
+    #[inline]
+    fn index(&self, channel: usize) -> usize {
+        if self.scheme == QuantScheme::PerTensor {
+            0
+        } else {
+            channel
+        }
+    }
+}
+
+fn check_scale(scale: f32) -> Result<(), QuantError> {
+    if scale.is_finite() && scale > 0.0 {
+        Ok(())
+    } else {
+        Err(QuantError::InvalidScale { scale })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixgemm_binseg::DataSize;
+
+    fn s8() -> OperandType {
+        OperandType::signed(DataSize::B8)
+    }
+
+    #[test]
+    fn eq1_quantize_clamps_to_eq2_range() {
+        let q = Quantizer::per_tensor_symmetric(s8(), 0.1);
+        assert_eq!(q.quantize_value(1.0, 0), 10);
+        assert_eq!(q.quantize_value(-1.0, 0), -10);
+        assert_eq!(q.quantize_value(1000.0, 0), 127);
+        assert_eq!(q.quantize_value(-1000.0, 0), -128);
+        let u4 = Quantizer::per_tensor_symmetric(
+            OperandType::unsigned(DataSize::B4),
+            1.0,
+        );
+        assert_eq!(u4.quantize_value(-3.0, 0), 0);
+        assert_eq!(u4.quantize_value(20.0, 0), 15);
+    }
+
+    #[test]
+    fn asymmetric_zero_point() {
+        let q = Quantizer::try_per_tensor(
+            OperandType::unsigned(DataSize::B8),
+            0.5,
+            128,
+        )
+        .unwrap();
+        assert!(!q.is_symmetric());
+        assert_eq!(q.quantize_value(0.0, 0), 128);
+        assert_eq!(q.quantize_value(-10.0, 0), 108);
+        assert_eq!(q.dequantize_value(128, 0), 0.0);
+    }
+
+    #[test]
+    fn rejects_invalid_scales() {
+        for bad in [0.0, -1.0, f32::NAN, f32::INFINITY] {
+            assert!(Quantizer::try_per_tensor(s8(), bad, 0).is_err());
+        }
+        assert!(Quantizer::per_channel_symmetric(s8(), vec![]).is_err());
+        assert!(Quantizer::per_channel_symmetric(s8(), vec![1.0, -0.5]).is_err());
+    }
+
+    #[test]
+    fn per_channel_uses_channel_scale() {
+        let q =
+            Quantizer::per_channel_symmetric(s8(), vec![0.1, 1.0]).unwrap();
+        assert_eq!(q.channels(), 2);
+        let data = vec![1.0, 2.0, 1.0, 2.0];
+        let quantized = q.quantize_slice(&data).unwrap();
+        assert_eq!(quantized, vec![10, 20, 1, 2]);
+        let back = q.dequantize_slice(&quantized).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn per_channel_shape_checked() {
+        let q =
+            Quantizer::per_channel_symmetric(s8(), vec![0.1, 1.0, 2.0]).unwrap();
+        assert!(matches!(
+            q.quantize_slice(&[1.0; 4]),
+            Err(QuantError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fake_quantize_is_idempotent() {
+        let q = Quantizer::per_tensor_symmetric(s8(), 0.37);
+        for x in [-20.0, -0.2, 0.0, 0.4, 5.5, 47.0] {
+            let once = q.fake_quantize_value(x, 0);
+            let twice = q.fake_quantize_value(once, 0);
+            assert!((once - twice).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_scale() {
+        let q = Quantizer::per_tensor_symmetric(s8(), 0.25);
+        for i in -120..=120 {
+            let x = i as f32 * 0.03;
+            let err = (q.fake_quantize_value(x, 0) - x).abs();
+            assert!(err <= 0.125 + 1e-6, "x={x} err={err}");
+        }
+    }
+}

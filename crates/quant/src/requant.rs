@@ -1,0 +1,176 @@
+//! Requantization of wide accumulators back to narrow data sizes.
+//!
+//! A quantized GEMM accumulates products of narrow integers in an `i32`
+//! accumulator whose effective scale is `s_a * s_w`. To feed the next
+//! layer, the accumulator is rescaled to the output quantizer's scale and
+//! clamped back to the narrow range. The paper keeps scales and biases in
+//! floating point (§IV-A), which this module mirrors.
+
+use mixgemm_binseg::OperandType;
+
+use crate::error::QuantError;
+use crate::quantizer::Quantizer;
+
+/// Parameters of one requantization: input scales, optional bias and the
+/// output quantizer.
+#[derive(Clone, Debug)]
+pub struct RequantParams {
+    act_scale: f32,
+    weight_scales: Vec<f32>,
+    bias: Vec<f32>,
+    output: Quantizer,
+}
+
+impl RequantParams {
+    /// Builds requantization parameters.
+    ///
+    /// `weight_scales` carries one scale per output channel (or a single
+    /// entry for per-tensor weights); `bias` is either empty or one entry
+    /// per output channel, applied in floating point before the output
+    /// quantization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidScale`] for non-positive scales and
+    /// [`QuantError::ChannelMismatch`] when the bias length matches
+    /// neither zero nor the weight-scale count (for multi-channel scales).
+    pub fn new(
+        act_scale: f32,
+        weight_scales: Vec<f32>,
+        bias: Vec<f32>,
+        output: Quantizer,
+    ) -> Result<Self, QuantError> {
+        if !(act_scale.is_finite() && act_scale > 0.0) {
+            return Err(QuantError::InvalidScale { scale: act_scale });
+        }
+        for &s in &weight_scales {
+            if !(s.is_finite() && s > 0.0) {
+                return Err(QuantError::InvalidScale { scale: s });
+            }
+        }
+        if weight_scales.is_empty() {
+            return Err(QuantError::EmptyCalibration);
+        }
+        if !bias.is_empty() && weight_scales.len() > 1 && bias.len() != weight_scales.len()
+        {
+            return Err(QuantError::ChannelMismatch {
+                scales: weight_scales.len(),
+                channels: bias.len(),
+            });
+        }
+        Ok(RequantParams {
+            act_scale,
+            weight_scales,
+            bias,
+            output,
+        })
+    }
+
+    /// The output operand type.
+    pub fn output_operand(&self) -> OperandType {
+        self.output.operand()
+    }
+
+    /// The output quantizer.
+    pub fn output_quantizer(&self) -> &Quantizer {
+        &self.output
+    }
+
+    /// The effective accumulator scale for `channel`: `s_a * s_w[channel]`.
+    #[inline]
+    pub fn accumulator_scale(&self, channel: usize) -> f32 {
+        let w = if self.weight_scales.len() == 1 {
+            self.weight_scales[0]
+        } else {
+            self.weight_scales[channel]
+        };
+        self.act_scale * w
+    }
+
+    #[inline]
+    fn bias_for(&self, channel: usize) -> f32 {
+        match self.bias.len() {
+            0 => 0.0,
+            1 => self.bias[0],
+            _ => self.bias[channel],
+        }
+    }
+}
+
+/// Requantizes one `i32` accumulator value belonging to output `channel`.
+///
+/// The accumulator is converted to real domain (`acc * s_a * s_w`), the
+/// floating-point bias added, and the result quantized by the output
+/// quantizer (Eq. 1).
+#[inline]
+pub fn requantize_value(params: &RequantParams, acc: i32, channel: usize) -> i32 {
+    let real = acc as f32 * params.accumulator_scale(channel) + params.bias_for(channel);
+    params.output.quantize_value(real, channel.min(params.output.channels() - 1))
+}
+
+/// Requantizes a row-major `rows x cols` accumulator matrix whose columns
+/// are output channels (the GEMM layout produced by im2col convolution).
+pub fn requantize(params: &RequantParams, acc: &[i32], cols: usize) -> Vec<i32> {
+    acc.iter()
+        .enumerate()
+        .map(|(i, &v)| requantize_value(params, v, if cols == 0 { 0 } else { i % cols }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixgemm_binseg::DataSize;
+
+    fn out_u8() -> Quantizer {
+        Quantizer::per_tensor_symmetric(OperandType::unsigned(DataSize::B8), 0.1)
+    }
+
+    #[test]
+    fn roundtrip_through_real_domain() {
+        // acc = 100 with s_a*s_w = 0.02 -> 2.0 real -> 20 at scale 0.1.
+        let p = RequantParams::new(0.1, vec![0.2], vec![], out_u8()).unwrap();
+        assert_eq!(requantize_value(&p, 100, 0), 20);
+    }
+
+    #[test]
+    fn bias_is_applied_in_real_domain() {
+        let p = RequantParams::new(0.1, vec![0.2], vec![1.0], out_u8()).unwrap();
+        // 2.0 + 1.0 = 3.0 -> 30.
+        assert_eq!(requantize_value(&p, 100, 0), 30);
+    }
+
+    #[test]
+    fn per_channel_weight_scales() {
+        let p = RequantParams::new(0.1, vec![0.2, 0.4], vec![], out_u8()).unwrap();
+        assert_eq!(requantize_value(&p, 100, 0), 20);
+        assert_eq!(requantize_value(&p, 100, 1), 40);
+    }
+
+    #[test]
+    fn output_clamps_to_narrow_range() {
+        let p = RequantParams::new(1.0, vec![1.0], vec![], out_u8()).unwrap();
+        assert_eq!(requantize_value(&p, 1_000_000, 0), 255);
+        assert_eq!(requantize_value(&p, -5, 0), 0);
+    }
+
+    #[test]
+    fn matrix_requantization_maps_columns_to_channels() {
+        let p = RequantParams::new(0.1, vec![0.1, 1.0], vec![], out_u8()).unwrap();
+        // Column 0: 100 * (0.1 * 0.1) = 1.0 -> 10 at output scale 0.1;
+        // column 1: 100 * (0.1 * 1.0) = 10.0 -> 100.
+        let acc = vec![100, 100, 200, 200];
+        let out = requantize(&p, &acc, 2);
+        assert_eq!(out, vec![10, 100, 20, 200]);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(RequantParams::new(0.0, vec![1.0], vec![], out_u8()).is_err());
+        assert!(RequantParams::new(1.0, vec![], vec![], out_u8()).is_err());
+        assert!(RequantParams::new(1.0, vec![-1.0], vec![], out_u8()).is_err());
+        assert!(
+            RequantParams::new(1.0, vec![1.0, 1.0], vec![0.0; 3], out_u8()).is_err()
+        );
+    }
+}

@@ -1,0 +1,211 @@
+use std::fmt;
+
+use crate::error::QuantError;
+use crate::quantizer::Quantizer;
+
+/// A quantized tensor: integer values paired with the quantizer that
+/// produced them and a logical shape.
+///
+/// The integer values are stored as `i32` for convenience; every value is
+/// guaranteed to fit the quantizer's operand range, so they can be packed
+/// losslessly into µ-vectors by the GEMM layer.
+#[derive(Clone, PartialEq, Debug)]
+pub struct QuantTensor {
+    values: Vec<i32>,
+    shape: Vec<usize>,
+    quantizer: Quantizer,
+}
+
+impl QuantTensor {
+    /// Quantizes floating-point `data` of the given `shape`.
+    ///
+    /// For per-channel quantizers the leading shape dimension is the
+    /// channel dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ShapeMismatch`] when the shape does not match
+    /// the data length or the quantizer's channel count.
+    pub fn quantize(
+        data: &[f32],
+        shape: Vec<usize>,
+        quantizer: Quantizer,
+    ) -> Result<Self, QuantError> {
+        let numel: usize = shape.iter().product();
+        if numel != data.len() {
+            return Err(QuantError::ShapeMismatch {
+                len: data.len(),
+                channels: numel.max(1),
+            });
+        }
+        if quantizer.channels() > 1 {
+            let leading = shape.first().copied().unwrap_or(0);
+            if leading != quantizer.channels() {
+                return Err(QuantError::ChannelMismatch {
+                    scales: quantizer.channels(),
+                    channels: leading,
+                });
+            }
+        }
+        let values = quantizer.quantize_slice(data)?;
+        Ok(QuantTensor {
+            values,
+            shape,
+            quantizer,
+        })
+    }
+
+    /// Wraps already-quantized values, validating them against the
+    /// quantizer's operand range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ShapeMismatch`] on a shape/data disagreement
+    /// or [`QuantError::DataSize`] when a value is out of range.
+    pub fn from_values(
+        values: Vec<i32>,
+        shape: Vec<usize>,
+        quantizer: Quantizer,
+    ) -> Result<Self, QuantError> {
+        let numel: usize = shape.iter().product();
+        if numel != values.len() {
+            return Err(QuantError::ShapeMismatch {
+                len: values.len(),
+                channels: numel.max(1),
+            });
+        }
+        for &v in &values {
+            quantizer.operand().check(v)?;
+        }
+        Ok(QuantTensor {
+            values,
+            shape,
+            quantizer,
+        })
+    }
+
+    /// The integer values, row-major.
+    #[inline]
+    pub fn values(&self) -> &[i32] {
+        &self.values
+    }
+
+    /// The logical shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The quantizer that produced (and can dequantize) this tensor.
+    #[inline]
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// Dequantizes back to floating point.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.quantizer
+            .dequantize_slice(&self.values)
+            .expect("a constructed QuantTensor always dequantizes")
+    }
+
+    /// Memory footprint in bytes when stored packed as µ-vectors, the
+    /// compressed in-memory format of the Mix-GEMM library (§III-A).
+    pub fn packed_bytes(&self) -> usize {
+        mixgemm_binseg::muvec::bytes_for(self.quantizer.operand(), self.numel())
+    }
+
+    /// Memory footprint in bytes if stored at FP32, for compression-ratio
+    /// reporting.
+    pub fn fp32_bytes(&self) -> usize {
+        self.numel() * 4
+    }
+}
+
+impl fmt::Display for QuantTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QuantTensor{:?} {} ({} elems, {} packed bytes)",
+            self.shape,
+            self.quantizer.operand(),
+            self.numel(),
+            self.packed_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixgemm_binseg::{DataSize, OperandType};
+
+    #[test]
+    fn quantize_dequantize_roundtrip_error_bound() {
+        let q = Quantizer::per_tensor_symmetric(
+            OperandType::signed(DataSize::B8),
+            0.05,
+        );
+        let data: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 0.1).collect();
+        let t = QuantTensor::quantize(&data, vec![8, 8], q.clone()).unwrap();
+        let back = t.dequantize();
+        for (x, y) in data.iter().zip(back.iter()) {
+            assert!((x - y).abs() <= 0.025 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let q = Quantizer::per_tensor_symmetric(
+            OperandType::signed(DataSize::B8),
+            1.0,
+        );
+        assert!(QuantTensor::quantize(&[1.0; 5], vec![2, 3], q.clone()).is_err());
+        assert!(QuantTensor::from_values(vec![1; 5], vec![2, 3], q).is_err());
+    }
+
+    #[test]
+    fn per_channel_leading_dim_must_match() {
+        let q = Quantizer::per_channel_symmetric(
+            OperandType::signed(DataSize::B8),
+            vec![1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        assert!(QuantTensor::quantize(&[0.0; 6], vec![2, 3], q.clone()).is_err());
+        assert!(QuantTensor::quantize(&[0.0; 6], vec![3, 2], q).is_ok());
+    }
+
+    #[test]
+    fn from_values_range_checked() {
+        let q = Quantizer::per_tensor_symmetric(
+            OperandType::unsigned(DataSize::B4),
+            1.0,
+        );
+        assert!(QuantTensor::from_values(vec![0, 15], vec![2], q.clone()).is_ok());
+        assert!(QuantTensor::from_values(vec![0, 16], vec![2], q).is_err());
+    }
+
+    #[test]
+    fn packed_footprint_shrinks_with_bits() {
+        let data = vec![0.0f32; 256];
+        let mk = |bits| {
+            let q = Quantizer::per_tensor_symmetric(
+                OperandType::unsigned(DataSize::new(bits).unwrap()),
+                1.0,
+            );
+            QuantTensor::quantize(&data, vec![256], q).unwrap().packed_bytes()
+        };
+        assert_eq!(mk(8), 256);
+        assert_eq!(mk(4), 128);
+        assert_eq!(mk(2), 64);
+        // 4x compression versus FP32 at 8 bits, 16x at 2 bits.
+        let t8 = mk(8);
+        assert_eq!(1024 / t8, 4);
+    }
+}

@@ -1,0 +1,345 @@
+//! Set-associative cache hierarchy with LRU replacement.
+//!
+//! Models the paper's memory system: a 32 KB L1 data cache and a 512 KB
+//! L2, both backed by DRAM (§IV-A), with the cache-size sweeps of §IV-B
+//! (L1 64→16 KB, L2 512→64 KB) expressible through [`CacheConfig`].
+
+use std::fmt;
+
+/// Geometry of one cache level.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// A convenience constructor from kibibytes with 64-byte lines.
+    pub const fn kib(kib: usize, ways: usize) -> Self {
+        CacheConfig {
+            size_bytes: kib * 1024,
+            ways,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / self.line_bytes / self.ways).max(1)
+    }
+}
+
+/// Hit/miss outcome of a hierarchy access, with the total latency.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum AccessOutcome {
+    /// Served by L1.
+    L1Hit {
+        /// Total access latency in cycles.
+        latency: u32,
+    },
+    /// Missed L1, served by L2.
+    L2Hit {
+        /// Total access latency in cycles.
+        latency: u32,
+    },
+    /// Missed both levels, served by memory.
+    MemHit {
+        /// Total access latency in cycles.
+        latency: u32,
+    },
+}
+
+impl AccessOutcome {
+    /// The total latency of the access in cycles.
+    pub fn latency(self) -> u32 {
+        match self {
+            AccessOutcome::L1Hit { latency }
+            | AccessOutcome::L2Hit { latency }
+            | AccessOutcome::MemHit { latency } => latency,
+        }
+    }
+}
+
+/// Per-level access statistics.
+#[derive(Copy, Clone, Default, Eq, PartialEq, Debug)]
+pub struct CacheStats {
+    /// Total accesses observed at this level.
+    pub accesses: u64,
+    /// Misses at this level.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio, zero when no accesses were observed.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One set-associative, write-allocate, LRU cache level.
+///
+/// Tags only — the model tracks presence, not data (data correctness is
+/// the functional path's job).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `tags[set * ways + way]`: line tag or `u64::MAX` when invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (cold) cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let slots = cfg.sets() * cfg.ways;
+        Cache {
+            cfg,
+            tags: vec![u64::MAX; slots],
+            stamps: vec![0; slots],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit and
+    /// allocates the line on miss (write-allocate for stores too).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line = addr / self.cfg.line_bytes as u64;
+        let set = (line % self.cfg.sets() as u64) as usize;
+        let base = set * self.cfg.ways;
+        let ways = &mut self.tags[base..base + self.cfg.ways];
+        if let Some(way) = ways.iter().position(|&t| t == line) {
+            self.stamps[base + way] = self.clock;
+            return true;
+        }
+        self.stats.misses += 1;
+        // Evict the LRU way.
+        let victim = (0..self.cfg.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways >= 1");
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Inserts the line containing `addr` without counting statistics —
+    /// used to model warm caches (repeated benchmark runs, activations
+    /// produced by a preceding layer).
+    pub fn touch(&mut self, addr: u64) {
+        let stats = self.stats;
+        self.access(addr);
+        self.stats = stats;
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Invalidates every line and clears statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+/// A two-level hierarchy (L1d, L2) over a fixed-latency memory.
+#[derive(Clone, Debug)]
+pub struct CacheHierarchy {
+    l1: Cache,
+    l2: Cache,
+    l1_latency: u32,
+    l2_latency: u32,
+    mem_latency: u32,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from per-level geometries and latencies.
+    ///
+    /// `l1_latency` is the load-to-use latency of an L1 hit;
+    /// `l2_latency` and `mem_latency` are total latencies for accesses
+    /// served by L2 and memory respectively.
+    pub fn new(
+        l1: CacheConfig,
+        l1_latency: u32,
+        l2: CacheConfig,
+        l2_latency: u32,
+        mem_latency: u32,
+    ) -> Self {
+        CacheHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            l1_latency,
+            l2_latency,
+            mem_latency,
+        }
+    }
+
+    /// Performs one access, updating both levels (L2 accessed only on an
+    /// L1 miss, as an inclusive hierarchy would).
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        if self.l1.access(addr) {
+            AccessOutcome::L1Hit {
+                latency: self.l1_latency,
+            }
+        } else if self.l2.access(addr) {
+            AccessOutcome::L2Hit {
+                latency: self.l2_latency,
+            }
+        } else {
+            AccessOutcome::MemHit {
+                latency: self.mem_latency,
+            }
+        }
+    }
+
+    /// Warms both levels with the line containing `addr`, without
+    /// counting statistics.
+    pub fn touch(&mut self, addr: u64) {
+        self.l1.touch(addr);
+        self.l2.touch(addr);
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Cold-starts both levels and clears statistics.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+    }
+}
+
+impl fmt::Display for CacheHierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1 {}KB/{}w ({:.1}% miss), L2 {}KB/{}w ({:.1}% miss)",
+            self.l1.config().size_bytes / 1024,
+            self.l1.config().ways,
+            100.0 * self.l1.stats().miss_rate(),
+            self.l2.config().size_bytes / 1024,
+            self.l2.config().ways,
+            100.0 * self.l2.stats().miss_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 64,
+        } // 8 sets x 2 ways
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(small().sets(), 8);
+        assert_eq!(CacheConfig::kib(32, 8).sets(), 64);
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = Cache::new(small());
+        assert!(!c.access(0));
+        assert!(c.access(8)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = Cache::new(small());
+        // Three lines mapping to set 0 (stride = sets * line = 512B).
+        assert!(!c.access(0));
+        assert!(!c.access(512));
+        assert!(c.access(0)); // refresh line 0
+        assert!(!c.access(1024)); // evicts 512 (LRU)
+        assert!(c.access(0));
+        assert!(!c.access(512)); // was evicted
+    }
+
+    #[test]
+    fn streaming_larger_than_cache_always_misses() {
+        let mut c = Cache::new(small());
+        for rep in 0..2 {
+            for i in 0..64u64 {
+                let hit = c.access(i * 64);
+                if rep == 0 {
+                    assert!(!hit);
+                }
+            }
+        }
+        // 4 KB working set in a 1 KB cache: second pass also misses (LRU
+        // streaming pathology).
+        assert_eq!(c.stats().misses, 128);
+    }
+
+    #[test]
+    fn hierarchy_latencies() {
+        let mut h = CacheHierarchy::new(small(), 2, CacheConfig::kib(8, 4), 14, 90);
+        assert_eq!(h.access(0), AccessOutcome::MemHit { latency: 90 });
+        assert_eq!(h.access(0), AccessOutcome::L1Hit { latency: 2 });
+        // Evict from tiny L1 but keep in L2.
+        h.access(512);
+        h.access(1024);
+        assert_eq!(h.access(512), AccessOutcome::L1Hit { latency: 2 });
+        assert_eq!(h.access(0), AccessOutcome::L2Hit { latency: 14 });
+        assert!(h.l1_stats().misses >= 3);
+    }
+
+    #[test]
+    fn reset_cold_starts() {
+        let mut h = CacheHierarchy::new(small(), 2, CacheConfig::kib(8, 4), 14, 90);
+        h.access(0);
+        h.reset();
+        assert_eq!(h.l1_stats().accesses, 0);
+        assert_eq!(h.access(0).latency(), 90);
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_steadily() {
+        let mut c = Cache::new(CacheConfig::kib(32, 8));
+        // 16 KB working set streamed twice: second pass all hits.
+        for _ in 0..2 {
+            for i in 0..256u64 {
+                c.access(i * 64);
+            }
+        }
+        assert_eq!(c.stats().misses, 256);
+        assert_eq!(c.stats().accesses, 512);
+    }
+}

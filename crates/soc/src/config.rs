@@ -1,0 +1,91 @@
+use crate::cache::CacheConfig;
+
+/// Timing parameters of one modelled core + memory system.
+///
+/// Every latency the evaluation depends on is an explicit field here;
+/// the calibrated values for the three platforms of the paper live in
+/// [`crate::presets`] and are documented in EXPERIMENTS.md. Latencies
+/// are *load-to-use* / *issue-to-ready* cycles; intervals are initiation
+/// intervals (cycles between back-to-back issues to the same unit).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct SocConfig {
+    /// Human-readable platform name.
+    pub name: &'static str,
+    /// Core clock in GHz (all three paper platforms run at 1.2 GHz).
+    pub freq_ghz: f64,
+    /// Instructions issued per cycle (1 = single-issue Sargantana,
+    /// 2 = dual-issue U740 / Cortex-A53).
+    pub issue_width: u32,
+
+    /// L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// L2 cache geometry.
+    pub l2: CacheConfig,
+    /// L1-hit load-to-use latency.
+    pub load_to_use: u32,
+    /// Total latency of an access served by L2.
+    pub l2_latency: u32,
+    /// Total latency of an access served by memory.
+    pub mem_latency: u32,
+    /// Minimum spacing between the completions of overlapping memory
+    /// misses (memory-level parallelism: later misses pipeline behind an
+    /// outstanding one at this burst gap instead of paying the full
+    /// latency again).
+    pub mem_overlap_gap: u32,
+
+    /// Integer ALU latency.
+    pub int_latency: u32,
+    /// Integer multiply latency.
+    pub mul_latency: u32,
+    /// Integer multiply initiation interval.
+    pub mul_interval: u32,
+    /// FP64 fused multiply-add latency.
+    pub fma64_latency: u32,
+    /// FP64 FMA initiation interval (the edge FPU is not fully
+    /// pipelined; see EXPERIMENTS.md calibration notes).
+    pub fma64_interval: u32,
+    /// FP32 fused multiply-add latency.
+    pub fma32_latency: u32,
+    /// FP32 FMA initiation interval.
+    pub fma32_interval: u32,
+    /// SIMD integer MAC latency.
+    pub simd_latency: u32,
+    /// SIMD integer MAC initiation interval.
+    pub simd_interval: u32,
+    /// 8-bit lanes per SIMD MAC op (0 = no SIMD extension).
+    pub simd_lanes: u32,
+
+    /// Whether the SoC integrates the Mix-GEMM µ-engine.
+    pub has_uengine: bool,
+}
+
+impl SocConfig {
+    /// Converts a cycle count at this core's frequency to seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Giga-operations per second for `ops` retired in `cycles`
+    /// (operations counted as the paper does: 2 per MAC).
+    pub fn gops(&self, ops: u64, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        ops as f64 / self.cycles_to_seconds(cycles) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::presets;
+
+    #[test]
+    fn unit_conversions() {
+        let cfg = presets::sargantana();
+        assert!((cfg.cycles_to_seconds(1_200_000_000) - 1.0).abs() < 1e-9);
+        // 2.4e9 ops in 1.2e9 cycles at 1.2 GHz = 2.4 GOPS.
+        assert!((cfg.gops(2_400_000_000, 1_200_000_000) - 2.4).abs() < 1e-9);
+        assert_eq!(cfg.gops(100, 0), 0.0);
+    }
+}

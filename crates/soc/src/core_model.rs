@@ -1,0 +1,418 @@
+use std::fmt;
+
+use crate::cache::{CacheHierarchy, CacheStats};
+use crate::config::SocConfig;
+use crate::op::{FuClass, Op, Reg};
+
+/// Aggregate execution statistics of a [`Core`] run.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct CoreStats {
+    /// Instructions issued (including loads/stores).
+    pub instructions: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Cycles lost waiting for source operands (data hazards, including
+    /// load-use on cache misses).
+    pub data_stall_cycles: u64,
+    /// Cycles lost to busy functional units (structural hazards).
+    pub structural_stall_cycles: u64,
+    /// Cycles lost to externally imposed stalls (µ-engine Source Buffer
+    /// back-pressure, `bs.get` drain waits).
+    pub external_stall_cycles: u64,
+}
+
+/// Trace-driven in-order core: a register-availability scoreboard with
+/// per-functional-unit structural hazards, an issue width, and a cache
+/// hierarchy for memory operations.
+///
+/// Kernels call [`Core::issue`] / [`Core::issue_load`] /
+/// [`Core::issue_store`] in program order; the model returns the cycle at
+/// which each instruction issues. There is no speculation or replay: the
+/// modelled cores are in-order and the traced kernels are branch-predictable
+/// streaming loops (DESIGN.md §4).
+pub struct Core {
+    cfg: SocConfig,
+    hier: CacheHierarchy,
+    reg_ready: Vec<u64>,
+    fu_free: [u64; 6],
+    /// Cycle currently accepting issues and slots already used in it.
+    cur_cycle: u64,
+    slots_used: u32,
+    alloc_ptr: u64,
+    /// Completion time of the most recent memory miss, for modelling
+    /// memory-level parallelism (overlapping misses pipeline at
+    /// `mem_overlap_gap` instead of serializing full latencies).
+    mem_ready: u64,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core with cold caches at cycle zero.
+    pub fn new(cfg: SocConfig) -> Self {
+        let hier = CacheHierarchy::new(
+            cfg.l1,
+            cfg.load_to_use,
+            cfg.l2,
+            cfg.l2_latency,
+            cfg.mem_latency,
+        );
+        Core {
+            cfg,
+            hier,
+            reg_ready: vec![0; 64],
+            fu_free: [0; 6],
+            cur_cycle: 0,
+            slots_used: 0,
+            alloc_ptr: 0x1000,
+            mem_ready: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// The configuration the core was built with.
+    pub fn config(&self) -> &SocConfig {
+        &self.cfg
+    }
+
+    /// Current cycle (time of the most recent issue).
+    pub fn now(&self) -> u64 {
+        self.cur_cycle
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// L1 cache statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.hier.l1_stats()
+    }
+
+    /// L2 cache statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.hier.l2_stats()
+    }
+
+    /// Warms the cache hierarchy with `[base, base + bytes)` without
+    /// advancing time or statistics — models data left resident by a
+    /// previous benchmark iteration or a preceding network layer.
+    /// Regions beyond the cache capacity self-evict naturally, leaving
+    /// the tail resident as a real warm run would.
+    pub fn warm_region(&mut self, base: u64, bytes: u64) {
+        let line = self.cfg.l1.line_bytes as u64;
+        let mut addr = base;
+        while addr < base + bytes {
+            self.hier.touch(addr);
+            addr += line;
+        }
+    }
+
+    /// Allocates `bytes` of simulated memory, 64-byte aligned, returning
+    /// the base address. Kernels use this to lay out matrices and panels
+    /// so cache behaviour reflects real data placement.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let base = self.alloc_ptr;
+        self.alloc_ptr += bytes.div_ceil(64) * 64;
+        base
+    }
+
+    /// Issues a non-memory op; returns its issue cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called with a memory op class (use the dedicated
+    /// methods) — this indicates a kernel-generator bug.
+    pub fn issue(&mut self, op: Op, srcs: &[Reg], dst: Option<Reg>) -> u64 {
+        let (latency, interval) = self.op_timing(op);
+        let at = self.schedule(op.fu_class(), interval, srcs);
+        if let Some(d) = dst {
+            self.set_reg_ready(d, at + latency as u64);
+        }
+        self.stats.instructions += 1;
+        at
+    }
+
+    /// Issues a load of `bytes` at `addr`; the destination becomes ready
+    /// after the cache access latency.
+    pub fn issue_load(&mut self, addr: u64, bytes: u32, srcs: &[Reg], dst: Option<Reg>) -> u64 {
+        let at = self.schedule(FuClass::Mem, 1, srcs);
+        let mut done = self.access_done(addr, at);
+        // Wide accesses touching a second line pay one more access.
+        let line = self.cfg.l1.line_bytes as u64;
+        if bytes as u64 > 1 && (addr % line) + bytes as u64 > line {
+            done = done.max(self.access_done(addr + bytes as u64 - 1, at));
+        }
+        if let Some(d) = dst {
+            self.set_reg_ready(d, done);
+        }
+        self.stats.instructions += 1;
+        self.stats.loads += 1;
+        at
+    }
+
+    /// Completion time of one hierarchy access issued at `at`, with
+    /// memory-level parallelism: a miss overlapping an outstanding miss
+    /// completes `mem_overlap_gap` after it rather than paying the full
+    /// memory latency again.
+    fn access_done(&mut self, addr: u64, at: u64) -> u64 {
+        match self.hier.access(addr) {
+            crate::cache::AccessOutcome::MemHit { latency } => {
+                let natural = at + latency as u64;
+                let done = if self.mem_ready > at {
+                    natural.min(self.mem_ready + self.cfg.mem_overlap_gap as u64)
+                } else {
+                    natural
+                };
+                self.mem_ready = done;
+                done
+            }
+            outcome => at + outcome.latency() as u64,
+        }
+    }
+
+    /// Issues a store of `bytes` at `addr`. Stores retire through a store
+    /// buffer and do not stall the pipeline beyond their issue slot, but
+    /// they allocate in the cache (write-allocate) for footprint fidelity.
+    pub fn issue_store(&mut self, addr: u64, bytes: u32, srcs: &[Reg]) -> u64 {
+        let at = self.schedule(FuClass::Mem, 1, srcs);
+        self.hier.access(addr);
+        let line = self.cfg.l1.line_bytes as u64;
+        if bytes as u64 > 1 && (addr % line) + bytes as u64 > line {
+            self.hier.access(addr + bytes as u64 - 1);
+        }
+        self.stats.instructions += 1;
+        self.stats.stores += 1;
+        at
+    }
+
+    /// Applies an externally computed stall (µ-engine back-pressure or
+    /// drain): no instruction can issue before `until`.
+    pub fn stall_until(&mut self, until: u64) {
+        if until > self.cur_cycle {
+            self.stats.external_stall_cycles += until - self.cur_cycle;
+            self.cur_cycle = until;
+            self.slots_used = 0;
+        }
+    }
+
+    /// Marks `reg` ready at `time` — used for µ-engine-produced results
+    /// (`bs.get` destinations).
+    pub fn set_reg_ready(&mut self, reg: Reg, time: u64) {
+        let idx = reg.0 as usize;
+        if idx >= self.reg_ready.len() {
+            self.reg_ready.resize(idx + 1, 0);
+        }
+        self.reg_ready[idx] = self.reg_ready[idx].max(time);
+    }
+
+    /// Cycle at which `reg` is available.
+    pub fn reg_ready_at(&self, reg: Reg) -> u64 {
+        self.reg_ready
+            .get(reg.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn op_timing(&self, op: Op) -> (u32, u32) {
+        match op {
+            // Interval 0: simple ALU ops are not port-limited beyond the
+            // issue width (dual-issue cores have two integer pipes).
+            Op::IntAlu | Op::Branch => (self.cfg.int_latency, 0),
+            Op::MulInt => (self.cfg.mul_latency, self.cfg.mul_interval),
+            Op::FmaF64 => (self.cfg.fma64_latency, self.cfg.fma64_interval),
+            Op::FmaF32 => (self.cfg.fma32_latency, self.cfg.fma32_interval),
+            Op::SimdMac { .. } => (self.cfg.simd_latency, self.cfg.simd_interval),
+            // bs.* issue in a single cycle (paper §III-B); their real cost
+            // is applied by the µ-engine model through `stall_until` /
+            // `set_reg_ready`.
+            Op::BsSet | Op::BsIp | Op::BsGet => (1, 1),
+        }
+    }
+
+    /// Finds the issue cycle honouring sources, the issue width and the
+    /// functional unit, and claims the slot.
+    fn schedule(&mut self, fu: FuClass, interval: u32, srcs: &[Reg]) -> u64 {
+        let data_ready = srcs
+            .iter()
+            .map(|r| self.reg_ready_at(*r))
+            .max()
+            .unwrap_or(0);
+        let fu_ready = self.fu_free[fu_index(fu)];
+        let slot_floor = if self.slots_used < self.cfg.issue_width {
+            self.cur_cycle
+        } else {
+            self.cur_cycle + 1
+        };
+        let at = slot_floor.max(data_ready).max(fu_ready);
+
+        // Stall attribution (approximate, for reporting only).
+        if data_ready > slot_floor && data_ready >= fu_ready {
+            self.stats.data_stall_cycles += data_ready - slot_floor;
+        } else if fu_ready > slot_floor {
+            self.stats.structural_stall_cycles += fu_ready - slot_floor;
+        }
+
+        if at == self.cur_cycle {
+            self.slots_used += 1;
+        } else {
+            self.cur_cycle = at;
+            self.slots_used = 1;
+        }
+        self.fu_free[fu_index(fu)] = at + interval as u64;
+        at
+    }
+}
+
+fn fu_index(fu: FuClass) -> usize {
+    match fu {
+        FuClass::Int => 0,
+        FuClass::Mul => 1,
+        FuClass::Fp => 2,
+        FuClass::Simd => 3,
+        FuClass::Mem => 4,
+        FuClass::Engine => 5,
+    }
+}
+
+impl fmt::Debug for Core {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Core")
+            .field("cfg", &self.cfg.name)
+            .field("cycle", &self.cur_cycle)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn core() -> Core {
+        Core::new(presets::sargantana())
+    }
+
+    #[test]
+    fn single_issue_advances_one_per_cycle() {
+        let mut c = core();
+        let t0 = c.issue(Op::IntAlu, &[], None);
+        let t1 = c.issue(Op::IntAlu, &[], None);
+        let t2 = c.issue(Op::IntAlu, &[], None);
+        assert_eq!((t0, t1, t2), (0, 1, 2));
+        assert_eq!(c.stats().instructions, 3);
+    }
+
+    #[test]
+    fn dual_issue_packs_two_per_cycle() {
+        let mut c = Core::new(presets::sifive_u740());
+        let t0 = c.issue(Op::IntAlu, &[], None);
+        let t1 = c.issue(Op::Branch, &[], None);
+        let t2 = c.issue(Op::IntAlu, &[], None);
+        assert_eq!((t0, t1), (0, 0));
+        assert_eq!(t2, 1);
+    }
+
+    #[test]
+    fn load_use_dependency_stalls() {
+        let mut c = core();
+        let base = c.alloc(64);
+        c.issue_load(base, 8, &[], Some(Reg(1)));
+        let t = c.issue(Op::IntAlu, &[Reg(1)], None);
+        // Cold miss: memory latency.
+        assert_eq!(t, 90);
+        assert!(c.stats().data_stall_cycles > 0);
+        // Second access to the same line hits L1.
+        c.issue_load(base + 8, 8, &[], Some(Reg(2)));
+        let t2 = c.issue(Op::IntAlu, &[Reg(2)], None);
+        let t_load = t2 - c.config().load_to_use as u64;
+        assert_eq!(t2, t_load + 2);
+    }
+
+    #[test]
+    fn independent_ops_hide_load_latency() {
+        let mut c = core();
+        let base = c.alloc(64);
+        let t_load = c.issue_load(base, 8, &[], Some(Reg(1)));
+        // Independent work proceeds while the miss is outstanding.
+        let mut last = 0;
+        for _ in 0..10 {
+            last = c.issue(Op::IntAlu, &[], None);
+        }
+        assert_eq!(last, t_load + 10);
+        assert!(last < 90);
+    }
+
+    #[test]
+    fn fma64_initiation_interval_throttles() {
+        let mut c = core();
+        let t0 = c.issue(Op::FmaF64, &[], Some(Reg(1)));
+        let t1 = c.issue(Op::FmaF64, &[], Some(Reg(2)));
+        let t2 = c.issue(Op::FmaF64, &[], Some(Reg(3)));
+        assert_eq!(t1 - t0, c.config().fma64_interval as u64);
+        assert_eq!(t2 - t1, c.config().fma64_interval as u64);
+        assert!(c.stats().structural_stall_cycles > 0);
+    }
+
+    #[test]
+    fn accumulation_chain_respects_latency() {
+        let mut c = core();
+        let acc = Reg(5);
+        let t0 = c.issue(Op::FmaF64, &[acc], Some(acc));
+        let t1 = c.issue(Op::FmaF64, &[acc], Some(acc));
+        assert_eq!(t1 - t0, c.config().fma64_latency as u64);
+    }
+
+    #[test]
+    fn external_stall_accounting() {
+        let mut c = core();
+        c.issue(Op::BsIp, &[], None);
+        c.stall_until(50);
+        let t = c.issue(Op::BsIp, &[], None);
+        assert_eq!(t, 50);
+        assert_eq!(c.stats().external_stall_cycles, 50);
+        // Stalling into the past is a no-op.
+        c.stall_until(10);
+        assert_eq!(c.stats().external_stall_cycles, 50);
+    }
+
+    #[test]
+    fn stores_do_not_block() {
+        let mut c = core();
+        let base = c.alloc(4096);
+        let t0 = c.issue_store(base, 8, &[]);
+        let t1 = c.issue(Op::IntAlu, &[], None);
+        assert_eq!(t1, t0 + 1);
+        assert_eq!(c.stats().stores, 1);
+    }
+
+    #[test]
+    fn line_crossing_load_touches_two_lines() {
+        let mut c = core();
+        let base = c.alloc(128);
+        c.issue_load(base + 60, 8, &[], Some(Reg(1)));
+        assert_eq!(c.l1_stats().accesses, 2);
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut c = core();
+        let a = c.alloc(100);
+        let b = c.alloc(10);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 128);
+    }
+
+    #[test]
+    fn bs_ops_issue_single_cycle() {
+        let mut c = core();
+        let t0 = c.issue(Op::BsSet, &[], None);
+        let t1 = c.issue(Op::BsIp, &[Reg(1), Reg(2)], None);
+        let t2 = c.issue(Op::BsIp, &[Reg(1), Reg(2)], None);
+        assert_eq!((t0, t1, t2), (0, 1, 2));
+    }
+}

@@ -1,0 +1,49 @@
+//! Timing model of the edge SoCs used in the Mix-GEMM evaluation
+//! (paper §IV-A).
+//!
+//! The paper benchmarks on three platforms:
+//!
+//! - a **Sargantana-like RV64G edge SoC** — single-core, 7-stage,
+//!   in-order, single-issue, 32 KB L1d + 512 KB L2 at 1.2 GHz — hosting
+//!   the µ-engine (this is where Mix-GEMM and the BLIS baselines run);
+//! - a **SiFive U740** — 64-bit dual-issue in-order at 1.2 GHz — running
+//!   the OpenBLAS FP32 baseline of Fig. 7;
+//! - an **Arm Cortex-A53** — dual-issue in-order with the NEON SIMD
+//!   extension at 1.2 GHz — running the GEMMLowp baseline of Table III.
+//!
+//! Since the original evaluation used FPGA emulation and commercial
+//! boards, this crate substitutes an *op-level trace-driven timing model*
+//! (DESIGN.md §1): kernels execute functionally in Rust while emitting
+//! micro-ops ([`Op`]) to an in-order issue scoreboard ([`Core`]) backed
+//! by a set-associative two-level cache hierarchy ([`CacheHierarchy`]).
+//! All latencies and widths are explicit [`SocConfig`] fields; the
+//! presets in [`presets`] are calibrated once against the paper's anchor
+//! numbers and documented in EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! ```
+//! use mixgemm_soc::{presets, Core, Op, Reg};
+//!
+//! let mut core = Core::new(presets::sargantana());
+//! let base = core.alloc(4096);
+//! let r1 = Reg(1);
+//! // A dependent load-use pair: the consumer waits for the load.
+//! core.issue_load(base, 8, &[], Some(r1));
+//! let t = core.issue(Op::IntAlu, &[r1], Some(Reg(2)));
+//! assert!(t >= core.config().load_to_use as u64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod core_model;
+mod op;
+pub mod presets;
+
+pub use cache::{AccessOutcome, Cache, CacheConfig, CacheHierarchy, CacheStats};
+pub use config::SocConfig;
+pub use core_model::{Core, CoreStats};
+pub use op::{FuClass, Op, Reg};

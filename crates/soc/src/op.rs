@@ -1,0 +1,101 @@
+use std::fmt;
+
+/// An abstract architectural register used for dependency tracking.
+///
+/// Kernels use small dense register numbers (the modelled cores have 32
+/// integer + 32 floating-point registers; the scoreboard accepts any
+/// dense numbering).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Micro-op classes the trace-driven core model understands.
+///
+/// Memory operations are issued through [`crate::Core::issue_load`] /
+/// [`crate::Core::issue_store`] so they carry an address; everything else
+/// goes through [`crate::Core::issue`].
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+#[non_exhaustive]
+pub enum Op {
+    /// Single-cycle integer ALU work: address arithmetic, pointer
+    /// bumps, adds, shifts.
+    IntAlu,
+    /// A (predicted) branch; occupies an issue slot.
+    Branch,
+    /// 64-bit integer multiply.
+    MulInt,
+    /// Double-precision fused multiply-add (the DGEMM baseline kernel).
+    FmaF64,
+    /// Single-precision fused multiply-add (the OpenBLAS FP32 baseline).
+    FmaF32,
+    /// A SIMD integer MAC over `lanes` 8-bit elements (NEON-style, the
+    /// GEMMLowp baseline of Table III).
+    SimdMac {
+        /// Parallel 8-bit lanes retired by the op.
+        lanes: u8,
+    },
+    /// `bs.set` — configures the µ-engine Control Unit (single cycle).
+    BsSet,
+    /// `bs.ip` — pushes a µ-vector pair to the µ-engine (single cycle
+    /// unless the Source Buffers are full; the engine back-pressure is
+    /// applied by the caller via [`crate::Core::stall_until`]).
+    BsIp,
+    /// `bs.get` — collects one AccMem entry (waits for engine drain).
+    BsGet,
+}
+
+/// Functional-unit classes for structural-hazard modelling.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum FuClass {
+    /// Integer ALU / branch unit.
+    Int,
+    /// Integer multiplier.
+    Mul,
+    /// Floating-point pipe.
+    Fp,
+    /// SIMD pipe.
+    Simd,
+    /// Load/store unit.
+    Mem,
+    /// The µ-engine issue port.
+    Engine,
+}
+
+impl Op {
+    /// The functional unit executing this op.
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            Op::IntAlu | Op::Branch => FuClass::Int,
+            Op::MulInt => FuClass::Mul,
+            Op::FmaF64 | Op::FmaF32 => FuClass::Fp,
+            Op::SimdMac { .. } => FuClass::Simd,
+            Op::BsSet | Op::BsIp | Op::BsGet => FuClass::Engine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_mapping() {
+        assert_eq!(Op::IntAlu.fu_class(), FuClass::Int);
+        assert_eq!(Op::Branch.fu_class(), FuClass::Int);
+        assert_eq!(Op::MulInt.fu_class(), FuClass::Mul);
+        assert_eq!(Op::FmaF64.fu_class(), FuClass::Fp);
+        assert_eq!(Op::FmaF32.fu_class(), FuClass::Fp);
+        assert_eq!(Op::SimdMac { lanes: 8 }.fu_class(), FuClass::Simd);
+        assert_eq!(Op::BsIp.fu_class(), FuClass::Engine);
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg(7).to_string(), "r7");
+    }
+}

@@ -1,0 +1,150 @@
+//! Calibrated platform presets for the three SoCs of the evaluation.
+//!
+//! The paper does not publish core latencies; these presets are the
+//! single place where the model is calibrated against its published
+//! anchor numbers (DESIGN.md §3 "calibration policy"):
+//!
+//! - `sargantana`: BLIS DGEMM→Mix-GEMM `a8-w8` ≈ 10.2x, `a2-w2` ≈ 27.2x,
+//!   BLIS int8 ≈ 2.5x (Fig. 6);
+//! - `sifive_u740`: OpenBLAS FP32 ≈ 0.9 GOPS on the six CNNs (Table III
+//!   baseline row);
+//! - `cortex_a53`: GEMMLowp ≈ 4.7–5.8 GOPS (Table III row [33]).
+//!
+//! Everything not pinned by an anchor is set to values typical for the
+//! respective microarchitecture class.
+
+use crate::cache::CacheConfig;
+use crate::config::SocConfig;
+
+/// The Sargantana-like RV64G edge SoC hosting the µ-engine (§IV-A):
+/// 7-stage in-order single-issue, 32 KB L1d, 512 KB L2, 1.2 GHz.
+///
+/// The FP64 FMA initiation interval of 4 reflects an area-constrained,
+/// partially pipelined edge FPU; it is the knob that reproduces the
+/// paper's DGEMM baseline pace (see EXPERIMENTS.md).
+pub fn sargantana() -> SocConfig {
+    SocConfig {
+        name: "sargantana-rv64g",
+        freq_ghz: 1.2,
+        issue_width: 1,
+        l1: CacheConfig::kib(32, 8),
+        l2: CacheConfig::kib(512, 8),
+        load_to_use: 2,
+        l2_latency: 14,
+        mem_latency: 90,
+        mem_overlap_gap: 8,
+        int_latency: 1,
+        mul_latency: 3,
+        mul_interval: 1,
+        fma64_latency: 6,
+        fma64_interval: 4,
+        fma32_latency: 5,
+        fma32_interval: 2,
+        simd_latency: 0,
+        simd_interval: 0,
+        simd_lanes: 0,
+        has_uengine: true,
+    }
+}
+
+/// Same core with the reduced caches of the §IV-B area-constrained
+/// exploration (16 KB L1 / 64 KB L2 reduces SoC area by 53 %).
+pub fn sargantana_small_caches(l1_kib: usize, l2_kib: usize) -> SocConfig {
+    SocConfig {
+        l1: CacheConfig::kib(l1_kib, 8),
+        l2: CacheConfig::kib(l2_kib, 8),
+        ..sargantana()
+    }
+}
+
+/// The SiFive U740 running the OpenBLAS FP32 baseline of Fig. 7:
+/// 64-bit dual-issue in-order at 1.2 GHz (§IV-B).
+///
+/// The single FP pipe with a 2-cycle FMA initiation interval paces
+/// scalar FP32 GEMM at the measured ~0.9 GOPS.
+pub fn sifive_u740() -> SocConfig {
+    SocConfig {
+        name: "sifive-u740",
+        freq_ghz: 1.2,
+        issue_width: 2,
+        l1: CacheConfig::kib(32, 8),
+        l2: CacheConfig::kib(2048, 16),
+        load_to_use: 3,
+        l2_latency: 21,
+        mem_latency: 110,
+        mem_overlap_gap: 10,
+        int_latency: 1,
+        mul_latency: 3,
+        mul_interval: 1,
+        fma64_latency: 7,
+        fma64_interval: 4,
+        fma32_latency: 5,
+        fma32_interval: 2,
+        simd_latency: 0,
+        simd_interval: 0,
+        simd_lanes: 0,
+        has_uengine: false,
+    }
+}
+
+/// The Arm Cortex-A53 running GEMMLowp (Table III): 64-bit dual-issue
+/// in-order, 8-stage, NEON SIMD, 1.2 GHz.
+///
+/// NEON 8-bit MACs retire 8 lanes per op at a 2-cycle initiation
+/// interval on the single SIMD pipe, pacing GEMMLowp at the published
+/// 4.7–5.8 GOPS.
+pub fn cortex_a53() -> SocConfig {
+    SocConfig {
+        name: "cortex-a53",
+        freq_ghz: 1.2,
+        issue_width: 2,
+        l1: CacheConfig::kib(32, 4),
+        l2: CacheConfig::kib(512, 16),
+        load_to_use: 3,
+        l2_latency: 15,
+        mem_latency: 100,
+        mem_overlap_gap: 10,
+        int_latency: 1,
+        mul_latency: 3,
+        mul_interval: 1,
+        fma64_latency: 8,
+        fma64_interval: 4,
+        fma32_latency: 8,
+        fma32_interval: 4,
+        simd_latency: 4,
+        simd_interval: 2,
+        simd_lanes: 8,
+        has_uengine: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_descriptions() {
+        let s = sargantana();
+        assert_eq!(s.issue_width, 1);
+        assert_eq!(s.l1.size_bytes, 32 * 1024);
+        assert_eq!(s.l2.size_bytes, 512 * 1024);
+        assert!(s.has_uengine);
+        assert_eq!(s.freq_ghz, 1.2);
+
+        let u = sifive_u740();
+        assert_eq!(u.issue_width, 2);
+        assert!(!u.has_uengine);
+
+        let a = cortex_a53();
+        assert_eq!(a.simd_lanes, 8);
+        assert_eq!(a.issue_width, 2);
+    }
+
+    #[test]
+    fn small_cache_variant() {
+        let s = sargantana_small_caches(16, 64);
+        assert_eq!(s.l1.size_bytes, 16 * 1024);
+        assert_eq!(s.l2.size_bytes, 64 * 1024);
+        assert_eq!(s.name, sargantana().name);
+    }
+}

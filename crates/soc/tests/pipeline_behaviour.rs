@@ -1,0 +1,151 @@
+//! Behavioural tests of the SoC timing model on realistic instruction
+//! patterns: streaming kernels, dependency chains, dual-issue pairing,
+//! cache blocking and memory-level parallelism.
+
+use mixgemm_soc::{presets, Core, Op, Reg};
+
+/// A software-pipelined FMA stream (16 independent accumulators, like a
+/// 4x4 GEMM µ-kernel) sustains the FMA initiation interval, not the
+/// latency.
+#[test]
+fn independent_fma_stream_hits_initiation_interval() {
+    let mut core = Core::new(presets::sargantana());
+    let n = 400u64;
+    let mut last = 0;
+    for i in 0..n {
+        let acc = Reg(1 + (i % 16) as u16);
+        last = core.issue(Op::FmaF64, &[acc], Some(acc));
+    }
+    let per_op = last as f64 / (n - 1) as f64;
+    let ii = core.config().fma64_interval as f64;
+    assert!(
+        (per_op - ii).abs() < 0.15,
+        "pipelined FMA stream at {per_op:.2} cycles/op vs interval {ii}"
+    );
+}
+
+/// A single-accumulator chain is latency-bound instead.
+#[test]
+fn dependent_fma_chain_is_latency_bound() {
+    let mut core = Core::new(presets::sargantana());
+    let acc = Reg(1);
+    let mut last = 0;
+    for _ in 0..100 {
+        last = core.issue(Op::FmaF64, &[acc], Some(acc));
+    }
+    let per_op = last as f64 / 99.0;
+    let lat = core.config().fma64_latency as f64;
+    assert!(
+        (per_op - lat).abs() < 0.2,
+        "dependent chain at {per_op:.2} cycles/op vs latency {lat}"
+    );
+}
+
+/// Streaming sequential loads hit L1 after the per-line cold miss:
+/// 1 miss per 8 doubles with 64-byte lines.
+#[test]
+fn streaming_loads_miss_once_per_line() {
+    let mut core = Core::new(presets::sargantana());
+    let base = core.alloc(8192);
+    for i in 0..1024u64 {
+        core.issue_load(base + i * 8, 8, &[], Some(Reg(1)));
+    }
+    let l1 = core.l1_stats();
+    assert_eq!(l1.accesses, 1024);
+    assert_eq!(l1.misses, 128); // 8 KB / 64 B
+}
+
+/// A blocked working set that fits L1 stops missing after the first
+/// pass; one that only fits L2 keeps missing L1 but hits L2.
+#[test]
+fn cache_blocking_behaviour() {
+    let mut core = Core::new(presets::sargantana());
+    let small = core.alloc(16 * 1024); // fits 32 KB L1
+    for _pass in 0..3 {
+        for i in 0..(16 * 1024 / 64) {
+            core.issue_load(small + i * 64, 8, &[], Some(Reg(1)));
+        }
+    }
+    let l1 = core.l1_stats();
+    assert_eq!(l1.misses, 256, "only the cold pass misses");
+
+    let mut core2 = Core::new(presets::sargantana());
+    let big = core2.alloc(256 * 1024); // exceeds L1, fits 512 KB L2
+    for _pass in 0..2 {
+        for i in 0..(256 * 1024 / 64) {
+            core2.issue_load(big + i * 64, 8, &[], Some(Reg(1)));
+        }
+    }
+    let l2 = core2.l2_stats();
+    assert_eq!(l2.accesses as u64, core2.l1_stats().misses);
+    // Second pass hits L2 (working set fits): misses only on the cold pass.
+    assert_eq!(l2.misses, 4096);
+}
+
+/// Overlapping cold misses complete at the burst gap, not serialized
+/// full latencies (memory-level parallelism).
+#[test]
+fn mlp_overlaps_independent_misses() {
+    let cfg = presets::sargantana();
+    let mut core = Core::new(cfg);
+    let base = core.alloc(64 * 64);
+    // Four independent loads to four distinct lines, back to back.
+    for i in 0..4u64 {
+        core.issue_load(base + i * 64, 8, &[], Some(Reg(1 + i as u16)));
+    }
+    // The last value must be ready well before 4 * mem_latency.
+    let ready = core.reg_ready_at(Reg(4));
+    let serialized = 4 * cfg.mem_latency as u64;
+    assert!(
+        ready < serialized / 2,
+        "MLP: last miss ready at {ready}, serialized bound {serialized}"
+    );
+    assert!(ready >= cfg.mem_latency as u64);
+}
+
+/// Dual-issue pairs an integer op with a memory op in the same cycle,
+/// but two memory ops serialize on the single port.
+#[test]
+fn dual_issue_port_constraints() {
+    let mut core = Core::new(presets::sifive_u740());
+    let base = core.alloc(4096);
+    let t0 = core.issue_load(base, 8, &[], Some(Reg(1)));
+    let t1 = core.issue(Op::IntAlu, &[], None);
+    assert_eq!(t0, t1, "load + alu dual-issue in one cycle");
+    let t2 = core.issue_load(base + 64, 8, &[], Some(Reg(2)));
+    assert_eq!(t2, t0 + 1, "second load waits for the memory port");
+}
+
+/// External stalls (µ-engine back-pressure) are attributed separately
+/// from data stalls.
+#[test]
+fn stall_attribution_classes() {
+    let mut core = Core::new(presets::sargantana());
+    let base = core.alloc(64);
+    core.issue_load(base, 8, &[], Some(Reg(1)));
+    core.issue(Op::IntAlu, &[Reg(1)], None); // data stall (cold miss)
+    let d1 = core.stats().data_stall_cycles;
+    assert!(d1 > 0);
+    core.stall_until(core.now() + 25); // external stall
+    core.issue(Op::IntAlu, &[], None);
+    let s = core.stats();
+    assert_eq!(s.external_stall_cycles, 25);
+    assert_eq!(s.data_stall_cycles, d1, "external stall not misattributed");
+}
+
+/// The three presets order as the paper describes: the dual-issue U740
+/// executes a scalar integer stream faster than single-issue Sargantana.
+#[test]
+fn issue_width_shows_in_throughput() {
+    let run = |cfg: mixgemm_soc::SocConfig| {
+        let mut core = Core::new(cfg);
+        let mut last = 0;
+        for i in 0..1000u64 {
+            last = core.issue(Op::IntAlu, &[], Some(Reg(1 + (i % 8) as u16)));
+        }
+        last
+    };
+    let single = run(presets::sargantana());
+    let dual = run(presets::sifive_u740());
+    assert!(dual <= single / 2 + 2, "dual {dual} vs single {single}");
+}

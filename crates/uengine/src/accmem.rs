@@ -1,0 +1,112 @@
+use crate::error::EngineError;
+
+/// The Accumulator Memory: a small register array inside the µ-engine
+/// holding one C µ-panel of partial sums (paper §III-A/B, Table I: 16
+/// entries of `mr x nr = 4 x 4`).
+///
+/// Keeping the C µ-panel here rather than in the register file frees the
+/// processor registers for A/B µ-vector slices and removes the
+/// load/add/store traffic a conventional accumulation would need.
+#[derive(Clone, Debug)]
+pub struct AccMem {
+    slots: Vec<i64>,
+}
+
+impl AccMem {
+    /// Creates an AccMem with `capacity` accumulators, all zero.
+    pub fn new(capacity: usize) -> Self {
+        AccMem {
+            slots: vec![0; capacity],
+        }
+    }
+
+    /// Physical capacity in accumulators.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Adds `value` into `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::SlotOutOfRange`] for slots beyond capacity.
+    pub fn accumulate(&mut self, slot: usize, value: i64) -> Result<(), EngineError> {
+        let n = self.slots.len();
+        let cell = self
+            .slots
+            .get_mut(slot)
+            .ok_or(EngineError::SlotOutOfRange { slot, active: n })?;
+        *cell = cell.wrapping_add(value);
+        Ok(())
+    }
+
+    /// Reads and clears `slot`, as `bs.get` does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::SlotOutOfRange`] for slots beyond capacity.
+    pub fn take(&mut self, slot: usize) -> Result<i64, EngineError> {
+        let n = self.slots.len();
+        let cell = self
+            .slots
+            .get_mut(slot)
+            .ok_or(EngineError::SlotOutOfRange { slot, active: n })?;
+        Ok(std::mem::take(cell))
+    }
+
+    /// Reads `slot` without clearing (debug/PMU visibility).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::SlotOutOfRange`] for slots beyond capacity.
+    pub fn peek(&self, slot: usize) -> Result<i64, EngineError> {
+        self.slots
+            .get(slot)
+            .copied()
+            .ok_or(EngineError::SlotOutOfRange {
+                slot,
+                active: self.slots.len(),
+            })
+    }
+
+    /// Clears every accumulator.
+    pub fn clear(&mut self) {
+        self.slots.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_take_clears() {
+        let mut m = AccMem::new(4);
+        m.accumulate(2, 10).unwrap();
+        m.accumulate(2, -3).unwrap();
+        assert_eq!(m.peek(2).unwrap(), 7);
+        assert_eq!(m.take(2).unwrap(), 7);
+        assert_eq!(m.peek(2).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_range_slots_error() {
+        let mut m = AccMem::new(2);
+        assert!(m.accumulate(2, 1).is_err());
+        assert!(m.take(5).is_err());
+        assert!(m.peek(2).is_err());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m = AccMem::new(3);
+        for s in 0..3 {
+            m.accumulate(s, (s + 1) as i64).unwrap();
+        }
+        m.clear();
+        for s in 0..3 {
+            assert_eq!(m.peek(s).unwrap(), 0);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+use std::fmt;
+
+use mixgemm_binseg::ip::DsuWalk;
+use mixgemm_binseg::BinSegConfig;
+
+use crate::error::EngineError;
+use crate::DEFAULT_ACCMEM_SLOTS;
+
+/// The µ-engine Control Unit configuration loaded by one `bs.set`
+/// instruction (paper §III-B).
+///
+/// It carries the incoming µ-vector description (data sizes, signedness)
+/// plus the binary-segmentation constraints derived from them
+/// (input-cluster size, clustering width, product slice), and the chunk
+/// shape: how many consecutive A (`kua`) and B (`kub`) µ-vectors form one
+/// inner-product accumulation before the AccMem address advances.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct EngineConfig {
+    binseg: BinSegConfig,
+    kua: usize,
+    kub: usize,
+    accmem_slots: usize,
+    ip_len: usize,
+}
+
+impl EngineConfig {
+    /// Builds a configuration with the maximal inner-product length
+    /// (`min(kua * epv_a, kub * epv_b)` logical elements per chunk).
+    ///
+    /// `accmem_slots` is the number of AccMem addresses the chunk sequence
+    /// rotates over — `mr * nr` in the GEMM µ-kernel (Table I: 16).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::EmptyChunk`] when `kua` or `kub` is zero and
+    /// [`EngineError::BadAccMemFootprint`] when `accmem_slots` is zero or
+    /// exceeds [`DEFAULT_ACCMEM_SLOTS`].
+    pub fn new(
+        binseg: BinSegConfig,
+        kua: usize,
+        kub: usize,
+        accmem_slots: usize,
+    ) -> Result<Self, EngineError> {
+        let epv_a = binseg.operand_a().elems_per_muvec();
+        let epv_b = binseg.operand_b().elems_per_muvec();
+        let ip_len = (kua * epv_a).min(kub * epv_b).max(1);
+        Self::with_ip_len(binseg, kua, kub, accmem_slots, ip_len)
+    }
+
+    /// Builds a configuration with an explicit inner-product length —
+    /// the `bs.set` parameter letting short accumulation chains (e.g.
+    /// depthwise convolutions with `k = 9`) skip the padded tail of
+    /// their µ-vectors (paper §III-B: the Control Unit is configured
+    /// with "the inner-product length").
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineConfig::new`]; additionally rejects `ip_len` of zero or
+    /// beyond the chunk's µ-vector capacity via
+    /// [`EngineError::EmptyChunk`].
+    pub fn with_ip_len(
+        binseg: BinSegConfig,
+        kua: usize,
+        kub: usize,
+        accmem_slots: usize,
+        ip_len: usize,
+    ) -> Result<Self, EngineError> {
+        if kua == 0 || kub == 0 {
+            return Err(EngineError::EmptyChunk);
+        }
+        if accmem_slots == 0 || accmem_slots > DEFAULT_ACCMEM_SLOTS {
+            return Err(EngineError::BadAccMemFootprint {
+                requested: accmem_slots,
+                capacity: DEFAULT_ACCMEM_SLOTS,
+            });
+        }
+        let epv_a = binseg.operand_a().elems_per_muvec();
+        let epv_b = binseg.operand_b().elems_per_muvec();
+        let capacity = (kua * epv_a).min(kub * epv_b);
+        if ip_len == 0 || ip_len > capacity {
+            return Err(EngineError::EmptyChunk);
+        }
+        Ok(EngineConfig {
+            binseg,
+            kua,
+            kub,
+            accmem_slots,
+            ip_len,
+        })
+    }
+
+    /// The binary-segmentation arithmetic configuration.
+    #[inline]
+    pub const fn binseg(&self) -> &BinSegConfig {
+        &self.binseg
+    }
+
+    /// A-side µ-vectors per chunk.
+    #[inline]
+    pub const fn kua(&self) -> usize {
+        self.kua
+    }
+
+    /// B-side µ-vectors per chunk.
+    #[inline]
+    pub const fn kub(&self) -> usize {
+        self.kub
+    }
+
+    /// Active AccMem slots the chunk sequence rotates over.
+    #[inline]
+    pub const fn accmem_slots(&self) -> usize {
+        self.accmem_slots
+    }
+
+    /// Elements per A-side µ-vector.
+    #[inline]
+    pub fn epv_a(&self) -> usize {
+        self.binseg.operand_a().elems_per_muvec()
+    }
+
+    /// Elements per B-side µ-vector.
+    #[inline]
+    pub fn epv_b(&self) -> usize {
+        self.binseg.operand_b().elems_per_muvec()
+    }
+
+    /// Logical elements per chunk — the configured inner-product length,
+    /// at most `min(kua * epv_a, kub * epv_b)`; remaining µ-vector slots
+    /// carry zero padding (paper §III-C).
+    #[inline]
+    pub fn chunk_len(&self) -> usize {
+        self.ip_len
+    }
+
+    /// Execution cycles (accumulations) one chunk takes through the DSU —
+    /// the count after which the Control Unit advances the AccMem address
+    /// (12 / 12 / 9 for the paper's Fig. 4 configurations).
+    pub fn chunk_cycles(&self) -> usize {
+        self.dsu_walk().cycle_count()
+    }
+
+    /// The DSU element-selection walk for one chunk.
+    pub fn dsu_walk(&self) -> DsuWalk {
+        DsuWalk::new(
+            self.binseg.cluster_size(),
+            self.epv_a(),
+            self.epv_b(),
+            self.chunk_len(),
+        )
+    }
+
+    /// Effective MAC/cycle over a full chunk (logical MACs per execution
+    /// cycle), e.g. 32/12 = 2.67 for `a8-w8` against the 3 MAC/cycle
+    /// input-cluster upper bound.
+    pub fn effective_macs_per_cycle(&self) -> f64 {
+        let cycles = self.chunk_cycles();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.chunk_len() as f64 / cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for EngineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "engine[{} kua={} kub={} chunk={}el/{}cy accmem={}]",
+            self.binseg,
+            self.kua,
+            self.kub,
+            self.chunk_len(),
+            self.chunk_cycles(),
+            self.accmem_slots
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixgemm_binseg::chunk::ChunkShape;
+    use mixgemm_binseg::{DataSize, OperandType, PrecisionConfig};
+
+    fn mk(a: u8, w: u8) -> EngineConfig {
+        let pc = PrecisionConfig::from_bits(a, w).unwrap();
+        let shape = ChunkShape::balanced(pc);
+        let (oa, ob) = pc.operand_types();
+        EngineConfig::new(
+            BinSegConfig::new(oa, ob),
+            shape.kua(),
+            shape.kub(),
+            16,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig4_chunk_cycles() {
+        assert_eq!(mk(8, 8).chunk_cycles(), 12);
+        assert_eq!(mk(8, 6).chunk_cycles(), 12);
+        assert_eq!(mk(6, 4).chunk_cycles(), 9);
+    }
+
+    #[test]
+    fn chunk_lengths_match_balancing() {
+        assert_eq!(mk(8, 8).chunk_len(), 32);
+        assert_eq!(mk(8, 6).chunk_len(), 30);
+        assert_eq!(mk(6, 4).chunk_len(), 30);
+        assert_eq!(mk(2, 2).chunk_len(), 128);
+    }
+
+    #[test]
+    fn effective_rate_below_cluster_bound() {
+        for pc in PrecisionConfig::all_pairs() {
+            let cfg = mk(pc.activations().bits(), pc.weights().bits());
+            let eff = cfg.effective_macs_per_cycle();
+            assert!(eff > 0.0 && eff <= cfg.binseg().cluster_size() as f64);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bs = BinSegConfig::new(
+            OperandType::unsigned(DataSize::B8),
+            OperandType::signed(DataSize::B8),
+        );
+        assert!(matches!(
+            EngineConfig::new(bs, 0, 1, 16),
+            Err(EngineError::EmptyChunk)
+        ));
+        assert!(matches!(
+            EngineConfig::new(bs, 1, 0, 16),
+            Err(EngineError::EmptyChunk)
+        ));
+        assert!(matches!(
+            EngineConfig::new(bs, 1, 1, 0),
+            Err(EngineError::BadAccMemFootprint { .. })
+        ));
+        assert!(matches!(
+            EngineConfig::new(bs, 1, 1, 17),
+            Err(EngineError::BadAccMemFootprint { .. })
+        ));
+    }
+}

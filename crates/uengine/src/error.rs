@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the µ-engine model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A `kua`/`kub` chunk shape with zero µ-vectors on a side.
+    EmptyChunk,
+    /// The AccMem footprint is zero or exceeds the physical capacity.
+    BadAccMemFootprint {
+        /// Requested number of active slots.
+        requested: usize,
+        /// Physical AccMem capacity.
+        capacity: usize,
+    },
+    /// An AccMem slot index outside the active footprint.
+    SlotOutOfRange {
+        /// The rejected slot.
+        slot: usize,
+        /// Active slots configured via `bs.set`.
+        active: usize,
+    },
+    /// `bs.ip` was issued while the Source Buffers can never drain — the
+    /// engine is starved for the other operand and both buffers are full.
+    /// This cannot happen under the Algorithm 1 issue order.
+    Deadlock,
+    /// A `bs.ip` carried no A µ-vector although the chunk still needs one
+    /// (the first `kua` issues of a chunk carry A data).
+    MissingAOperand,
+    /// A `bs.ip` carried no B µ-vector although the chunk still needs one
+    /// (under Algorithm 1 the first `kub` issues of a chunk carry B data).
+    MissingBOperand,
+    /// A timestamp went backwards: instructions must be issued in
+    /// non-decreasing time order.
+    TimeRegression {
+        /// Time of the offending instruction.
+        now: u64,
+        /// Latest time previously observed.
+        latest: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EmptyChunk => {
+                f.write_str("chunk shape must have at least one µ-vector per side")
+            }
+            EngineError::BadAccMemFootprint {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "AccMem footprint of {requested} slots exceeds capacity {capacity} or is zero"
+            ),
+            EngineError::SlotOutOfRange { slot, active } => {
+                write!(f, "AccMem slot {slot} outside the active footprint {active}")
+            }
+            EngineError::Deadlock => f.write_str(
+                "source buffers full while the engine is starved for the other operand",
+            ),
+            EngineError::MissingAOperand => {
+                f.write_str("bs.ip carried no A µ-vector but the chunk still expects one")
+            }
+            EngineError::MissingBOperand => {
+                f.write_str("bs.ip carried no B µ-vector but the chunk still expects one")
+            }
+            EngineError::TimeRegression { now, latest } => write!(
+                f,
+                "instruction issued at cycle {now} after one at cycle {latest}"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}

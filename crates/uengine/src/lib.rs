@@ -1,0 +1,73 @@
+//! Cycle-level model of the Mix-GEMM *µ-engine* (paper §III-B, Fig. 5).
+//!
+//! The µ-engine is a functional unit living in the execution stage of an
+//! in-order edge processor. It is driven by three custom single-cycle
+//! RISC-V instructions:
+//!
+//! - `bs.set` configures the Control Unit with the operand data sizes,
+//!   signedness, chunk length and AccMem footprint;
+//! - `bs.ip` pushes a µ-vector pair into the Source Buffers; the engine
+//!   consumes buffered µ-vectors at one input-cluster per cycle through
+//!   the DSU → DCU → multiplier → DFU → adder pipeline, accumulating
+//!   inner products into the Accumulator Memory (AccMem);
+//! - `bs.get` reads (and clears) one AccMem slot once the engine drained.
+//!
+//! This crate models both the *function* (bit-exact accumulation, reusing
+//! [`mixgemm_binseg`]) and the *timing*: per-cycle Data Selection Unit
+//! element selection, Source Buffer occupancy and back-pressure on the
+//! issuing core, and AccMem slot sequencing. A Performance Monitoring
+//! Unit ([`Pmu`]) mirrors the counters the paper uses for its §III-C
+//! design-space exploration.
+//!
+//! # Example
+//!
+//! ```
+//! use mixgemm_uengine::{EngineConfig, TimedEngine};
+//! use mixgemm_binseg::{muvec, BinSegConfig, DataSize, OperandType};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let binseg = BinSegConfig::new(
+//!     OperandType::unsigned(DataSize::B8),
+//!     OperandType::signed(DataSize::B8),
+//! );
+//! // One chunk of 4 A and 4 B µ-vectors (32 elements) per accumulator.
+//! let cfg = EngineConfig::new(binseg, 4, 4, 1)?;
+//! let mut engine = TimedEngine::new(cfg, 16);
+//!
+//! let a: Vec<i32> = (0..32).collect();
+//! let b: Vec<i32> = (0..32).map(|i| i % 7 - 3).collect();
+//! let aw = muvec::pack_slice(OperandType::unsigned(DataSize::B8), &a)?;
+//! let bw = muvec::pack_slice(OperandType::signed(DataSize::B8), &b)?;
+//!
+//! let mut t = 0;
+//! for k in 0..4 {
+//!     t = engine.issue_ip(t, Some(aw[k]), Some(bw[k]))?.completes_at + 1;
+//! }
+//! let (value, _t) = engine.bs_get(t, 0)?;
+//! let expected: i64 = a.iter().zip(&b).map(|(&x, &y)| (x * y) as i64).sum();
+//! assert_eq!(value, expected);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accmem;
+mod config;
+mod error;
+mod pmu;
+mod timed;
+
+pub use accmem::AccMem;
+pub use config::EngineConfig;
+pub use error::EngineError;
+pub use pmu::Pmu;
+pub use timed::{IssueOutcome, TimedEngine};
+
+/// Default Source Buffer depth in µ-vectors, per the paper's DSE
+/// (§III-C, Table I).
+pub const DEFAULT_SRCBUF_DEPTH: usize = 16;
+
+/// Default AccMem capacity in accumulators: `mr * nr = 16` (Table I).
+pub const DEFAULT_ACCMEM_SLOTS: usize = 16;

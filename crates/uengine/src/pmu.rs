@@ -1,0 +1,152 @@
+use std::fmt;
+
+/// The Performance Monitoring Unit the paper equips the µ-engine with to
+/// drive its design-space exploration (§III-C).
+///
+/// Counters follow the paper's DSE metrics: busy execution cycles, cycles
+/// the core stalled on full Source Buffers, cycles stalled waiting for
+/// `bs.get` results, and retired work (instructions and MACs).
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct Pmu {
+    /// µ-engine execution cycles (one input-cluster each).
+    pub busy_cycles: u64,
+    /// Core cycles lost to full Source Buffers at `bs.ip` issue.
+    pub srcbuf_stall_cycles: u64,
+    /// Core cycles lost waiting for the engine to drain at `bs.get`.
+    pub get_stall_cycles: u64,
+    /// `bs.ip` instructions accepted.
+    pub ip_instructions: u64,
+    /// `bs.get` instructions served.
+    pub get_instructions: u64,
+    /// Logical multiply-accumulate operations retired (padding excluded).
+    pub macs: u64,
+    /// Chunks (AccMem accumulation groups) completed.
+    pub chunks: u64,
+}
+
+impl Pmu {
+    /// Creates a zeroed PMU.
+    pub fn new() -> Self {
+        Pmu::default()
+    }
+
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        *self = Pmu::default();
+    }
+
+    /// Total stall cycles inflicted on the core.
+    #[inline]
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.srcbuf_stall_cycles + self.get_stall_cycles
+    }
+
+    /// Source-buffer stall share of `total_cycles`, the §III-C DSE metric
+    /// (17.8 % / 14.3 % / 11.2 % for depths 8 / 16 / 32).
+    pub fn srcbuf_stall_fraction(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.srcbuf_stall_cycles as f64 / total_cycles as f64
+        }
+    }
+
+    /// `bs.get` stall share of `total_cycles` (2.3 % at depth 32 in the
+    /// paper's DSE).
+    pub fn get_stall_fraction(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.get_stall_cycles as f64 / total_cycles as f64
+        }
+    }
+
+    /// Average MACs retired per busy µ-engine cycle.
+    pub fn macs_per_busy_cycle(&self) -> f64 {
+        if self.busy_cycles == 0 {
+            0.0
+        } else {
+            self.macs as f64 / self.busy_cycles as f64
+        }
+    }
+
+    /// Merges counters from another PMU (e.g. per-layer roll-ups).
+    pub fn merge(&mut self, other: &Pmu) {
+        self.busy_cycles += other.busy_cycles;
+        self.srcbuf_stall_cycles += other.srcbuf_stall_cycles;
+        self.get_stall_cycles += other.get_stall_cycles;
+        self.ip_instructions += other.ip_instructions;
+        self.get_instructions += other.get_instructions;
+        self.macs += other.macs;
+        self.chunks += other.chunks;
+    }
+}
+
+impl fmt::Display for Pmu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pmu[busy={} ip={} get={} macs={} stalls: srcbuf={} get={}]",
+            self.busy_cycles,
+            self.ip_instructions,
+            self.get_instructions,
+            self.macs,
+            self.srcbuf_stall_cycles,
+            self.get_stall_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_rates() {
+        let pmu = Pmu {
+            busy_cycles: 100,
+            srcbuf_stall_cycles: 20,
+            get_stall_cycles: 5,
+            ip_instructions: 40,
+            get_instructions: 16,
+            macs: 250,
+            chunks: 10,
+        };
+        assert_eq!(pmu.total_stall_cycles(), 25);
+        assert!((pmu.srcbuf_stall_fraction(200) - 0.1).abs() < 1e-12);
+        assert!((pmu.get_stall_fraction(200) - 0.025).abs() < 1e-12);
+        assert!((pmu.macs_per_busy_cycle() - 2.5).abs() < 1e-12);
+        assert_eq!(pmu.srcbuf_stall_fraction(0), 0.0);
+        assert_eq!(pmu.get_stall_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = Pmu {
+            busy_cycles: 1,
+            macs: 2,
+            ..Pmu::default()
+        };
+        let b = Pmu {
+            busy_cycles: 3,
+            macs: 4,
+            chunks: 1,
+            ..Pmu::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.busy_cycles, 4);
+        assert_eq!(a.macs, 6);
+        assert_eq!(a.chunks, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut p = Pmu {
+            busy_cycles: 9,
+            ..Pmu::default()
+        };
+        p.reset();
+        assert_eq!(p, Pmu::default());
+        assert_eq!(p.macs_per_busy_cycle(), 0.0);
+    }
+}

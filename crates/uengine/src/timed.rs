@@ -1,0 +1,442 @@
+use std::collections::VecDeque;
+use std::fmt;
+
+use mixgemm_binseg::ip::DsuWalk;
+use mixgemm_binseg::{cluster, muvec};
+
+use crate::accmem::AccMem;
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::pmu::Pmu;
+use crate::DEFAULT_ACCMEM_SLOTS;
+
+/// Result of issuing one `bs.ip` to the engine.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct IssueOutcome {
+    /// Cycle at which the issue completes. Equal to the requested cycle
+    /// when the Source Buffers had space; later when the core had to
+    /// stall (paper §III-C measures these stalls with the PMU).
+    pub completes_at: u64,
+    /// Stall cycles inflicted on the core by full Source Buffers.
+    pub stalled: u64,
+}
+
+/// Cycle-level µ-engine: Source Buffers, DSU, DCU, multiplier, DFU, adder
+/// and AccMem, with Source Buffer back-pressure on the issuing core.
+///
+/// Timing model (documented in DESIGN.md §4):
+///
+/// - the engine retires one input-cluster (DSU selection step) per cycle;
+/// - a step executes no earlier than the arrival of the µ-vectors it
+///   reads and one cycle after the previous step;
+/// - a Source Buffer slot is held from `bs.ip` issue until the step that
+///   exhausts the µ-vector executes; issuing into a full buffer stalls
+///   the core until a slot frees;
+/// - `bs.get` waits for the engine to drain, then reads and clears one
+///   AccMem slot. The Control Unit advances the AccMem address every
+///   `chunk_cycles()` accumulations, rotating over the configured
+///   footprint (paper §III-B).
+pub struct TimedEngine {
+    cfg: EngineConfig,
+    srcbuf_depth: usize,
+    accmem: AccMem,
+    pmu: Pmu,
+
+    /// Buffered, not-yet-fully-consumed µ-vectors with arrival times.
+    buf_a: VecDeque<(u64, u64)>,
+    buf_b: VecDeque<(u64, u64)>,
+    /// Scheduled release (pop) times of consumed µ-vectors, ascending,
+    /// still counted against buffer occupancy until real time passes them.
+    releases_a: VecDeque<u64>,
+    releases_b: VecDeque<u64>,
+
+    /// Element offsets consumed within the current front µ-vectors.
+    off_a: usize,
+    off_b: usize,
+    /// DSU walk over the current chunk.
+    walk: DsuWalk,
+    /// AccMem slot the current chunk accumulates into.
+    slot: usize,
+    /// Per-slot time of the most recent completed accumulation group:
+    /// `bs.get` for a slot only waits for that slot's work, letting C
+    /// updates overlap the engine's processing of the remaining slots
+    /// (the §III-B "overlapping computational and memory operations").
+    slot_ready: Vec<u64>,
+    /// Completion time of the most recent step.
+    engine_time: u64,
+    /// Latest instruction time observed (monotonicity check).
+    latest_issue: u64,
+    /// `bs.ip` instructions accepted since the last `bs.set`, used to
+    /// decide whether an issue carries live B data (`ip mod kua < kub`).
+    ip_count: u64,
+    /// When set, the element arithmetic is skipped: the schedule (and so
+    /// every timing result and PMU counter) is identical — the DSU walk
+    /// is data-independent — but AccMem values stay zero. Used by the
+    /// GEMM library's timing-only simulations.
+    timing_only: bool,
+}
+
+impl TimedEngine {
+    /// Creates an engine and loads `cfg` as with `bs.set` (one cycle,
+    /// negligible against a GEMM — §III-B).
+    pub fn new(cfg: EngineConfig, srcbuf_depth: usize) -> Self {
+        let walk = cfg.dsu_walk();
+        TimedEngine {
+            cfg,
+            srcbuf_depth: srcbuf_depth.max(1),
+            accmem: AccMem::new(DEFAULT_ACCMEM_SLOTS),
+            pmu: Pmu::new(),
+            buf_a: VecDeque::new(),
+            buf_b: VecDeque::new(),
+            releases_a: VecDeque::new(),
+            releases_b: VecDeque::new(),
+            off_a: 0,
+            off_b: 0,
+            walk,
+            slot: 0,
+            slot_ready: vec![0; DEFAULT_ACCMEM_SLOTS],
+            engine_time: 0,
+            latest_issue: 0,
+            ip_count: 0,
+            timing_only: false,
+        }
+    }
+
+    /// Enables or disables timing-only mode: when enabled, the element
+    /// arithmetic is skipped (AccMem stays zero) while every schedule,
+    /// stall and PMU counter remains identical, since the DSU element
+    /// selection is data-independent.
+    pub fn set_timing_only(&mut self, timing_only: bool) {
+        self.timing_only = timing_only;
+    }
+
+    /// Reconfigures the Control Unit (`bs.set`). The engine must be idle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Deadlock`] when buffered work is pending.
+    pub fn bs_set(&mut self, cfg: EngineConfig) -> Result<(), EngineError> {
+        let at_chunk_boundary = self
+            .walk
+            .clone()
+            .next()
+            .map(|s| s.pos == 0)
+            .unwrap_or(true);
+        if !self.is_idle() || !at_chunk_boundary {
+            return Err(EngineError::Deadlock);
+        }
+        self.cfg = cfg;
+        self.walk = cfg.dsu_walk();
+        self.off_a = 0;
+        self.off_b = 0;
+        self.slot = 0;
+        self.ip_count = 0;
+        Ok(())
+    }
+
+    /// The loaded configuration.
+    #[inline]
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The Source Buffer depth in µ-vectors.
+    #[inline]
+    pub fn srcbuf_depth(&self) -> usize {
+        self.srcbuf_depth
+    }
+
+    /// PMU counters accumulated so far.
+    #[inline]
+    pub fn pmu(&self) -> &Pmu {
+        &self.pmu
+    }
+
+    /// Resets the PMU counters.
+    pub fn reset_pmu(&mut self) {
+        self.pmu.reset();
+    }
+
+    /// `true` when no buffered µ-vectors remain.
+    pub fn is_idle(&self) -> bool {
+        self.buf_a.is_empty() && self.buf_b.is_empty()
+    }
+
+    /// Cycle at which all currently buffered work completes.
+    #[inline]
+    pub fn drain_time(&self) -> u64 {
+        self.engine_time
+    }
+
+    /// Number of `bs.ip` instructions per chunk: `max(kua, kub)`.
+    ///
+    /// The first `kua` of them carry a live A µ-vector and the first
+    /// `kub` a live B µ-vector; the remainder pass the zero register on
+    /// the exhausted side (paper Algorithm 1 line 7 and its mirror image
+    /// for configurations where the weights are wider than the
+    /// activations, i.e. `kub > kua`).
+    pub fn issues_per_chunk(&self) -> usize {
+        self.cfg.kua().max(self.cfg.kub())
+    }
+
+    /// Issues one `bs.ip` at cycle `now`. Operands are `None` when the
+    /// software passes the zero register on an exhausted side.
+    ///
+    /// # Errors
+    ///
+    /// - [`EngineError::TimeRegression`] when `now` precedes an earlier
+    ///   instruction;
+    /// - [`EngineError::MissingAOperand`] / [`EngineError::MissingBOperand`]
+    ///   when an operand is `None` but the current chunk still expects it;
+    /// - [`EngineError::Deadlock`] when the buffers are full and can never
+    ///   drain (impossible under the Algorithm 1 issue order).
+    pub fn issue_ip(
+        &mut self,
+        now: u64,
+        a: Option<u64>,
+        b: Option<u64>,
+    ) -> Result<IssueOutcome, EngineError> {
+        if now < self.latest_issue {
+            return Err(EngineError::TimeRegression {
+                now,
+                latest: self.latest_issue,
+            });
+        }
+        self.latest_issue = now;
+        self.advance()?;
+
+        let idx = self.ip_count as usize % self.issues_per_chunk();
+        let expects_a = idx < self.cfg.kua();
+        let expects_b = idx < self.cfg.kub();
+        if expects_a && a.is_none() {
+            return Err(EngineError::MissingAOperand);
+        }
+        if expects_b && b.is_none() {
+            return Err(EngineError::MissingBOperand);
+        }
+
+        let mut at = now;
+        if expects_a {
+            at = self.wait_for_space(Side::A, at)?;
+        }
+        if expects_b {
+            at = self.wait_for_space(Side::B, at)?;
+            // Waiting on B may have let more A releases pass; re-check A.
+            if expects_a {
+                at = self.wait_for_space(Side::A, at)?;
+            }
+        }
+        let stalled = at - now;
+        self.pmu.srcbuf_stall_cycles += stalled;
+        self.pmu.ip_instructions += 1;
+        self.ip_count += 1;
+
+        if expects_a {
+            self.buf_a.push_back((a.expect("checked above"), at));
+        }
+        if expects_b {
+            self.buf_b.push_back((b.expect("checked above"), at));
+        }
+        self.latest_issue = at;
+        self.advance()?;
+        Ok(IssueOutcome {
+            completes_at: at,
+            stalled,
+        })
+    }
+
+    /// Executes one `bs.get` at cycle `now`: waits for the engine to
+    /// drain, then reads and clears AccMem `slot`.
+    ///
+    /// Returns the accumulated value and the completion cycle.
+    ///
+    /// # Errors
+    ///
+    /// - [`EngineError::SlotOutOfRange`] for slots outside the configured
+    ///   footprint;
+    /// - [`EngineError::Deadlock`] when buffered µ-vectors can never be
+    ///   consumed (an incomplete chunk was issued);
+    /// - [`EngineError::TimeRegression`] when `now` precedes an earlier
+    ///   instruction.
+    pub fn bs_get(&mut self, now: u64, slot: usize) -> Result<(i64, u64), EngineError> {
+        if now < self.latest_issue {
+            return Err(EngineError::TimeRegression {
+                now,
+                latest: self.latest_issue,
+            });
+        }
+        if slot >= self.cfg.accmem_slots() {
+            return Err(EngineError::SlotOutOfRange {
+                slot,
+                active: self.cfg.accmem_slots(),
+            });
+        }
+        self.advance()?;
+        if !self.is_idle() {
+            return Err(EngineError::Deadlock);
+        }
+        // Slot-granular readiness: only this slot's accumulation chain
+        // must have completed, not the whole engine backlog.
+        let done = self.slot_ready[slot].max(now);
+        self.pmu.get_stall_cycles += done - now;
+        self.pmu.get_instructions += 1;
+        // The instruction issues at `now`; `done` is when its result is
+        // ready (the core tracks that through its scoreboard).
+        self.latest_issue = now;
+        let value = self.accmem.take(slot)?;
+        Ok((value, done))
+    }
+
+    /// Functional-only fast path: accumulates a full chunk of µ-vector
+    /// pairs without timing, used by the GEMM library's analytic and
+    /// sampled fidelities. Returns the chunk inner product directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mixgemm_binseg::BinSegError`] wrapped as a slot error
+    /// only if the configuration is inconsistent; with words produced by
+    /// `muvec::pack_slice` this cannot fail.
+    pub fn compute_chunk_functional(
+        cfg: &EngineConfig,
+        a_words: &[u64],
+        b_words: &[u64],
+    ) -> i64 {
+        mixgemm_binseg::ip::inner_product(
+            cfg.binseg(),
+            a_words,
+            b_words,
+            cfg.chunk_len(),
+        )
+        .expect("chunk word counts are validated by the caller")
+    }
+
+    /// Processes every step whose operands are buffered, scheduling each
+    /// at one cycle after its predecessor and no earlier than its operand
+    /// arrivals.
+    fn advance(&mut self) -> Result<(), EngineError> {
+        loop {
+            let Some(step) = self.walk.clone().next() else {
+                // Chunk complete: discard padded tails, rotate the slot.
+                self.finish_chunk();
+                continue;
+            };
+            let (Some(&(aw, a_arr)), Some(&(bw, b_arr))) =
+                (self.buf_a.front(), self.buf_b.front())
+            else {
+                return Ok(()); // starved: wait for more issues
+            };
+            let time = (self.engine_time + 1).max(a_arr).max(b_arr);
+            let _ = self.walk.next();
+
+            if !self.timing_only {
+                let op_a = self.cfg.binseg().operand_a();
+                let op_b = self.cfg.binseg().operand_b();
+                let mut ea = [0i32; 32];
+                let mut eb = [0i32; 32];
+                for i in 0..step.take {
+                    ea[i] = muvec::get_elem(op_a, aw, self.off_a + i)
+                        .expect("DSU never crosses a µ-vector boundary");
+                    eb[i] = muvec::get_elem(op_b, bw, self.off_b + i)
+                        .expect("DSU never crosses a µ-vector boundary");
+                }
+                let partial = cluster::cluster_inner_product(
+                    self.cfg.binseg(),
+                    &ea[..step.take],
+                    &eb[..step.take],
+                )
+                .expect("packed elements are in range by construction");
+                self.accmem.accumulate(self.slot, partial)?;
+            }
+
+            self.engine_time = time;
+            self.pmu.busy_cycles += 1;
+            self.pmu.macs += step.take as u64;
+
+            self.off_a += step.take;
+            if self.off_a == self.cfg.epv_a() {
+                self.pop_front(Side::A, time);
+            }
+            self.off_b += step.take;
+            if self.off_b == self.cfg.epv_b() {
+                self.pop_front(Side::B, time);
+            }
+        }
+    }
+
+    fn finish_chunk(&mut self) {
+        let t = self.engine_time;
+        if self.off_a > 0 {
+            self.pop_front(Side::A, t);
+        }
+        if self.off_b > 0 {
+            self.pop_front(Side::B, t);
+        }
+        self.slot_ready[self.slot] = t;
+        self.slot = (self.slot + 1) % self.cfg.accmem_slots();
+        self.pmu.chunks += 1;
+        self.walk = self.cfg.dsu_walk();
+    }
+
+    fn pop_front(&mut self, side: Side, release_time: u64) {
+        match side {
+            Side::A => {
+                self.buf_a.pop_front();
+                self.releases_a.push_back(release_time);
+                self.off_a = 0;
+            }
+            Side::B => {
+                self.buf_b.pop_front();
+                self.releases_b.push_back(release_time);
+                self.off_b = 0;
+            }
+        }
+    }
+
+    /// Earliest cycle `>= now` at which `side`'s buffer has a free slot.
+    fn wait_for_space(&mut self, side: Side, now: u64) -> Result<u64, EngineError> {
+        let (buf_len, releases) = match side {
+            Side::A => (self.buf_a.len(), &mut self.releases_a),
+            Side::B => (self.buf_b.len(), &mut self.releases_b),
+        };
+        // Slots already released by `now` no longer count.
+        while releases.front().is_some_and(|&r| r <= now) {
+            releases.pop_front();
+        }
+        let occupied = buf_len + releases.len();
+        if occupied < self.srcbuf_depth {
+            return Ok(now);
+        }
+        // Need `occupied - depth + 1` further releases; they must all be
+        // scheduled (buffered-but-unconsumed words cannot free a slot
+        // without future issues -> deadlock).
+        let need = occupied - self.srcbuf_depth + 1;
+        if need > releases.len() {
+            return Err(EngineError::Deadlock);
+        }
+        let free_at = releases[need - 1];
+        for _ in 0..need {
+            releases.pop_front();
+        }
+        Ok(free_at.max(now))
+    }
+}
+
+#[derive(Copy, Clone)]
+enum Side {
+    A,
+    B,
+}
+
+impl fmt::Debug for TimedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimedEngine")
+            .field("cfg", &self.cfg)
+            .field("srcbuf_depth", &self.srcbuf_depth)
+            .field("buffered_a", &self.buf_a.len())
+            .field("buffered_b", &self.buf_b.len())
+            .field("engine_time", &self.engine_time)
+            .field("slot", &self.slot)
+            .field("pmu", &self.pmu)
+            .finish()
+    }
+}

@@ -1,0 +1,288 @@
+//! Behavioural tests of the cycle-level µ-engine: functional equivalence
+//! with the software binary-segmentation path, Source-Buffer back-pressure,
+//! AccMem slot rotation and the paper's published cycle counts.
+
+use mixgemm_binseg::chunk::ChunkShape;
+use mixgemm_binseg::{muvec, BinSegConfig, PrecisionConfig};
+use mixgemm_uengine::{EngineConfig, EngineError, TimedEngine, DEFAULT_SRCBUF_DEPTH};
+
+fn engine_cfg(a: u8, w: u8, slots: usize) -> EngineConfig {
+    let pc = PrecisionConfig::from_bits(a, w).unwrap();
+    let shape = ChunkShape::balanced(pc);
+    let (oa, ob) = pc.operand_types();
+    EngineConfig::new(BinSegConfig::new(oa, ob), shape.kua(), shape.kub(), slots).unwrap()
+}
+
+/// Generates deterministic in-range test vectors.
+fn test_vectors(cfg: &EngineConfig, chunks: usize) -> (Vec<i32>, Vec<i32>) {
+    let oa = cfg.binseg().operand_a();
+    let ob = cfg.binseg().operand_b();
+    let len = cfg.chunk_len() * chunks;
+    let a = (0..len)
+        .map(|i| {
+            let span = (oa.max_value() - oa.min_value() + 1) as usize;
+            oa.min_value() + ((i * 13 + 5) % span) as i32
+        })
+        .collect();
+    let b = (0..len)
+        .map(|i| {
+            let span = (ob.max_value() - ob.min_value() + 1) as usize;
+            ob.min_value() + ((i * 7 + 2) % span) as i32
+        })
+        .collect();
+    (a, b)
+}
+
+/// Issues the chunks for one accumulator and returns words per side.
+fn issue_chunks(
+    engine: &mut TimedEngine,
+    cfg: &EngineConfig,
+    a: &[i32],
+    b: &[i32],
+    start: u64,
+) -> u64 {
+    let oa = cfg.binseg().operand_a();
+    let ob = cfg.binseg().operand_b();
+    let chunks = a.len() / cfg.chunk_len();
+    let mut t = start;
+    for c in 0..chunks {
+        let base = c * cfg.chunk_len();
+        let a_chunk = &a[base..base + cfg.chunk_len()];
+        let b_chunk = &b[base..base + cfg.chunk_len()];
+        let mut aw = muvec::pack_slice(oa, a_chunk).unwrap();
+        let mut bw = muvec::pack_slice(ob, b_chunk).unwrap();
+        aw.resize(cfg.kua(), 0);
+        bw.resize(cfg.kub(), 0);
+        for k in 0..cfg.kua().max(cfg.kub()) {
+            let aword = if k < cfg.kua() { Some(aw[k]) } else { None };
+            let bword = if k < cfg.kub() { Some(bw[k]) } else { None };
+            let out = engine.issue_ip(t, aword, bword).unwrap();
+            t = out.completes_at + 1;
+        }
+    }
+    t
+}
+
+#[test]
+fn single_chunk_matches_naive_for_every_pair() {
+    for pc in PrecisionConfig::all_pairs() {
+        let cfg = engine_cfg(pc.activations().bits(), pc.weights().bits(), 1);
+        let (a, b) = test_vectors(&cfg, 1);
+        let mut engine = TimedEngine::new(cfg, DEFAULT_SRCBUF_DEPTH);
+        let t = issue_chunks(&mut engine, &cfg, &a, &b, 0);
+        let (value, _) = engine.bs_get(t, 0).unwrap();
+        let expected: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+        assert_eq!(value, expected, "{pc}");
+    }
+}
+
+#[test]
+fn multi_chunk_accumulation_rotates_slots() {
+    // Four accumulators, two k-blocks each: the engine must rotate
+    // 0,1,2,3,0,1,2,3 and accumulate per slot.
+    let cfg = engine_cfg(8, 8, 4);
+    let (a, b) = test_vectors(&cfg, 8);
+    let mut engine = TimedEngine::new(cfg, DEFAULT_SRCBUF_DEPTH);
+    let clen = cfg.chunk_len();
+
+    // Interleave: chunk order is slot 0..3 then slot 0..3 again.
+    let mut t = 0;
+    for block in 0..2 {
+        for slot in 0..4 {
+            let base = (block * 4 + slot) * clen;
+            t = issue_chunks(
+                &mut engine,
+                &cfg,
+                &a[base..base + clen],
+                &b[base..base + clen],
+                t,
+            );
+        }
+    }
+    for slot in 0..4 {
+        let (value, done) = engine.bs_get(t, slot).unwrap();
+        t = done + 1;
+        let mut expected = 0i64;
+        for block in 0..2 {
+            let base = (block * 4 + slot) * clen;
+            expected += a[base..base + clen]
+                .iter()
+                .zip(&b[base..base + clen])
+                .map(|(&x, &y)| x as i64 * y as i64)
+                .sum::<i64>();
+        }
+        assert_eq!(value, expected, "slot {slot}");
+    }
+    assert_eq!(engine.pmu().chunks, 8);
+}
+
+#[test]
+fn bs_get_clears_the_slot() {
+    let cfg = engine_cfg(4, 4, 1);
+    let (a, b) = test_vectors(&cfg, 1);
+    let mut engine = TimedEngine::new(cfg, DEFAULT_SRCBUF_DEPTH);
+    let t = issue_chunks(&mut engine, &cfg, &a, &b, 0);
+    let (v1, t1) = engine.bs_get(t, 0).unwrap();
+    assert_ne!(v1, 0);
+    let (v2, _) = engine.bs_get(t1 + 1, 0).unwrap();
+    assert_eq!(v2, 0);
+}
+
+#[test]
+fn busy_cycles_match_paper_chunk_counts() {
+    for (a, w, cycles) in [(8, 8, 12), (8, 6, 12), (6, 4, 9)] {
+        let cfg = engine_cfg(a, w, 1);
+        assert_eq!(cfg.chunk_cycles(), cycles);
+        let (va, vb) = test_vectors(&cfg, 1);
+        let mut engine = TimedEngine::new(cfg, DEFAULT_SRCBUF_DEPTH);
+        let t = issue_chunks(&mut engine, &cfg, &va, &vb, 0);
+        engine.bs_get(t, 0).unwrap();
+        assert_eq!(engine.pmu().busy_cycles, cycles as u64, "a{a}-w{w}");
+        assert_eq!(engine.pmu().macs, cfg.chunk_len() as u64);
+    }
+}
+
+#[test]
+fn srcbuf_backpressure_stalls_fast_issuers() {
+    // Issue an entire large GEMM-like stream back-to-back (one ip per
+    // cycle): the engine retires ~1 cluster/cycle, so a burst beyond the
+    // buffer depth must stall the issuer.
+    let cfg = engine_cfg(2, 2, 16);
+    let depth = 4;
+    let (a, b) = test_vectors(&cfg, 16);
+    let mut engine = TimedEngine::new(cfg, depth);
+    let t = issue_chunks(&mut engine, &cfg, &a, &b, 0);
+    let _ = engine.bs_get(t, 0).unwrap();
+    assert!(
+        engine.pmu().srcbuf_stall_cycles > 0,
+        "a 2-bit stream at 1 ip/cycle must exceed a depth-{depth} buffer"
+    );
+}
+
+#[test]
+fn deeper_buffers_stall_less() {
+    let mut stalls = Vec::new();
+    for depth in [8, 16, 32] {
+        let cfg = engine_cfg(2, 2, 16);
+        let (a, b) = test_vectors(&cfg, 64);
+        let mut engine = TimedEngine::new(cfg, depth);
+        let t = issue_chunks(&mut engine, &cfg, &a, &b, 0);
+        engine.bs_get(t, 0).unwrap();
+        stalls.push(engine.pmu().srcbuf_stall_cycles);
+    }
+    assert!(
+        stalls[0] >= stalls[1] && stalls[1] >= stalls[2],
+        "stalls must not increase with depth: {stalls:?}"
+    );
+}
+
+#[test]
+fn issue_faster_than_drain_is_limited_by_engine_throughput() {
+    // Total completion time is dominated by the engine's chunk cycles,
+    // not by the issue rate.
+    let cfg = engine_cfg(8, 8, 1);
+    let (a, b) = test_vectors(&cfg, 32);
+    let mut engine = TimedEngine::new(cfg, DEFAULT_SRCBUF_DEPTH);
+    let t = issue_chunks(&mut engine, &cfg, &a, &b, 0);
+    let (_, done) = engine.bs_get(t, 0).unwrap();
+    let busy = engine.pmu().busy_cycles;
+    assert_eq!(busy, 32 * cfg.chunk_cycles() as u64);
+    assert!(done >= busy, "end-to-end time {done} below busy cycles {busy}");
+    // The pipeline overlaps issue and execution: the total must be far
+    // below the serialized sum of issue + execute.
+    assert!(done < busy + 32 * cfg.kua() as u64);
+}
+
+#[test]
+fn missing_b_operand_is_rejected() {
+    let cfg = engine_cfg(8, 8, 1);
+    let mut engine = TimedEngine::new(cfg, DEFAULT_SRCBUF_DEPTH);
+    // First issue of a chunk must carry B data (kub = 4 >= 1).
+    let err = engine.issue_ip(0, Some(0), None).unwrap_err();
+    assert_eq!(err, EngineError::MissingBOperand);
+    let err = engine.issue_ip(0, None, Some(0)).unwrap_err();
+    assert_eq!(err, EngineError::MissingAOperand);
+}
+
+#[test]
+fn time_regression_is_rejected() {
+    let cfg = engine_cfg(8, 8, 1);
+    let mut engine = TimedEngine::new(cfg, DEFAULT_SRCBUF_DEPTH);
+    engine.issue_ip(10, Some(0), Some(0)).unwrap();
+    let err = engine.issue_ip(5, Some(0), Some(0)).unwrap_err();
+    assert!(matches!(err, EngineError::TimeRegression { .. }));
+}
+
+#[test]
+fn bs_get_with_pending_partial_chunk_errors() {
+    // a8-w2 (kua = 4, kub = 1): after a single ip the 32-element B
+    // µ-vector is only partially consumed and can never drain without
+    // further A issues, so bs.get must refuse rather than hang.
+    let cfg = engine_cfg(8, 2, 1);
+    let mut engine = TimedEngine::new(cfg, DEFAULT_SRCBUF_DEPTH);
+    let out = engine.issue_ip(0, Some(u64::MAX), Some(u64::MAX)).unwrap();
+    let err = engine.bs_get(out.completes_at + 1, 0).unwrap_err();
+    assert_eq!(err, EngineError::Deadlock);
+}
+
+#[test]
+fn reconfiguration_requires_idle_engine() {
+    let cfg = engine_cfg(8, 8, 1);
+    let cfg2 = engine_cfg(4, 4, 1);
+    let mut engine = TimedEngine::new(cfg, DEFAULT_SRCBUF_DEPTH);
+    engine.issue_ip(0, Some(1), Some(1)).unwrap();
+    assert_eq!(engine.bs_set(cfg2).unwrap_err(), EngineError::Deadlock);
+    // Drain by completing the chunk, then reconfigure.
+    let mut t = 1;
+    for _ in 0..3 {
+        t = engine.issue_ip(t, Some(0), Some(0)).unwrap().completes_at + 1;
+    }
+    let (_, done) = engine.bs_get(t, 0).unwrap();
+    assert!(engine.bs_set(cfg2).is_ok());
+    assert_eq!(engine.config().binseg().operand_a().bits(), 4);
+    let _ = done;
+}
+
+#[test]
+fn mixed_precision_daisy_chain_a8w2() {
+    // kua = 4, kub = 1: one B µ-vector serves four A µ-vectors.
+    let cfg = engine_cfg(8, 2, 2);
+    assert_eq!((cfg.kua(), cfg.kub()), (4, 1));
+    let (a, b) = test_vectors(&cfg, 2);
+    let mut engine = TimedEngine::new(cfg, DEFAULT_SRCBUF_DEPTH);
+    let t = issue_chunks(&mut engine, &cfg, &a, &b, 0);
+    let clen = cfg.chunk_len();
+    let (v0, t0) = engine.bs_get(t, 0).unwrap();
+    let (v1, _) = engine.bs_get(t0 + 1, 1).unwrap();
+    let exp = |r: std::ops::Range<usize>| {
+        a[r.clone()]
+            .iter()
+            .zip(&b[r])
+            .map(|(&x, &y)| x as i64 * y as i64)
+            .sum::<i64>()
+    };
+    assert_eq!(v0, exp(0..clen));
+    assert_eq!(v1, exp(clen..2 * clen));
+}
+
+#[test]
+fn functional_fast_path_agrees_with_timed_path() {
+    for pc in [
+        PrecisionConfig::from_bits(8, 8).unwrap(),
+        PrecisionConfig::from_bits(8, 6).unwrap(),
+        PrecisionConfig::from_bits(6, 4).unwrap(),
+        PrecisionConfig::from_bits(3, 2).unwrap(),
+    ] {
+        let cfg = engine_cfg(pc.activations().bits(), pc.weights().bits(), 1);
+        let (a, b) = test_vectors(&cfg, 1);
+        let oa = cfg.binseg().operand_a();
+        let ob = cfg.binseg().operand_b();
+        let aw = muvec::pack_slice(oa, &a).unwrap();
+        let bw = muvec::pack_slice(ob, &b).unwrap();
+        let fast = TimedEngine::compute_chunk_functional(&cfg, &aw, &bw);
+        let mut engine = TimedEngine::new(cfg, DEFAULT_SRCBUF_DEPTH);
+        let t = issue_chunks(&mut engine, &cfg, &a, &b, 0);
+        let (timed, _) = engine.bs_get(t, 0).unwrap();
+        assert_eq!(fast, timed, "{pc}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the timed µ-engine: functional equivalence
+//! with the software inner-product path under random precisions, chunk
+//! shapes, issue gaps and buffer depths.
+
+use mixgemm_binseg::chunk::ChunkShape;
+use mixgemm_binseg::{muvec, BinSegConfig, PrecisionConfig};
+use mixgemm_uengine::{EngineConfig, TimedEngine};
+use proptest::prelude::*;
+
+fn precision() -> impl Strategy<Value = PrecisionConfig> {
+    (2u8..=8, 2u8..=8).prop_map(|(a, w)| PrecisionConfig::from_bits(a, w).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random values, random issue gaps, random (small) buffer depths:
+    /// the accumulated value always equals the naive inner product and
+    /// timing invariants hold.
+    #[test]
+    fn engine_matches_naive_under_random_conditions(
+        pc in precision(),
+        chunks in 1usize..4,
+        depth in 1usize..20,
+        gap in 0u64..5,
+        seed in 0u64..10_000,
+    ) {
+        let shape = ChunkShape::balanced(pc);
+        let (oa, ob) = pc.operand_types();
+        let binseg = BinSegConfig::new(oa, ob);
+        let cfg = EngineConfig::new(binseg, shape.kua(), shape.kub(), 1).unwrap();
+        let len = cfg.chunk_len();
+
+        let gen = |salt: u64, op: mixgemm_binseg::OperandType, i: usize| -> i32 {
+            let span = (op.max_value() - op.min_value() + 1) as u64;
+            (op.min_value() as i64
+                + ((seed.wrapping_mul(salt).wrapping_add(i as u64 * 2654435761)) % span)
+                    as i64) as i32
+        };
+
+        let mut engine = TimedEngine::new(cfg, depth);
+        let mut expected = 0i64;
+        let mut t = 0u64;
+        for c in 0..chunks {
+            let a: Vec<i32> = (0..len).map(|i| gen(13 + c as u64, oa, i)).collect();
+            let b: Vec<i32> = (0..len).map(|i| gen(31 + c as u64, ob, i)).collect();
+            expected += a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum::<i64>();
+            let mut aw = muvec::pack_slice(oa, &a).unwrap();
+            let mut bw = muvec::pack_slice(ob, &b).unwrap();
+            aw.resize(cfg.kua(), 0);
+            bw.resize(cfg.kub(), 0);
+            for k in 0..cfg.kua().max(cfg.kub()) {
+                let a_op = (k < cfg.kua()).then(|| aw[k]);
+                let b_op = (k < cfg.kub()).then(|| bw[k]);
+                let out = engine.issue_ip(t, a_op, b_op).unwrap();
+                // Issue never completes before it was requested.
+                prop_assert!(out.completes_at >= t);
+                t = out.completes_at + 1 + gap;
+            }
+        }
+        let (value, done) = engine.bs_get(t, 0).unwrap();
+        prop_assert_eq!(value, expected);
+        prop_assert!(done >= engine.pmu().busy_cycles);
+        // Exactly the logical work was retired.
+        prop_assert_eq!(engine.pmu().macs, (len * chunks) as u64);
+        prop_assert_eq!(engine.pmu().chunks, chunks as u64);
+    }
+
+    /// Slower issue (bigger gaps) never makes the engine finish earlier,
+    /// and deeper buffers never stall more.
+    #[test]
+    fn stalls_monotone_in_depth(
+        pc in precision(),
+        seed in 0u64..1000,
+    ) {
+        let shape = ChunkShape::balanced(pc);
+        let (oa, ob) = pc.operand_types();
+        let cfg = EngineConfig::new(
+            BinSegConfig::new(oa, ob),
+            shape.kua(),
+            shape.kub(),
+            1,
+        ).unwrap();
+        let run = |depth: usize| -> u64 {
+            let mut engine = TimedEngine::new(cfg, depth);
+            let mut t = seed % 7; // arbitrary start time
+            for _ in 0..6 {
+                for k in 0..cfg.kua().max(cfg.kub()) {
+                    let a_op = (k < cfg.kua()).then_some(0u64);
+                    let b_op = (k < cfg.kub()).then_some(0u64);
+                    t = engine.issue_ip(t, a_op, b_op).unwrap().completes_at + 1;
+                }
+            }
+            engine.bs_get(t, 0).unwrap();
+            engine.pmu().srcbuf_stall_cycles
+        };
+        let shallow = run(2);
+        let deep = run(32);
+        prop_assert!(deep <= shallow);
+    }
+}

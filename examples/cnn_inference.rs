@@ -1,0 +1,74 @@
+//! End-to-end quantized CNN inference: build a network, run a real
+//! quantized forward pass through the Mix-GEMM functional kernel, and
+//! time the same network on the modelled SoC at several precisions.
+//!
+//! Run with: `cargo run --release --example cnn_inference`
+
+use mixgemm::api::EdgeSoc;
+use mixgemm::dnn::runtime::{forward_quantized, PrecisionPlan, Tensor};
+use mixgemm::dnn::{zoo, ActKind, Network, OpKind, Shape};
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    // A small CIFAR-scale CNN we can run functionally in milliseconds.
+    let mut net = Network::new("demo-cnn", Shape::new(3, 32, 32));
+    net.push_seq(OpKind::Conv2d { out_c: 16, k: 3, stride: 1, pad: 1, groups: 1 })?;
+    net.push_seq(OpKind::Activation(ActKind::Relu))?;
+    net.push_seq(OpKind::MaxPool { k: 2, stride: 2, pad: 0 })?;
+    net.push_seq(OpKind::Conv2d { out_c: 32, k: 3, stride: 1, pad: 1, groups: 1 })?;
+    net.push_seq(OpKind::Activation(ActKind::Relu))?;
+    net.push_seq(OpKind::GlobalAvgPool)?;
+    net.push_seq(OpKind::Linear { out_features: 10 })?;
+
+    let input = Tensor::new(
+        Shape::new(3, 32, 32),
+        (0..3 * 32 * 32).map(|i| ((i * 37) % 100) as f32 / 100.0).collect(),
+    )?;
+
+    println!("Functional quantized inference on {net}:");
+    for pc in ["a8-w8", "a4-w4", "a2-w2"] {
+        let plan = PrecisionPlan {
+            default: pc.parse()?,
+            pin_first_last: false,
+            overrides: Vec::new(),
+        };
+        let out = forward_quantized(&net, &input, &plan, 2024)?;
+        let best = out
+            .data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, v)| (i, *v))
+            .unwrap();
+        println!("  {pc}: logits[0..3] = {:?}, argmax = {}", &out.data[..3], best.0);
+    }
+
+    // Per-layer anatomy of one network at a4-w4.
+    {
+        let plan = PrecisionPlan {
+            default: "a4-w4".parse()?,
+            pin_first_last: true,
+            overrides: Vec::new(),
+        };
+        let s = EdgeSoc::sargantana().run_network(&zoo::alexnet(), plan)?;
+        println!("\nAlexNet per-layer anatomy (a4-w4, first/last pinned at 8-bit):");
+        print!("{}", s.perf.layer_table());
+    }
+
+    // Timing the paper's evaluation networks on the modelled SoC.
+    println!("\nSimulated conv-layer throughput on the Sargantana-like SoC:");
+    let soc = EdgeSoc::sargantana();
+    for net in [zoo::resnet18(), zoo::mobilenet_v1()] {
+        print!("  {:14}", net.name());
+        for pc in ["a8-w8", "a4-w4", "a2-w2"] {
+            let plan = PrecisionPlan {
+                default: pc.parse()?,
+                pin_first_last: false,
+                overrides: Vec::new(),
+            };
+            let s = soc.run_network(&net, plan)?;
+            print!("  {pc}: {:5.2} GOPS ({:4.1} fps)", s.conv_gops(), s.fps());
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Sweep every supported activation/weight combination (the full 8b–2b
+//! grid, 49 configurations) on one GEMM and print the performance
+//! surface — the flexibility that distinguishes Mix-GEMM from
+//! fixed-width SIMD extensions.
+//!
+//! Run with: `cargo run --release --example mixed_precision_sweep`
+
+use mixgemm::api::EdgeSoc;
+use mixgemm::binseg::chunk::ChunkShape;
+use mixgemm::binseg::{BinSegConfig, PrecisionConfig};
+use mixgemm::gemm::GemmDims;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let soc = EdgeSoc::sargantana();
+    let dims = GemmDims::square(512);
+
+    println!("GEMM 512^3 across the full precision grid (rows: activations,");
+    println!("columns: weights). Cell: GOPS | input-cluster size (MAC/cycle).\n");
+    print!("      ");
+    for w in (2..=8).rev() {
+        print!("    w{w}    ");
+    }
+    println!();
+    for a in (2..=8u8).rev() {
+        print!("  a{a}  ");
+        for w in (2..=8u8).rev() {
+            let pc = PrecisionConfig::from_bits(a, w)?;
+            let (oa, ow) = pc.operand_types();
+            let cluster = BinSegConfig::new(oa, ow).cluster_size();
+            let summary = soc.run_gemm(pc, dims)?;
+            print!("{:5.1}|{}    ", summary.gops(), cluster);
+        }
+        println!();
+    }
+
+    println!("\nChunk shapes (kua/kub balancing, paper Fig. 4) and padding:");
+    for pc in ["a8-w8", "a8-w6", "a6-w4", "a8-w2", "a3-w2"] {
+        let shape = ChunkShape::balanced(pc.parse()?);
+        println!(
+            "  {pc}: kua={} kub={} -> {} logical elements/chunk, {:.1}% padding",
+            shape.kua(),
+            shape.kub(),
+            shape.logical_elems(),
+            100.0 * shape.padding_overhead()
+        );
+    }
+    Ok(())
+}

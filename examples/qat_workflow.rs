@@ -1,0 +1,43 @@
+//! The Fig. 3 workflow at laptop scale: quantization-aware training of
+//! a small CNN across bit widths, then the published ImageNet accuracy
+//! tables the Fig. 7 Pareto frontier is built from.
+//!
+//! Run with: `cargo run --release --example qat_workflow`
+
+use mixgemm::qat::accuracy;
+use mixgemm::qat::data::ShapesDataset;
+use mixgemm::qat::train::{train_cnn, TrainConfig};
+
+fn main() {
+    println!("QAT on the synthetic shapes dataset (600 samples, 6 epochs):\n");
+    let dataset = ShapesDataset::generate(600, 42);
+
+    for quant in [None, Some((8, 8)), Some((6, 6)), Some((4, 4)), Some((3, 3)), Some((2, 2))] {
+        let cfg = TrainConfig {
+            epochs: 6,
+            quant_bits: quant,
+            ..TrainConfig::default()
+        };
+        let out = train_cnn(&dataset, &cfg);
+        let name = match quant {
+            None => "FP32".to_string(),
+            Some((a, w)) => format!("a{a}-w{w}"),
+        };
+        println!(
+            "  {name:>6}: val TOP-1 {:5.1}%  (final loss {:.3})",
+            100.0 * out.val_accuracy,
+            out.loss_history.last().unwrap()
+        );
+    }
+
+    println!("\nThe same qualitative curve the paper measures on ImageNet");
+    println!("(published Fig. 7 TOP-1 numbers, reconstructed tables):\n");
+    for table in accuracy::paper_accuracy() {
+        print!("  {:16} FP32 {:5.2}% |", table.name, table.fp32_top1);
+        for (a, w) in [(8, 8), (5, 5), (4, 4), (3, 3), (2, 2)] {
+            let pc = mixgemm::PrecisionConfig::from_bits(a, w).unwrap();
+            print!(" a{a}w{w} {:5.2}", table.top1_for(pc).unwrap());
+        }
+        println!();
+    }
+}

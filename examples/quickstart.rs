@@ -1,0 +1,50 @@
+//! Quickstart: compute a mixed-precision GEMM bit-exactly and see how
+//! fast (and how efficiently) the modelled µ-engine SoC runs it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mixgemm::api::EdgeSoc;
+use mixgemm::binseg::example as binseg_example;
+use mixgemm::gemm::{GemmDims, GemmOptions, MixGemmKernel, QuantMatrix};
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    // 1. The binary-segmentation trick itself, on the paper's Fig. 1
+    //    example: one 16-bit multiplication computes a 2-element inner
+    //    product.
+    let trace = binseg_example::fig1();
+    println!("Fig. 1 worked example (a = [4,7,3,6], b = [3,2,0,1]):");
+    for (i, step) in trace.steps.iter().enumerate() {
+        println!(
+            "  cluster {}: {} x {} = {} -> slice = {}",
+            i, step.input_cluster_a, step.input_cluster_b, step.product, step.partial_ip
+        );
+    }
+    println!("  inner product = {}\n", trace.inner_product);
+
+    // 2. A real mixed-precision GEMM: 8-bit activations x 4-bit weights.
+    let precision = "a8-w4".parse()?;
+    let (oa, ow) = mixgemm::PrecisionConfig::from_bits(8, 4)?.operand_types();
+    let a = QuantMatrix::from_fn(64, 96, oa, |i, k| ((i * 7 + k * 3) % 250) as i32);
+    let b = QuantMatrix::from_fn(96, 48, ow, |k, j| ((k + j * 5) % 15) as i32 - 8);
+
+    let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+    let c = kernel.compute(&a, &b)?;
+    println!(
+        "a8-w4 GEMM 64x96x48 computed through binary segmentation; C[0][0] = {}",
+        c[0]
+    );
+
+    // 3. How fast does the modelled edge SoC run it?
+    let soc = EdgeSoc::sargantana();
+    for pc in ["a8-w8", "a5-w5", "a4-w4", "a2-w2"] {
+        let summary = soc.run_gemm(pc.parse()?, GemmDims::square(512))?;
+        println!(
+            "  {pc}: {:>6.2} GOPS, {:>6.1} GOPS/W, {:.3} cycles/MAC",
+            summary.gops(),
+            summary.gops_per_watt(),
+            summary.report.cycles_per_mac()
+        );
+    }
+    println!("\nPerformance scales as the data sizes shrink — the core Mix-GEMM result.");
+    Ok(())
+}

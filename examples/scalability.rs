@@ -1,0 +1,43 @@
+//! The §III-B scalability arguments, executed: wider µ-engine datapaths
+//! (SIMD sizing) and multi-core BLIS scaling.
+//!
+//! Run with: `cargo run --release --example scalability`
+
+use mixgemm::gemm::scaling::{multicore_projection, simd_projection};
+use mixgemm::gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel};
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    println!("µ-engine datapath scaling (steady-state, engine-bound):\n");
+    println!(
+        "  {:>7} {:>22} {:>22}",
+        "config", "64-bit mul (paper)", "128-bit SIMD sizing"
+    );
+    for cfg in ["a8-w8", "a6-w4", "a4-w4", "a2-w2"] {
+        let p64 = simd_projection(cfg.parse()?, 64, 64)?;
+        let p128 = simd_projection(cfg.parse()?, 128, 128)?;
+        println!(
+            "  {:>7} {:>12.2} MAC/cy ({}) {:>12.2} MAC/cy ({})",
+            cfg,
+            p64.effective_macs_per_cycle,
+            p64.peak_macs_per_cycle,
+            p128.effective_macs_per_cycle,
+            p128.peak_macs_per_cycle,
+        );
+    }
+
+    println!("\nMulti-core scaling of a simulated a8-w8 1024^3 GEMM");
+    println!("(one µ-engine per core, shared L2/DRAM — §III-B, [67][73]):\n");
+    let report = MixGemmKernel::new(GemmOptions::new("a8-w8".parse()?))
+        .simulate(GemmDims::square(1024), Fidelity::Sampled)?;
+    println!("  {:>6} {:>10} {:>12}", "cores", "GOPS", "efficiency");
+    for cores in [1, 2, 4, 8] {
+        let p = multicore_projection(&report, cores);
+        println!(
+            "  {:>6} {:>10.2} {:>11.0}%",
+            p.cores,
+            p.gops,
+            100.0 * p.efficiency
+        );
+    }
+    Ok(())
+}

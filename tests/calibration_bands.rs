@@ -1,0 +1,139 @@
+//! Calibration-band tests: the anchor points the simulator is
+//! calibrated to (DESIGN.md §3) must stay inside their published bands.
+//! These are the guardrails for every figure/table harness — if a model
+//! change moves an anchor, these tests fail before the benches drift.
+
+use mixgemm::dnn::runtime::{simulate_network, PrecisionPlan};
+use mixgemm::dnn::zoo;
+use mixgemm::gemm::baseline::{self, BaselineKind};
+use mixgemm::gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel};
+
+fn mix(pc: &str, dims: GemmDims) -> mixgemm::gemm::GemmReport {
+    MixGemmKernel::new(GemmOptions::new(pc.parse().unwrap()))
+        .simulate(dims, Fidelity::Sampled)
+        .unwrap()
+}
+
+/// Fig. 6 steady-state anchors: a8-w8 ~10.2x, a4-w4 ~16x, a2-w2 ~27.2x
+/// over the BLIS DGEMM baseline.
+#[test]
+fn fig6_speedup_anchors() {
+    let dims = GemmDims::square(1024);
+    let dgemm = baseline::simulate(BaselineKind::DgemmF64, dims, Fidelity::Sampled).unwrap();
+
+    let s8 = mix("a8-w8", dims).speedup_over(&dgemm);
+    assert!((9.0..12.5).contains(&s8), "a8-w8 speedup {s8:.1} vs paper 10.2");
+
+    let s4 = mix("a4-w4", dims).speedup_over(&dgemm);
+    assert!((13.5..19.0).contains(&s4), "a4-w4 speedup {s4:.1} vs paper ~16");
+
+    let s2 = mix("a2-w2", dims).speedup_over(&dgemm);
+    assert!((23.0..30.0).contains(&s2), "a2-w2 speedup {s2:.1} vs paper 27.2");
+
+    // Monotone scaling along the precision axis (the paper's headline).
+    let mut last = f64::INFINITY;
+    for pc in ["a8-w8", "a6-w6", "a5-w5", "a4-w4", "a3-w3", "a2-w2"] {
+        let c = mix(pc, dims).cycles as f64;
+        assert!(c < last, "{pc} must be faster than the previous config");
+        last = c;
+    }
+}
+
+/// §IV-B: BLIS with 8-bit data gains only modestly over DGEMM (the
+/// paper reports 2.5x; our scalar-ISA model lands lower — see
+/// EXPERIMENTS.md — but well inside the "small multiple" regime).
+#[test]
+fn int8_blis_anchor() {
+    let dims = GemmDims::square(1024);
+    let dgemm = baseline::simulate(BaselineKind::DgemmF64, dims, Fidelity::Sampled).unwrap();
+    let i8 = baseline::simulate(BaselineKind::GemmI8Scalar, dims, Fidelity::Sampled).unwrap();
+    let s = i8.speedup_over(&dgemm);
+    assert!((1.3..3.2).contains(&s), "int8 BLIS speedup {s:.2} vs paper 2.5");
+}
+
+/// Table III baseline row: OpenBLAS FP32 on the U740 at ~0.9 GOPS.
+#[test]
+fn u740_fp32_anchor() {
+    let r = baseline::simulate(BaselineKind::SgemmF32, GemmDims::square(1024), Fidelity::Sampled)
+        .unwrap();
+    let gops = r.gops();
+    assert!((0.6..1.3).contains(&gops), "U740 FP32 at {gops:.2} GOPS vs paper 0.9");
+}
+
+/// Table III row [33]: GEMMLowp on the Cortex-A53 at 4.7-5.8 GOPS.
+#[test]
+fn gemmlowp_a53_anchor() {
+    let r = baseline::simulate(
+        BaselineKind::GemmLowpSimd,
+        GemmDims::square(1024),
+        Fidelity::Sampled,
+    )
+    .unwrap();
+    let gops = r.gops();
+    assert!((3.2..6.5).contains(&gops), "GEMMLowp at {gops:.2} GOPS vs paper 4.7-5.8");
+}
+
+/// Fig. 7 / Table III "This work" rows: the six CNNs land in (or near)
+/// the published per-network GOPS ranges with the paper's conv-layer
+/// accounting.
+#[test]
+fn network_gops_bands() {
+    // (name, published min (a8w8-ish), published max (a2w2), slack).
+    let bands = [
+        ("alexnet", 5.2, 13.6),
+        ("vgg-16", 5.3, 13.1),
+        ("resnet-18", 5.1, 12.4),
+        ("mobilenet-v1", 4.8, 9.5),
+        ("regnet-x-400mf", 5.1, 9.9),
+        ("efficientnet-b0", 5.1, 13.1),
+    ];
+    for (name, published_min, published_max) in bands {
+        let net = zoo::all_networks()
+            .into_iter()
+            .find(|n| n.name() == name)
+            .unwrap();
+        let run = |pc: &str| {
+            let plan = PrecisionPlan {
+                default: pc.parse().unwrap(),
+                pin_first_last: false,
+                overrides: Vec::new(),
+            };
+            simulate_network(&net, &plan, Fidelity::Sampled)
+                .unwrap()
+                .conv_gops()
+        };
+        let lo = run("a8-w8");
+        let hi = run("a2-w2");
+        // Reproduction tolerance: 35 % per endpoint (the models share a
+        // calibration but each network has its own layer mix; see
+        // EXPERIMENTS.md for the measured-vs-published table).
+        assert!(
+            (lo - published_min).abs() / published_min < 0.35,
+            "{name} a8-w8 {lo:.2} vs published {published_min}"
+        );
+        assert!(
+            (hi - published_max).abs() / published_max < 0.35,
+            "{name} a2-w2 {hi:.2} vs published {published_max}"
+        );
+        assert!(hi > lo, "{name}: narrow precision must be faster");
+    }
+}
+
+/// §IV-B cache exploration: shrinking L1 to 16 KB and L2 to 64 KB
+/// costs only a moderate slowdown (paper: 11.8 % on average).
+#[test]
+fn cache_shrink_penalty_band() {
+    use mixgemm::gemm::dse;
+    let configs: Vec<mixgemm::PrecisionConfig> = ["a8-w8", "a4-w4", "a2-w2"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let rows =
+        dse::cache_sweep(&[(32, 512), (16, 64)], &configs, GemmDims::square(1024)).unwrap();
+    let slowdown = rows[1].slowdown - 1.0;
+    assert!(
+        (0.0..0.45).contains(&slowdown),
+        "16KB/64KB slowdown {:.1}% vs paper 11.8%",
+        100.0 * slowdown
+    );
+}

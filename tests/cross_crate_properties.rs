@@ -1,0 +1,124 @@
+//! Property-based tests spanning crates: functional equivalence of the
+//! three compute paths (naive, binary-segmentation software, timed
+//! µ-engine) and invariants of the quantize→compute→dequantize chain.
+
+use mixgemm::binseg::{chunk::ChunkShape, muvec, BinSegConfig};
+use mixgemm::gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel, QuantMatrix};
+use mixgemm::quant::calibrate;
+use mixgemm::uengine::{EngineConfig, TimedEngine, DEFAULT_SRCBUF_DEPTH};
+use mixgemm::PrecisionConfig;
+use proptest::prelude::*;
+
+fn precision_strategy() -> impl Strategy<Value = PrecisionConfig> {
+    (2u8..=8, 2u8..=8).prop_map(|(a, w)| PrecisionConfig::from_bits(a, w).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// GEMM through binary segmentation equals naive integer GEMM for
+    /// random shapes, precisions and values.
+    #[test]
+    fn gemm_functional_equivalence(
+        precision in precision_strategy(),
+        m in 1usize..10,
+        k in 1usize..60,
+        n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let (oa, ow) = precision.operand_types();
+        let a = QuantMatrix::from_fn(m, k, oa, |i, j| {
+            let span = (oa.max_value() - oa.min_value() + 1) as u64;
+            (oa.min_value() as i64
+                + ((seed.wrapping_mul(31).wrapping_add((i * k + j) as u64 * 7)) % span) as i64)
+                as i32
+        });
+        let b = QuantMatrix::from_fn(k, n, ow, |i, j| {
+            let span = (ow.max_value() - ow.min_value() + 1) as u64;
+            (ow.min_value() as i64
+                + ((seed.wrapping_mul(17).wrapping_add((i * n + j) as u64 * 5)) % span) as i64)
+                as i32
+        });
+        let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+        let via_binseg = kernel.compute(&a, &b).unwrap();
+        let via_plain = kernel.compute_fast(&a, &b).unwrap();
+        prop_assert_eq!(via_binseg, via_plain);
+    }
+
+    /// The timed µ-engine accumulates exactly what the software inner
+    /// product computes, chunk by chunk.
+    #[test]
+    fn timed_engine_functional_equivalence(
+        precision in precision_strategy(),
+        seed in 0u64..500,
+    ) {
+        let shape = ChunkShape::balanced(precision);
+        let (oa, ow) = precision.operand_types();
+        let binseg = BinSegConfig::new(oa, ow);
+        let cfg = EngineConfig::new(binseg, shape.kua(), shape.kub(), 1).unwrap();
+        let len = cfg.chunk_len();
+        let a: Vec<i32> = (0..len)
+            .map(|i| {
+                let span = (oa.max_value() - oa.min_value() + 1) as u64;
+                (oa.min_value() as i64 + ((seed * 13 + i as u64 * 3) % span) as i64) as i32
+            })
+            .collect();
+        let b: Vec<i32> = (0..len)
+            .map(|i| {
+                let span = (ow.max_value() - ow.min_value() + 1) as u64;
+                (ow.min_value() as i64 + ((seed * 7 + i as u64 * 11) % span) as i64) as i32
+            })
+            .collect();
+        let mut aw = muvec::pack_slice(oa, &a).unwrap();
+        let mut bw = muvec::pack_slice(ow, &b).unwrap();
+        aw.resize(cfg.kua(), 0);
+        bw.resize(cfg.kub(), 0);
+
+        let mut engine = TimedEngine::new(cfg, DEFAULT_SRCBUF_DEPTH);
+        let mut t = 0;
+        for kx in 0..cfg.kua().max(cfg.kub()) {
+            let a_op = (kx < cfg.kua()).then(|| aw[kx]);
+            let b_op = (kx < cfg.kub()).then(|| bw[kx]);
+            t = engine.issue_ip(t, a_op, b_op).unwrap().completes_at + 1;
+        }
+        let (value, _) = engine.bs_get(t, 0).unwrap();
+        let expected: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+        prop_assert_eq!(value, expected);
+    }
+
+    /// Calibrated quantization roundtrips within half a scale step.
+    #[test]
+    fn calibration_roundtrip_error_bound(
+        bits in 2u8..=8,
+        scale_exp in -3i32..3,
+        seed in 0u64..100,
+    ) {
+        let op = mixgemm::OperandType::signed(mixgemm::DataSize::new(bits).unwrap());
+        let magnitude = 10f32.powi(scale_exp);
+        let data: Vec<f32> = (0..64)
+            .map(|i| {
+                let x = ((seed * 7 + i * 13) % 201) as f32 / 100.0 - 1.0;
+                x * magnitude
+            })
+            .collect();
+        let q = calibrate::absmax_per_tensor(op, &data).unwrap();
+        for &x in &data {
+            let back = q.dequantize_value(q.quantize_value(x, 0), 0);
+            prop_assert!((back - x).abs() <= q.scale(0) * 0.5 + 1e-6);
+        }
+    }
+
+    /// Timing simulation is deterministic and monotone in problem size.
+    #[test]
+    fn simulation_determinism_and_monotonicity(
+        precision in precision_strategy(),
+        s in 2usize..6,
+    ) {
+        let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+        let small = kernel.simulate(GemmDims::square(16 * s), Fidelity::Full).unwrap();
+        let small2 = kernel.simulate(GemmDims::square(16 * s), Fidelity::Full).unwrap();
+        prop_assert_eq!(small.cycles, small2.cycles);
+        let big = kernel.simulate(GemmDims::square(32 * s), Fidelity::Full).unwrap();
+        prop_assert!(big.cycles > small.cycles);
+    }
+}
