@@ -8,17 +8,19 @@
 //! - **Mixed precision**: `a8-w2` vs symmetric `a8-w8`/`a2-w2`,
 //!   quantifying what weight-only narrowing buys.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mixgemm::gemm::baseline::{self, BaselineKind};
 use mixgemm::gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel};
+use mixgemm_harness::{black_box, Group};
 
 fn run(cfg: &str, srcbuf_depth: usize, dims: GemmDims) -> mixgemm::gemm::GemmReport {
     let mut opts = GemmOptions::new(cfg.parse().unwrap());
     opts.srcbuf_depth = srcbuf_depth;
-    MixGemmKernel::new(opts).simulate(dims, Fidelity::Sampled).unwrap()
+    MixGemmKernel::new(opts)
+        .simulate(dims, Fidelity::Sampled)
+        .unwrap()
 }
 
-fn ablation_srcbuf(c: &mut Criterion) {
+fn ablation_srcbuf() {
     let dims = GemmDims::square(512);
     let with = run("a2-w2", 16, dims);
     let without = run("a2-w2", 1, dims);
@@ -28,15 +30,13 @@ fn ablation_srcbuf(c: &mut Criterion) {
         without.gops(),
         without.cycles as f64 / with.cycles as f64
     );
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-    group.bench_function("srcbuf_depth1_sim", |b| {
-        b.iter(|| run("a2-w2", 1, dims))
+    let group = Group::new("ablations").samples(5);
+    group.bench("srcbuf_depth1_sim", || {
+        black_box(run("a2-w2", 1, dims));
     });
-    group.finish();
 }
 
-fn ablation_bisone(c: &mut Criterion) {
+fn ablation_bisone() {
     let dims = GemmDims::square(512);
     let mix = run("a8-w8", 16, dims);
     let bisone = baseline::simulate(BaselineKind::BisonELike, dims, Fidelity::Sampled).unwrap();
@@ -46,15 +46,13 @@ fn ablation_bisone(c: &mut Criterion) {
         bisone.gops(),
         mix.speedup_over(&bisone)
     );
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-    group.bench_function("bisone_style_sim", |b| {
-        b.iter(|| baseline::simulate(BaselineKind::BisonELike, dims, Fidelity::Sampled).unwrap())
+    let group = Group::new("ablations").samples(5);
+    group.bench("bisone_style_sim", || {
+        black_box(baseline::simulate(BaselineKind::BisonELike, dims, Fidelity::Sampled).unwrap());
     });
-    group.finish();
 }
 
-fn ablation_mixed_precision(c: &mut Criterion) {
+fn ablation_mixed_precision() {
     let dims = GemmDims::square(512);
     let a8w8 = run("a8-w8", 16, dims);
     let a8w2 = run("a8-w2", 16, dims);
@@ -65,16 +63,14 @@ fn ablation_mixed_precision(c: &mut Criterion) {
         a8w2.gops(),
         a2w2.gops()
     );
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-    group.bench_function("mixed_a8w2_sim", |b| b.iter(|| run("a8-w2", 16, dims)));
-    group.finish();
+    let group = Group::new("ablations").samples(5);
+    group.bench("mixed_a8w2_sim", || {
+        black_box(run("a8-w2", 16, dims));
+    });
 }
 
-criterion_group!(
-    benches,
-    ablation_srcbuf,
-    ablation_bisone,
-    ablation_mixed_precision
-);
-criterion_main!(benches);
+fn main() {
+    ablation_srcbuf();
+    ablation_bisone();
+    ablation_mixed_precision();
+}

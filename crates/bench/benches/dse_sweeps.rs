@@ -1,10 +1,10 @@
-//! Criterion wrapper for the §III-C / §IV-B design-space explorations:
+//! Bench wrapper for the §III-C / §IV-B design-space explorations:
 //! times the Source Buffer and cache sweeps and prints their headline
 //! outcomes (full tables live in the `dse_srcbuf` / `dse_cache` bins).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mixgemm::gemm::{dse, GemmDims};
 use mixgemm::PrecisionConfig;
+use mixgemm_harness::{black_box, Group};
 
 fn configs() -> Vec<PrecisionConfig> {
     ["a8-w8", "a4-w4", "a2-w2"]
@@ -13,7 +13,7 @@ fn configs() -> Vec<PrecisionConfig> {
         .collect()
 }
 
-fn bench_srcbuf_sweep(c: &mut Criterion) {
+fn bench_srcbuf_sweep() {
     let cfgs = configs();
     let rows = dse::srcbuf_depth_sweep(&[8, 16, 32], &cfgs, GemmDims::square(256)).unwrap();
     for r in &rows {
@@ -23,29 +23,26 @@ fn bench_srcbuf_sweep(c: &mut Criterion) {
             100.0 * r.srcbuf_stall_fraction
         );
     }
-    let mut group = c.benchmark_group("dse");
-    group.sample_size(10);
-    group.bench_function("srcbuf_sweep_256", |b| {
-        b.iter(|| dse::srcbuf_depth_sweep(&[8, 16, 32], &cfgs, GemmDims::square(256)).unwrap())
+    let group = Group::new("dse").samples(5);
+    group.bench("srcbuf_sweep_256", || {
+        black_box(dse::srcbuf_depth_sweep(&[8, 16, 32], &cfgs, GemmDims::square(256)).unwrap());
     });
-    group.finish();
 }
 
-fn bench_cache_sweep(c: &mut Criterion) {
+fn bench_cache_sweep() {
     let cfgs = configs();
-    let rows =
-        dse::cache_sweep(&[(32, 512), (16, 64)], &cfgs, GemmDims::square(512)).unwrap();
+    let rows = dse::cache_sweep(&[(32, 512), (16, 64)], &cfgs, GemmDims::square(512)).unwrap();
     println!(
         "cache 16KB/64KB slowdown: {:+.1}%",
         100.0 * (rows[1].slowdown - 1.0)
     );
-    let mut group = c.benchmark_group("dse");
-    group.sample_size(10);
-    group.bench_function("cache_sweep_512", |b| {
-        b.iter(|| dse::cache_sweep(&[(32, 512), (16, 64)], &cfgs, GemmDims::square(512)).unwrap())
+    let group = Group::new("dse").samples(5);
+    group.bench("cache_sweep_512", || {
+        black_box(dse::cache_sweep(&[(32, 512), (16, 64)], &cfgs, GemmDims::square(512)).unwrap());
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_srcbuf_sweep, bench_cache_sweep);
-criterion_main!(benches);
+fn main() {
+    bench_srcbuf_sweep();
+    bench_cache_sweep();
+}

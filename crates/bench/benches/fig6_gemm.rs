@@ -1,17 +1,16 @@
-//! Criterion wrapper for the Fig. 6 experiment: times the *simulator*
+//! Bench wrapper for the Fig. 6 experiment: times the *simulator*
 //! regenerating each speed-up point, and prints the measured speed-ups
 //! as it goes (the full sweep lives in the `fig6` binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mixgemm::gemm::baseline::{self, BaselineKind};
 use mixgemm::gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel};
+use mixgemm_harness::{black_box, Group};
 
-fn bench_fig6_points(c: &mut Criterion) {
+fn main() {
     let dims = GemmDims::square(512);
     let dgemm = baseline::simulate(BaselineKind::DgemmF64, dims, Fidelity::Sampled).unwrap();
 
-    let mut group = c.benchmark_group("fig6_sim_512");
-    group.sample_size(10);
+    let group = Group::new("fig6_sim_512").samples(5);
     for cfg in ["a8-w8", "a4-w4", "a2-w2"] {
         let kernel = MixGemmKernel::new(GemmOptions::new(cfg.parse().unwrap()));
         let report = kernel.simulate(dims, Fidelity::Sampled).unwrap();
@@ -20,12 +19,8 @@ fn bench_fig6_points(c: &mut Criterion) {
             report.speedup_over(&dgemm),
             report.gops()
         );
-        group.bench_with_input(BenchmarkId::from_parameter(cfg), &(), |b, _| {
-            b.iter(|| kernel.simulate(dims, Fidelity::Sampled).unwrap())
+        group.bench(cfg, || {
+            black_box(kernel.simulate(dims, Fidelity::Sampled).unwrap());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig6_points);
-criterion_main!(benches);

@@ -1,15 +1,14 @@
-//! Criterion wrapper for the Fig. 7 experiment: times whole-network
+//! Bench wrapper for the Fig. 7 experiment: times whole-network
 //! simulation (with layer deduplication) and prints the conv-layer
 //! GOPS points (the full Pareto sweep lives in the `fig7` binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mixgemm::dnn::runtime::{simulate_network, PrecisionPlan};
 use mixgemm::dnn::zoo;
 use mixgemm::gemm::Fidelity;
+use mixgemm_harness::{black_box, Group};
 
-fn bench_fig7_networks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_network_sim");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("fig7_network_sim").samples(5);
     for net in [zoo::alexnet(), zoo::mobilenet_v1()] {
         for cfg in ["a8-w8", "a2-w2"] {
             let plan = PrecisionPlan {
@@ -24,15 +23,9 @@ fn bench_fig7_networks(c: &mut Criterion) {
                 perf.conv_gops(),
                 perf.fps()
             );
-            group.bench_with_input(
-                BenchmarkId::new(net.name(), cfg),
-                &(),
-                |b, _| b.iter(|| simulate_network(&net, &plan, Fidelity::Sampled).unwrap()),
-            );
+            group.bench(&format!("{}/{cfg}", net.name()), || {
+                black_box(simulate_network(&net, &plan, Fidelity::Sampled).unwrap());
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig7_networks);
-criterion_main!(benches);

@@ -11,10 +11,9 @@
 //! µ-engine instead of a software library alone. These benches quantify
 //! that host-side cost and track regressions in the model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mixgemm::binseg::{cluster, ip, muvec, BinSegConfig, PrecisionConfig};
 use mixgemm::gemm::{GemmOptions, MixGemmKernel, QuantMatrix};
-use std::hint::black_box;
+use mixgemm_harness::{black_box, Group};
 
 fn vectors(pcfg: PrecisionConfig, len: usize) -> (Vec<i32>, Vec<i32>) {
     let (oa, ow) = pcfg.operand_types();
@@ -33,8 +32,8 @@ fn vectors(pcfg: PrecisionConfig, len: usize) -> (Vec<i32>, Vec<i32>) {
     (a, b)
 }
 
-fn bench_inner_product(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inner_product_1k");
+fn bench_inner_product() {
+    let group = Group::new("inner_product_1k");
     let len = 1024;
     for cfg_name in ["a8-w8", "a4-w4", "a2-w2"] {
         let pcfg: PrecisionConfig = cfg_name.parse().unwrap();
@@ -44,47 +43,46 @@ fn bench_inner_product(c: &mut Criterion) {
         let aw = muvec::pack_slice(oa, &a).unwrap();
         let bw = muvec::pack_slice(ow, &b).unwrap();
 
-        group.bench_with_input(BenchmarkId::new("binseg", cfg_name), &(), |bch, _| {
-            bch.iter(|| ip::inner_product(&cfg, black_box(&aw), black_box(&bw), len).unwrap())
+        group.bench(&format!("binseg/{cfg_name}"), || {
+            black_box(ip::inner_product(&cfg, black_box(&aw), black_box(&bw), len).unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("naive", cfg_name), &(), |bch, _| {
-            bch.iter(|| cluster::naive_inner_product(black_box(&a), black_box(&b)))
+        group.bench(&format!("naive/{cfg_name}"), || {
+            black_box(cluster::naive_inner_product(black_box(&a), black_box(&b)));
         });
     }
-    group.finish();
 }
 
-fn bench_packing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("muvec_pack_4k");
+fn bench_packing() {
+    let group = Group::new("muvec_pack_4k");
     for cfg_name in ["a8-w8", "a2-w2"] {
         let pcfg: PrecisionConfig = cfg_name.parse().unwrap();
         let (oa, _) = pcfg.operand_types();
         let (a, _) = vectors(pcfg, 4096);
-        group.bench_with_input(BenchmarkId::from_parameter(cfg_name), &(), |bch, _| {
-            bch.iter(|| muvec::pack_slice(oa, black_box(&a)).unwrap())
+        group.bench(cfg_name, || {
+            black_box(muvec::pack_slice(oa, black_box(&a)).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_functional_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("functional_gemm_64");
-    group.sample_size(20);
+fn bench_functional_gemm() {
+    let group = Group::new("functional_gemm_64").samples(7);
     for cfg_name in ["a8-w8", "a4-w4"] {
         let pcfg: PrecisionConfig = cfg_name.parse().unwrap();
         let (oa, ow) = pcfg.operand_types();
         let a = QuantMatrix::from_fn(64, 64, oa, |i, j| ((i * 31 + j * 7) % 200) as i32);
         let b = QuantMatrix::from_fn(64, 64, ow, |i, j| ((i * 11 + j * 3) % 15) as i32 - 7);
         let kernel = MixGemmKernel::new(GemmOptions::new(pcfg));
-        group.bench_with_input(BenchmarkId::new("binseg", cfg_name), &(), |bch, _| {
-            bch.iter(|| kernel.compute(black_box(&a), black_box(&b)).unwrap())
+        group.bench(&format!("binseg/{cfg_name}"), || {
+            black_box(kernel.compute(black_box(&a), black_box(&b)).unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("plain_i32", cfg_name), &(), |bch, _| {
-            bch.iter(|| kernel.compute_fast(black_box(&a), black_box(&b)).unwrap())
+        group.bench(&format!("plain_i32/{cfg_name}"), || {
+            black_box(kernel.compute_fast(black_box(&a), black_box(&b)).unwrap());
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_inner_product, bench_packing, bench_functional_gemm);
-criterion_main!(benches);
+fn main() {
+    bench_inner_product();
+    bench_packing();
+    bench_functional_gemm();
+}

@@ -1,0 +1,82 @@
+//! Thread-scaling microbenchmarks of the parallel functional GEMM paths
+//! (§III-B multi-threaded BLIS deployment) and of the packed-operand
+//! cache. The `parallel_scaling` bin turns the same sweep into the
+//! `BENCH_parallel.json` artifact; this bench tracks regressions.
+
+use mixgemm::gemm::{baseline, BlisParams, GemmOptions, MixGemmKernel, Parallelism, QuantMatrix};
+use mixgemm::PrecisionConfig;
+use mixgemm_harness::{black_box, Group};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn matrices(n: usize, cfg: &str) -> (QuantMatrix, QuantMatrix, PrecisionConfig) {
+    let pcfg: PrecisionConfig = cfg.parse().unwrap();
+    let (oa, ow) = pcfg.operand_types();
+    let a = QuantMatrix::from_fn(n, n, oa, |i, j| ((i * 31 + j * 7) % 200) as i32);
+    let b = QuantMatrix::from_fn(n, n, ow, |i, j| ((i * 11 + j * 3) % 15) as i32 - 7);
+    (a, b, pcfg)
+}
+
+/// The Fig. 6 mid-size shape at the paper's full-precision corner:
+/// `compute_fast` (plain integer macro-loop) across the thread sweep.
+fn bench_fast_gemm_threads() {
+    let group = Group::new("parallel_fast_256_a8w8").samples(5);
+    let (a, b, pcfg) = matrices(256, "a8-w8");
+    for t in THREADS {
+        let kernel =
+            MixGemmKernel::new(GemmOptions::new(pcfg).with_parallelism(Parallelism::new(t)));
+        group.bench(&format!("{t}t"), || {
+            black_box(kernel.compute_fast(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+}
+
+/// The bit-exact binary-segmentation path on a smaller shape (it is
+/// orders slower per element than the plain loop), same sweep.
+fn bench_binseg_gemm_threads() {
+    let group = Group::new("parallel_binseg_96_a4w4").samples(5);
+    let (a, b, pcfg) = matrices(96, "a4-w4");
+    for t in THREADS {
+        let kernel =
+            MixGemmKernel::new(GemmOptions::new(pcfg).with_parallelism(Parallelism::new(t)));
+        group.bench(&format!("{t}t"), || {
+            black_box(kernel.compute(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+}
+
+/// The kc-blocked baseline driver across the sweep.
+fn bench_blocked_baseline_threads() {
+    let group = Group::new("parallel_blocked_256_a8w8").samples(5);
+    let (a, b, _) = matrices(256, "a8-w8");
+    let params = BlisParams::table1();
+    for t in THREADS {
+        let par = Parallelism::new(t);
+        group.bench(&format!("{t}t"), || {
+            black_box(
+                baseline::compute_blocked(black_box(&a), black_box(&b), &params, par).unwrap(),
+            );
+        });
+    }
+}
+
+/// Packed-operand cache: packing from scratch versus the cached `Arc`.
+fn bench_packing_cache() {
+    let group = Group::new("packed_operand_cache_256").samples(7);
+    let (a, _, _) = matrices(256, "a2-w2");
+    group.bench("pack_fresh", || {
+        black_box(a.pack_rows());
+    });
+    let warm = a.clone();
+    warm.packed_rows(); // populate once
+    group.bench("pack_cached", || {
+        black_box(warm.packed_rows());
+    });
+}
+
+fn main() {
+    bench_fast_gemm_threads();
+    bench_binseg_gemm_threads();
+    bench_blocked_baseline_threads();
+    bench_packing_cache();
+}

@@ -13,7 +13,10 @@ fn main() {
         .iter()
         .map(|s| pc(s))
         .collect();
-    println!("§IV-B — cache-size sensitivity (average over {} configurations, 1024^3)\n", configs.len());
+    println!(
+        "§IV-B — cache-size sensitivity (average over {} configurations, 1024^3)\n",
+        configs.len()
+    );
     println!(
         "{:>8} {:>8} {:>14} {:>14} {:>16}",
         "L1 [KB]", "L2 [KB]", "slowdown [%]", "core [mm²]", "area saved [%]"

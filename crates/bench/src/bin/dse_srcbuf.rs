@@ -14,7 +14,10 @@ fn main() {
         .iter()
         .map(|s| pc(s))
         .collect();
-    println!("§III-C — Source Buffer depth DSE ({} configurations, GEMM 512^3)\n", configs.len());
+    println!(
+        "§III-C — Source Buffer depth DSE ({} configurations, GEMM 512^3)\n",
+        configs.len()
+    );
     println!(
         "{:>6} {:>18} {:>16} {:>16} {:>14}",
         "depth", "srcbuf stalls [%]", "bs.get stalls [%]", "µ-engine [µm²]", "vs depth 16"

@@ -26,8 +26,12 @@ fn main() {
     let mut dgemm = Vec::new();
     for s in FIG6_SIZES {
         dgemm.push(
-            baseline::simulate(BaselineKind::DgemmF64, GemmDims::square(s), Fidelity::Sampled)
-                .expect("baseline simulation"),
+            baseline::simulate(
+                BaselineKind::DgemmF64,
+                GemmDims::square(s),
+                Fidelity::Sampled,
+            )
+            .expect("baseline simulation"),
         );
     }
 
@@ -82,7 +86,9 @@ fn emit_csv() {
             .expect("baseline simulation");
         for config in FIG6_CONFIGS {
             let kernel = MixGemmKernel::new(GemmOptions::new(pc(config)));
-            let r = kernel.simulate(dims, Fidelity::Sampled).expect("simulation");
+            let r = kernel
+                .simulate(dims, Fidelity::Sampled)
+                .expect("simulation");
             println!(
                 "{config},{s},{},{:.4},{:.4}",
                 r.cycles,

@@ -20,8 +20,12 @@ fn main() {
     }
     // FP32 baseline: OpenBLAS-style SGEMM on the U740 preset (the paper
     // reports ~0.9 GOPS across the networks).
-    let fp32 = baseline::simulate(BaselineKind::SgemmF32, GemmDims::square(1024), Fidelity::Sampled)
-        .expect("baseline simulation");
+    let fp32 = baseline::simulate(
+        BaselineKind::SgemmF32,
+        GemmDims::square(1024),
+        Fidelity::Sampled,
+    )
+    .expect("baseline simulation");
     println!(
         "Figure 7 — performance vs TOP-1 accuracy (FP32 baseline on U740: {:.2} GOPS)\n",
         fp32.gops()
@@ -30,11 +34,7 @@ fn main() {
     let soc = EdgeSoc::sargantana();
     for net in zoo::all_networks() {
         let table = accuracy::for_network(net.name()).expect("accuracy table");
-        println!(
-            "{} (FP32 TOP-1 {:.2}%):",
-            net.name(),
-            table.fp32_top1
-        );
+        println!("{} (FP32 TOP-1 {:.2}%):", net.name(), table.fp32_top1);
         println!(
             "  {:>7} {:>10} {:>9} {:>11} {:>12} {:>9} {:>10}",
             "config", "TOP-1 [%]", "GOPS", "vs FP32", "GOPS/W", "fps", "weights"
@@ -71,7 +71,11 @@ fn main() {
                 cell(summary.conv_gops_per_watt(), 12, 0),
                 cell(summary.fps(), 10, 1),
                 footprint.packed_weight_bytes as f64 / 1e6,
-                if frontier.contains(&i) { "  *pareto" } else { "" }
+                if frontier.contains(&i) {
+                    "  *pareto"
+                } else {
+                    ""
+                }
             );
         }
         println!();

@@ -1,0 +1,154 @@
+//! §III-B multi-threaded scaling: wall-clock thread sweep (1/2/4/8) of
+//! the parallel functional GEMM paths on the Fig. 6 mid-size shape,
+//! bit-exactness check against the serial path, Amdahl fit of the
+//! measured sweep, and the deterministic simulated multi-core sweep —
+//! written to `BENCH_parallel.json`.
+//!
+//! Run with: `cargo run --release -p mixgemm-bench --bin parallel_scaling`
+//! (`MIXGEMM_BENCH_QUICK=1` for a smoke run.)
+
+use mixgemm::gemm::scaling::{
+    multicore_projection_measured, simulate_thread_sweep, MeasuredPoint, MeasuredSweep,
+};
+use mixgemm::gemm::{
+    baseline, BlisParams, Fidelity, GemmDims, GemmOptions, MixGemmKernel, Parallelism, QuantMatrix,
+};
+use mixgemm::PrecisionConfig;
+use mixgemm_harness::{black_box, Bencher, Json};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const N: usize = 256;
+
+fn main() {
+    let pcfg: PrecisionConfig = "a8-w8".parse().unwrap();
+    let (oa, ow) = pcfg.operand_types();
+    let a = QuantMatrix::from_fn(N, N, oa, |i, j| ((i * 31 + j * 7) % 200) as i32);
+    let b = QuantMatrix::from_fn(N, N, ow, |i, j| ((i * 11 + j * 3) % 15) as i32 - 7);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let bencher = Bencher::default();
+
+    println!("§III-B — thread scaling, {N}x{N}x{N} {pcfg} (host has {host_cpus} CPU(s))\n");
+
+    // Bit-exactness gate: every thread count must reproduce the serial
+    // result exactly before any of its timings are worth reporting.
+    let serial_kernel = MixGemmKernel::new(GemmOptions::new(pcfg));
+    let reference = serial_kernel.compute_fast(&a, &b).unwrap();
+    let mut bit_identical = true;
+    for t in THREADS {
+        let kernel =
+            MixGemmKernel::new(GemmOptions::new(pcfg).with_parallelism(Parallelism::new(t)));
+        bit_identical &= kernel.compute_fast(&a, &b).unwrap() == reference;
+        bit_identical &=
+            baseline::compute_blocked(&a, &b, &BlisParams::table1(), Parallelism::new(t)).unwrap()
+                == reference;
+    }
+    println!("bit-identical across thread counts: {bit_identical}");
+
+    // Measured wall-clock sweep of the plain-integer functional path.
+    let mut fast_points = Vec::new();
+    let mut blocked_points = Vec::new();
+    for t in THREADS {
+        let par = Parallelism::new(t);
+        let kernel = MixGemmKernel::new(GemmOptions::new(pcfg).with_parallelism(par));
+        let s = bencher.run(|| {
+            black_box(kernel.compute_fast(black_box(&a), black_box(&b)).unwrap());
+        });
+        println!("compute_fast    {t}t: {:.3} ms", s.min_secs() * 1e3);
+        fast_points.push(MeasuredPoint {
+            threads: t,
+            seconds: s.min_secs(),
+        });
+        let s = bencher.run(|| {
+            black_box(
+                baseline::compute_blocked(black_box(&a), black_box(&b), &BlisParams::table1(), par)
+                    .unwrap(),
+            );
+        });
+        println!("compute_blocked {t}t: {:.3} ms", s.min_secs() * 1e3);
+        blocked_points.push(MeasuredPoint {
+            threads: t,
+            seconds: s.min_secs(),
+        });
+    }
+    let fast_sweep = MeasuredSweep::new(fast_points).expect("sweep has a 1-thread point");
+    let blocked_sweep = MeasuredSweep::new(blocked_points).expect("sweep has a 1-thread point");
+
+    // Deterministic simulated multi-core sweep on the cycle-level model:
+    // host-independent, this is what the §III-B scaling argument rests on.
+    let opts = GemmOptions::new(pcfg);
+    let sim = simulate_thread_sweep(&opts, GemmDims::square(N), &THREADS, Fidelity::Sampled)
+        .expect("simulated sweep");
+    println!();
+    for p in &sim {
+        println!(
+            "simulated {}t: {} cycles, speedup {:.2}x (efficiency {:.2})",
+            p.threads, p.cycles, p.speedup, p.efficiency
+        );
+    }
+
+    // Feed the measured sweep back into the multi-core projection.
+    let report = MixGemmKernel::new(opts)
+        .simulate(GemmDims::square(N), Fidelity::Sampled)
+        .expect("single-core report");
+    let projected = multicore_projection_measured(&report, &fast_sweep, 8);
+    if let Some(f) = fast_sweep.serial_fraction() {
+        println!(
+            "\nmeasured serial fraction {f:.3} -> projected 8-core {:.2} GOPS \
+             ({:.0}% efficiency)",
+            projected.gops,
+            100.0 * projected.efficiency
+        );
+    }
+
+    let sweep_json = |sweep: &MeasuredSweep| {
+        Json::Arr(
+            sweep
+                .points()
+                .iter()
+                .zip(sweep.speedups())
+                .map(|(p, (_, s))| {
+                    Json::obj()
+                        .field("threads", p.threads)
+                        .field("seconds", p.seconds)
+                        .field("speedup", s)
+                })
+                .collect(),
+        )
+    };
+    let doc = Json::obj()
+        .field("bench", "parallel_scaling")
+        .field("shape", format!("{N}x{N}x{N}"))
+        .field("precision", pcfg.to_string())
+        .field("host_cpus", host_cpus)
+        .field("bit_identical", bit_identical)
+        .field("measured_compute_fast", sweep_json(&fast_sweep))
+        .field("measured_compute_blocked", sweep_json(&blocked_sweep))
+        .field(
+            "measured_serial_fraction",
+            fast_sweep.serial_fraction().map_or(Json::Null, Json::Num),
+        )
+        .field(
+            "simulated_multicore",
+            Json::Arr(
+                sim.iter()
+                    .map(|p| {
+                        Json::obj()
+                            .field("threads", p.threads)
+                            .field("cycles", p.cycles)
+                            .field("speedup", p.speedup)
+                            .field("efficiency", p.efficiency)
+                    })
+                    .collect(),
+            ),
+        )
+        .field("projected_8core_gops", projected.gops);
+    std::fs::write("BENCH_parallel.json", doc.pretty()).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json");
+    if host_cpus == 1 {
+        println!(
+            "note: single-CPU host — wall-clock speedups cannot exceed 1; the simulated \
+             sweep carries the scaling result."
+        );
+    }
+    assert!(bit_identical, "parallel results diverged from serial");
+}

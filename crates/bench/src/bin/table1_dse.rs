@@ -37,14 +37,16 @@ fn main() {
     let candidates = dse::validate_params_by_simulation(pc("a8-w8"), GemmDims::square(512))
         .expect("DSE simulation");
     for c in &candidates {
-        let marker = if c.params == params { "  <- analytical (Table I)" } else { "" };
+        let marker = if c.params == params {
+            "  <- analytical (Table I)"
+        } else {
+            ""
+        };
         println!("  {}: {:>12} cycles{marker}", c.params, c.cycles);
     }
 
-    let avg_pad = mixgemm::binseg::chunk::average_padding_overhead(
-        mixgemm::PrecisionConfig::all_pairs(),
-        4,
-    );
+    let avg_pad =
+        mixgemm::binseg::chunk::average_padding_overhead(mixgemm::PrecisionConfig::all_pairs(), 4);
     println!(
         "\nAverage µ-vector padding overhead across all configurations: {:.1}% (paper: 2.4%)",
         100.0 * avg_pad

@@ -8,7 +8,10 @@ use mixgemm_bench::rule;
 
 fn main() {
     println!("Table II — µ-engine area breakdown (GF 22FDX)\n");
-    println!("{:<16} {:>12} {:>18}", "Component", "Area [µm²]", "SoC overhead [%]");
+    println!(
+        "{:<16} {:>12} {:>18}",
+        "Component", "Area [µm²]", "SoC overhead [%]"
+    );
     rule(48);
     for c in area::table2_breakdown() {
         println!(
@@ -26,8 +29,15 @@ fn main() {
         100.0 * area::uengine_soc_overhead()
     );
 
-    println!("\nSoC: {:.2} mm² total (incl. pad-ring), µ-engine {:.4} mm²,", area::SOC_AREA_MM2, area::uengine_area_mm2());
-    println!("post-layout power overhead {:.1}% (paper: 2.3%).", 100.0 * area::UENGINE_POWER_OVERHEAD);
+    println!(
+        "\nSoC: {:.2} mm² total (incl. pad-ring), µ-engine {:.4} mm²,",
+        area::SOC_AREA_MM2,
+        area::uengine_area_mm2()
+    );
+    println!(
+        "post-layout power overhead {:.1}% (paper: 2.3%).",
+        100.0 * area::UENGINE_POWER_OVERHEAD
+    );
 
     println!("\nSource Buffer depth vs µ-engine area (§III-C):");
     for depth in [8, 16, 32] {

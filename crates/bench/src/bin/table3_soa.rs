@@ -105,7 +105,10 @@ fn main() {
     // Efficiency row for this work.
     print!("{:<55}", "  efficiency [TOPS/W]");
     for (_, _, elo, ehi) in &measured {
-        print!(" {:>11}", format!("{:.2}-{:.2}", elo / 1000.0, ehi / 1000.0));
+        print!(
+            " {:>11}",
+            format!("{:.2}-{:.2}", elo / 1000.0, ehi / 1000.0)
+        );
     }
     println!();
 

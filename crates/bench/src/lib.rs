@@ -8,8 +8,8 @@ use mixgemm::PrecisionConfig;
 
 /// The 12 activation/weight combinations plotted in Fig. 6.
 pub const FIG6_CONFIGS: [&str; 12] = [
-    "a8-w8", "a8-w6", "a8-w4", "a8-w2", "a6-w6", "a6-w4", "a6-w2", "a5-w5", "a4-w4",
-    "a4-w2", "a3-w2", "a2-w2",
+    "a8-w8", "a8-w6", "a8-w4", "a8-w2", "a6-w6", "a6-w4", "a6-w2", "a5-w5", "a4-w4", "a4-w2",
+    "a3-w2", "a2-w2",
 ];
 
 /// The square matrix sizes swept in Fig. 6 (64..2048 per dimension).

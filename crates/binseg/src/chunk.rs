@@ -69,8 +69,7 @@ impl ChunkShape {
                 let better = match best {
                     None => true,
                     Some((bw, bl, bka, bkb)) => {
-                        (waste, usize::MAX - logical, kua + kub)
-                            < (bw, usize::MAX - bl, bka + bkb)
+                        (waste, usize::MAX - logical, kua + kub) < (bw, usize::MAX - bl, bka + bkb)
                     }
                 };
                 if better {
@@ -208,11 +207,7 @@ mod tests {
     fn logical_elems_consistency() {
         for cfg in PrecisionConfig::all_pairs() {
             let s = ChunkShape::balanced(cfg);
-            assert_eq!(
-                s.logical_elems() + s.padding_a(),
-                s.slots_a(),
-                "{cfg}"
-            );
+            assert_eq!(s.logical_elems() + s.padding_a(), s.slots_a(), "{cfg}");
             assert_eq!(s.logical_elems() + s.padding_b(), s.slots_b());
             assert!(s.kua() <= DEFAULT_KMAX && s.kub() <= DEFAULT_KMAX);
             assert!(s.kua() >= 1 && s.kub() >= 1);

@@ -138,11 +138,7 @@ pub fn extract_slice(cfg: &BinSegConfig, product: i128) -> i64 {
 /// Propagates packing errors ([`BinSegError::ClusterTooLong`],
 /// [`BinSegError::ValueOutOfRange`]) and rejects operand slices of unequal
 /// length.
-pub fn cluster_inner_product(
-    cfg: &BinSegConfig,
-    a: &[i32],
-    b: &[i32],
-) -> Result<i64, BinSegError> {
+pub fn cluster_inner_product(cfg: &BinSegConfig, a: &[i32], b: &[i32]) -> Result<i64, BinSegError> {
     if a.len() != b.len() {
         return Err(BinSegError::LengthMismatch {
             len_a: a.len(),
@@ -246,16 +242,12 @@ mod tests {
             for b_bits in 2..=4u8 {
                 for a_sig in [Signedness::Signed, Signedness::Unsigned] {
                     for b_sig in [Signedness::Signed, Signedness::Unsigned] {
-                        let oa =
-                            OperandType::new(DataSize::new(a_bits).unwrap(), a_sig);
-                        let ob =
-                            OperandType::new(DataSize::new(b_bits).unwrap(), b_sig);
+                        let oa = OperandType::new(DataSize::new(a_bits).unwrap(), a_sig);
+                        let ob = OperandType::new(DataSize::new(b_bits).unwrap(), b_sig);
                         let c = cfg(oa, ob);
                         let n = c.cluster_size();
-                        let avals: Vec<i32> =
-                            (oa.min_value()..=oa.max_value()).collect();
-                        let bvals: Vec<i32> =
-                            (ob.min_value()..=ob.max_value()).collect();
+                        let avals: Vec<i32> = (oa.min_value()..=oa.max_value()).collect();
+                        let bvals: Vec<i32> = (ob.min_value()..=ob.max_value()).collect();
                         for &a0 in &avals {
                             for &b0 in &bvals {
                                 let a: Vec<i32> = (0..n)

@@ -234,10 +234,7 @@ mod tests {
         assert_eq!(cfg(6, 4).cluster_size(), 4);
         for a in DataSize::all() {
             for b in DataSize::all() {
-                let c = BinSegConfig::new(
-                    OperandType::unsigned(a),
-                    OperandType::signed(b),
-                );
+                let c = BinSegConfig::new(OperandType::unsigned(a), OperandType::signed(b));
                 assert!(
                     (3..=7).contains(&c.cluster_size()),
                     "{c} outside the 3..=7 MAC/cycle envelope"
@@ -259,8 +256,7 @@ mod tests {
         for pair in PrecisionConfig::all_pairs() {
             let base = cfg(pair.activations().bits(), pair.weights().bits());
             if pair.weights().bits() > DataSize::MIN_BITS {
-                let narrower =
-                    cfg(pair.activations().bits(), pair.weights().bits() - 1);
+                let narrower = cfg(pair.activations().bits(), pair.weights().bits() - 1);
                 assert!(narrower.cluster_size() >= base.cluster_size());
             }
         }
@@ -335,10 +331,7 @@ mod tests {
             for b in DataSize::all() {
                 let c = cfg(a.bits(), b.bits());
                 let n = c.cluster_size() as u32;
-                let min_cw = 1
-                    + a.bits() as u32
-                    + b.bits() as u32
-                    + ceil_log2(n as u64 + 1);
+                let min_cw = 1 + a.bits() as u32 + b.bits() as u32 + ceil_log2(n as u64 + 1);
                 assert_eq!(c.clustering_width(), min_cw);
                 assert!(n * c.clustering_width() <= 64);
             }

@@ -305,8 +305,7 @@ impl PrecisionConfig {
 
     /// All 49 supported combinations, 8b–2b on both operands.
     pub fn all_pairs() -> impl Iterator<Item = PrecisionConfig> {
-        DataSize::all()
-            .flat_map(|a| DataSize::all().map(move |w| PrecisionConfig::new(a, w)))
+        DataSize::all().flat_map(|a| DataSize::all().map(move |w| PrecisionConfig::new(a, w)))
     }
 
     /// The 28 combinations with activations at least as wide as weights, the
@@ -328,12 +327,7 @@ impl PrecisionConfig {
 
 impl fmt::Display for PrecisionConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "a{}-w{}",
-            self.activations.bits(),
-            self.weights.bits()
-        )
+        write!(f, "a{}-w{}", self.activations.bits(), self.weights.bits())
     }
 }
 

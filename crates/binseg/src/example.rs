@@ -66,10 +66,8 @@ pub fn fig1() -> Fig1Trace {
     let mut steps = Vec::new();
     let mut inner_product = 0i64;
     for (sa, sb) in a.chunks(n).zip(b.chunks(n)) {
-        let input_cluster_a =
-            cluster::pack_cluster_a(&config, sa).expect("values fit 3 bits");
-        let input_cluster_b =
-            cluster::pack_cluster_b(&config, sb).expect("values fit 2 bits");
+        let input_cluster_a = cluster::pack_cluster_a(&config, sa).expect("values fit 3 bits");
+        let input_cluster_b = cluster::pack_cluster_b(&config, sb).expect("values fit 2 bits");
         let product = cluster::multiply_clusters(input_cluster_a, input_cluster_b);
         let partial_ip = cluster::extract_slice(&config, product);
         inner_product += partial_ip;

@@ -176,11 +176,7 @@ pub fn inner_product_with_cycles(
 ///
 /// Returns [`BinSegError::LengthMismatch`] for unequal inputs and
 /// propagates range errors from packing.
-pub fn inner_product_raw(
-    cfg: &BinSegConfig,
-    a: &[i32],
-    b: &[i32],
-) -> Result<i64, BinSegError> {
+pub fn inner_product_raw(cfg: &BinSegConfig, a: &[i32], b: &[i32]) -> Result<i64, BinSegError> {
     if a.len() != b.len() {
         return Err(BinSegError::LengthMismatch {
             len_a: a.len(),

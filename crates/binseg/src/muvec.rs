@@ -105,11 +105,7 @@ pub fn pack_slice(op: OperandType, values: &[i32]) -> Result<Vec<u64>, BinSegErr
 ///
 /// Returns [`BinSegError::BufferTooShort`] when `words` cannot hold `len`
 /// elements.
-pub fn unpack_slice(
-    op: OperandType,
-    words: &[u64],
-    len: usize,
-) -> Result<Vec<i32>, BinSegError> {
+pub fn unpack_slice(op: OperandType, words: &[u64], len: usize) -> Result<Vec<i32>, BinSegError> {
     let epv = op.elems_per_muvec();
     let required = len.div_ceil(epv);
     if words.len() < required {

@@ -6,90 +6,103 @@ use mixgemm_binseg::cluster::{self, naive_inner_product};
 use mixgemm_binseg::ip;
 use mixgemm_binseg::muvec;
 use mixgemm_binseg::{BinSegConfig, DataSize, OperandType, Signedness};
-use proptest::prelude::*;
+use mixgemm_harness::{check, ensure, ensure_eq, Rng};
 
-fn operand_strategy() -> impl Strategy<Value = OperandType> {
-    (2u8..=8, prop::bool::ANY).prop_map(|(bits, signed)| {
-        OperandType::new(
-            DataSize::new(bits).unwrap(),
-            if signed {
-                Signedness::Signed
-            } else {
-                Signedness::Unsigned
-            },
-        )
-    })
+fn operand(rng: &mut Rng) -> OperandType {
+    OperandType::new(
+        DataSize::new(rng.u8_in(2, 8)).unwrap(),
+        if rng.flip() {
+            Signedness::Signed
+        } else {
+            Signedness::Unsigned
+        },
+    )
 }
 
-fn vector_pair(
-    max_len: usize,
-) -> impl Strategy<Value = (OperandType, OperandType, Vec<i32>, Vec<i32>)> {
-    (operand_strategy(), operand_strategy(), 0..=max_len).prop_flat_map(|(oa, ob, len)| {
-        let va = prop::collection::vec(oa.min_value()..=oa.max_value(), len);
-        let vb = prop::collection::vec(ob.min_value()..=ob.max_value(), len);
-        (Just(oa), Just(ob), va, vb)
-    })
+/// Random operand pair plus value vectors of a random length `0..=max_len`.
+fn vector_pair(rng: &mut Rng, max_len: usize) -> (OperandType, OperandType, Vec<i32>, Vec<i32>) {
+    let (oa, ob) = (operand(rng), operand(rng));
+    let len = rng.usize_in(0, max_len);
+    let va = rng.vec_of(len, |r| r.i32_in(oa.min_value(), oa.max_value()));
+    let vb = rng.vec_of(len, |r| r.i32_in(ob.min_value(), ob.max_value()));
+    (oa, ob, va, vb)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn cluster_inner_product_is_exact((oa, ob, a, b) in vector_pair(7)) {
+#[test]
+fn cluster_inner_product_is_exact() {
+    check("cluster_inner_product_is_exact", 512, |rng| {
+        let (oa, ob, mut a, mut b) = vector_pair(rng, 7);
         let cfg = BinSegConfig::new(oa, ob);
-        prop_assume!(a.len() <= cfg.cluster_size());
+        a.truncate(cfg.cluster_size());
+        b.truncate(cfg.cluster_size());
         let got = cluster::cluster_inner_product(&cfg, &a, &b).unwrap();
-        prop_assert_eq!(got, naive_inner_product(&a, &b));
-    }
+        ensure_eq!(got, naive_inner_product(&a, &b));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn muvec_inner_product_is_exact((oa, ob, a, b) in vector_pair(300)) {
+#[test]
+fn muvec_inner_product_is_exact() {
+    check("muvec_inner_product_is_exact", 512, |rng| {
+        let (oa, ob, a, b) = vector_pair(rng, 300);
         let cfg = BinSegConfig::new(oa, ob);
         let got = ip::inner_product_raw(&cfg, &a, &b).unwrap();
-        prop_assert_eq!(got, naive_inner_product(&a, &b));
-    }
+        ensure_eq!(got, naive_inner_product(&a, &b));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn muvec_roundtrip((oa, _ob, a, _b) in vector_pair(200)) {
+#[test]
+fn muvec_roundtrip() {
+    check("muvec_roundtrip", 512, |rng| {
+        let (oa, _ob, a, _b) = vector_pair(rng, 200);
         let words = muvec::pack_slice(oa, &a).unwrap();
         let back = muvec::unpack_slice(oa, &words, a.len()).unwrap();
-        prop_assert_eq!(back, a);
-    }
+        ensure_eq!(back, a);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn any_multiplier_width_is_exact(
-        (oa, ob, a, b) in vector_pair(64),
-        mul_width in 24u32..=128,
-    ) {
+#[test]
+fn any_multiplier_width_is_exact() {
+    check("any_multiplier_width_is_exact", 512, |rng| {
         // The µ-engine scalability discussion (§III-B) covers resizing the
         // datapath up to 128 bits; correctness must hold for any
         // admissible width.
+        let (oa, ob, a, b) = vector_pair(rng, 64);
+        let mul_width = rng.usize_in(24, 128) as u32;
         if let Ok(cfg) = BinSegConfig::with_mul_width(oa, ob, mul_width) {
             let got = ip::inner_product_raw(&cfg, &a, &b).unwrap();
-            prop_assert_eq!(got, naive_inner_product(&a, &b));
+            ensure_eq!(got, naive_inner_product(&a, &b));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dsu_cycles_bounded(
-        (oa, ob, a, _b) in vector_pair(300),
-    ) {
+#[test]
+fn dsu_cycles_bounded() {
+    check("dsu_cycles_bounded", 512, |rng| {
+        let (oa, ob, a, _b) = vector_pair(rng, 300);
         let cfg = BinSegConfig::new(oa, ob);
         let cycles = ip::execution_cycles(&cfg, a.len());
         // At best `cluster_size` MACs per cycle; at worst one per cycle.
-        prop_assert!(cycles >= a.len().div_ceil(cfg.cluster_size()));
-        prop_assert!(cycles <= a.len());
-    }
+        ensure!(cycles >= a.len().div_ceil(cfg.cluster_size()));
+        ensure!(cycles <= a.len());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn extract_slice_guard_bit_never_overflows(
-        (oa, ob, a, b) in vector_pair(7),
-    ) {
+#[test]
+fn extract_slice_guard_bit_never_overflows() {
+    check("extract_slice_guard_bit_never_overflows", 512, |rng| {
         // The cluster inner product always fits the cw-bit slice.
+        let (oa, ob, mut a, mut b) = vector_pair(rng, 7);
         let cfg = BinSegConfig::new(oa, ob);
-        prop_assume!(a.len() <= cfg.cluster_size());
+        a.truncate(cfg.cluster_size());
+        b.truncate(cfg.cluster_size());
         let ipv = naive_inner_product(&a, &b);
         let half = 1i64 << (cfg.clustering_width() - 1);
-        prop_assert!(ipv < half && ipv >= -half);
-    }
+        ensure!(ipv < half && ipv >= -half, "{ipv} outside ±{half}");
+        Ok(())
+    });
 }

@@ -165,8 +165,7 @@ pub mod api {
                 opts.srcbuf_depth = self.srcbuf_depth;
                 opts
             })?;
-            let top1 = accuracy::for_network(net.name())
-                .and_then(|t| t.top1_for(plan.default));
+            let top1 = accuracy::for_network(net.name()).and_then(|t| t.top1_for(plan.default));
             Ok(NetworkSummary { perf, top1 })
         }
     }

@@ -55,7 +55,11 @@ impl fmt::Display for DnnError {
             DnnError::ShapeMismatch { node, reason } => {
                 write!(f, "shape mismatch at node {node}: {reason}")
             }
-            DnnError::BadGroups { in_c, out_c, groups } => write!(
+            DnnError::BadGroups {
+                in_c,
+                out_c,
+                groups,
+            } => write!(
                 f,
                 "groups {groups} must divide both in_c {in_c} and out_c {out_c}"
             ),
@@ -63,7 +67,10 @@ impl fmt::Display for DnnError {
                 write!(f, "node {node} produces an empty spatial output")
             }
             DnnError::DataMismatch { expected, actual } => {
-                write!(f, "tensor data of {actual} elements, shape implies {expected}")
+                write!(
+                    f,
+                    "tensor data of {actual} elements, shape implies {expected}"
+                )
             }
             DnnError::Gemm(e) => write!(f, "gemm error: {e}"),
         }

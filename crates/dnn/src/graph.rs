@@ -96,10 +96,12 @@ impl Network {
             }
             in_shapes.push(self.shapes[input.0]);
         }
-        let out = op.output_shape(&in_shapes).ok_or_else(|| DnnError::ShapeMismatch {
-            node: node_id,
-            reason: format!("{op} rejects inputs {in_shapes:?}"),
-        })?;
+        let out = op
+            .output_shape(&in_shapes)
+            .ok_or_else(|| DnnError::ShapeMismatch {
+                node: node_id,
+                reason: format!("{op} rejects inputs {in_shapes:?}"),
+            })?;
         self.nodes.push(Node {
             op,
             inputs: inputs.to_vec(),

@@ -103,7 +103,11 @@ pub fn weights_group(weights: &[i32], geom: &ConvGeom, group: usize) -> Vec<i32>
     let cg = geom.input.c / geom.groups;
     let ng = geom.out_c / geom.groups;
     let kk = geom.k * geom.k;
-    assert_eq!(weights.len(), geom.out_c * cg * kk, "weight length mismatch");
+    assert_eq!(
+        weights.len(),
+        geom.out_c * cg * kk,
+        "weight length mismatch"
+    );
     let mut b = Vec::with_capacity(cg * kk * ng);
     for row in 0..cg * kk {
         for col in 0..ng {
@@ -130,10 +134,8 @@ pub fn direct_conv(data: &[i32], weights: &[i32], geom: &ConvGeom) -> Vec<i64> {
                 for c in 0..cg {
                     for kh in 0..geom.k {
                         for kw in 0..geom.k {
-                            let ih =
-                                (oh * geom.stride + kh) as isize - geom.pad as isize;
-                            let iw =
-                                (ow * geom.stride + kw) as isize - geom.pad as isize;
+                            let ih = (oh * geom.stride + kh) as isize - geom.pad as isize;
+                            let iw = (ow * geom.stride + kw) as isize - geom.pad as isize;
                             if ih < 0
                                 || iw < 0
                                 || ih >= geom.input.h as isize
@@ -143,8 +145,7 @@ pub fn direct_conv(data: &[i32], weights: &[i32], geom: &ConvGeom) -> Vec<i64> {
                             }
                             let x = data[(c0 + c) * geom.input.h * geom.input.w
                                 + ih as usize * geom.input.w
-                                + iw as usize]
-                                as i64;
+                                + iw as usize] as i64;
                             let wv = weights
                                 [oc * cg * geom.k * geom.k + c * geom.k * geom.k + kh * geom.k + kw]
                                 as i64;
@@ -165,7 +166,15 @@ mod tests {
     use mixgemm_binseg::{DataSize, OperandType};
     use mixgemm_gemm::{GemmOptions, MixGemmKernel, QuantMatrix};
 
-    fn geom(c: usize, h: usize, out_c: usize, k: usize, stride: usize, pad: usize, groups: usize) -> ConvGeom {
+    fn geom(
+        c: usize,
+        h: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> ConvGeom {
         ConvGeom {
             input: Shape::new(c, h, h),
             out_c,
@@ -177,7 +186,9 @@ mod tests {
     }
 
     fn test_data(len: usize, span: i32, offset: i32) -> Vec<i32> {
-        (0..len).map(|i| (i as i32 * 7 + 3) % span + offset).collect()
+        (0..len)
+            .map(|i| (i as i32 * 7 + 3) % span + offset)
+            .collect()
     }
 
     #[test]
@@ -216,11 +227,10 @@ mod tests {
             let ng = g.out_c / g.groups;
             let mut via_gemm = vec![0i64; out.numel()];
             for group in 0..g.groups {
-                let a = QuantMatrix::new(dims.m, dims.k, oa, im2col_group(&data, &g, group))
+                let a =
+                    QuantMatrix::new(dims.m, dims.k, oa, im2col_group(&data, &g, group)).unwrap();
+                let b = QuantMatrix::new(dims.k, dims.n, ow, weights_group(&weights, &g, group))
                     .unwrap();
-                let b =
-                    QuantMatrix::new(dims.k, dims.n, ow, weights_group(&weights, &g, group))
-                        .unwrap();
                 let c = kernel.compute(&a, &b).unwrap();
                 for m in 0..dims.m {
                     for col in 0..dims.n {

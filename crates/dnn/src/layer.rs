@@ -112,19 +112,13 @@ impl OpKind {
     pub fn macs(&self, inputs: &[Shape]) -> u64 {
         match *self {
             OpKind::Conv2d {
-                out_c,
-                k,
-                groups,
-                ..
+                out_c, k, groups, ..
             } => {
                 let Some(out) = self.output_shape(inputs) else {
                     return 0;
                 };
                 let in_c = inputs[0].c;
-                (out.h * out.w) as u64
-                    * out_c as u64
-                    * (in_c / groups) as u64
-                    * (k * k) as u64
+                (out.h * out.w) as u64 * out_c as u64 * (in_c / groups) as u64 * (k * k) as u64
             }
             OpKind::Linear { out_features } => {
                 let in_features = inputs.first().map(|s| s.numel()).unwrap_or(0);

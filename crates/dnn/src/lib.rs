@@ -22,7 +22,8 @@
 //!   the Mix-GEMM functional kernel, float glue for activations and
 //!   pooling, per-channel weights / per-tensor activations as in §IV-A)
 //!   and cycle-level per-network performance simulation with layer-shape
-//!   deduplication;
+//!   deduplication, a process-wide simulation memo ([`simcache`]) and a
+//!   parallel fan-out over uncached shapes;
 //! - [`winograd`]: an exact integer F(2x2, 3x3) fast convolution, used to
 //!   demonstrate the §II-A claim that fast algorithms fit quantized
 //!   values poorly (restrictive applicability, inflated operand ranges).
@@ -58,6 +59,7 @@ pub mod im2col;
 mod layer;
 pub mod memory;
 pub mod runtime;
+pub mod simcache;
 mod tensor;
 pub mod winograd;
 pub mod zoo;
@@ -68,3 +70,4 @@ pub use layer::{ActKind, OpKind};
 pub use tensor::Shape;
 
 pub use mixgemm_binseg::{DataSize, PrecisionConfig};
+pub use mixgemm_gemm::Parallelism;

@@ -82,8 +82,7 @@ mod tests {
     use crate::zoo;
 
     fn params_m(net: &Network) -> f64 {
-        footprint(net, &PrecisionPlan::uniform("a8-w8".parse().unwrap())).parameters as f64
-            / 1e6
+        footprint(net, &PrecisionPlan::uniform("a8-w8".parse().unwrap())).parameters as f64 / 1e6
     }
 
     /// The zoo's parameter counts match the published model sizes —
@@ -91,12 +90,12 @@ mod tests {
     #[test]
     fn zoo_parameter_counts_match_literature() {
         let cases = [
-            (zoo::alexnet(), 61.1, 1.5),       // torchvision: 61.1 M
-            (zoo::vgg16(), 138.4, 2.0),        // 138.4 M
-            (zoo::resnet18(), 11.7, 0.4),      // 11.7 M
-            (zoo::mobilenet_v1(), 4.2, 0.3),   // 4.2 M
-            (zoo::regnet_x_400mf(), 5.2, 0.6), // 5.5 M (incl. stem/fc)
-            (zoo::efficientnet_b0(), 5.3, 0.6),// 5.3 M
+            (zoo::alexnet(), 61.1, 1.5),        // torchvision: 61.1 M
+            (zoo::vgg16(), 138.4, 2.0),         // 138.4 M
+            (zoo::resnet18(), 11.7, 0.4),       // 11.7 M
+            (zoo::mobilenet_v1(), 4.2, 0.3),    // 4.2 M
+            (zoo::regnet_x_400mf(), 5.2, 0.6),  // 5.5 M (incl. stem/fc)
+            (zoo::efficientnet_b0(), 5.3, 0.6), // 5.3 M
         ];
         for (net, published, tol) in cases {
             let got = params_m(&net);
@@ -131,8 +130,7 @@ mod tests {
         assert!((w2.compression_vs_fp32() - 16.0).abs() < 0.8);
         // §IV-B: a5-w5 saves ~1/3 of the a8-w8 footprint (12 vs 8
         // elements per µ-vector word).
-        let saving =
-            1.0 - w5.packed_weight_bytes as f64 / w8.packed_weight_bytes as f64;
+        let saving = 1.0 - w5.packed_weight_bytes as f64 / w8.packed_weight_bytes as f64;
         assert!((0.25..0.40).contains(&saving), "a5-w5 saving {saving:.2}");
     }
 

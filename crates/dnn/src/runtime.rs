@@ -18,14 +18,13 @@
 use std::collections::HashMap;
 
 use mixgemm_binseg::PrecisionConfig;
-use mixgemm_gemm::{
-    Fidelity, GemmDims, GemmOptions, MixGemmKernel, QuantMatrix,
-};
+use mixgemm_gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel, Parallelism, QuantMatrix};
 
 use crate::error::DnnError;
 use crate::graph::Network;
 use crate::im2col::{self, ConvGeom};
 use crate::layer::{ActKind, OpKind};
+use crate::simcache::{SimCache, SimKey};
 use crate::tensor::Shape;
 
 /// Per-network precision assignment.
@@ -269,15 +268,16 @@ pub fn layer_gemm(op: &OpKind, input: Shape) -> Option<(GemmDims, u64)> {
             };
             Some((im2col::conv_gemm_dims(&geom), groups as u64))
         }
-        OpKind::Linear { out_features } => {
-            Some((GemmDims::new(1, input.numel(), out_features), 1))
-        }
+        OpKind::Linear { out_features } => Some((GemmDims::new(1, input.numel(), out_features), 1)),
         _ => None,
     }
 }
 
 /// Times every GEMM-bearing layer of `net` under `plan` on the default
-/// Sargantana SoC, deduplicating identical (dims, precision) pairs.
+/// Sargantana SoC, deduplicating identical (dims, precision) pairs and
+/// memoizing results in the process-wide [`SimCache`] — so repeated
+/// simulations of shared shapes (across layers, networks and sweep
+/// points) run the cycle-level model once.
 ///
 /// # Errors
 ///
@@ -290,8 +290,35 @@ pub fn simulate_network(
     simulate_network_with(net, plan, fidelity, GemmOptions::new)
 }
 
+/// Like [`simulate_network`] but fanning the uncached per-shape
+/// simulations out across `par` host threads. With N distinct cold
+/// shapes and T threads the cycle-level work runs in roughly
+/// `ceil(N / T)` rounds; results are identical to the serial path
+/// (simulations are deterministic, and the memo is keyed on everything
+/// they depend on).
+///
+/// # Errors
+///
+/// Propagates GEMM simulation errors.
+pub fn simulate_network_parallel(
+    net: &Network,
+    plan: &PrecisionPlan,
+    fidelity: Fidelity,
+    par: Parallelism,
+) -> Result<NetworkPerf, DnnError> {
+    simulate_network_with(net, plan, fidelity, move |precision| {
+        GemmOptions::new(precision).with_parallelism(par)
+    })
+}
+
 /// Like [`simulate_network`] with caller-controlled GEMM options (SoC
 /// preset, Source Buffer depth, blocking) per precision.
+///
+/// The [`GemmOptions::parallelism`] of the returned options doubles as
+/// the fan-out width: distinct uncached shapes are simulated
+/// concurrently on that many host threads ([`simulate_network_parallel`]
+/// is the convenience wrapper). All results flow through the
+/// process-wide [`SimCache`].
 ///
 /// # Errors
 ///
@@ -306,10 +333,14 @@ where
     F: FnMut(PrecisionConfig) -> GemmOptions,
 {
     let gemm_count = net.gemm_layer_count();
-    let mut cache: HashMap<(GemmDims, PrecisionConfig), (u64, u64)> = HashMap::new();
-    let mut layers = Vec::new();
+
+    // Pass 1 (serial): resolve every GEMM-bearing layer to its
+    // simulation problem, calling `options` once per distinct precision.
+    let mut opts_by_precision: HashMap<PrecisionConfig, GemmOptions> = HashMap::new();
+    let mut pending: Vec<(OpKind, GemmDims, u64, PrecisionConfig, SimKey)> = Vec::new();
     let mut soc_name = "sargantana-rv64g";
     let mut freq = 1.2;
+    let mut first = true;
     let mut gemm_index = 0usize;
     for node in net.nodes() {
         let input = net.shape(node.inputs[0]);
@@ -318,20 +349,84 @@ where
         };
         let precision = plan.layer_precision(gemm_index, gemm_count);
         gemm_index += 1;
-        let (cycles_per_gemm, busy_per_gemm) = match cache.get(&(dims, precision)) {
-            Some(&c) => c,
+        let opts = opts_by_precision
+            .entry(precision)
+            .or_insert_with(|| options(precision));
+        if first {
+            soc_name = opts.soc.name;
+            freq = opts.soc.freq_ghz;
+            first = false;
+        }
+        let key = SimKey::new(dims, fidelity, opts);
+        pending.push((node.op, dims, reps, precision, key));
+    }
+
+    // Pass 2: simulate the shapes the process-wide memo has not seen,
+    // fanning out across the requested host threads.
+    let cache = SimCache::global();
+    let mut missing: Vec<(SimKey, GemmDims, PrecisionConfig)> = Vec::new();
+    for (_, dims, _, precision, key) in &pending {
+        if cache.get(key).is_none() && !missing.iter().any(|(k, _, _)| k == key) {
+            missing.push((key.clone(), *dims, *precision));
+        }
+    }
+    let threads = opts_by_precision
+        .values()
+        .map(|o| o.parallelism.threads)
+        .max()
+        .unwrap_or(1);
+    let simulate_one = |dims: GemmDims, precision: PrecisionConfig| {
+        let opts = opts_by_precision[&precision].clone();
+        let report = MixGemmKernel::new(opts).simulate(dims, fidelity)?;
+        let busy = report.pmu.map(|p| p.busy_cycles).unwrap_or(0);
+        Ok::<(u64, u64), DnnError>((report.cycles, busy))
+    };
+    if threads <= 1 || missing.len() <= 1 {
+        for (key, dims, precision) in missing {
+            let cost = simulate_one(dims, precision)?;
+            cache.insert(key, cost);
+        }
+    } else {
+        let simulate_one = &simulate_one;
+        let costs = std::thread::scope(|scope| {
+            let handles: Vec<_> = missing
+                .chunks(missing.len().div_ceil(threads))
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(key, dims, precision)| {
+                                Ok((key.clone(), simulate_one(*dims, *precision)?))
+                            })
+                            .collect::<Result<Vec<_>, DnnError>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation worker panicked"))
+                .collect::<Result<Vec<_>, DnnError>>()
+        })?;
+        for (key, cost) in costs.into_iter().flatten() {
+            cache.insert(key, cost);
+        }
+    }
+
+    // Pass 3: assemble per-layer results from the memo.
+    let mut layers = Vec::with_capacity(pending.len());
+    for (op, dims, reps, precision, key) in pending {
+        let (cycles_per_gemm, busy_per_gemm) = match cache.get(&key) {
+            Some(cost) => cost,
+            // Only reachable if another thread cleared the global cache
+            // mid-flight; recompute rather than fail.
             None => {
-                let opts = options(precision);
-                soc_name = opts.soc.name;
-                freq = opts.soc.freq_ghz;
-                let report = MixGemmKernel::new(opts).simulate(dims, fidelity)?;
-                let busy = report.pmu.map(|p| p.busy_cycles).unwrap_or(0);
-                cache.insert((dims, precision), (report.cycles, busy));
-                (report.cycles, busy)
+                let cost = simulate_one(dims, precision)?;
+                cache.insert(key, cost);
+                cost
             }
         };
         layers.push(LayerPerf {
-            op: node.op,
+            op,
             dims,
             reps,
             precision,
@@ -447,6 +542,48 @@ pub fn forward_quantized(
     Ok(values.pop().expect("network has at least the input"))
 }
 
+/// Runs [`forward_quantized`] over a batch of inputs, partitioning the
+/// batch across `par` host threads. Every input sees the same network
+/// (weights derive from `seed` and the layer index only), and each
+/// output is bit-identical to the corresponding serial
+/// [`forward_quantized`] call — batch members are independent.
+///
+/// # Errors
+///
+/// Propagates the first per-input error (shape or GEMM).
+pub fn forward_quantized_batch(
+    net: &Network,
+    inputs: &[Tensor],
+    plan: &PrecisionPlan,
+    seed: u64,
+    par: Parallelism,
+) -> Result<Vec<Tensor>, DnnError> {
+    if par.is_serial() || inputs.len() <= 1 {
+        return inputs
+            .iter()
+            .map(|x| forward_quantized(net, x, plan, seed))
+            .collect();
+    }
+    let chunk = inputs.len().div_ceil(par.threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk)
+            .map(|xs| {
+                scope.spawn(move || {
+                    xs.iter()
+                        .map(|x| forward_quantized(net, x, plan, seed))
+                        .collect::<Result<Vec<_>, DnnError>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(inputs.len());
+        for h in handles {
+            out.extend(h.join().expect("forward worker panicked")?);
+        }
+        Ok(out)
+    })
+}
+
 /// Deterministic pseudo-random weights in `[-limit, limit]`.
 fn gen_weights(seed: u64, len: usize, limit: f32) -> Vec<f32> {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -462,10 +599,7 @@ fn gen_weights(seed: u64, len: usize, limit: f32) -> Vec<f32> {
 }
 
 /// Quantizes a float slice per-tensor to `op`, returning values + scale.
-fn quantize_per_tensor(
-    data: &[f32],
-    op: mixgemm_binseg::OperandType,
-) -> (Vec<i32>, f32) {
+fn quantize_per_tensor(data: &[f32], op: mixgemm_binseg::OperandType) -> (Vec<i32>, f32) {
     let absmax = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
     let scale = if absmax > 0.0 {
         absmax / op.max_value().max(1) as f32
@@ -475,8 +609,7 @@ fn quantize_per_tensor(
     let q = data
         .iter()
         .map(|&x| {
-            ((x / scale).round() as i64)
-                .clamp(op.min_value() as i64, op.max_value() as i64) as i32
+            ((x / scale).round() as i64).clamp(op.min_value() as i64, op.max_value() as i64) as i32
         })
         .collect();
     (q, scale)
@@ -501,8 +634,8 @@ fn quantize_per_channel(
         scales.push(scale);
         for &x in ch {
             q.push(
-                ((x / scale).round() as i64)
-                    .clamp(op.min_value() as i64, op.max_value() as i64) as i32,
+                ((x / scale).round() as i64).clamp(op.min_value() as i64, op.max_value() as i64)
+                    as i32,
             );
         }
     }
@@ -520,7 +653,11 @@ fn conv_layer(
     let cg = geom.input.c / geom.groups;
     let ng = geom.out_c / geom.groups;
     let fan_in = (cg * geom.k * geom.k) as f32;
-    let weights_f = gen_weights(seed, geom.out_c * cg * geom.k * geom.k, (2.0 / fan_in).sqrt());
+    let weights_f = gen_weights(
+        seed,
+        geom.out_c * cg * geom.k * geom.k,
+        (2.0 / fan_in).sqrt(),
+    );
 
     let (xq, x_scale) = quantize_per_tensor(&x.data, oa);
     let (wq, w_scales) = quantize_per_channel(&weights_f, geom.out_c, ow);
@@ -535,8 +672,7 @@ fn conv_layer(
         for m in 0..dims.m {
             for col in 0..dims.n {
                 let oc = group * ng + col;
-                y[oc * out.h * out.w + m] =
-                    c[m * dims.n + col] as f32 * x_scale * w_scales[oc];
+                y[oc * out.h * out.w + m] = c[m * dims.n + col] as f32 * x_scale * w_scales[oc];
             }
         }
     }
@@ -588,17 +724,13 @@ fn max_pool(x: &Tensor, k: usize, stride: usize, pad: usize, out: Shape) -> Tens
                     for kw in 0..k {
                         let ih = (oh * stride + kh) as isize - pad as isize;
                         let iw = (ow_ * stride + kw) as isize - pad as isize;
-                        if ih < 0
-                            || iw < 0
-                            || ih >= x.shape.h as isize
-                            || iw >= x.shape.w as isize
+                        if ih < 0 || iw < 0 || ih >= x.shape.h as isize || iw >= x.shape.w as isize
                         {
                             continue;
                         }
                         best = best.max(
-                            x.data[c * x.shape.h * x.shape.w
-                                + ih as usize * x.shape.w
-                                + iw as usize],
+                            x.data
+                                [c * x.shape.h * x.shape.w + ih as usize * x.shape.w + iw as usize],
                         );
                     }
                 }
@@ -606,7 +738,10 @@ fn max_pool(x: &Tensor, k: usize, stride: usize, pad: usize, out: Shape) -> Tens
             }
         }
     }
-    Tensor { shape: out, data: y }
+    Tensor {
+        shape: out,
+        data: y,
+    }
 }
 
 fn global_avg_pool(x: &Tensor) -> Tensor {
@@ -698,11 +833,26 @@ mod tests {
     #[test]
     fn pareto_frontier_filters_dominated_points() {
         let pts = [
-            ParetoPoint { gops: 5.0, top1: 70.0 },
-            ParetoPoint { gops: 8.0, top1: 69.0 },
-            ParetoPoint { gops: 7.0, top1: 68.0 },  // dominated by (8, 69)
-            ParetoPoint { gops: 12.0, top1: 60.0 },
-            ParetoPoint { gops: 4.0, top1: 69.5 },  // dominated by (5, 70)
+            ParetoPoint {
+                gops: 5.0,
+                top1: 70.0,
+            },
+            ParetoPoint {
+                gops: 8.0,
+                top1: 69.0,
+            },
+            ParetoPoint {
+                gops: 7.0,
+                top1: 68.0,
+            }, // dominated by (8, 69)
+            ParetoPoint {
+                gops: 12.0,
+                top1: 60.0,
+            },
+            ParetoPoint {
+                gops: 4.0,
+                top1: 69.5,
+            }, // dominated by (5, 70)
         ];
         assert_eq!(pareto_frontier(&pts), vec![0, 1, 3]);
         assert!(pareto_frontier(&[]).is_empty());
@@ -831,7 +981,9 @@ mod tests {
 
         let input = Tensor::new(
             Shape::new(2, 8, 8),
-            (0..128).map(|i| ((i * 13) % 31) as f32 * 0.07 - 1.0).collect(),
+            (0..128)
+                .map(|i| ((i * 13) % 31) as f32 * 0.07 - 1.0)
+                .collect(),
         )
         .unwrap();
         // No pinning so the single conv actually runs at the plan width.
@@ -846,9 +998,8 @@ mod tests {
         let hi = run(8);
         let mid = run(5);
         let lo = run(3);
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum() };
         assert!(dist(&hi, &mid) < dist(&hi, &lo));
     }
 
@@ -881,6 +1032,69 @@ mod tests {
         };
         let out = forward_quantized(&net, &input, &plan, 1).unwrap();
         assert_eq!(out.shape, Shape::new(4, 6, 6));
+    }
+
+    #[test]
+    fn parallel_simulation_matches_serial() {
+        let net = zoo::resnet18();
+        let plan = PrecisionPlan::uniform("a4-w4".parse().unwrap());
+        let serial = simulate_network(&net, &plan, Fidelity::Sampled).unwrap();
+        let par =
+            simulate_network_parallel(&net, &plan, Fidelity::Sampled, Parallelism::new(4)).unwrap();
+        assert_eq!(serial.layers.len(), par.layers.len());
+        for (s, p) in serial.layers.iter().zip(&par.layers) {
+            assert_eq!(s.cycles, p.cycles, "{}", s.op);
+            assert_eq!(s.busy_cycles, p.busy_cycles);
+        }
+        assert_eq!(serial.total_cycles(), par.total_cycles());
+    }
+
+    #[test]
+    fn repeated_simulation_reuses_the_memo() {
+        let net = zoo::vgg16();
+        let plan = PrecisionPlan::uniform("a5-w5".parse().unwrap());
+        let first = simulate_network(&net, &plan, Fidelity::Sampled).unwrap();
+        let cache = crate::simcache::SimCache::global();
+        let misses_after_first = cache.misses();
+        let second = simulate_network(&net, &plan, Fidelity::Sampled).unwrap();
+        // The second run must be all hits: no new cycle-level work.
+        assert_eq!(cache.misses(), misses_after_first);
+        assert_eq!(first.total_cycles(), second.total_cycles());
+    }
+
+    #[test]
+    fn batched_forward_matches_serial_forward() {
+        let mut net = Network::new("tiny", Shape::new(3, 10, 10));
+        net.push_seq(OpKind::Conv2d {
+            out_c: 6,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        })
+        .unwrap();
+        net.push_seq(OpKind::Activation(ActKind::Relu)).unwrap();
+        net.push_seq(OpKind::GlobalAvgPool).unwrap();
+        net.push_seq(OpKind::Linear { out_features: 4 }).unwrap();
+        let plan = PrecisionPlan::uniform("a8-w8".parse().unwrap());
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|b| {
+                Tensor::new(
+                    Shape::new(3, 10, 10),
+                    (0..300)
+                        .map(|i| ((i * (b + 3)) % 23) as f32 * 0.1 - 1.0)
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let batched =
+            forward_quantized_batch(&net, &inputs, &plan, 11, Parallelism::new(3)).unwrap();
+        assert_eq!(batched.len(), inputs.len());
+        for (x, y) in inputs.iter().zip(&batched) {
+            let serial = forward_quantized(&net, x, &plan, 11).unwrap();
+            assert_eq!(serial.data, y.data, "batched output diverged");
+        }
     }
 
     #[test]

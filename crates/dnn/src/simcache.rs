@@ -1,0 +1,199 @@
+//! A process-wide memo cache for per-shape GEMM simulations.
+//!
+//! Network timing is dominated by a small set of distinct
+//! (dimensions, precision, SoC) simulation problems: grouped
+//! convolutions repeat one GEMM per group, VGG-style networks repeat
+//! layer shapes many times, and design-space sweeps re-simulate the same
+//! networks under many plans that share most layer configurations.
+//! [`SimCache`] memoizes each simulated shape once for the whole
+//! process, so [`crate::runtime::simulate_network`] pays the cycle-level
+//! model only for shapes it has never seen — across layers, networks and
+//! sweep points alike.
+//!
+//! Simulations are deterministic functions of the key, so sharing
+//! results across callers (and across the worker threads of the parallel
+//! fan-out) is always sound.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use mixgemm_binseg::PrecisionConfig;
+use mixgemm_gemm::{BlisParams, Fidelity, GemmDims, GemmOptions};
+
+/// Memoized timing of one simulated GEMM: (total cycles, µ-engine busy
+/// cycles) for a single repetition.
+pub type LayerCost = (u64, u64);
+
+/// Everything a cycle-level GEMM simulation depends on.
+///
+/// The SoC is identified by its preset name, frequency and issue width —
+/// the presets all carry distinct names, so a name collision requires
+/// deliberately aliasing a modified preset, which the cache does not
+/// defend against. [`mixgemm_gemm::Parallelism`] is deliberately absent:
+/// it only affects the functional path, never simulated timing.
+#[derive(Clone, Eq, PartialEq, Hash, Debug)]
+pub struct SimKey {
+    dims: GemmDims,
+    precision: PrecisionConfig,
+    full_fidelity: bool,
+    soc_name: &'static str,
+    soc_freq_bits: u64,
+    soc_issue_width: u32,
+    params: BlisParams,
+    srcbuf_depth: usize,
+    warm_start: bool,
+}
+
+impl SimKey {
+    /// Builds the key for simulating `dims` under `opts` at `fidelity`.
+    pub fn new(dims: GemmDims, fidelity: Fidelity, opts: &GemmOptions) -> Self {
+        SimKey {
+            dims,
+            precision: opts.precision,
+            full_fidelity: matches!(fidelity, Fidelity::Full),
+            soc_name: opts.soc.name,
+            soc_freq_bits: opts.soc.freq_ghz.to_bits(),
+            soc_issue_width: opts.soc.issue_width,
+            params: opts.params,
+            srcbuf_depth: opts.srcbuf_depth,
+            warm_start: opts.warm_start,
+        }
+    }
+}
+
+/// A thread-safe (SimKey → LayerCost) memo with hit/miss counters.
+#[derive(Default, Debug)]
+pub struct SimCache {
+    map: Mutex<HashMap<SimKey, LayerCost>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    /// An empty cache (for isolated use; most callers want [`global`]).
+    ///
+    /// [`global`]: SimCache::global
+    pub fn new() -> Self {
+        SimCache::default()
+    }
+
+    /// The process-wide cache shared by every network simulation.
+    pub fn global() -> &'static SimCache {
+        static GLOBAL: OnceLock<SimCache> = OnceLock::new();
+        GLOBAL.get_or_init(SimCache::new)
+    }
+
+    /// Looks `key` up, counting a hit or miss.
+    pub fn get(&self, key: &SimKey) -> Option<LayerCost> {
+        let found = self
+            .map
+            .lock()
+            .expect("SimCache poisoned")
+            .get(key)
+            .copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a simulated cost. Last write wins; all writers compute the
+    /// same deterministic value, so races are benign.
+    pub fn insert(&self, key: SimKey, cost: LayerCost) {
+        self.map
+            .lock()
+            .expect("SimCache poisoned")
+            .insert(key, cost);
+    }
+
+    /// Cache hits since construction (or [`reset_counters`]).
+    ///
+    /// [`reset_counters`]: SimCache::reset_counters
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since construction (or [`reset_counters`]).
+    ///
+    /// [`reset_counters`]: SimCache::reset_counters
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized shapes.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("SimCache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Zeroes the hit/miss counters (entries are kept).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Drops every entry and zeroes the counters.
+    pub fn clear(&self) {
+        self.map.lock().expect("SimCache poisoned").clear();
+        self.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(m: usize, prec: &str) -> SimKey {
+        let precision: PrecisionConfig = prec.parse().unwrap();
+        SimKey::new(
+            GemmDims::new(m, 64, 32),
+            Fidelity::Sampled,
+            &GemmOptions::new(precision),
+        )
+    }
+
+    #[test]
+    fn cache_hits_misses_and_clear() {
+        let cache = SimCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key(8, "a8-w8")), None);
+        assert_eq!(cache.misses(), 1);
+        cache.insert(key(8, "a8-w8"), (100, 40));
+        assert_eq!(cache.get(&key(8, "a8-w8")), Some((100, 40)));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        // Distinct dims or precision are distinct keys.
+        assert_eq!(cache.get(&key(9, "a8-w8")), None);
+        assert_eq!(cache.get(&key(8, "a4-w4")), None);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits() + cache.misses(), 0);
+    }
+
+    #[test]
+    fn key_separates_fidelity_and_options() {
+        let precision: PrecisionConfig = "a8-w8".parse().unwrap();
+        let opts = GemmOptions::new(precision);
+        let dims = GemmDims::new(8, 64, 32);
+        let sampled = SimKey::new(dims, Fidelity::Sampled, &opts);
+        let full = SimKey::new(dims, Fidelity::Full, &opts);
+        assert_ne!(sampled, full);
+        let mut deep = opts.clone();
+        deep.srcbuf_depth += 16;
+        assert_ne!(SimKey::new(dims, Fidelity::Sampled, &deep), sampled);
+        let mut cold = opts.clone();
+        cold.warm_start = false;
+        assert_ne!(SimKey::new(dims, Fidelity::Sampled, &cold), sampled);
+        // Parallelism does not affect timing, so it is not in the key.
+        let par = opts
+            .clone()
+            .with_parallelism(mixgemm_gemm::Parallelism::new(8));
+        assert_eq!(SimKey::new(dims, Fidelity::Sampled, &par), sampled);
+    }
+}

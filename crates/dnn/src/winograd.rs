@@ -135,9 +135,8 @@ pub fn winograd_conv3x3(data: &[i32], weights: &[i32], geom: &ConvGeom) -> Vec<i
                             let iy = ty as isize + dy - pad;
                             let ix = tx as isize + dx - pad;
                             if iy >= 0 && ix >= 0 && iy < h && ix < w {
-                                d[(dy * 4 + dx) as usize] = data[ic * (h * w) as usize
-                                    + (iy * w + ix) as usize]
-                                    as i64;
+                                d[(dy * 4 + dx) as usize] =
+                                    data[ic * (h * w) as usize + (iy * w + ix) as usize] as i64;
                             }
                         }
                     }
@@ -182,7 +181,7 @@ pub struct TransformRanges {
 pub fn transform_ranges(a_bits: u8, w_bits: u8) -> TransformRanges {
     let a_max = (1i64 << a_bits) - 1; // unsigned activations
     let w_max = 1i64 << (w_bits - 1); // signed weights
-    // |B^T d B| <= 4 * a_max (each 1-D pass at most doubles).
+                                      // |B^T d B| <= 4 * a_max (each 1-D pass at most doubles).
     let input_max = 4 * a_max;
     // |(2G) g (2G)^T| <= 16 * w_max (rows of 2G sum to at most 4... the
     // exact bound: per pass max factor 4 on the corner rows).
@@ -215,7 +214,12 @@ mod tests {
 
     #[test]
     fn winograd_equals_direct_conv() {
-        for g in [geom(3, 8, 4, 1), geom(2, 10, 3, 1), geom(1, 6, 1, 0), geom(4, 7, 2, 1)] {
+        for g in [
+            geom(3, 8, 4, 1),
+            geom(2, 10, 3, 1),
+            geom(1, 6, 1, 0),
+            geom(4, 7, 2, 1),
+        ] {
             let data: Vec<i32> = (0..g.input.numel())
                 .map(|i| ((i * 7 + 3) % 256) as i32)
                 .collect();
@@ -267,8 +271,9 @@ mod tests {
         // 7x7 output: the last tile row/column is partial.
         let g = geom(2, 7, 2, 1);
         let data: Vec<i32> = (0..g.input.numel()).map(|i| (i % 64) as i32).collect();
-        let weights: Vec<i32> =
-            (0..g.out_c * g.input.c * 9).map(|i| (i % 15) as i32 - 7).collect();
+        let weights: Vec<i32> = (0..g.out_c * g.input.c * 9)
+            .map(|i| (i % 15) as i32 - 7)
+            .collect();
         assert_eq!(
             winograd_conv3x3(&data, &weights, &g),
             direct_conv(&data, &weights, &g)

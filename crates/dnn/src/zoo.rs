@@ -51,17 +51,38 @@ pub fn alexnet() -> Network {
     let s = &mut net;
     seq(s, conv(64, 11, 4, 2));
     seq(s, RELU);
-    seq(s, OpKind::MaxPool { k: 3, stride: 2, pad: 0 });
+    seq(
+        s,
+        OpKind::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 0,
+        },
+    );
     seq(s, conv(192, 5, 1, 2));
     seq(s, RELU);
-    seq(s, OpKind::MaxPool { k: 3, stride: 2, pad: 0 });
+    seq(
+        s,
+        OpKind::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 0,
+        },
+    );
     seq(s, conv(384, 3, 1, 1));
     seq(s, RELU);
     seq(s, conv(256, 3, 1, 1));
     seq(s, RELU);
     seq(s, conv(256, 3, 1, 1));
     seq(s, RELU);
-    seq(s, OpKind::MaxPool { k: 3, stride: 2, pad: 0 });
+    seq(
+        s,
+        OpKind::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 0,
+        },
+    );
     seq(s, OpKind::Linear { out_features: 4096 });
     seq(s, RELU);
     seq(s, OpKind::Linear { out_features: 4096 });
@@ -74,13 +95,26 @@ pub fn alexnet() -> Network {
 pub fn vgg16() -> Network {
     let mut net = Network::new("vgg-16", Shape::new(3, 224, 224));
     let s = &mut net;
-    let blocks: [&[usize]; 5] = [&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+    let blocks: [&[usize]; 5] = [
+        &[64, 64],
+        &[128, 128],
+        &[256, 256, 256],
+        &[512, 512, 512],
+        &[512, 512, 512],
+    ];
     for widths in blocks {
         for &w in widths {
             seq(s, conv(w, 3, 1, 1));
             seq(s, RELU);
         }
-        seq(s, OpKind::MaxPool { k: 2, stride: 2, pad: 0 });
+        seq(
+            s,
+            OpKind::MaxPool {
+                k: 2,
+                stride: 2,
+                pad: 0,
+            },
+        );
     }
     seq(s, OpKind::Linear { out_features: 4096 });
     seq(s, RELU);
@@ -96,7 +130,14 @@ pub fn resnet18() -> Network {
     let s = &mut net;
     seq(s, conv(64, 7, 2, 3));
     seq(s, RELU);
-    seq(s, OpKind::MaxPool { k: 3, stride: 2, pad: 1 });
+    seq(
+        s,
+        OpKind::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 1,
+        },
+    );
     let mut channels = 64;
     for (stage, &width) in [64usize, 128, 256, 512].iter().enumerate() {
         for block in 0..2 {
@@ -164,7 +205,10 @@ pub fn regnet_x_400mf() -> Network {
     seq(s, conv(32, 3, 2, 1));
     seq(s, RELU);
     let mut channels = 32;
-    for (&width, &depth) in [32usize, 64, 160, 400].iter().zip([1usize, 2, 7, 12].iter()) {
+    for (&width, &depth) in [32usize, 64, 160, 400]
+        .iter()
+        .zip([1usize, 2, 7, 12].iter())
+    {
         for block in 0..depth {
             let stride = if block == 0 { 2 } else { 1 };
             let x = s.output();

@@ -107,8 +107,7 @@ mod tests {
         for i in 0..m {
             for j in 0..n {
                 for p in 0..k {
-                    c[i * n + j] += (a.get(i, p) - zp.za) as i64
-                        * (b.get(p, j) - zp.zb) as i64;
+                    c[i * n + j] += (a.get(i, p) - zp.za) as i64 * (b.get(p, j) - zp.zb) as i64;
                 }
             }
         }

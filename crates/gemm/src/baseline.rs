@@ -29,8 +29,9 @@ use mixgemm_soc::{presets, Core, Op, Reg, SocConfig};
 
 use crate::error::GemmError;
 use crate::kernel::Fidelity;
-use crate::matrix::GemmDims;
-use crate::params::BlisParams;
+use crate::matrix::{GemmDims, QuantMatrix};
+use crate::parallel;
+use crate::params::{BlisParams, Parallelism};
 use crate::report::GemmReport;
 
 /// The baseline kernel families of the evaluation.
@@ -154,6 +155,53 @@ pub fn simulate_on(
     Ok(sim.into_report())
 }
 
+/// Executable scalar reference: a cache-blocked i64 GEMM over the same
+/// BLIS loop nest the simulated baselines model, partitioned across
+/// threads exactly like [`crate::MixGemmKernel::compute_parallel`]. This
+/// is the functional comparison kernel the wall-clock thread-sweep bench
+/// times against the Mix-GEMM paths; results are bit-identical to
+/// [`crate::matrix::naive_gemm`] for every blocking and thread count.
+///
+/// # Errors
+///
+/// Returns [`GemmError::DimensionMismatch`] on shape disagreement and
+/// [`GemmError::BadParams`] for degenerate blocking parameters.
+pub fn compute_blocked(
+    a: &QuantMatrix,
+    b: &QuantMatrix,
+    params: &BlisParams,
+    par: Parallelism,
+) -> Result<Vec<i64>, GemmError> {
+    if a.cols() != b.rows() {
+        return Err(GemmError::DimensionMismatch {
+            a_cols: a.cols(),
+            b_rows: b.rows(),
+        });
+    }
+    params.validate()?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let kc = params.kc;
+    parallel::compute_partitioned(m, n, params, par, |rows, cols, out| {
+        let w = cols.len();
+        for pc in (0..k).step_by(kc) {
+            let kc_eff = (k - pc).min(kc);
+            for (li, i) in rows.clone().enumerate() {
+                let row_out = &mut out[li * w..(li + 1) * w];
+                for p in pc..pc + kc_eff {
+                    let av = a.get(i, p) as i64;
+                    if av == 0 {
+                        continue;
+                    }
+                    for (lj, j) in cols.clone().enumerate() {
+                        row_out[lj] += av * b.get(p, j) as i64;
+                    }
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
 #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 struct BlockClass {
     nc_eff: usize,
@@ -257,7 +305,8 @@ impl BaselineSim {
         // Warm start, symmetric with the Mix-GEMM kernel: the paper's
         // 10-run methodology leaves cache-resident data warm.
         let eb = self.kind.elem_bytes();
-        self.core.warm_region(self.c_base, (m * n) as u64 * self.kind.c_bytes());
+        self.core
+            .warm_region(self.c_base, (m * n) as u64 * self.kind.c_bytes());
         self.core.warm_region(self.b_base, (k * n) as u64 * eb);
         self.core.warm_region(self.a_base, (m * k) as u64 * eb);
         let p = self.params;
@@ -300,7 +349,15 @@ impl BaselineSim {
         let p = self.params;
         let m = self.dims.m;
         let snap = self.snapshot();
-        self.pack_panel(self.b_base, self.b_panel, jc, pc, nc_eff, kc_eff, self.dims.k);
+        self.pack_panel(
+            self.b_base,
+            self.b_panel,
+            jc,
+            pc,
+            nc_eff,
+            kc_eff,
+            self.dims.k,
+        );
         let d = self.delta(&snap);
         self.add(&d, 1);
 
@@ -312,7 +369,15 @@ impl BaselineSim {
             let simulate = matches!(fidelity, Fidelity::Full) || !is_full || full_seen < 2;
             if simulate {
                 let snap = self.snapshot();
-                self.pack_panel(self.a_base, self.a_panel, ic, pc, mc_eff, kc_eff, self.dims.k);
+                self.pack_panel(
+                    self.a_base,
+                    self.a_panel,
+                    ic,
+                    pc,
+                    mc_eff,
+                    kc_eff,
+                    self.dims.k,
+                );
                 self.macro_kernel(ic, jc, pc, mc_eff, nc_eff, kc_eff);
                 let cost = self.delta(&snap);
                 self.add(&cost, 1);
@@ -374,16 +439,7 @@ impl BaselineSim {
             let nr_eff = (nc_eff - jr).min(p.nr);
             for ir in (0..mc_eff).step_by(p.mr) {
                 let mr_eff = (mc_eff - ir).min(p.mr);
-                self.micro_kernel(
-                    ic + ir,
-                    jc + jr,
-                    ir,
-                    jr,
-                    mr_eff,
-                    nr_eff,
-                    kc_eff,
-                    accumulate,
-                );
+                self.micro_kernel(ic + ir, jc + jr, ir, jr, mr_eff, nr_eff, kc_eff, accumulate);
             }
         }
     }
@@ -485,8 +541,7 @@ impl BaselineSim {
                 for j in 0..mr_eff {
                     let idx = (i * mr_eff + j) as u16;
                     let c_addr = self.c_base
-                        + ((c_row0 + j) * self.dims.n + (c_col0 + i)) as u64
-                            * self.kind.c_bytes();
+                        + ((c_row0 + j) * self.dims.n + (c_col0 + i)) as u64 * self.kind.c_bytes();
                     self.core.issue_load(
                         c_addr,
                         self.kind.c_bytes() as u32,
@@ -609,8 +664,12 @@ mod tests {
 
     #[test]
     fn dgemm_is_much_slower_than_one_mac_per_cycle() {
-        let r = simulate(BaselineKind::DgemmF64, GemmDims::square(256), Fidelity::Sampled)
-            .unwrap();
+        let r = simulate(
+            BaselineKind::DgemmF64,
+            GemmDims::square(256),
+            Fidelity::Sampled,
+        )
+        .unwrap();
         // The partially pipelined edge FPU paces DGEMM around 4+ c/MAC.
         let cpm = r.cycles_per_mac();
         assert!(cpm > 3.0 && cpm < 7.5, "DGEMM at {cpm:.2} c/MAC");
@@ -631,8 +690,12 @@ mod tests {
     #[test]
     fn fp32_u740_near_published_gops() {
         // Table III baseline row: ~0.9 GOPS for OpenBLAS FP32 on the U740.
-        let r = simulate(BaselineKind::SgemmF32, GemmDims::square(512), Fidelity::Sampled)
-            .unwrap();
+        let r = simulate(
+            BaselineKind::SgemmF32,
+            GemmDims::square(512),
+            Fidelity::Sampled,
+        )
+        .unwrap();
         let gops = r.gops();
         assert!(
             gops > 0.5 && gops < 1.5,
@@ -661,10 +724,18 @@ mod tests {
         // PULP-NN-style kernels lose performance at narrower widths due
         // to casting overhead (§V: 2.5x degradation 8b -> 2b).
         let dims = GemmDims::square(256);
-        let p8 = simulate(BaselineKind::PulpNnLike { bits: 8 }, dims, Fidelity::Sampled)
-            .unwrap();
-        let p2 = simulate(BaselineKind::PulpNnLike { bits: 2 }, dims, Fidelity::Sampled)
-            .unwrap();
+        let p8 = simulate(
+            BaselineKind::PulpNnLike { bits: 8 },
+            dims,
+            Fidelity::Sampled,
+        )
+        .unwrap();
+        let p2 = simulate(
+            BaselineKind::PulpNnLike { bits: 2 },
+            dims,
+            Fidelity::Sampled,
+        )
+        .unwrap();
         let degradation = p2.cycles as f64 / p8.cycles as f64;
         assert!(
             degradation > 1.5 && degradation < 3.5,
@@ -684,6 +755,21 @@ mod tests {
             mix.speedup_over(&bisone) > 2.0,
             "Mix-GEMM must clearly outperform the buffer-less binseg kernel"
         );
+    }
+
+    #[test]
+    fn compute_blocked_matches_naive_any_threads() {
+        let op = OperandType::unsigned(DataSize::B8);
+        let a = QuantMatrix::from_fn(23, 70, op, |r, c| ((r * 70 + c) % 251) as i32);
+        let b = QuantMatrix::from_fn(70, 9, op, |r, c| ((r * 9 + c) % 253) as i32);
+        let want = crate::matrix::naive_gemm(&a, &b).unwrap();
+        let mut p = BlisParams::table1();
+        p.mc = 8;
+        p.kc = 16;
+        for threads in [1, 2, 4, 7] {
+            let got = compute_blocked(&a, &b, &p, Parallelism::new(threads)).unwrap();
+            assert_eq!(got, want, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -226,8 +226,7 @@ mod tests {
     #[test]
     fn table1_point_is_near_simulated_optimum() {
         let probe = GemmDims::square(512);
-        let candidates =
-            validate_params_by_simulation("a8-w8".parse().unwrap(), probe).unwrap();
+        let candidates = validate_params_by_simulation("a8-w8".parse().unwrap(), probe).unwrap();
         let best = &candidates[0];
         let table1 = analytical_params(&presets::sargantana());
         let table1_cycles = candidates
@@ -250,8 +249,7 @@ mod tests {
             .iter()
             .map(|s| s.parse().unwrap())
             .collect();
-        let rows =
-            srcbuf_depth_sweep(&[8, 16, 32], &configs, GemmDims::square(256)).unwrap();
+        let rows = srcbuf_depth_sweep(&[8, 16, 32], &configs, GemmDims::square(256)).unwrap();
         assert_eq!(rows.len(), 3);
         assert!(rows[0].srcbuf_stall_fraction >= rows[1].srcbuf_stall_fraction);
         assert!(rows[1].srcbuf_stall_fraction >= rows[2].srcbuf_stall_fraction);
@@ -266,8 +264,10 @@ mod tests {
 
     #[test]
     fn cache_sweep_shows_graceful_degradation() {
-        let configs: Vec<PrecisionConfig> =
-            ["a8-w8", "a4-w4"].iter().map(|s| s.parse().unwrap()).collect();
+        let configs: Vec<PrecisionConfig> = ["a8-w8", "a4-w4"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         let rows = cache_sweep(
             &[(32, 512), (16, 512), (16, 64)],
             &configs,

@@ -7,7 +7,8 @@ use mixgemm_uengine::{EngineConfig, Pmu, TimedEngine, DEFAULT_SRCBUF_DEPTH};
 
 use crate::error::GemmError;
 use crate::matrix::{GemmDims, QuantMatrix};
-use crate::params::BlisParams;
+use crate::parallel;
+use crate::params::{BlisParams, Parallelism};
 use crate::report::GemmReport;
 
 /// Timing-simulation fidelity.
@@ -40,6 +41,10 @@ pub struct GemmOptions {
     /// just produced by a preceding layer. Regions beyond the cache
     /// capacity self-evict, so large problems are unaffected.
     pub warm_start: bool,
+    /// Host threads the functional compute paths partition C across
+    /// (§III-B multi-threaded BLIS deployment). Serial by default;
+    /// results are bit-identical for every thread count.
+    pub parallelism: Parallelism,
 }
 
 impl GemmOptions {
@@ -52,7 +57,14 @@ impl GemmOptions {
             soc: presets::sargantana(),
             srcbuf_depth: DEFAULT_SRCBUF_DEPTH,
             warm_start: true,
+            parallelism: Parallelism::serial(),
         }
+    }
+
+    /// Builder-style parallelism override.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -77,6 +89,13 @@ impl MixGemmKernel {
     /// arithmetic path (packed µ-vectors, cluster multiplications, slice
     /// extraction) — the reference functional semantics of the µ-engine.
     ///
+    /// The packed operands come from the matrices' shared caches
+    /// ([`QuantMatrix::packed_rows`] / [`QuantMatrix::packed_cols`]), so
+    /// repeated calls against the same matrices pack once; and the C
+    /// update is partitioned across [`GemmOptions::parallelism`] threads
+    /// along the BLIS panel loops, bit-identical to the serial result for
+    /// every thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`GemmError::DimensionMismatch`] on shape disagreement and
@@ -90,16 +109,25 @@ impl MixGemmKernel {
         }
         let (oa, ob) = self.opts.precision.operand_types();
         let cfg = BinSegConfig::new(oa, ob);
-        let a_rows = a.pack_rows();
-        let b_cols = b.pack_cols();
+        let a_rows = a.packed_rows();
+        let b_cols = b.packed_cols();
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
-        let mut c = vec![0i64; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                c[i * n + j] = ip::inner_product(&cfg, &a_rows[i], &b_cols[j], k)?;
-            }
-        }
-        Ok(c)
+        parallel::compute_partitioned(
+            m,
+            n,
+            &self.opts.params,
+            self.opts.parallelism,
+            |rows, cols, out| {
+                let w = cols.len();
+                for (li, i) in rows.enumerate() {
+                    for (lj, j) in cols.clone().enumerate() {
+                        out[li * w + lj] =
+                            ip::inner_product(&cfg, a_rows.get(i), b_cols.get(j), k)?;
+                    }
+                }
+                Ok(())
+            },
+        )
     }
 
     /// Computes `C = A * B` with plain blocked integer arithmetic.
@@ -107,24 +135,26 @@ impl MixGemmKernel {
     /// Produces results identical to [`MixGemmKernel::compute`] (the
     /// binary-segmentation path is bit-exact integer arithmetic; the two
     /// are property-tested equal) at much higher host speed — the entry
-    /// point the DNN runtime uses for full-network inference.
+    /// point the DNN runtime uses for full-network inference. Honors
+    /// [`GemmOptions::parallelism`] with the same panel-aligned C
+    /// partitioning as [`MixGemmKernel::compute`].
     ///
     /// # Errors
     ///
     /// Returns [`GemmError::DimensionMismatch`] on shape disagreement.
-    pub fn compute_fast(
-        &self,
-        a: &QuantMatrix,
-        b: &QuantMatrix,
-    ) -> Result<Vec<i64>, GemmError> {
-        crate::matrix::naive_gemm(a, b)
+    pub fn compute_fast(&self, a: &QuantMatrix, b: &QuantMatrix) -> Result<Vec<i64>, GemmError> {
+        // Always the partitioned driver, so thread sweeps compare the
+        // same code at every thread count (serial = one partition).
+        self.compute_parallel(a, b, self.opts.parallelism.threads)
     }
 
     /// Computes `C = A * B` like [`MixGemmKernel::compute_fast`], split
-    /// across `threads` OS threads along the `m` dimension — the
-    /// multi-threaded BLIS deployment of §III-B ("our BLIS-based library
-    /// can easily enable multi-threading support"), which parallelizes
-    /// trivially because each thread owns a disjoint slab of C.
+    /// across an explicit number of OS threads — the multi-threaded BLIS
+    /// deployment of §III-B ("our BLIS-based library can easily enable
+    /// multi-threading support"). C is partitioned along the `ic` panel
+    /// loop (or the `jc` loop for short-wide problems) so every worker
+    /// owns whole panels; exact integer accumulation makes the result
+    /// bit-identical to the serial path.
     ///
     /// # Errors
     ///
@@ -142,29 +172,28 @@ impl MixGemmKernel {
             });
         }
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
-        let threads = threads.clamp(1, m.max(1));
-        let mut c = vec![0i64; m * n];
-        let rows_per = m.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, slab) in c.chunks_mut(rows_per * n).enumerate() {
-                let row0 = t * rows_per;
-                scope.spawn(move || {
-                    for (local_i, row_out) in slab.chunks_mut(n).enumerate() {
-                        let i = row0 + local_i;
-                        for p in 0..k {
-                            let av = a.get(i, p) as i64;
-                            if av == 0 {
-                                continue;
-                            }
-                            for (j, out) in row_out.iter_mut().enumerate() {
-                                *out += av * b.get(p, j) as i64;
-                            }
+        parallel::compute_partitioned(
+            m,
+            n,
+            &self.opts.params,
+            Parallelism::new(threads),
+            |rows, cols, out| {
+                let w = cols.len();
+                for (li, i) in rows.enumerate() {
+                    for p in 0..k {
+                        let av = a.get(i, p) as i64;
+                        if av == 0 {
+                            continue;
+                        }
+                        let row_out = &mut out[li * w..(li + 1) * w];
+                        for (lj, j) in cols.clone().enumerate() {
+                            row_out[lj] += av * b.get(p, j) as i64;
                         }
                     }
-                });
-            }
-        });
-        Ok(c)
+                }
+                Ok(())
+            },
+        )
     }
 
     /// Simulates the execution of an `m x k x n` problem on the modelled
@@ -314,11 +343,7 @@ struct Snapshot {
 }
 
 impl<'o> Sim<'o> {
-    fn new(
-        opts: &'o GemmOptions,
-        dims: GemmDims,
-        fidelity: Fidelity,
-    ) -> Result<Self, GemmError> {
+    fn new(opts: &'o GemmOptions, dims: GemmDims, fidelity: Fidelity) -> Result<Self, GemmError> {
         let shape = ChunkShape::balanced(opts.precision);
         let (oa, ob) = opts.precision.operand_types();
         let binseg = BinSegConfig::new(oa, ob);
@@ -616,16 +641,7 @@ impl<'o> Sim<'o> {
             let nr_eff = (nc_eff - jr).min(p.nr);
             for ir in (0..mc_eff).step_by(p.mr) {
                 let mr_eff = (mc_eff - ir).min(p.mr);
-                self.micro_kernel(
-                    ic + ir,
-                    jc + jr,
-                    mr_eff,
-                    nr_eff,
-                    ir,
-                    jr,
-                    kc_eff,
-                    accumulate,
-                )?;
+                self.micro_kernel(ic + ir, jc + jr, mr_eff, nr_eff, ir, jr, kc_eff, accumulate)?;
             }
         }
         Ok(())
@@ -657,13 +673,8 @@ impl<'o> Sim<'o> {
             || current.kub() != kub
             || current.chunk_len() != ip_len
         {
-            let cfg = EngineConfig::with_ip_len(
-                *self.engine_cfg.binseg(),
-                kua,
-                kub,
-                slots,
-                ip_len,
-            )?;
+            let cfg =
+                EngineConfig::with_ip_len(*self.engine_cfg.binseg(), kua, kub, slots, ip_len)?;
             let _ = self.core.issue(Op::BsSet, &[], None);
             self.engine.bs_set(cfg)?;
         }
@@ -700,14 +711,11 @@ impl<'o> Sim<'o> {
                     for ku in 0..per_chunk {
                         let a_src = (ku < kua).then(|| Reg(A_REG_BASE + (j * kua + ku) as u16));
                         let b_src = (ku < kub).then(|| Reg(B_REG_BASE + (i * kub + ku) as u16));
-                        let srcs: Vec<Reg> =
-                            a_src.iter().chain(b_src.iter()).copied().collect();
+                        let srcs: Vec<Reg> = a_src.iter().chain(b_src.iter()).copied().collect();
                         let t = self.core.issue(Op::BsIp, &srcs, None);
-                        let out = self.engine.issue_ip(
-                            t,
-                            a_src.map(|_| 0u64),
-                            b_src.map(|_| 0u64),
-                        )?;
+                        let out =
+                            self.engine
+                                .issue_ip(t, a_src.map(|_| 0u64), b_src.map(|_| 0u64))?;
                         if out.completes_at > t {
                             self.core.stall_until(out.completes_at);
                         }
@@ -744,8 +752,7 @@ impl<'o> Sim<'o> {
         for i in 0..nr_eff {
             for j in 0..mr_eff {
                 let slot = i * mr_eff + j;
-                let c_addr =
-                    self.c_base + ((c_row0 + j) * self.dims.n + (c_col0 + i)) as u64 * 4;
+                let c_addr = self.c_base + ((c_row0 + j) * self.dims.n + (c_col0 + i)) as u64 * 4;
                 let acc = Reg(TMP_REG + slot as u16);
                 if accumulate {
                     let c = Reg(C_REG + slot as u16);
@@ -793,7 +800,9 @@ mod tests {
 
     #[test]
     fn compute_matches_naive_across_precisions() {
-        for pc in ["a8-w8", "a8-w4", "a6-w4", "a4-w4", "a3-w2", "a2-w2", "a2-w8"] {
+        for pc in [
+            "a8-w8", "a8-w4", "a6-w4", "a4-w4", "a3-w2", "a2-w2", "a2-w8",
+        ] {
             let precision: PrecisionConfig = pc.parse().unwrap();
             let (oa, ob) = precision.operand_types();
             let a = mat(9, 50, oa, 3);
@@ -840,9 +849,10 @@ mod tests {
 
     #[test]
     fn simulate_small_full() {
-        let kernel =
-            MixGemmKernel::new(GemmOptions::new("a8-w8".parse().unwrap()));
-        let r = kernel.simulate(GemmDims::square(64), Fidelity::Full).unwrap();
+        let kernel = MixGemmKernel::new(GemmOptions::new("a8-w8".parse().unwrap()));
+        let r = kernel
+            .simulate(GemmDims::square(64), Fidelity::Full)
+            .unwrap();
         assert!(r.cycles > 0);
         assert_eq!(r.macs, 64 * 64 * 64);
         let pmu = r.pmu.unwrap();
@@ -854,8 +864,7 @@ mod tests {
 
     #[test]
     fn sampled_close_to_full() {
-        let kernel =
-            MixGemmKernel::new(GemmOptions::new("a4-w4".parse().unwrap()));
+        let kernel = MixGemmKernel::new(GemmOptions::new("a4-w4".parse().unwrap()));
         let dims = GemmDims::square(320); // several blocks along every dim
         let full = kernel.simulate(dims, Fidelity::Full).unwrap();
         let sampled = kernel.simulate(dims, Fidelity::Sampled).unwrap();
@@ -873,8 +882,7 @@ mod tests {
         let dims = GemmDims::square(256);
         let mut cycles = Vec::new();
         for pc in ["a8-w8", "a4-w4", "a2-w2"] {
-            let kernel =
-                MixGemmKernel::new(GemmOptions::new(pc.parse().unwrap()));
+            let kernel = MixGemmKernel::new(GemmOptions::new(pc.parse().unwrap()));
             cycles.push(kernel.simulate(dims, Fidelity::Sampled).unwrap().cycles);
         }
         assert!(
@@ -885,8 +893,7 @@ mod tests {
 
     #[test]
     fn zero_dims_are_trivial() {
-        let kernel =
-            MixGemmKernel::new(GemmOptions::new("a8-w8".parse().unwrap()));
+        let kernel = MixGemmKernel::new(GemmOptions::new("a8-w8".parse().unwrap()));
         let r = kernel
             .simulate(GemmDims::new(0, 16, 16), Fidelity::Full)
             .unwrap();
@@ -900,10 +907,7 @@ mod tests {
         let a = mat(13, 37, oa, 1);
         let b = mat(37, 11, ob, 2);
         let kernel = MixGemmKernel::new(GemmOptions::new(precision));
-        assert_eq!(
-            kernel.compute(&a, &b).unwrap(),
-            naive_gemm(&a, &b).unwrap()
-        );
+        assert_eq!(kernel.compute(&a, &b).unwrap(), naive_gemm(&a, &b).unwrap());
         let r = kernel
             .simulate(GemmDims::new(13, 37, 11), Fidelity::Full)
             .unwrap();
@@ -914,7 +918,11 @@ mod tests {
     fn instruction_counts_match_algorithm1_closed_form() {
         // For a uniform problem the bs.ip / bs.get counts follow
         // directly from Algorithm 1's loop structure.
-        for (pc_str, m, k, n) in [("a8-w8", 8, 64, 8), ("a2-w2", 16, 256, 8), ("a8-w6", 8, 60, 8)] {
+        for (pc_str, m, k, n) in [
+            ("a8-w8", 8, 64, 8),
+            ("a2-w2", 16, 256, 8),
+            ("a8-w6", 8, 60, 8),
+        ] {
             let precision: PrecisionConfig = pc_str.parse().unwrap();
             let kernel = MixGemmKernel::new(GemmOptions::new(precision));
             let dims = GemmDims::new(m, k, n);
@@ -925,9 +933,7 @@ mod tests {
             let (oa, ob) = precision.operand_types();
             let epv_a = oa.elems_per_muvec();
             let epv_b = ob.elems_per_muvec();
-            let ip_len = shape
-                .logical_elems()
-                .min(k.min(kernel.options().params.kc));
+            let ip_len = shape.logical_elems().min(k.min(kernel.options().params.kc));
             let kua_eff = shape.kua().min(ip_len.div_ceil(epv_a));
             let kub_eff = shape.kub().min(ip_len.div_ceil(epv_b));
             let k_groups = k.div_ceil(ip_len) as u64;
@@ -936,10 +942,8 @@ mod tests {
             let micro_kernels = (m.div_ceil(mr) * n.div_ceil(nr)) as u64;
 
             // One chunk (kua.max(kub) issues) per C element per k-group.
-            let expected_ips = micro_kernels
-                * (mr * nr) as u64
-                * k_groups
-                * kua_eff.max(kub_eff) as u64;
+            let expected_ips =
+                micro_kernels * (mr * nr) as u64 * k_groups * kua_eff.max(kub_eff) as u64;
             assert_eq!(pmu.ip_instructions, expected_ips, "{pc_str} ip count");
             // One bs.get per C element per micro-kernel.
             assert_eq!(
@@ -961,6 +965,8 @@ mod tests {
         let mut opts = GemmOptions::new("a8-w8".parse().unwrap());
         opts.params.mr = 8; // 8 * 4 = 32 > 16 AccMem slots
         let kernel = MixGemmKernel::new(opts);
-        assert!(kernel.simulate(GemmDims::square(32), Fidelity::Full).is_err());
+        assert!(kernel
+            .simulate(GemmDims::square(32), Fidelity::Full)
+            .is_err());
     }
 }

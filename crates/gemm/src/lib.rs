@@ -25,7 +25,11 @@
 //! The [`dse`] module reproduces the §III-C design-space exploration
 //! (Table I parameters, Source-Buffer depth sweep) and the §IV-B cache
 //! sweeps; [`scaling`] makes the §III-B SIMD-datapath and multi-core
-//! scalability arguments executable.
+//! scalability arguments executable, combining the analytic model with
+//! measured thread sweeps; [`parallel`] partitions the functional compute
+//! paths across host threads along the BLIS panel loops
+//! ([`Parallelism`]), and [`QuantMatrix`] caches its packed-operand form
+//! ([`PackedMatrix`]) so repeated calls pack once.
 //!
 //! # Example
 //!
@@ -55,17 +59,18 @@
 pub mod asymmetric;
 pub mod baseline;
 pub mod dse;
-pub mod scaling;
 mod error;
 mod kernel;
 mod matrix;
+pub mod parallel;
 mod params;
 mod report;
+pub mod scaling;
 
 pub use error::GemmError;
 pub use kernel::{Fidelity, GemmOptions, MixGemmKernel};
-pub use matrix::{GemmDims, QuantMatrix};
-pub use params::BlisParams;
+pub use matrix::{naive_gemm, GemmDims, PackedMatrix, QuantMatrix};
+pub use params::{BlisParams, Parallelism};
 pub use report::GemmReport;
 
 // Re-export the vocabulary types downstream users need.

@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use mixgemm_binseg::{muvec, OperandType};
 
@@ -43,14 +44,95 @@ impl fmt::Display for GemmDims {
     }
 }
 
+/// One operand of a GEMM call in packed µ-vector form: every row (A-side
+/// layout) or column (B-side layout) compressed along `k` into 64-bit
+/// µ-vector words (paper §III-A).
+///
+/// Produced once per matrix by [`QuantMatrix::packed_rows`] /
+/// [`QuantMatrix::packed_cols`] and shared behind an [`Arc`], so repeated
+/// `compute` calls against the same operand — the steady state of DNN
+/// inference, where weights persist across every input — pay the packing
+/// cost a single time.
+#[derive(Clone, PartialEq)]
+pub struct PackedMatrix {
+    op: OperandType,
+    /// Elements per packed vector (the `k` extent).
+    len: usize,
+    vecs: Vec<Vec<u64>>,
+}
+
+impl PackedMatrix {
+    /// All packed vectors.
+    #[inline]
+    pub fn vectors(&self) -> &[Vec<u64>] {
+        &self.vecs
+    }
+
+    /// The `idx`-th packed vector (row of A, column of B).
+    #[inline]
+    pub fn get(&self, idx: usize) -> &[u64] {
+        &self.vecs[idx]
+    }
+
+    /// Number of packed vectors.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.vecs.len()
+    }
+
+    /// Logical elements per vector (the `k` extent).
+    #[inline]
+    pub fn elems(&self) -> usize {
+        self.len
+    }
+
+    /// The operand type the elements were packed as.
+    #[inline]
+    pub fn operand(&self) -> OperandType {
+        self.op
+    }
+
+    /// Total 64-bit words held.
+    pub fn words(&self) -> usize {
+        self.vecs.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Debug for PackedMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PackedMatrix")
+            .field("op", &self.op)
+            .field("len", &self.len)
+            .field("vecs", &self.vecs.len())
+            .finish()
+    }
+}
+
 /// A dense row-major matrix of narrow integers with a declared operand
 /// type, the input format of the Mix-GEMM library.
-#[derive(Clone, PartialEq, Debug)]
+///
+/// Carries a lazily-built packed-operand cache: [`QuantMatrix::packed_rows`]
+/// and [`QuantMatrix::packed_cols`] compute the µ-vector form once and
+/// share it (`Arc`) across calls and clones. The element data is immutable
+/// after construction, so the cache can never go stale; equality ignores
+/// the cache state.
+#[derive(Clone, Debug)]
 pub struct QuantMatrix {
     rows: usize,
     cols: usize,
     op: OperandType,
     data: Vec<i32>,
+    packed_row_cache: OnceLock<Arc<PackedMatrix>>,
+    packed_col_cache: OnceLock<Arc<PackedMatrix>>,
+}
+
+impl PartialEq for QuantMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.op == other.op
+            && self.data == other.data
+    }
 }
 
 impl QuantMatrix {
@@ -79,6 +161,8 @@ impl QuantMatrix {
             cols,
             op,
             data,
+            packed_row_cache: OnceLock::new(),
+            packed_col_cache: OnceLock::new(),
         })
     }
 
@@ -95,6 +179,8 @@ impl QuantMatrix {
             cols,
             op,
             data,
+            packed_row_cache: OnceLock::new(),
+            packed_col_cache: OnceLock::new(),
         }
     }
 
@@ -105,6 +191,8 @@ impl QuantMatrix {
             cols,
             op,
             data: vec![0; rows * cols],
+            packed_row_cache: OnceLock::new(),
+            packed_col_cache: OnceLock::new(),
         }
     }
 
@@ -163,6 +251,38 @@ impl QuantMatrix {
         (0..self.cols)
             .map(|c| muvec::pack_slice(self.op, &self.col(c)).expect("values validated"))
             .collect()
+    }
+
+    /// The row-packed (A-side) form, computed once and cached.
+    ///
+    /// The first call packs (like [`QuantMatrix::pack_rows`]); later calls
+    /// — including through clones of this matrix — return the same shared
+    /// [`Arc`]. Packing is bit-identical to a fresh [`QuantMatrix::pack_rows`]
+    /// (property-tested).
+    pub fn packed_rows(&self) -> Arc<PackedMatrix> {
+        self.packed_row_cache
+            .get_or_init(|| {
+                Arc::new(PackedMatrix {
+                    op: self.op,
+                    len: self.cols,
+                    vecs: self.pack_rows(),
+                })
+            })
+            .clone()
+    }
+
+    /// The column-packed (B-side) form, computed once and cached; see
+    /// [`QuantMatrix::packed_rows`].
+    pub fn packed_cols(&self) -> Arc<PackedMatrix> {
+        self.packed_col_cache
+            .get_or_init(|| {
+                Arc::new(PackedMatrix {
+                    op: self.op,
+                    len: self.rows,
+                    vecs: self.pack_cols(),
+                })
+            })
+            .clone()
     }
 
     /// Packed memory footprint in bytes (µ-vector format).
@@ -243,6 +363,28 @@ mod tests {
         assert_eq!(packed.len(), 3);
         assert_eq!(packed[0].len(), 2); // 10 elements at 8 per word
         assert_eq!(m.packed_bytes(), 3 * 16);
+    }
+
+    #[test]
+    fn packed_cache_matches_fresh_and_is_shared() {
+        let m = QuantMatrix::from_fn(5, 21, u8op(), |r, c| (r * 21 + c) as i32 % 251);
+        let rows = m.packed_rows();
+        assert_eq!(rows.vectors(), m.pack_rows().as_slice());
+        assert_eq!(rows.count(), 5);
+        assert_eq!(rows.elems(), 21);
+        assert_eq!(rows.operand(), u8op());
+        assert_eq!(rows.get(2), m.pack_rows()[2].as_slice());
+        // Same Arc on every call, and clones share it.
+        assert!(Arc::ptr_eq(&rows, &m.packed_rows()));
+        let cloned = m.clone();
+        assert!(Arc::ptr_eq(&rows, &cloned.packed_rows()));
+        let cols = m.packed_cols();
+        assert_eq!(cols.vectors(), m.pack_cols().as_slice());
+        assert_eq!(cols.elems(), 5);
+        assert!(cols.words() > 0);
+        // Equality ignores cache state.
+        let fresh = QuantMatrix::from_fn(5, 21, u8op(), |r, c| (r * 21 + c) as i32 % 251);
+        assert_eq!(m, fresh);
     }
 
     #[test]

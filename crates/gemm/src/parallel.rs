@@ -1,0 +1,239 @@
+//! Work partitioning for the multi-threaded execution layer (§III-B).
+//!
+//! The functional GEMM paths split the C update across OS threads along
+//! the BLIS panel loops: by `ic` blocks of `mc` rows when the problem is
+//! tall enough, otherwise by `jc` blocks of `nc` columns; when a single
+//! cache block covers the whole dimension (e.g. `m = mc = 256`), the
+//! cuts drop to `mr`/`nr` micro-panel granularity — the BLIS `ir`/`jr`
+//! loop parallelism. Keeping the cuts on panel boundaries means each
+//! worker executes whole (micro-)kernel iterations, exactly the
+//! multi-threaded BLIS deployment the paper describes; and because the
+//! accumulation is exact integer arithmetic, any partitioning of C
+//! produces results bit-identical to the serial loop (property-tested
+//! in `tests/parallel_equivalence.rs`).
+
+use std::ops::Range;
+
+use crate::error::GemmError;
+use crate::params::{BlisParams, Parallelism};
+
+/// Splits `[0, total)` into at most `parts` contiguous ranges whose
+/// interior boundaries fall on multiples of `block`, balanced to within
+/// one block of each other. Returns no ranges when `total` is zero and
+/// fewer than `parts` ranges when there are fewer blocks than parts.
+pub fn block_ranges(total: usize, block: usize, parts: usize) -> Vec<Range<usize>> {
+    let block = block.max(1);
+    let parts = parts.max(1);
+    if total == 0 {
+        return Vec::new();
+    }
+    let blocks = total.div_ceil(block);
+    let parts = parts.min(blocks);
+    let per = blocks / parts;
+    let extra = blocks % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut b0 = 0usize;
+    for p in 0..parts {
+        let nb = per + usize::from(p < extra);
+        let start = b0 * block;
+        let end = ((b0 + nb) * block).min(total);
+        out.push(start..end);
+        b0 += nb;
+    }
+    out
+}
+
+/// Partition of one C dimension for `parts` workers: cache-block
+/// (`mc`/`nc`) alignment when that yields enough parts, falling back to
+/// micro-panel (`mr`/`nr`) alignment — the BLIS `ir`/`jr` loop
+/// parallelism — when a few cache blocks cover the whole dimension.
+pub fn panel_partition(
+    total: usize,
+    coarse: usize,
+    fine: usize,
+    parts: usize,
+) -> Vec<Range<usize>> {
+    let ranges = block_ranges(total, coarse, parts);
+    let fine_blocks = total.div_ceil(fine.max(1));
+    if ranges.len() >= parts.min(fine_blocks) {
+        return ranges;
+    }
+    block_ranges(total, fine, parts)
+}
+
+/// Computes an `m x n` C matrix by fanning a tile closure out over
+/// panel-aligned partitions of C.
+///
+/// `tile(rows, cols, out)` must fill `out` (row-major, width
+/// `cols.len()`) with the C values of the sub-problem `rows x cols`.
+/// Row partitions write directly into disjoint slabs of C; column
+/// partitions (used when a single `mc` block covers all rows, e.g. the
+/// skinny fully-connected shapes) compute into per-worker buffers that
+/// are stitched back afterwards.
+pub(crate) fn compute_partitioned<F>(
+    m: usize,
+    n: usize,
+    params: &BlisParams,
+    par: Parallelism,
+    tile: F,
+) -> Result<Vec<i64>, GemmError>
+where
+    F: Fn(Range<usize>, Range<usize>, &mut [i64]) -> Result<(), GemmError> + Sync,
+{
+    let mut c = vec![0i64; m * n];
+    if m == 0 || n == 0 {
+        return Ok(c);
+    }
+    let row_ranges = panel_partition(m, params.mc, params.mr, par.threads);
+    let col_ranges = panel_partition(n, params.nc, params.nr, par.threads);
+    if par.is_serial() || (row_ranges.len() <= 1 && col_ranges.len() <= 1) {
+        tile(0..m, 0..n, &mut c)?;
+        return Ok(c);
+    }
+
+    let tile = &tile;
+    if row_ranges.len() >= col_ranges.len() {
+        // Row mode: each worker owns a contiguous slab of C rows.
+        std::thread::scope(|scope| {
+            let mut rest = c.as_mut_slice();
+            let mut handles = Vec::with_capacity(row_ranges.len());
+            for r in &row_ranges {
+                let (slab, tail) = rest.split_at_mut(r.len() * n);
+                rest = tail;
+                let r = r.clone();
+                handles.push(scope.spawn(move || tile(r, 0..n, slab)));
+            }
+            for h in handles {
+                h.join().expect("GEMM worker panicked")?;
+            }
+            Ok::<(), GemmError>(())
+        })?;
+    } else {
+        // Column mode: workers compute disjoint column bands into private
+        // buffers, stitched row by row afterwards.
+        let bands = std::thread::scope(|scope| {
+            let handles: Vec<_> = col_ranges
+                .iter()
+                .map(|r| {
+                    let r = r.clone();
+                    scope.spawn(move || {
+                        let mut band = vec![0i64; m * r.len()];
+                        tile(0..m, r.clone(), &mut band)?;
+                        Ok::<_, GemmError>((r, band))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("GEMM worker panicked"))
+                .collect::<Result<Vec<_>, _>>()
+        })?;
+        for (r, band) in bands {
+            let w = r.len();
+            for i in 0..m {
+                c[i * n + r.start..i * n + r.end].copy_from_slice(&band[i * w..(i + 1) * w]);
+            }
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_and_align() {
+        for (total, block, parts) in [
+            (100, 16, 4),
+            (256, 256, 8),
+            (1, 256, 8),
+            (1000, 7, 3),
+            (5, 1, 16),
+        ] {
+            let ranges = block_ranges(total, block, parts);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= parts);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, total);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+                assert_eq!(w[0].end % block, 0, "cut off a block boundary");
+            }
+        }
+        assert!(block_ranges(0, 16, 4).is_empty());
+    }
+
+    #[test]
+    fn panel_partition_falls_back_to_micropanels() {
+        // One mc block covers all of m: the coarse cut cannot split, the
+        // fine (mr) cut can.
+        let fine = panel_partition(256, 256, 4, 4);
+        assert_eq!(fine.len(), 4);
+        assert!(fine.iter().all(|r| r.len() == 64));
+        // Enough coarse blocks: stays on cache-block boundaries.
+        let coarse = panel_partition(1024, 256, 4, 4);
+        assert_eq!(coarse.len(), 4);
+        assert!(coarse.iter().all(|r| r.len() == 256 && r.start % 256 == 0));
+        // Coarse blocks fewer than threads but fine exhausted too:
+        // returns what exists.
+        assert_eq!(panel_partition(3, 256, 4, 8).len(), 1);
+    }
+
+    #[test]
+    fn ranges_balance_within_one_block() {
+        let ranges = block_ranges(100, 10, 3);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 10);
+    }
+
+    #[test]
+    fn partitioned_fill_matches_serial_both_modes() {
+        let p = BlisParams {
+            mc: 4,
+            nc: 4,
+            kc: 256,
+            mr: 2,
+            nr: 2,
+        };
+        let fill = |rows: Range<usize>, cols: Range<usize>, out: &mut [i64]| {
+            let w = cols.len();
+            for (li, i) in rows.enumerate() {
+                for (lj, j) in cols.clone().enumerate() {
+                    out[li * w + lj] = (i * 1000 + j) as i64;
+                }
+            }
+            Ok(())
+        };
+        // Tall problem -> row mode; wide flat problem -> column mode.
+        for (m, n) in [(19, 5), (3, 33)] {
+            let serial = compute_partitioned(m, n, &p, Parallelism::serial(), fill).unwrap();
+            for threads in [2, 3, 8] {
+                let par = compute_partitioned(m, n, &p, Parallelism::new(threads), fill).unwrap();
+                assert_eq!(par, serial, "{m}x{n} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_propagates_errors() {
+        let p = BlisParams::table1();
+        let err = compute_partitioned(
+            600,
+            4,
+            &p,
+            Parallelism::new(2),
+            |rows: Range<usize>, _cols, _out| {
+                if rows.start > 0 {
+                    Err(GemmError::BadParams {
+                        reason: "synthetic worker failure",
+                    })
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(err.is_err());
+    }
+}

@@ -70,6 +70,59 @@ impl Default for BlisParams {
     }
 }
 
+/// Thread-count knob of the parallel execution layer (§III-B: "our
+/// BLIS-based library can easily enable multi-threading support").
+///
+/// Work is partitioned along the BLIS `jc`/`ic` panel loops so that every
+/// worker owns whole `mc`/`nc` panels and a disjoint region of C; with
+/// exact integer accumulation the result is bit-identical to the serial
+/// path for any thread count (property-tested).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Parallelism {
+    /// Worker threads to partition the C update across; `1` is serial.
+    pub threads: usize,
+}
+
+impl Parallelism {
+    /// The serial configuration (one thread, no partitioning).
+    pub const fn serial() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// `threads` workers; zero is treated as one.
+    pub fn new(threads: usize) -> Self {
+        Parallelism {
+            threads: threads.max(1),
+        }
+    }
+
+    /// One worker per hardware thread the host exposes.
+    pub fn available() -> Self {
+        Parallelism {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// `true` when no partitioning happens.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.threads)
+    }
+}
+
 impl fmt::Display for BlisParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -90,6 +143,17 @@ mod tests {
         assert_eq!((p.mc, p.nc, p.kc, p.mr, p.nr), (256, 256, 256, 4, 4));
         assert!(p.validate().is_ok());
         assert_eq!(BlisParams::default(), p);
+    }
+
+    #[test]
+    fn parallelism_constructors() {
+        assert_eq!(Parallelism::default(), Parallelism::serial());
+        assert!(Parallelism::serial().is_serial());
+        assert_eq!(Parallelism::new(0).threads, 1);
+        assert_eq!(Parallelism::new(4).threads, 4);
+        assert!(!Parallelism::new(4).is_serial());
+        assert!(Parallelism::available().threads >= 1);
+        assert_eq!(Parallelism::new(8).to_string(), "8t");
     }
 
     #[test]

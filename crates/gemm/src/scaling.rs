@@ -17,9 +17,15 @@
 //!    with a small per-core efficiency loss, bounded by the shared
 //!    memory system).
 
+use std::collections::HashMap;
+
 use mixgemm_binseg::ip::DsuWalk;
 use mixgemm_binseg::{BinSegConfig, BinSegError, PrecisionConfig};
 
+use crate::error::GemmError;
+use crate::kernel::{Fidelity, GemmOptions, MixGemmKernel};
+use crate::matrix::GemmDims;
+use crate::parallel::panel_partition;
 use crate::report::GemmReport;
 
 /// Steady-state throughput projection for a scaled µ-engine datapath.
@@ -96,8 +102,7 @@ pub struct MulticoreProjection {
 pub fn multicore_projection(report: &GemmReport, cores: usize) -> MulticoreProjection {
     let cores = cores.max(1);
     let total = report.cycles.max(1) as f64;
-    let memory_share =
-        (report.core.data_stall_cycles as f64 / total).clamp(0.0, 1.0);
+    let memory_share = (report.core.data_stall_cycles as f64 / total).clamp(0.0, 1.0);
     // Amdahl-style: memory time does not shrink (shared memory system),
     // the rest scales linearly.
     let scaled_time = memory_share + (1.0 - memory_share) / cores as f64;
@@ -106,6 +111,172 @@ pub fn multicore_projection(report: &GemmReport, cores: usize) -> MulticoreProje
         cores,
         gops: report.gops() * speedup,
         efficiency: speedup / cores as f64,
+    }
+}
+
+/// One point of a simulated multi-core thread sweep.
+#[derive(Copy, Clone, Debug)]
+pub struct ThreadSweepPoint {
+    /// Thread (core) count simulated.
+    pub threads: usize,
+    /// Critical-path cycles: the slowest shard's simulated cycle count.
+    pub cycles: u64,
+    /// Speedup versus the single-thread simulation.
+    pub speedup: f64,
+    /// `speedup / threads`.
+    pub efficiency: f64,
+}
+
+/// Simulates the multi-threaded deployment of §III-B on the cycle-level
+/// model: C is partitioned along the `ic` loop into `mc`-aligned shards
+/// — or `mr` micro-panels when too few `mc` blocks exist, exactly as
+/// [`crate::parallel`] partitions the functional path — one per core,
+/// and each shard is simulated as an independent
+/// single-core GEMM, and the parallel runtime is the slowest shard.
+/// Shards of equal height share one simulation, so the sweep costs one
+/// cycle-level run per *distinct* shard size, not per core.
+///
+/// Unlike [`multicore_projection`]'s analytic Amdahl model, this measures
+/// the load-imbalance term directly: when `m` is not a multiple of
+/// `threads * mc`, some cores receive an extra panel and the speedup
+/// falls below linear by exactly the simulated imbalance.
+///
+/// # Errors
+///
+/// Propagates any [`GemmError`] from the underlying simulations.
+pub fn simulate_thread_sweep(
+    opts: &GemmOptions,
+    dims: GemmDims,
+    threads: &[usize],
+    fidelity: Fidelity,
+) -> Result<Vec<ThreadSweepPoint>, GemmError> {
+    let kernel = MixGemmKernel::new(opts.clone());
+    let mut shard_cycles: HashMap<usize, u64> = HashMap::new();
+    let mut simulate_shard = |rows: usize| -> Result<u64, GemmError> {
+        if let Some(&c) = shard_cycles.get(&rows) {
+            return Ok(c);
+        }
+        let report = kernel.simulate(GemmDims::new(rows, dims.k, dims.n), fidelity)?;
+        shard_cycles.insert(rows, report.cycles);
+        Ok(report.cycles)
+    };
+    let serial_cycles = simulate_shard(dims.m)?.max(1);
+    let mut out = Vec::with_capacity(threads.len());
+    for &t in threads {
+        let t = t.max(1);
+        let mut cycles = 0u64;
+        for r in panel_partition(dims.m, opts.params.mc, opts.params.mr, t) {
+            cycles = cycles.max(simulate_shard(r.len())?);
+        }
+        let cycles = cycles.max(1);
+        let speedup = serial_cycles as f64 / cycles as f64;
+        out.push(ThreadSweepPoint {
+            threads: t,
+            cycles,
+            speedup,
+            efficiency: speedup / t as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// One wall-clock measurement of the parallel functional path.
+#[derive(Copy, Clone, Debug)]
+pub struct MeasuredPoint {
+    /// Thread count the measurement ran with.
+    pub threads: usize,
+    /// Wall-clock seconds per GEMM.
+    pub seconds: f64,
+}
+
+/// A measured thread sweep (e.g. from the `parallel_scaling` bench),
+/// used to feed the multi-core model with observed numbers instead of
+/// the analytic data-stall fraction.
+#[derive(Clone, Debug)]
+pub struct MeasuredSweep {
+    points: Vec<MeasuredPoint>,
+}
+
+impl MeasuredSweep {
+    /// Builds a sweep from measured points. Returns `None` without a
+    /// usable single-thread baseline (a `threads == 1` point with a
+    /// positive time).
+    pub fn new(mut points: Vec<MeasuredPoint>) -> Option<Self> {
+        points.retain(|p| p.threads >= 1 && p.seconds.is_finite() && p.seconds > 0.0);
+        points.sort_by_key(|p| p.threads);
+        points.dedup_by_key(|p| p.threads);
+        if points.first().map(|p| p.threads) != Some(1) {
+            return None;
+        }
+        Some(MeasuredSweep { points })
+    }
+
+    /// The measured points, ascending in thread count.
+    pub fn points(&self) -> &[MeasuredPoint] {
+        &self.points
+    }
+
+    /// Single-thread wall-clock seconds.
+    pub fn serial_seconds(&self) -> f64 {
+        self.points[0].seconds
+    }
+
+    /// Measured speedup at each point versus the single-thread run.
+    pub fn speedups(&self) -> Vec<(usize, f64)> {
+        let s1 = self.serial_seconds();
+        self.points
+            .iter()
+            .map(|p| (p.threads, s1 / p.seconds))
+            .collect()
+    }
+
+    /// Serial fraction fitted from the multi-thread points by inverting
+    /// Amdahl's law (`f = (t / s_t - 1) / (t - 1)` averaged over the
+    /// points, clamped to `[0, 1]`). `None` when the sweep only holds
+    /// the single-thread baseline.
+    pub fn serial_fraction(&self) -> Option<f64> {
+        let s1 = self.serial_seconds();
+        let fits: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.threads > 1)
+            .map(|p| {
+                let speedup = (s1 / p.seconds).max(f64::MIN_POSITIVE);
+                let t = p.threads as f64;
+                ((t / speedup - 1.0) / (t - 1.0)).clamp(0.0, 1.0)
+            })
+            .collect();
+        if fits.is_empty() {
+            return None;
+        }
+        Some(fits.iter().sum::<f64>() / fits.len() as f64)
+    }
+
+    /// Amdahl speedup projected from the fitted serial fraction.
+    pub fn projected_speedup(&self, cores: usize) -> Option<f64> {
+        let f = self.serial_fraction()?;
+        let cores = cores.max(1) as f64;
+        Some(1.0 / (f + (1.0 - f) / cores))
+    }
+}
+
+/// Projects `report` onto `cores` cores using the serial fraction fitted
+/// from a *measured* thread sweep, replacing the analytic data-stall
+/// input of [`multicore_projection`]. Falls back to the analytic model
+/// when the sweep has no multi-thread points.
+pub fn multicore_projection_measured(
+    report: &GemmReport,
+    sweep: &MeasuredSweep,
+    cores: usize,
+) -> MulticoreProjection {
+    let cores = cores.max(1);
+    match sweep.projected_speedup(cores) {
+        Some(speedup) => MulticoreProjection {
+            cores,
+            gops: report.gops() * speedup,
+            efficiency: speedup / cores as f64,
+        },
+        None => multicore_projection(report, cores),
     }
 }
 
@@ -132,11 +303,31 @@ mod tests {
             );
         }
         // The 64-bit projections reproduce the paper's envelope.
-        assert_eq!(simd_projection(pc("a8-w8"), 64, 64).unwrap().peak_macs_per_cycle, 3);
-        assert_eq!(simd_projection(pc("a2-w2"), 64, 64).unwrap().peak_macs_per_cycle, 7);
+        assert_eq!(
+            simd_projection(pc("a8-w8"), 64, 64)
+                .unwrap()
+                .peak_macs_per_cycle,
+            3
+        );
+        assert_eq!(
+            simd_projection(pc("a2-w2"), 64, 64)
+                .unwrap()
+                .peak_macs_per_cycle,
+            7
+        );
         // And the 128-bit ones its §III-B extension.
-        assert_eq!(simd_projection(pc("a8-w8"), 128, 128).unwrap().peak_macs_per_cycle, 6);
-        assert_eq!(simd_projection(pc("a2-w2"), 128, 128).unwrap().peak_macs_per_cycle, 14);
+        assert_eq!(
+            simd_projection(pc("a8-w8"), 128, 128)
+                .unwrap()
+                .peak_macs_per_cycle,
+            6
+        );
+        assert_eq!(
+            simd_projection(pc("a2-w2"), 128, 128)
+                .unwrap()
+                .peak_macs_per_cycle,
+            14
+        );
     }
 
     #[test]
@@ -159,8 +350,131 @@ mod tests {
         let p4 = multicore_projection(&report, 4);
         let p8 = multicore_projection(&report, 8);
         assert!((p1.efficiency - 1.0).abs() < 1e-9);
-        assert!(p4.gops > 3.0 * p1.gops, "4-core {:.2} vs 1-core {:.2}", p4.gops, p1.gops);
+        assert!(
+            p4.gops > 3.0 * p1.gops,
+            "4-core {:.2} vs 1-core {:.2}",
+            p4.gops,
+            p1.gops
+        );
         assert!(p8.gops > p4.gops);
         assert!(p8.efficiency > 0.5 && p8.efficiency <= 1.0);
+    }
+
+    #[test]
+    fn simulated_thread_sweep_scales_and_shares_shards() {
+        let opts = GemmOptions::new(pc("a8-w8"));
+        // m = 4 * mc: 2 and 4 threads split into equal mc-aligned shards.
+        let dims = GemmDims::new(4 * opts.params.mc, 64, 32);
+        let sweep = simulate_thread_sweep(&opts, dims, &[1, 2, 4, 8], Fidelity::Sampled).unwrap();
+        assert_eq!(sweep.len(), 4);
+        assert!((sweep[0].speedup - 1.0).abs() < 1e-12);
+        // Equal shards: speedup grows with threads (past 4 mc-blocks the
+        // partition falls back to mr micro-panels, so 8 threads still help).
+        assert!(sweep[1].speedup > 1.5, "2t speedup {:.2}", sweep[1].speedup);
+        assert!(sweep[2].speedup > sweep[1].speedup);
+        assert!(sweep[3].cycles <= sweep[2].cycles);
+        // Shards skip part of the full problem's warm-up, so efficiency
+        // may land marginally above 1; it must stay near-linear, not wild.
+        for p in &sweep {
+            assert!(p.efficiency <= 1.05, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn simulated_sweep_exposes_load_imbalance() {
+        let opts = GemmOptions::new(pc("a8-w8"));
+        // 3 mc-blocks over 2 threads: one core gets twice the work.
+        let dims = GemmDims::new(3 * opts.params.mc, 64, 32);
+        let sweep = simulate_thread_sweep(&opts, dims, &[2], Fidelity::Sampled).unwrap();
+        assert!(
+            sweep[0].speedup < 1.8,
+            "imbalanced split should be sub-linear, got {:.2}",
+            sweep[0].speedup
+        );
+    }
+
+    #[test]
+    fn measured_sweep_fits_serial_fraction() {
+        // Perfect linear scaling -> serial fraction ~0.
+        let ideal = MeasuredSweep::new(vec![
+            MeasuredPoint {
+                threads: 1,
+                seconds: 8.0,
+            },
+            MeasuredPoint {
+                threads: 2,
+                seconds: 4.0,
+            },
+            MeasuredPoint {
+                threads: 4,
+                seconds: 2.0,
+            },
+            MeasuredPoint {
+                threads: 8,
+                seconds: 1.0,
+            },
+        ])
+        .unwrap();
+        assert!(ideal.serial_fraction().unwrap() < 1e-9);
+        assert!((ideal.projected_speedup(16).unwrap() - 16.0).abs() < 1e-6);
+
+        // Synthetic Amdahl data with f = 0.3 recovers f ~ 0.3.
+        let f = 0.3;
+        let pts = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&t| MeasuredPoint {
+                threads: t,
+                seconds: 10.0 * (f + (1.0 - f) / t as f64),
+            })
+            .collect();
+        let amdahl = MeasuredSweep::new(pts).unwrap();
+        assert!((amdahl.serial_fraction().unwrap() - f).abs() < 1e-9);
+
+        // No baseline -> None.
+        assert!(MeasuredSweep::new(vec![MeasuredPoint {
+            threads: 2,
+            seconds: 1.0
+        }])
+        .is_none());
+        // Baseline only -> serial_fraction None, measured projection falls
+        // back to the analytic model.
+        let solo = MeasuredSweep::new(vec![MeasuredPoint {
+            threads: 1,
+            seconds: 1.0,
+        }])
+        .unwrap();
+        assert!(solo.serial_fraction().is_none());
+    }
+
+    #[test]
+    fn measured_projection_uses_sweep_numbers() {
+        let kernel = MixGemmKernel::new(GemmOptions::new(pc("a8-w8")));
+        let report = kernel
+            .simulate(GemmDims::square(256), Fidelity::Sampled)
+            .unwrap();
+        let sweep = MeasuredSweep::new(vec![
+            MeasuredPoint {
+                threads: 1,
+                seconds: 4.0,
+            },
+            MeasuredPoint {
+                threads: 4,
+                seconds: 1.6,
+            },
+        ])
+        .unwrap();
+        let p4 = multicore_projection_measured(&report, &sweep, 4);
+        // Measured speedup at 4 threads is 2.5x -> projection must match.
+        assert!((p4.gops / report.gops() - 2.5).abs() < 1e-9);
+        assert!((p4.efficiency - 2.5 / 4.0).abs() < 1e-9);
+
+        let solo = MeasuredSweep::new(vec![MeasuredPoint {
+            threads: 1,
+            seconds: 1.0,
+        }])
+        .unwrap();
+        let fallback = multicore_projection_measured(&report, &solo, 4);
+        let analytic = multicore_projection(&report, 4);
+        assert!((fallback.gops - analytic.gops).abs() < 1e-9);
     }
 }

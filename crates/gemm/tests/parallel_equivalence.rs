@@ -1,0 +1,218 @@
+//! Property tests for the parallel execution layer and the
+//! packed-operand cache: neither may be visible in results.
+//!
+//! - Parallel ≡ serial, bit for bit, for every functional path
+//!   (`compute`, `compute_fast`, `baseline::compute_blocked`) over
+//!   random shapes/threads and exhaustively across all 49 (8b..2b)²
+//!   precision pairs — integer accumulation is exact, so any C
+//!   partitioning must reproduce the serial result exactly.
+//! - Cached packing ≡ fresh packing, and the cache is shared (`Arc`)
+//!   across calls and clones.
+//!
+//! Replay a failure with `MIXGEMM_PROP_SEED=<seed from the message>`.
+
+use std::sync::Arc;
+
+use mixgemm_gemm::{
+    baseline, naive_gemm, BlisParams, GemmOptions, MixGemmKernel, Parallelism, PrecisionConfig,
+    QuantMatrix,
+};
+use mixgemm_harness::{check, ensure, ensure_eq, Rng};
+
+fn random_matrix(
+    rng: &mut Rng,
+    rows: usize,
+    cols: usize,
+    op: mixgemm_gemm::OperandType,
+) -> QuantMatrix {
+    let data: Vec<i32> = (0..rows * cols)
+        .map(|_| rng.i32_in(op.min_value(), op.max_value()))
+        .collect();
+    QuantMatrix::new(rows, cols, op, data).expect("in-range data")
+}
+
+fn random_pair(
+    rng: &mut Rng,
+    precision: PrecisionConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> (QuantMatrix, QuantMatrix) {
+    let (oa, ow) = precision.operand_types();
+    (random_matrix(rng, m, k, oa), random_matrix(rng, k, n, ow))
+}
+
+/// Small blocking so random shapes exercise multi-panel partitions in
+/// both row and column mode.
+fn tight_params() -> BlisParams {
+    BlisParams {
+        mc: 8,
+        nc: 8,
+        kc: 16,
+        mr: 2,
+        nr: 2,
+    }
+}
+
+#[test]
+fn parallel_fast_paths_match_serial_on_random_shapes() {
+    check("parallel_fast_paths_match_serial", 48, |rng| {
+        let precision =
+            PrecisionConfig::from_bits(rng.u8_in(2, 8), rng.u8_in(2, 8)).expect("valid bits");
+        let (m, k, n) = (
+            rng.usize_in(1, 40),
+            rng.usize_in(1, 50),
+            rng.usize_in(1, 40),
+        );
+        let (a, b) = random_pair(rng, precision, m, k, n);
+        let threads = rng.usize_in(2, 9);
+
+        let mut opts = GemmOptions::new(precision);
+        opts.params = tight_params();
+        let serial = MixGemmKernel::new(opts.clone())
+            .compute_fast(&a, &b)
+            .map_err(|e| e.to_string())?;
+        ensure_eq!(
+            serial,
+            naive_gemm(&a, &b).map_err(|e| e.to_string())?,
+            "serial path vs naive reference"
+        );
+
+        let par_kernel =
+            MixGemmKernel::new(opts.clone().with_parallelism(Parallelism::new(threads)));
+        ensure_eq!(
+            par_kernel.compute_fast(&a, &b).map_err(|e| e.to_string())?,
+            serial,
+            "compute_fast at {threads} threads"
+        );
+        ensure_eq!(
+            baseline::compute_blocked(&a, &b, &opts.params, Parallelism::new(threads))
+                .map_err(|e| e.to_string())?,
+            serial,
+            "compute_blocked at {threads} threads"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn parallel_binseg_compute_matches_serial_on_random_shapes() {
+    // The bit-exact binary-segmentation path is orders slower per
+    // element, so this property runs on smaller shapes.
+    check("parallel_binseg_compute_matches_serial", 32, |rng| {
+        let precision =
+            PrecisionConfig::from_bits(rng.u8_in(2, 8), rng.u8_in(2, 8)).expect("valid bits");
+        let (m, k, n) = (rng.usize_in(1, 9), rng.usize_in(1, 40), rng.usize_in(1, 9));
+        let (a, b) = random_pair(rng, precision, m, k, n);
+        let threads = rng.usize_in(2, 8);
+
+        let mut opts = GemmOptions::new(precision);
+        opts.params = tight_params();
+        let serial = MixGemmKernel::new(opts.clone())
+            .compute(&a, &b)
+            .map_err(|e| e.to_string())?;
+        ensure_eq!(
+            serial,
+            naive_gemm(&a, &b).map_err(|e| e.to_string())?,
+            "binseg serial vs naive reference"
+        );
+        let parallel = MixGemmKernel::new(opts.with_parallelism(Parallelism::new(threads)))
+            .compute(&a, &b)
+            .map_err(|e| e.to_string())?;
+        ensure_eq!(parallel, serial, "binseg compute at {threads} threads");
+        Ok(())
+    });
+}
+
+#[test]
+fn parallel_matches_serial_across_all_49_precision_pairs() {
+    let mut rng = Rng::new(0x0009_5A17_2EE3);
+    let mut pairs = 0;
+    for a_bits in 2..=8u8 {
+        for w_bits in 2..=8u8 {
+            let precision = PrecisionConfig::from_bits(a_bits, w_bits).expect("valid bits");
+            let (m, k, n) = (
+                rng.usize_in(2, 11),
+                rng.usize_in(1, 33),
+                rng.usize_in(2, 11),
+            );
+            let (a, b) = random_pair(&mut rng, precision, m, k, n);
+            let mut opts = GemmOptions::new(precision);
+            opts.params = tight_params();
+            let serial_kernel = MixGemmKernel::new(opts.clone());
+            let want = naive_gemm(&a, &b).unwrap();
+            assert_eq!(
+                serial_kernel.compute(&a, &b).unwrap(),
+                want,
+                "a{a_bits}-w{w_bits} serial binseg"
+            );
+            for threads in [2, 5] {
+                let par = opts.clone().with_parallelism(Parallelism::new(threads));
+                let kernel = MixGemmKernel::new(par);
+                assert_eq!(
+                    kernel.compute(&a, &b).unwrap(),
+                    want,
+                    "a{a_bits}-w{w_bits} binseg at {threads} threads"
+                );
+                assert_eq!(
+                    kernel.compute_fast(&a, &b).unwrap(),
+                    want,
+                    "a{a_bits}-w{w_bits} fast at {threads} threads"
+                );
+            }
+            pairs += 1;
+        }
+    }
+    assert_eq!(pairs, 49);
+}
+
+#[test]
+fn cached_packing_matches_fresh_packing() {
+    check("cached_packing_matches_fresh", 48, |rng| {
+        let precision =
+            PrecisionConfig::from_bits(rng.u8_in(2, 8), rng.u8_in(2, 8)).expect("valid bits");
+        let (oa, _) = precision.operand_types();
+        let (rows, cols) = (rng.usize_in(1, 30), rng.usize_in(1, 70));
+        let m = random_matrix(rng, rows, cols, oa);
+
+        let cached_rows = m.packed_rows();
+        let cached_cols = m.packed_cols();
+        ensure_eq!(cached_rows.vectors(), &m.pack_rows()[..], "row packing");
+        ensure_eq!(cached_cols.vectors(), &m.pack_cols()[..], "column packing");
+        ensure_eq!(cached_rows.count(), rows, "one µ-vector per row");
+        ensure_eq!(cached_cols.count(), cols, "one µ-vector per column");
+
+        // Repeated calls and clones share the same allocation.
+        ensure!(
+            Arc::ptr_eq(&cached_rows, &m.packed_rows()),
+            "second packed_rows call re-packed"
+        );
+        let clone = m.clone();
+        ensure!(
+            Arc::ptr_eq(&cached_rows, &clone.packed_rows()),
+            "clone does not share the packed cache"
+        );
+        ensure_eq!(clone, m, "cache state must not affect equality");
+        Ok(())
+    });
+}
+
+#[test]
+fn thread_count_never_changes_results_on_one_shape() {
+    // One fixed shape, every thread count from 1 to 12: the partition
+    // boundaries move through coarse and fine modes; results must not.
+    let precision: PrecisionConfig = "a3-w5".parse().unwrap();
+    let mut rng = Rng::new(77);
+    let (a, b) = random_pair(&mut rng, precision, 17, 23, 13);
+    let mut opts = GemmOptions::new(precision);
+    opts.params = tight_params();
+    let want = naive_gemm(&a, &b).unwrap();
+    for threads in 1..=12 {
+        let kernel = MixGemmKernel::new(opts.clone().with_parallelism(Parallelism::new(threads)));
+        assert_eq!(
+            kernel.compute_fast(&a, &b).unwrap(),
+            want,
+            "{threads} threads"
+        );
+    }
+}

@@ -3,66 +3,72 @@
 
 use mixgemm_gemm::baseline::{self, BaselineKind};
 use mixgemm_gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel, PrecisionConfig};
-use proptest::prelude::*;
+use mixgemm_harness::{check, ensure, ensure_eq, Rng};
 
-fn precision() -> impl Strategy<Value = PrecisionConfig> {
-    (2u8..=8, 2u8..=8).prop_map(|(a, w)| PrecisionConfig::from_bits(a, w).unwrap())
+fn precision(rng: &mut Rng) -> PrecisionConfig {
+    PrecisionConfig::from_bits(rng.u8_in(2, 8), rng.u8_in(2, 8)).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Sampled extrapolation stays within 12 % of full simulation on
-    /// random (small) problems and precisions.
-    #[test]
-    fn sampled_tracks_full(
-        pc in precision(),
-        m in 1usize..=96,
-        k in 1usize..=96,
-        n in 1usize..=96,
-    ) {
+/// Sampled extrapolation stays within 12 % of full simulation on random
+/// (small) problems and precisions.
+#[test]
+fn sampled_tracks_full() {
+    check("sampled_tracks_full", 24, |rng| {
+        let pc = precision(rng);
+        let dims = GemmDims::new(
+            rng.usize_in(1, 96) * 3,
+            rng.usize_in(1, 96) * 3,
+            rng.usize_in(1, 96) * 3,
+        );
         let kernel = MixGemmKernel::new(GemmOptions::new(pc));
-        let dims = GemmDims::new(m * 3, k * 3, n * 3);
         let full = kernel.simulate(dims, Fidelity::Full).unwrap();
         let sampled = kernel.simulate(dims, Fidelity::Sampled).unwrap();
         let ratio = sampled.cycles as f64 / full.cycles.max(1) as f64;
-        prop_assert!(
+        ensure!(
             (0.88..=1.12).contains(&ratio),
             "dims {dims} at {pc}: sampled/full = {ratio:.3}"
         );
-    }
+        Ok(())
+    });
+}
 
-    /// Any supported precision and buffer depth completes without
-    /// protocol errors on awkward shapes.
-    #[test]
-    fn simulation_never_deadlocks(
-        pc in precision(),
-        depth in 1usize..=32,
-        m in 1usize..40,
-        k in 1usize..80,
-        n in 1usize..12,
-    ) {
+/// Any supported precision and buffer depth completes without protocol
+/// errors on awkward shapes.
+#[test]
+fn simulation_never_deadlocks() {
+    check("simulation_never_deadlocks", 24, |rng| {
+        let pc = precision(rng);
         let mut opts = GemmOptions::new(pc);
-        opts.srcbuf_depth = depth;
+        opts.srcbuf_depth = rng.usize_in(1, 32);
+        let (m, k, n) = (
+            rng.usize_in(1, 39),
+            rng.usize_in(1, 79),
+            rng.usize_in(1, 11),
+        );
         let kernel = MixGemmKernel::new(opts);
-        let report = kernel.simulate(GemmDims::new(m, k, n), Fidelity::Full).unwrap();
-        prop_assert!(report.cycles > 0);
-        prop_assert_eq!(report.macs, (m * k * n) as u64);
-    }
+        let report = kernel
+            .simulate(GemmDims::new(m, k, n), Fidelity::Full)
+            .unwrap();
+        ensure!(report.cycles > 0);
+        ensure_eq!(report.macs, (m * k * n) as u64);
+        Ok(())
+    });
+}
 
-    /// More MACs never cost fewer cycles (weak monotonicity along each
-    /// dimension) for the scalar baselines.
-    #[test]
-    fn baseline_monotonicity(
-        kind in prop::sample::select(vec![
+/// More MACs never cost fewer cycles (weak monotonicity along each
+/// dimension) for the scalar baselines.
+#[test]
+fn baseline_monotonicity() {
+    check("baseline_monotonicity", 24, |rng| {
+        let kind = *rng.pick(&[
             BaselineKind::DgemmF64,
             BaselineKind::GemmI8Scalar,
             BaselineKind::SgemmF32,
-        ]),
-        s in 2usize..8,
-    ) {
+        ]);
+        let s = rng.usize_in(2, 7);
         let small = baseline::simulate(kind, GemmDims::square(8 * s), Fidelity::Full).unwrap();
         let big = baseline::simulate(kind, GemmDims::square(16 * s), Fidelity::Full).unwrap();
-        prop_assert!(big.cycles > small.cycles);
-    }
+        ensure!(big.cycles > small.cycles, "{kind:?} at s = {s}");
+        Ok(())
+    });
 }

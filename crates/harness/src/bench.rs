@@ -1,0 +1,186 @@
+//! A small wall-clock benchmark harness for `harness = false` targets.
+//!
+//! Criterion-style flow without the dependency: per benchmark, a warm-up
+//! phase sizes the iteration batch, then `samples` timed batches produce
+//! median / mean / min statistics. Intended for coarse regression
+//! tracking and for the speed-up artifacts the `mixgemm-bench` bins
+//! write; it makes no outlier or significance claims.
+//!
+//! Environment knobs: `MIXGEMM_BENCH_SAMPLES` overrides the sample count,
+//! `MIXGEMM_BENCH_QUICK=1` drops to 3 samples with minimal warm-up (used
+//! to smoke-test bench targets in CI).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export: prevents the optimizer from deleting a benched computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Measured statistics of one benchmark.
+#[derive(Copy, Clone, Debug)]
+pub struct Stats {
+    /// Median batch time divided by batch size.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+    /// Fastest sample (least interference; best wall-clock estimate on a
+    /// noisy host).
+    pub min: Duration,
+    /// Iterations per timed batch.
+    pub batch: u64,
+    /// Timed batches.
+    pub samples: usize,
+}
+
+impl Stats {
+    /// Median in nanoseconds.
+    pub fn median_ns(&self) -> f64 {
+        self.median.as_secs_f64() * 1e9
+    }
+
+    /// Minimum in seconds.
+    pub fn min_secs(&self) -> f64 {
+        self.min.as_secs_f64()
+    }
+}
+
+/// Runs timed batches of a closure.
+#[derive(Copy, Clone, Debug)]
+pub struct Bencher {
+    /// Timed batches per benchmark.
+    pub samples: usize,
+    /// Target duration of one timed batch.
+    pub batch_target: Duration,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        let quick = std::env::var("MIXGEMM_BENCH_QUICK").is_ok_and(|v| v == "1");
+        let samples = std::env::var("MIXGEMM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 3 } else { 11 });
+        Bencher {
+            samples,
+            batch_target: if quick {
+                Duration::from_millis(5)
+            } else {
+                Duration::from_millis(40)
+            },
+        }
+    }
+}
+
+impl Bencher {
+    /// Measures `f`, returning per-iteration statistics.
+    pub fn run<F: FnMut()>(&self, mut f: F) -> Stats {
+        // Warm-up: run once to page code in and estimate the batch size
+        // that fills `batch_target`.
+        let t0 = Instant::now();
+        f();
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let batch = (self.batch_target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            per_iter.push(start.elapsed() / batch as u32);
+        }
+        per_iter.sort();
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        Stats {
+            median: per_iter[per_iter.len() / 2],
+            mean,
+            min: per_iter[0],
+            batch,
+            samples: self.samples,
+        }
+    }
+}
+
+/// A named group of benchmarks with criterion-like console output.
+pub struct Group {
+    name: String,
+    bencher: Bencher,
+}
+
+impl Group {
+    /// Creates a group with default sampling.
+    pub fn new(name: &str) -> Self {
+        Group {
+            name: name.to_string(),
+            bencher: Bencher::default(),
+        }
+    }
+
+    /// Overrides the sample count.
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.bencher.samples = samples;
+        self
+    }
+
+    /// Benches `f` under `id`, printing one result line.
+    pub fn bench<F: FnMut()>(&self, id: &str, f: F) -> Stats {
+        let stats = self.bencher.run(f);
+        println!(
+            "bench {}/{id}: median {} (min {}, {} samples x {} iters)",
+            self.name,
+            fmt_duration(stats.median),
+            fmt_duration(stats.min),
+            stats.samples,
+            stats.batch,
+        );
+        stats
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_sane() {
+        let b = Bencher {
+            samples: 5,
+            batch_target: Duration::from_micros(200),
+        };
+        let mut acc = 0u64;
+        let stats = b.run(|| {
+            // Enough work per iteration that a timed batch cannot round
+            // down to zero nanoseconds per iteration.
+            for i in 0..4096u64 {
+                acc = black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(i));
+            }
+        });
+        assert_eq!(stats.samples, 5);
+        assert!(stats.batch >= 1);
+        assert!(stats.min <= stats.median);
+        assert!(stats.median_ns() > 0.0);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(fmt_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

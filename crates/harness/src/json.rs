@@ -1,0 +1,205 @@
+//! A minimal JSON document builder for benchmark artifacts.
+//!
+//! Covers exactly what the bench bins need — objects, arrays, numbers,
+//! strings, booleans — with deterministic key order (insertion order) so
+//! artifacts diff cleanly across runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds or replaces a field (builder style; objects only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-object.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => {
+                let value = value.into();
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    fields.push((key.to_string(), value));
+                }
+                self
+            }
+            _ => panic!("field() on a non-object"),
+        }
+    }
+
+    /// Serializes with 2-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                if !x.is_finite() {
+                    out.push_str("null");
+                } else if *x == x.trunc() && x.abs() < 1e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(xs) => {
+                if xs.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    let _ = write!(out, "{}{pad}", if i == 0 { "\n" } else { ",\n" });
+                    x.write(out, indent + 1);
+                }
+                let _ = write!(out, "\n{close}]");
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    let _ = write!(out, "{}{pad}", if i == 0 { "\n" } else { ",\n" });
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                let _ = write!(out, "\n{close}}}");
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_serializes() {
+        let doc = Json::obj()
+            .field("name", "parallel_scaling")
+            .field("threads", vec![1u64, 2, 4, 8])
+            .field("speedup", 3.5f64)
+            .field("exact", 4u64)
+            .field("ok", true);
+        let s = doc.pretty();
+        assert!(s.contains("\"name\": \"parallel_scaling\""));
+        assert!(s.contains("\"speedup\": 3.5"));
+        assert!(s.contains("\"exact\": 4"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn field_replaces_existing_key() {
+        let doc = Json::obj().field("x", 1u64).field("x", 2u64);
+        assert_eq!(doc, Json::obj().field("x", 2u64));
+    }
+
+    #[test]
+    fn escapes_strings_and_nonfinite() {
+        let doc = Json::obj().field("s", "a\"b\\c\nd").field("nan", f64::NAN);
+        let s = doc.pretty();
+        assert!(s.contains("a\\\"b\\\\c\\nd"));
+        assert!(s.contains("\"nan\": null"));
+    }
+
+    #[test]
+    fn empty_collections() {
+        assert_eq!(Json::obj().pretty(), "{}\n");
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]\n");
+    }
+}

@@ -1,0 +1,29 @@
+//! Zero-dependency development harness for the Mix-GEMM workspace.
+//!
+//! The workspace must build and test in fully offline environments (no
+//! crates.io access), so the usual dev dependencies are replaced by small
+//! in-tree equivalents:
+//!
+//! - [`rng`] — a deterministic SplitMix64 generator (replaces `rand` for
+//!   test-input generation);
+//! - [`prop`] — a property-test runner over that generator (replaces the
+//!   `proptest!` macros), with seed reporting for reproduction and
+//!   environment overrides for case counts;
+//! - [`bench`] — a wall-clock micro-benchmark harness in the criterion
+//!   style (warm-up, sampling, median/min reporting) for `harness =
+//!   false` bench targets;
+//! - [`json`] — a minimal JSON document builder used to emit benchmark
+//!   artifacts such as `BENCH_parallel.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{black_box, Bencher, Group, Stats};
+pub use json::Json;
+pub use prop::check;
+pub use rng::Rng;

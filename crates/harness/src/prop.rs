@@ -1,0 +1,127 @@
+//! A minimal property-test runner.
+//!
+//! [`check`] runs a property against a sequence of deterministic random
+//! cases. On failure it panics with the property name, the case index and
+//! the case seed; re-running with `MIXGEMM_PROP_SEED=<seed>` replays
+//! exactly that case. `MIXGEMM_PROP_CASES=<n>` scales every property's
+//! case count (e.g. for a nightly deep run).
+//!
+//! Properties return `Result<(), String>`; the [`ensure!`] macro provides
+//! `prop_assert!`-style early returns with formatted messages.
+
+use crate::rng::Rng;
+
+/// Base offset mixed into per-case seeds so case 0 is not seed 0.
+const SEED_SALT: u64 = 0xC0FF_EE00_D15E_A5E5;
+
+/// Runs `property` against `cases` deterministic random cases.
+///
+/// # Panics
+///
+/// Panics on the first failing case, printing the seed needed to replay
+/// it via the `MIXGEMM_PROP_SEED` environment variable.
+pub fn check<F>(name: &str, cases: u64, mut property: F)
+where
+    F: FnMut(&mut Rng) -> Result<(), String>,
+{
+    if let Ok(seed) = std::env::var("MIXGEMM_PROP_SEED") {
+        let seed: u64 = seed.parse().expect("MIXGEMM_PROP_SEED must be a u64");
+        let mut rng = Rng::new(seed);
+        if let Err(msg) = property(&mut rng) {
+            panic!("property '{name}' failed under MIXGEMM_PROP_SEED={seed}: {msg}");
+        }
+        return;
+    }
+    let cases = match std::env::var("MIXGEMM_PROP_CASES") {
+        Ok(n) => n.parse().expect("MIXGEMM_PROP_CASES must be a u64"),
+        Err(_) => cases,
+    };
+    for case in 0..cases {
+        let seed = SEED_SALT.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Rng::new(seed);
+        if let Err(msg) = property(&mut rng) {
+            panic!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (replay with MIXGEMM_PROP_SEED={seed}): {msg}"
+            );
+        }
+    }
+}
+
+/// `prop_assert!`-style check inside a [`check`] property: returns
+/// `Err(formatted message)` from the enclosing closure when the condition
+/// is false.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("condition failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality flavour of [`ensure!`], printing both sides on failure.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} != {} ({l:?} vs {r:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!("{} ({l:?} vs {r:?})", format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u64;
+        check("counts", 17, |_| {
+            ran += 1;
+            Ok(())
+        });
+        assert_eq!(ran, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "MIXGEMM_PROP_SEED")]
+    fn failing_property_reports_seed() {
+        check("fails", 4, |rng| {
+            let v = rng.usize_in(0, 100);
+            if v <= 100 {
+                Err(format!("always fails, drew {v}"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn ensure_macros_produce_errors() {
+        let f = |x: i32| -> Result<(), String> {
+            ensure!(x > 0, "x must be positive, got {x}");
+            ensure_eq!(x % 2, 0);
+            Ok(())
+        };
+        assert!(f(2).is_ok());
+        assert!(f(-1).unwrap_err().contains("positive"));
+        assert!(f(3).unwrap_err().contains("!="));
+    }
+}

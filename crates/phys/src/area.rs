@@ -95,8 +95,7 @@ pub fn soc_area_mm2(l1_kib: usize, l2_kib: usize) -> f64 {
     /// µm² per cache byte at 22 nm, from the 53 % data point.
     const UM2_PER_BYTE: f64 = 1.53;
     const BASELINE_CACHE_KIB: f64 = 32.0 + 512.0;
-    let base_logic =
-        SOC_CORE_AREA_MM2 - BASELINE_CACHE_KIB * 1024.0 * UM2_PER_BYTE / 1e6;
+    let base_logic = SOC_CORE_AREA_MM2 - BASELINE_CACHE_KIB * 1024.0 * UM2_PER_BYTE / 1e6;
     base_logic + (l1_kib + l2_kib) as f64 * 1024.0 * UM2_PER_BYTE / 1e6
 }
 

@@ -334,11 +334,17 @@ mod tests {
         let alex = bisone.benchmarks[1].unwrap();
         let lo = ours[1].min_gops / alex.min_gops;
         let hi = ours[1].max_gops / alex.max_gops;
-        assert!((lo.min(hi) - 10.46).abs() < 3.0, "AlexNet low ratio {lo:.1}/{hi:.1}");
+        assert!(
+            (lo.min(hi) - 10.46).abs() < 3.0,
+            "AlexNet low ratio {lo:.1}/{hi:.1}"
+        );
         let vgg = bisone.benchmarks[2].unwrap();
         let lo = ours[2].min_gops / vgg.min_gops;
         let hi = ours[2].max_gops / vgg.max_gops;
-        assert!(lo > 5.0 && hi < 10.0, "VGG ratios {lo:.1}..{hi:.1} vs 5.4..8.8");
+        assert!(
+            lo > 5.0 && hi < 10.0,
+            "VGG ratios {lo:.1}..{hi:.1} vs 5.4..8.8"
+        );
     }
 
     #[test]
@@ -352,7 +358,10 @@ mod tests {
         let ours = this_work_published();
         let alex_ratio = ours[1].max_gops / eyeriss.benchmarks[1].unwrap().max_gops;
         let vgg_ratio = ours[2].max_gops / eyeriss.benchmarks[2].unwrap().max_gops;
-        assert!((alex_ratio - 0.2).abs() < 0.05, "AlexNet ratio {alex_ratio:.2}");
+        assert!(
+            (alex_ratio - 0.2).abs() < 0.05,
+            "AlexNet ratio {alex_ratio:.2}"
+        );
         assert!((vgg_ratio - 0.6).abs() < 0.05, "VGG ratio {vgg_ratio:.2}");
     }
 
@@ -368,8 +377,16 @@ mod tests {
         let ey_vgg = area_efficiency(21.4, eyeriss_area);
         let r1 = mine_alex / ey_alex;
         let r2 = mine_vgg / ey_vgg;
-        assert!((r1.min(r2) - 6.7).abs() < 1.0, "Eyeriss low {:.1}", r1.min(r2));
-        assert!((r1.max(r2) - 24.0).abs() < 3.0, "Eyeriss high {:.1}", r1.max(r2));
+        assert!(
+            (r1.min(r2) - 6.7).abs() < 1.0,
+            "Eyeriss low {:.1}",
+            r1.min(r2)
+        );
+        assert!(
+            (r1.max(r2) - 24.0).abs() < 3.0,
+            "Eyeriss high {:.1}",
+            r1.max(r2)
+        );
 
         let unpu_area = scale_area_mm2(16.0, 65.0, 22.0);
         let un_alex = area_efficiency(461.1, unpu_area);

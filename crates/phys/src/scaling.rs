@@ -30,14 +30,20 @@ mod tests {
     fn eyeriss_area_ratio_matches_section_v() {
         // §V: "Mix-GEMM requires 96.8x ... less area than Eyeriss".
         let ratio = area_ratio(12.25, 65.0, UENGINE_MM2, 22.0);
-        assert!((ratio - 96.8).abs() < 3.0, "Eyeriss ratio {ratio:.1} vs 96.8");
+        assert!(
+            (ratio - 96.8).abs() < 3.0,
+            "Eyeriss ratio {ratio:.1} vs 96.8"
+        );
     }
 
     #[test]
     fn unpu_area_ratio_matches_section_v() {
         // §V: "... and 126.5x less area than UNPU".
         let ratio = area_ratio(16.0, 65.0, UENGINE_MM2, 22.0);
-        assert!((ratio - 126.5).abs() < 4.0, "UNPU ratio {ratio:.1} vs 126.5");
+        assert!(
+            (ratio - 126.5).abs() < 4.0,
+            "UNPU ratio {ratio:.1} vs 126.5"
+        );
     }
 
     #[test]

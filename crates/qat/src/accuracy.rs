@@ -224,7 +224,10 @@ mod tests {
         assert!((0.0..0.1).contains(&loss), "alexnet 4-bit loss {loss:.3}");
         let eff = for_network("efficientnet-b0").unwrap();
         let loss = eff.loss_for(pc(4, 4)).unwrap();
-        assert!((4.0..4.4).contains(&loss), "efficientnet 4-bit loss {loss:.2}");
+        assert!(
+            (4.0..4.4).contains(&loss),
+            "efficientnet 4-bit loss {loss:.2}"
+        );
     }
 
     #[test]

@@ -244,8 +244,7 @@ mod tests {
         // Average inter-class L2 distance must exceed intra-class.
         let d = ShapesDataset::generate(400, 11);
         let mean = |label: usize| -> Vec<f32> {
-            let samples: Vec<&Sample> =
-                d.train.iter().filter(|s| s.label == label).collect();
+            let samples: Vec<&Sample> = d.train.iter().filter(|s| s.label == label).collect();
             let mut m = vec![0.0; IMAGE_SIZE * IMAGE_SIZE];
             for s in &samples {
                 for (mi, &p) in m.iter_mut().zip(&s.pixels) {

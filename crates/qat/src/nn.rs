@@ -44,7 +44,11 @@ impl FakeQuant {
     /// mask (1.0 where the gradient passes, 0.0 where clamped).
     pub fn apply_per_tensor(&self, data: &mut [f32], mask: &mut [f32]) {
         let absmax = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-        let scale = if absmax > 0.0 { absmax / self.qmax() } else { 1.0 };
+        let scale = if absmax > 0.0 {
+            absmax / self.qmax()
+        } else {
+            1.0
+        };
         self.apply_with_scale(data, mask, scale);
     }
 
@@ -55,7 +59,11 @@ impl FakeQuant {
             let lo = ch * per;
             let hi = lo + per;
             let absmax = data[lo..hi].iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-            let scale = if absmax > 0.0 { absmax / self.qmax() } else { 1.0 };
+            let scale = if absmax > 0.0 {
+                absmax / self.qmax()
+            } else {
+                1.0
+            };
             self.apply_with_scale(&mut data[lo..hi], &mut mask[lo..hi], scale);
         }
     }
@@ -94,7 +102,11 @@ impl Default for Sgd {
 }
 
 fn sgd_step(sgd: &Sgd, params: &mut [f32], grads: &mut [f32], velocity: &mut [f32]) {
-    for ((p, g), v) in params.iter_mut().zip(grads.iter_mut()).zip(velocity.iter_mut()) {
+    for ((p, g), v) in params
+        .iter_mut()
+        .zip(grads.iter_mut())
+        .zip(velocity.iter_mut())
+    {
         let grad = *g + sgd.weight_decay * *p;
         *v = sgd.momentum * *v - sgd.lr * grad;
         *p += *v;
@@ -187,9 +199,8 @@ impl Conv2d {
                                     continue;
                                 }
                                 acc += x[ic * h * w + iy as usize * w + ix as usize]
-                                    * self.qweights[((oc * self.in_c + ic) * self.k + ky)
-                                        * self.k
-                                        + kx];
+                                    * self.qweights
+                                        [((oc * self.in_c + ic) * self.k + ky) * self.k + kx];
                             }
                         }
                     }
@@ -223,8 +234,7 @@ impl Conv2d {
                                     continue;
                                 }
                                 let xi = ic * h * w + iy as usize * w + ix as usize;
-                                let wi =
-                                    ((oc * self.in_c + ic) * self.k + ky) * self.k + kx;
+                                let wi = ((oc * self.in_c + ic) * self.k + ky) * self.k + kx;
                                 self.w_grad[wi] += g * self.input[xi] * self.qmask[wi];
                                 dx[xi] += g * self.qweights[wi];
                             }
@@ -411,7 +421,10 @@ impl MaxPool2 {
     ///
     /// Panics for odd extents (caller bug).
     pub fn forward(&mut self, x: &[f32], c: usize, h: usize, w: usize) -> Vec<f32> {
-        assert!(h.is_multiple_of(2) && w.is_multiple_of(2), "extents must be even");
+        assert!(
+            h.is_multiple_of(2) && w.is_multiple_of(2),
+            "extents must be even"
+        );
         let (oh, ow) = (h / 2, w / 2);
         self.in_len = x.len();
         self.argmax = Vec::with_capacity(c * oh * ow);
@@ -530,7 +543,10 @@ mod tests {
         let target: Vec<f32> = (0..32).map(|i| (i as f32 * 0.07).cos()).collect();
         let loss = |l: &mut Conv2d, x: &[f32]| -> f32 {
             let y = l.forward(x, 4, 4);
-            y.iter().zip(&target).map(|(a, b)| 0.5 * (a - b).powi(2)).sum()
+            y.iter()
+                .zip(&target)
+                .map(|(a, b)| 0.5 * (a - b).powi(2))
+                .sum()
         };
         let y = layer.forward(&x, 4, 4);
         let dy: Vec<f32> = y.iter().zip(&target).map(|(a, b)| a - b).collect();
@@ -541,8 +557,7 @@ mod tests {
             xp[i] += eps;
             let mut xm = x.clone();
             xm[i] -= eps;
-            let num =
-                (loss(&mut layer.clone(), &xp) - loss(&mut layer.clone(), &xm)) / (2.0 * eps);
+            let num = (loss(&mut layer.clone(), &xp) - loss(&mut layer.clone(), &xm)) / (2.0 * eps);
             assert!(
                 (num - dx[i]).abs() < 1e-2,
                 "dx[{i}]: analytic {} vs numeric {num}",

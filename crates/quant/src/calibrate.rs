@@ -17,10 +17,7 @@ use crate::quantizer::Quantizer;
 /// # Errors
 ///
 /// Returns [`QuantError::EmptyCalibration`] when `data` is empty.
-pub fn absmax_per_tensor(
-    operand: OperandType,
-    data: &[f32],
-) -> Result<Quantizer, QuantError> {
+pub fn absmax_per_tensor(operand: OperandType, data: &[f32]) -> Result<Quantizer, QuantError> {
     if data.is_empty() {
         return Err(QuantError::EmptyCalibration);
     }
@@ -90,9 +87,8 @@ where
         }
         let mut abs: Vec<f32> = batch.iter().map(|x| x.abs()).collect();
         abs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in calibration data"));
-        let idx = (((percentile / 100.0) * abs.len() as f64).ceil() as usize)
-            .clamp(1, abs.len())
-            - 1;
+        let idx =
+            (((percentile / 100.0) * abs.len() as f64).ceil() as usize).clamp(1, abs.len()) - 1;
         sum += abs[idx] as f64;
         count += 1;
     }
@@ -128,16 +124,8 @@ mod tests {
     fn absmax_covers_range_without_clipping() {
         let data: Vec<f32> = (-100..=100).map(|i| i as f32 * 0.05).collect();
         let q = absmax_per_tensor(s8(), &data).unwrap();
-        let max_q = data
-            .iter()
-            .map(|&x| q.quantize_value(x, 0))
-            .max()
-            .unwrap();
-        let min_q = data
-            .iter()
-            .map(|&x| q.quantize_value(x, 0))
-            .min()
-            .unwrap();
+        let max_q = data.iter().map(|&x| q.quantize_value(x, 0)).max().unwrap();
+        let min_q = data.iter().map(|&x| q.quantize_value(x, 0)).min().unwrap();
         assert_eq!(max_q, 127);
         assert!((-128..=-126).contains(&min_q));
     }
@@ -173,8 +161,7 @@ mod tests {
     fn percentile_averages_batches() {
         let b1 = vec![1.0f32; 100];
         let b2 = vec![3.0f32; 100];
-        let q = percentile_per_tensor(s8(), [b1.as_slice(), b2.as_slice()], 100.0)
-            .unwrap();
+        let q = percentile_per_tensor(s8(), [b1.as_slice(), b2.as_slice()], 100.0).unwrap();
         // absmax average = 2.0 -> scale = 2 / 127.
         assert!((q.scale(0) - 2.0 / 127.0).abs() < 1e-6);
     }

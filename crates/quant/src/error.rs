@@ -39,7 +39,10 @@ impl fmt::Display for QuantError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QuantError::InvalidScale { scale } => {
-                write!(f, "quantization scale {scale} must be a positive finite number")
+                write!(
+                    f,
+                    "quantization scale {scale} must be a positive finite number"
+                )
             }
             QuantError::ChannelMismatch { scales, channels } => write!(
                 f,
@@ -49,9 +52,7 @@ impl fmt::Display for QuantError {
                 f,
                 "data of length {len} is not divisible into {channels} channels"
             ),
-            QuantError::EmptyCalibration => {
-                f.write_str("calibration requires at least one sample")
-            }
+            QuantError::EmptyCalibration => f.write_str("calibration requires at least one sample"),
             QuantError::InvalidPercentile { percentile } => {
                 write!(f, "percentile {percentile} must be in (0, 100]")
             }

@@ -254,22 +254,14 @@ mod tests {
         assert_eq!(q.quantize_value(-1.0, 0), -10);
         assert_eq!(q.quantize_value(1000.0, 0), 127);
         assert_eq!(q.quantize_value(-1000.0, 0), -128);
-        let u4 = Quantizer::per_tensor_symmetric(
-            OperandType::unsigned(DataSize::B4),
-            1.0,
-        );
+        let u4 = Quantizer::per_tensor_symmetric(OperandType::unsigned(DataSize::B4), 1.0);
         assert_eq!(u4.quantize_value(-3.0, 0), 0);
         assert_eq!(u4.quantize_value(20.0, 0), 15);
     }
 
     #[test]
     fn asymmetric_zero_point() {
-        let q = Quantizer::try_per_tensor(
-            OperandType::unsigned(DataSize::B8),
-            0.5,
-            128,
-        )
-        .unwrap();
+        let q = Quantizer::try_per_tensor(OperandType::unsigned(DataSize::B8), 0.5, 128).unwrap();
         assert!(!q.is_symmetric());
         assert_eq!(q.quantize_value(0.0, 0), 128);
         assert_eq!(q.quantize_value(-10.0, 0), 108);
@@ -287,8 +279,7 @@ mod tests {
 
     #[test]
     fn per_channel_uses_channel_scale() {
-        let q =
-            Quantizer::per_channel_symmetric(s8(), vec![0.1, 1.0]).unwrap();
+        let q = Quantizer::per_channel_symmetric(s8(), vec![0.1, 1.0]).unwrap();
         assert_eq!(q.channels(), 2);
         let data = vec![1.0, 2.0, 1.0, 2.0];
         let quantized = q.quantize_slice(&data).unwrap();
@@ -299,8 +290,7 @@ mod tests {
 
     #[test]
     fn per_channel_shape_checked() {
-        let q =
-            Quantizer::per_channel_symmetric(s8(), vec![0.1, 1.0, 2.0]).unwrap();
+        let q = Quantizer::per_channel_symmetric(s8(), vec![0.1, 1.0, 2.0]).unwrap();
         assert!(matches!(
             q.quantize_slice(&[1.0; 4]),
             Err(QuantError::ShapeMismatch { .. })

@@ -51,8 +51,7 @@ impl RequantParams {
         if weight_scales.is_empty() {
             return Err(QuantError::EmptyCalibration);
         }
-        if !bias.is_empty() && weight_scales.len() > 1 && bias.len() != weight_scales.len()
-        {
+        if !bias.is_empty() && weight_scales.len() > 1 && bias.len() != weight_scales.len() {
             return Err(QuantError::ChannelMismatch {
                 scales: weight_scales.len(),
                 channels: bias.len(),
@@ -105,7 +104,9 @@ impl RequantParams {
 #[inline]
 pub fn requantize_value(params: &RequantParams, acc: i32, channel: usize) -> i32 {
     let real = acc as f32 * params.accumulator_scale(channel) + params.bias_for(channel);
-    params.output.quantize_value(real, channel.min(params.output.channels() - 1))
+    params
+        .output
+        .quantize_value(real, channel.min(params.output.channels() - 1))
 }
 
 /// Requantizes a row-major `rows x cols` accumulator matrix whose columns
@@ -169,8 +170,6 @@ mod tests {
         assert!(RequantParams::new(0.0, vec![1.0], vec![], out_u8()).is_err());
         assert!(RequantParams::new(1.0, vec![], vec![], out_u8()).is_err());
         assert!(RequantParams::new(1.0, vec![-1.0], vec![], out_u8()).is_err());
-        assert!(
-            RequantParams::new(1.0, vec![1.0, 1.0], vec![0.0; 3], out_u8()).is_err()
-        );
+        assert!(RequantParams::new(1.0, vec![1.0, 1.0], vec![0.0; 3], out_u8()).is_err());
     }
 }

@@ -148,10 +148,7 @@ mod tests {
 
     #[test]
     fn quantize_dequantize_roundtrip_error_bound() {
-        let q = Quantizer::per_tensor_symmetric(
-            OperandType::signed(DataSize::B8),
-            0.05,
-        );
+        let q = Quantizer::per_tensor_symmetric(OperandType::signed(DataSize::B8), 0.05);
         let data: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 0.1).collect();
         let t = QuantTensor::quantize(&data, vec![8, 8], q.clone()).unwrap();
         let back = t.dequantize();
@@ -162,10 +159,7 @@ mod tests {
 
     #[test]
     fn shape_validation() {
-        let q = Quantizer::per_tensor_symmetric(
-            OperandType::signed(DataSize::B8),
-            1.0,
-        );
+        let q = Quantizer::per_tensor_symmetric(OperandType::signed(DataSize::B8), 1.0);
         assert!(QuantTensor::quantize(&[1.0; 5], vec![2, 3], q.clone()).is_err());
         assert!(QuantTensor::from_values(vec![1; 5], vec![2, 3], q).is_err());
     }
@@ -183,10 +177,7 @@ mod tests {
 
     #[test]
     fn from_values_range_checked() {
-        let q = Quantizer::per_tensor_symmetric(
-            OperandType::unsigned(DataSize::B4),
-            1.0,
-        );
+        let q = Quantizer::per_tensor_symmetric(OperandType::unsigned(DataSize::B4), 1.0);
         assert!(QuantTensor::from_values(vec![0, 15], vec![2], q.clone()).is_ok());
         assert!(QuantTensor::from_values(vec![0, 16], vec![2], q).is_err());
     }
@@ -199,7 +190,9 @@ mod tests {
                 OperandType::unsigned(DataSize::new(bits).unwrap()),
                 1.0,
             );
-            QuantTensor::quantize(&data, vec![256], q).unwrap().packed_bytes()
+            QuantTensor::quantize(&data, vec![256], q)
+                .unwrap()
+                .packed_bytes()
         };
         assert_eq!(mk(8), 256);
         assert_eq!(mk(4), 128);

@@ -1,48 +1,48 @@
 //! Property-based tests of the quantization layer.
 
+use mixgemm_harness::{check, ensure, Rng};
 use mixgemm_quant::{calibrate, requantize_value, DataSize, OperandType, Quantizer, RequantParams};
-use proptest::prelude::*;
 
-fn operand() -> impl Strategy<Value = OperandType> {
-    (2u8..=8, prop::bool::ANY).prop_map(|(bits, signed)| {
-        let size = DataSize::new(bits).unwrap();
-        if signed {
-            OperandType::signed(size)
-        } else {
-            OperandType::unsigned(size)
-        }
-    })
+fn operand(rng: &mut Rng) -> OperandType {
+    let size = DataSize::new(rng.u8_in(2, 8)).unwrap();
+    if rng.flip() {
+        OperandType::signed(size)
+    } else {
+        OperandType::unsigned(size)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Quantization always lands in the Eq. 2 range and dequantization
-    /// inverts it within half a step (for values inside the covered
-    /// range).
-    #[test]
-    fn quantize_respects_range_and_roundtrips(
-        op in operand(),
-        scale in 1e-4f32..1e3,
-        x in -1e4f32..1e4,
-    ) {
+/// Quantization always lands in the Eq. 2 range and dequantization
+/// inverts it within half a step (for values inside the covered range).
+#[test]
+fn quantize_respects_range_and_roundtrips() {
+    check("quantize_respects_range_and_roundtrips", 256, |rng| {
+        let op = operand(rng);
+        let scale = rng.f32_in(1e-4, 1e3);
+        let x = rng.f32_in(-1e4, 1e4);
         let q = Quantizer::per_tensor_symmetric(op, scale);
         let v = q.quantize_value(x, 0);
-        prop_assert!(v >= op.min_value() && v <= op.max_value());
+        ensure!(v >= op.min_value() && v <= op.max_value());
         let covered = (op.min_value() as f32 * scale)..=(op.max_value() as f32 * scale);
         if covered.contains(&x) {
             let back = q.dequantize_value(v, 0);
-            prop_assert!((back - x).abs() <= scale * 0.5 + 1e-5);
+            ensure!(
+                (back - x).abs() <= scale * 0.5 + 1e-5,
+                "x = {x}, back = {back}, scale = {scale}"
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Absmax calibration never clips: every calibrated sample
-    /// dequantizes within half a scale step.
-    #[test]
-    fn absmax_calibration_never_clips(
-        op in operand(),
-        data in prop::collection::vec(-100f32..100.0, 1..80),
-    ) {
+/// Absmax calibration never clips: every calibrated sample dequantizes
+/// within half a scale step.
+#[test]
+fn absmax_calibration_never_clips() {
+    check("absmax_calibration_never_clips", 256, |rng| {
+        let op = operand(rng);
+        let len = rng.usize_in(1, 79);
+        let data = rng.vec_of(len, |r| r.f32_in(-100.0, 100.0));
         let q = calibrate::absmax_per_tensor(op, &data).unwrap();
         for &x in &data {
             // Unsigned operands cannot represent negatives; skip those.
@@ -50,46 +50,45 @@ proptest! {
                 continue;
             }
             let back = q.dequantize_value(q.quantize_value(x, 0), 0);
-            prop_assert!(
+            ensure!(
                 (back - x).abs() <= q.scale(0) * 0.5 + 1e-4,
                 "x = {x}, back = {back}, scale = {}",
                 q.scale(0)
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Requantization commutes with the real-domain computation within
-    /// one output step.
-    #[test]
-    fn requantize_matches_real_domain(
-        acc in -100_000i32..100_000,
-        sa in 1e-3f32..1.0,
-        sw in 1e-3f32..1.0,
-        so in 1e-2f32..10.0,
-    ) {
-        let out = Quantizer::per_tensor_symmetric(
-            OperandType::signed(DataSize::B8),
-            so,
-        );
+/// Requantization commutes with the real-domain computation within one
+/// output step.
+#[test]
+fn requantize_matches_real_domain() {
+    check("requantize_matches_real_domain", 256, |rng| {
+        let acc = rng.i32_in(-100_000, 100_000);
+        let sa = rng.f32_in(1e-3, 1.0);
+        let sw = rng.f32_in(1e-3, 1.0);
+        let so = rng.f32_in(1e-2, 10.0);
+        let out = Quantizer::per_tensor_symmetric(OperandType::signed(DataSize::B8), so);
         let params = RequantParams::new(sa, vec![sw], vec![], out.clone()).unwrap();
         let got = requantize_value(&params, acc, 0);
         let real = acc as f32 * sa * sw;
-        let ideal = (real / so).round()
-            .clamp(-128.0, 127.0) as i32;
-        prop_assert!((got - ideal).abs() <= 1, "got {got} vs ideal {ideal}");
-    }
+        let ideal = (real / so).round().clamp(-128.0, 127.0) as i32;
+        ensure!((got - ideal).abs() <= 1, "got {got} vs ideal {ideal}");
+        Ok(())
+    });
+}
 
-    /// Per-channel calibration never uses a coarser scale than
-    /// per-tensor (the channel absmax is bounded by the global absmax),
-    /// and its total error stays in the same ballpark or better —
-    /// exact rounding outcomes can favour either, so the error check is
-    /// a bounded-factor one.
-    #[test]
-    fn per_channel_at_least_as_good_as_per_tensor(
-        chans in 2usize..6,
-        per in 4usize..20,
-        seed in 0u64..500,
-    ) {
+/// Per-channel calibration never uses a coarser scale than per-tensor
+/// (the channel absmax is bounded by the global absmax), and its total
+/// error stays in the same ballpark or better — exact rounding outcomes
+/// can favour either, so the error check is a bounded-factor one.
+#[test]
+fn per_channel_at_least_as_good_as_per_tensor() {
+    check("per_channel_at_least_as_good_as_per_tensor", 256, |rng| {
+        let chans = rng.usize_in(2, 5);
+        let per = rng.usize_in(4, 19);
+        let seed = rng.next_u64() % 500;
         let op = OperandType::signed(DataSize::B4);
         let data: Vec<f32> = (0..chans * per)
             .map(|i| {
@@ -101,13 +100,17 @@ proptest! {
         let qt = calibrate::absmax_per_tensor(op, &data).unwrap();
         let qc = calibrate::absmax_per_channel(op, &data, chans).unwrap();
         for ch in 0..chans {
-            prop_assert!(qc.scale(ch) <= qt.scale(0) + 1e-9);
+            ensure!(qc.scale(ch) <= qt.scale(0) + 1e-9);
         }
         let err = |q: &Quantizer| -> f64 {
             let quant = q.quantize_slice(&data).unwrap();
             let back = q.dequantize_slice(&quant).unwrap();
-            data.iter().zip(&back).map(|(a, b)| ((a - b) as f64).powi(2)).sum()
+            data.iter()
+                .zip(&back)
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum()
         };
-        prop_assert!(err(&qc) <= err(&qt) * 1.5 + 1e-9);
-    }
+        ensure!(err(&qc) <= err(&qt) * 1.5 + 1e-9);
+        Ok(())
+    });
 }

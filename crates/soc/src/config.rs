@@ -77,7 +77,7 @@ impl SocConfig {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::presets;
 
     #[test]

@@ -210,10 +210,7 @@ impl Core {
 
     /// Cycle at which `reg` is available.
     pub fn reg_ready_at(&self, reg: Reg) -> u64 {
-        self.reg_ready
-            .get(reg.0 as usize)
-            .copied()
-            .unwrap_or(0)
+        self.reg_ready.get(reg.0 as usize).copied().unwrap_or(0)
     }
 
     fn op_timing(&self, op: Op) -> (u32, u32) {

@@ -188,13 +188,7 @@ mod tests {
         let pc = PrecisionConfig::from_bits(a, w).unwrap();
         let shape = ChunkShape::balanced(pc);
         let (oa, ob) = pc.operand_types();
-        EngineConfig::new(
-            BinSegConfig::new(oa, ob),
-            shape.kua(),
-            shape.kub(),
-            16,
-        )
-        .unwrap()
+        EngineConfig::new(BinSegConfig::new(oa, ob), shape.kua(), shape.kub(), 16).unwrap()
     }
 
     #[test]

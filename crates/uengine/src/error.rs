@@ -55,11 +55,14 @@ impl fmt::Display for EngineError {
                 "AccMem footprint of {requested} slots exceeds capacity {capacity} or is zero"
             ),
             EngineError::SlotOutOfRange { slot, active } => {
-                write!(f, "AccMem slot {slot} outside the active footprint {active}")
+                write!(
+                    f,
+                    "AccMem slot {slot} outside the active footprint {active}"
+                )
             }
-            EngineError::Deadlock => f.write_str(
-                "source buffers full while the engine is starved for the other operand",
-            ),
+            EngineError::Deadlock => {
+                f.write_str("source buffers full while the engine is starved for the other operand")
+            }
             EngineError::MissingAOperand => {
                 f.write_str("bs.ip carried no A µ-vector but the chunk still expects one")
             }

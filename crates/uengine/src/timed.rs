@@ -116,12 +116,7 @@ impl TimedEngine {
     ///
     /// Returns [`EngineError::Deadlock`] when buffered work is pending.
     pub fn bs_set(&mut self, cfg: EngineConfig) -> Result<(), EngineError> {
-        let at_chunk_boundary = self
-            .walk
-            .clone()
-            .next()
-            .map(|s| s.pos == 0)
-            .unwrap_or(true);
+        let at_chunk_boundary = self.walk.clone().next().map(|s| s.pos == 0).unwrap_or(true);
         if !self.is_idle() || !at_chunk_boundary {
             return Err(EngineError::Deadlock);
         }
@@ -215,14 +210,44 @@ impl TimedEngine {
             return Err(EngineError::MissingBOperand);
         }
 
+        // Each buffer has its own write handshake: an operand is written
+        // as soon as its buffer has room, even while the core stalls on
+        // the other side. This matters when one buffer is full with a
+        // partially-consumed µ-vector whose remaining elements need this
+        // very instruction's other operand (depth 1 with kua != kub):
+        // writing the free side first lets the engine drain the full one,
+        // which a strict wait-both-then-write order would misreport as a
+        // deadlock. A deadlocked side always implies the other buffer is
+        // empty (the engine quiesces only when starved), so the early
+        // write never overflows.
         let mut at = now;
+        let mut queued_a = false;
+        let mut queued_b = false;
         if expects_a {
-            at = self.wait_for_space(Side::A, at)?;
+            match self.wait_for_space(Side::A, at) {
+                Ok(t) => at = t,
+                Err(EngineError::Deadlock) if expects_b => {
+                    self.buf_b.push_back((b.expect("checked above"), at));
+                    queued_b = true;
+                    self.advance()?;
+                    at = self.wait_for_space(Side::A, at)?;
+                }
+                Err(e) => return Err(e),
+            }
         }
-        if expects_b {
-            at = self.wait_for_space(Side::B, at)?;
+        if expects_b && !queued_b {
+            match self.wait_for_space(Side::B, at) {
+                Ok(t) => at = t,
+                Err(EngineError::Deadlock) if expects_a => {
+                    self.buf_a.push_back((a.expect("checked above"), at));
+                    queued_a = true;
+                    self.advance()?;
+                    at = self.wait_for_space(Side::B, at)?;
+                }
+                Err(e) => return Err(e),
+            }
             // Waiting on B may have let more A releases pass; re-check A.
-            if expects_a {
+            if expects_a && !queued_a {
                 at = self.wait_for_space(Side::A, at)?;
             }
         }
@@ -231,10 +256,10 @@ impl TimedEngine {
         self.pmu.ip_instructions += 1;
         self.ip_count += 1;
 
-        if expects_a {
+        if expects_a && !queued_a {
             self.buf_a.push_back((a.expect("checked above"), at));
         }
-        if expects_b {
+        if expects_b && !queued_b {
             self.buf_b.push_back((b.expect("checked above"), at));
         }
         self.latest_issue = at;
@@ -296,18 +321,9 @@ impl TimedEngine {
     /// Returns [`mixgemm_binseg::BinSegError`] wrapped as a slot error
     /// only if the configuration is inconsistent; with words produced by
     /// `muvec::pack_slice` this cannot fail.
-    pub fn compute_chunk_functional(
-        cfg: &EngineConfig,
-        a_words: &[u64],
-        b_words: &[u64],
-    ) -> i64 {
-        mixgemm_binseg::ip::inner_product(
-            cfg.binseg(),
-            a_words,
-            b_words,
-            cfg.chunk_len(),
-        )
-        .expect("chunk word counts are validated by the caller")
+    pub fn compute_chunk_functional(cfg: &EngineConfig, a_words: &[u64], b_words: &[u64]) -> i64 {
+        mixgemm_binseg::ip::inner_product(cfg.binseg(), a_words, b_words, cfg.chunk_len())
+            .expect("chunk word counts are validated by the caller")
     }
 
     /// Processes every step whose operands are buffered, scheduling each
@@ -320,8 +336,7 @@ impl TimedEngine {
                 self.finish_chunk();
                 continue;
             };
-            let (Some(&(aw, a_arr)), Some(&(bw, b_arr))) =
-                (self.buf_a.front(), self.buf_b.front())
+            let (Some(&(aw, a_arr)), Some(&(bw, b_arr))) = (self.buf_a.front(), self.buf_b.front())
             else {
                 return Ok(()); // starved: wait for more issues
             };

@@ -187,7 +187,10 @@ fn issue_faster_than_drain_is_limited_by_engine_throughput() {
     let (_, done) = engine.bs_get(t, 0).unwrap();
     let busy = engine.pmu().busy_cycles;
     assert_eq!(busy, 32 * cfg.chunk_cycles() as u64);
-    assert!(done >= busy, "end-to-end time {done} below busy cycles {busy}");
+    assert!(
+        done >= busy,
+        "end-to-end time {done} below busy cycles {busy}"
+    );
     // The pipeline overlaps issue and execution: the total must be far
     // below the serialized sum of issue + execute.
     assert!(done < busy + 32 * cfg.kua() as u64);

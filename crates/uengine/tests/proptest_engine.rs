@@ -4,27 +4,25 @@
 
 use mixgemm_binseg::chunk::ChunkShape;
 use mixgemm_binseg::{muvec, BinSegConfig, PrecisionConfig};
+use mixgemm_harness::{check, ensure, ensure_eq, Rng};
 use mixgemm_uengine::{EngineConfig, TimedEngine};
-use proptest::prelude::*;
 
-fn precision() -> impl Strategy<Value = PrecisionConfig> {
-    (2u8..=8, 2u8..=8).prop_map(|(a, w)| PrecisionConfig::from_bits(a, w).unwrap())
+fn precision(rng: &mut Rng) -> PrecisionConfig {
+    PrecisionConfig::from_bits(rng.u8_in(2, 8), rng.u8_in(2, 8)).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Random values, random issue gaps, random (small) buffer depths: the
+/// accumulated value always equals the naive inner product and timing
+/// invariants hold.
+#[test]
+fn engine_matches_naive_under_random_conditions() {
+    check("engine_matches_naive_under_random_conditions", 64, |rng| {
+        let pc = precision(rng);
+        let chunks = rng.usize_in(1, 3);
+        let depth = rng.usize_in(1, 19);
+        let gap = rng.next_u64() % 5;
+        let seed = rng.next_u64() % 10_000;
 
-    /// Random values, random issue gaps, random (small) buffer depths:
-    /// the accumulated value always equals the naive inner product and
-    /// timing invariants hold.
-    #[test]
-    fn engine_matches_naive_under_random_conditions(
-        pc in precision(),
-        chunks in 1usize..4,
-        depth in 1usize..20,
-        gap in 0u64..5,
-        seed in 0u64..10_000,
-    ) {
         let shape = ChunkShape::balanced(pc);
         let (oa, ob) = pc.operand_types();
         let binseg = BinSegConfig::new(oa, ob);
@@ -34,8 +32,8 @@ proptest! {
         let gen = |salt: u64, op: mixgemm_binseg::OperandType, i: usize| -> i32 {
             let span = (op.max_value() - op.min_value() + 1) as u64;
             (op.min_value() as i64
-                + ((seed.wrapping_mul(salt).wrapping_add(i as u64 * 2654435761)) % span)
-                    as i64) as i32
+                + ((seed.wrapping_mul(salt).wrapping_add(i as u64 * 2654435761)) % span) as i64)
+                as i32
         };
 
         let mut engine = TimedEngine::new(cfg, depth);
@@ -44,7 +42,11 @@ proptest! {
         for c in 0..chunks {
             let a: Vec<i32> = (0..len).map(|i| gen(13 + c as u64, oa, i)).collect();
             let b: Vec<i32> = (0..len).map(|i| gen(31 + c as u64, ob, i)).collect();
-            expected += a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum::<i64>();
+            expected += a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| x as i64 * y as i64)
+                .sum::<i64>();
             let mut aw = muvec::pack_slice(oa, &a).unwrap();
             let mut bw = muvec::pack_slice(ob, &b).unwrap();
             aw.resize(cfg.kua(), 0);
@@ -54,33 +56,31 @@ proptest! {
                 let b_op = (k < cfg.kub()).then(|| bw[k]);
                 let out = engine.issue_ip(t, a_op, b_op).unwrap();
                 // Issue never completes before it was requested.
-                prop_assert!(out.completes_at >= t);
+                ensure!(out.completes_at >= t);
                 t = out.completes_at + 1 + gap;
             }
         }
         let (value, done) = engine.bs_get(t, 0).unwrap();
-        prop_assert_eq!(value, expected);
-        prop_assert!(done >= engine.pmu().busy_cycles);
+        ensure_eq!(value, expected);
+        ensure!(done >= engine.pmu().busy_cycles);
         // Exactly the logical work was retired.
-        prop_assert_eq!(engine.pmu().macs, (len * chunks) as u64);
-        prop_assert_eq!(engine.pmu().chunks, chunks as u64);
-    }
+        ensure_eq!(engine.pmu().macs, (len * chunks) as u64);
+        ensure_eq!(engine.pmu().chunks, chunks as u64);
+        Ok(())
+    });
+}
 
-    /// Slower issue (bigger gaps) never makes the engine finish earlier,
-    /// and deeper buffers never stall more.
-    #[test]
-    fn stalls_monotone_in_depth(
-        pc in precision(),
-        seed in 0u64..1000,
-    ) {
+/// Slower issue (bigger gaps) never makes the engine finish earlier, and
+/// deeper buffers never stall more.
+#[test]
+fn stalls_monotone_in_depth() {
+    check("stalls_monotone_in_depth", 64, |rng| {
+        let pc = precision(rng);
+        let seed = rng.next_u64() % 1000;
         let shape = ChunkShape::balanced(pc);
         let (oa, ob) = pc.operand_types();
-        let cfg = EngineConfig::new(
-            BinSegConfig::new(oa, ob),
-            shape.kua(),
-            shape.kub(),
-            1,
-        ).unwrap();
+        let cfg =
+            EngineConfig::new(BinSegConfig::new(oa, ob), shape.kua(), shape.kub(), 1).unwrap();
         let run = |depth: usize| -> u64 {
             let mut engine = TimedEngine::new(cfg, depth);
             let mut t = seed % 7; // arbitrary start time
@@ -96,6 +96,7 @@ proptest! {
         };
         let shallow = run(2);
         let deep = run(32);
-        prop_assert!(deep <= shallow);
-    }
+        ensure!(deep <= shallow, "deep {deep} > shallow {shallow}");
+        Ok(())
+    });
 }

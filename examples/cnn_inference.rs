@@ -11,17 +11,35 @@ use mixgemm::dnn::{zoo, ActKind, Network, OpKind, Shape};
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // A small CIFAR-scale CNN we can run functionally in milliseconds.
     let mut net = Network::new("demo-cnn", Shape::new(3, 32, 32));
-    net.push_seq(OpKind::Conv2d { out_c: 16, k: 3, stride: 1, pad: 1, groups: 1 })?;
+    net.push_seq(OpKind::Conv2d {
+        out_c: 16,
+        k: 3,
+        stride: 1,
+        pad: 1,
+        groups: 1,
+    })?;
     net.push_seq(OpKind::Activation(ActKind::Relu))?;
-    net.push_seq(OpKind::MaxPool { k: 2, stride: 2, pad: 0 })?;
-    net.push_seq(OpKind::Conv2d { out_c: 32, k: 3, stride: 1, pad: 1, groups: 1 })?;
+    net.push_seq(OpKind::MaxPool {
+        k: 2,
+        stride: 2,
+        pad: 0,
+    })?;
+    net.push_seq(OpKind::Conv2d {
+        out_c: 32,
+        k: 3,
+        stride: 1,
+        pad: 1,
+        groups: 1,
+    })?;
     net.push_seq(OpKind::Activation(ActKind::Relu))?;
     net.push_seq(OpKind::GlobalAvgPool)?;
     net.push_seq(OpKind::Linear { out_features: 10 })?;
 
     let input = Tensor::new(
         Shape::new(3, 32, 32),
-        (0..3 * 32 * 32).map(|i| ((i * 37) % 100) as f32 / 100.0).collect(),
+        (0..3 * 32 * 32)
+            .map(|i| ((i * 37) % 100) as f32 / 100.0)
+            .collect(),
     )?;
 
     println!("Functional quantized inference on {net}:");
@@ -39,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, v)| (i, *v))
             .unwrap();
-        println!("  {pc}: logits[0..3] = {:?}, argmax = {}", &out.data[..3], best.0);
+        println!(
+            "  {pc}: logits[0..3] = {:?}, argmax = {}",
+            &out.data[..3],
+            best.0
+        );
     }
 
     // Per-layer anatomy of one network at a4-w4.

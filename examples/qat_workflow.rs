@@ -12,7 +12,14 @@ fn main() {
     println!("QAT on the synthetic shapes dataset (600 samples, 6 epochs):\n");
     let dataset = ShapesDataset::generate(600, 42);
 
-    for quant in [None, Some((8, 8)), Some((6, 6)), Some((4, 4)), Some((3, 3)), Some((2, 2))] {
+    for quant in [
+        None,
+        Some((8, 8)),
+        Some((6, 6)),
+        Some((4, 4)),
+        Some((3, 3)),
+        Some((2, 2)),
+    ] {
         let cfg = TrainConfig {
             epochs: 6,
             quant_bits: quant,

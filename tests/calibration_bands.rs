@@ -22,13 +22,22 @@ fn fig6_speedup_anchors() {
     let dgemm = baseline::simulate(BaselineKind::DgemmF64, dims, Fidelity::Sampled).unwrap();
 
     let s8 = mix("a8-w8", dims).speedup_over(&dgemm);
-    assert!((9.0..12.5).contains(&s8), "a8-w8 speedup {s8:.1} vs paper 10.2");
+    assert!(
+        (9.0..12.5).contains(&s8),
+        "a8-w8 speedup {s8:.1} vs paper 10.2"
+    );
 
     let s4 = mix("a4-w4", dims).speedup_over(&dgemm);
-    assert!((13.5..19.0).contains(&s4), "a4-w4 speedup {s4:.1} vs paper ~16");
+    assert!(
+        (13.5..19.0).contains(&s4),
+        "a4-w4 speedup {s4:.1} vs paper ~16"
+    );
 
     let s2 = mix("a2-w2", dims).speedup_over(&dgemm);
-    assert!((23.0..30.0).contains(&s2), "a2-w2 speedup {s2:.1} vs paper 27.2");
+    assert!(
+        (23.0..30.0).contains(&s2),
+        "a2-w2 speedup {s2:.1} vs paper 27.2"
+    );
 
     // Monotone scaling along the precision axis (the paper's headline).
     let mut last = f64::INFINITY;
@@ -48,16 +57,26 @@ fn int8_blis_anchor() {
     let dgemm = baseline::simulate(BaselineKind::DgemmF64, dims, Fidelity::Sampled).unwrap();
     let i8 = baseline::simulate(BaselineKind::GemmI8Scalar, dims, Fidelity::Sampled).unwrap();
     let s = i8.speedup_over(&dgemm);
-    assert!((1.3..3.2).contains(&s), "int8 BLIS speedup {s:.2} vs paper 2.5");
+    assert!(
+        (1.3..3.2).contains(&s),
+        "int8 BLIS speedup {s:.2} vs paper 2.5"
+    );
 }
 
 /// Table III baseline row: OpenBLAS FP32 on the U740 at ~0.9 GOPS.
 #[test]
 fn u740_fp32_anchor() {
-    let r = baseline::simulate(BaselineKind::SgemmF32, GemmDims::square(1024), Fidelity::Sampled)
-        .unwrap();
+    let r = baseline::simulate(
+        BaselineKind::SgemmF32,
+        GemmDims::square(1024),
+        Fidelity::Sampled,
+    )
+    .unwrap();
     let gops = r.gops();
-    assert!((0.6..1.3).contains(&gops), "U740 FP32 at {gops:.2} GOPS vs paper 0.9");
+    assert!(
+        (0.6..1.3).contains(&gops),
+        "U740 FP32 at {gops:.2} GOPS vs paper 0.9"
+    );
 }
 
 /// Table III row [33]: GEMMLowp on the Cortex-A53 at 4.7-5.8 GOPS.
@@ -70,7 +89,10 @@ fn gemmlowp_a53_anchor() {
     )
     .unwrap();
     let gops = r.gops();
-    assert!((3.2..6.5).contains(&gops), "GEMMLowp at {gops:.2} GOPS vs paper 4.7-5.8");
+    assert!(
+        (3.2..6.5).contains(&gops),
+        "GEMMLowp at {gops:.2} GOPS vs paper 4.7-5.8"
+    );
 }
 
 /// Fig. 7 / Table III "This work" rows: the six CNNs land in (or near)
@@ -128,8 +150,7 @@ fn cache_shrink_penalty_band() {
         .iter()
         .map(|s| s.parse().unwrap())
         .collect();
-    let rows =
-        dse::cache_sweep(&[(32, 512), (16, 64)], &configs, GemmDims::square(1024)).unwrap();
+    let rows = dse::cache_sweep(&[(32, 512), (16, 64)], &configs, GemmDims::square(1024)).unwrap();
     let slowdown = rows[1].slowdown - 1.0;
     assert!(
         (0.0..0.45).contains(&slowdown),

@@ -7,26 +7,23 @@ use mixgemm::gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel, QuantMatrix}
 use mixgemm::quant::calibrate;
 use mixgemm::uengine::{EngineConfig, TimedEngine, DEFAULT_SRCBUF_DEPTH};
 use mixgemm::PrecisionConfig;
-use proptest::prelude::*;
+use mixgemm_harness::{check, ensure, ensure_eq, Rng};
 
-fn precision_strategy() -> impl Strategy<Value = PrecisionConfig> {
-    (2u8..=8, 2u8..=8).prop_map(|(a, w)| PrecisionConfig::from_bits(a, w).unwrap())
+fn precision(rng: &mut Rng) -> PrecisionConfig {
+    PrecisionConfig::from_bits(rng.u8_in(2, 8), rng.u8_in(2, 8)).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// GEMM through binary segmentation equals naive integer GEMM for
-    /// random shapes, precisions and values.
-    #[test]
-    fn gemm_functional_equivalence(
-        precision in precision_strategy(),
-        m in 1usize..10,
-        k in 1usize..60,
-        n in 1usize..8,
-        seed in 0u64..1000,
-    ) {
-        let (oa, ow) = precision.operand_types();
+/// GEMM through binary segmentation equals naive integer GEMM for
+/// random shapes, precisions and values.
+#[test]
+fn gemm_functional_equivalence() {
+    check("gemm_functional_equivalence", 48, |rng| {
+        let pc = precision(rng);
+        let m = rng.usize_in(1, 9);
+        let k = rng.usize_in(1, 59);
+        let n = rng.usize_in(1, 7);
+        let seed = rng.next_u64() % 1000;
+        let (oa, ow) = pc.operand_types();
         let a = QuantMatrix::from_fn(m, k, oa, |i, j| {
             let span = (oa.max_value() - oa.min_value() + 1) as u64;
             (oa.min_value() as i64
@@ -39,21 +36,23 @@ proptest! {
                 + ((seed.wrapping_mul(17).wrapping_add((i * n + j) as u64 * 5)) % span) as i64)
                 as i32
         });
-        let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+        let kernel = MixGemmKernel::new(GemmOptions::new(pc));
         let via_binseg = kernel.compute(&a, &b).unwrap();
         let via_plain = kernel.compute_fast(&a, &b).unwrap();
-        prop_assert_eq!(via_binseg, via_plain);
-    }
+        ensure_eq!(via_binseg, via_plain);
+        Ok(())
+    });
+}
 
-    /// The timed µ-engine accumulates exactly what the software inner
-    /// product computes, chunk by chunk.
-    #[test]
-    fn timed_engine_functional_equivalence(
-        precision in precision_strategy(),
-        seed in 0u64..500,
-    ) {
-        let shape = ChunkShape::balanced(precision);
-        let (oa, ow) = precision.operand_types();
+/// The timed µ-engine accumulates exactly what the software inner
+/// product computes, chunk by chunk.
+#[test]
+fn timed_engine_functional_equivalence() {
+    check("timed_engine_functional_equivalence", 48, |rng| {
+        let pc = precision(rng);
+        let seed = rng.next_u64() % 500;
+        let shape = ChunkShape::balanced(pc);
+        let (oa, ow) = pc.operand_types();
         let binseg = BinSegConfig::new(oa, ow);
         let cfg = EngineConfig::new(binseg, shape.kua(), shape.kub(), 1).unwrap();
         let len = cfg.chunk_len();
@@ -83,16 +82,18 @@ proptest! {
         }
         let (value, _) = engine.bs_get(t, 0).unwrap();
         let expected: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
-        prop_assert_eq!(value, expected);
-    }
+        ensure_eq!(value, expected);
+        Ok(())
+    });
+}
 
-    /// Calibrated quantization roundtrips within half a scale step.
-    #[test]
-    fn calibration_roundtrip_error_bound(
-        bits in 2u8..=8,
-        scale_exp in -3i32..3,
-        seed in 0u64..100,
-    ) {
+/// Calibrated quantization roundtrips within half a scale step.
+#[test]
+fn calibration_roundtrip_error_bound() {
+    check("calibration_roundtrip_error_bound", 48, |rng| {
+        let bits = rng.u8_in(2, 8);
+        let scale_exp = rng.i32_in(-3, 2);
+        let seed = rng.next_u64() % 100;
         let op = mixgemm::OperandType::signed(mixgemm::DataSize::new(bits).unwrap());
         let magnitude = 10f32.powi(scale_exp);
         let data: Vec<f32> = (0..64)
@@ -104,21 +105,33 @@ proptest! {
         let q = calibrate::absmax_per_tensor(op, &data).unwrap();
         for &x in &data {
             let back = q.dequantize_value(q.quantize_value(x, 0), 0);
-            prop_assert!((back - x).abs() <= q.scale(0) * 0.5 + 1e-6);
+            ensure!(
+                (back - x).abs() <= q.scale(0) * 0.5 + 1e-6,
+                "bits = {bits}, x = {x}, back = {back}"
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Timing simulation is deterministic and monotone in problem size.
-    #[test]
-    fn simulation_determinism_and_monotonicity(
-        precision in precision_strategy(),
-        s in 2usize..6,
-    ) {
-        let kernel = MixGemmKernel::new(GemmOptions::new(precision));
-        let small = kernel.simulate(GemmDims::square(16 * s), Fidelity::Full).unwrap();
-        let small2 = kernel.simulate(GemmDims::square(16 * s), Fidelity::Full).unwrap();
-        prop_assert_eq!(small.cycles, small2.cycles);
-        let big = kernel.simulate(GemmDims::square(32 * s), Fidelity::Full).unwrap();
-        prop_assert!(big.cycles > small.cycles);
-    }
+/// Timing simulation is deterministic and monotone in problem size.
+#[test]
+fn simulation_determinism_and_monotonicity() {
+    check("simulation_determinism_and_monotonicity", 48, |rng| {
+        let pc = precision(rng);
+        let s = rng.usize_in(2, 5);
+        let kernel = MixGemmKernel::new(GemmOptions::new(pc));
+        let small = kernel
+            .simulate(GemmDims::square(16 * s), Fidelity::Full)
+            .unwrap();
+        let small2 = kernel
+            .simulate(GemmDims::square(16 * s), Fidelity::Full)
+            .unwrap();
+        ensure_eq!(small.cycles, small2.cycles);
+        let big = kernel
+            .simulate(GemmDims::square(32 * s), Fidelity::Full)
+            .unwrap();
+        ensure!(big.cycles > small.cycles);
+        Ok(())
+    });
 }

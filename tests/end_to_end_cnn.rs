@@ -35,7 +35,9 @@ fn quantized_forward_is_finite_and_precision_sensitive() {
     let net = tiny_net();
     let input = Tensor::new(
         Shape::new(3, 16, 16),
-        (0..3 * 256).map(|i| ((i * 29) % 101) as f32 / 101.0).collect(),
+        (0..3 * 256)
+            .map(|i| ((i * 29) % 101) as f32 / 101.0)
+            .collect(),
     )
     .unwrap();
     let run = |bits: u8| {
@@ -91,11 +93,6 @@ fn depthwise_and_dense_convs_coexist() {
     let s = soc
         .run_network(&net, PrecisionPlan::uniform("a4-w4".parse().unwrap()))
         .unwrap();
-    let dw_layers = s
-        .perf
-        .layers
-        .iter()
-        .filter(|l| l.reps > 1)
-        .count();
+    let dw_layers = s.perf.layers.iter().filter(|l| l.reps > 1).count();
     assert_eq!(dw_layers, 13, "13 depthwise stages expected");
 }

@@ -33,17 +33,8 @@ fn quantize_gemm_requantize_roundtrip() {
 
     // Requantize the accumulators to unsigned 8-bit outputs.
     // Signed output: GEMM accumulators can be negative before the ReLU.
-    let out_q = Quantizer::per_tensor_symmetric(
-        OperandType::signed(mixgemm::DataSize::B8),
-        0.25,
-    );
-    let params = RequantParams::new(
-        qa.scale(0),
-        vec![qb.scale(0)],
-        vec![],
-        out_q.clone(),
-    )
-    .unwrap();
+    let out_q = Quantizer::per_tensor_symmetric(OperandType::signed(mixgemm::DataSize::B8), 0.25);
+    let params = RequantParams::new(qa.scale(0), vec![qb.scale(0)], vec![], out_q.clone()).unwrap();
     let acc_i32: Vec<i32> = c.iter().map(|&v| v as i32).collect();
     let requantized = requantize(&params, &acc_i32, n);
 
