@@ -1,0 +1,99 @@
+//! Observability artifact: drive the [`Session`] API on a Fig. 6 GEMM
+//! shape and an AlexNet sweep, and dump everything the metrics layer
+//! recorded — pack/kernel span times, µ-engine PMU busy cycles,
+//! operand-cache and simulation-cache hit rates — to
+//! `METRICS_session.json`.
+//!
+//! Run with: `cargo run --release -p mixgemm-bench --bin session_metrics`
+//! (`MIXGEMM_BENCH_QUICK=1` for a smoke run.)
+
+use std::sync::Arc;
+
+use mixgemm::api::Session;
+use mixgemm::dnn::runtime::PrecisionPlan;
+use mixgemm::dnn::zoo;
+use mixgemm::gemm::QuantMatrix;
+use mixgemm::PrecisionConfig;
+use mixgemm_harness::{Json, MetricsRegistry};
+
+fn main() {
+    let quick = std::env::var("MIXGEMM_BENCH_QUICK").is_ok();
+    let n = if quick { 64 } else { 256 };
+    let precision = PrecisionConfig::A4W4;
+
+    // One registry observes every run, so the artifact aggregates the
+    // GEMM spans and the network simulation in a single report.
+    let recorder = Arc::new(MetricsRegistry::new());
+    let session = Session::builder()
+        .precision(precision)
+        .observe(recorder.clone())
+        .build();
+
+    println!("session_metrics — {precision} {n}^3 GEMM + AlexNet, instrumented\n");
+
+    let (oa, ow) = precision.operand_types();
+    let a = QuantMatrix::from_fn(n, n, oa, |i, j| ((i * 7 + j * 3) % 14) as i32);
+    let b = QuantMatrix::from_fn(n, n, ow, |i, j| ((i * 5 + j) % 13) as i32 - 6);
+
+    // Two runs against the same matrices: the first packs the operands
+    // (cache misses), the second reuses them (hits).
+    let first = session.run(&a, &b).expect("gemm run");
+    let second = session.run(&a, &b).expect("gemm run");
+    assert_eq!(first.c, second.c, "repeated runs must be bit-identical");
+    println!(
+        "GEMM: {:.2} GOPS, pmu busy {} cycles",
+        second.report.gops(),
+        second.report.pmu.map(|p| p.busy_cycles).unwrap_or(0)
+    );
+
+    // Two network sweeps: the second hits the process-wide SimCache for
+    // every shape the first one simulated.
+    let net = zoo::alexnet();
+    let plan = PrecisionPlan::uniform(precision);
+    for _ in 0..2 {
+        let r = session.run_network(&net, &plan).expect("network run");
+        println!(
+            "AlexNet: {:.2} conv GOPS, simcache hit rate {:?}",
+            r.perf.conv_gops(),
+            r.metrics.hit_rate("dnn.simcache")
+        );
+    }
+
+    // The cumulative report over all four runs.
+    let report = session.metrics();
+    for required in [
+        "gemm/pack_a",
+        "gemm/pack_b",
+        "gemm/kernel",
+        "simulate_network",
+    ] {
+        assert!(
+            report.span(required).is_some(),
+            "artifact must contain the `{required}` span"
+        );
+    }
+    assert!(
+        report.gauge("uengine.pmu.busy_cycles").unwrap_or(0.0) > 0.0,
+        "artifact must contain PMU busy cycles"
+    );
+    let operand_hits = report
+        .hit_rate("gemm.operand_cache")
+        .expect("operand cache");
+    let sim_hits = report.hit_rate("dnn.simcache").expect("sim cache");
+    assert!(
+        operand_hits > 0.0,
+        "second GEMM run must hit the pack cache"
+    );
+    assert!(sim_hits > 0.0, "second network run must hit the sim cache");
+
+    let doc = Json::obj()
+        .field("bench", "session_metrics")
+        .field("shape", format!("{n}x{n}x{n}"))
+        .field("precision", precision.to_string())
+        .field("network", net.name())
+        .field("operand_cache_hit_rate", operand_hits)
+        .field("simcache_hit_rate", sim_hits)
+        .field("metrics", report.to_json());
+    std::fs::write("METRICS_session.json", doc.pretty()).expect("write METRICS_session.json");
+    println!("\nwrote METRICS_session.json");
+}

@@ -1,5 +1,5 @@
 //! Table I: the design-space exploration selecting the Mix-GEMM
-//! blocking and µ-engine parameters. The analytical model of [45]
+//! blocking and µ-engine parameters. The analytical model of \[45\]
 //! yields the optimum; a simulated neighbourhood sweep confirms it.
 //!
 //! Run with: `cargo run --release -p mixgemm-bench --bin table1_dse`

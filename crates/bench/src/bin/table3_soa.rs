@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release -p mixgemm-bench --bin table3_soa`
 
-use mixgemm::api::EdgeSoc;
+use mixgemm::api::{EdgeSoc, Session};
 use mixgemm::dnn::im2col::{conv_gemm_dims, ConvGeom};
 use mixgemm::dnn::runtime::PrecisionPlan;
 use mixgemm::dnn::{zoo, Shape};
@@ -70,8 +70,15 @@ fn main() {
     {
         // Convolution*.
         let dims = conv_star_dims();
-        let lo = soc.run_gemm(pc("a8-w8"), dims).expect("sim");
-        let hi = soc.run_gemm(pc("a2-w2"), dims).expect("sim");
+        let sim = |cfg: &str| {
+            Session::builder()
+                .precision(pc(cfg))
+                .build()
+                .simulate(dims)
+                .expect("sim")
+        };
+        let lo = sim("a8-w8");
+        let hi = sim("a2-w2");
         print!(" {:>11}", format!("{:.1}-{:.1}", lo.gops(), hi.gops()));
         measured.push((lo.gops(), hi.gops(), lo.gops_per_watt(), hi.gops_per_watt()));
     }
@@ -150,7 +157,11 @@ fn main() {
                 r.cycles_per_mac()
             );
         }
-        let mix = soc.run_gemm(pc("a8-w8"), dims).expect("sim");
+        let mix = Session::builder()
+            .precision(pc("a8-w8"))
+            .build()
+            .simulate(dims)
+            .expect("sim");
         println!(
             "  {:<22} {:>7.2} GOPS ({:.3} cycles/MAC)",
             "mix-gemm (a8-w8)",

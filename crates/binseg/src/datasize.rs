@@ -273,6 +273,120 @@ impl PrecisionConfig {
         }
     }
 
+    /// `aX-wY` constants for all 49 supported combinations, so callers
+    /// can write `PrecisionConfig::A4W4` instead of parsing `"a4-w4"`.
+    ///
+    /// Generated for every activation/weight pair in `2..=8` bits.
+    #[rustfmt::skip]
+    pub const ALL: [PrecisionConfig; 49] = [
+        Self::A2W2, Self::A2W3, Self::A2W4, Self::A2W5, Self::A2W6, Self::A2W7, Self::A2W8,
+        Self::A3W2, Self::A3W3, Self::A3W4, Self::A3W5, Self::A3W6, Self::A3W7, Self::A3W8,
+        Self::A4W2, Self::A4W3, Self::A4W4, Self::A4W5, Self::A4W6, Self::A4W7, Self::A4W8,
+        Self::A5W2, Self::A5W3, Self::A5W4, Self::A5W5, Self::A5W6, Self::A5W7, Self::A5W8,
+        Self::A6W2, Self::A6W3, Self::A6W4, Self::A6W5, Self::A6W6, Self::A6W7, Self::A6W8,
+        Self::A7W2, Self::A7W3, Self::A7W4, Self::A7W5, Self::A7W6, Self::A7W7, Self::A7W8,
+        Self::A8W2, Self::A8W3, Self::A8W4, Self::A8W5, Self::A8W6, Self::A8W7, Self::A8W8,
+    ];
+
+    /// The `a2-w2` configuration.
+    pub const A2W2: PrecisionConfig = PrecisionConfig::new(DataSize::B2, DataSize::B2);
+    /// The `a2-w3` configuration.
+    pub const A2W3: PrecisionConfig = PrecisionConfig::new(DataSize::B2, DataSize::B3);
+    /// The `a2-w4` configuration.
+    pub const A2W4: PrecisionConfig = PrecisionConfig::new(DataSize::B2, DataSize::B4);
+    /// The `a2-w5` configuration.
+    pub const A2W5: PrecisionConfig = PrecisionConfig::new(DataSize::B2, DataSize::B5);
+    /// The `a2-w6` configuration.
+    pub const A2W6: PrecisionConfig = PrecisionConfig::new(DataSize::B2, DataSize::B6);
+    /// The `a2-w7` configuration.
+    pub const A2W7: PrecisionConfig = PrecisionConfig::new(DataSize::B2, DataSize::B7);
+    /// The `a2-w8` configuration.
+    pub const A2W8: PrecisionConfig = PrecisionConfig::new(DataSize::B2, DataSize::B8);
+    /// The `a3-w2` configuration.
+    pub const A3W2: PrecisionConfig = PrecisionConfig::new(DataSize::B3, DataSize::B2);
+    /// The `a3-w3` configuration.
+    pub const A3W3: PrecisionConfig = PrecisionConfig::new(DataSize::B3, DataSize::B3);
+    /// The `a3-w4` configuration.
+    pub const A3W4: PrecisionConfig = PrecisionConfig::new(DataSize::B3, DataSize::B4);
+    /// The `a3-w5` configuration.
+    pub const A3W5: PrecisionConfig = PrecisionConfig::new(DataSize::B3, DataSize::B5);
+    /// The `a3-w6` configuration.
+    pub const A3W6: PrecisionConfig = PrecisionConfig::new(DataSize::B3, DataSize::B6);
+    /// The `a3-w7` configuration.
+    pub const A3W7: PrecisionConfig = PrecisionConfig::new(DataSize::B3, DataSize::B7);
+    /// The `a3-w8` configuration.
+    pub const A3W8: PrecisionConfig = PrecisionConfig::new(DataSize::B3, DataSize::B8);
+    /// The `a4-w2` configuration.
+    pub const A4W2: PrecisionConfig = PrecisionConfig::new(DataSize::B4, DataSize::B2);
+    /// The `a4-w3` configuration.
+    pub const A4W3: PrecisionConfig = PrecisionConfig::new(DataSize::B4, DataSize::B3);
+    /// The `a4-w4` configuration.
+    pub const A4W4: PrecisionConfig = PrecisionConfig::new(DataSize::B4, DataSize::B4);
+    /// The `a4-w5` configuration.
+    pub const A4W5: PrecisionConfig = PrecisionConfig::new(DataSize::B4, DataSize::B5);
+    /// The `a4-w6` configuration.
+    pub const A4W6: PrecisionConfig = PrecisionConfig::new(DataSize::B4, DataSize::B6);
+    /// The `a4-w7` configuration.
+    pub const A4W7: PrecisionConfig = PrecisionConfig::new(DataSize::B4, DataSize::B7);
+    /// The `a4-w8` configuration.
+    pub const A4W8: PrecisionConfig = PrecisionConfig::new(DataSize::B4, DataSize::B8);
+    /// The `a5-w2` configuration.
+    pub const A5W2: PrecisionConfig = PrecisionConfig::new(DataSize::B5, DataSize::B2);
+    /// The `a5-w3` configuration.
+    pub const A5W3: PrecisionConfig = PrecisionConfig::new(DataSize::B5, DataSize::B3);
+    /// The `a5-w4` configuration.
+    pub const A5W4: PrecisionConfig = PrecisionConfig::new(DataSize::B5, DataSize::B4);
+    /// The `a5-w5` configuration.
+    pub const A5W5: PrecisionConfig = PrecisionConfig::new(DataSize::B5, DataSize::B5);
+    /// The `a5-w6` configuration.
+    pub const A5W6: PrecisionConfig = PrecisionConfig::new(DataSize::B5, DataSize::B6);
+    /// The `a5-w7` configuration.
+    pub const A5W7: PrecisionConfig = PrecisionConfig::new(DataSize::B5, DataSize::B7);
+    /// The `a5-w8` configuration.
+    pub const A5W8: PrecisionConfig = PrecisionConfig::new(DataSize::B5, DataSize::B8);
+    /// The `a6-w2` configuration.
+    pub const A6W2: PrecisionConfig = PrecisionConfig::new(DataSize::B6, DataSize::B2);
+    /// The `a6-w3` configuration.
+    pub const A6W3: PrecisionConfig = PrecisionConfig::new(DataSize::B6, DataSize::B3);
+    /// The `a6-w4` configuration.
+    pub const A6W4: PrecisionConfig = PrecisionConfig::new(DataSize::B6, DataSize::B4);
+    /// The `a6-w5` configuration.
+    pub const A6W5: PrecisionConfig = PrecisionConfig::new(DataSize::B6, DataSize::B5);
+    /// The `a6-w6` configuration.
+    pub const A6W6: PrecisionConfig = PrecisionConfig::new(DataSize::B6, DataSize::B6);
+    /// The `a6-w7` configuration.
+    pub const A6W7: PrecisionConfig = PrecisionConfig::new(DataSize::B6, DataSize::B7);
+    /// The `a6-w8` configuration.
+    pub const A6W8: PrecisionConfig = PrecisionConfig::new(DataSize::B6, DataSize::B8);
+    /// The `a7-w2` configuration.
+    pub const A7W2: PrecisionConfig = PrecisionConfig::new(DataSize::B7, DataSize::B2);
+    /// The `a7-w3` configuration.
+    pub const A7W3: PrecisionConfig = PrecisionConfig::new(DataSize::B7, DataSize::B3);
+    /// The `a7-w4` configuration.
+    pub const A7W4: PrecisionConfig = PrecisionConfig::new(DataSize::B7, DataSize::B4);
+    /// The `a7-w5` configuration.
+    pub const A7W5: PrecisionConfig = PrecisionConfig::new(DataSize::B7, DataSize::B5);
+    /// The `a7-w6` configuration.
+    pub const A7W6: PrecisionConfig = PrecisionConfig::new(DataSize::B7, DataSize::B6);
+    /// The `a7-w7` configuration.
+    pub const A7W7: PrecisionConfig = PrecisionConfig::new(DataSize::B7, DataSize::B7);
+    /// The `a7-w8` configuration.
+    pub const A7W8: PrecisionConfig = PrecisionConfig::new(DataSize::B7, DataSize::B8);
+    /// The `a8-w2` configuration.
+    pub const A8W2: PrecisionConfig = PrecisionConfig::new(DataSize::B8, DataSize::B2);
+    /// The `a8-w3` configuration.
+    pub const A8W3: PrecisionConfig = PrecisionConfig::new(DataSize::B8, DataSize::B3);
+    /// The `a8-w4` configuration.
+    pub const A8W4: PrecisionConfig = PrecisionConfig::new(DataSize::B8, DataSize::B4);
+    /// The `a8-w5` configuration.
+    pub const A8W5: PrecisionConfig = PrecisionConfig::new(DataSize::B8, DataSize::B5);
+    /// The `a8-w6` configuration.
+    pub const A8W6: PrecisionConfig = PrecisionConfig::new(DataSize::B8, DataSize::B6);
+    /// The `a8-w7` configuration.
+    pub const A8W7: PrecisionConfig = PrecisionConfig::new(DataSize::B8, DataSize::B7);
+    /// The `a8-w8` configuration.
+    pub const A8W8: PrecisionConfig = PrecisionConfig::new(DataSize::B8, DataSize::B8);
+
     /// Parses a pair of bit widths, e.g. `PrecisionConfig::from_bits(8, 4)`.
     ///
     /// # Errors
@@ -418,6 +532,19 @@ mod tests {
     fn pair_counts() {
         assert_eq!(PrecisionConfig::all_pairs().count(), 49);
         assert_eq!(PrecisionConfig::canonical_pairs().count(), 28);
+    }
+
+    #[test]
+    fn consts_match_parsed_configs() {
+        assert_eq!(PrecisionConfig::A4W4, "a4-w4".parse().unwrap());
+        assert_eq!(PrecisionConfig::A8W2, "a8-w2".parse().unwrap());
+        assert_eq!(PrecisionConfig::A2W8, "a2-w8".parse().unwrap());
+        // ALL enumerates exactly the same 49 pairs as all_pairs().
+        let from_iter: Vec<PrecisionConfig> = PrecisionConfig::all_pairs().collect();
+        assert_eq!(PrecisionConfig::ALL.to_vec(), from_iter);
+        for pc in PrecisionConfig::ALL {
+            assert_eq!(pc, pc.to_string().parse().unwrap());
+        }
     }
 
     #[test]

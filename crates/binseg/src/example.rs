@@ -6,7 +6,7 @@
 //! 8 bits and an input-cluster size of 2, so the computation proceeds as
 //! two cluster multiplications:
 //!
-//! | step | A cluster | B cluster (reversed) | product | slice [15:8] |
+//! | step | A cluster | B cluster (reversed) | product | slice \[15:8\] |
 //! |------|-----------|----------------------|---------|--------------|
 //! | 1    | `1031` (= 4·256 + 7) | `515` (= 2·256 + 3) | `530965` | `26` |
 //! | 2    | `774`  (= 3·256 + 6) | `256` (= 1·256 + 0) | `198144` | `6`  |

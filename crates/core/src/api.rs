@@ -1,0 +1,420 @@
+//! High-level convenience API combining the timing, functional and
+//! physical models.
+//!
+//! [`Session`] is the primary entry point: one builder-configured object
+//! that computes bit-exact GEMMs, times them on the modelled SoC, and
+//! reports the observability layer's counters and span timings for
+//! every run. The older [`EdgeSoc`] facade remains for platform
+//! construction and network sweeps; its stringly-typed
+//! [`EdgeSoc::run_gemm`] flow is deprecated in favor of
+//! `Session` with [`PrecisionConfig`] constants such as
+//! [`PrecisionConfig::A4W4`].
+
+use std::sync::Arc;
+
+use mixgemm_binseg::PrecisionConfig;
+use mixgemm_dnn::runtime::{self, NetworkPerf, PrecisionPlan};
+use mixgemm_dnn::Network;
+use mixgemm_gemm::baseline::{self, BaselineKind};
+use mixgemm_gemm::{
+    Fidelity, GemmDims, GemmOptions, GemmReport, MixGemmKernel, Parallelism, QuantMatrix,
+};
+use mixgemm_harness::metrics::{self, MetricsRegistry, MetricsReport, Recorder};
+use mixgemm_phys::energy::ActivityProfile;
+use mixgemm_qat::accuracy;
+use mixgemm_soc::{presets, SocConfig};
+
+use crate::error::Error;
+
+/// Errors surfaced by the legacy [`EdgeSoc`] facade; new code should use
+/// [`Session`], which returns the concrete [`crate::Error`].
+pub type ApiError = Box<dyn std::error::Error + Send + Sync>;
+
+/// An evaluated edge platform: a SoC preset plus µ-engine sizing.
+#[derive(Clone, Debug)]
+pub struct EdgeSoc {
+    soc: SocConfig,
+    srcbuf_depth: usize,
+}
+
+impl EdgeSoc {
+    /// The paper's Sargantana-like RV64 edge SoC with the Table I
+    /// µ-engine configuration.
+    pub fn sargantana() -> Self {
+        EdgeSoc {
+            soc: presets::sargantana(),
+            srcbuf_depth: mixgemm_uengine::DEFAULT_SRCBUF_DEPTH,
+        }
+    }
+
+    /// The same core with reduced caches (§IV-B exploration).
+    pub fn sargantana_small_caches(l1_kib: usize, l2_kib: usize) -> Self {
+        EdgeSoc {
+            soc: presets::sargantana_small_caches(l1_kib, l2_kib),
+            srcbuf_depth: mixgemm_uengine::DEFAULT_SRCBUF_DEPTH,
+        }
+    }
+
+    /// Overrides the Source Buffer depth (§III-C DSE).
+    pub fn with_srcbuf_depth(mut self, depth: usize) -> Self {
+        self.srcbuf_depth = depth;
+        self
+    }
+
+    /// The underlying SoC configuration.
+    pub fn soc(&self) -> &SocConfig {
+        &self.soc
+    }
+
+    /// The configured Source Buffer depth.
+    pub fn srcbuf_depth(&self) -> usize {
+        self.srcbuf_depth
+    }
+
+    fn gemm_options(&self, precision: PrecisionConfig) -> GemmOptions {
+        let mut opts = GemmOptions::new(precision);
+        opts.soc = self.soc;
+        opts.srcbuf_depth = self.srcbuf_depth;
+        opts
+    }
+
+    /// Simulates one Mix-GEMM execution and derives its efficiency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GEMM simulation errors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a Session instead: `Session::builder().platform(soc).precision(PrecisionConfig::A4W4).build()`"
+    )]
+    pub fn run_gemm(
+        &self,
+        precision: PrecisionConfig,
+        dims: GemmDims,
+    ) -> Result<GemmSummary, ApiError> {
+        let report =
+            MixGemmKernel::new(self.gemm_options(precision)).simulate(dims, Fidelity::Sampled)?;
+        Ok(GemmSummary::from_report(report))
+    }
+
+    /// Simulates a baseline kernel on its default platform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GEMM simulation errors.
+    pub fn run_baseline(&self, kind: BaselineKind, dims: GemmDims) -> Result<GemmReport, ApiError> {
+        Ok(baseline::simulate(kind, dims, Fidelity::Sampled)?)
+    }
+
+    /// Times a whole network under a precision plan, attaching the
+    /// paper's TOP-1 accuracy when the network and configuration are
+    /// in the published tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn run_network(
+        &self,
+        net: &Network,
+        plan: PrecisionPlan,
+    ) -> Result<NetworkSummary, ApiError> {
+        let perf = runtime::simulate_network_with(net, &plan, Fidelity::Sampled, |pc| {
+            self.gemm_options(pc)
+        })?;
+        let top1 = accuracy::for_network(net.name()).and_then(|t| t.top1_for(plan.default));
+        Ok(NetworkSummary { perf, top1 })
+    }
+}
+
+/// A GEMM run with derived throughput and efficiency.
+#[derive(Clone, Debug)]
+pub struct GemmSummary {
+    /// The simulation report.
+    pub report: GemmReport,
+}
+
+impl GemmSummary {
+    fn from_report(report: GemmReport) -> Self {
+        GemmSummary { report }
+    }
+
+    /// Throughput in GOPS.
+    pub fn gops(&self) -> f64 {
+        self.report.gops()
+    }
+
+    /// Efficiency in GOPS/W from the §IV-C energy model.
+    pub fn gops_per_watt(&self) -> f64 {
+        let busy = self.report.pmu.map(|p| p.busy_cycles).unwrap_or(0);
+        ActivityProfile {
+            total_cycles: self.report.cycles,
+            busy_cycles: busy,
+            macs: self.report.macs,
+            freq_ghz: self.report.freq_ghz,
+        }
+        .gops_per_watt()
+    }
+}
+
+/// A network run with derived metrics and (when published) accuracy.
+#[derive(Clone, Debug)]
+pub struct NetworkSummary {
+    /// Per-layer performance.
+    pub perf: NetworkPerf,
+    /// Paper TOP-1 accuracy for the plan's default configuration,
+    /// when recorded.
+    pub top1: Option<f64>,
+}
+
+impl NetworkSummary {
+    /// Conv-layer throughput in GOPS (the paper's Fig. 7 metric).
+    pub fn conv_gops(&self) -> f64 {
+        self.perf.conv_gops()
+    }
+
+    /// Conv-layer efficiency in GOPS/W (§IV-C).
+    pub fn conv_gops_per_watt(&self) -> f64 {
+        ActivityProfile {
+            total_cycles: self.perf.conv_cycles(),
+            busy_cycles: self.perf.conv_busy_cycles(),
+            macs: self.perf.conv_macs(),
+            freq_ghz: self.perf.freq_ghz,
+        }
+        .gops_per_watt()
+    }
+
+    /// Frames per second over all GEMM layers.
+    pub fn fps(&self) -> f64 {
+        self.perf.fps()
+    }
+}
+
+/// Configures a [`Session`] (see [`Session::builder`]).
+#[derive(Clone, Debug)]
+pub struct SessionBuilder {
+    platform: EdgeSoc,
+    precision: PrecisionConfig,
+    parallelism: Parallelism,
+    fidelity: Fidelity,
+    recorder: Option<Recorder>,
+}
+
+impl SessionBuilder {
+    /// The activation/weight precision (defaults to
+    /// [`PrecisionConfig::A8W8`]).
+    pub fn precision(mut self, precision: PrecisionConfig) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Host-thread parallelism for the functional compute paths
+    /// (defaults to serial; results are bit-identical either way).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The platform to time on (defaults to [`EdgeSoc::sargantana`]).
+    pub fn platform(mut self, platform: EdgeSoc) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Timing-simulation fidelity (defaults to [`Fidelity::Sampled`]).
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Records metrics and spans into `recorder` instead of a fresh
+    /// per-session registry — use this to aggregate several sessions
+    /// into one registry, or to observe a session from outside.
+    pub fn observe(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Session {
+        Session {
+            kernel: MixGemmKernel::new(
+                self.platform
+                    .gemm_options(self.precision)
+                    .with_parallelism(self.parallelism),
+            ),
+            platform: self.platform,
+            fidelity: self.fidelity,
+            recorder: self
+                .recorder
+                .unwrap_or_else(|| Arc::new(MetricsRegistry::new())),
+        }
+    }
+}
+
+/// The outcome of one [`Session::run`]: the exact result matrix, the
+/// cycle-level timing report, and everything the observability layer
+/// recorded during the run.
+#[derive(Clone, Debug)]
+pub struct GemmResult {
+    /// The computed C matrix (row-major `m x n`), bit-identical to the
+    /// uninstrumented serial reference for every configuration.
+    pub c: Vec<i64>,
+    /// Cycle-level simulation of the same problem on the session's
+    /// platform.
+    pub report: GemmReport,
+    /// Counters, gauges and span timings recorded during this run:
+    /// pack/kernel/shard wall-clock spans, operand-cache hits and
+    /// misses, PMU and cache-hierarchy gauges from `report`.
+    pub metrics: MetricsReport,
+}
+
+/// The outcome of one [`Session::run_network`].
+#[derive(Clone, Debug)]
+pub struct NetworkResult {
+    /// Per-layer performance.
+    pub perf: NetworkPerf,
+    /// Paper TOP-1 accuracy for the plan's default configuration, when
+    /// recorded.
+    pub top1: Option<f64>,
+    /// Counters and span timings recorded during this run: per-layer
+    /// spans, per-shape simulation spans, simulation-cache hit/miss
+    /// counters.
+    pub metrics: MetricsReport,
+}
+
+/// One configured Mix-GEMM execution context: platform, precision,
+/// parallelism and an observability recorder, behind a single entry
+/// point.
+///
+/// `Session` supersedes calling the
+/// `compute` / `compute_fast` / `compute_parallel` triad on
+/// [`MixGemmKernel`] directly: one [`Session::run`] call returns the
+/// bit-exact result, the cycle-level report *and* the metrics the run
+/// produced. Instrumentation never changes results — the computed `C`
+/// is property-tested bit-identical to the uninstrumented path.
+///
+/// ```
+/// use mixgemm::api::Session;
+/// use mixgemm::gemm::QuantMatrix;
+/// use mixgemm::PrecisionConfig;
+///
+/// # fn main() -> Result<(), mixgemm::Error> {
+/// let session = Session::builder()
+///     .precision(PrecisionConfig::A4W4)
+///     .build();
+/// let (oa, ow) = PrecisionConfig::A4W4.operand_types();
+/// let a = QuantMatrix::from_fn(16, 32, oa, |r, c| (r + c) as i32 % 8);
+/// let b = QuantMatrix::from_fn(32, 8, ow, |r, c| (r * c) as i32 % 5 - 2);
+/// let result = session.run(&a, &b)?;
+/// assert_eq!(result.c.len(), 16 * 8);
+/// assert!(result.metrics.counter("gemm.operand_cache.miss") > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Session {
+    kernel: MixGemmKernel,
+    platform: EdgeSoc,
+    fidelity: Fidelity,
+    recorder: Recorder,
+}
+
+impl Session {
+    /// Starts configuring a session: Sargantana platform, `a8-w8`,
+    /// serial, sampled fidelity, fresh metrics registry.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder {
+            platform: EdgeSoc::sargantana(),
+            precision: PrecisionConfig::A8W8,
+            parallelism: Parallelism::serial(),
+            fidelity: Fidelity::Sampled,
+            recorder: None,
+        }
+    }
+
+    /// The registry this session records into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The session's GEMM options (precision, blocking, SoC,
+    /// parallelism).
+    pub fn options(&self) -> &GemmOptions {
+        self.kernel.options()
+    }
+
+    /// Everything the session's registry has recorded so far, across
+    /// runs.
+    pub fn metrics(&self) -> MetricsReport {
+        self.recorder.report()
+    }
+
+    /// Computes `C = A * B` bit-exactly through the binary-segmentation
+    /// path, times the same problem on the modelled SoC, and returns
+    /// both with the metrics recorded along the way (pack/kernel span
+    /// times, operand-cache hits, PMU busy cycles, cache miss rates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Gemm`] on dimension mismatches, invalid
+    /// blocking parameters, or µ-engine protocol violations.
+    pub fn run(&self, a: &QuantMatrix, b: &QuantMatrix) -> Result<GemmResult, Error> {
+        let snap = self.recorder.snapshot();
+        let (c, report) = metrics::with_recorder(self.recorder.clone(), || {
+            let c = self.kernel.compute(a, b)?;
+            let dims = GemmDims::new(a.rows(), a.cols(), b.cols());
+            let report = self.kernel.simulate(dims, self.fidelity)?;
+            Ok::<_, Error>((c, report))
+        })?;
+        report.export_metrics(&self.recorder);
+        Ok(GemmResult {
+            c,
+            report,
+            metrics: self.recorder.report_since(&snap),
+        })
+    }
+
+    /// Times an `m x k x n` problem on the session's platform without
+    /// materializing operands — the cycle-level simulation is
+    /// data-independent — and derives throughput and efficiency.
+    ///
+    /// The report's gauges (`sim.*`, `soc.*`, `uengine.pmu.*`) land in
+    /// the session's registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Gemm`] on invalid blocking parameters or
+    /// µ-engine protocol violations.
+    pub fn simulate(&self, dims: GemmDims) -> Result<GemmSummary, Error> {
+        let report = metrics::with_recorder(self.recorder.clone(), || {
+            self.kernel.simulate(dims, self.fidelity)
+        })?;
+        report.export_metrics(&self.recorder);
+        Ok(GemmSummary::from_report(report))
+    }
+
+    /// Times a whole network under `plan` on the session's platform,
+    /// recording per-layer spans, per-shape simulation spans and
+    /// simulation-cache hit rates into the session's registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Dnn`] on simulation failures.
+    pub fn run_network(&self, net: &Network, plan: &PrecisionPlan) -> Result<NetworkResult, Error> {
+        let snap = self.recorder.snapshot();
+        let opts = self.kernel.options();
+        let perf = metrics::with_recorder(self.recorder.clone(), || {
+            runtime::simulate_network_with(net, plan, self.fidelity, |pc| {
+                self.platform
+                    .gemm_options(pc)
+                    .with_parallelism(opts.parallelism)
+            })
+        })?;
+        let top1 = accuracy::for_network(net.name()).and_then(|t| t.top1_for(plan.default));
+        Ok(NetworkResult {
+            perf,
+            top1,
+            metrics: self.recorder.report_since(&snap),
+        })
+    }
+}

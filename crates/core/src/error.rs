@@ -1,0 +1,91 @@
+//! The unified workspace error type.
+//!
+//! Every crate in the workspace keeps its own focused error enum
+//! ([`BinSegError`], [`QuantError`], [`EngineError`], [`GemmError`],
+//! [`DnnError`]); this module folds them into one [`enum@Error`] so
+//! high-level callers — [`crate::api::Session`] above all — get a
+//! concrete error type with `From` conversions instead of threading
+//! `Box<dyn Error>` through their signatures.
+
+use std::fmt;
+
+use mixgemm_binseg::BinSegError;
+use mixgemm_dnn::DnnError;
+use mixgemm_gemm::GemmError;
+use mixgemm_quant::QuantError;
+use mixgemm_uengine::EngineError;
+
+/// Any error the Mix-GEMM workspace can produce, by originating layer.
+///
+/// Lower layers stay wrapped where they occurred: a binary-segmentation
+/// range error raised inside a GEMM arrives as
+/// `Error::Gemm(GemmError::Value(..))`, not as `Error::BinSeg` — the
+/// variant tells you which subsystem failed.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Binary-segmentation arithmetic or parsing failed.
+    BinSeg(BinSegError),
+    /// Quantization failed.
+    Quant(QuantError),
+    /// The µ-engine model rejected a request.
+    Engine(EngineError),
+    /// A GEMM computation or simulation failed.
+    Gemm(GemmError),
+    /// Network construction or inference failed.
+    Dnn(DnnError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BinSeg(e) => write!(f, "binseg: {e}"),
+            Error::Quant(e) => write!(f, "quant: {e}"),
+            Error::Engine(e) => write!(f, "uengine: {e}"),
+            Error::Gemm(e) => write!(f, "gemm: {e}"),
+            Error::Dnn(e) => write!(f, "dnn: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::BinSeg(e) => Some(e),
+            Error::Quant(e) => Some(e),
+            Error::Engine(e) => Some(e),
+            Error::Gemm(e) => Some(e),
+            Error::Dnn(e) => Some(e),
+        }
+    }
+}
+
+impl From<BinSegError> for Error {
+    fn from(e: BinSegError) -> Error {
+        Error::BinSeg(e)
+    }
+}
+
+impl From<QuantError> for Error {
+    fn from(e: QuantError) -> Error {
+        Error::Quant(e)
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Error {
+        Error::Engine(e)
+    }
+}
+
+impl From<GemmError> for Error {
+    fn from(e: GemmError) -> Error {
+        Error::Gemm(e)
+    }
+}
+
+impl From<DnnError> for Error {
+    fn from(e: DnnError) -> Error {
+        Error::Dnn(e)
+    }
+}

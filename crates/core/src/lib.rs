@@ -25,22 +25,35 @@
 //! | [`dnn`] | layer IR, im2col, the six-CNN zoo, quantized runtime |
 //! | [`qat`] | miniature QAT training framework + the paper's accuracy tables |
 //! | [`phys`] | area / energy / technology-scaling models |
+//! | [`harness`] | zero-dependency test/metrics plumbing: [`harness::MetricsRegistry`], spans, JSON |
 //!
-//! The [`api`] module offers a compact high-level entry point.
+//! The [`api`] module offers the high-level entry point:
+//! [`api::Session`] computes bit-exact GEMMs, times them on the
+//! modelled SoC, and reports the run's metrics in one call. Failures
+//! across the whole workspace unify into [`enum@Error`].
 //!
 //! # Quickstart
 //!
 //! ```
-//! use mixgemm::api::EdgeSoc;
-//! use mixgemm::gemm::GemmDims;
+//! use mixgemm::api::Session;
+//! use mixgemm::gemm::QuantMatrix;
+//! use mixgemm::PrecisionConfig;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-//! let soc = EdgeSoc::sargantana();
-//! let summary = soc.run_gemm("a4-w4".parse()?, GemmDims::square(256))?;
+//! # fn main() -> Result<(), mixgemm::Error> {
+//! let session = Session::builder()
+//!     .precision(PrecisionConfig::A4W4)
+//!     .build();
+//!
+//! let (oa, ow) = PrecisionConfig::A4W4.operand_types();
+//! let a = QuantMatrix::from_fn(64, 64, oa, |r, c| ((r + c) % 8) as i32);
+//! let b = QuantMatrix::from_fn(64, 64, ow, |r, c| ((r * c) % 5) as i32 - 2);
+//!
+//! let result = session.run(&a, &b)?;
 //! println!(
-//!     "a4-w4 256^3 GEMM: {:.2} GOPS at {:.0} GOPS/W",
-//!     summary.gops(),
-//!     summary.gops_per_watt()
+//!     "a4-w4 64^3 GEMM: {:.2} GOPS, pack_b {} ns, operand-cache hit rate {:?}",
+//!     result.report.gops(),
+//!     result.metrics.span("gemm/pack_b").map(|s| s.total_ns).unwrap_or(0),
+//!     result.metrics.hit_rate("gemm.operand_cache"),
 //! );
 //! # Ok(())
 //! # }
@@ -52,6 +65,7 @@
 pub use mixgemm_binseg as binseg;
 pub use mixgemm_dnn as dnn;
 pub use mixgemm_gemm as gemm;
+pub use mixgemm_harness as harness;
 pub use mixgemm_phys as phys;
 pub use mixgemm_qat as qat;
 pub use mixgemm_quant as quant;
@@ -60,217 +74,67 @@ pub use mixgemm_uengine as uengine;
 
 pub use mixgemm_binseg::{BinSegConfig, DataSize, OperandType, PrecisionConfig, Signedness};
 
-pub mod api {
-    //! High-level convenience API combining the timing, functional and
-    //! physical models.
+pub mod api;
+pub mod error;
 
-    use mixgemm_binseg::PrecisionConfig;
-    use mixgemm_dnn::runtime::{self, NetworkPerf, PrecisionPlan};
-    use mixgemm_dnn::Network;
-    use mixgemm_gemm::baseline::{self, BaselineKind};
-    use mixgemm_gemm::{Fidelity, GemmDims, GemmOptions, GemmReport, MixGemmKernel};
-    use mixgemm_phys::energy::ActivityProfile;
-    use mixgemm_qat::accuracy;
-    use mixgemm_soc::{presets, SocConfig};
-
-    /// Errors surfaced by the high-level API.
-    pub type ApiError = Box<dyn std::error::Error + Send + Sync>;
-
-    /// An evaluated edge platform: a SoC preset plus µ-engine sizing.
-    #[derive(Clone, Debug)]
-    pub struct EdgeSoc {
-        soc: SocConfig,
-        srcbuf_depth: usize,
-    }
-
-    impl EdgeSoc {
-        /// The paper's Sargantana-like RV64 edge SoC with the Table I
-        /// µ-engine configuration.
-        pub fn sargantana() -> Self {
-            EdgeSoc {
-                soc: presets::sargantana(),
-                srcbuf_depth: mixgemm_uengine::DEFAULT_SRCBUF_DEPTH,
-            }
-        }
-
-        /// The same core with reduced caches (§IV-B exploration).
-        pub fn sargantana_small_caches(l1_kib: usize, l2_kib: usize) -> Self {
-            EdgeSoc {
-                soc: presets::sargantana_small_caches(l1_kib, l2_kib),
-                srcbuf_depth: mixgemm_uengine::DEFAULT_SRCBUF_DEPTH,
-            }
-        }
-
-        /// Overrides the Source Buffer depth (§III-C DSE).
-        pub fn with_srcbuf_depth(mut self, depth: usize) -> Self {
-            self.srcbuf_depth = depth;
-            self
-        }
-
-        /// The underlying SoC configuration.
-        pub fn soc(&self) -> &SocConfig {
-            &self.soc
-        }
-
-        fn gemm_options(&self, precision: PrecisionConfig) -> GemmOptions {
-            let mut opts = GemmOptions::new(precision);
-            opts.soc = self.soc;
-            opts.srcbuf_depth = self.srcbuf_depth;
-            opts
-        }
-
-        /// Simulates one Mix-GEMM execution and derives its efficiency.
-        ///
-        /// # Errors
-        ///
-        /// Propagates GEMM simulation errors.
-        pub fn run_gemm(
-            &self,
-            precision: PrecisionConfig,
-            dims: GemmDims,
-        ) -> Result<GemmSummary, ApiError> {
-            let report = MixGemmKernel::new(self.gemm_options(precision))
-                .simulate(dims, Fidelity::Sampled)?;
-            Ok(GemmSummary::from_report(report))
-        }
-
-        /// Simulates a baseline kernel on its default platform.
-        ///
-        /// # Errors
-        ///
-        /// Propagates GEMM simulation errors.
-        pub fn run_baseline(
-            &self,
-            kind: BaselineKind,
-            dims: GemmDims,
-        ) -> Result<GemmReport, ApiError> {
-            Ok(baseline::simulate(kind, dims, Fidelity::Sampled)?)
-        }
-
-        /// Times a whole network under a precision plan, attaching the
-        /// paper's TOP-1 accuracy when the network and configuration are
-        /// in the published tables.
-        ///
-        /// # Errors
-        ///
-        /// Propagates simulation errors.
-        pub fn run_network(
-            &self,
-            net: &Network,
-            plan: PrecisionPlan,
-        ) -> Result<NetworkSummary, ApiError> {
-            let perf = runtime::simulate_network_with(net, &plan, Fidelity::Sampled, |pc| {
-                let mut opts = GemmOptions::new(pc);
-                opts.soc = self.soc;
-                opts.srcbuf_depth = self.srcbuf_depth;
-                opts
-            })?;
-            let top1 = accuracy::for_network(net.name()).and_then(|t| t.top1_for(plan.default));
-            Ok(NetworkSummary { perf, top1 })
-        }
-    }
-
-    /// A GEMM run with derived throughput and efficiency.
-    #[derive(Clone, Debug)]
-    pub struct GemmSummary {
-        /// The simulation report.
-        pub report: GemmReport,
-    }
-
-    impl GemmSummary {
-        fn from_report(report: GemmReport) -> Self {
-            GemmSummary { report }
-        }
-
-        /// Throughput in GOPS.
-        pub fn gops(&self) -> f64 {
-            self.report.gops()
-        }
-
-        /// Efficiency in GOPS/W from the §IV-C energy model.
-        pub fn gops_per_watt(&self) -> f64 {
-            let busy = self.report.pmu.map(|p| p.busy_cycles).unwrap_or(0);
-            ActivityProfile {
-                total_cycles: self.report.cycles,
-                busy_cycles: busy,
-                macs: self.report.macs,
-                freq_ghz: self.report.freq_ghz,
-            }
-            .gops_per_watt()
-        }
-    }
-
-    /// A network run with derived metrics and (when published) accuracy.
-    #[derive(Clone, Debug)]
-    pub struct NetworkSummary {
-        /// Per-layer performance.
-        pub perf: NetworkPerf,
-        /// Paper TOP-1 accuracy for the plan's default configuration,
-        /// when recorded.
-        pub top1: Option<f64>,
-    }
-
-    impl NetworkSummary {
-        /// Conv-layer throughput in GOPS (the paper's Fig. 7 metric).
-        pub fn conv_gops(&self) -> f64 {
-            self.perf.conv_gops()
-        }
-
-        /// Conv-layer efficiency in GOPS/W (§IV-C).
-        pub fn conv_gops_per_watt(&self) -> f64 {
-            ActivityProfile {
-                total_cycles: self.perf.conv_cycles(),
-                busy_cycles: self.perf.conv_busy_cycles(),
-                macs: self.perf.conv_macs(),
-                freq_ghz: self.perf.freq_ghz,
-            }
-            .gops_per_watt()
-        }
-
-        /// Frames per second over all GEMM layers.
-        pub fn fps(&self) -> f64 {
-            self.perf.fps()
-        }
-    }
-}
+pub use error::Error;
 
 #[cfg(test)]
 mod tests {
-    use super::api::EdgeSoc;
+    use super::api::{EdgeSoc, Session};
+    use super::PrecisionConfig;
     use mixgemm_dnn::runtime::PrecisionPlan;
     use mixgemm_dnn::zoo;
-    use mixgemm_gemm::GemmDims;
+    use mixgemm_gemm::{Fidelity, GemmDims, QuantMatrix};
 
     #[test]
     fn facade_gemm_roundtrip() {
-        let soc = EdgeSoc::sargantana();
-        let s = soc
-            .run_gemm("a4-w4".parse().unwrap(), GemmDims::square(128))
-            .unwrap();
-        assert!(s.gops() > 1.0);
-        assert!(s.gops_per_watt() > 100.0);
+        let session = Session::builder()
+            .precision(PrecisionConfig::A4W4)
+            .fidelity(Fidelity::Sampled)
+            .build();
+        let (oa, ow) = PrecisionConfig::A4W4.operand_types();
+        let a = QuantMatrix::from_fn(128, 128, oa, |r, c| ((r + c) % 8) as i32);
+        let b = QuantMatrix::from_fn(128, 128, ow, |r, c| ((r * c) % 5) as i32 - 2);
+        let result = session.run(&a, &b).unwrap();
+        assert_eq!(result.c.len(), 128 * 128);
+        assert!(result.report.gops() > 1.0);
+        // The run records pack/kernel spans and SoC gauges.
+        assert!(result.metrics.span("gemm").is_some());
+        assert!(result.metrics.span("gemm/kernel").is_some());
+        assert!(result.metrics.gauge("sim.cycles").unwrap_or(0.0) > 0.0);
     }
 
     #[test]
     fn facade_network_with_accuracy() {
-        let soc = EdgeSoc::sargantana();
+        let session = Session::builder().build();
         let net = zoo::alexnet();
-        let s = soc
-            .run_network(&net, PrecisionPlan::uniform("a4-w4".parse().unwrap()))
+        let s = session
+            .run_network(&net, &PrecisionPlan::uniform(PrecisionConfig::A4W4))
             .unwrap();
-        assert!(s.conv_gops() > 1.0);
+        assert!(s.perf.conv_gops() > 1.0);
         assert!(s.top1.is_some());
-        assert!(s.fps() > 1.0);
+        assert!(s.perf.fps() > 1.0);
+        assert!(s.metrics.span("simulate_network").is_some());
     }
 
     #[test]
     fn srcbuf_depth_is_configurable() {
-        let shallow = EdgeSoc::sargantana().with_srcbuf_depth(4);
-        let deep = EdgeSoc::sargantana().with_srcbuf_depth(32);
         let dims = GemmDims::square(128);
-        let pc = "a2-w2".parse().unwrap();
-        let a = shallow.run_gemm(pc, dims).unwrap();
-        let b = deep.run_gemm(pc, dims).unwrap();
-        assert!(a.report.cycles >= b.report.cycles);
+        let (oa, ow) = PrecisionConfig::A2W2.operand_types();
+        let a = QuantMatrix::from_fn(dims.m, dims.k, oa, |r, c| ((r + c) % 4) as i32);
+        let b = QuantMatrix::from_fn(dims.k, dims.n, ow, |r, c| ((r * c) % 3) as i32 - 1);
+        let shallow = Session::builder()
+            .platform(EdgeSoc::sargantana().with_srcbuf_depth(4))
+            .precision(PrecisionConfig::A2W2)
+            .build();
+        let deep = Session::builder()
+            .platform(EdgeSoc::sargantana().with_srcbuf_depth(32))
+            .precision(PrecisionConfig::A2W2)
+            .build();
+        let r_shallow = shallow.run(&a, &b).unwrap();
+        let r_deep = deep.run(&a, &b).unwrap();
+        assert!(r_shallow.report.cycles >= r_deep.report.cycles);
+        assert_eq!(r_shallow.c, r_deep.c);
     }
 }

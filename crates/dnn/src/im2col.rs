@@ -4,7 +4,7 @@
 //! are unrolled into an `M x K` matrix A (`M = H_out * W_out`,
 //! `K = (C_in / groups) * k * k`) and the kernel weights into a `K x N`
 //! matrix B (`N = C_out / groups`). Modern implementations compose A
-//! implicitly in memory (§II-A cites [22], [48], [72], [79]), so the
+//! implicitly in memory (§II-A cites \[22\], \[48\], \[72\], \[79\]), so the
 //! timing path only uses the dimension arithmetic in
 //! [`conv_gemm_dims`]; the explicit [`im2col_group`] transformation
 //! backs the functional path and its tests.

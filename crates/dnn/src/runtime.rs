@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use mixgemm_binseg::PrecisionConfig;
 use mixgemm_gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel, Parallelism, QuantMatrix};
+use mixgemm_harness::{metrics, trace};
 
 use crate::error::DnnError;
 use crate::graph::Network;
@@ -332,6 +333,7 @@ pub fn simulate_network_with<F>(
 where
     F: FnMut(PrecisionConfig) -> GemmOptions,
 {
+    let _net_span = mixgemm_harness::span!("simulate_network");
     let gemm_count = net.gemm_layer_count();
 
     // Pass 1 (serial): resolve every GEMM-bearing layer to its
@@ -381,24 +383,37 @@ where
         let busy = report.pmu.map(|p| p.busy_cycles).unwrap_or(0);
         Ok::<(u64, u64), DnnError>((report.cycles, busy))
     };
+    // One `sim_shape` span per cold shape, under the caller's path and in
+    // the caller's recorder even when workers run on fresh threads.
+    let rec = metrics::recorder();
+    let shape_path = match trace::current_path() {
+        Some(parent) => format!("{parent}/sim_shape"),
+        None => "sim_shape".to_string(),
+    };
     if threads <= 1 || missing.len() <= 1 {
         for (key, dims, precision) in missing {
+            let _shape = trace::span_rooted(&rec, shape_path.as_str());
             let cost = simulate_one(dims, precision)?;
             cache.insert(key, cost);
         }
     } else {
         let simulate_one = &simulate_one;
+        let rec = &rec;
+        let shape_path = shape_path.as_str();
         let costs = std::thread::scope(|scope| {
             let handles: Vec<_> = missing
                 .chunks(missing.len().div_ceil(threads))
                 .map(|chunk| {
                     scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|(key, dims, precision)| {
-                                Ok((key.clone(), simulate_one(*dims, *precision)?))
-                            })
-                            .collect::<Result<Vec<_>, DnnError>>()
+                        metrics::with_recorder(rec.clone(), || {
+                            chunk
+                                .iter()
+                                .map(|(key, dims, precision)| {
+                                    let _shape = trace::span_rooted(rec, shape_path);
+                                    Ok((key.clone(), simulate_one(*dims, *precision)?))
+                                })
+                                .collect::<Result<Vec<_>, DnnError>>()
+                        })
                     })
                 })
                 .collect();
@@ -415,6 +430,7 @@ where
     // Pass 3: assemble per-layer results from the memo.
     let mut layers = Vec::with_capacity(pending.len());
     for (op, dims, reps, precision, key) in pending {
+        let _layer = mixgemm_harness::span!("layer");
         let (cycles_per_gemm, busy_per_gemm) = match cache.get(&key) {
             Some(cost) => cost,
             // Only reachable if another thread cleared the global cache
@@ -492,10 +508,12 @@ pub fn forward_quantized(
             actual: input.data.len(),
         });
     }
+    let _fwd = mixgemm_harness::span!("forward");
     let gemm_count = net.gemm_layer_count();
     let mut values: Vec<Tensor> = vec![input.clone()];
     let mut gemm_index = 0usize;
     for (i, node) in net.nodes().iter().enumerate() {
+        let _layer = mixgemm_harness::span!("layer");
         let ins: Vec<&Tensor> = node.inputs.iter().map(|id| &values[id.0]).collect();
         let out_shape = net.shape(crate::graph::NodeId(i + 1));
         let out = match node.op {
@@ -565,14 +583,20 @@ pub fn forward_quantized_batch(
             .collect();
     }
     let chunk = inputs.len().div_ceil(par.threads);
+    // Batch workers inherit the caller's recorder, so per-layer counters
+    // and spans from every batch member land in one registry.
+    let rec = metrics::recorder();
+    let rec = &rec;
     std::thread::scope(|scope| {
         let handles: Vec<_> = inputs
             .chunks(chunk)
             .map(|xs| {
                 scope.spawn(move || {
-                    xs.iter()
-                        .map(|x| forward_quantized(net, x, plan, seed))
-                        .collect::<Result<Vec<_>, DnnError>>()
+                    metrics::with_recorder(rec.clone(), || {
+                        xs.iter()
+                            .map(|x| forward_quantized(net, x, plan, seed))
+                            .collect::<Result<Vec<_>, DnnError>>()
+                    })
                 })
             })
             .collect();

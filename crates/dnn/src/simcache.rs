@@ -84,7 +84,9 @@ impl SimCache {
         GLOBAL.get_or_init(SimCache::new)
     }
 
-    /// Looks `key` up, counting a hit or miss.
+    /// Looks `key` up, counting a hit or miss (both here and as
+    /// `dnn.simcache.hit` / `dnn.simcache.miss` in the current metrics
+    /// recorder).
     pub fn get(&self, key: &SimKey) -> Option<LayerCost> {
         let found = self
             .map
@@ -92,9 +94,16 @@ impl SimCache {
             .expect("SimCache poisoned")
             .get(key)
             .copied();
+        let rec = mixgemm_harness::metrics::recorder();
         match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                rec.counter("dnn.simcache.hit").inc();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                rec.counter("dnn.simcache.miss").inc();
+            }
         };
         found
     }

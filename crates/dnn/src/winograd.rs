@@ -4,7 +4,7 @@
 //! "fast algorithms like FFTs or Winograd", noting they are "efficient
 //! only for certain dimensions of the layer, and have additional
 //! limitations when applied to quantized values" (citing Meng &
-//! Brothers [49]). This module makes that claim executable:
+//! Brothers \[49\]). This module makes that claim executable:
 //!
 //! - [`winograd_conv3x3`] implements F(2x2, 3x3) exactly over integers
 //!   (the fractional filter-transform coefficients are scaled by 2 per
@@ -94,7 +94,7 @@ fn transform_output(m: &[i64; 16]) -> [i64; 4] {
 ///
 /// Intermediates are held in `i64`: the transforms grow values by up to
 /// 4x (input side) and 8x (scaled filter side), which is precisely the
-/// datapath-width cost [49] identifies for quantized Winograd.
+/// datapath-width cost \[49\] identifies for quantized Winograd.
 ///
 /// # Panics
 ///
@@ -164,7 +164,7 @@ pub fn winograd_conv3x3(data: &[i32], weights: &[i32], geom: &ConvGeom) -> Vec<i
 
 /// Worst-case magnitude growth of the Winograd transforms for operands
 /// of the given bit widths — the extra datapath bits quantized Winograd
-/// demands (§II-A / [49]).
+/// demands (§II-A / \[49\]).
 #[derive(Copy, Clone, Debug)]
 pub struct TransformRanges {
     /// Maximum magnitude after the input transform.

@@ -10,7 +10,7 @@
 //!   run on the SiFive-U740 preset as the Fig. 7 / Table III baseline;
 //! - [`BaselineKind::GemmLowpSimd`] — a NEON-style 8-bit SIMD kernel
 //!   (widening multiply + accumulate pairs) modelling GEMMLowp on the
-//!   Cortex-A53 (Table III row [33]);
+//!   Cortex-A53 (Table III row \[33\]);
 //! - [`BaselineKind::PulpNnLike`] — a PULP-NN/XpulpNN-style kernel:
 //!   4x8-bit SIMD dot-product units, with the pack/extract casting
 //!   overhead those libraries pay for 4- and 2-bit operands (§V);
@@ -107,7 +107,7 @@ impl BaselineKind {
         }
     }
 
-    /// Blocking parameters following the analytical model of [45] for the
+    /// Blocking parameters following the analytical model of \[45\] for the
     /// element size (µ-panels in L1, A panel in L2).
     pub fn params(self) -> BlisParams {
         match self {
@@ -705,7 +705,7 @@ mod tests {
 
     #[test]
     fn gemmlowp_a53_near_published_gops() {
-        // Table III row [33]: 4.7 - 5.8 GOPS on the six CNNs.
+        // Table III row \[33\]: 4.7 - 5.8 GOPS on the six CNNs.
         let r = simulate(
             BaselineKind::GemmLowpSimd,
             GemmDims::square(512),

@@ -5,7 +5,7 @@
 //!
 //! 1. **Blocking parameters (Table I)** — [`analytical_params`] derives
 //!    `mc/nc/kc/mr/nr` from the SoC cache geometry following the
-//!    analytical model of Low et al. [45], and
+//!    analytical model of Low et al. \[45\], and
 //!    [`validate_params_by_simulation`] confirms the analytical optimum
 //!    against simulated neighbours.
 //! 2. **Source Buffer depth** — [`srcbuf_depth_sweep`] measures the
@@ -26,7 +26,7 @@ use crate::matrix::GemmDims;
 use crate::params::BlisParams;
 
 /// Derives BLIS blocking parameters from the SoC cache geometry,
-/// following the analytical model of [45] (paper §II-C, §III-C):
+/// following the analytical model of \[45\] (paper §II-C, §III-C):
 ///
 /// - `mr = nr = sqrt(AccMem)`: the C µ-panel lives in the AccMem, whose
 ///   16 entries set `mr = nr = 4`; this also balances the 32-entry

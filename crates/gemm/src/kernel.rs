@@ -25,7 +25,13 @@ pub enum Fidelity {
 }
 
 /// Configuration of one Mix-GEMM execution.
+///
+/// Construct with [`GemmOptions::new`] (defaults for a precision) or
+/// [`GemmOptions::builder`]; the struct is `#[non_exhaustive]` so
+/// fields may be added without breaking downstream crates, which can
+/// still read and mutate the existing public fields.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct GemmOptions {
     /// Activation/weight data sizes.
     pub precision: PrecisionConfig,
@@ -65,6 +71,87 @@ impl GemmOptions {
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
         self
+    }
+
+    /// Starts a builder from the [`GemmOptions::new`] defaults for
+    /// `precision`.
+    pub fn builder(precision: PrecisionConfig) -> GemmOptionsBuilder {
+        GemmOptionsBuilder {
+            opts: GemmOptions::new(precision),
+        }
+    }
+
+    /// The activation/weight data sizes.
+    pub fn precision(&self) -> PrecisionConfig {
+        self.precision
+    }
+
+    /// The BLIS blocking parameters.
+    pub fn params(&self) -> &BlisParams {
+        &self.params
+    }
+
+    /// The SoC preset the kernel is timed on.
+    pub fn soc(&self) -> &SocConfig {
+        &self.soc
+    }
+
+    /// The Source Buffer depth in µ-vectors.
+    pub fn srcbuf_depth(&self) -> usize {
+        self.srcbuf_depth
+    }
+
+    /// Whether simulations start with operands cache-resident.
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
+    }
+
+    /// The host-thread parallelism of the functional compute paths.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+}
+
+/// Builds a [`GemmOptions`] field by field (see [`GemmOptions::builder`]).
+#[derive(Clone, Debug)]
+pub struct GemmOptionsBuilder {
+    opts: GemmOptions,
+}
+
+impl GemmOptionsBuilder {
+    /// Overrides the BLIS blocking parameters.
+    pub fn params(mut self, params: BlisParams) -> Self {
+        self.opts.params = params;
+        self
+    }
+
+    /// Overrides the SoC preset to time on.
+    pub fn soc(mut self, soc: SocConfig) -> Self {
+        self.opts.soc = soc;
+        self
+    }
+
+    /// Overrides the Source Buffer depth.
+    pub fn srcbuf_depth(mut self, depth: usize) -> Self {
+        self.opts.srcbuf_depth = depth;
+        self
+    }
+
+    /// Overrides the cache warm-start assumption.
+    pub fn warm_start(mut self, warm: bool) -> Self {
+        self.opts.warm_start = warm;
+        self
+    }
+
+    /// Overrides the functional-path parallelism.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.opts.parallelism = parallelism;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> GemmOptions {
+        self.opts
     }
 }
 
@@ -107,11 +194,14 @@ impl MixGemmKernel {
                 b_rows: b.rows(),
             });
         }
+        let _gemm = mixgemm_harness::span!("gemm");
         let (oa, ob) = self.opts.precision.operand_types();
         let cfg = BinSegConfig::new(oa, ob);
+        // pack_a / pack_b spans (on cache miss) nest under "gemm" here.
         let a_rows = a.packed_rows();
         let b_cols = b.packed_cols();
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let _kernel = mixgemm_harness::span!("kernel");
         parallel::compute_partitioned(
             m,
             n,
@@ -171,6 +261,8 @@ impl MixGemmKernel {
                 b_rows: b.rows(),
             });
         }
+        let _gemm = mixgemm_harness::span!("gemm");
+        let _kernel = mixgemm_harness::span!("kernel");
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
         parallel::compute_partitioned(
             m,
@@ -209,6 +301,7 @@ impl MixGemmKernel {
     /// and propagates µ-engine protocol errors (which indicate bugs in
     /// the instruction generator, not user error).
     pub fn simulate(&self, dims: GemmDims, fidelity: Fidelity) -> Result<GemmReport, GemmError> {
+        let _sim = mixgemm_harness::span!("simulate");
         self.opts.params.validate()?;
         let mut sim = Sim::new(&self.opts, dims, fidelity)?;
         sim.run()?;
@@ -958,6 +1051,26 @@ mod tests {
                 "{pc_str} chunk count"
             );
         }
+    }
+
+    #[test]
+    fn builder_matches_field_mutation() {
+        let precision: PrecisionConfig = "a4-w4".parse().unwrap();
+        let built = GemmOptions::builder(precision)
+            .srcbuf_depth(32)
+            .warm_start(false)
+            .parallelism(Parallelism::new(4))
+            .build();
+        let mut mutated = GemmOptions::new(precision);
+        mutated.srcbuf_depth = 32;
+        mutated.warm_start = false;
+        mutated.parallelism = Parallelism::new(4);
+        assert_eq!(built.precision(), mutated.precision);
+        assert_eq!(built.srcbuf_depth(), mutated.srcbuf_depth);
+        assert_eq!(built.warm_start(), mutated.warm_start);
+        assert_eq!(built.parallelism(), mutated.parallelism);
+        assert_eq!(built.params(), &mutated.params);
+        assert_eq!(built.soc().name, mutated.soc.name);
     }
 
     #[test]

@@ -68,7 +68,7 @@ mod report;
 pub mod scaling;
 
 pub use error::GemmError;
-pub use kernel::{Fidelity, GemmOptions, MixGemmKernel};
+pub use kernel::{Fidelity, GemmOptions, GemmOptionsBuilder, MixGemmKernel};
 pub use matrix::{naive_gemm, GemmDims, PackedMatrix, QuantMatrix};
 pub use params::{BlisParams, Parallelism};
 pub use report::GemmReport;

@@ -2,6 +2,7 @@ use std::fmt;
 use std::sync::{Arc, OnceLock};
 
 use mixgemm_binseg::{muvec, OperandType};
+use mixgemm_harness::metrics;
 
 use crate::error::GemmError;
 
@@ -260,29 +261,53 @@ impl QuantMatrix {
     /// [`Arc`]. Packing is bit-identical to a fresh [`QuantMatrix::pack_rows`]
     /// (property-tested).
     pub fn packed_rows(&self) -> Arc<PackedMatrix> {
-        self.packed_row_cache
+        let mut hit = true;
+        let packed = self
+            .packed_row_cache
             .get_or_init(|| {
+                hit = false;
+                let _pack = mixgemm_harness::span!("pack_a");
                 Arc::new(PackedMatrix {
                     op: self.op,
                     len: self.cols,
                     vecs: self.pack_rows(),
                 })
             })
-            .clone()
+            .clone();
+        metrics::recorder()
+            .counter(if hit {
+                "gemm.operand_cache.hit"
+            } else {
+                "gemm.operand_cache.miss"
+            })
+            .inc();
+        packed
     }
 
     /// The column-packed (B-side) form, computed once and cached; see
     /// [`QuantMatrix::packed_rows`].
     pub fn packed_cols(&self) -> Arc<PackedMatrix> {
-        self.packed_col_cache
+        let mut hit = true;
+        let packed = self
+            .packed_col_cache
             .get_or_init(|| {
+                hit = false;
+                let _pack = mixgemm_harness::span!("pack_b");
                 Arc::new(PackedMatrix {
                     op: self.op,
                     len: self.rows,
                     vecs: self.pack_cols(),
                 })
             })
-            .clone()
+            .clone();
+        metrics::recorder()
+            .counter(if hit {
+                "gemm.operand_cache.hit"
+            } else {
+                "gemm.operand_cache.miss"
+            })
+            .inc();
+        packed
     }
 
     /// Packed memory footprint in bytes (µ-vector format).

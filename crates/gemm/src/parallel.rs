@@ -14,6 +14,8 @@
 
 use std::ops::Range;
 
+use mixgemm_harness::{metrics, trace};
+
 use crate::error::GemmError;
 use crate::params::{BlisParams, Parallelism};
 
@@ -84,16 +86,29 @@ where
     if m == 0 || n == 0 {
         return Ok(c);
     }
+    // Workers run on fresh threads, so capture the caller's recorder and
+    // span path here: shard timings aggregate under `{caller}/shard` in
+    // the caller's registry no matter which thread executes them.
+    let rec = metrics::recorder();
+    let shard_path = match trace::current_path() {
+        Some(parent) => format!("{parent}/shard"),
+        None => "gemm/shard".to_string(),
+    };
     let row_ranges = panel_partition(m, params.mc, params.mr, par.threads);
     let col_ranges = panel_partition(n, params.nc, params.nr, par.threads);
     if par.is_serial() || (row_ranges.len() <= 1 && col_ranges.len() <= 1) {
+        rec.counter("gemm.shards").inc();
+        let _shard = trace::span_rooted(&rec, shard_path);
         tile(0..m, 0..n, &mut c)?;
         return Ok(c);
     }
 
     let tile = &tile;
+    let rec = &rec;
+    let shard_path = shard_path.as_str();
     if row_ranges.len() >= col_ranges.len() {
         // Row mode: each worker owns a contiguous slab of C rows.
+        rec.counter("gemm.shards").add(row_ranges.len() as u64);
         std::thread::scope(|scope| {
             let mut rest = c.as_mut_slice();
             let mut handles = Vec::with_capacity(row_ranges.len());
@@ -101,7 +116,12 @@ where
                 let (slab, tail) = rest.split_at_mut(r.len() * n);
                 rest = tail;
                 let r = r.clone();
-                handles.push(scope.spawn(move || tile(r, 0..n, slab)));
+                handles.push(scope.spawn(move || {
+                    metrics::with_recorder(rec.clone(), || {
+                        let _shard = trace::span_rooted(rec, shard_path);
+                        tile(r, 0..n, slab)
+                    })
+                }));
             }
             for h in handles {
                 h.join().expect("GEMM worker panicked")?;
@@ -111,15 +131,19 @@ where
     } else {
         // Column mode: workers compute disjoint column bands into private
         // buffers, stitched row by row afterwards.
+        rec.counter("gemm.shards").add(col_ranges.len() as u64);
         let bands = std::thread::scope(|scope| {
             let handles: Vec<_> = col_ranges
                 .iter()
                 .map(|r| {
                     let r = r.clone();
                     scope.spawn(move || {
-                        let mut band = vec![0i64; m * r.len()];
-                        tile(0..m, r.clone(), &mut band)?;
-                        Ok::<_, GemmError>((r, band))
+                        metrics::with_recorder(rec.clone(), || {
+                            let _shard = trace::span_rooted(rec, shard_path);
+                            let mut band = vec![0i64; m * r.len()];
+                            tile(0..m, r.clone(), &mut band)?;
+                            Ok::<_, GemmError>((r, band))
+                        })
                     })
                 })
                 .collect();

@@ -1,6 +1,7 @@
 use std::fmt;
 
 use mixgemm_binseg::PrecisionConfig;
+use mixgemm_harness::MetricsRegistry;
 use mixgemm_soc::{CacheStats, CoreStats};
 use mixgemm_uengine::Pmu;
 
@@ -72,6 +73,25 @@ impl GemmReport {
         self.cycles as f64 / self.macs as f64
     }
 
+    /// Exports the full report — cycle totals, derived rates, core and
+    /// cache statistics, and (when present) the µ-engine PMU counters —
+    /// as `sim.*` / `soc.*` / `uengine.pmu.*` gauges into `rec`,
+    /// replacing the per-bench plumbing that used to re-derive them.
+    pub fn export_metrics(&self, rec: &MetricsRegistry) {
+        rec.gauge("sim.cycles").set_u64(self.cycles);
+        rec.gauge("sim.macs").set_u64(self.macs);
+        rec.gauge("sim.seconds").set(self.seconds());
+        rec.gauge("sim.gops").set(self.gops());
+        rec.gauge("sim.macs_per_cycle").set(self.macs_per_cycle());
+        rec.gauge("sim.sampled").set(f64::from(self.sampled));
+        self.core.export(rec, "soc.core");
+        self.l1.export(rec, "soc.l1");
+        self.l2.export(rec, "soc.l2");
+        if let Some(pmu) = &self.pmu {
+            pmu.export(rec, "uengine.pmu");
+        }
+    }
+
     /// Speed-up of this run over `baseline` on the same problem,
     /// comparing wall-clock time (the Fig. 6 / Fig. 7 metric; the two
     /// runs may be on different SoCs, e.g. Mix-GEMM versus the U740).
@@ -136,6 +156,30 @@ mod tests {
         let slow = report(1000, 1000);
         assert!((fast.speedup_over(&slow) - 10.0).abs() < 1e-9);
         assert!((slow.speedup_over(&fast) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn export_covers_sim_soc_and_pmu_families() {
+        let mut r = report(1000, 500);
+        r.pmu = Some(Pmu {
+            busy_cycles: 400,
+            macs: 500,
+            ..Pmu::default()
+        });
+        r.l1 = CacheStats {
+            accesses: 10,
+            misses: 2,
+        };
+        let reg = MetricsRegistry::new();
+        r.export_metrics(&reg);
+        assert_eq!(reg.gauge("sim.cycles").get(), 1000.0);
+        assert_eq!(reg.gauge("sim.macs").get(), 500.0);
+        assert_eq!(reg.gauge("sim.sampled").get(), 0.0);
+        assert_eq!(reg.gauge("soc.l1.accesses").get(), 10.0);
+        assert!((reg.gauge("soc.l1.miss_rate").get() - 0.2).abs() < 1e-12);
+        assert_eq!(reg.gauge("soc.core.instructions").get(), 0.0);
+        assert_eq!(reg.gauge("uengine.pmu.busy_cycles").get(), 400.0);
+        assert!((reg.gauge("uengine.pmu.macs_per_busy_cycle").get() - 1.25).abs() < 1e-12);
     }
 
     #[test]

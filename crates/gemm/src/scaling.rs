@@ -13,7 +13,7 @@
 //! 2. **Multiple cores** — "our BLIS-based library can easily enable
 //!    multi-threading support while retaining performance-per-core close
 //!    to the single-threaded implementation": [`multicore_projection`]
-//!    applies the BLIS many-threaded scaling model ([67]: near-linear
+//!    applies the BLIS many-threaded scaling model (\[67\]: near-linear
 //!    with a small per-core efficiency loss, bounded by the shared
 //!    memory system).
 

@@ -9,21 +9,30 @@
 //! - [`prop`] — a property-test runner over that generator (replaces the
 //!   `proptest!` macros), with seed reporting for reproduction and
 //!   environment overrides for case counts;
-//! - [`bench`] — a wall-clock micro-benchmark harness in the criterion
+//! - [`mod@bench`] — a wall-clock micro-benchmark harness in the criterion
 //!   style (warm-up, sampling, median/min reporting) for `harness =
 //!   false` bench targets;
 //! - [`json`] — a minimal JSON document builder used to emit benchmark
-//!   artifacts such as `BENCH_parallel.json`.
+//!   artifacts such as `BENCH_parallel.json`;
+//! - [`metrics`] — a process-wide registry of typed counters, gauges,
+//!   histograms and span timings (replaces the `metrics`/`prometheus`
+//!   stack), with JSON and line-protocol exporters;
+//! - [`trace`] — scoped span timers ([`span!`]) that aggregate into the
+//!   current [`metrics`] recorder with thread-aware nesting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod json;
+pub mod metrics;
 pub mod prop;
 pub mod rng;
+pub mod trace;
 
 pub use bench::{black_box, Bencher, Group, Stats};
 pub use json::Json;
+pub use metrics::{MetricsRegistry, MetricsReport, Recorder};
 pub use prop::check;
 pub use rng::Rng;
+pub use trace::Span;

@@ -1,0 +1,662 @@
+//! A process-wide registry of typed metrics: counters, gauges,
+//! histograms and span timings.
+//!
+//! The workspace runs in fully offline environments, so this is a
+//! zero-dependency stand-in for the usual `metrics`/`prometheus` stack:
+//!
+//! - [`Counter`] — monotonically increasing `u64` (cache hits, shards
+//!   executed, instructions retired);
+//! - [`Gauge`] — last-write-wins `f64` (PMU counter exports, derived
+//!   rates);
+//! - [`Histogram`] — running count/sum/min/max of observed samples;
+//! - [`SpanStats`] — aggregated scoped-timer durations fed by
+//!   [`crate::trace`].
+//!
+//! Handles are `Arc`-shared and atomically updated, so any number of
+//! threads may record concurrently without losing increments
+//! (concurrency-tested). Registries export through
+//! [`MetricsRegistry::report`] / [`MetricsRegistry::report_since`] into a
+//! [`MetricsReport`], which serializes to JSON (via [`crate::json`]) or
+//! an influx-style line protocol.
+//!
+//! # Recorder selection
+//!
+//! Instrumented code records into the *current* recorder:
+//! [`recorder`] returns the innermost registry installed with
+//! [`with_recorder`] on this thread, falling back to the process-wide
+//! [`MetricsRegistry::global`]. Fan-out layers capture the current
+//! recorder before spawning workers and re-install it inside them, so a
+//! caller-scoped registry (e.g. one `Session` run) observes work done on
+//! worker threads too.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// A shared handle to a [`MetricsRegistry`].
+pub type Recorder = Arc<MetricsRegistry>;
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Recorder>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost recorder installed on this thread via
+/// [`with_recorder`], or the process-wide global registry.
+pub fn recorder() -> Recorder {
+    CURRENT
+        .with(|c| c.borrow().last().cloned())
+        .unwrap_or_else(MetricsRegistry::global)
+}
+
+/// Runs `f` with `rec` installed as this thread's current recorder.
+///
+/// Nested calls stack; the previous recorder is restored when `f`
+/// returns (or unwinds). Worker threads do not inherit the setting —
+/// fan-out code is expected to capture [`recorder`] before spawning and
+/// call `with_recorder` inside each worker (the in-tree parallel GEMM
+/// and network-simulation layers do).
+pub fn with_recorder<R>(rec: Recorder, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            CURRENT.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+    CURRENT.with(|c| c.borrow_mut().push(rec));
+    let _guard = Guard;
+    f()
+}
+
+/// A monotonically increasing counter.
+#[derive(Default, Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Default, Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Sets the value from an integer counter (exact up to 2^53).
+    #[inline]
+    pub fn set_u64(&self, v: u64) {
+        self.set(v as f64);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Running summary of a stream of samples.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Arithmetic mean, zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A histogram metric (running count/sum/min/max).
+#[derive(Default, Debug)]
+pub struct Histogram {
+    inner: Mutex<HistogramSummary>,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: f64) {
+        let mut h = self.inner.lock().expect("Histogram poisoned");
+        if h.count == 0 {
+            h.min = v;
+            h.max = v;
+        } else {
+            h.min = h.min.min(v);
+            h.max = h.max.max(v);
+        }
+        h.count += 1;
+        h.sum += v;
+    }
+
+    /// The current summary.
+    pub fn summary(&self) -> HistogramSummary {
+        *self.inner.lock().expect("Histogram poisoned")
+    }
+}
+
+/// Aggregated durations of one span path (see [`crate::trace`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_ns: u64,
+    /// Shortest span in nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Longest span in nanoseconds (0 when empty).
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Mean span duration in nanoseconds, zero when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns += ns;
+    }
+}
+
+/// A thread-safe registry of named metrics.
+#[derive(Default, Debug)]
+pub struct MetricsRegistry {
+    counters: Mutex<HashMap<String, Arc<Counter>>>,
+    gauges: Mutex<HashMap<String, Arc<Gauge>>>,
+    histograms: Mutex<HashMap<String, Arc<Histogram>>>,
+    spans: Mutex<HashMap<String, SpanStats>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry. Most callers want a shared handle:
+    /// `Arc::new(MetricsRegistry::new())` or [`MetricsRegistry::global`].
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry instrumented code defaults to.
+    pub fn global() -> Recorder {
+        static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Arc::new(MetricsRegistry::new()))
+            .clone()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("MetricsRegistry poisoned");
+        match map.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Arc::new(Counter::default());
+                map.insert(name.to_string(), c.clone());
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("MetricsRegistry poisoned");
+        match map.get(name) {
+            Some(g) => g.clone(),
+            None => {
+                let g = Arc::new(Gauge::default());
+                map.insert(name.to_string(), g.clone());
+                g
+            }
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("MetricsRegistry poisoned");
+        match map.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Arc::new(Histogram::default());
+                map.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
+    /// Folds one completed span of `dur` into the stats for `path`
+    /// (normally called by [`crate::trace::Span`] on drop).
+    pub fn record_span(&self, path: &str, dur: Duration) {
+        let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+        let mut map = self.spans.lock().expect("MetricsRegistry poisoned");
+        map.entry(path.to_string()).or_default().record(ns);
+    }
+
+    /// The aggregated stats for span `path`, if any span completed.
+    pub fn span_stats(&self, path: &str) -> Option<SpanStats> {
+        self.spans
+            .lock()
+            .expect("MetricsRegistry poisoned")
+            .get(path)
+            .copied()
+    }
+
+    /// Captures the current counter/span/histogram totals, for later
+    /// [`MetricsRegistry::report_since`] deltas.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("MetricsRegistry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            spans: self.spans.lock().expect("MetricsRegistry poisoned").clone(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("MetricsRegistry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+
+    /// Everything recorded since `snap`: counter and span deltas, plus
+    /// the current value of every gauge (gauges are instantaneous, so
+    /// they carry no delta semantics). Entries whose delta is zero are
+    /// omitted.
+    pub fn report_since(&self, snap: &MetricsSnapshot) -> MetricsReport {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .expect("MetricsRegistry poisoned")
+            .iter()
+            .filter_map(|(k, v)| {
+                let before = snap.counters.get(k).copied().unwrap_or(0);
+                let delta = v.get().saturating_sub(before);
+                (delta > 0).then(|| (k.clone(), delta))
+            })
+            .collect();
+        let mut gauges: Vec<(String, f64)> = self
+            .gauges
+            .lock()
+            .expect("MetricsRegistry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let mut spans: Vec<(String, SpanStats)> = self
+            .spans
+            .lock()
+            .expect("MetricsRegistry poisoned")
+            .iter()
+            .filter_map(|(k, v)| {
+                let before = snap.spans.get(k).copied().unwrap_or_default();
+                if v.count <= before.count {
+                    return None;
+                }
+                // Min/max cannot be windowed from running aggregates, so
+                // the delta keeps the cumulative extremes.
+                Some((
+                    k.clone(),
+                    SpanStats {
+                        count: v.count - before.count,
+                        total_ns: v.total_ns.saturating_sub(before.total_ns),
+                        min_ns: v.min_ns,
+                        max_ns: v.max_ns,
+                    },
+                ))
+            })
+            .collect();
+        let mut histograms: Vec<(String, HistogramSummary)> = self
+            .histograms
+            .lock()
+            .expect("MetricsRegistry poisoned")
+            .iter()
+            .filter_map(|(k, v)| {
+                let cur = v.summary();
+                let before = snap.histograms.get(k).copied().unwrap_or_default();
+                if cur.count <= before.count {
+                    return None;
+                }
+                Some((
+                    k.clone(),
+                    HistogramSummary {
+                        count: cur.count - before.count,
+                        sum: cur.sum - before.sum,
+                        min: cur.min,
+                        max: cur.max,
+                    },
+                ))
+            })
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        spans.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsReport {
+            counters,
+            gauges,
+            spans,
+            histograms,
+        }
+    }
+
+    /// Everything ever recorded (a report since the empty snapshot).
+    pub fn report(&self) -> MetricsReport {
+        self.report_since(&MetricsSnapshot::default())
+    }
+}
+
+/// A point-in-time capture of a registry's counters, spans and
+/// histograms (see [`MetricsRegistry::snapshot`]).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    counters: HashMap<String, u64>,
+    spans: HashMap<String, SpanStats>,
+    histograms: HashMap<String, HistogramSummary>,
+}
+
+/// An immutable, name-sorted export of a registry (or a delta between
+/// two snapshots of one). Produced by [`MetricsRegistry::report`] /
+/// [`MetricsRegistry::report_since`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Counter deltas, name-sorted, zero deltas omitted.
+    pub counters: Vec<(String, u64)>,
+    /// Current gauge values, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Span-duration deltas, path-sorted.
+    pub spans: Vec<(String, SpanStats)>,
+    /// Histogram deltas, name-sorted.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsReport {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.spans.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// The delta of counter `name`, zero when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// The value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// The stats of span `path`, if any span completed.
+    pub fn span(&self, path: &str) -> Option<SpanStats> {
+        self.spans.iter().find(|(k, _)| k == path).map(|(_, v)| *v)
+    }
+
+    /// Hit rate of the counter pair `{prefix}.hit` / `{prefix}.miss`,
+    /// `None` when neither fired — the idiom the operand-cache and
+    /// simulation-cache instrumentation uses.
+    pub fn hit_rate(&self, prefix: &str) -> Option<f64> {
+        let hits = self.counter(&format!("{prefix}.hit"));
+        let misses = self.counter(&format!("{prefix}.miss"));
+        let total = hits + misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    /// Serializes to a JSON document with deterministic (sorted) keys.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (k, v) in &self.counters {
+            counters = counters.field(k, *v);
+        }
+        let mut gauges = Json::obj();
+        for (k, v) in &self.gauges {
+            gauges = gauges.field(k, *v);
+        }
+        let mut spans = Json::obj();
+        for (k, s) in &self.spans {
+            spans = spans.field(
+                k,
+                Json::obj()
+                    .field("count", s.count)
+                    .field("total_ns", s.total_ns)
+                    .field("mean_ns", s.mean_ns())
+                    .field("min_ns", s.min_ns)
+                    .field("max_ns", s.max_ns),
+            );
+        }
+        let mut histograms = Json::obj();
+        for (k, h) in &self.histograms {
+            histograms = histograms.field(
+                k,
+                Json::obj()
+                    .field("count", h.count)
+                    .field("sum", h.sum)
+                    .field("mean", h.mean())
+                    .field("min", h.min)
+                    .field("max", h.max),
+            );
+        }
+        Json::obj()
+            .field("counters", counters)
+            .field("gauges", gauges)
+            .field("histograms", histograms)
+            .field("spans", spans)
+    }
+
+    /// Serializes to an influx-style line protocol (one metric per
+    /// line, no timestamps — runs are deterministic simulations).
+    pub fn to_line_protocol(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter,name={k} value={v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "gauge,name={k} value={v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram,name={k} count={},sum={},min={},max={}",
+                h.count, h.sum, h.min, h.max
+            );
+        }
+        for (k, s) in &self.spans {
+            let _ = writeln!(
+                out,
+                "span,name={k} count={},total_ns={},min_ns={},max_ns={}",
+                s.count, s.total_ns, s.min_ns, s.max_ns
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_are_exact_under_contention() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let reg = reg.clone();
+                scope.spawn(move || {
+                    let c = reg.counter("contended");
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("contended").get(), threads * per_thread);
+    }
+
+    #[test]
+    fn gauge_and_histogram_basics() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("g").set(2.5);
+        assert_eq!(reg.gauge("g").get(), 2.5);
+        reg.gauge("g").set_u64(7);
+        assert_eq!(reg.gauge("g").get(), 7.0);
+        let h = reg.histogram("h");
+        h.record(1.0);
+        h.record(3.0);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(HistogramSummary::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn span_stats_aggregate() {
+        let reg = MetricsRegistry::new();
+        reg.record_span("a/b", Duration::from_nanos(100));
+        reg.record_span("a/b", Duration::from_nanos(300));
+        let s = reg.span_stats("a/b").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 400);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 300);
+        assert_eq!(s.mean_ns(), 200.0);
+        assert!(reg.span_stats("missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_deltas_isolate_a_window() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(5);
+        reg.record_span("s", Duration::from_nanos(50));
+        let snap = reg.snapshot();
+        reg.counter("c").add(3);
+        reg.counter("new").inc();
+        reg.record_span("s", Duration::from_nanos(70));
+        reg.gauge("g").set(1.25);
+        let report = reg.report_since(&snap);
+        assert_eq!(report.counter("c"), 3);
+        assert_eq!(report.counter("new"), 1);
+        assert_eq!(report.counter("untouched"), 0);
+        assert_eq!(report.gauge("g"), Some(1.25));
+        let s = report.span("s").unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total_ns, 70);
+        // Full report covers everything.
+        assert_eq!(reg.report().counter("c"), 8);
+        assert!(!report.is_empty());
+        assert!(MetricsReport::default().is_empty());
+    }
+
+    #[test]
+    fn hit_rate_from_counter_pair() {
+        let reg = MetricsRegistry::new();
+        let snap = reg.snapshot();
+        reg.counter("cache.hit").add(3);
+        reg.counter("cache.miss").add(1);
+        let report = reg.report_since(&snap);
+        assert_eq!(report.hit_rate("cache"), Some(0.75));
+        assert_eq!(report.hit_rate("absent"), None);
+    }
+
+    #[test]
+    fn recorder_override_is_scoped_and_stacked() {
+        let global = recorder();
+        let a = Arc::new(MetricsRegistry::new());
+        let b = Arc::new(MetricsRegistry::new());
+        with_recorder(a.clone(), || {
+            assert!(Arc::ptr_eq(&recorder(), &a));
+            with_recorder(b.clone(), || assert!(Arc::ptr_eq(&recorder(), &b)));
+            assert!(Arc::ptr_eq(&recorder(), &a));
+            recorder().counter("scoped").inc();
+        });
+        assert!(Arc::ptr_eq(&recorder(), &global));
+        assert_eq!(a.counter("scoped").get(), 1);
+        assert_eq!(b.counter("scoped").get(), 0);
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.count").add(2);
+        reg.counter("a.count").add(1);
+        reg.gauge("g.value").set(4.5);
+        reg.histogram("h.samples").record(2.0);
+        reg.record_span("root/child", Duration::from_nanos(1000));
+        let report = reg.report();
+        // Name-sorted.
+        assert_eq!(report.counters[0].0, "a.count");
+        assert_eq!(report.counters[1].0, "z.count");
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"a.count\": 1"));
+        assert!(json.contains("\"g.value\": 4.5"));
+        assert!(json.contains("\"root/child\""));
+        assert!(json.contains("\"mean_ns\": 1000"));
+        let lines = report.to_line_protocol();
+        assert!(lines.contains("counter,name=z.count value=2"));
+        assert!(lines.contains("gauge,name=g.value value=4.5"));
+        assert!(lines.contains("span,name=root/child count=1,total_ns=1000"));
+        assert!(lines.contains("histogram,name=h.samples count=1"));
+    }
+}

@@ -6,7 +6,7 @@
 //! exactly that case. `MIXGEMM_PROP_CASES=<n>` scales every property's
 //! case count (e.g. for a nightly deep run).
 //!
-//! Properties return `Result<(), String>`; the [`ensure!`] macro provides
+//! Properties return `Result<(), String>`; the [`ensure!`](crate::ensure) macro provides
 //! `prop_assert!`-style early returns with formatted messages.
 
 use crate::rng::Rng;
@@ -65,7 +65,7 @@ macro_rules! ensure {
     };
 }
 
-/// Equality flavour of [`ensure!`], printing both sides on failure.
+/// Equality flavour of [`ensure!`](crate::ensure), printing both sides on failure.
 #[macro_export]
 macro_rules! ensure_eq {
     ($left:expr, $right:expr) => {{

@@ -1,0 +1,206 @@
+//! Lightweight span tracing: scoped wall-clock timers that aggregate
+//! into the current metrics recorder.
+//!
+//! A [`Span`] is an RAII guard: creating one starts a timer and pushes a
+//! segment onto a thread-local path stack, dropping it records the
+//! elapsed time under the full `/`-joined path (e.g. `gemm/pack_b`) via
+//! [`crate::metrics::MetricsRegistry::record_span`]. Nesting therefore
+//! falls out of lexical scope:
+//!
+//! ```
+//! use mixgemm_harness::metrics::{self, MetricsRegistry};
+//! use std::sync::Arc;
+//!
+//! let reg = Arc::new(MetricsRegistry::new());
+//! metrics::with_recorder(reg.clone(), || {
+//!     let _outer = mixgemm_harness::span!("gemm");
+//!     {
+//!         let _inner = mixgemm_harness::span!("pack_b");
+//!     } // records "gemm/pack_b"
+//! }); // records "gemm"
+//! assert_eq!(reg.span_stats("gemm/pack_b").unwrap().count, 1);
+//! assert_eq!(reg.span_stats("gemm").unwrap().count, 1);
+//! ```
+//!
+//! # Threads
+//!
+//! The path stack is thread-local, so spawned workers start at the
+//! root. Fan-out code that wants shard timings nested under the caller's
+//! span captures [`current_path`] before spawning and opens a
+//! [`span_rooted`] child inside each worker; the aggregated
+//! [`crate::metrics::SpanStats`] then count one entry per shard under a
+//! single path regardless of which thread ran it.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::metrics::{self, Recorder};
+
+thread_local! {
+    static PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The `/`-joined path of spans currently open on this thread, or
+/// `None` at the root. Capture this before spawning workers to parent
+/// their [`span_rooted`] spans.
+pub fn current_path() -> Option<String> {
+    PATH.with(|p| {
+        let p = p.borrow();
+        if p.is_empty() {
+            None
+        } else {
+            Some(p.join("/"))
+        }
+    })
+}
+
+/// An in-flight scoped timer; records into its recorder on drop.
+#[derive(Debug)]
+pub struct Span {
+    rec: Recorder,
+    path: String,
+    start: Instant,
+    /// Stack depth to restore on drop; `usize::MAX` for rooted spans
+    /// that never pushed onto this thread's stack.
+    depth: usize,
+}
+
+/// Opens a span named `name`, nested under this thread's currently
+/// open spans and recording into the current [`metrics::recorder`].
+///
+/// Prefer the [`crate::span!`] macro, which reads slightly better at
+/// call sites.
+pub fn span(name: &str) -> Span {
+    let rec = metrics::recorder();
+    let (path, depth) = PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let depth = p.len();
+        p.push(name.to_string());
+        (p.join("/"), depth)
+    });
+    Span {
+        rec,
+        path,
+        start: Instant::now(),
+        depth,
+    }
+}
+
+/// Opens a span with an explicit full `path`, recording into `rec`
+/// rather than the thread's current recorder, and without touching the
+/// thread-local nesting stack.
+///
+/// This is the cross-thread variant of [`span`]: a fan-out layer
+/// captures its recorder and [`current_path`], then opens
+/// `span_rooted(&rec, format!("{parent}/shard"))` inside each worker so
+/// all shards aggregate under one path.
+pub fn span_rooted(rec: &Recorder, path: impl Into<String>) -> Span {
+    Span {
+        rec: rec.clone(),
+        path: path.into(),
+        start: Instant::now(),
+        depth: usize::MAX,
+    }
+}
+
+impl Span {
+    /// The full `/`-joined path this span records under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.depth != usize::MAX {
+            PATH.with(|p| {
+                // Truncate rather than pop: if an inner span leaked past
+                // its scope, drop order still restores this level.
+                p.borrow_mut().truncate(self.depth);
+            });
+        }
+        self.rec.record_span(&self.path, self.start.elapsed());
+    }
+}
+
+/// Opens a [`Span`] named by the given expression, nested under the
+/// spans already open on this thread: `let _s = span!("pack_b");`.
+///
+/// Bind the result — `span!(..)` alone (or bound to `_`) drops
+/// immediately and times nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_nest_lexically() {
+        let reg = Arc::new(MetricsRegistry::new());
+        metrics::with_recorder(reg.clone(), || {
+            assert_eq!(current_path(), None);
+            let _a = span("a");
+            assert_eq!(current_path().as_deref(), Some("a"));
+            {
+                let b = span("b");
+                assert_eq!(b.path(), "a/b");
+                assert_eq!(current_path().as_deref(), Some("a/b"));
+            }
+            {
+                let _c = span("c");
+                assert_eq!(current_path().as_deref(), Some("a/c"));
+            }
+        });
+        assert_eq!(current_path(), None);
+        assert_eq!(reg.span_stats("a/b").unwrap().count, 1);
+        assert_eq!(reg.span_stats("a/c").unwrap().count, 1);
+        assert_eq!(reg.span_stats("a").unwrap().count, 1);
+        assert!(reg.span_stats("b").is_none());
+    }
+
+    #[test]
+    fn rooted_spans_aggregate_across_threads() {
+        let reg = Arc::new(MetricsRegistry::new());
+        metrics::with_recorder(reg.clone(), || {
+            let _outer = span("net");
+            let parent = current_path().unwrap();
+            let rec = metrics::recorder();
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let rec = rec.clone();
+                    let path = format!("{parent}/shard");
+                    scope.spawn(move || {
+                        let _s = span_rooted(&rec, path);
+                    });
+                }
+            });
+        });
+        assert_eq!(reg.span_stats("net/shard").unwrap().count, 4);
+        assert_eq!(reg.span_stats("net").unwrap().count, 1);
+    }
+
+    #[test]
+    fn rooted_span_does_not_touch_nesting_stack() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let rooted = span_rooted(&reg, "explicit/path");
+        assert_eq!(current_path(), None);
+        drop(rooted);
+        assert_eq!(reg.span_stats("explicit/path").unwrap().count, 1);
+    }
+
+    #[test]
+    fn span_macro_uses_current_recorder() {
+        let reg = Arc::new(MetricsRegistry::new());
+        metrics::with_recorder(reg.clone(), || {
+            let _s = crate::span!("macro_span");
+        });
+        assert_eq!(reg.span_stats("macro_span").unwrap().count, 1);
+    }
+}

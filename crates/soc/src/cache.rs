@@ -82,6 +82,16 @@ impl CacheStats {
             self.misses as f64 / self.accesses as f64
         }
     }
+
+    /// Exports accesses/misses/miss-rate as `{prefix}.<name>` gauges
+    /// into `rec`.
+    pub fn export(&self, rec: &mixgemm_harness::MetricsRegistry, prefix: &str) {
+        rec.gauge(&format!("{prefix}.accesses"))
+            .set_u64(self.accesses);
+        rec.gauge(&format!("{prefix}.misses")).set_u64(self.misses);
+        rec.gauge(&format!("{prefix}.miss_rate"))
+            .set(self.miss_rate());
+    }
 }
 
 /// One set-associative, write-allocate, LRU cache level.

@@ -23,6 +23,22 @@ pub struct CoreStats {
     pub external_stall_cycles: u64,
 }
 
+impl CoreStats {
+    /// Exports every counter as a `{prefix}.<name>` gauge into `rec`.
+    pub fn export(&self, rec: &mixgemm_harness::MetricsRegistry, prefix: &str) {
+        rec.gauge(&format!("{prefix}.instructions"))
+            .set_u64(self.instructions);
+        rec.gauge(&format!("{prefix}.loads")).set_u64(self.loads);
+        rec.gauge(&format!("{prefix}.stores")).set_u64(self.stores);
+        rec.gauge(&format!("{prefix}.data_stall_cycles"))
+            .set_u64(self.data_stall_cycles);
+        rec.gauge(&format!("{prefix}.structural_stall_cycles"))
+            .set_u64(self.structural_stall_cycles);
+        rec.gauge(&format!("{prefix}.external_stall_cycles"))
+            .set_u64(self.external_stall_cycles);
+    }
+}
+
 /// Trace-driven in-order core: a register-availability scoreboard with
 /// per-functional-unit structural hazards, an issue width, and a cache
 /// hierarchy for memory operations.

@@ -8,7 +8,7 @@
 //!   BLIS int8 ≈ 2.5x (Fig. 6);
 //! - `sifive_u740`: OpenBLAS FP32 ≈ 0.9 GOPS on the six CNNs (Table III
 //!   baseline row);
-//! - `cortex_a53`: GEMMLowp ≈ 4.7–5.8 GOPS (Table III row [33]).
+//! - `cortex_a53`: GEMMLowp ≈ 4.7–5.8 GOPS (Table III row \[33\]).
 //!
 //! Everything not pinned by an anchor is set to values typical for the
 //! respective microarchitecture class.

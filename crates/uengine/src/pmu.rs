@@ -1,5 +1,7 @@
 use std::fmt;
 
+use mixgemm_harness::metrics::MetricsRegistry;
+
 /// The Performance Monitoring Unit the paper equips the µ-engine with to
 /// drive its design-space exploration (§III-C).
 ///
@@ -70,6 +72,25 @@ impl Pmu {
         }
     }
 
+    /// Exports every counter as a `{prefix}.<name>` gauge into `rec`,
+    /// replacing the bench-local plumbing each bin used to re-derive.
+    pub fn export(&self, rec: &MetricsRegistry, prefix: &str) {
+        rec.gauge(&format!("{prefix}.busy_cycles"))
+            .set_u64(self.busy_cycles);
+        rec.gauge(&format!("{prefix}.srcbuf_stall_cycles"))
+            .set_u64(self.srcbuf_stall_cycles);
+        rec.gauge(&format!("{prefix}.get_stall_cycles"))
+            .set_u64(self.get_stall_cycles);
+        rec.gauge(&format!("{prefix}.ip_instructions"))
+            .set_u64(self.ip_instructions);
+        rec.gauge(&format!("{prefix}.get_instructions"))
+            .set_u64(self.get_instructions);
+        rec.gauge(&format!("{prefix}.macs")).set_u64(self.macs);
+        rec.gauge(&format!("{prefix}.chunks")).set_u64(self.chunks);
+        rec.gauge(&format!("{prefix}.macs_per_busy_cycle"))
+            .set(self.macs_per_busy_cycle());
+    }
+
     /// Merges counters from another PMU (e.g. per-layer roll-ups).
     pub fn merge(&mut self, other: &Pmu) {
         self.busy_cycles += other.busy_cycles;
@@ -137,6 +158,29 @@ mod tests {
         assert_eq!(a.busy_cycles, 4);
         assert_eq!(a.macs, 6);
         assert_eq!(a.chunks, 1);
+    }
+
+    #[test]
+    fn export_publishes_every_counter() {
+        let pmu = Pmu {
+            busy_cycles: 100,
+            srcbuf_stall_cycles: 20,
+            get_stall_cycles: 5,
+            ip_instructions: 40,
+            get_instructions: 16,
+            macs: 250,
+            chunks: 10,
+        };
+        let reg = MetricsRegistry::new();
+        pmu.export(&reg, "pmu");
+        assert_eq!(reg.gauge("pmu.busy_cycles").get(), 100.0);
+        assert_eq!(reg.gauge("pmu.srcbuf_stall_cycles").get(), 20.0);
+        assert_eq!(reg.gauge("pmu.get_stall_cycles").get(), 5.0);
+        assert_eq!(reg.gauge("pmu.ip_instructions").get(), 40.0);
+        assert_eq!(reg.gauge("pmu.get_instructions").get(), 16.0);
+        assert_eq!(reg.gauge("pmu.macs").get(), 250.0);
+        assert_eq!(reg.gauge("pmu.chunks").get(), 10.0);
+        assert!((reg.gauge("pmu.macs_per_busy_cycle").get() - 2.5).abs() < 1e-12);
     }
 
     #[test]

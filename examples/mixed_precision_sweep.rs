@@ -5,13 +5,12 @@
 //!
 //! Run with: `cargo run --release --example mixed_precision_sweep`
 
-use mixgemm::api::EdgeSoc;
+use mixgemm::api::Session;
 use mixgemm::binseg::chunk::ChunkShape;
 use mixgemm::binseg::{BinSegConfig, PrecisionConfig};
 use mixgemm::gemm::GemmDims;
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    let soc = EdgeSoc::sargantana();
     let dims = GemmDims::square(512);
 
     println!("GEMM 512^3 across the full precision grid (rows: activations,");
@@ -27,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             let pc = PrecisionConfig::from_bits(a, w)?;
             let (oa, ow) = pc.operand_types();
             let cluster = BinSegConfig::new(oa, ow).cluster_size();
-            let summary = soc.run_gemm(pc, dims)?;
+            let summary = Session::builder().precision(pc).build().simulate(dims)?;
             print!("{:5.1}|{}    ", summary.gops(), cluster);
         }
         println!();

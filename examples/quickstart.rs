@@ -3,9 +3,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use mixgemm::api::EdgeSoc;
+use mixgemm::api::Session;
 use mixgemm::binseg::example as binseg_example;
 use mixgemm::gemm::{GemmDims, GemmOptions, MixGemmKernel, QuantMatrix};
+use mixgemm::PrecisionConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // 1. The binary-segmentation trick itself, on the paper's Fig. 1
@@ -35,9 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     );
 
     // 3. How fast does the modelled edge SoC run it?
-    let soc = EdgeSoc::sargantana();
-    for pc in ["a8-w8", "a5-w5", "a4-w4", "a2-w2"] {
-        let summary = soc.run_gemm(pc.parse()?, GemmDims::square(512))?;
+    for pc in [
+        PrecisionConfig::A8W8,
+        PrecisionConfig::A5W5,
+        PrecisionConfig::A4W4,
+        PrecisionConfig::A2W2,
+    ] {
+        let session = Session::builder().precision(pc).build();
+        let summary = session.simulate(GemmDims::square(512))?;
         println!(
             "  {pc}: {:>6.2} GOPS, {:>6.1} GOPS/W, {:.3} cycles/MAC",
             summary.gops(),

@@ -1,0 +1,192 @@
+//! Cross-crate invariants of the observability layer and the unified
+//! error type: error conversions round-trip, counters are exact under
+//! parallel execution, spans nest through the parallel network
+//! simulation, and enabling observability never changes a computed
+//! result.
+
+use std::error::Error as _;
+use std::sync::Arc;
+
+use mixgemm::api::Session;
+use mixgemm::binseg::BinSegError;
+use mixgemm::dnn::runtime::{self, PrecisionPlan};
+use mixgemm::dnn::{zoo, DnnError};
+use mixgemm::gemm::{Fidelity, GemmError, GemmOptions, MixGemmKernel, Parallelism, QuantMatrix};
+use mixgemm::harness::metrics::{self, MetricsRegistry};
+use mixgemm::quant::QuantError;
+use mixgemm::uengine::EngineError;
+use mixgemm::{Error, PrecisionConfig};
+
+fn mat(rows: usize, cols: usize, op: mixgemm::OperandType, seed: usize) -> QuantMatrix {
+    QuantMatrix::from_fn(rows, cols, op, |r, c| {
+        let span = (op.max_value() - op.min_value() + 1) as i64;
+        (op.min_value() as i64 + ((r * 31 + c * 7 + seed) as i64 % span)) as i32
+    })
+}
+
+#[test]
+fn error_conversions_round_trip() {
+    let binseg = BinSegError::MulWidthTooSmall {
+        mul_width: 4,
+        required: 8,
+    };
+    let quant = QuantError::EmptyCalibration;
+    let engine = EngineError::Deadlock;
+    let gemm = GemmError::DimensionMismatch {
+        a_cols: 3,
+        b_rows: 4,
+    };
+    let dnn = DnnError::BadGroups {
+        in_c: 4,
+        out_c: 8,
+        groups: 3,
+    };
+
+    let e: Error = binseg.clone().into();
+    assert_eq!(e, Error::BinSeg(binseg.clone()));
+    assert!(e.to_string().starts_with("binseg: "));
+    assert_eq!(e.source().unwrap().to_string(), binseg.to_string());
+
+    let e: Error = quant.clone().into();
+    assert_eq!(e, Error::Quant(quant.clone()));
+    assert!(e.to_string().starts_with("quant: "));
+    assert_eq!(e.source().unwrap().to_string(), quant.to_string());
+
+    let e: Error = engine.clone().into();
+    assert_eq!(e, Error::Engine(engine.clone()));
+    assert!(e.to_string().starts_with("uengine: "));
+    assert_eq!(e.source().unwrap().to_string(), engine.to_string());
+
+    let e: Error = gemm.clone().into();
+    assert_eq!(e, Error::Gemm(gemm.clone()));
+    assert!(e.to_string().starts_with("gemm: "));
+    assert_eq!(e.source().unwrap().to_string(), gemm.to_string());
+
+    let e: Error = dnn.clone().into();
+    assert_eq!(e, Error::Dnn(dnn.clone()));
+    assert!(e.to_string().starts_with("dnn: "));
+    assert_eq!(e.source().unwrap().to_string(), dnn.to_string());
+}
+
+#[test]
+fn lower_layer_errors_stay_wrapped() {
+    // A value-range error raised inside a GEMM arrives as Error::Gemm,
+    // carrying the binseg cause in its chain — not as Error::BinSeg.
+    let inner = GemmError::Value(BinSegError::ValueOutOfRange {
+        value: 99,
+        operand: PrecisionConfig::A4W4.operand_types().0,
+    });
+    let e: Error = inner.clone().into();
+    match &e {
+        Error::Gemm(g) => assert_eq!(g, &inner),
+        other => panic!("expected Error::Gemm, got {other:?}"),
+    }
+    // The chain runs Error -> GemmError -> BinSegError.
+    let cause = e.source().unwrap().source().unwrap();
+    assert!(cause.to_string().contains("99"));
+}
+
+#[test]
+fn session_surfaces_dimension_mismatch_as_unified_error() {
+    let session = Session::builder().build();
+    let (oa, ow) = PrecisionConfig::A8W8.operand_types();
+    let a = QuantMatrix::zeros(4, 5, oa);
+    let b = QuantMatrix::zeros(6, 4, ow);
+    match session.run(&a, &b) {
+        Err(Error::Gemm(GemmError::DimensionMismatch { a_cols, b_rows })) => {
+            assert_eq!((a_cols, b_rows), (5, 6));
+        }
+        other => panic!("expected a dimension mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn counters_are_exact_under_parallel_gemm() {
+    let precision = PrecisionConfig::A4W4;
+    let (oa, ow) = precision.operand_types();
+    let a = mat(96, 64, oa, 1);
+    let b = mat(64, 80, ow, 2);
+
+    let recorder = Arc::new(MetricsRegistry::new());
+    let session = Session::builder()
+        .precision(precision)
+        .parallelism(Parallelism::new(4))
+        .observe(recorder.clone())
+        .build();
+
+    let first = session.run(&a, &b).unwrap();
+    // Packing happens exactly once per operand, even with 4 workers.
+    assert_eq!(first.metrics.counter("gemm.operand_cache.miss"), 2);
+    assert_eq!(first.metrics.counter("gemm.operand_cache.hit"), 0);
+
+    let second = session.run(&a, &b).unwrap();
+    assert_eq!(second.metrics.counter("gemm.operand_cache.miss"), 0);
+    assert_eq!(second.metrics.counter("gemm.operand_cache.hit"), 2);
+
+    // Every shard increments the counter and records a span; the two
+    // views must agree exactly, however the work was partitioned.
+    let shards = recorder.report().counter("gemm.shards");
+    assert!(shards >= 2, "two runs produce at least one shard each");
+    let shard_spans = recorder
+        .report()
+        .span("gemm/kernel/shard")
+        .expect("shard spans recorded under the kernel span");
+    assert_eq!(shard_spans.count, shards);
+}
+
+#[test]
+fn spans_nest_through_parallel_network_simulation() {
+    let recorder = Arc::new(MetricsRegistry::new());
+    let net = zoo::alexnet();
+    let plan = PrecisionPlan::uniform(PrecisionConfig::A2W2);
+    metrics::with_recorder(recorder.clone(), || {
+        runtime::simulate_network_parallel(&net, &plan, Fidelity::Sampled, Parallelism::new(4))
+            .unwrap();
+    });
+    let report = recorder.report();
+    let net_span = report.span("simulate_network").expect("network span");
+    assert_eq!(net_span.count, 1);
+    // Worker threads parent their per-shape spans under the network
+    // span even though they run on their own stacks.
+    let shapes = report
+        .span("simulate_network/sim_shape")
+        .expect("per-shape spans");
+    assert!(shapes.count >= 1);
+    assert!(
+        report.span("simulate_network/layer").is_some(),
+        "per-layer assembly spans nest under the network span"
+    );
+    // Simulations themselves were recorded into the same registry.
+    assert!(report.counter("dnn.simcache.miss") > 0);
+}
+
+#[test]
+fn observability_never_changes_results() {
+    // Property: for a grid of precisions, shapes and thread counts, the
+    // C computed under a session recorder is bit-identical to the
+    // uninstrumented kernel path.
+    for (pc, m, k, n) in [
+        (PrecisionConfig::A8W8, 17, 40, 9),
+        (PrecisionConfig::A4W4, 33, 65, 31),
+        (PrecisionConfig::A3W2, 8, 128, 24),
+        (PrecisionConfig::A2W8, 21, 33, 5),
+    ] {
+        let (oa, ow) = pc.operand_types();
+        let a = mat(m, k, oa, m + k);
+        let b = mat(k, n, ow, k + n);
+        let reference = MixGemmKernel::new(GemmOptions::new(pc))
+            .compute(&a, &b)
+            .unwrap();
+        for threads in [1, 4] {
+            let session = Session::builder()
+                .precision(pc)
+                .parallelism(Parallelism::new(threads))
+                .observe(Arc::new(MetricsRegistry::new()))
+                .build();
+            let result = session.run(&a, &b).unwrap();
+            assert_eq!(result.c, reference, "{pc} {m}x{k}x{n} threads={threads}");
+            // The run really was observed.
+            assert!(result.metrics.span("gemm").is_some());
+        }
+    }
+}
