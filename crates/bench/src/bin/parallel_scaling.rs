@@ -1,12 +1,13 @@
 //! §III-B multi-threaded scaling: wall-clock thread sweep (1/2/4/8) of
 //! the parallel functional GEMM paths on the Fig. 6 mid-size shape,
-//! bit-exactness check against the serial path, Amdahl fit of the
-//! measured sweep, and the deterministic simulated multi-core sweep —
-//! written to `BENCH_parallel.json`.
+//! bit-exactness check against a serial `Session::run` reference,
+//! Amdahl fit of the measured sweep, and the deterministic simulated
+//! multi-core sweep — written to `BENCH_parallel.json`.
 //!
 //! Run with: `cargo run --release -p mixgemm-bench --bin parallel_scaling`
 //! (`MIXGEMM_BENCH_QUICK=1` for a smoke run.)
 
+use mixgemm::api::Session;
 use mixgemm::gemm::scaling::{
     multicore_projection_measured, simulate_thread_sweep, MeasuredPoint, MeasuredSweep,
 };
@@ -30,30 +31,39 @@ fn main() {
     println!("§III-B — thread scaling, {N}x{N}x{N} {pcfg} (host has {host_cpus} CPU(s))\n");
 
     // Bit-exactness gate: every thread count must reproduce the serial
-    // result exactly before any of its timings are worth reporting.
-    let serial_kernel = MixGemmKernel::new(GemmOptions::new(pcfg));
-    let reference = serial_kernel.compute_fast(&a, &b).unwrap();
+    // public-API result exactly before any of its timings are worth
+    // reporting.
+    let reference = Session::builder()
+        .precision(pcfg)
+        .build()
+        .run(&a, &b)
+        .expect("serial reference run")
+        .c;
     let mut bit_identical = true;
     for t in THREADS {
-        let kernel =
-            MixGemmKernel::new(GemmOptions::new(pcfg).with_parallelism(Parallelism::new(t)));
-        bit_identical &= kernel.compute_fast(&a, &b).unwrap() == reference;
+        let session = Session::builder()
+            .precision(pcfg)
+            .parallelism(Parallelism::new(t))
+            .build();
+        bit_identical &= session.run(&a, &b).unwrap().c == reference;
         bit_identical &=
             baseline::compute_blocked(&a, &b, &BlisParams::table1(), Parallelism::new(t)).unwrap()
                 == reference;
     }
     println!("bit-identical across thread counts: {bit_identical}");
 
-    // Measured wall-clock sweep of the plain-integer functional path.
+    // Measured wall-clock sweep of the binary-segmentation kernel path
+    // (operands stay packed in the QuantMatrix cache after the first
+    // call, so the timings isolate the kernel itself).
     let mut fast_points = Vec::new();
     let mut blocked_points = Vec::new();
     for t in THREADS {
         let par = Parallelism::new(t);
         let kernel = MixGemmKernel::new(GemmOptions::new(pcfg).with_parallelism(par));
         let s = bencher.run(|| {
-            black_box(kernel.compute_fast(black_box(&a), black_box(&b)).unwrap());
+            black_box(kernel.compute(black_box(&a), black_box(&b)).unwrap());
         });
-        println!("compute_fast    {t}t: {:.3} ms", s.min_secs() * 1e3);
+        println!("kernel compute  {t}t: {:.3} ms", s.min_secs() * 1e3);
         fast_points.push(MeasuredPoint {
             threads: t,
             seconds: s.min_secs(),
@@ -121,7 +131,7 @@ fn main() {
         .field("precision", pcfg.to_string())
         .field("host_cpus", host_cpus)
         .field("bit_identical", bit_identical)
-        .field("measured_compute_fast", sweep_json(&fast_sweep))
+        .field("measured_kernel_compute", sweep_json(&fast_sweep))
         .field("measured_compute_blocked", sweep_json(&blocked_sweep))
         .field(
             "measured_serial_fraction",

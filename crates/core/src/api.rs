@@ -349,6 +349,20 @@ impl Session {
         self.recorder.report()
     }
 
+    /// The session's timing-simulation fidelity.
+    pub(crate) fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// GEMM options for an arbitrary precision on this session's
+    /// platform, keeping the session's parallelism — how the serving
+    /// layer builds per-bucket kernels.
+    pub(crate) fn gemm_options_for(&self, precision: PrecisionConfig) -> GemmOptions {
+        self.platform
+            .gemm_options(precision)
+            .with_parallelism(self.kernel.options().parallelism)
+    }
+
     /// Computes `C = A * B` bit-exactly through the binary-segmentation
     /// path, times the same problem on the modelled SoC, and returns
     /// both with the metrics recorded along the way (pack/kernel span

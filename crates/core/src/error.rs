@@ -15,6 +15,8 @@ use mixgemm_gemm::GemmError;
 use mixgemm_quant::QuantError;
 use mixgemm_uengine::EngineError;
 
+use crate::serve::ServeError;
+
 /// Any error the Mix-GEMM workspace can produce, by originating layer.
 ///
 /// Lower layers stay wrapped where they occurred: a binary-segmentation
@@ -34,6 +36,9 @@ pub enum Error {
     Gemm(GemmError),
     /// Network construction or inference failed.
     Dnn(DnnError),
+    /// The serving layer rejected or abandoned a request (queue full,
+    /// deadline expired, server draining).
+    Serve(ServeError),
 }
 
 impl fmt::Display for Error {
@@ -44,6 +49,7 @@ impl fmt::Display for Error {
             Error::Engine(e) => write!(f, "uengine: {e}"),
             Error::Gemm(e) => write!(f, "gemm: {e}"),
             Error::Dnn(e) => write!(f, "dnn: {e}"),
+            Error::Serve(e) => write!(f, "serve: {e}"),
         }
     }
 }
@@ -56,6 +62,7 @@ impl std::error::Error for Error {
             Error::Engine(e) => Some(e),
             Error::Gemm(e) => Some(e),
             Error::Dnn(e) => Some(e),
+            Error::Serve(e) => Some(e),
         }
     }
 }
@@ -87,5 +94,11 @@ impl From<GemmError> for Error {
 impl From<DnnError> for Error {
     fn from(e: DnnError) -> Error {
         Error::Dnn(e)
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Error {
+        Error::Serve(e)
     }
 }

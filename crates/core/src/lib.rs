@@ -76,6 +76,7 @@ pub use mixgemm_binseg::{BinSegConfig, DataSize, OperandType, PrecisionConfig, S
 
 pub mod api;
 pub mod error;
+pub mod serve;
 
 pub use error::Error;
 

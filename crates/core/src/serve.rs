@@ -1,0 +1,807 @@
+//! The batched serving layer: a bounded request queue feeding a worker
+//! pool with **shape-bucketed scheduling**.
+//!
+//! A [`Session`] handles one GEMM per
+//! [`Session::run`] call; production traffic arrives as
+//! many concurrent requests that overwhelmingly share shapes and
+//! precisions (DNN serving replays the same layer geometries for every
+//! input). This module amortizes that sharing:
+//!
+//! - [`Session::run_batch`] buckets a batch of [`GemmRequest`]s by
+//!   `(GemmDims, PrecisionConfig)` and fans the buckets out across a
+//!   worker pool. Each bucket packs its operands once (through the
+//!   [`QuantMatrix`] packed-operand cache and
+//!   [`MixGemmKernel::compute_packed`]) and runs the cycle-level timing
+//!   simulation once (memoized process-wide, shared with the dnn layer's
+//!   [`SimCache`]).
+//! - [`Session::serve`] starts a [`Server`]: a bounded queue plus
+//!   long-lived workers. [`Server::submit`] applies backpressure
+//!   ([`ServeError::QueueFull`]) when the queue is at capacity, honors
+//!   per-request deadlines ([`ServeError::DeadlineExpired`] without
+//!   running the GEMM), and [`Server::drain`] finishes the queue before
+//!   shutting the workers down.
+//!
+//! **Bit-identity guarantee:** every result returned by the serving
+//! layer is bit-identical to an independent
+//! [`Session::run`] of the same request —
+//! bucketing, operand sharing and worker scheduling never change values
+//! (property-tested across all 49 precision pairs in
+//! `tests/serving.rs`).
+//!
+//! The scheduler reports itself through the observability layer:
+//! `serve.queue.depth` (gauge), `serve.requests` / `serve.buckets` /
+//! `serve.bucket.hit` / `serve.bucket.miss` / `serve.sim_memo.*` /
+//! `serve.deadline_expired` / `serve.rejected` (counters) and
+//! `serve/bucket` spans, all in the session's recorder.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mixgemm_binseg::PrecisionConfig;
+use mixgemm_dnn::runtime::{self, PrecisionPlan, Tensor};
+use mixgemm_dnn::simcache::{SimCache, SimKey};
+use mixgemm_dnn::{DnnError, Network};
+use mixgemm_gemm::{GemmDims, GemmError, GemmReport, MixGemmKernel, QuantMatrix};
+use mixgemm_harness::metrics::{self, MetricsReport};
+use mixgemm_harness::trace;
+
+use crate::api::Session;
+use crate::error::Error;
+
+/// Errors raised by the serving layer itself (queueing, deadlines,
+/// shutdown) — GEMM failures inside a request surface as
+/// [`Error::Gemm`] instead.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The bounded request queue is at capacity; the request was
+    /// rejected without being enqueued (backpressure).
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The request's deadline had already passed when a worker picked it
+    /// up; the GEMM was not run.
+    DeadlineExpired,
+    /// The server is draining or shut down and accepts no new requests.
+    ShutDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            ServeError::DeadlineExpired => write!(f, "request deadline expired before execution"),
+            ServeError::ShutDown => write!(f, "server is draining and accepts no new requests"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One GEMM request: shared operands plus optional per-request precision
+/// and deadline.
+///
+/// Operands are `Arc`-shared so many requests (and the caller) can
+/// reference the same matrix without copying — the steady state of DNN
+/// serving, where one weight matrix meets a stream of activations. The
+/// packed-operand cache lives on the [`QuantMatrix`], so every request
+/// touching a given operand after the first reuses its packed form.
+#[derive(Clone, Debug)]
+pub struct GemmRequest {
+    a: Arc<QuantMatrix>,
+    b: Arc<QuantMatrix>,
+    precision: Option<PrecisionConfig>,
+    deadline: Option<Instant>,
+}
+
+impl GemmRequest {
+    /// A request over shared operands at the session's default precision.
+    pub fn new(a: Arc<QuantMatrix>, b: Arc<QuantMatrix>) -> Self {
+        GemmRequest {
+            a,
+            b,
+            precision: None,
+            deadline: None,
+        }
+    }
+
+    /// Convenience constructor taking owned matrices.
+    pub fn owned(a: QuantMatrix, b: QuantMatrix) -> Self {
+        GemmRequest::new(Arc::new(a), Arc::new(b))
+    }
+
+    /// Overrides the session's precision for this request. The operands
+    /// must have been built with the matching
+    /// [`PrecisionConfig::operand_types`].
+    pub fn with_precision(mut self, precision: PrecisionConfig) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
+    /// Sets an absolute deadline: a worker that picks the request up
+    /// after this instant fails it with [`ServeError::DeadlineExpired`]
+    /// without running the GEMM.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline relative to now (see
+    /// [`GemmRequest::with_deadline`]).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// The A operand.
+    pub fn a(&self) -> &Arc<QuantMatrix> {
+        &self.a
+    }
+
+    /// The B operand.
+    pub fn b(&self) -> &Arc<QuantMatrix> {
+        &self.b
+    }
+
+    /// The per-request precision override, if any.
+    pub fn precision(&self) -> Option<PrecisionConfig> {
+        self.precision
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The GEMM dimensions the request describes.
+    pub fn dims(&self) -> GemmDims {
+        GemmDims::new(self.a.rows(), self.a.cols(), self.b.cols())
+    }
+}
+
+/// The outcome of one served request: the bit-exact result matrix and
+/// the cycle-level report of its shape class (simulated once per
+/// bucket — the simulation is data-independent, so every request in the
+/// bucket shares it).
+#[derive(Clone, Debug)]
+pub struct ServedGemm {
+    /// The computed C matrix (row-major `m x n`), bit-identical to
+    /// [`Session::run`] on the same operands.
+    pub c: Vec<i64>,
+    /// Cycle-level simulation of the request's `(dims, precision)` class
+    /// on the session's platform.
+    pub report: GemmReport,
+}
+
+/// The outcome of one [`Session::run_batch`] call.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-request outcomes, in submission order.
+    pub results: Vec<Result<ServedGemm, Error>>,
+    /// Everything recorded during the batch: bucket counters, pack and
+    /// kernel spans, operand-cache and simulation-memo hit rates.
+    pub metrics: MetricsReport,
+    /// Distinct `(dims, precision)` buckets the batch scheduled.
+    pub buckets: usize,
+}
+
+impl BatchReport {
+    /// Unwraps every result, returning the first error if any request
+    /// failed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-request error in submission order.
+    pub fn into_outputs(self) -> Result<Vec<ServedGemm>, Error> {
+        self.results.into_iter().collect()
+    }
+}
+
+/// A `(dims, precision)` scheduling class: requests sharing a key share
+/// packed operands and one timing simulation.
+type BucketKey = (GemmDims, PrecisionConfig);
+
+fn key_of(req: &GemmRequest, default_precision: PrecisionConfig) -> BucketKey {
+    (req.dims(), req.precision.unwrap_or(default_precision))
+}
+
+/// Process-wide memo of full cycle-level reports, keyed like the dnn
+/// layer's [`SimCache`] (which only keeps `(cycles, busy)` and therefore
+/// cannot back [`ServedGemm::report`]).
+fn report_memo() -> &'static Mutex<HashMap<SimKey, GemmReport>> {
+    static MEMO: OnceLock<Mutex<HashMap<SimKey, GemmReport>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Runs one bucket: simulate the shape class once (memoized), then
+/// compute every request through the shared packed operands. Returns
+/// `(input position, outcome)` pairs in input order.
+fn run_bucket(
+    session: &Session,
+    dims: GemmDims,
+    precision: PrecisionConfig,
+    requests: &[(usize, GemmRequest)],
+) -> Vec<(usize, Result<ServedGemm, Error>)> {
+    let rec = session.recorder().clone();
+    metrics::with_recorder(rec.clone(), || {
+        let _bucket = trace::span_rooted(&rec, "serve/bucket");
+        rec.counter("serve.buckets").inc();
+        rec.counter("serve.requests").add(requests.len() as u64);
+        // Bucket hit accounting: the first request of a bucket pays the
+        // packing (miss); every further request rides the shared packed
+        // operands (hit). `hit_rate("serve.bucket")` is the batched
+        // amortization win.
+        rec.counter("serve.bucket.miss").inc();
+        if requests.len() > 1 {
+            rec.counter("serve.bucket.hit")
+                .add(requests.len() as u64 - 1);
+        }
+
+        let opts = session.gemm_options_for(precision);
+        let sim_key = SimKey::new(dims, session.fidelity(), &opts);
+        let kernel = MixGemmKernel::new(opts);
+
+        // One cycle-level simulation per shape class, process-wide. The
+        // (cycles, busy) pair also lands in the dnn SimCache so network
+        // simulations of the same shapes skip the cycle-level model —
+        // insert only, leaving that cache's hit counters to its callers.
+        let cached = report_memo()
+            .lock()
+            .expect("serve report memo poisoned")
+            .get(&sim_key)
+            .cloned();
+        let report: Result<GemmReport, Error> = match cached {
+            Some(r) => {
+                rec.counter("serve.sim_memo.hit").inc();
+                Ok(r)
+            }
+            None => {
+                rec.counter("serve.sim_memo.miss").inc();
+                match kernel.simulate(dims, session.fidelity()) {
+                    Ok(r) => {
+                        report_memo()
+                            .lock()
+                            .expect("serve report memo poisoned")
+                            .insert(sim_key.clone(), r.clone());
+                        let busy = r.pmu.map(|p| p.busy_cycles).unwrap_or(0);
+                        SimCache::global().insert(sim_key, (r.cycles, busy));
+                        Ok(r)
+                    }
+                    Err(e) => Err(Error::Gemm(e)),
+                }
+            }
+        };
+
+        requests
+            .iter()
+            .map(|(pos, req)| {
+                let outcome = (|| {
+                    if let Some(deadline) = req.deadline {
+                        if Instant::now() >= deadline {
+                            rec.counter("serve.deadline_expired").inc();
+                            return Err(Error::Serve(ServeError::DeadlineExpired));
+                        }
+                    }
+                    // Packing runs once per distinct operand: the packed
+                    // form lives on the shared QuantMatrix, so every
+                    // later request in the bucket (and any later batch
+                    // holding the same Arc) reuses it.
+                    let c = kernel.compute_packed(&req.a.packed_rows(), &req.b.packed_cols())?;
+                    Ok(ServedGemm {
+                        c,
+                        report: report.clone()?,
+                    })
+                })();
+                (*pos, outcome)
+            })
+            .collect()
+    })
+}
+
+impl Session {
+    /// Runs a batch of requests through the shape-bucketed scheduler on
+    /// the session's configured
+    /// [`parallelism`](crate::api::SessionBuilder::parallelism) as the
+    /// worker count. See [`Session::run_batch_with`].
+    pub fn run_batch(&self, requests: Vec<GemmRequest>) -> BatchReport {
+        let workers = self.options().parallelism.threads;
+        self.run_batch_with(requests, workers)
+    }
+
+    /// Runs a batch of requests through the shape-bucketed scheduler on
+    /// an explicit number of workers.
+    ///
+    /// Requests are grouped into `(dims, precision)` buckets in
+    /// submission order; workers claim whole buckets, so each bucket
+    /// packs its operands once and simulates its shape class once.
+    /// Results come back in submission order regardless of worker
+    /// scheduling, and every result is bit-identical to an independent
+    /// [`Session::run`] of the same request.
+    /// Per-request failures (dimension mismatches, expired deadlines)
+    /// land in [`BatchReport::results`] without failing the batch.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use mixgemm::api::Session;
+    /// use mixgemm::gemm::QuantMatrix;
+    /// use mixgemm::serve::GemmRequest;
+    /// use mixgemm::PrecisionConfig;
+    ///
+    /// let session = Session::builder().precision(PrecisionConfig::A4W4).build();
+    /// let (oa, ow) = PrecisionConfig::A4W4.operand_types();
+    /// let b = Arc::new(QuantMatrix::from_fn(32, 8, ow, |r, c| ((r * c) % 5) as i32 - 2));
+    /// let batch: Vec<GemmRequest> = (0..3)
+    ///     .map(|i| {
+    ///         let a = QuantMatrix::from_fn(16, 32, oa, move |r, c| ((r + c + i) % 8) as i32);
+    ///         GemmRequest::new(Arc::new(a), b.clone())
+    ///     })
+    ///     .collect();
+    /// let report = session.run_batch_with(batch, 2);
+    /// assert_eq!(report.buckets, 1); // one shared (dims, precision) class
+    /// assert_eq!(report.results.len(), 3);
+    /// assert!(report.results.iter().all(|r| r.is_ok()));
+    /// ```
+    pub fn run_batch_with(&self, requests: Vec<GemmRequest>, workers: usize) -> BatchReport {
+        let snap = self.recorder().snapshot();
+        let n = requests.len();
+        let mut results: Vec<Option<Result<ServedGemm, Error>>> = (0..n).map(|_| None).collect();
+
+        // Bucket in submission order.
+        let default_precision = self.options().precision;
+        let mut order: Vec<BucketKey> = Vec::new();
+        let mut by_key: HashMap<BucketKey, Vec<(usize, GemmRequest)>> = HashMap::new();
+        for (pos, req) in requests.into_iter().enumerate() {
+            if req.a.cols() != req.b.rows() {
+                results[pos] = Some(Err(Error::Gemm(GemmError::DimensionMismatch {
+                    a_cols: req.a.cols(),
+                    b_rows: req.b.rows(),
+                })));
+                continue;
+            }
+            let key = key_of(&req, default_precision);
+            by_key
+                .entry(key)
+                .or_insert_with(|| {
+                    order.push(key);
+                    Vec::new()
+                })
+                .push((pos, req));
+        }
+        let buckets: Vec<(BucketKey, Vec<(usize, GemmRequest)>)> = order
+            .into_iter()
+            .map(|key| {
+                let reqs = by_key.remove(&key).expect("bucket recorded in order");
+                (key, reqs)
+            })
+            .collect();
+        let bucket_count = buckets.len();
+
+        let workers = workers.clamp(1, bucket_count.max(1));
+        if workers <= 1 {
+            for ((dims, precision), reqs) in &buckets {
+                for (pos, outcome) in run_bucket(self, *dims, *precision, reqs) {
+                    results[pos] = Some(outcome);
+                }
+            }
+        } else {
+            // Workers claim bucket indices from a shared cursor and
+            // complete in any order; scattering by submission position
+            // restores the caller's ordering.
+            let next = AtomicUsize::new(0);
+            let done: Mutex<Vec<(usize, Result<ServedGemm, Error>)>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(((dims, precision), reqs)) = buckets.get(i) else {
+                            break;
+                        };
+                        let outcomes = run_bucket(self, *dims, *precision, reqs);
+                        done.lock()
+                            .expect("serve results poisoned")
+                            .extend(outcomes);
+                    });
+                }
+            });
+            for (pos, outcome) in done.into_inner().expect("serve results poisoned") {
+                results[pos] = Some(outcome);
+            }
+        }
+
+        BatchReport {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every request resolved"))
+                .collect(),
+            metrics: self.recorder().report_since(&snap),
+            buckets: bucket_count,
+        }
+    }
+
+    /// Starts a [`Server`] over a clone of this session: a bounded
+    /// request queue feeding `config.workers` long-lived worker threads
+    /// that schedule by shape bucket. The server records into this
+    /// session's registry.
+    pub fn serve(&self, config: ServeConfig) -> Server {
+        Server::start(self.clone(), config)
+    }
+
+    /// Runs quantized inference over a batch of inputs through the
+    /// serving layer's worker pool, with every GEMM configured by this
+    /// session (platform, blocking, Source Buffer depth). Outputs are
+    /// bit-identical to per-input
+    /// [`runtime::forward_quantized`] calls under the same options —
+    /// batch members are independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Dnn`] on the first per-input shape or GEMM
+    /// failure.
+    pub fn forward_batch(
+        &self,
+        net: &Network,
+        inputs: &[Tensor],
+        plan: &PrecisionPlan,
+        seed: u64,
+        workers: usize,
+    ) -> Result<ForwardBatch, Error> {
+        let snap = self.recorder().snapshot();
+        let rec = self.recorder().clone();
+        let forward = |x: &Tensor| {
+            runtime::forward_quantized_with(net, x, plan, seed, |pc| self.gemm_options_for(pc))
+        };
+        let workers = workers.clamp(1, inputs.len().max(1));
+        let outputs = if workers <= 1 {
+            metrics::with_recorder(rec.clone(), || {
+                inputs.iter().map(forward).collect::<Result<Vec<_>, _>>()
+            })?
+        } else {
+            let chunk = inputs.len().div_ceil(workers);
+            let rec = &rec;
+            let forward = &forward;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = inputs
+                    .chunks(chunk)
+                    .map(|xs| {
+                        scope.spawn(move || {
+                            metrics::with_recorder(rec.clone(), || {
+                                xs.iter().map(forward).collect::<Result<Vec<_>, DnnError>>()
+                            })
+                        })
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(inputs.len());
+                for h in handles {
+                    out.extend(h.join().expect("forward worker panicked")?);
+                }
+                Ok::<_, DnnError>(out)
+            })?
+        };
+        Ok(ForwardBatch {
+            outputs,
+            metrics: self.recorder().report_since(&snap),
+        })
+    }
+}
+
+/// The outcome of one [`Session::forward_batch`].
+#[derive(Clone, Debug)]
+pub struct ForwardBatch {
+    /// Per-input network outputs, in input order.
+    pub outputs: Vec<Tensor>,
+    /// Everything recorded during the batch (per-layer spans, operand
+    /// and simulation cache counters).
+    pub metrics: MetricsReport,
+}
+
+/// Configures a [`Server`] (see [`Session::serve`]).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue (at least 1; default 2).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected with
+    /// [`ServeError::QueueFull`] (default 64).
+    pub queue_capacity: usize,
+    /// Start with the workers paused: requests enqueue but nothing runs
+    /// until [`Server::resume`] — deterministic queue-buildup for tests
+    /// and warm-up (default false).
+    pub start_paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            start_paused: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration: 2 workers, capacity 64, running.
+    pub fn new() -> Self {
+        ServeConfig::default()
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the queue capacity (clamped to at least 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Starts the server paused (see [`ServeConfig::start_paused`]).
+    pub fn start_paused(mut self, paused: bool) -> Self {
+        self.start_paused = paused;
+        self
+    }
+}
+
+/// A pending request's completion slot, shared between the worker that
+/// fills it and the [`Ticket`] that waits on it.
+struct Slot {
+    done: Mutex<Option<Result<ServedGemm, Error>>>,
+    cv: Condvar,
+}
+
+/// A handle to one submitted request (see [`Server::submit`]).
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let done = self.slot.done.lock().expect("serve slot poisoned");
+        f.debug_struct("Ticket")
+            .field("completed", &done.is_some())
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the request completes and returns its outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request's failure: [`Error::Serve`] for scheduler
+    /// errors (expired deadline, shutdown) or [`Error::Gemm`] for
+    /// computation failures.
+    pub fn wait(self) -> Result<ServedGemm, Error> {
+        let mut done = self.slot.done.lock().expect("serve slot poisoned");
+        loop {
+            if let Some(outcome) = done.take() {
+                return outcome;
+            }
+            done = self.slot.cv.wait(done).expect("serve slot poisoned");
+        }
+    }
+
+    /// The outcome, if the request already completed (non-blocking).
+    pub fn try_wait(&self) -> Option<Result<ServedGemm, Error>> {
+        self.slot.done.lock().expect("serve slot poisoned").take()
+    }
+}
+
+struct QueueState {
+    pending: VecDeque<(GemmRequest, Arc<Slot>)>,
+    paused: bool,
+    draining: bool,
+}
+
+struct Shared {
+    session: Session,
+    capacity: usize,
+    state: Mutex<QueueState>,
+    work: Condvar,
+}
+
+/// A running serving instance: bounded queue + worker pool over one
+/// session (see [`Session::serve`]).
+///
+/// Dropping the server drains it gracefully: already-queued requests
+/// finish, then the workers exit.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    fn start(session: Session, config: ServeConfig) -> Server {
+        let shared = Arc::new(Shared {
+            session,
+            capacity: config.queue_capacity.max(1),
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                paused: config.start_paused,
+                draining: false,
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Enqueues a request, returning a [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] when the bounded queue is at
+    /// capacity (the request is dropped — backpressure),
+    /// [`ServeError::ShutDown`] after [`Server::drain`], and
+    /// [`Error::Gemm`] immediately for dimension mismatches.
+    pub fn submit(&self, request: GemmRequest) -> Result<Ticket, Error> {
+        if request.a.cols() != request.b.rows() {
+            return Err(Error::Gemm(GemmError::DimensionMismatch {
+                a_cols: request.a.cols(),
+                b_rows: request.b.rows(),
+            }));
+        }
+        let rec = self.shared.session.recorder();
+        let mut st = self.shared.state.lock().expect("serve queue poisoned");
+        if st.draining {
+            return Err(Error::Serve(ServeError::ShutDown));
+        }
+        if st.pending.len() >= self.shared.capacity {
+            rec.counter("serve.rejected").inc();
+            return Err(Error::Serve(ServeError::QueueFull {
+                capacity: self.shared.capacity,
+            }));
+        }
+        let slot = Arc::new(Slot {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        st.pending.push_back((request, slot.clone()));
+        rec.gauge("serve.queue.depth").set(st.pending.len() as f64);
+        let paused = st.paused;
+        drop(st);
+        if !paused {
+            self.shared.work.notify_one();
+        }
+        Ok(Ticket { slot })
+    }
+
+    /// Unpauses a server started with [`ServeConfig::start_paused`].
+    pub fn resume(&self) {
+        let mut st = self.shared.state.lock().expect("serve queue poisoned");
+        st.paused = false;
+        drop(st);
+        self.shared.work.notify_all();
+    }
+
+    /// The number of requests currently queued (not yet claimed by a
+    /// worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("serve queue poisoned")
+            .pending
+            .len()
+    }
+
+    /// Stops accepting submissions (later [`Server::submit`] calls fail
+    /// with [`ServeError::ShutDown`]) while already-queued requests
+    /// still run to completion. Also unpauses a paused server so the
+    /// queue can empty. Call [`Server::drain`] — or drop the server — to
+    /// wait for the workers.
+    pub fn close(&self) {
+        self.begin_drain();
+    }
+
+    /// Graceful shutdown: stops accepting submissions, lets the workers
+    /// finish every queued request, and joins them.
+    pub fn drain(mut self) {
+        self.begin_drain();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn begin_drain(&self) {
+        let mut st = self.shared.state.lock().expect("serve queue poisoned");
+        st.draining = true;
+        // A paused server must still drain.
+        st.paused = false;
+        drop(st);
+        self.shared.work.notify_all();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.begin_drain();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("capacity", &self.shared.capacity)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Removes the front request's whole shape bucket from the queue,
+/// preserving submission order within the bucket.
+fn take_front_bucket(
+    st: &mut QueueState,
+    default_precision: PrecisionConfig,
+) -> (BucketKey, Vec<(GemmRequest, Arc<Slot>)>) {
+    let key = key_of(
+        &st.pending.front().expect("queue checked non-empty").0,
+        default_precision,
+    );
+    let mut bucket = Vec::new();
+    let mut rest = VecDeque::with_capacity(st.pending.len());
+    while let Some((req, slot)) = st.pending.pop_front() {
+        if key_of(&req, default_precision) == key {
+            bucket.push((req, slot));
+        } else {
+            rest.push_back((req, slot));
+        }
+    }
+    st.pending = rest;
+    (key, bucket)
+}
+
+fn worker_loop(shared: &Shared) {
+    let default_precision = shared.session.options().precision;
+    loop {
+        let (key, bucket) = {
+            let mut st = shared.state.lock().expect("serve queue poisoned");
+            loop {
+                if !st.paused && !st.pending.is_empty() {
+                    let taken = take_front_bucket(&mut st, default_precision);
+                    shared
+                        .session
+                        .recorder()
+                        .gauge("serve.queue.depth")
+                        .set(st.pending.len() as f64);
+                    // Another bucket may remain for an idle co-worker.
+                    if !st.pending.is_empty() {
+                        shared.work.notify_one();
+                    }
+                    break taken;
+                }
+                if st.draining && st.pending.is_empty() {
+                    return;
+                }
+                st = shared.work.wait(st).expect("serve queue poisoned");
+            }
+        };
+        let (dims, precision) = key;
+        let positioned: Vec<(usize, GemmRequest)> = bucket
+            .iter()
+            .enumerate()
+            .map(|(i, (req, _))| (i, req.clone()))
+            .collect();
+        for (i, outcome) in run_bucket(&shared.session, dims, precision, &positioned) {
+            let (_, slot) = &bucket[i];
+            *slot.done.lock().expect("serve slot poisoned") = Some(outcome);
+            slot.cv.notify_all();
+        }
+    }
+}

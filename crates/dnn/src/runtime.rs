@@ -502,6 +502,30 @@ pub fn forward_quantized(
     plan: &PrecisionPlan,
     seed: u64,
 ) -> Result<Tensor, DnnError> {
+    forward_quantized_with(net, input, plan, seed, GemmOptions::new)
+}
+
+/// Like [`forward_quantized`] with caller-controlled GEMM options (SoC
+/// preset, blocking, parallelism) per precision — the hook the serving
+/// layer uses to route batch inference through session-configured
+/// kernels. `options` is called once per GEMM layer; the precision it
+/// receives is the plan's resolution for that layer, and the returned
+/// options' precision must match it (it always does when `options`
+/// derives from [`GemmOptions::new`]).
+///
+/// # Errors
+///
+/// Propagates shape and GEMM errors.
+pub fn forward_quantized_with<F>(
+    net: &Network,
+    input: &Tensor,
+    plan: &PrecisionPlan,
+    seed: u64,
+    mut options: F,
+) -> Result<Tensor, DnnError>
+where
+    F: FnMut(PrecisionConfig) -> GemmOptions,
+{
     if input.shape != net.input_shape() {
         return Err(DnnError::DataMismatch {
             expected: net.input_shape().numel(),
@@ -534,12 +558,17 @@ pub fn forward_quantized(
                     pad,
                     groups,
                 };
-                conv_layer(ins[0], &geom, precision, seed ^ (i as u64) << 17)?
+                conv_layer(ins[0], &geom, &options(precision), seed ^ (i as u64) << 17)?
             }
             OpKind::Linear { out_features } => {
                 let precision = plan.layer_precision(gemm_index, gemm_count);
                 gemm_index += 1;
-                linear_layer(ins[0], out_features, precision, seed ^ (i as u64) << 17)?
+                linear_layer(
+                    ins[0],
+                    out_features,
+                    &options(precision),
+                    seed ^ (i as u64) << 17,
+                )?
             }
             OpKind::MaxPool { k, stride, pad } => max_pool(ins[0], k, stride, pad, out_shape),
             OpKind::GlobalAvgPool => global_avg_pool(ins[0]),
@@ -669,10 +698,10 @@ fn quantize_per_channel(
 fn conv_layer(
     x: &Tensor,
     geom: &ConvGeom,
-    precision: PrecisionConfig,
+    opts: &GemmOptions,
     seed: u64,
 ) -> Result<Tensor, DnnError> {
-    let (oa, ow) = precision.operand_types();
+    let (oa, ow) = opts.precision.operand_types();
     let out = geom.output();
     let cg = geom.input.c / geom.groups;
     let ng = geom.out_c / geom.groups;
@@ -687,7 +716,7 @@ fn conv_layer(
     let (wq, w_scales) = quantize_per_channel(&weights_f, geom.out_c, ow);
 
     let dims = im2col::conv_gemm_dims(geom);
-    let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+    let kernel = MixGemmKernel::new(opts.clone());
     let mut y = vec![0.0f32; out.numel()];
     for group in 0..geom.groups {
         let a = QuantMatrix::new(dims.m, dims.k, oa, im2col::im2col_group(&xq, geom, group))?;
@@ -706,10 +735,10 @@ fn conv_layer(
 fn linear_layer(
     x: &Tensor,
     out_features: usize,
-    precision: PrecisionConfig,
+    opts: &GemmOptions,
     seed: u64,
 ) -> Result<Tensor, DnnError> {
-    let (oa, ow) = precision.operand_types();
+    let (oa, ow) = opts.precision.operand_types();
     let in_features = x.shape.numel();
     let weights_f = gen_weights(
         seed,
@@ -726,7 +755,7 @@ fn linear_layer(
             b_data[k * out_features + n] = wq[n * in_features + k];
         }
     }
-    let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+    let kernel = MixGemmKernel::new(opts.clone());
     let a = QuantMatrix::new(1, in_features, oa, xq)?;
     let b = QuantMatrix::new(in_features, out_features, ow, b_data)?;
     let c = kernel.compute_fast(&a, &b)?;

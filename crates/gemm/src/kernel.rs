@@ -195,12 +195,62 @@ impl MixGemmKernel {
             });
         }
         let _gemm = mixgemm_harness::span!("gemm");
-        let (oa, ob) = self.opts.precision.operand_types();
-        let cfg = BinSegConfig::new(oa, ob);
         // pack_a / pack_b spans (on cache miss) nest under "gemm" here.
         let a_rows = a.packed_rows();
         let b_cols = b.packed_cols();
-        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        self.binseg_kernel(&a_rows, &b_cols)
+    }
+
+    /// Computes `C = A * B` directly from pre-packed operands — the
+    /// serving layer's entry point for cross-request packed-operand
+    /// sharing: a scheduler that has the
+    /// [`PackedMatrix`](crate::matrix::PackedMatrix) forms in hand
+    /// (from [`QuantMatrix::packed_rows`] / [`QuantMatrix::packed_cols`]
+    /// of any request in a bucket) computes every other request in the
+    /// bucket without touching the original matrices again.
+    ///
+    /// `a` must be row-packed (A-side layout) and `b` column-packed
+    /// (B-side layout); the shared `k` extent is their common
+    /// [`elems`](crate::matrix::PackedMatrix::elems). Bit-identical to
+    /// [`MixGemmKernel::compute`] over the matrices the operands were
+    /// packed from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::DimensionMismatch`] when the `k` extents
+    /// disagree and [`GemmError::BadParams`] when an operand was packed
+    /// as a different type than this kernel's precision expects.
+    pub fn compute_packed(
+        &self,
+        a: &crate::matrix::PackedMatrix,
+        b: &crate::matrix::PackedMatrix,
+    ) -> Result<Vec<i64>, GemmError> {
+        if a.elems() != b.elems() {
+            return Err(GemmError::DimensionMismatch {
+                a_cols: a.elems(),
+                b_rows: b.elems(),
+            });
+        }
+        let (oa, ob) = self.opts.precision.operand_types();
+        if a.operand() != oa || b.operand() != ob {
+            return Err(GemmError::BadParams {
+                reason: "packed operand types do not match the kernel precision",
+            });
+        }
+        let _gemm = mixgemm_harness::span!("gemm");
+        self.binseg_kernel(a, b)
+    }
+
+    /// The shared binary-segmentation inner loop of
+    /// [`MixGemmKernel::compute`] / [`MixGemmKernel::compute_packed`].
+    fn binseg_kernel(
+        &self,
+        a_rows: &crate::matrix::PackedMatrix,
+        b_cols: &crate::matrix::PackedMatrix,
+    ) -> Result<Vec<i64>, GemmError> {
+        let (oa, ob) = self.opts.precision.operand_types();
+        let cfg = BinSegConfig::new(oa, ob);
+        let (m, k, n) = (a_rows.count(), a_rows.elems(), b_cols.count());
         let _kernel = mixgemm_harness::span!("kernel");
         parallel::compute_partitioned(
             m,
@@ -925,6 +975,41 @@ mod tests {
         }
         // Degenerate thread counts clamp instead of panicking.
         assert_eq!(kernel.compute_parallel(&a, &b, 0).unwrap(), seq);
+    }
+
+    #[test]
+    fn compute_packed_matches_compute() {
+        let precision: PrecisionConfig = "a5-w3".parse().unwrap();
+        let (oa, ob) = precision.operand_types();
+        let a = mat(11, 43, oa, 2);
+        let b = mat(43, 9, ob, 8);
+        let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+        let direct = kernel.compute(&a, &b).unwrap();
+        let packed = kernel
+            .compute_packed(&a.packed_rows(), &b.packed_cols())
+            .unwrap();
+        assert_eq!(packed, direct);
+        assert_eq!(packed, naive_gemm(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn compute_packed_validates_operands() {
+        let precision: PrecisionConfig = "a4-w4".parse().unwrap();
+        let (oa, ob) = precision.operand_types();
+        let a = mat(4, 16, oa, 1);
+        let b = mat(16, 4, ob, 2);
+        let short_b = mat(12, 4, ob, 2);
+        let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+        assert!(matches!(
+            kernel.compute_packed(&a.packed_rows(), &short_b.packed_cols()),
+            Err(GemmError::DimensionMismatch { .. })
+        ));
+        // Operands packed under a different precision are rejected.
+        let other = MixGemmKernel::new(GemmOptions::new("a8-w8".parse().unwrap()));
+        assert!(matches!(
+            other.compute_packed(&a.packed_rows(), &b.packed_cols()),
+            Err(GemmError::BadParams { .. })
+        ));
     }
 
     #[test]

@@ -114,6 +114,29 @@ impl Gauge {
         self.set(v as f64);
     }
 
+    /// Atomically adds `delta` (which may be negative) to the value —
+    /// the up/down semantics level gauges such as queue depths need.
+    /// Concurrent adds never lose updates (CAS loop on the f64 bits).
+    pub fn add(&self, delta: f64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + delta).to_bits())
+            });
+    }
+
+    /// Atomically adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Atomically subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
     /// The current value.
     #[inline]
     pub fn get(&self) -> f64 {
@@ -550,6 +573,28 @@ mod tests {
             }
         });
         assert_eq!(reg.counter("contended").get(), threads * per_thread);
+    }
+
+    #[test]
+    fn gauge_adds_are_exact_under_contention() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        let per_thread = 5_000;
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let reg = reg.clone();
+                scope.spawn(move || {
+                    let g = reg.gauge("depth");
+                    for _ in 0..per_thread {
+                        g.inc();
+                        g.add(2.5);
+                        g.dec();
+                    }
+                });
+            }
+        });
+        let expected = threads as f64 * per_thread as f64 * 2.5;
+        assert_eq!(reg.gauge("depth").get(), expected);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! three compute paths (naive, binary-segmentation software, timed
 //! µ-engine) and invariants of the quantize→compute→dequantize chain.
 
+use mixgemm::api::Session;
 use mixgemm::binseg::{chunk::ChunkShape, muvec, BinSegConfig};
-use mixgemm::gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel, QuantMatrix};
+use mixgemm::gemm::{naive_gemm, Fidelity, GemmDims, GemmOptions, MixGemmKernel, QuantMatrix};
 use mixgemm::quant::calibrate;
 use mixgemm::uengine::{EngineConfig, TimedEngine, DEFAULT_SRCBUF_DEPTH};
 use mixgemm::PrecisionConfig;
@@ -13,8 +14,8 @@ fn precision(rng: &mut Rng) -> PrecisionConfig {
     PrecisionConfig::from_bits(rng.u8_in(2, 8), rng.u8_in(2, 8)).unwrap()
 }
 
-/// GEMM through binary segmentation equals naive integer GEMM for
-/// random shapes, precisions and values.
+/// GEMM through the public `Session` API (binary segmentation inside)
+/// equals naive integer GEMM for random shapes, precisions and values.
 #[test]
 fn gemm_functional_equivalence() {
     check("gemm_functional_equivalence", 48, |rng| {
@@ -36,12 +37,29 @@ fn gemm_functional_equivalence() {
                 + ((seed.wrapping_mul(17).wrapping_add((i * n + j) as u64 * 5)) % span) as i64)
                 as i32
         });
-        let kernel = MixGemmKernel::new(GemmOptions::new(pc));
-        let via_binseg = kernel.compute(&a, &b).unwrap();
-        let via_plain = kernel.compute_fast(&a, &b).unwrap();
-        ensure_eq!(via_binseg, via_plain);
+        let session = Session::builder().precision(pc).build();
+        let via_session = session.run(&a, &b).map_err(|e| e.to_string())?.c;
+        let via_naive = naive_gemm(&a, &b).map_err(|e| e.to_string())?;
+        ensure_eq!(via_session, via_naive);
         Ok(())
     });
+}
+
+/// Pinned coverage of the internal plain-integer fast path: it must
+/// stay bit-identical to the binary-segmentation kernel on a fixed
+/// shape that straddles panel boundaries.
+#[test]
+fn compute_fast_pinned_equivalence() {
+    let pc: PrecisionConfig = "a5-w3".parse().unwrap();
+    let (oa, ow) = pc.operand_types();
+    let (m, k, n) = (11, 43, 9);
+    let a = QuantMatrix::from_fn(m, k, oa, |i, j| ((i * 13 + j * 5) % 32) as i32);
+    let b = QuantMatrix::from_fn(k, n, ow, |i, j| ((i * 7 + j * 11) % 7) as i32 - 3);
+    let kernel = MixGemmKernel::new(GemmOptions::new(pc));
+    let via_binseg = kernel.compute(&a, &b).unwrap();
+    let via_fast = kernel.compute_fast(&a, &b).unwrap();
+    assert_eq!(via_binseg, via_fast);
+    assert_eq!(via_fast, naive_gemm(&a, &b).unwrap());
 }
 
 /// The timed µ-engine accumulates exactly what the software inner

@@ -1,0 +1,367 @@
+//! Differential tests for the batched serving layer: `run_batch` and
+//! the queued `Server` must be **bit-identical** to independent
+//! `Session::run` calls for every one of the 49 precision pairs, under
+//! mixed bucket sizes, out-of-order completion and 1..=8 workers — plus
+//! edge cases (degenerate dims, empty batch, expired deadlines,
+//! backpressure, drain).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mixgemm::api::Session;
+use mixgemm::gemm::QuantMatrix;
+use mixgemm::serve::{GemmRequest, ServeConfig, ServeError};
+use mixgemm::{Error, OperandType, PrecisionConfig};
+use mixgemm_harness::{check, ensure, ensure_eq, Rng};
+
+fn rand_matrix(rng: &mut Rng, rows: usize, cols: usize, op: OperandType) -> QuantMatrix {
+    let data = rng.vec_of(rows * cols, |r| r.i32_in(op.min_value(), op.max_value()));
+    QuantMatrix::from_fn(rows, cols, op, |r, c| data[r * cols + c])
+}
+
+/// The tentpole guarantee, exhaustively: for **all 49** precision
+/// pairs, a batch with mixed bucket sizes scheduled across a random
+/// worker count (1..=8, so buckets complete out of order) returns
+/// exactly the bytes that N independent `Session::run` calls return.
+#[test]
+fn run_batch_bit_identical_to_sequential_for_all_49_pairs() {
+    for (case, &pc) in PrecisionConfig::ALL.iter().enumerate() {
+        let mut rng = Rng::new(0x5E12_F00D ^ (case as u64).wrapping_mul(0x9E37_79B9));
+        let session = Session::builder().precision(pc).build();
+        let (oa, ow) = pc.operand_types();
+
+        // Mixed bucket sizes: a few distinct shapes, each repeated a
+        // different number of times, submitted interleaved.
+        let shapes: Vec<(usize, usize, usize)> = (0..rng.usize_in(2, 3))
+            .map(|_| (rng.usize_in(1, 9), rng.usize_in(1, 33), rng.usize_in(1, 7)))
+            .collect();
+        let mut requests = Vec::new();
+        for round in 0..3 {
+            for (si, &(m, k, n)) in shapes.iter().enumerate() {
+                // Uneven repetition: shape i appears in rounds >= i.
+                if round >= si {
+                    let a = rand_matrix(&mut rng, m, k, oa);
+                    let b = rand_matrix(&mut rng, k, n, ow);
+                    requests.push(GemmRequest::owned(a, b));
+                }
+            }
+        }
+
+        // Independent sequential reference runs over the same shared
+        // operands.
+        let expected: Vec<Vec<i64>> = requests
+            .iter()
+            .map(|req| session.run(req.a(), req.b()).unwrap().c)
+            .collect();
+
+        let workers = rng.usize_in(1, 8);
+        let report = session.run_batch_with(requests, workers);
+        assert_eq!(report.results.len(), expected.len(), "{pc}");
+        for (i, (got, want)) in report.results.iter().zip(&expected).enumerate() {
+            let got = got.as_ref().unwrap_or_else(|e| panic!("{pc} req {i}: {e}"));
+            assert_eq!(got.c, *want, "{pc} request {i} diverged from Session::run");
+        }
+    }
+}
+
+/// Random mixed-precision batches: requests override the session's
+/// precision per request, so one batch spans many buckets; each result
+/// must match a dedicated same-precision session's `run`.
+#[test]
+fn run_batch_matches_per_precision_sessions_under_mixed_buckets() {
+    check("serve_mixed_precision_differential", 24, |rng| {
+        let session = Session::builder().build(); // default a8-w8
+        let n_req = rng.usize_in(1, 8);
+        let workers = rng.usize_in(1, 8);
+        let mut requests = Vec::new();
+        let mut expected = Vec::new();
+        for _ in 0..n_req {
+            let pc = *rng.pick(&PrecisionConfig::ALL);
+            let (oa, ow) = pc.operand_types();
+            let (m, k, n) = (rng.usize_in(1, 6), rng.usize_in(1, 24), rng.usize_in(1, 5));
+            let a = Arc::new(rand_matrix(rng, m, k, oa));
+            let b = Arc::new(rand_matrix(rng, k, n, ow));
+            let reference = Session::builder().precision(pc).build();
+            expected.push(reference.run(&a, &b).map_err(|e| e.to_string())?.c);
+            requests.push(GemmRequest::new(a, b).with_precision(pc));
+        }
+        let report = session.run_batch_with(requests, workers);
+        ensure_eq!(report.results.len(), n_req);
+        for (got, want) in report.results.iter().zip(&expected) {
+            let got = got.as_ref().map_err(|e| e.to_string())?;
+            ensure_eq!(got.c, *want);
+        }
+        ensure!(report.buckets >= 1 && report.buckets <= n_req);
+        Ok(())
+    });
+}
+
+/// The queued server path: paused submission builds the queue, resume
+/// drains it through the workers, and waiting on tickets in reverse
+/// submission order (out-of-order completion from the caller's view)
+/// still yields bit-identical results.
+#[test]
+fn server_results_bit_identical_with_out_of_order_waits() {
+    let pc = PrecisionConfig::A5W3;
+    let session = Session::builder().precision(pc).build();
+    let (oa, ow) = pc.operand_types();
+    let mut rng = Rng::new(42);
+
+    let b_shared = Arc::new(rand_matrix(&mut rng, 20, 6, ow));
+    let requests: Vec<GemmRequest> = (0..10)
+        .map(|i| {
+            // Two shape buckets, interleaved.
+            let m = if i % 2 == 0 { 4 } else { 7 };
+            let a = Arc::new(rand_matrix(&mut rng, m, 20, oa));
+            GemmRequest::new(a, b_shared.clone())
+        })
+        .collect();
+    let expected: Vec<Vec<i64>> = requests
+        .iter()
+        .map(|req| session.run(req.a(), req.b()).unwrap().c)
+        .collect();
+
+    let server = session.serve(
+        ServeConfig::new()
+            .workers(3)
+            .queue_capacity(32)
+            .start_paused(true),
+    );
+    let tickets: Vec<_> = requests
+        .into_iter()
+        .map(|req| server.submit(req).unwrap())
+        .collect();
+    assert_eq!(server.queue_depth(), 10);
+    assert_eq!(session.metrics().gauge("serve.queue.depth"), Some(10.0));
+    server.resume();
+
+    // Wait in reverse submission order.
+    for (i, ticket) in tickets.into_iter().enumerate().rev() {
+        let got = ticket.wait().unwrap();
+        assert_eq!(got.c, expected[i], "request {i}");
+        assert!(got.report.cycles > 0);
+    }
+    server.drain();
+    assert!(session.metrics().counter("serve.bucket.hit") > 0);
+}
+
+/// Backpressure: a paused server with a bounded queue rejects the
+/// overflowing submission with `QueueFull` and counts it.
+#[test]
+fn bounded_queue_applies_backpressure() {
+    let pc = PrecisionConfig::A4W4;
+    let session = Session::builder().precision(pc).build();
+    let (oa, ow) = pc.operand_types();
+    let mut rng = Rng::new(7);
+    let server = session.serve(
+        ServeConfig::new()
+            .workers(1)
+            .queue_capacity(3)
+            .start_paused(true),
+    );
+    let mk_req =
+        |rng: &mut Rng| GemmRequest::owned(rand_matrix(rng, 3, 8, oa), rand_matrix(rng, 8, 2, ow));
+    let tickets: Vec<_> = (0..3)
+        .map(|_| server.submit(mk_req(&mut rng)).unwrap())
+        .collect();
+    match server.submit(mk_req(&mut rng)) {
+        Err(Error::Serve(ServeError::QueueFull { capacity: 3 })) => {}
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    assert_eq!(session.metrics().counter("serve.rejected"), 1);
+    server.resume();
+    for t in tickets {
+        assert!(t.wait().is_ok());
+    }
+    // Close stops new submissions; queued work already completed.
+    server.close();
+    match server.submit(mk_req(&mut rng)) {
+        Err(Error::Serve(ServeError::ShutDown)) => {}
+        other => panic!("expected ShutDown, got {other:?}"),
+    }
+    server.drain();
+}
+
+/// Degenerate dimensions — unit, odd, and non-multiple-of-panel sizes —
+/// through the batch path, bit-identical to `run`.
+#[test]
+fn degenerate_dims_are_bit_identical() {
+    let pc = PrecisionConfig::A2W8;
+    let session = Session::builder().precision(pc).build();
+    let (oa, ow) = pc.operand_types();
+    let mut rng = Rng::new(1234);
+    // (m, k, n): all-unit, unit-k, odd everything, prime off-panel
+    // sizes (the Table I panels are 8x4, so 17/23/13 straddle panel
+    // boundaries).
+    let dims = [(1, 1, 1), (3, 1, 5), (1, 9, 1), (7, 13, 3), (17, 23, 13)];
+    let requests: Vec<GemmRequest> = dims
+        .iter()
+        .map(|&(m, k, n)| {
+            GemmRequest::owned(
+                rand_matrix(&mut rng, m, k, oa),
+                rand_matrix(&mut rng, k, n, ow),
+            )
+        })
+        .collect();
+    let expected: Vec<Vec<i64>> = requests
+        .iter()
+        .map(|req| session.run(req.a(), req.b()).unwrap().c)
+        .collect();
+    let report = session.run_batch_with(requests, 4);
+    for (i, (got, want)) in report.results.iter().zip(&expected).enumerate() {
+        assert_eq!(got.as_ref().unwrap().c, *want, "dims case {i}");
+    }
+    assert_eq!(report.buckets, dims.len());
+}
+
+/// Empty and single-request batches are well-formed.
+#[test]
+fn empty_and_singleton_batches() {
+    let session = Session::builder().precision(PrecisionConfig::A4W4).build();
+    let report = session.run_batch(Vec::new());
+    assert!(report.results.is_empty());
+    assert_eq!(report.buckets, 0);
+
+    let (oa, ow) = PrecisionConfig::A4W4.operand_types();
+    let mut rng = Rng::new(9);
+    let req = GemmRequest::owned(
+        rand_matrix(&mut rng, 5, 12, oa),
+        rand_matrix(&mut rng, 12, 4, ow),
+    );
+    let expected = session.run(req.a(), req.b()).unwrap().c;
+    let report = session.run_batch(vec![req]);
+    assert_eq!(report.buckets, 1);
+    assert_eq!(report.results[0].as_ref().unwrap().c, expected);
+    // A lone request is a bucket miss, never a hit.
+    assert_eq!(report.metrics.counter("serve.bucket.hit"), 0);
+    assert_eq!(report.metrics.counter("serve.bucket.miss"), 1);
+}
+
+/// An already-expired deadline fails the request without running its
+/// GEMM: the error comes back, the expiry is counted, and the operands
+/// are never packed.
+#[test]
+fn expired_deadline_fails_without_running() {
+    let session = Session::builder().precision(PrecisionConfig::A4W4).build();
+    let (oa, ow) = PrecisionConfig::A4W4.operand_types();
+    let mut rng = Rng::new(11);
+    let expired = GemmRequest::owned(
+        rand_matrix(&mut rng, 4, 8, oa),
+        rand_matrix(&mut rng, 8, 4, ow),
+    )
+    .with_deadline(Instant::now() - Duration::from_secs(1));
+    let report = session.run_batch(vec![expired]);
+    match &report.results[0] {
+        Err(Error::Serve(ServeError::DeadlineExpired)) => {}
+        other => panic!("expected DeadlineExpired, got {other:?}"),
+    }
+    assert_eq!(report.metrics.counter("serve.deadline_expired"), 1);
+    // The GEMM never ran: its fresh operands were never packed.
+    assert_eq!(report.metrics.counter("gemm.operand_cache.miss"), 0);
+    assert_eq!(report.metrics.counter("gemm.operand_cache.hit"), 0);
+
+    // A generous future deadline runs normally.
+    let ok = GemmRequest::owned(
+        rand_matrix(&mut rng, 4, 8, oa),
+        rand_matrix(&mut rng, 8, 4, ow),
+    )
+    .with_timeout(Duration::from_secs(3600));
+    let report = session.run_batch(vec![ok]);
+    assert!(report.results[0].is_ok());
+}
+
+/// A dimension mismatch surfaces as a per-request `Error::Gemm` while
+/// the rest of the batch completes.
+#[test]
+fn mismatched_request_fails_alone() {
+    let session = Session::builder().precision(PrecisionConfig::A4W4).build();
+    let (oa, ow) = PrecisionConfig::A4W4.operand_types();
+    let mut rng = Rng::new(13);
+    let good = GemmRequest::owned(
+        rand_matrix(&mut rng, 3, 8, oa),
+        rand_matrix(&mut rng, 8, 3, ow),
+    );
+    let bad = GemmRequest::owned(
+        rand_matrix(&mut rng, 3, 8, oa),
+        rand_matrix(&mut rng, 7, 3, ow),
+    );
+    let report = session.run_batch(vec![good, bad]);
+    assert!(report.results[0].is_ok());
+    assert!(matches!(report.results[1], Err(Error::Gemm(_))));
+    // into_outputs propagates the first failure.
+    assert!(report.into_outputs().is_err());
+}
+
+/// Shape-bucketing pays packing once per distinct operand: requests
+/// sharing a `(dims, precision)` bucket and an `Arc`'d B operand show
+/// operand-cache and bucket hits in the batch metrics.
+#[test]
+fn bucketing_amortizes_packing_across_requests() {
+    let pc = PrecisionConfig::A3W5;
+    let session = Session::builder().precision(pc).build();
+    let (oa, ow) = pc.operand_types();
+    let mut rng = Rng::new(77);
+    let b = Arc::new(rand_matrix(&mut rng, 16, 8, ow));
+    let requests: Vec<GemmRequest> = (0..6)
+        .map(|_| GemmRequest::new(Arc::new(rand_matrix(&mut rng, 8, 16, oa)), b.clone()))
+        .collect();
+    let report = session.run_batch_with(requests, 2);
+    assert_eq!(report.buckets, 1);
+    assert_eq!(report.metrics.counter("serve.requests"), 6);
+    assert_eq!(report.metrics.counter("serve.bucket.hit"), 5);
+    assert_eq!(report.metrics.counter("serve.bucket.miss"), 1);
+    // B was packed once and hit 5 times; each A packed once.
+    assert!(report.metrics.counter("gemm.operand_cache.hit") >= 5);
+    let rate = report.metrics.hit_rate("serve.bucket").unwrap();
+    assert!(rate > 0.8, "bucket hit rate {rate}");
+    assert!(report.metrics.span("serve/bucket").is_some());
+}
+
+/// Batched network inference through the serving worker pool matches
+/// per-input forward passes exactly, at several worker counts.
+#[test]
+fn forward_batch_matches_per_input_forward() {
+    use mixgemm::dnn::runtime::{forward_quantized, PrecisionPlan, Tensor};
+    use mixgemm::dnn::{ActKind, Network, OpKind, Shape};
+
+    let mut net = Network::new("tiny-serve", Shape::new(2, 8, 8));
+    net.push_seq(OpKind::Conv2d {
+        out_c: 4,
+        k: 3,
+        stride: 1,
+        pad: 1,
+        groups: 1,
+    })
+    .unwrap();
+    net.push_seq(OpKind::Activation(ActKind::Relu)).unwrap();
+    net.push_seq(OpKind::GlobalAvgPool).unwrap();
+    net.push_seq(OpKind::Linear { out_features: 3 }).unwrap();
+
+    let plan = PrecisionPlan::uniform(PrecisionConfig::A4W4);
+    let inputs: Vec<Tensor> = (0..5)
+        .map(|s| {
+            Tensor::new(
+                Shape::new(2, 8, 8),
+                (0..2 * 64)
+                    .map(|i| ((i * 31 + s * 17) % 97) as f32 / 97.0)
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let expected: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|x| forward_quantized(&net, x, &plan, 3).unwrap().data)
+        .collect();
+
+    let session = Session::builder().precision(PrecisionConfig::A4W4).build();
+    for workers in [1, 3] {
+        let batch = session
+            .forward_batch(&net, &inputs, &plan, 3, workers)
+            .unwrap();
+        assert_eq!(batch.outputs.len(), inputs.len());
+        for (got, want) in batch.outputs.iter().zip(&expected) {
+            assert_eq!(&got.data, want, "workers = {workers}");
+        }
+    }
+}
