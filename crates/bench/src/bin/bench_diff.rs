@@ -1,0 +1,286 @@
+//! Perf-regression gate: compares a freshly generated benchmark
+//! artifact against its committed baseline, flagging numeric drift
+//! beyond a tolerance.
+//!
+//! ```text
+//! bench_diff <baseline.json> <fresh.json> [--tol 0.15] [--factor 10]
+//! bench_diff check <file.json> <required-key>...
+//! bench_diff check-trace <file.trace.json>
+//! ```
+//!
+//! The comparison walks both documents in parallel. Structure (keys,
+//! array lengths, strings, booleans) must match exactly. Numeric leaves
+//! split into two classes:
+//!
+//! - **Deterministic** values (counts, simulated cycles, hit rates,
+//!   bucket totals) must agree within `--tol` (default ±15%).
+//! - **Machine-dependent** rates — any path mentioning wall-clock time
+//!   or throughput (`per_sec`, `seconds`, `_ns`, `_us`, `gops`,
+//!   `speedup`, `measured`, `overhead`, `wait`, `service`) — only need
+//!   to stay within a loose `--factor` (default 10x) of the baseline,
+//!   because committed baselines come from a different host than CI.
+//!
+//! `check` validates that a JSON document parses and carries the given
+//! top-level keys; `check-trace` additionally validates Chrome Trace
+//! Event Format structure (`traceEvents` entries with `name`, `ph`,
+//! `ts`, `tid`). Exit code 0 means pass, 1 means regression or
+//! structural failure, 2 means usage error.
+
+use std::process::ExitCode;
+
+use mixgemm_harness::Json;
+
+/// Path substrings marking a value as machine-dependent wall-clock data
+/// (lenient factor check instead of the strict tolerance).
+const RATE_MARKERS: [&str; 10] = [
+    "per_sec", "seconds", "_ns", "_us", "gops", "speedup", "measured", "overhead", "wait",
+    "service",
+];
+
+fn is_rate_path(path: &str) -> bool {
+    let lower = path.to_ascii_lowercase();
+    RATE_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+/// One detected divergence between baseline and fresh documents.
+struct Finding {
+    path: String,
+    detail: String,
+}
+
+fn diff_value(
+    path: &str,
+    base: &Json,
+    fresh: &Json,
+    tol: f64,
+    factor: f64,
+    out: &mut Vec<Finding>,
+) {
+    match (base, fresh) {
+        (Json::Num(b), Json::Num(f)) => {
+            if is_rate_path(path) {
+                // Wall-clock data: same sign, within a loose factor.
+                let (b, f) = (*b, *f);
+                let ok = if b == 0.0 || f == 0.0 {
+                    b == f
+                } else if b.signum() != f.signum() {
+                    // Signed noise floor (e.g. overhead_pct may dip
+                    // negative on a quiet run): allow small magnitudes.
+                    b.abs().max(f.abs()) < 5.0
+                } else {
+                    let ratio = (f / b).abs();
+                    ratio <= factor && ratio >= 1.0 / factor
+                };
+                if !ok {
+                    out.push(Finding {
+                        path: path.to_string(),
+                        detail: format!("rate {b} -> {f} beyond {factor}x envelope"),
+                    });
+                }
+            } else {
+                let denom = b.abs().max(1e-12);
+                let rel = (f - b).abs() / denom;
+                if rel > tol {
+                    out.push(Finding {
+                        path: path.to_string(),
+                        detail: format!(
+                            "{b} -> {f} ({:+.1}% > ±{:.0}%)",
+                            (f - b) / denom * 100.0,
+                            tol * 100.0
+                        ),
+                    });
+                }
+            }
+        }
+        (Json::Str(b), Json::Str(f)) => {
+            if b != f {
+                out.push(Finding {
+                    path: path.to_string(),
+                    detail: format!("string {b:?} -> {f:?}"),
+                });
+            }
+        }
+        (Json::Bool(b), Json::Bool(f)) => {
+            if b != f {
+                out.push(Finding {
+                    path: path.to_string(),
+                    detail: format!("bool {b} -> {f}"),
+                });
+            }
+        }
+        (Json::Null, Json::Null) => {}
+        (Json::Arr(b), Json::Arr(f)) => {
+            if b.len() != f.len() {
+                out.push(Finding {
+                    path: path.to_string(),
+                    detail: format!("array length {} -> {}", b.len(), f.len()),
+                });
+                return;
+            }
+            for (i, (bv, fv)) in b.iter().zip(f).enumerate() {
+                diff_value(&format!("{path}[{i}]"), bv, fv, tol, factor, out);
+            }
+        }
+        (Json::Obj(b), Json::Obj(_)) => {
+            for (key, bv) in b {
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                match fresh.get(key) {
+                    Some(fv) => diff_value(&child, bv, fv, tol, factor, out),
+                    None => out.push(Finding {
+                        path: child,
+                        detail: "missing from fresh artifact".to_string(),
+                    }),
+                }
+            }
+        }
+        _ => out.push(Finding {
+            path: path.to_string(),
+            detail: "type changed between baseline and fresh artifact".to_string(),
+        }),
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_check(file: &str, keys: &[String]) -> ExitCode {
+    let doc = match load(file) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench_diff check: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut missing = Vec::new();
+    for key in keys {
+        if doc.get(key).is_none() {
+            missing.push(key.as_str());
+        }
+    }
+    if missing.is_empty() {
+        println!("bench_diff check: {file} ok ({} required keys)", keys.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_diff check: {file} missing keys: {}",
+            missing.join(", ")
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_check_trace(file: &str) -> ExitCode {
+    let doc = match load(file) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench_diff check-trace: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        eprintln!("bench_diff check-trace: {file}: no traceEvents array");
+        return ExitCode::from(1);
+    };
+    if events.is_empty() {
+        eprintln!("bench_diff check-trace: {file}: traceEvents is empty");
+        return ExitCode::from(1);
+    }
+    for (i, e) in events.iter().enumerate() {
+        for key in ["name", "ph", "ts", "tid"] {
+            if e.get(key).is_none() {
+                eprintln!("bench_diff check-trace: {file}: event {i} missing {key}");
+                return ExitCode::from(1);
+            }
+        }
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+        if !matches!(ph, "B" | "E" | "i") {
+            eprintln!("bench_diff check-trace: {file}: event {i} has unknown ph {ph:?}");
+            return ExitCode::from(1);
+        }
+        if e.get("ts").and_then(Json::as_f64).is_none() {
+            eprintln!("bench_diff check-trace: {file}: event {i} ts is not numeric");
+            return ExitCode::from(1);
+        }
+    }
+    println!(
+        "bench_diff check-trace: {file} ok ({} events, Chrome Trace Event Format)",
+        events.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(baseline: &str, fresh: &str, tol: f64, factor: f64) -> ExitCode {
+    let (base, new) = match (load(baseline), load(fresh)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut findings = Vec::new();
+    diff_value("", &base, &new, tol, factor, &mut findings);
+    if findings.is_empty() {
+        println!(
+            "bench_diff: {fresh} within ±{:.0}% of {baseline} (rates within {factor}x)",
+            tol * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_diff: {} regression(s) comparing {fresh} against {baseline}:",
+            findings.len()
+        );
+        for f in &findings {
+            eprintln!("  {}: {}", f.path, f.detail);
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_diff <baseline.json> <fresh.json> [--tol 0.15] [--factor 10]\n       bench_diff check <file.json> <required-key>...\n       bench_diff check-trace <file.trace.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            if args.len() < 3 {
+                return usage();
+            }
+            cmd_check(&args[1], &args[2..])
+        }
+        Some("check-trace") => {
+            if args.len() != 2 {
+                return usage();
+            }
+            cmd_check_trace(&args[1])
+        }
+        Some(_) if args.len() >= 2 => {
+            let baseline = &args[0];
+            let fresh = &args[1];
+            let mut tol = 0.15;
+            let mut factor = 10.0;
+            let mut rest = args[2..].iter();
+            while let Some(flag) = rest.next() {
+                let value = rest.next().and_then(|v| v.parse::<f64>().ok());
+                match (flag.as_str(), value) {
+                    ("--tol", Some(v)) if v > 0.0 => tol = v,
+                    ("--factor", Some(v)) if v >= 1.0 => factor = v,
+                    _ => return usage(),
+                }
+            }
+            cmd_diff(baseline, fresh, tol, factor)
+        }
+        _ => usage(),
+    }
+}

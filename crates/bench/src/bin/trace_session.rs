@@ -1,0 +1,265 @@
+//! Flight-recorder cap bench: runs a serve-layer request mix with the
+//! timeline attached, validates every request's enqueue → schedule →
+//! pack → compute → complete journey (monotone timestamps, simulated
+//! PMU cycle args), exercises a paused `Server` so
+//! `serve.queue.wait_us` sees real queue buildup, measures recorder
+//! overhead (traced vs. untraced throughput, must stay below 5%), and
+//! writes `TRACE_session.trace.json` (Chrome Trace Event Format, load
+//! in `chrome://tracing` or <https://ui.perfetto.dev>) plus
+//! `BENCH_trace.json`.
+//!
+//! Run with: `cargo run --release -p mixgemm-bench --bin trace_session`
+//! (`MIXGEMM_BENCH_QUICK=1` for a smoke run.)
+
+use std::sync::Arc;
+
+use mixgemm::api::Session;
+use mixgemm::gemm::QuantMatrix;
+use mixgemm::serve::{GemmRequest, ServeConfig};
+use mixgemm::PrecisionConfig;
+use mixgemm_harness::timeline::{Event, Phase, Timeline};
+use mixgemm_harness::{black_box, Json, Rng};
+
+/// The per-request stage events, in required order of first occurrence.
+const STAGES: [&str; 5] = [
+    "serve/enqueue",
+    "serve/schedule",
+    "serve/pack",
+    "serve/compute",
+    "serve/complete",
+];
+
+fn main() {
+    let quick = std::env::var("MIXGEMM_BENCH_QUICK").is_ok();
+    let precision = PrecisionConfig::A4W4;
+    let (oa, ow) = precision.operand_types();
+    let shapes: &[(usize, usize, usize)] = if quick {
+        &[(32, 64, 32), (16, 96, 48)]
+    } else {
+        &[(64, 128, 32), (32, 192, 64), (96, 64, 48)]
+    };
+    let per_shape = if quick { 4 } else { 8 };
+
+    let mut rng = Rng::new(0xF11E);
+    let mut rand_matrix = |rows: usize, cols: usize, op: mixgemm::OperandType| {
+        let data = rng.vec_of(rows * cols, |r| r.i32_in(op.min_value(), op.max_value()));
+        QuantMatrix::from_fn(rows, cols, op, |r, c| data[r * cols + c])
+    };
+
+    let mut requests: Vec<GemmRequest> = Vec::new();
+    for &(m, k, n) in shapes {
+        let weights = Arc::new(rand_matrix(k, n, ow));
+        for _ in 0..per_shape {
+            let activations = Arc::new(rand_matrix(m, k, oa));
+            requests.push(GemmRequest::new(activations, weights.clone()));
+        }
+    }
+    let n_requests = requests.len();
+    println!(
+        "trace_session — {precision}, {} shape buckets x {per_shape} requests\n",
+        shapes.len()
+    );
+
+    // --- Traced batch: one instrumented run whose timeline we validate
+    // and export. ---
+    let timeline = Arc::new(Timeline::new());
+    let traced = Session::builder()
+        .precision(precision)
+        .timeline(timeline.clone())
+        .build();
+    let batch = traced.run_batch_with(requests.clone(), 2);
+    assert_eq!(batch.buckets, shapes.len(), "one bucket per shape");
+    for (i, r) in batch.results.iter().enumerate() {
+        assert!(r.is_ok(), "request {i} failed in the traced batch");
+    }
+
+    // Bit-identity: tracing must not perturb results.
+    let plain = Session::builder().precision(precision).build();
+    for (i, (req, got)) in requests.iter().zip(&batch.results).enumerate() {
+        let want = plain.run(req.a(), req.b()).expect("reference run").c;
+        assert_eq!(
+            got.as_ref().expect("traced request").c,
+            want,
+            "request {i}: traced result diverged from untraced Session::run"
+        );
+    }
+
+    // --- Queue-wait phase: a paused server builds a real queue, so
+    // serve.queue.wait_us measures genuine waits rather than the
+    // submit-to-pickup epsilon of the in-line batch path. ---
+    let server = traced.serve(ServeConfig::new().workers(2).start_paused(true));
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|req| server.submit(req.clone()).expect("paused submit"))
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(if quick { 2 } else { 10 }));
+    server.resume();
+    for (i, t) in tickets.into_iter().enumerate() {
+        t.wait()
+            .unwrap_or_else(|e| panic!("served request {i}: {e}"));
+    }
+    server.drain();
+
+    // --- Validate the per-request stage journey in the recorded
+    // events. ---
+    let events = timeline.events();
+    let mut validated = 0usize;
+    for req in &requests {
+        let trace = req.trace_id();
+        let mine: Vec<&Event> = events.iter().filter(|e| e.trace == Some(trace)).collect();
+        let mut last_ts = 0u64;
+        for stage in STAGES {
+            let hit = mine
+                .iter()
+                .filter(|e| e.name == stage && e.phase != Phase::End)
+                .map(|e| e.ts_ns)
+                .min()
+                .unwrap_or_else(|| panic!("{trace}: stage event {stage} missing"));
+            assert!(
+                hit >= last_ts,
+                "{trace}: stage {stage} at {hit}ns precedes the previous stage at {last_ts}ns"
+            );
+            last_ts = hit;
+        }
+        let complete = mine
+            .iter()
+            .find(|e| e.name == "serve/complete" && !e.args.is_empty())
+            .unwrap_or_else(|| panic!("{trace}: completion marker lacks PMU args"));
+        let cycles = complete
+            .args
+            .iter()
+            .find(|(k, _)| *k == "sim_cycles")
+            .map(|(_, v)| *v)
+            .expect("sim_cycles arg");
+        assert!(cycles > 0, "{trace}: zero simulated cycles on completion");
+        assert!(
+            complete.args.iter().any(|(k, _)| *k == "pmu_busy_cycles"),
+            "{trace}: pmu_busy_cycles arg missing"
+        );
+        validated += 1;
+    }
+    println!(
+        "validated {validated}/{n_requests} request journeys across {} events",
+        events.len()
+    );
+
+    // Queue-wait / service-time quantiles from the traced session's
+    // recorder (the paused-server phase dominates the waits).
+    let metrics = traced.metrics();
+    let wait = metrics
+        .histogram("serve.queue.wait_us")
+        .expect("serve.queue.wait_us recorded");
+    let service = metrics
+        .histogram("serve.service_us")
+        .expect("serve.service_us recorded");
+    println!(
+        "queue wait  p50 {:>8.1} us   p90 {:>8.1} us   p99 {:>8.1} us   max {:>8.1} us",
+        wait.p50(),
+        wait.p90(),
+        wait.p99(),
+        wait.max
+    );
+    println!(
+        "service     p50 {:>8.1} us   p90 {:>8.1} us   p99 {:>8.1} us",
+        service.p50(),
+        service.p90(),
+        service.p99()
+    );
+
+    // --- Recorder overhead: identical batches through an untraced and a
+    // traced session, single worker for minimal scheduling noise. The
+    // flight recorder must cost under 5% of throughput.
+    //
+    // Measured as interleaved paired rounds rather than two back-to-back
+    // `Bencher` runs: on a loaded single-CPU host, tens of milliseconds
+    // of drift between the two measurements easily exceeds the real
+    // recorder cost, so each round times both legs under the same
+    // conditions and the minimum over rounds estimates each leg's
+    // uncontended time. ---
+    let off = Session::builder().precision(precision).build();
+    let on_tl = Arc::new(Timeline::new());
+    let on = Session::builder()
+        .precision(precision)
+        .timeline(on_tl.clone())
+        .build();
+    let time_batches = |session: &Session, k: usize| {
+        let start = std::time::Instant::now();
+        for _ in 0..k {
+            black_box(session.run_batch_with(black_box(requests.clone()), 1));
+        }
+        start.elapsed().as_secs_f64()
+    };
+    // Warm both sessions (packs, sim memo, code), then size a round to
+    // ~30 ms per leg so timer and scheduler noise amortizes.
+    let once = time_batches(&on, 1).max(time_batches(&off, 1));
+    let k = (0.03 / once).ceil().clamp(1.0, 64.0) as usize;
+    let rounds = if quick { 7 } else { 9 };
+    let (mut t_off, mut t_on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        t_off = t_off.min(time_batches(&off, k));
+        t_on = t_on.min(time_batches(&on, k));
+    }
+    let per_round = (k * n_requests) as f64;
+    let rps_off = per_round / t_off;
+    let rps_on = per_round / t_on;
+    let overhead_pct = (t_on - t_off) / t_off * 100.0;
+    println!(
+        "\nrecorder off : {rps_off:>10.1} req/s\nrecorder on  : {rps_on:>10.1} req/s   ({overhead_pct:+.2}% time overhead)"
+    );
+    assert!(
+        overhead_pct < 5.0,
+        "flight-recorder overhead {overhead_pct:.2}% exceeds the 5% budget"
+    );
+
+    // --- Export: Chrome trace artifact + self-check through the in-tree
+    // JSON parser (the same validation CI applies via `bench_diff check`). ---
+    let chrome = timeline.to_chrome_trace();
+    let rendered = chrome.pretty();
+    let parsed = Json::parse(&rendered).expect("exported trace must be valid JSON");
+    let trace_events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!trace_events.is_empty(), "empty trace export");
+    for e in trace_events {
+        for key in ["name", "ph", "ts", "tid"] {
+            assert!(e.get(key).is_some(), "trace event missing key {key}");
+        }
+    }
+    std::fs::write("TRACE_session.trace.json", &rendered).expect("write TRACE_session.trace.json");
+    println!(
+        "wrote TRACE_session.trace.json ({} events)",
+        trace_events.len()
+    );
+
+    let doc = Json::obj()
+        .field("bench", "trace_session")
+        .field("precision", precision.to_string())
+        .field("requests", n_requests)
+        .field("buckets", batch.buckets)
+        .field("events_captured", events.len())
+        .field("events_dropped", timeline.dropped())
+        .field("journeys_validated", validated)
+        .field(
+            "queue_wait_us",
+            Json::obj()
+                .field("p50", wait.p50())
+                .field("p90", wait.p90())
+                .field("p99", wait.p99())
+                .field("max", wait.max),
+        )
+        .field(
+            "service_us",
+            Json::obj()
+                .field("p50", service.p50())
+                .field("p90", service.p90())
+                .field("p99", service.p99()),
+        )
+        .field("requests_per_sec_untraced", rps_off)
+        .field("requests_per_sec_traced", rps_on)
+        .field("overhead_pct", overhead_pct)
+        .field("overhead_budget_pct", 5.0)
+        .field("trace_file", "TRACE_session.trace.json");
+    std::fs::write("BENCH_trace.json", doc.pretty()).expect("write BENCH_trace.json");
+    println!("wrote BENCH_trace.json");
+}

@@ -20,6 +20,7 @@ use mixgemm_gemm::{
     Fidelity, GemmDims, GemmOptions, GemmReport, MixGemmKernel, Parallelism, QuantMatrix,
 };
 use mixgemm_harness::metrics::{self, MetricsRegistry, MetricsReport, Recorder};
+use mixgemm_harness::timeline::{self, Timeline};
 use mixgemm_phys::energy::ActivityProfile;
 use mixgemm_qat::accuracy;
 use mixgemm_soc::{presets, SocConfig};
@@ -197,6 +198,7 @@ pub struct SessionBuilder {
     parallelism: Parallelism,
     fidelity: Fidelity,
     recorder: Option<Recorder>,
+    timeline: Option<Arc<Timeline>>,
 }
 
 impl SessionBuilder {
@@ -234,6 +236,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a flight-recorder [`Timeline`]: every run records
+    /// timestamped begin/end events for its spans (pack, kernel,
+    /// shards, layers) and the serving layer adds per-request stage
+    /// events, all exportable with [`Timeline::to_chrome_trace`].
+    /// Without a timeline (the default) no events are recorded and the
+    /// instrumentation is a no-op.
+    pub fn timeline(mut self, timeline: Arc<Timeline>) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Session {
         Session {
@@ -247,6 +260,7 @@ impl SessionBuilder {
             recorder: self
                 .recorder
                 .unwrap_or_else(|| Arc::new(MetricsRegistry::new())),
+            timeline: self.timeline,
         }
     }
 }
@@ -317,6 +331,7 @@ pub struct Session {
     platform: EdgeSoc,
     fidelity: Fidelity,
     recorder: Recorder,
+    timeline: Option<Arc<Timeline>>,
 }
 
 impl Session {
@@ -329,12 +344,19 @@ impl Session {
             parallelism: Parallelism::serial(),
             fidelity: Fidelity::Sampled,
             recorder: None,
+            timeline: None,
         }
     }
 
     /// The registry this session records into.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// The flight-recorder timeline attached with
+    /// [`SessionBuilder::timeline`], if any.
+    pub fn timeline(&self) -> Option<&Arc<Timeline>> {
+        self.timeline.as_ref()
     }
 
     /// The session's GEMM options (precision, blocking, SoC,
@@ -374,13 +396,16 @@ impl Session {
     /// blocking parameters, or µ-engine protocol violations.
     pub fn run(&self, a: &QuantMatrix, b: &QuantMatrix) -> Result<GemmResult, Error> {
         let snap = self.recorder.snapshot();
-        let (c, report) = metrics::with_recorder(self.recorder.clone(), || {
-            let c = self.kernel.compute(a, b)?;
-            let dims = GemmDims::new(a.rows(), a.cols(), b.cols());
-            let report = self.kernel.simulate(dims, self.fidelity)?;
+        let (c, report) = timeline::with_timeline_opt(self.timeline.clone(), || {
+            let (c, report) = metrics::with_recorder(self.recorder.clone(), || {
+                let c = self.kernel.compute(a, b)?;
+                let dims = GemmDims::new(a.rows(), a.cols(), b.cols());
+                let report = self.kernel.simulate(dims, self.fidelity)?;
+                Ok::<_, Error>((c, report))
+            })?;
+            report.export_metrics(&self.recorder);
             Ok::<_, Error>((c, report))
         })?;
-        report.export_metrics(&self.recorder);
         Ok(GemmResult {
             c,
             report,
@@ -400,10 +425,13 @@ impl Session {
     /// Returns [`Error::Gemm`] on invalid blocking parameters or
     /// µ-engine protocol violations.
     pub fn simulate(&self, dims: GemmDims) -> Result<GemmSummary, Error> {
-        let report = metrics::with_recorder(self.recorder.clone(), || {
-            self.kernel.simulate(dims, self.fidelity)
+        let report = timeline::with_timeline_opt(self.timeline.clone(), || {
+            let report = metrics::with_recorder(self.recorder.clone(), || {
+                self.kernel.simulate(dims, self.fidelity)
+            })?;
+            report.export_metrics(&self.recorder);
+            Ok::<_, Error>(report)
         })?;
-        report.export_metrics(&self.recorder);
         Ok(GemmSummary::from_report(report))
     }
 
@@ -417,11 +445,13 @@ impl Session {
     pub fn run_network(&self, net: &Network, plan: &PrecisionPlan) -> Result<NetworkResult, Error> {
         let snap = self.recorder.snapshot();
         let opts = self.kernel.options();
-        let perf = metrics::with_recorder(self.recorder.clone(), || {
-            runtime::simulate_network_with(net, plan, self.fidelity, |pc| {
-                self.platform
-                    .gemm_options(pc)
-                    .with_parallelism(opts.parallelism)
+        let perf = timeline::with_timeline_opt(self.timeline.clone(), || {
+            metrics::with_recorder(self.recorder.clone(), || {
+                runtime::simulate_network_with(net, plan, self.fidelity, |pc| {
+                    self.platform
+                        .gemm_options(pc)
+                        .with_parallelism(opts.parallelism)
+                })
             })
         })?;
         let top1 = accuracy::for_network(net.name()).and_then(|t| t.top1_for(plan.default));

@@ -31,8 +31,15 @@
 //! The scheduler reports itself through the observability layer:
 //! `serve.queue.depth` (gauge), `serve.requests` / `serve.buckets` /
 //! `serve.bucket.hit` / `serve.bucket.miss` / `serve.sim_memo.*` /
-//! `serve.deadline_expired` / `serve.rejected` (counters) and
-//! `serve/bucket` spans, all in the session's recorder.
+//! `serve.deadline_expired` / `serve.rejected` (counters),
+//! `serve.queue.wait_us` / `serve.service_us` latency histograms (with
+//! p50/p90/p99 quantiles) and `serve/bucket` / `serve/pack` /
+//! `serve/compute` spans, all in the session's recorder. With a
+//! flight-recorder timeline attached
+//! ([`SessionBuilder::timeline`](crate::api::SessionBuilder::timeline)),
+//! every request additionally emits enqueue → schedule → pack →
+//! compute → complete stage events under its [`TraceId`], and the
+//! completion marker carries the simulated PMU cycle counts.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -47,6 +54,7 @@ use mixgemm_dnn::simcache::{SimCache, SimKey};
 use mixgemm_dnn::{DnnError, Network};
 use mixgemm_gemm::{GemmDims, GemmError, GemmReport, MixGemmKernel, QuantMatrix};
 use mixgemm_harness::metrics::{self, MetricsReport};
+use mixgemm_harness::timeline::{self, TraceId};
 use mixgemm_harness::trace;
 
 use crate::api::Session;
@@ -93,12 +101,23 @@ impl std::error::Error for ServeError {}
 /// serving, where one weight matrix meets a stream of activations. The
 /// packed-operand cache lives on the [`QuantMatrix`], so every request
 /// touching a given operand after the first reuses its packed form.
+///
+/// Every request carries a process-unique [`TraceId`] from birth; when
+/// the session has a flight-recorder
+/// [`Timeline`](mixgemm_harness::timeline::Timeline) attached, the
+/// scheduler emits enqueue → schedule → pack → compute → complete stage
+/// events under that id, so one request's journey can be followed across
+/// queue and worker threads in the exported Chrome trace.
 #[derive(Clone, Debug)]
 pub struct GemmRequest {
     a: Arc<QuantMatrix>,
     b: Arc<QuantMatrix>,
     precision: Option<PrecisionConfig>,
     deadline: Option<Instant>,
+    trace: TraceId,
+    /// When the scheduler accepted the request (set on submission);
+    /// `serve.queue.wait_us` measures from here to worker pickup.
+    enqueued: Option<Instant>,
 }
 
 impl GemmRequest {
@@ -109,6 +128,8 @@ impl GemmRequest {
             b,
             precision: None,
             deadline: None,
+            trace: TraceId::next(),
+            enqueued: None,
         }
     }
 
@@ -163,6 +184,21 @@ impl GemmRequest {
     /// The GEMM dimensions the request describes.
     pub fn dims(&self) -> GemmDims {
         GemmDims::new(self.a.rows(), self.a.cols(), self.b.cols())
+    }
+
+    /// The request's flight-recorder id (assigned at construction).
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
+    /// Marks the request accepted by the scheduler: stamps the enqueue
+    /// time and emits the `serve/enqueue` stage event on the session's
+    /// timeline, if one is attached.
+    fn mark_enqueued(&mut self, session: &Session) {
+        self.enqueued = Some(Instant::now());
+        if let Some(tl) = session.timeline() {
+            tl.instant("serve/enqueue", Some(self.trace));
+        }
     }
 }
 
@@ -220,9 +256,18 @@ fn report_memo() -> &'static Mutex<HashMap<SimKey, GemmReport>> {
     MEMO.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Microseconds of `d`, saturating, for latency histograms.
+fn duration_us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
 /// Runs one bucket: simulate the shape class once (memoized), then
 /// compute every request through the shared packed operands. Returns
 /// `(input position, outcome)` pairs in input order.
+///
+/// Runs with the session's timeline (if any) installed on the executing
+/// thread, so pack/kernel spans emit timeline events and each request
+/// gets its schedule/pack/compute/complete stage events here.
 fn run_bucket(
     session: &Session,
     dims: GemmDims,
@@ -230,78 +275,118 @@ fn run_bucket(
     requests: &[(usize, GemmRequest)],
 ) -> Vec<(usize, Result<ServedGemm, Error>)> {
     let rec = session.recorder().clone();
-    metrics::with_recorder(rec.clone(), || {
-        let _bucket = trace::span_rooted(&rec, "serve/bucket");
-        rec.counter("serve.buckets").inc();
-        rec.counter("serve.requests").add(requests.len() as u64);
-        // Bucket hit accounting: the first request of a bucket pays the
-        // packing (miss); every further request rides the shared packed
-        // operands (hit). `hit_rate("serve.bucket")` is the batched
-        // amortization win.
-        rec.counter("serve.bucket.miss").inc();
-        if requests.len() > 1 {
-            rec.counter("serve.bucket.hit")
-                .add(requests.len() as u64 - 1);
-        }
-
-        let opts = session.gemm_options_for(precision);
-        let sim_key = SimKey::new(dims, session.fidelity(), &opts);
-        let kernel = MixGemmKernel::new(opts);
-
-        // One cycle-level simulation per shape class, process-wide. The
-        // (cycles, busy) pair also lands in the dnn SimCache so network
-        // simulations of the same shapes skip the cycle-level model —
-        // insert only, leaving that cache's hit counters to its callers.
-        let cached = report_memo()
-            .lock()
-            .expect("serve report memo poisoned")
-            .get(&sim_key)
-            .cloned();
-        let report: Result<GemmReport, Error> = match cached {
-            Some(r) => {
-                rec.counter("serve.sim_memo.hit").inc();
-                Ok(r)
+    timeline::with_timeline_opt(session.timeline().cloned(), || {
+        metrics::with_recorder(rec.clone(), || {
+            let _bucket = trace::span_rooted(&rec, "serve/bucket");
+            rec.counter("serve.buckets").inc();
+            rec.counter("serve.requests").add(requests.len() as u64);
+            // Bucket hit accounting: the first request of a bucket pays the
+            // packing (miss); every further request rides the shared packed
+            // operands (hit). `hit_rate("serve.bucket")` is the batched
+            // amortization win.
+            rec.counter("serve.bucket.miss").inc();
+            if requests.len() > 1 {
+                rec.counter("serve.bucket.hit")
+                    .add(requests.len() as u64 - 1);
             }
-            None => {
-                rec.counter("serve.sim_memo.miss").inc();
-                match kernel.simulate(dims, session.fidelity()) {
-                    Ok(r) => {
-                        report_memo()
-                            .lock()
-                            .expect("serve report memo poisoned")
-                            .insert(sim_key.clone(), r.clone());
-                        let busy = r.pmu.map(|p| p.busy_cycles).unwrap_or(0);
-                        SimCache::global().insert(sim_key, (r.cycles, busy));
-                        Ok(r)
-                    }
-                    Err(e) => Err(Error::Gemm(e)),
+
+            let opts = session.gemm_options_for(precision);
+            let sim_key = SimKey::new(dims, session.fidelity(), &opts);
+            let kernel = MixGemmKernel::new(opts);
+
+            // One cycle-level simulation per shape class, process-wide. The
+            // (cycles, busy) pair also lands in the dnn SimCache so network
+            // simulations of the same shapes skip the cycle-level model —
+            // insert only, leaving that cache's hit counters to its callers.
+            let cached = report_memo()
+                .lock()
+                .expect("serve report memo poisoned")
+                .get(&sim_key)
+                .cloned();
+            let report: Result<GemmReport, Error> = match cached {
+                Some(r) => {
+                    rec.counter("serve.sim_memo.hit").inc();
+                    Ok(r)
                 }
-            }
-        };
-
-        requests
-            .iter()
-            .map(|(pos, req)| {
-                let outcome = (|| {
-                    if let Some(deadline) = req.deadline {
-                        if Instant::now() >= deadline {
-                            rec.counter("serve.deadline_expired").inc();
-                            return Err(Error::Serve(ServeError::DeadlineExpired));
+                None => {
+                    rec.counter("serve.sim_memo.miss").inc();
+                    match kernel.simulate(dims, session.fidelity()) {
+                        Ok(r) => {
+                            report_memo()
+                                .lock()
+                                .expect("serve report memo poisoned")
+                                .insert(sim_key.clone(), r.clone());
+                            let busy = r.pmu.map(|p| p.busy_cycles).unwrap_or(0);
+                            SimCache::global().insert(sim_key, (r.cycles, busy));
+                            Ok(r)
                         }
+                        Err(e) => Err(Error::Gemm(e)),
                     }
-                    // Packing runs once per distinct operand: the packed
-                    // form lives on the shared QuantMatrix, so every
-                    // later request in the bucket (and any later batch
-                    // holding the same Arc) reuses it.
-                    let c = kernel.compute_packed(&req.a.packed_rows(), &req.b.packed_cols())?;
-                    Ok(ServedGemm {
-                        c,
-                        report: report.clone()?,
-                    })
-                })();
-                (*pos, outcome)
-            })
-            .collect()
+                }
+            };
+
+            requests
+                .iter()
+                .map(|(pos, req)| {
+                    // All stage events of one request share its TraceId —
+                    // installing it here also tags the nested pack/kernel
+                    // span events.
+                    let outcome = timeline::with_trace(req.trace, || {
+                        let scheduled = Instant::now();
+                        timeline::instant("serve/schedule");
+                        if let Some(enqueued) = req.enqueued {
+                            rec.histogram("serve.queue.wait_us")
+                                .record(duration_us(scheduled.duration_since(enqueued)));
+                        }
+                        let result = (|| {
+                            if let Some(deadline) = req.deadline {
+                                if Instant::now() >= deadline {
+                                    rec.counter("serve.deadline_expired").inc();
+                                    return Err(Error::Serve(ServeError::DeadlineExpired));
+                                }
+                            }
+                            // Packing runs once per distinct operand: the packed
+                            // form lives on the shared QuantMatrix, so every
+                            // later request in the bucket (and any later batch
+                            // holding the same Arc) reuses it.
+                            let (pa, pb) = {
+                                let _pack = trace::span_rooted(&rec, "serve/pack");
+                                (req.a.packed_rows(), req.b.packed_cols())
+                            };
+                            let c = {
+                                let _compute = trace::span_rooted(&rec, "serve/compute");
+                                kernel.compute_packed(&pa, &pb)?
+                            };
+                            Ok(ServedGemm {
+                                c,
+                                report: report.clone()?,
+                            })
+                        })();
+                        rec.histogram("serve.service_us")
+                            .record(duration_us(scheduled.elapsed()));
+                        match &result {
+                            Ok(served) => {
+                                // The completion marker carries the simulated
+                                // PMU cycle counts so the Chrome trace shows
+                                // modelled cycles next to wall time.
+                                let busy = served.report.pmu.map(|p| p.busy_cycles).unwrap_or(0);
+                                timeline::instant_with_args(
+                                    "serve/complete",
+                                    vec![
+                                        ("sim_cycles", served.report.cycles),
+                                        ("pmu_busy_cycles", busy),
+                                        ("macs", served.report.macs),
+                                    ],
+                                );
+                            }
+                            Err(_) => timeline::instant("serve/complete"),
+                        }
+                        result
+                    });
+                    (*pos, outcome)
+                })
+                .collect()
+        })
     })
 }
 
@@ -357,7 +442,8 @@ impl Session {
         let default_precision = self.options().precision;
         let mut order: Vec<BucketKey> = Vec::new();
         let mut by_key: HashMap<BucketKey, Vec<(usize, GemmRequest)>> = HashMap::new();
-        for (pos, req) in requests.into_iter().enumerate() {
+        for (pos, mut req) in requests.into_iter().enumerate() {
+            req.mark_enqueued(self);
             if req.a.cols() != req.b.rows() {
                 results[pos] = Some(Err(Error::Gemm(GemmError::DimensionMismatch {
                     a_cols: req.a.cols(),
@@ -458,32 +544,38 @@ impl Session {
             runtime::forward_quantized_with(net, x, plan, seed, |pc| self.gemm_options_for(pc))
         };
         let workers = workers.clamp(1, inputs.len().max(1));
-        let outputs = if workers <= 1 {
-            metrics::with_recorder(rec.clone(), || {
-                inputs.iter().map(forward).collect::<Result<Vec<_>, _>>()
-            })?
-        } else {
-            let chunk = inputs.len().div_ceil(workers);
-            let rec = &rec;
-            let forward = &forward;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = inputs
-                    .chunks(chunk)
-                    .map(|xs| {
-                        scope.spawn(move || {
-                            metrics::with_recorder(rec.clone(), || {
-                                xs.iter().map(forward).collect::<Result<Vec<_>, DnnError>>()
+        let outputs = timeline::with_timeline_opt(self.timeline().cloned(), || {
+            if workers <= 1 {
+                metrics::with_recorder(rec.clone(), || {
+                    inputs.iter().map(forward).collect::<Result<Vec<_>, _>>()
+                })
+            } else {
+                let chunk = inputs.len().div_ceil(workers);
+                let rec = &rec;
+                let forward = &forward;
+                let tscope = timeline::capture();
+                let tscope = &tscope;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = inputs
+                        .chunks(chunk)
+                        .map(|xs| {
+                            scope.spawn(move || {
+                                tscope.enter(|| {
+                                    metrics::with_recorder(rec.clone(), || {
+                                        xs.iter().map(forward).collect::<Result<Vec<_>, DnnError>>()
+                                    })
+                                })
                             })
                         })
-                    })
-                    .collect();
-                let mut out = Vec::with_capacity(inputs.len());
-                for h in handles {
-                    out.extend(h.join().expect("forward worker panicked")?);
-                }
-                Ok::<_, DnnError>(out)
-            })?
-        };
+                        .collect();
+                    let mut out = Vec::with_capacity(inputs.len());
+                    for h in handles {
+                        out.extend(h.join().expect("forward worker panicked")?);
+                    }
+                    Ok::<_, DnnError>(out)
+                })
+            }
+        })?;
         Ok(ForwardBatch {
             outputs,
             metrics: self.recorder().report_since(&snap),
@@ -647,7 +739,7 @@ impl Server {
     /// capacity (the request is dropped — backpressure),
     /// [`ServeError::ShutDown`] after [`Server::drain`], and
     /// [`Error::Gemm`] immediately for dimension mismatches.
-    pub fn submit(&self, request: GemmRequest) -> Result<Ticket, Error> {
+    pub fn submit(&self, mut request: GemmRequest) -> Result<Ticket, Error> {
         if request.a.cols() != request.b.rows() {
             return Err(Error::Gemm(GemmError::DimensionMismatch {
                 a_cols: request.a.cols(),
@@ -669,6 +761,7 @@ impl Server {
             done: Mutex::new(None),
             cv: Condvar::new(),
         });
+        request.mark_enqueued(&self.shared.session);
         st.pending.push_back((request, slot.clone()));
         rec.gauge("serve.queue.depth").set(st.pending.len() as f64);
         let paused = st.paused;

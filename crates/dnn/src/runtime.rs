@@ -19,7 +19,7 @@ use std::collections::HashMap;
 
 use mixgemm_binseg::PrecisionConfig;
 use mixgemm_gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel, Parallelism, QuantMatrix};
-use mixgemm_harness::{metrics, trace};
+use mixgemm_harness::{metrics, timeline, trace};
 
 use crate::error::DnnError;
 use crate::graph::Network;
@@ -400,19 +400,23 @@ where
         let simulate_one = &simulate_one;
         let rec = &rec;
         let shape_path = shape_path.as_str();
+        let tscope = timeline::capture();
+        let tscope = &tscope;
         let costs = std::thread::scope(|scope| {
             let handles: Vec<_> = missing
                 .chunks(missing.len().div_ceil(threads))
                 .map(|chunk| {
                     scope.spawn(move || {
-                        metrics::with_recorder(rec.clone(), || {
-                            chunk
-                                .iter()
-                                .map(|(key, dims, precision)| {
-                                    let _shape = trace::span_rooted(rec, shape_path);
-                                    Ok((key.clone(), simulate_one(*dims, *precision)?))
-                                })
-                                .collect::<Result<Vec<_>, DnnError>>()
+                        tscope.enter(|| {
+                            metrics::with_recorder(rec.clone(), || {
+                                chunk
+                                    .iter()
+                                    .map(|(key, dims, precision)| {
+                                        let _shape = trace::span_rooted(rec, shape_path);
+                                        Ok((key.clone(), simulate_one(*dims, *precision)?))
+                                    })
+                                    .collect::<Result<Vec<_>, DnnError>>()
+                            })
                         })
                     })
                 })
@@ -616,15 +620,19 @@ pub fn forward_quantized_batch(
     // and spans from every batch member land in one registry.
     let rec = metrics::recorder();
     let rec = &rec;
+    let tscope = timeline::capture();
+    let tscope = &tscope;
     std::thread::scope(|scope| {
         let handles: Vec<_> = inputs
             .chunks(chunk)
             .map(|xs| {
                 scope.spawn(move || {
-                    metrics::with_recorder(rec.clone(), || {
-                        xs.iter()
-                            .map(|x| forward_quantized(net, x, plan, seed))
-                            .collect::<Result<Vec<_>, DnnError>>()
+                    tscope.enter(|| {
+                        metrics::with_recorder(rec.clone(), || {
+                            xs.iter()
+                                .map(|x| forward_quantized(net, x, plan, seed))
+                                .collect::<Result<Vec<_>, DnnError>>()
+                        })
                     })
                 })
             })

@@ -14,7 +14,7 @@
 
 use std::ops::Range;
 
-use mixgemm_harness::{metrics, trace};
+use mixgemm_harness::{metrics, timeline, trace};
 
 use crate::error::GemmError;
 use crate::params::{BlisParams, Parallelism};
@@ -106,6 +106,10 @@ where
     let tile = &tile;
     let rec = &rec;
     let shard_path = shard_path.as_str();
+    // Timeline (and request TraceId) propagate like the recorder, so
+    // shard span events land on the caller's flight recorder.
+    let tscope = timeline::capture();
+    let tscope = &tscope;
     if row_ranges.len() >= col_ranges.len() {
         // Row mode: each worker owns a contiguous slab of C rows.
         rec.counter("gemm.shards").add(row_ranges.len() as u64);
@@ -117,9 +121,11 @@ where
                 rest = tail;
                 let r = r.clone();
                 handles.push(scope.spawn(move || {
-                    metrics::with_recorder(rec.clone(), || {
-                        let _shard = trace::span_rooted(rec, shard_path);
-                        tile(r, 0..n, slab)
+                    tscope.enter(|| {
+                        metrics::with_recorder(rec.clone(), || {
+                            let _shard = trace::span_rooted(rec, shard_path);
+                            tile(r, 0..n, slab)
+                        })
                     })
                 }));
             }
@@ -138,11 +144,13 @@ where
                 .map(|r| {
                     let r = r.clone();
                     scope.spawn(move || {
-                        metrics::with_recorder(rec.clone(), || {
-                            let _shard = trace::span_rooted(rec, shard_path);
-                            let mut band = vec![0i64; m * r.len()];
-                            tile(0..m, r.clone(), &mut band)?;
-                            Ok::<_, GemmError>((r, band))
+                        tscope.enter(|| {
+                            metrics::with_recorder(rec.clone(), || {
+                                let _shard = trace::span_rooted(rec, shard_path);
+                                let mut band = vec![0i64; m * r.len()];
+                                tile(0..m, r.clone(), &mut band)?;
+                                Ok::<_, GemmError>((r, band))
+                            })
                         })
                     })
                 })

@@ -1,7 +1,7 @@
 use std::fmt;
 
 use mixgemm_binseg::PrecisionConfig;
-use mixgemm_harness::MetricsRegistry;
+use mixgemm_harness::{timeline, MetricsRegistry};
 use mixgemm_soc::{CacheStats, CoreStats};
 use mixgemm_uengine::Pmu;
 
@@ -77,6 +77,11 @@ impl GemmReport {
     /// cache statistics, and (when present) the µ-engine PMU counters —
     /// as `sim.*` / `soc.*` / `uengine.pmu.*` gauges into `rec`,
     /// replacing the per-bench plumbing that used to re-derive them.
+    ///
+    /// When a flight-recorder timeline is installed on the calling
+    /// thread, also drops a `sim.report` instant marker carrying the
+    /// simulated cycle counts, so the exported Chrome trace shows
+    /// modelled cycles next to wall-clock spans.
     pub fn export_metrics(&self, rec: &MetricsRegistry) {
         rec.gauge("sim.cycles").set_u64(self.cycles);
         rec.gauge("sim.macs").set_u64(self.macs);
@@ -90,6 +95,15 @@ impl GemmReport {
         if let Some(pmu) = &self.pmu {
             pmu.export(rec, "uengine.pmu");
         }
+        let busy = self.pmu.map(|p| p.busy_cycles).unwrap_or(0);
+        timeline::instant_with_args(
+            "sim.report",
+            vec![
+                ("sim_cycles", self.cycles),
+                ("pmu_busy_cycles", busy),
+                ("macs", self.macs),
+            ],
+        );
     }
 
     /// Speed-up of this run over `baseline` on the same problem,

@@ -18,7 +18,11 @@
 //!   histograms and span timings (replaces the `metrics`/`prometheus`
 //!   stack), with JSON and line-protocol exporters;
 //! - [`trace`] — scoped span timers ([`span!`]) that aggregate into the
-//!   current [`metrics`] recorder with thread-aware nesting.
+//!   current [`metrics`] recorder with thread-aware nesting;
+//! - [`timeline`] — a flight recorder: a bounded ring buffer of
+//!   timestamped begin/end/instant events with per-request [`TraceId`]s
+//!   and a Chrome Trace Event (Perfetto) exporter, fed automatically by
+//!   [`span!`] when a [`Timeline`] is installed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +32,7 @@ pub mod json;
 pub mod metrics;
 pub mod prop;
 pub mod rng;
+pub mod timeline;
 pub mod trace;
 
 pub use bench::{black_box, Bencher, Group, Stats};
@@ -35,4 +40,5 @@ pub use json::Json;
 pub use metrics::{MetricsRegistry, MetricsReport, Recorder};
 pub use prop::check;
 pub use rng::Rng;
+pub use timeline::{Timeline, TraceId};
 pub use trace::Span;

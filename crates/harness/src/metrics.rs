@@ -8,7 +8,8 @@
 //!   executed, instructions retired);
 //! - [`Gauge`] — last-write-wins `f64` (PMU counter exports, derived
 //!   rates);
-//! - [`Histogram`] — running count/sum/min/max of observed samples;
+//! - [`Histogram`] — running count/sum/min/max plus log-bucketed
+//!   p50/p90/p99 quantile estimates of observed samples;
 //! - [`SpanStats`] — aggregated scoped-timer durations fed by
 //!   [`crate::trace`].
 //!
@@ -144,8 +145,42 @@ impl Gauge {
     }
 }
 
-/// Running summary of a stream of samples.
-#[derive(Copy, Clone, Debug, PartialEq, Default)]
+/// Number of logarithmic buckets backing histogram quantiles.
+const HIST_BUCKETS: usize = 128;
+/// Buckets per octave (power of two). Three sub-buckets per octave give
+/// bucket boundaries a factor 2^(1/3) ≈ 1.26 apart, bounding the
+/// worst-case quantile error at 2^(1/6) − 1 ≈ 12%.
+const HIST_SUB: f64 = 3.0;
+/// Exponent of the smallest bucketed magnitude: samples at or below
+/// 2^-6 ≈ 0.016 share the first positive bucket. With 128 buckets the
+/// top of the range is ≈ 2^36, comfortably above any µs latency or
+/// cycle count recorded here.
+const HIST_MIN_EXP: f64 = -6.0;
+
+/// Bucket index for sample `v`: 0 for non-positive (or non-finite)
+/// samples, otherwise a log-spaced index clamped to the table.
+fn hist_bucket_of(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let idx = ((v.log2() - HIST_MIN_EXP) * HIST_SUB).floor() as i64 + 1;
+    idx.clamp(1, HIST_BUCKETS as i64 - 1) as usize
+}
+
+/// Representative value of bucket `idx`: the geometric midpoint of its
+/// bounds (0 for the non-positive bucket).
+fn hist_bucket_value(idx: usize) -> f64 {
+    if idx == 0 {
+        0.0
+    } else {
+        (HIST_MIN_EXP + (idx as f64 - 0.5) / HIST_SUB).exp2()
+    }
+}
+
+/// Running summary of a stream of samples: exact count/sum/min/max plus
+/// log-bucketed counts for quantile estimates (HDR-histogram style, ~12%
+/// worst-case relative error — see [`HistogramSummary::quantile`]).
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct HistogramSummary {
     /// Samples observed.
     pub count: u64,
@@ -155,6 +190,20 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Largest sample (0 when empty).
     pub max: f64,
+    /// Log-spaced bucket counts (bucket 0 holds non-positive samples).
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
 }
 
 impl HistogramSummary {
@@ -166,9 +215,83 @@ impl HistogramSummary {
             self.sum / self.count as f64
         }
     }
+
+    fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        self.buckets[hist_bucket_of(v)] += 1;
+    }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) from the
+    /// log-spaced buckets, zero when empty.
+    ///
+    /// The estimate is the geometric midpoint of the bucket containing
+    /// the requested rank, clamped to the exact observed `[min, max]`,
+    /// so the relative error is at most 2^(1/6) − 1 ≈ 12% and single-
+    /// sample histograms report the sample itself at every quantile.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket 0 pools all non-positive samples; `min` is the
+                // only bound we have for it.
+                if idx == 0 {
+                    return self.min.min(0.0);
+                }
+                return hist_bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`HistogramSummary::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// The summary of everything recorded after `before` was captured:
+    /// count/sum/bucket deltas, with the cumulative extremes kept (min/
+    /// max cannot be windowed from running aggregates).
+    fn since(&self, before: &HistogramSummary) -> HistogramSummary {
+        let mut buckets = self.buckets;
+        for (b, prev) in buckets.iter_mut().zip(before.buckets.iter()) {
+            *b = b.saturating_sub(*prev);
+        }
+        HistogramSummary {
+            count: self.count - before.count,
+            sum: self.sum - before.sum,
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
 }
 
-/// A histogram metric (running count/sum/min/max).
+/// A histogram metric: running count/sum/min/max plus log-bucketed
+/// quantile estimates (p50/p90/p99 on the [`HistogramSummary`]).
 #[derive(Default, Debug)]
 pub struct Histogram {
     inner: Mutex<HistogramSummary>,
@@ -177,16 +300,7 @@ pub struct Histogram {
 impl Histogram {
     /// Records one sample.
     pub fn record(&self, v: f64) {
-        let mut h = self.inner.lock().expect("Histogram poisoned");
-        if h.count == 0 {
-            h.min = v;
-            h.max = v;
-        } else {
-            h.min = h.min.min(v);
-            h.max = h.max.max(v);
-        }
-        h.count += 1;
-        h.sum += v;
+        self.inner.lock().expect("Histogram poisoned").record(v);
     }
 
     /// The current summary.
@@ -390,15 +504,7 @@ impl MetricsRegistry {
                 if cur.count <= before.count {
                     return None;
                 }
-                Some((
-                    k.clone(),
-                    HistogramSummary {
-                        count: cur.count - before.count,
-                        sum: cur.sum - before.sum,
-                        min: cur.min,
-                        max: cur.max,
-                    },
-                ))
+                Some((k.clone(), cur.since(&before)))
             })
             .collect();
         counters.sort_by(|a, b| a.0.cmp(&b.0));
@@ -471,6 +577,14 @@ impl MetricsReport {
         self.spans.iter().find(|(k, _)| k == path).map(|(_, v)| *v)
     }
 
+    /// The summary of histogram `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
     /// Hit rate of the counter pair `{prefix}.hit` / `{prefix}.miss`,
     /// `None` when neither fired — the idiom the operand-cache and
     /// simulation-cache instrumentation uses.
@@ -512,6 +626,9 @@ impl MetricsReport {
                     .field("sum", h.sum)
                     .field("mean", h.mean())
                     .field("min", h.min)
+                    .field("p50", h.p50())
+                    .field("p90", h.p90())
+                    .field("p99", h.p99())
                     .field("max", h.max),
             );
         }
@@ -523,27 +640,58 @@ impl MetricsReport {
     }
 
     /// Serializes to an influx-style line protocol (one metric per
-    /// line, no timestamps — runs are deterministic simulations).
+    /// line, no trailing timestamp — for deterministic-diffable
+    /// artifacts; use [`MetricsReport::to_line_protocol_at`] when a
+    /// timeseries database will ingest the output).
     pub fn to_line_protocol(&self) -> String {
+        self.render_line_protocol(None)
+    }
+
+    /// [`MetricsReport::to_line_protocol`] with an explicit nanosecond
+    /// timestamp appended to every line, as InfluxDB-style consumers
+    /// expect (`metric,name=k fields... 1700000000000000000`).
+    pub fn to_line_protocol_at(&self, timestamp_ns: u64) -> String {
+        self.render_line_protocol(Some(timestamp_ns))
+    }
+
+    fn render_line_protocol(&self, timestamp_ns: Option<u64>) -> String {
         use std::fmt::Write as _;
+        // Influx field values are typed: `i`-suffixed integers for
+        // counts, plain floats otherwise. Integer-valued gauges (PMU
+        // counters, queue depths) export as integers rather than with a
+        // spurious fractional part.
+        let float = |v: f64| -> String {
+            if v == v.trunc() && v.is_finite() && v.abs() < 9.0e18 {
+                format!("{}i", v as i64)
+            } else {
+                format!("{v}")
+            }
+        };
+        let suffix = timestamp_ns.map_or(String::new(), |t| format!(" {t}"));
         let mut out = String::new();
         for (k, v) in &self.counters {
-            let _ = writeln!(out, "counter,name={k} value={v}");
+            let _ = writeln!(out, "counter,name={k} value={v}i{suffix}");
         }
         for (k, v) in &self.gauges {
-            let _ = writeln!(out, "gauge,name={k} value={v}");
+            let _ = writeln!(out, "gauge,name={k} value={}{suffix}", float(*v));
         }
         for (k, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "histogram,name={k} count={},sum={},min={},max={}",
-                h.count, h.sum, h.min, h.max
+                "histogram,name={k} count={}i,sum={},min={},p50={},p90={},p99={},max={}{suffix}",
+                h.count,
+                float(h.sum),
+                float(h.min),
+                float(h.p50()),
+                float(h.p90()),
+                float(h.p99()),
+                float(h.max)
             );
         }
         for (k, s) in &self.spans {
             let _ = writeln!(
                 out,
-                "span,name={k} count={},total_ns={},min_ns={},max_ns={}",
+                "span,name={k} count={}i,total_ns={}i,min_ns={}i,max_ns={}i{suffix}",
                 s.count, s.total_ns, s.min_ns, s.max_ns
             );
         }
@@ -699,9 +847,99 @@ mod tests {
         assert!(json.contains("\"root/child\""));
         assert!(json.contains("\"mean_ns\": 1000"));
         let lines = report.to_line_protocol();
-        assert!(lines.contains("counter,name=z.count value=2"));
+        assert!(lines.contains("counter,name=z.count value=2i"));
         assert!(lines.contains("gauge,name=g.value value=4.5"));
-        assert!(lines.contains("span,name=root/child count=1,total_ns=1000"));
-        assert!(lines.contains("histogram,name=h.samples count=1"));
+        assert!(lines.contains("span,name=root/child count=1i,total_ns=1000i"));
+        assert!(lines.contains("histogram,name=h.samples count=1i"));
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_distribution() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for v in 1..=1000u64 {
+            h.record(v as f64);
+        }
+        let s = h.summary();
+        for (q, expect) in [(0.50, 500.0), (0.90, 900.0), (0.99, 990.0)] {
+            let got = s.quantile(q);
+            let err = (got - expect).abs() / expect;
+            assert!(
+                err < 0.13,
+                "q={q}: got {got}, want ~{expect} (err {err:.3})"
+            );
+        }
+        assert!(s.p50() <= s.p90());
+        assert!(s.p90() <= s.p99());
+        assert!(s.p99() <= s.max);
+        // Quantiles stay inside the observed range.
+        assert!(s.quantile(0.0) >= s.min);
+        assert!(s.quantile(1.0) <= s.max);
+        assert_eq!(HistogramSummary::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_handle_single_and_nonpositive_samples() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("one");
+        h.record(42.0);
+        let s = h.summary();
+        assert_eq!(s.p50(), 42.0);
+        assert_eq!(s.p99(), 42.0);
+        let z = reg.histogram("zeros");
+        z.record(0.0);
+        z.record(-3.0);
+        z.record(5.0);
+        let s = z.summary();
+        assert_eq!(s.quantile(0.0), -3.0);
+        assert!(s.quantile(0.99) <= 5.0);
+    }
+
+    #[test]
+    fn histogram_window_deltas_subtract_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("w");
+        for _ in 0..100 {
+            h.record(1.0);
+        }
+        let snap = reg.snapshot();
+        for _ in 0..100 {
+            h.record(1000.0);
+        }
+        let s = reg
+            .report_since(&snap)
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "w")
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert_eq!(s.count, 100);
+        // The window only saw the large samples: its median must sit
+        // near 1000, not at the pre-snapshot 1.0 mode.
+        let p50 = s.p50();
+        assert!((880.0..=1000.0).contains(&p50), "windowed p50 = {p50}");
+    }
+
+    #[test]
+    fn line_protocol_integer_gauges_and_timestamps() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("pmu.cycles").set_u64(123_456);
+        reg.gauge("ratio").set(0.75);
+        reg.counter("hits").add(9);
+        let report = reg.report();
+        let lines = report.to_line_protocol();
+        // Integer-valued gauges carry no spurious fractional part.
+        assert!(lines.contains("gauge,name=pmu.cycles value=123456i\n"));
+        assert!(lines.contains("gauge,name=ratio value=0.75\n"));
+        assert!(lines.contains("counter,name=hits value=9i\n"));
+        let stamped = report.to_line_protocol_at(1_700_000_000_000_000_000);
+        for line in stamped.lines() {
+            assert!(
+                line.ends_with(" 1700000000000000000"),
+                "line missing timestamp: {line}"
+            );
+        }
+        // Identical content modulo the timestamp column.
+        assert_eq!(stamped.lines().count(), lines.lines().count());
     }
 }

@@ -1,0 +1,513 @@
+//! Flight recorder: a bounded, timestamped event log with a Chrome
+//! Trace Event exporter.
+//!
+//! Where [`crate::metrics`] aggregates (a span's total/min/max duration),
+//! the [`Timeline`] records *when* things happened: every begin/end/
+//! instant event carries a nanosecond timestamp relative to the
+//! timeline's epoch, the id of the thread that emitted it, an optional
+//! per-request [`TraceId`], and numeric arguments (e.g. simulated PMU
+//! cycle counts). Events land in a bounded ring buffer — at capacity the
+//! oldest events are dropped first and counted, so a recorder left
+//! attached to a long-running server costs bounded memory.
+//!
+//! # Installing a timeline
+//!
+//! Like the metrics recorder, the active timeline is a thread-local
+//! scope: [`with_timeline`] installs an `Arc<Timeline>` for the duration
+//! of a closure and instrumented code picks it up via [`current`]. When
+//! no timeline is installed every emission helper is a cheap no-op (one
+//! thread-local read), so production paths stay uninstrumented by
+//! default. Fan-out code captures a [`TimelineScope`] before spawning and
+//! re-enters it inside each worker so shard events land on the same
+//! timeline, tagged with the originating request's [`TraceId`]:
+//!
+//! ```
+//! use mixgemm_harness::timeline::{self, Timeline};
+//! use std::sync::Arc;
+//!
+//! let tl = Arc::new(Timeline::new());
+//! timeline::with_timeline(tl.clone(), || {
+//!     timeline::instant("warmup");
+//!     let scope = timeline::capture();
+//!     std::thread::scope(|s| {
+//!         s.spawn(|| scope.enter(|| timeline::instant("shard")));
+//!     });
+//! });
+//! assert_eq!(tl.len(), 2);
+//! ```
+//!
+//! # Export
+//!
+//! [`Timeline::to_chrome_trace`] renders the buffer as Chrome Trace
+//! Event Format JSON (`{"traceEvents": [...]}`), loadable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>. Begin/end pairs
+//! (`ph: "B"`/`"E"`) become nested slices per thread track; instants
+//! (`ph: "i"`) become markers; a request's `TraceId` and any numeric
+//! args appear under each event's `args`.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::metrics;
+
+/// Default ring-buffer capacity (events) for [`Timeline::new`].
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// A process-unique id correlating all events of one logical request.
+///
+/// Ids are allocated from a global atomic counter ([`TraceId::next`]),
+/// so they are unique across threads and sessions for the lifetime of
+/// the process; they carry no meaning beyond identity and ordering of
+/// allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Allocates the next process-unique id.
+    pub fn next() -> TraceId {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        TraceId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw numeric id (as exported under `args.trace_id`).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace#{}", self.0)
+    }
+}
+
+/// The kind of a timeline [`Event`], mirroring the Chrome Trace Event
+/// Format `ph` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Start of a duration slice (`ph: "B"`).
+    Begin,
+    /// End of the most recent unmatched [`Phase::Begin`] with the same
+    /// name on the same thread (`ph: "E"`).
+    End,
+    /// A zero-duration marker (`ph: "i"`).
+    Instant,
+}
+
+impl Phase {
+    /// The Chrome Trace Event Format phase code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        }
+    }
+}
+
+/// One recorded timeline event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Event name; slices use the span's `/`-joined path.
+    pub name: String,
+    /// Begin / end / instant.
+    pub phase: Phase,
+    /// Nanoseconds since the owning timeline's epoch.
+    pub ts_ns: u64,
+    /// Id of the emitting thread (small dense ids assigned per thread on
+    /// first emission; not OS tids).
+    pub tid: u64,
+    /// The request this event belongs to, if any.
+    pub trace: Option<TraceId>,
+    /// Numeric arguments (e.g. simulated PMU counters), exported under
+    /// `args` in the Chrome trace.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// Dense per-thread ids for trace tracks: the first thread to emit gets
+/// 1, the next 2, and so on. `std::thread::ThreadId` has no stable
+/// numeric accessor, and OS tids would make traces non-deterministic to
+/// diff.
+fn thread_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// A bounded, timestamped event log.
+///
+/// Push paths take one short mutex section over a `VecDeque` (no
+/// allocation beyond the event's own name/args); at capacity the oldest
+/// event is evicted, [`Timeline::dropped`] is incremented, and a
+/// `trace.dropped` counter is bumped on the current metrics recorder.
+#[derive(Debug)]
+pub struct Timeline {
+    epoch: Instant,
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::new()
+    }
+}
+
+impl Timeline {
+    /// A timeline holding up to [`DEFAULT_CAPACITY`] events.
+    pub fn new() -> Timeline {
+        Timeline::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A timeline holding up to `capacity` events (min 1); older events
+    /// are evicted first once full.
+    pub fn with_capacity(capacity: usize) -> Timeline {
+        let capacity = capacity.max(1);
+        Timeline {
+            epoch: Instant::now(),
+            capacity,
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Nanoseconds elapsed since this timeline's epoch.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records one event, evicting the oldest if the ring is full.
+    pub fn push(
+        &self,
+        name: impl Into<String>,
+        phase: Phase,
+        trace: Option<TraceId>,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        let event = Event {
+            name: name.into(),
+            phase,
+            ts_ns: self.now_ns(),
+            tid: thread_tid(),
+            trace,
+            args,
+        };
+        let evicted = {
+            let mut events = self.events.lock().expect("timeline poisoned");
+            let evicted = events.len() >= self.capacity;
+            if evicted {
+                events.pop_front();
+            }
+            events.push_back(event);
+            evicted
+        };
+        if evicted {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            metrics::recorder().counter("trace.dropped").inc();
+        }
+    }
+
+    /// Records a [`Phase::Begin`] event.
+    pub fn begin(&self, name: &str, trace: Option<TraceId>) {
+        self.push(name, Phase::Begin, trace, Vec::new());
+    }
+
+    /// Records a [`Phase::End`] event.
+    pub fn end(&self, name: &str, trace: Option<TraceId>) {
+        self.push(name, Phase::End, trace, Vec::new());
+    }
+
+    /// Records a [`Phase::Instant`] marker.
+    pub fn instant(&self, name: &str, trace: Option<TraceId>) {
+        self.push(name, Phase::Instant, trace, Vec::new());
+    }
+
+    /// Records a [`Phase::Instant`] marker with numeric arguments.
+    pub fn instant_with_args(
+        &self,
+        name: &str,
+        trace: Option<TraceId>,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        self.push(name, Phase::Instant, trace, args);
+    }
+
+    /// A snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("timeline poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("timeline poisoned").len()
+    }
+
+    /// Whether no events have been recorded (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of buffered events before eviction starts.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events evicted oldest-first because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Renders the buffer as a Chrome Trace Event Format document.
+    ///
+    /// The result has a `traceEvents` array whose entries carry `name`,
+    /// `ph` (`B`/`E`/`i`), `ts` (microseconds since the timeline epoch,
+    /// fractional), `pid`, `tid` and `args` (with `trace_id` when the
+    /// event belongs to a request). Serialize with [`Json::pretty`] and
+    /// load the file in `chrome://tracing` or Perfetto.
+    pub fn to_chrome_trace(&self) -> Json {
+        let events = self.events();
+        let mut arr = Vec::with_capacity(events.len());
+        for e in events {
+            let mut obj = Json::obj()
+                .field("name", e.name)
+                .field("ph", e.phase.code())
+                .field("ts", e.ts_ns as f64 / 1_000.0)
+                .field("pid", 1u64)
+                .field("tid", e.tid);
+            if e.phase == Phase::Instant {
+                // Thread-scoped instant marker.
+                obj = obj.field("s", "t");
+            }
+            let mut args = Json::obj();
+            if let Some(trace) = e.trace {
+                args = args.field("trace_id", trace.as_u64());
+            }
+            for (k, v) in e.args {
+                args = args.field(k, v);
+            }
+            arr.push(obj.field("args", args));
+        }
+        Json::obj()
+            .field("traceEvents", Json::Arr(arr))
+            .field("displayTimeUnit", "ms")
+            .field("droppedEvents", self.dropped())
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<Timeline>>> = const { RefCell::new(Vec::new()) };
+    static TRACE: RefCell<Vec<TraceId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The timeline installed on this thread by the innermost
+/// [`with_timeline`], or `None` when tracing is off.
+pub fn current() -> Option<Arc<Timeline>> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+/// The request id installed on this thread by the innermost
+/// [`with_trace`], or `None` outside any request scope.
+pub fn current_trace() -> Option<TraceId> {
+    TRACE.with(|t| t.borrow().last().copied())
+}
+
+struct PopGuard<T: 'static>(&'static std::thread::LocalKey<RefCell<Vec<T>>>);
+
+impl<T> Drop for PopGuard<T> {
+    fn drop(&mut self) {
+        self.0.with(|v| {
+            v.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` with `timeline` installed as this thread's current
+/// timeline; the previous timeline (if any) is restored afterwards,
+/// including on unwind.
+pub fn with_timeline<R>(timeline: Arc<Timeline>, f: impl FnOnce() -> R) -> R {
+    CURRENT.with(|c| c.borrow_mut().push(timeline));
+    let _guard = PopGuard(&CURRENT);
+    f()
+}
+
+/// [`with_timeline`] when the timeline is optional: installs it if
+/// `Some`, otherwise just runs `f`. Lets call sites thread an
+/// `Option<Arc<Timeline>>` through without branching.
+pub fn with_timeline_opt<R>(timeline: Option<Arc<Timeline>>, f: impl FnOnce() -> R) -> R {
+    match timeline {
+        Some(tl) => with_timeline(tl, f),
+        None => f(),
+    }
+}
+
+/// Runs `f` with `trace` installed as this thread's current request id,
+/// restoring the previous id afterwards. Spans and [`instant`] markers
+/// emitted inside pick it up automatically.
+pub fn with_trace<R>(trace: TraceId, f: impl FnOnce() -> R) -> R {
+    TRACE.with(|t| t.borrow_mut().push(trace));
+    let _guard = PopGuard(&TRACE);
+    f()
+}
+
+/// Emits an instant marker on the current timeline (no-op when tracing
+/// is off), tagged with the current [`TraceId`] if one is installed.
+pub fn instant(name: &str) {
+    if let Some(tl) = current() {
+        tl.instant(name, current_trace());
+    }
+}
+
+/// [`instant`] with numeric arguments.
+pub fn instant_with_args(name: &str, args: Vec<(&'static str, u64)>) {
+    if let Some(tl) = current() {
+        tl.instant_with_args(name, current_trace(), args);
+    }
+}
+
+/// The current thread's timeline and request id, captured for
+/// re-installation inside spawned workers. See [`capture`].
+#[derive(Clone, Debug, Default)]
+pub struct TimelineScope {
+    timeline: Option<Arc<Timeline>>,
+    trace: Option<TraceId>,
+}
+
+/// Captures this thread's current timeline and [`TraceId`] so fan-out
+/// workers can [`TimelineScope::enter`] the same scope.
+pub fn capture() -> TimelineScope {
+    TimelineScope {
+        timeline: current(),
+        trace: current_trace(),
+    }
+}
+
+impl TimelineScope {
+    /// Runs `f` with the captured timeline and trace id installed on
+    /// the calling thread (a plain call when both were absent).
+    pub fn enter<R>(&self, f: impl FnOnce() -> R) -> R {
+        let inner = || match self.trace {
+            Some(trace) => with_trace(trace, f),
+            None => f(),
+        };
+        with_timeline_opt(self.timeline.clone(), inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn trace_ids_are_unique_and_increasing() {
+        let a = TraceId::next();
+        let b = TraceId::next();
+        assert!(b > a);
+        assert_ne!(a.as_u64(), b.as_u64());
+    }
+
+    #[test]
+    fn events_carry_timestamps_and_thread_ids() {
+        let tl = Timeline::new();
+        tl.begin("work", None);
+        tl.end("work", None);
+        let events = tl.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].phase, Phase::Begin);
+        assert_eq!(events[1].phase, Phase::End);
+        assert!(events[0].ts_ns <= events[1].ts_ns);
+        assert_eq!(events[0].tid, events[1].tid);
+        assert!(events[0].tid > 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_first() {
+        let tl = Timeline::with_capacity(4);
+        let reg = Arc::new(MetricsRegistry::new());
+        metrics::with_recorder(reg.clone(), || {
+            for i in 0..10u64 {
+                tl.push(format!("e{i}"), Phase::Instant, None, Vec::new());
+            }
+        });
+        assert_eq!(tl.len(), 4);
+        assert_eq!(tl.dropped(), 6);
+        let names: Vec<_> = tl.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["e6", "e7", "e8", "e9"]);
+        assert_eq!(reg.counter("trace.dropped").get(), 6);
+    }
+
+    #[test]
+    fn thread_scope_propagates_timeline_and_trace() {
+        let tl = Arc::new(Timeline::new());
+        let id = TraceId::next();
+        with_timeline(tl.clone(), || {
+            with_trace(id, || {
+                let scope = capture();
+                std::thread::scope(|s| {
+                    s.spawn(move || scope.enter(|| instant("shard")));
+                });
+            });
+        });
+        assert!(current().is_none());
+        let events = tl.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "shard");
+        assert_eq!(events[0].trace, Some(id));
+    }
+
+    #[test]
+    fn emission_is_noop_without_timeline() {
+        assert!(current().is_none());
+        instant("ignored");
+        instant_with_args("ignored", vec![("x", 1)]);
+    }
+
+    #[test]
+    fn nested_with_timeline_restores_outer() {
+        let outer = Arc::new(Timeline::new());
+        let inner = Arc::new(Timeline::new());
+        with_timeline(outer.clone(), || {
+            with_timeline(inner.clone(), || instant("inner"));
+            instant("outer");
+        });
+        assert_eq!(inner.events().len(), 1);
+        assert_eq!(outer.events().len(), 1);
+        assert_eq!(outer.events()[0].name, "outer");
+    }
+
+    #[test]
+    fn chrome_trace_has_required_shape() {
+        let tl = Timeline::new();
+        let id = TraceId::next();
+        tl.begin("gemm", Some(id));
+        tl.instant_with_args("report", Some(id), vec![("cycles", 42)]);
+        tl.end("gemm", Some(id));
+        let doc = tl.to_chrome_trace().pretty();
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"ph\": \"B\""));
+        assert!(doc.contains("\"ph\": \"E\""));
+        assert!(doc.contains("\"ph\": \"i\""));
+        assert!(doc.contains("\"ts\""));
+        assert!(doc.contains("\"tid\""));
+        assert!(doc.contains("\"trace_id\""));
+        assert!(doc.contains("\"cycles\": 42"));
+    }
+}

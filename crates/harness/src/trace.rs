@@ -32,9 +32,11 @@
 //! single path regardless of which thread ran it.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::metrics::{self, Recorder};
+use crate::timeline::{self, Timeline, TraceId};
 
 thread_local! {
     static PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
@@ -55,6 +57,12 @@ pub fn current_path() -> Option<String> {
 }
 
 /// An in-flight scoped timer; records into its recorder on drop.
+///
+/// When a [`crate::timeline`] is installed on the creating thread, the
+/// span additionally emits a begin event on creation and an end event on
+/// drop (tagged with the current [`TraceId`], if any), so aggregated
+/// span stats and the flight-recorder timeline stay in lockstep from a
+/// single instrumentation point.
 #[derive(Debug)]
 pub struct Span {
     rec: Recorder,
@@ -63,6 +71,22 @@ pub struct Span {
     /// Stack depth to restore on drop; `usize::MAX` for rooted spans
     /// that never pushed onto this thread's stack.
     depth: usize,
+    /// The timeline this span emitted its begin event on, if tracing
+    /// was active at creation (the end event goes to the same one).
+    timeline: Option<Arc<Timeline>>,
+    trace: Option<TraceId>,
+}
+
+/// Captures the current timeline (if any) and emits the begin event.
+fn timeline_begin(path: &str) -> (Option<Arc<Timeline>>, Option<TraceId>) {
+    match timeline::current() {
+        Some(tl) => {
+            let trace = timeline::current_trace();
+            tl.begin(path, trace);
+            (Some(tl), trace)
+        }
+        None => (None, None),
+    }
 }
 
 /// Opens a span named `name`, nested under this thread's currently
@@ -78,11 +102,14 @@ pub fn span(name: &str) -> Span {
         p.push(name.to_string());
         (p.join("/"), depth)
     });
+    let (timeline, trace) = timeline_begin(&path);
     Span {
         rec,
         path,
         start: Instant::now(),
         depth,
+        timeline,
+        trace,
     }
 }
 
@@ -95,11 +122,15 @@ pub fn span(name: &str) -> Span {
 /// `span_rooted(&rec, format!("{parent}/shard"))` inside each worker so
 /// all shards aggregate under one path.
 pub fn span_rooted(rec: &Recorder, path: impl Into<String>) -> Span {
+    let path = path.into();
+    let (timeline, trace) = timeline_begin(&path);
     Span {
         rec: rec.clone(),
-        path: path.into(),
+        path,
         start: Instant::now(),
         depth: usize::MAX,
+        timeline,
+        trace,
     }
 }
 
@@ -120,6 +151,9 @@ impl Drop for Span {
             });
         }
         self.rec.record_span(&self.path, self.start.elapsed());
+        if let Some(tl) = &self.timeline {
+            tl.end(&self.path, self.trace);
+        }
     }
 }
 
@@ -193,6 +227,49 @@ mod tests {
         assert_eq!(current_path(), None);
         drop(rooted);
         assert_eq!(reg.span_stats("explicit/path").unwrap().count, 1);
+    }
+
+    #[test]
+    fn spans_emit_paired_timeline_events() {
+        use crate::timeline::Phase;
+
+        let reg = Arc::new(MetricsRegistry::new());
+        let tl = Arc::new(Timeline::new());
+        let id = TraceId::next();
+        metrics::with_recorder(reg.clone(), || {
+            timeline::with_timeline(tl.clone(), || {
+                timeline::with_trace(id, || {
+                    let _outer = span("gemm");
+                    let _inner = span("pack_b");
+                });
+            });
+        });
+        let events = tl.events();
+        let kinds: Vec<_> = events
+            .iter()
+            .map(|e| (e.name.as_str(), e.phase, e.trace))
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                ("gemm", Phase::Begin, Some(id)),
+                ("gemm/pack_b", Phase::Begin, Some(id)),
+                ("gemm/pack_b", Phase::End, Some(id)),
+                ("gemm", Phase::End, Some(id)),
+            ]
+        );
+        // Aggregated stats recorded too — one instrumentation point.
+        assert_eq!(reg.span_stats("gemm/pack_b").unwrap().count, 1);
+    }
+
+    #[test]
+    fn spans_skip_timeline_when_none_installed() {
+        let reg = Arc::new(MetricsRegistry::new());
+        metrics::with_recorder(reg.clone(), || {
+            let s = span("quiet");
+            assert!(s.timeline.is_none());
+        });
+        assert_eq!(reg.span_stats("quiet").unwrap().count, 1);
     }
 
     #[test]

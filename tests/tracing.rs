@@ -1,0 +1,246 @@
+//! Flight-recorder integration tests: timeline events emitted by the
+//! whole stack (serving scheduler, GEMM spans, span RAII) must pair and
+//! nest per thread, every request's stage journey must be monotone in
+//! time, the bounded ring must drop oldest-first and count it, the
+//! Chrome trace export must be well-formed — and tracing must never
+//! change a single result bit.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mixgemm::api::Session;
+use mixgemm::gemm::QuantMatrix;
+use mixgemm::serve::{GemmRequest, ServeConfig};
+use mixgemm::{OperandType, PrecisionConfig};
+use mixgemm_harness::timeline::{Event, Phase, Timeline};
+use mixgemm_harness::{Json, Rng};
+
+fn rand_matrix(rng: &mut Rng, rows: usize, cols: usize, op: OperandType) -> QuantMatrix {
+    let data = rng.vec_of(rows * cols, |r| r.i32_in(op.min_value(), op.max_value()));
+    QuantMatrix::from_fn(rows, cols, op, |r, c| data[r * cols + c])
+}
+
+/// A small two-bucket request mix sharing a weight operand per shape.
+fn request_mix(seed: u64) -> Vec<GemmRequest> {
+    let (oa, ow) = PrecisionConfig::A4W4.operand_types();
+    let mut rng = Rng::new(seed);
+    let mut requests = Vec::new();
+    for &(m, k, n) in &[(8usize, 24usize, 8usize), (6, 32, 12)] {
+        let weights = Arc::new(rand_matrix(&mut rng, k, n, ow));
+        for _ in 0..3 {
+            let a = Arc::new(rand_matrix(&mut rng, m, k, oa));
+            requests.push(GemmRequest::new(a, weights.clone()));
+        }
+    }
+    requests
+}
+
+fn traced_session(timeline: &Arc<Timeline>) -> Session {
+    Session::builder()
+        .precision(PrecisionConfig::A4W4)
+        .timeline(timeline.clone())
+        .build()
+}
+
+/// Begin/end events pair up and nest properly on every thread track:
+/// replaying each thread's events against a stack, every `End` matches
+/// the innermost open `Begin` of the same name, and no span is left
+/// open.
+#[test]
+fn begin_end_events_pair_and_nest_per_thread() {
+    let tl = Arc::new(Timeline::new());
+    let session = traced_session(&tl);
+    let report = session.run_batch_with(request_mix(0xA11CE), 2);
+    assert!(report.results.iter().all(|r| r.is_ok()));
+
+    let events = tl.events();
+    assert!(!events.is_empty());
+    let tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+    let mut begins = 0usize;
+    for &tid in &tids {
+        let mut stack: Vec<&str> = Vec::new();
+        for e in events.iter().filter(|e| e.tid == tid) {
+            match e.phase {
+                Phase::Begin => {
+                    stack.push(&e.name);
+                    begins += 1;
+                }
+                Phase::End => {
+                    let open = stack.pop().unwrap_or_else(|| {
+                        panic!("tid {tid}: end of {:?} with no open span", e.name)
+                    });
+                    assert_eq!(open, e.name, "tid {tid}: mis-nested end");
+                }
+                Phase::Instant => {}
+            }
+        }
+        assert!(stack.is_empty(), "tid {tid}: spans left open: {stack:?}");
+    }
+    assert!(begins > 0, "no span events recorded at all");
+}
+
+/// Every request's stage events are present and monotone:
+/// enqueue <= schedule <= pack <= compute <= complete, and the
+/// completion marker carries the simulated cycle count.
+#[test]
+fn request_stage_timestamps_are_monotone() {
+    let tl = Arc::new(Timeline::new());
+    let session = traced_session(&tl);
+    let requests = request_mix(0xBEE);
+    let traces: Vec<_> = requests.iter().map(|r| r.trace_id()).collect();
+    let report = session.run_batch_with(requests, 2);
+    assert!(report.results.iter().all(|r| r.is_ok()));
+
+    let events = tl.events();
+    for trace in traces {
+        let mine: Vec<&Event> = events.iter().filter(|e| e.trace == Some(trace)).collect();
+        let mut last = 0u64;
+        for stage in [
+            "serve/enqueue",
+            "serve/schedule",
+            "serve/pack",
+            "serve/compute",
+            "serve/complete",
+        ] {
+            let ts = mine
+                .iter()
+                .filter(|e| e.name == stage && e.phase != Phase::End)
+                .map(|e| e.ts_ns)
+                .min()
+                .unwrap_or_else(|| panic!("{trace}: missing stage {stage}"));
+            assert!(ts >= last, "{trace}: {stage} out of order");
+            last = ts;
+        }
+        let complete = mine
+            .iter()
+            .find(|e| e.name == "serve/complete")
+            .expect("completion marker");
+        let cycles = complete
+            .args
+            .iter()
+            .find(|(k, _)| *k == "sim_cycles")
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("{trace}: completion lacks sim_cycles arg"));
+        assert!(cycles > 0, "{trace}: zero simulated cycles");
+    }
+}
+
+/// At capacity the ring evicts oldest-first: the buffer keeps exactly
+/// `capacity` events, `Timeline::dropped` counts the evictions, the
+/// session recorder's `trace.dropped` counter agrees, and what remains
+/// is the newest tail of the stream.
+#[test]
+fn ring_drops_oldest_first_with_counter() {
+    let tl = Arc::new(Timeline::with_capacity(16));
+    let session = traced_session(&tl);
+    let report = session.run_batch_with(request_mix(0xD00D), 1);
+    assert!(report.results.iter().all(|r| r.is_ok()));
+
+    assert_eq!(tl.len(), 16, "ring must sit exactly at capacity");
+    assert!(tl.dropped() > 0, "this workload must overflow 16 events");
+    assert_eq!(
+        session.metrics().counter("trace.dropped"),
+        tl.dropped(),
+        "recorder counter must agree with the timeline's own tally"
+    );
+    // Oldest-first: the retained tail still covers the final request's
+    // completion, and (single worker) stays time-ordered.
+    let events = tl.events();
+    assert!(events.iter().any(|e| e.name == "serve/complete"));
+    assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    // The earliest stage of the earliest request was evicted.
+    assert!(events.iter().all(|e| e.name != "serve/enqueue"));
+}
+
+/// Tracing must be free of observable effect: the same batch through a
+/// traced and an untraced session returns bit-identical matrices and
+/// identical simulated cycle counts.
+#[test]
+fn tracing_on_off_results_bit_identical() {
+    let requests = request_mix(0xFEED);
+    let tl = Arc::new(Timeline::new());
+    let traced = traced_session(&tl);
+    let bare = Session::builder().precision(PrecisionConfig::A4W4).build();
+
+    let on = traced.run_batch_with(requests.clone(), 2);
+    let off = bare.run_batch_with(requests, 2);
+    assert!(!tl.is_empty(), "traced session must have recorded events");
+    for (i, (a, b)) in on.results.iter().zip(&off.results).enumerate() {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.c, b.c, "request {i}: tracing changed the result");
+        assert_eq!(
+            a.report.cycles, b.report.cycles,
+            "request {i}: tracing changed the simulation"
+        );
+    }
+}
+
+/// A paused server builds genuine queue waits: `serve.queue.wait_us`
+/// sees them, and its log-bucketed quantiles are ordered and roughly
+/// sized to the enforced pause.
+#[test]
+fn queue_wait_histogram_reports_quantiles() {
+    let tl = Arc::new(Timeline::new());
+    let session = traced_session(&tl);
+    let requests = request_mix(0xC0FFEE);
+    let n = requests.len();
+    let server = session.serve(ServeConfig::new().workers(2).start_paused(true));
+    let tickets: Vec<_> = requests
+        .into_iter()
+        .map(|r| server.submit(r).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(5));
+    server.resume();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    server.drain();
+
+    let wait = session
+        .metrics()
+        .histogram("serve.queue.wait_us")
+        .expect("queue-wait histogram recorded");
+    assert_eq!(wait.count, n as u64);
+    // Every request waited through the 5 ms pause (log-bucket
+    // resolution is ~12%, so compare against a generous floor).
+    assert!(wait.p50() >= 3_000.0, "p50 {} us", wait.p50());
+    assert!(wait.p50() <= wait.p90());
+    assert!(wait.p90() <= wait.p99());
+    assert!(wait.p99() <= wait.max);
+    assert!(session
+        .metrics()
+        .histogram("serve.service_us")
+        .is_some_and(|h| h.count == n as u64));
+}
+
+/// The Chrome Trace Event export round-trips through the in-tree JSON
+/// parser with every required key present and a `trace_id` arg on the
+/// request-stage events.
+#[test]
+fn chrome_trace_export_is_well_formed() {
+    let tl = Arc::new(Timeline::new());
+    let session = traced_session(&tl);
+    let report = session.run_batch_with(request_mix(0x7EA), 2);
+    assert!(report.results.iter().all(|r| r.is_ok()));
+
+    let doc = Json::parse(&tl.to_chrome_trace().pretty()).expect("export must parse");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut tagged = 0usize;
+    for e in events {
+        for key in ["name", "ph", "ts", "tid"] {
+            assert!(e.get(key).is_some(), "event missing {key}");
+        }
+        let ph = e.get("ph").and_then(Json::as_str).unwrap();
+        assert!(matches!(ph, "B" | "E" | "i"), "unknown ph {ph:?}");
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        if e.get("args").and_then(|a| a.get("trace_id")).is_some() {
+            tagged += 1;
+        }
+    }
+    assert!(tagged > 0, "no event carries a trace_id");
+    assert!(doc.get("droppedEvents").is_some());
+}
