@@ -21,7 +21,7 @@ const THREADS: [usize; 4] = [1, 2, 4, 8];
 const N: usize = 256;
 
 fn main() {
-    let pcfg: PrecisionConfig = "a8-w8".parse().unwrap();
+    let pcfg = PrecisionConfig::A8W8;
     let (oa, ow) = pcfg.operand_types();
     let a = QuantMatrix::from_fn(N, N, oa, |i, j| ((i * 31 + j * 7) % 200) as i32);
     let b = QuantMatrix::from_fn(N, N, ow, |i, j| ((i * 11 + j * 3) % 15) as i32 - 7);

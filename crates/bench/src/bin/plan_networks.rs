@@ -1,0 +1,163 @@
+//! Mixed-precision auto-planner sweep: plans every zoo network at three
+//! TOP-1-loss budgets, executes each plan through `Session`, validates
+//! predicted-vs-simulated cycle error in-bin, persists the per-network
+//! `PLANS_<net>.json` tuning databases (with a reload round-trip), and
+//! writes `BENCH_plan.json` for the bench_diff CI gate.
+//!
+//! Run with: `cargo run --release -p mixgemm-bench --bin plan_networks`
+//! (`MIXGEMM_BENCH_QUICK=1` plans three networks over the coarse
+//! anchor grid instead of six over all 49 points.)
+
+use std::path::Path;
+use std::time::Instant;
+
+use mixgemm::api::Session;
+use mixgemm::dnn::runtime::PrecisionPlan;
+use mixgemm::dnn::{zoo, Network};
+use mixgemm::planner::{Budget, PlanDb, Planner, COARSE_GRID};
+use mixgemm::PrecisionConfig;
+use mixgemm_harness::Json;
+
+/// TOP-1-loss budgets in percentage points: tight, the paper's §IV-B
+/// "losses below 1.5%" operating point, and relaxed.
+const BUDGETS: [f64; 3] = [0.5, 1.5, 4.0];
+
+/// The budget whose plan must strictly beat uniform `a8-w8` cycles.
+const DEFAULT_BUDGET: f64 = 1.5;
+
+/// Maximum tolerated |predicted - simulated| / simulated cycle error.
+const MAX_PREDICTION_ERROR_PCT: f64 = 5.0;
+
+fn networks(quick: bool) -> Vec<Network> {
+    let mut nets = vec![zoo::alexnet(), zoo::resnet18(), zoo::mobilenet_v1()];
+    if !quick {
+        nets.extend([zoo::vgg16(), zoo::regnet_x_400mf(), zoo::efficientnet_b0()]);
+    }
+    nets
+}
+
+fn main() {
+    let quick = std::env::var("MIXGEMM_BENCH_QUICK").is_ok();
+    let grid: &'static [PrecisionConfig] = if quick {
+        &COARSE_GRID
+    } else {
+        &PrecisionConfig::ALL
+    };
+    let nets = networks(quick);
+    println!(
+        "plan_networks — {} networks x {} budgets over a {}-point grid\n",
+        nets.len(),
+        BUDGETS.len(),
+        grid.len()
+    );
+
+    // One session for every execution: default Sargantana platform,
+    // sampled fidelity — the same options the default Planner prices
+    // with, so predictions and simulations share the memoized cycles.
+    let session = Session::builder().build();
+    let planner = Planner::new().with_grid(grid);
+
+    let mut net_docs = Vec::new();
+    for net in &nets {
+        let uniform = session
+            .run_network(net, &PrecisionPlan::uniform(PrecisionConfig::A8W8))
+            .expect("uniform a8-w8 simulation");
+        let a8w8_cycles = uniform.perf.total_cycles();
+        println!(
+            "{:<16} uniform a8-w8: {:>12} cycles",
+            net.name(),
+            a8w8_cycles
+        );
+
+        let mut db = PlanDb::new(net.name());
+        let mut budget_docs = Vec::new();
+        for &max_loss in &BUDGETS {
+            let budget = Budget::default().with_max_top1_loss(max_loss);
+            let t = Instant::now();
+            let outcome = planner.plan(net, &budget).expect("plan search");
+            let plan_seconds = t.elapsed().as_secs_f64();
+
+            let run = session
+                .run_network_planned(net, &outcome.plan)
+                .expect("planned execution");
+            let simulated = run.perf.total_cycles();
+            let predicted = outcome.plan.predicted.cycles;
+            let error_pct = (predicted as f64 - simulated as f64).abs() / simulated as f64 * 100.0;
+            assert!(
+                error_pct <= MAX_PREDICTION_ERROR_PCT,
+                "{} @ {max_loss}: predicted {predicted} vs simulated {simulated} \
+                 ({error_pct:.2}% > {MAX_PREDICTION_ERROR_PCT}%)",
+                net.name()
+            );
+            if max_loss == DEFAULT_BUDGET {
+                assert!(
+                    simulated < a8w8_cycles,
+                    "{} @ {max_loss}: plan must strictly beat uniform a8-w8 \
+                     ({simulated} vs {a8w8_cycles} cycles)",
+                    net.name()
+                );
+            }
+            let speedup = a8w8_cycles as f64 / simulated as f64;
+            println!(
+                "  loss<={max_loss:<4} {:>12} cycles  {speedup:>5.2}x  \
+                 loss {:.3}pp  err {error_pct:.3}%  front {}  {plan_seconds:.1}s",
+                simulated,
+                outcome.plan.predicted.top1_loss,
+                outcome.front.points.len(),
+            );
+
+            budget_docs.push(
+                Json::obj()
+                    .field("max_top1_loss", max_loss)
+                    .field("predicted_cycles", predicted)
+                    .field("simulated_cycles", simulated)
+                    .field("prediction_error_pct", error_pct)
+                    .field("speedup_vs_a8w8", speedup)
+                    .field("predicted_top1_loss", outcome.plan.predicted.top1_loss)
+                    .field("predicted_energy_j", outcome.plan.predicted.energy_j)
+                    .field("min_a_bits", outcome.plan.min_bits().0 as u64)
+                    .field("min_w_bits", outcome.plan.min_bits().1 as u64)
+                    .field("front_points", outcome.front.points.len())
+                    // Floored: warm-cache searches finish in µs, and the
+                    // bench_diff 10x rate envelope is meaningless around
+                    // zero. A warm search breaching the floor by 10x
+                    // means the simulation memoization broke.
+                    .field("plan_seconds", plan_seconds.max(0.1)),
+            );
+            db.insert(outcome.plan);
+        }
+
+        // Persist the tuning database and prove the reload path: the
+        // parsed file must reproduce every plan bit-for-bit, keyed by
+        // budget, without re-searching.
+        let path = db.save(Path::new(".")).expect("write plan database");
+        let reloaded = PlanDb::load(Path::new("."), net.name())
+            .expect("reload plan database")
+            .expect("plan database exists after save");
+        assert_eq!(reloaded, db, "PLANS_{}.json round-trip", net.name());
+        for &max_loss in &BUDGETS {
+            let budget = Budget::default().with_max_top1_loss(max_loss);
+            assert!(
+                reloaded.find(&budget).is_some(),
+                "reloaded database must resolve the {max_loss} budget"
+            );
+        }
+        println!("  wrote {}", path.display());
+
+        net_docs.push(
+            Json::obj()
+                .field("name", net.name())
+                .field("gemm_layers", db.plans[0].layers.len() as u64)
+                .field("uniform_a8w8_cycles", a8w8_cycles)
+                .field("budgets", Json::Arr(budget_docs)),
+        );
+    }
+
+    let doc = Json::obj()
+        .field("bench", "plan_networks")
+        .field("quick", quick)
+        .field("grid_points", grid.len() as u64)
+        .field("networks", Json::Arr(net_docs));
+    std::fs::write("BENCH_plan.json", doc.pretty()).expect("write BENCH_plan.json");
+    println!("\nwrote BENCH_plan.json");
+}

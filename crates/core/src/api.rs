@@ -22,6 +22,7 @@ use mixgemm_gemm::{
 use mixgemm_harness::metrics::{self, MetricsRegistry, MetricsReport, Recorder};
 use mixgemm_harness::timeline::{self, Timeline};
 use mixgemm_phys::energy::ActivityProfile;
+use mixgemm_planner::{Budget, ParetoFront, Plan, Planner};
 use mixgemm_qat::accuracy;
 use mixgemm_soc::{presets, SocConfig};
 
@@ -296,6 +297,20 @@ pub struct NetworkResult {
     pub metrics: MetricsReport,
 }
 
+/// The outcome of one [`Session::plan`]: the budget-satisfying plan,
+/// the Pareto front over everything the search evaluated, and the
+/// metrics the search recorded (candidate counts, pruning ratios,
+/// simulation-cache hit rates, greedy move count).
+#[derive(Clone, Debug)]
+pub struct PlanResult {
+    /// The per-layer precision plan satisfying the budget.
+    pub plan: Plan,
+    /// Non-dominated evaluated plans on (cycles, energy, TOP-1 loss).
+    pub front: ParetoFront,
+    /// Counters and span timings recorded during the search.
+    pub metrics: MetricsReport,
+}
+
 /// One configured Mix-GEMM execution context: platform, precision,
 /// parallelism and an observability recorder, behind a single entry
 /// point.
@@ -460,5 +475,73 @@ impl Session {
             top1,
             metrics: self.recorder.report_since(&snap),
         })
+    }
+
+    /// Searches a per-layer mixed-precision plan for `net` on the
+    /// session's platform, subject to `budget` — the software half of
+    /// the paper's per-layer data-size story (§III-B makes switching
+    /// free; this chooses what to switch *to*).
+    ///
+    /// The search runs at the session's fidelity, fans cold candidate
+    /// simulations out across the session's parallelism, and records
+    /// its candidate/pruning/move counters and `plan_layer` timeline
+    /// markers through the session's observability plumbing. Results
+    /// are bit-deterministic for a given session configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Plan`] when `net` has no published accuracy
+    /// table or no assignment satisfies `budget`, and [`Error::Plan`]
+    /// wrapping simulation failures.
+    pub fn plan(&self, net: &Network, budget: &Budget) -> Result<PlanResult, Error> {
+        let snap = self.recorder.snapshot();
+        let opts = self.kernel.options();
+        let outcome = timeline::with_timeline_opt(self.timeline.clone(), || {
+            metrics::with_recorder(self.recorder.clone(), || {
+                Planner::new()
+                    .with_fidelity(self.fidelity)
+                    .with_parallelism(opts.parallelism)
+                    .plan_with(net, budget, |pc| {
+                        self.platform
+                            .gemm_options(pc)
+                            .with_parallelism(opts.parallelism)
+                    })
+            })
+        })?;
+        Ok(PlanResult {
+            plan: outcome.plan,
+            front: outcome.front,
+            metrics: self.recorder.report_since(&snap),
+        })
+    }
+
+    /// Times `net` executing `plan`'s per-layer precision assignment on
+    /// the session's platform, reporting the plan's predicted cycles
+    /// next to the simulated total (`plan.predicted_cycles` /
+    /// `plan.simulated_cycles` gauges) so prediction error is visible in
+    /// the metrics.
+    ///
+    /// The result's `top1` is the accuracy proxy's prediction for the
+    /// mixed assignment (FP32 baseline minus predicted loss).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Plan`] when `plan` was searched for a different
+    /// network or layer count, [`Error::Dnn`] on simulation failures.
+    pub fn run_network_planned(&self, net: &Network, plan: &Plan) -> Result<NetworkResult, Error> {
+        plan.validate_for(net).map_err(Error::Plan)?;
+        let snap = self.recorder.snapshot();
+        let mut result = self.run_network(net, &plan.precision_plan())?;
+        let simulated = result.perf.total_cycles();
+        self.recorder
+            .gauge("plan.predicted_cycles")
+            .set_u64(plan.predicted.cycles);
+        self.recorder
+            .gauge("plan.simulated_cycles")
+            .set_u64(simulated);
+        result.top1 =
+            accuracy::for_network(net.name()).map(|t| t.fp32_top1 - plan.predicted.top1_loss);
+        result.metrics = self.recorder.report_since(&snap);
+        Ok(result)
     }
 }

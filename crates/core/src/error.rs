@@ -12,6 +12,7 @@ use std::fmt;
 use mixgemm_binseg::BinSegError;
 use mixgemm_dnn::DnnError;
 use mixgemm_gemm::GemmError;
+use mixgemm_planner::PlanError;
 use mixgemm_quant::QuantError;
 use mixgemm_uengine::EngineError;
 
@@ -39,6 +40,9 @@ pub enum Error {
     /// The serving layer rejected or abandoned a request (queue full,
     /// deadline expired, server draining).
     Serve(ServeError),
+    /// The mixed-precision planner failed (no feasible plan, plan/network
+    /// mismatch, malformed plan database).
+    Plan(PlanError),
 }
 
 impl fmt::Display for Error {
@@ -50,6 +54,7 @@ impl fmt::Display for Error {
             Error::Gemm(e) => write!(f, "gemm: {e}"),
             Error::Dnn(e) => write!(f, "dnn: {e}"),
             Error::Serve(e) => write!(f, "serve: {e}"),
+            Error::Plan(e) => write!(f, "plan: {e}"),
         }
     }
 }
@@ -63,6 +68,7 @@ impl std::error::Error for Error {
             Error::Gemm(e) => Some(e),
             Error::Dnn(e) => Some(e),
             Error::Serve(e) => Some(e),
+            Error::Plan(e) => Some(e),
         }
     }
 }
@@ -100,5 +106,11 @@ impl From<DnnError> for Error {
 impl From<ServeError> for Error {
     fn from(e: ServeError) -> Error {
         Error::Serve(e)
+    }
+}
+
+impl From<PlanError> for Error {
+    fn from(e: PlanError) -> Error {
+        Error::Plan(e)
     }
 }

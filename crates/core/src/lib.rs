@@ -25,6 +25,7 @@
 //! | [`dnn`] | layer IR, im2col, the six-CNN zoo, quantized runtime |
 //! | [`qat`] | miniature QAT training framework + the paper's accuracy tables |
 //! | [`phys`] | area / energy / technology-scaling models |
+//! | [`planner`] | mixed-precision auto-planner: per-layer (a,w) selection under budgets |
 //! | [`harness`] | zero-dependency test/metrics plumbing: [`harness::MetricsRegistry`], spans, JSON |
 //!
 //! The [`api`] module offers the high-level entry point:
@@ -67,6 +68,7 @@ pub use mixgemm_dnn as dnn;
 pub use mixgemm_gemm as gemm;
 pub use mixgemm_harness as harness;
 pub use mixgemm_phys as phys;
+pub use mixgemm_planner as planner;
 pub use mixgemm_qat as qat;
 pub use mixgemm_quant as quant;
 pub use mixgemm_soc as soc;
@@ -117,6 +119,26 @@ mod tests {
         assert!(s.top1.is_some());
         assert!(s.perf.fps() > 1.0);
         assert!(s.metrics.span("simulate_network").is_some());
+    }
+
+    /// The deprecated `EdgeSoc::run_gemm` shim must stay in lockstep
+    /// with its replacement, `Session::simulate`, until it is removed.
+    /// This test is its only remaining caller.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_gemm_matches_session_simulate() {
+        let dims = GemmDims::square(192);
+        let soc = EdgeSoc::sargantana().with_srcbuf_depth(16);
+        let old = soc.run_gemm(PrecisionConfig::A4W4, dims).unwrap();
+        let new = Session::builder()
+            .platform(soc)
+            .precision(PrecisionConfig::A4W4)
+            .fidelity(Fidelity::Sampled)
+            .build()
+            .simulate(dims)
+            .unwrap();
+        assert_eq!(old.report.cycles, new.report.cycles);
+        assert_eq!(old.report.macs, new.report.macs);
     }
 
     #[test]

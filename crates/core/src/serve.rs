@@ -56,6 +56,7 @@ use mixgemm_gemm::{GemmDims, GemmError, GemmReport, MixGemmKernel, QuantMatrix};
 use mixgemm_harness::metrics::{self, MetricsReport};
 use mixgemm_harness::timeline::{self, TraceId};
 use mixgemm_harness::trace;
+use mixgemm_planner::Plan;
 
 use crate::api::Session;
 use crate::error::Error;
@@ -580,6 +581,28 @@ impl Session {
             outputs,
             metrics: self.recorder().report_since(&snap),
         })
+    }
+
+    /// Runs quantized batch inference executing a searched [`Plan`]:
+    /// each GEMM-bearing layer quantizes and computes at its assigned
+    /// (a,w) point, with requantization at every layer boundary.
+    /// Outputs are bit-identical to [`Session::forward_batch`] with the
+    /// plan's [`Plan::precision_plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Plan`] when `plan` was searched for a different
+    /// network or layer count, [`Error::Dnn`] on inference failures.
+    pub fn forward_batch_planned(
+        &self,
+        net: &Network,
+        inputs: &[Tensor],
+        plan: &Plan,
+        seed: u64,
+        workers: usize,
+    ) -> Result<ForwardBatch, Error> {
+        plan.validate_for(net).map_err(Error::Plan)?;
+        self.forward_batch(net, inputs, &plan.precision_plan(), seed, workers)
     }
 }
 

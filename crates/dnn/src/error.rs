@@ -44,6 +44,8 @@ pub enum DnnError {
     },
     /// An error bubbled up from the GEMM layer.
     Gemm(mixgemm_gemm::GemmError),
+    /// An error bubbled up from quantization or requantization.
+    Quant(mixgemm_quant::QuantError),
 }
 
 impl fmt::Display for DnnError {
@@ -73,6 +75,7 @@ impl fmt::Display for DnnError {
                 )
             }
             DnnError::Gemm(e) => write!(f, "gemm error: {e}"),
+            DnnError::Quant(e) => write!(f, "quant error: {e}"),
         }
     }
 }
@@ -81,6 +84,7 @@ impl Error for DnnError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             DnnError::Gemm(e) => Some(e),
+            DnnError::Quant(e) => Some(e),
             _ => None,
         }
     }
@@ -89,5 +93,11 @@ impl Error for DnnError {
 impl From<mixgemm_gemm::GemmError> for DnnError {
     fn from(e: mixgemm_gemm::GemmError) -> Self {
         DnnError::Gemm(e)
+    }
+}
+
+impl From<mixgemm_quant::QuantError> for DnnError {
+    fn from(e: mixgemm_quant::QuantError) -> Self {
+        DnnError::Quant(e)
     }
 }

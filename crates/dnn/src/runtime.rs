@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use mixgemm_binseg::PrecisionConfig;
 use mixgemm_gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel, Parallelism, QuantMatrix};
 use mixgemm_harness::{metrics, timeline, trace};
+use mixgemm_quant::{calibrate, Quantizer, RequantParams};
 
 use crate::error::DnnError;
 use crate::graph::Network;
@@ -659,48 +660,43 @@ fn gen_weights(seed: u64, len: usize, limit: f32) -> Vec<f32> {
         .collect()
 }
 
-/// Quantizes a float slice per-tensor to `op`, returning values + scale.
-fn quantize_per_tensor(data: &[f32], op: mixgemm_binseg::OperandType) -> (Vec<i32>, f32) {
-    let absmax = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-    let scale = if absmax > 0.0 {
-        absmax / op.max_value().max(1) as f32
-    } else {
-        1.0
-    };
-    let q = data
-        .iter()
-        .map(|&x| {
-            ((x / scale).round() as i64).clamp(op.min_value() as i64, op.max_value() as i64) as i32
-        })
-        .collect();
-    (q, scale)
+/// Quantizes a float slice per-tensor to `op` via absmax calibration,
+/// returning values + scale.
+fn quantize_per_tensor(
+    data: &[f32],
+    op: mixgemm_binseg::OperandType,
+) -> Result<(Vec<i32>, f32), DnnError> {
+    let q = calibrate::absmax_per_tensor(op, data)?;
+    Ok((q.quantize_slice(data)?, q.scale(0)))
 }
 
-/// Quantizes weights per output channel (leading dimension `channels`).
+/// Quantizes weights per output channel (leading dimension `channels`)
+/// via absmax calibration, returning values + one scale per channel.
 fn quantize_per_channel(
     data: &[f32],
     channels: usize,
     op: mixgemm_binseg::OperandType,
-) -> (Vec<i32>, Vec<f32>) {
-    let per = data.len() / channels.max(1);
-    let mut q = Vec::with_capacity(data.len());
-    let mut scales = Vec::with_capacity(channels);
-    for ch in data.chunks(per.max(1)) {
-        let absmax = ch.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-        let scale = if absmax > 0.0 {
-            absmax / op.max_value().max(1) as f32
-        } else {
-            1.0
-        };
-        scales.push(scale);
-        for &x in ch {
-            q.push(
-                ((x / scale).round() as i64).clamp(op.min_value() as i64, op.max_value() as i64)
-                    as i32,
-            );
-        }
-    }
-    (q, scales)
+) -> Result<(Vec<i32>, Vec<f32>), DnnError> {
+    let q = calibrate::absmax_per_channel(op, data, channels)?;
+    let scales = (0..channels).map(|c| q.scale(c)).collect();
+    Ok((q.quantize_slice(data)?, scales))
+}
+
+/// Builds the requantization boundary for one layer: activation scale ×
+/// per-output-channel weight scales, dequantized straight to real domain
+/// (identity output quantizer — the runtime keeps inter-layer tensors in
+/// f32 and re-quantizes at the next layer's input, QDQ style).
+fn layer_requant(
+    x_scale: f32,
+    w_scales: Vec<f32>,
+    oa: mixgemm_binseg::OperandType,
+) -> Result<RequantParams, DnnError> {
+    Ok(RequantParams::new(
+        x_scale,
+        w_scales,
+        vec![],
+        Quantizer::per_tensor_symmetric(oa, 1.0),
+    )?)
 }
 
 fn conv_layer(
@@ -720,8 +716,9 @@ fn conv_layer(
         (2.0 / fan_in).sqrt(),
     );
 
-    let (xq, x_scale) = quantize_per_tensor(&x.data, oa);
-    let (wq, w_scales) = quantize_per_channel(&weights_f, geom.out_c, ow);
+    let (xq, x_scale) = quantize_per_tensor(&x.data, oa)?;
+    let (wq, w_scales) = quantize_per_channel(&weights_f, geom.out_c, ow)?;
+    let rq = layer_requant(x_scale, w_scales, oa)?;
 
     let dims = im2col::conv_gemm_dims(geom);
     let kernel = MixGemmKernel::new(opts.clone());
@@ -733,7 +730,7 @@ fn conv_layer(
         for m in 0..dims.m {
             for col in 0..dims.n {
                 let oc = group * ng + col;
-                y[oc * out.h * out.w + m] = c[m * dims.n + col] as f32 * x_scale * w_scales[oc];
+                y[oc * out.h * out.w + m] = c[m * dims.n + col] as f32 * rq.accumulator_scale(oc);
             }
         }
     }
@@ -753,8 +750,9 @@ fn linear_layer(
         out_features * in_features,
         (2.0 / in_features as f32).sqrt(),
     );
-    let (xq, x_scale) = quantize_per_tensor(&x.data, oa);
-    let (wq, w_scales) = quantize_per_channel(&weights_f, out_features, ow);
+    let (xq, x_scale) = quantize_per_tensor(&x.data, oa)?;
+    let (wq, w_scales) = quantize_per_channel(&weights_f, out_features, ow)?;
+    let rq = layer_requant(x_scale, w_scales, oa)?;
 
     // B as K x N: B[k][n] = W[n][k].
     let mut b_data = vec![0i32; in_features * out_features];
@@ -770,7 +768,7 @@ fn linear_layer(
     let y = c
         .iter()
         .enumerate()
-        .map(|(n, &v)| v as f32 * x_scale * w_scales[n])
+        .map(|(n, &v)| v as f32 * rq.accumulator_scale(n))
         .collect();
     Tensor::new(Shape::flat(out_features), y)
 }

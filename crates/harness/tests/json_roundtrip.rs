@@ -1,0 +1,138 @@
+//! Fuzz-ish serialization round-trips: random nested documents must
+//! survive `parse(pretty(doc)) == doc`, and parsing is a fixpoint —
+//! once a document has been through the serializer, re-parsing its
+//! output changes nothing.
+
+use mixgemm_harness::{Json, Rng};
+
+/// Strings that stress every branch of the escaper: quotes,
+/// backslashes, whitespace escapes, raw control characters, multi-byte
+/// UTF-8, and astral-plane characters (UTF-16 surrogate pairs in \u
+/// escape form).
+const NASTY_STRINGS: &[&str] = &[
+    "",
+    "plain",
+    "with \"quotes\" inside",
+    "back\\slash \\\\ doubled",
+    "line\nbreak\ttab\rreturn",
+    "\u{0} \u{1} \u{1f} control soup",
+    "mixed \\n literal vs \n real",
+    "ünïcødé – ℝ²",
+    "😀 astral 🚀 plane",
+    "trailing backslash \\",
+    "{\"not\": [json, inside]}",
+];
+
+fn random_string(rng: &mut Rng) -> String {
+    if rng.flip() {
+        return (*rng.pick(NASTY_STRINGS)).to_string();
+    }
+    let len = rng.usize_in(0, 12);
+    (0..len)
+        .map(|_| {
+            *rng.pick(&[
+                'a', 'Z', '9', ' ', '"', '\\', '\n', '\t', '\r', '\u{7}', 'é', '≈', '😀',
+            ])
+        })
+        .collect()
+}
+
+/// Finite numbers only: the serializer maps NaN/inf to `null` by design,
+/// which is a lossy (and separately tested) path, not a round-trip.
+fn random_number(rng: &mut Rng) -> f64 {
+    match rng.below(5) {
+        0 => rng.i32_in(-1_000_000, 1_000_000) as f64,
+        1 => rng.f64_in(-1e3, 1e3),
+        2 => rng.f64_in(-1e-6, 1e-6),
+        3 => rng.f64_in(-1e18, 1e18),
+        _ => *rng.pick(&[0.0, -0.0, 0.1, 1.0 / 3.0, 1e15, -1e15, f64::MIN_POSITIVE]),
+    }
+}
+
+fn random_doc(rng: &mut Rng, depth: usize) -> Json {
+    let leaf_only = depth == 0;
+    match rng.below(if leaf_only { 4 } else { 6 }) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.flip()),
+        2 => Json::Num(random_number(rng)),
+        3 => Json::Str(random_string(rng)),
+        4 => {
+            let n = rng.usize_in(0, 4);
+            Json::Arr((0..n).map(|_| random_doc(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.usize_in(0, 4);
+            let mut obj = Json::obj();
+            for i in 0..n {
+                // Unique keys: `get` is first-match, so duplicate keys
+                // would make equality weaker than observable behavior.
+                let key = format!("{}#{i}", random_string(rng));
+                obj = obj.field(&key, random_doc(rng, depth - 1));
+            }
+            obj
+        }
+    }
+}
+
+#[test]
+fn random_documents_round_trip_exactly() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for case in 0..500 {
+        let doc = random_doc(&mut rng, 4);
+        let text = doc.pretty();
+        let parsed = Json::parse(&text).unwrap_or_else(|e| {
+            panic!("case {case}: serializer emitted unparseable JSON ({e})\n{text}")
+        });
+        assert_eq!(parsed, doc, "case {case} did not round-trip:\n{text}");
+        // parse -> serialize -> parse is a fixpoint.
+        assert_eq!(
+            Json::parse(&parsed.pretty()).unwrap(),
+            parsed,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn escape_heavy_strings_round_trip() {
+    for (i, s) in NASTY_STRINGS.iter().enumerate() {
+        let doc = Json::obj().field("k", *s);
+        let back = Json::parse(&doc.pretty()).unwrap();
+        assert_eq!(
+            back.get("k").and_then(Json::as_str),
+            Some(*s),
+            "nasty string {i} mangled"
+        );
+    }
+}
+
+#[test]
+fn hand_written_json_reaches_fixpoint_after_one_serialization() {
+    // Inputs the serializer would never emit itself (compact spacing,
+    // \u escapes for printable chars, surrogate pairs, exponents).
+    let inputs = [
+        r#"{"a":[1,2.5,-3e2,{"b":null}],"c":"Aé😀","d":[[],{}]}"#,
+        r#"[1e15,-0.0,5e-324,"\t\r\n\\\"",true,false,null]"#,
+        r#"{"nested":{"deep":{"deeper":[{"x":""}]}}}"#,
+        "{\"esc\": \"\\u0041\\u00e9 \\ud83d\\ude00\"}",
+    ];
+    for input in inputs {
+        let first = Json::parse(input).unwrap();
+        let second = Json::parse(&first.pretty()).unwrap();
+        assert_eq!(second, first, "not a fixpoint for {input}");
+        assert_eq!(
+            second.pretty(),
+            first.pretty(),
+            "unstable output for {input}"
+        );
+    }
+}
+
+#[test]
+fn non_finite_numbers_serialize_as_null() {
+    for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let doc = Json::obj().field("v", v);
+        let back = Json::parse(&doc.pretty()).unwrap();
+        assert_eq!(back.get("v"), Some(&Json::Null));
+    }
+}

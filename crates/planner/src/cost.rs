@@ -1,0 +1,524 @@
+//! The planner's cost model: exhaustive per-layer pricing of all 49
+//! (a,w) candidate points.
+//!
+//! Cycles and µ-engine busy cycles come from the memoized cycle-level
+//! simulation ([`SimCache`] — the same memo `dnn::runtime` uses, so the
+//! planner's predictions and the runtime's simulations agree by
+//! construction). Energy comes from the §IV-C activity model
+//! ([`ActivityProfile`]), and accuracy from an effective-bits proxy
+//! anchored to the paper's published QAT tables ([`LossCurve`]).
+
+use std::collections::HashMap;
+
+use mixgemm_binseg::PrecisionConfig;
+use mixgemm_dnn::runtime::layer_gemm;
+use mixgemm_dnn::simcache::{SimCache, SimKey};
+use mixgemm_dnn::Network;
+use mixgemm_gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel};
+use mixgemm_harness::{metrics, timeline, trace};
+use mixgemm_phys::energy::ActivityProfile;
+use mixgemm_qat::accuracy::{self, NetworkAccuracy};
+
+use crate::error::PlanError;
+use crate::plan::PlanCost;
+
+/// Accuracy proxy: TOP-1 loss versus FP32 as a function of *effective
+/// bits* `e = (a + w) / 2`.
+///
+/// The paper publishes QAT accuracy at nine anchor configurations per
+/// network (Fig. 7); off-anchor points among the 49 (a,w) pairs are
+/// priced by linear interpolation in `e`, with the curve clamped at
+/// zero loss and forced monotone (narrower never loses less) — matching
+/// the paper's observation that accuracy degrades with data size, not
+/// with the particular (a,w) split.
+#[derive(Clone, Debug)]
+pub struct LossCurve {
+    /// `(effective_bits, loss)` anchors, sorted by descending bits.
+    anchors: Vec<(f64, f64)>,
+}
+
+impl LossCurve {
+    /// Builds the curve from a published accuracy table.
+    pub fn from_table(table: &NetworkAccuracy) -> LossCurve {
+        let mut anchors: Vec<(f64, f64)> = table
+            .points
+            .iter()
+            .map(|p| {
+                let e = (p.config.activations().bits() + p.config.weights().bits()) as f64 / 2.0;
+                (e, (table.fp32_top1 - p.top1).max(0.0))
+            })
+            .collect();
+        anchors.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("effective bits are finite"));
+        // Enforce monotonicity: walking toward narrower data, loss never
+        // shrinks (a8w8 can beat FP32 in the published tables; clamping
+        // plus the running max keep the proxy physically sensible).
+        let mut worst = 0.0f64;
+        for a in &mut anchors {
+            worst = worst.max(a.1);
+            a.1 = worst;
+        }
+        LossCurve { anchors }
+    }
+
+    /// Predicted whole-network TOP-1 loss (percentage points) at a
+    /// uniform `config`.
+    pub fn network_loss(&self, config: PrecisionConfig) -> f64 {
+        let e = (config.activations().bits() + config.weights().bits()) as f64 / 2.0;
+        let first = self.anchors.first().expect("curve has anchors");
+        let last = self.anchors.last().expect("curve has anchors");
+        if e >= first.0 {
+            return first.1;
+        }
+        if e <= last.0 {
+            return last.1;
+        }
+        for pair in self.anchors.windows(2) {
+            let (hi, lo) = (pair[0], pair[1]);
+            if e <= hi.0 && e >= lo.0 {
+                let t = (hi.0 - e) / (hi.0 - lo.0);
+                return hi.1 + t * (lo.1 - hi.1);
+            }
+        }
+        last.1
+    }
+}
+
+/// One GEMM-bearing layer's simulation problem.
+#[derive(Clone, Copy, Debug)]
+pub struct LayerInfo {
+    /// GEMM layer index (0-based over GEMM-bearing layers).
+    pub index: usize,
+    /// Per-group GEMM dimensions.
+    pub dims: GemmDims,
+    /// GEMM repetitions (grouped convolutions run one per group).
+    pub reps: u64,
+    /// Total MACs of the layer.
+    pub macs: u64,
+}
+
+/// One priced candidate: a layer executed at one (a,w) point.
+#[derive(Clone, Copy, Debug)]
+pub struct LayerCandidate {
+    /// The candidate precision.
+    pub precision: PrecisionConfig,
+    /// Predicted cycles for the whole layer (per-GEMM × reps).
+    pub cycles: u64,
+    /// Predicted µ-engine busy cycles for the whole layer.
+    pub busy_cycles: u64,
+    /// Predicted energy for the whole layer in joules.
+    pub energy_j: f64,
+    /// The layer's attributed share of network TOP-1 loss (percentage
+    /// points) at this precision.
+    pub top1_loss: f64,
+}
+
+impl LayerCandidate {
+    /// `true` when `other` is at least as good on every axis and
+    /// strictly better on one — the per-layer pruning predicate.
+    pub fn dominated_by(&self, other: &LayerCandidate) -> bool {
+        let le = other.cycles <= self.cycles
+            && other.energy_j <= self.energy_j
+            && other.top1_loss <= self.top1_loss;
+        let lt = other.cycles < self.cycles
+            || other.energy_j < self.energy_j
+            || other.top1_loss < self.top1_loss;
+        le && lt
+    }
+}
+
+/// Exhaustive per-layer pricing of a network: every GEMM-bearing layer
+/// crossed with all 49 precision points, each priced by memoized
+/// simulation.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    network: String,
+    soc: String,
+    freq_ghz: f64,
+    fp32_top1: f64,
+    total_macs: u64,
+    layers: Vec<LayerInfo>,
+    /// Priced candidates per layer, in candidate-grid order (pinned
+    /// layers carry the single `a8-w8` entry).
+    candidates: Vec<Vec<LayerCandidate>>,
+    curve: LossCurve,
+}
+
+impl CostModel {
+    /// Prices every layer × candidate (a,w) point of `net`, simulating
+    /// uncached shapes through the process-wide [`SimCache`] (fanned out
+    /// across the host threads the returned [`GemmOptions::parallelism`]
+    /// requests). `candidate_grid` is the set of points to price per
+    /// layer — [`PrecisionConfig::ALL`] for the full 49-point sweep, or
+    /// a subset to trade search breadth for simulation time.
+    ///
+    /// With `pin_first_last` set (the paper's §IV-A rule) the first and
+    /// last GEMM layers are priced at `a8-w8` only — they can never
+    /// execute at anything else, so any other point would be a wasted
+    /// simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::UnknownNetwork`] when `net` has no published
+    /// accuracy table; simulation errors otherwise.
+    pub fn build<F>(
+        net: &Network,
+        fidelity: Fidelity,
+        pin_first_last: bool,
+        candidate_grid: &[PrecisionConfig],
+        mut options: F,
+    ) -> Result<CostModel, PlanError>
+    where
+        F: FnMut(PrecisionConfig) -> GemmOptions,
+    {
+        let _span = mixgemm_harness::span!("cost_model");
+        let table = accuracy::for_network(net.name()).ok_or_else(|| PlanError::UnknownNetwork {
+            name: net.name().to_string(),
+        })?;
+        let curve = LossCurve::from_table(&table);
+
+        // Resolve layers and candidate simulation problems (serial).
+        // `a8-w8` is always resolved: pinned layers execute there and the
+        // SoC identity is read off its options.
+        let mut opts_by_precision: HashMap<PrecisionConfig, GemmOptions> = HashMap::new();
+        for &pc in candidate_grid
+            .iter()
+            .chain(std::iter::once(&PrecisionConfig::A8W8))
+        {
+            opts_by_precision.entry(pc).or_insert_with(|| options(pc));
+        }
+        let a8w8 = &opts_by_precision[&PrecisionConfig::A8W8];
+        let soc = a8w8.soc.name.to_string();
+        let freq_ghz = a8w8.soc.freq_ghz;
+
+        let mut layers = Vec::new();
+        for node in net.nodes() {
+            let input = net.shape(node.inputs[0]);
+            let Some((dims, reps)) = layer_gemm(&node.op, input) else {
+                continue;
+            };
+            layers.push(LayerInfo {
+                index: layers.len(),
+                dims,
+                reps,
+                macs: dims.macs() * reps,
+            });
+        }
+        let total_macs: u64 = layers.iter().map(|l| l.macs).sum();
+        let layer_count = layers.len();
+        let pinned = |index: usize| pin_first_last && (index == 0 || index + 1 == layer_count);
+        let grid = |index: usize| -> &[PrecisionConfig] {
+            if pinned(index) {
+                std::slice::from_ref(&PrecisionConfig::A8W8)
+            } else {
+                candidate_grid
+            }
+        };
+
+        // Simulate uncached (dims, precision) shapes, mirroring the
+        // runtime's fan-out so planner and simulator share the memo.
+        let cache = SimCache::global();
+        let mut missing: Vec<(SimKey, GemmDims, PrecisionConfig)> = Vec::new();
+        for layer in &layers {
+            for &pc in grid(layer.index) {
+                let key = SimKey::new(layer.dims, fidelity, &opts_by_precision[&pc]);
+                if cache.get(&key).is_none() && !missing.iter().any(|(k, _, _)| k == &key) {
+                    missing.push((key, layer.dims, pc));
+                }
+            }
+        }
+        metrics::recorder()
+            .counter("planner.shapes.simulated")
+            .add(missing.len() as u64);
+        let threads = opts_by_precision
+            .values()
+            .map(|o| o.parallelism.threads)
+            .max()
+            .unwrap_or(1);
+        let simulate_one = |dims: GemmDims, precision: PrecisionConfig| {
+            let opts = opts_by_precision[&precision].clone();
+            let report = MixGemmKernel::new(opts).simulate(dims, fidelity)?;
+            let busy = report.pmu.map(|p| p.busy_cycles).unwrap_or(0);
+            Ok::<(u64, u64), PlanError>((report.cycles, busy))
+        };
+        let rec = metrics::recorder();
+        let shape_path = match trace::current_path() {
+            Some(parent) => format!("{parent}/price_shape"),
+            None => "price_shape".to_string(),
+        };
+        if threads <= 1 || missing.len() <= 1 {
+            for (key, dims, precision) in missing {
+                let _shape = trace::span_rooted(&rec, shape_path.as_str());
+                let cost = simulate_one(dims, precision)?;
+                cache.insert(key, cost);
+            }
+        } else {
+            let simulate_one = &simulate_one;
+            let rec = &rec;
+            let shape_path = shape_path.as_str();
+            let tscope = timeline::capture();
+            let tscope = &tscope;
+            let costs = std::thread::scope(|scope| {
+                let handles: Vec<_> = missing
+                    .chunks(missing.len().div_ceil(threads))
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            tscope.enter(|| {
+                                metrics::with_recorder(rec.clone(), || {
+                                    chunk
+                                        .iter()
+                                        .map(|(key, dims, precision)| {
+                                            let _shape = trace::span_rooted(rec, shape_path);
+                                            Ok((key.clone(), simulate_one(*dims, *precision)?))
+                                        })
+                                        .collect::<Result<Vec<_>, PlanError>>()
+                                })
+                            })
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pricing worker panicked"))
+                    .collect::<Result<Vec<_>, PlanError>>()
+            })?;
+            for (key, cost) in costs.into_iter().flatten() {
+                cache.insert(key, cost);
+            }
+        }
+
+        // Assemble candidate tables from the memo.
+        let mut candidates = Vec::with_capacity(layers.len());
+        for layer in &layers {
+            let mac_share = if total_macs == 0 {
+                0.0
+            } else {
+                layer.macs as f64 / total_macs as f64
+            };
+            let mut row = Vec::with_capacity(grid(layer.index).len());
+            for &pc in grid(layer.index) {
+                let key = SimKey::new(layer.dims, fidelity, &opts_by_precision[&pc]);
+                let (cycles_per_gemm, busy_per_gemm) = match cache.get(&key) {
+                    Some(cost) => cost,
+                    // Another thread cleared the global cache mid-build;
+                    // recompute rather than fail.
+                    None => {
+                        let cost = simulate_one(layer.dims, pc)?;
+                        cache.insert(key, cost);
+                        cost
+                    }
+                };
+                let cycles = cycles_per_gemm * layer.reps;
+                let busy_cycles = busy_per_gemm * layer.reps;
+                let energy_j = ActivityProfile {
+                    total_cycles: cycles,
+                    busy_cycles,
+                    macs: layer.macs,
+                    freq_ghz,
+                }
+                .energy_j();
+                row.push(LayerCandidate {
+                    precision: pc,
+                    cycles,
+                    busy_cycles,
+                    energy_j,
+                    top1_loss: curve.network_loss(pc) * mac_share,
+                });
+            }
+            candidates.push(row);
+        }
+
+        Ok(CostModel {
+            network: net.name().to_string(),
+            soc,
+            freq_ghz,
+            fp32_top1: table.fp32_top1,
+            total_macs,
+            layers,
+            candidates,
+            curve,
+        })
+    }
+
+    /// The network the model prices.
+    pub fn network(&self) -> &str {
+        &self.network
+    }
+
+    /// The SoC preset the model prices on.
+    pub fn soc(&self) -> &str {
+        &self.soc
+    }
+
+    /// Core frequency in GHz.
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_ghz
+    }
+
+    /// The network's FP32 TOP-1 baseline (percent).
+    pub fn fp32_top1(&self) -> f64 {
+        self.fp32_top1
+    }
+
+    /// Total MACs over all GEMM-bearing layers.
+    pub fn total_macs(&self) -> u64 {
+        self.total_macs
+    }
+
+    /// Number of GEMM-bearing layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layer simulation problems.
+    pub fn layers(&self) -> &[LayerInfo] {
+        &self.layers
+    }
+
+    /// The priced candidates of a layer in candidate-grid order: the
+    /// full grid for interior layers, `a8-w8` alone for pinned ones.
+    pub fn candidates(&self, layer: usize) -> &[LayerCandidate] {
+        &self.candidates[layer]
+    }
+
+    /// The priced candidate for `layer` at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pc` was not priced for the layer (pinned layers are
+    /// priced at `a8-w8` only).
+    pub fn candidate(&self, layer: usize, pc: PrecisionConfig) -> &LayerCandidate {
+        self.candidates[layer]
+            .iter()
+            .find(|c| c.precision == pc)
+            .unwrap_or_else(|| panic!("layer {layer} has no priced candidate at {pc}"))
+    }
+
+    /// The non-dominated candidates of a layer on (cycles, energy,
+    /// loss) — the per-layer Pareto pruning that makes the 49^L search
+    /// space tractable. Order follows the candidate grid.
+    pub fn pareto_candidates(&self, layer: usize) -> Vec<LayerCandidate> {
+        let row = &self.candidates[layer];
+        row.iter()
+            .filter(|c| !row.iter().any(|other| c.dominated_by(other)))
+            .copied()
+            .collect()
+    }
+
+    /// Prices a full per-layer assignment by summing layer candidates
+    /// (the energy model is linear, so per-layer energies add exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `assignment.len()` differs from [`layer_count`].
+    ///
+    /// [`layer_count`]: CostModel::layer_count
+    pub fn price(&self, assignment: &[PrecisionConfig]) -> PlanCost {
+        assert_eq!(
+            assignment.len(),
+            self.layers.len(),
+            "assignment must cover every GEMM layer"
+        );
+        let mut cost = PlanCost {
+            cycles: 0,
+            busy_cycles: 0,
+            macs: self.total_macs,
+            energy_j: 0.0,
+            top1_loss: 0.0,
+        };
+        for (layer, &pc) in assignment.iter().enumerate() {
+            let c = self.candidate(layer, pc);
+            cost.cycles += c.cycles;
+            cost.busy_cycles += c.busy_cycles;
+            cost.energy_j += c.energy_j;
+            cost.top1_loss += c.top1_loss;
+        }
+        cost
+    }
+
+    /// The accuracy proxy curve.
+    pub fn loss_curve(&self) -> &LossCurve {
+        &self.curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(name: &str) -> LossCurve {
+        LossCurve::from_table(&accuracy::for_network(name).unwrap())
+    }
+
+    #[test]
+    fn loss_curve_reproduces_clamped_anchors() {
+        for table in accuracy::paper_accuracy() {
+            let curve = LossCurve::from_table(&table);
+            let mut worst = 0.0f64;
+            for p in &table.points {
+                worst = worst.max((table.fp32_top1 - p.top1).max(0.0));
+                let e_anchor = curve.network_loss(p.config);
+                assert!(
+                    (e_anchor - worst).abs() < 1e-9,
+                    "{}@{}: curve {} vs clamped table {}",
+                    table.name,
+                    p.config,
+                    e_anchor,
+                    worst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loss_curve_is_monotone_in_effective_bits() {
+        let curve = curve("resnet-18");
+        let mut prev = -1.0;
+        // Walk narrower: effective bits 8.0 down to 2.0 in half steps.
+        for half in (4..=16u32).rev() {
+            // Any (a,w) with a + w == half prices identically; pick one.
+            let e = half as f64 / 2.0;
+            let a = half.div_ceil(2) as u8;
+            let w = (half - half.div_ceil(2)) as u8;
+            let pc = PrecisionConfig::from_bits(a, w).unwrap();
+            let loss = curve.network_loss(pc);
+            assert!(
+                loss + 1e-12 >= prev,
+                "loss should not shrink as bits narrow: {loss} < {prev} at e={e}"
+            );
+            prev = loss;
+        }
+    }
+
+    #[test]
+    fn off_anchor_points_interpolate_between_neighbours() {
+        let curve = curve("vgg-16");
+        // e = 4.5 sits between the (5,5) and (4,4) anchors.
+        let mid = curve.network_loss(PrecisionConfig::from_bits(5, 4).unwrap());
+        let hi = curve.network_loss(PrecisionConfig::from_bits(5, 5).unwrap());
+        let lo = curve.network_loss(PrecisionConfig::from_bits(4, 4).unwrap());
+        assert!(hi <= mid && mid <= lo, "{hi} <= {mid} <= {lo}");
+        assert!((mid - (hi + lo) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_network_is_rejected() {
+        let mut net = Network::new("not-a-zoo-net", mixgemm_dnn::Shape::new(1, 8, 8));
+        net.push_seq(mixgemm_dnn::OpKind::Conv2d {
+            out_c: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        })
+        .unwrap();
+        let err = CostModel::build(
+            &net,
+            Fidelity::Sampled,
+            true,
+            &PrecisionConfig::ALL,
+            GemmOptions::new,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::UnknownNetwork { .. }));
+    }
+}

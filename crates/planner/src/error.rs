@@ -1,0 +1,103 @@
+//! Planner error type.
+
+use std::fmt;
+
+use mixgemm_dnn::DnnError;
+use mixgemm_gemm::GemmError;
+
+/// Errors raised while searching, pricing, persisting or applying plans.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The network has no published accuracy table, so the accuracy
+    /// proxy cannot price it (`qat::accuracy` covers the six zoo CNNs).
+    UnknownNetwork {
+        /// The network name the lookup failed for.
+        name: String,
+    },
+    /// No per-layer assignment satisfies the budget (e.g. the latency
+    /// cap is below the fastest feasible plan, or the loss cap is below
+    /// the most accurate one).
+    Infeasible {
+        /// The network being planned.
+        network: String,
+        /// Which constraint could not be met.
+        detail: String,
+    },
+    /// A plan was applied to a network it was not searched for.
+    NetworkMismatch {
+        /// The network the plan was searched for.
+        plan: String,
+        /// The network it was applied to.
+        network: String,
+    },
+    /// A plan's per-layer assignment does not cover the network's GEMM
+    /// layers.
+    LayerMismatch {
+        /// GEMM layers in the network.
+        expected: usize,
+        /// Layers in the plan.
+        actual: usize,
+    },
+    /// A persisted plan document failed to parse or validate.
+    Parse {
+        /// What was malformed.
+        detail: String,
+    },
+    /// Reading or writing a plan database file failed.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying I/O failure.
+        detail: String,
+    },
+    /// Cycle-level simulation of a candidate point failed.
+    Gemm(GemmError),
+    /// Resolving the network's GEMM layers failed.
+    Dnn(DnnError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownNetwork { name } => {
+                write!(f, "no accuracy table for network {name:?}")
+            }
+            PlanError::Infeasible { network, detail } => {
+                write!(f, "no feasible plan for {network}: {detail}")
+            }
+            PlanError::NetworkMismatch { plan, network } => {
+                write!(f, "plan searched for {plan:?} applied to {network:?}")
+            }
+            PlanError::LayerMismatch { expected, actual } => {
+                write!(f, "plan covers {actual} layers, network has {expected}")
+            }
+            PlanError::Parse { detail } => write!(f, "malformed plan document: {detail}"),
+            PlanError::Io { path, detail } => write!(f, "{path}: {detail}"),
+            PlanError::Gemm(e) => write!(f, "candidate simulation failed: {e}"),
+            PlanError::Dnn(e) => write!(f, "layer resolution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Gemm(e) => Some(e),
+            PlanError::Dnn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GemmError> for PlanError {
+    fn from(e: GemmError) -> PlanError {
+        PlanError::Gemm(e)
+    }
+}
+
+impl From<DnnError> for PlanError {
+    fn from(e: DnnError) -> PlanError {
+        PlanError::Dnn(e)
+    }
+}

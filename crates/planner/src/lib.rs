@@ -1,0 +1,38 @@
+//! Mixed-precision auto-planner: per-layer (a,w) selection under
+//! accuracy/latency/energy budgets.
+//!
+//! The paper's premise is that Mix-GEMM makes *per-layer* mixed
+//! precision profitable on edge SoCs: §III-B's single-cycle `bs.set`
+//! reconfiguration makes switching data sizes between layers free, and
+//! Fig. 6–7 sweep all 49 (a,w) pairs weighing throughput against QAT
+//! accuracy loss. This crate supplies the software half of that story —
+//! a planner that *chooses* a precision per layer against a cost model,
+//! instead of running whole networks at one fixed configuration:
+//!
+//! - [`cost`]: prices every layer × (a,w) candidate by memoized
+//!   cycle-level simulation (cycles via the SoC/GEMM models, energy via
+//!   the §IV-C activity model, accuracy via an effective-bits proxy
+//!   anchored to the published QAT tables);
+//! - [`search`]: exhaustive per-layer scoring, per-layer Pareto pruning
+//!   (49^L full assignments are infeasible), then greedy refinement
+//!   with a seeded deterministic tie-break — planning is
+//!   bit-reproducible across runs and host thread counts;
+//! - [`plan`]: [`Plan`]/[`ParetoFront`] outputs with JSON
+//!   (de)serialization, persisted per network as a `PLANS_<net>.json`
+//!   tuning database that reloads without re-searching.
+//!
+//! The top-level entry point is [`Planner::plan`]; `mixgemm::Session`
+//! wraps it with platform/fidelity/observability plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod error;
+pub mod plan;
+pub mod search;
+
+pub use cost::{CostModel, LayerCandidate, LayerInfo, LossCurve};
+pub use error::PlanError;
+pub use plan::{Budget, FrontPoint, ParetoFront, Plan, PlanCost, PlanDb};
+pub use search::{PlanOutcome, Planner, COARSE_GRID};

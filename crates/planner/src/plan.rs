@@ -1,0 +1,524 @@
+//! Plan output types: budgets, priced plans, Pareto fronts and the
+//! on-disk tuning database.
+//!
+//! Everything here (de)serializes through [`harness::Json`](Json) so
+//! plans persist as `PLANS_<net>.json` documents and reload without
+//! re-searching — the planner's analogue of a BLAS tuning database.
+
+use std::path::{Path, PathBuf};
+
+use mixgemm_binseg::PrecisionConfig;
+use mixgemm_dnn::runtime::PrecisionPlan;
+use mixgemm_dnn::Network;
+use mixgemm_harness::Json;
+
+use crate::error::PlanError;
+
+/// Constraints a plan must satisfy. Unset fields are unconstrained; the
+/// planner always minimizes predicted cycles within whatever is set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Budget {
+    /// Maximum TOP-1 accuracy loss versus FP32, in percentage points
+    /// (the paper's §IV-B framing: >4-bit configurations lose < 1.5 %).
+    pub max_top1_loss: Option<f64>,
+    /// Maximum end-to-end latency in seconds at the platform frequency.
+    pub max_latency: Option<f64>,
+    /// Maximum energy per inference in joules (§IV-C energy model).
+    pub max_energy: Option<f64>,
+    /// Pin the first and last GEMM layers at `a8-w8`, as the paper does
+    /// to preserve accuracy (§IV-A). Defaults to `true`.
+    pub pin_first_last: bool,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_top1_loss: None,
+            max_latency: None,
+            max_energy: None,
+            pin_first_last: true,
+        }
+    }
+}
+
+impl Budget {
+    /// An unconstrained budget with the paper's first/last pinning.
+    pub fn new() -> Self {
+        Budget::default()
+    }
+
+    /// Caps TOP-1 loss versus FP32 (percentage points).
+    pub fn with_max_top1_loss(mut self, loss: f64) -> Self {
+        self.max_top1_loss = Some(loss);
+        self
+    }
+
+    /// Caps end-to-end latency (seconds).
+    pub fn with_max_latency(mut self, seconds: f64) -> Self {
+        self.max_latency = Some(seconds);
+        self
+    }
+
+    /// Caps energy per inference (joules).
+    pub fn with_max_energy(mut self, joules: f64) -> Self {
+        self.max_energy = Some(joules);
+        self
+    }
+
+    /// Sets the first/last 8-bit pinning rule.
+    pub fn with_pin_first_last(mut self, pin: bool) -> Self {
+        self.pin_first_last = pin;
+        self
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        fn opt(v: Option<f64>) -> Json {
+            v.map(Json::Num).unwrap_or(Json::Null)
+        }
+        Json::obj()
+            .field("max_top1_loss", opt(self.max_top1_loss))
+            .field("max_latency", opt(self.max_latency))
+            .field("max_energy", opt(self.max_energy))
+            .field("pin_first_last", self.pin_first_last)
+    }
+
+    /// Parses a budget serialized by [`Budget::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Parse`] on missing or mistyped fields.
+    pub fn from_json(doc: &Json) -> Result<Budget, PlanError> {
+        fn opt(doc: &Json, key: &str) -> Result<Option<f64>, PlanError> {
+            match doc.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v.as_f64().map(Some).ok_or_else(|| PlanError::Parse {
+                    detail: format!("budget field {key} is not a number"),
+                }),
+            }
+        }
+        Ok(Budget {
+            max_top1_loss: opt(doc, "max_top1_loss")?,
+            max_latency: opt(doc, "max_latency")?,
+            max_energy: opt(doc, "max_energy")?,
+            pin_first_last: doc
+                .get("pin_first_last")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| PlanError::Parse {
+                    detail: "budget missing pin_first_last".to_string(),
+                })?,
+        })
+    }
+}
+
+/// The cost-model prediction for one full per-layer assignment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanCost {
+    /// Predicted total cycles over all GEMM layers.
+    pub cycles: u64,
+    /// Predicted µ-engine busy cycles (drives the energy model).
+    pub busy_cycles: u64,
+    /// Total MACs (assignment-independent).
+    pub macs: u64,
+    /// Predicted energy per inference in joules (§IV-C).
+    pub energy_j: f64,
+    /// Predicted TOP-1 loss versus FP32 in percentage points
+    /// (MAC-share-weighted accuracy proxy).
+    pub top1_loss: f64,
+}
+
+impl PlanCost {
+    /// End-to-end seconds at `freq_ghz`.
+    pub fn seconds(&self, freq_ghz: f64) -> f64 {
+        self.cycles as f64 / (freq_ghz * 1e9)
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("cycles", self.cycles)
+            .field("busy_cycles", self.busy_cycles)
+            .field("macs", self.macs)
+            .field("energy_j", self.energy_j)
+            .field("top1_loss", self.top1_loss)
+    }
+
+    /// Parses a cost serialized by [`PlanCost::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Parse`] on missing or mistyped fields.
+    pub fn from_json(doc: &Json) -> Result<PlanCost, PlanError> {
+        let num = |key: &str| -> Result<f64, PlanError> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| PlanError::Parse {
+                    detail: format!("cost missing numeric field {key}"),
+                })
+        };
+        Ok(PlanCost {
+            cycles: num("cycles")? as u64,
+            busy_cycles: num("busy_cycles")? as u64,
+            macs: num("macs")? as u64,
+            energy_j: num("energy_j")?,
+            top1_loss: num("top1_loss")?,
+        })
+    }
+}
+
+/// Parses a `"aX-wY"` layer entry.
+fn parse_layer(v: &Json) -> Result<PrecisionConfig, PlanError> {
+    let s = v.as_str().ok_or_else(|| PlanError::Parse {
+        detail: "layer entry is not a string".to_string(),
+    })?;
+    s.parse().map_err(|_| PlanError::Parse {
+        detail: format!("invalid precision {s:?}"),
+    })
+}
+
+/// One searched per-layer precision assignment with its predicted cost
+/// and the budget it was searched under.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    /// The network the plan was searched for (zoo name).
+    pub network: String,
+    /// SoC preset the cost model priced on.
+    pub soc: String,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// The tie-break seed the search ran with (plans are bit-reproducible
+    /// from `(network, soc, budget, seed)`).
+    pub seed: u64,
+    /// The budget the search satisfied.
+    pub budget: Budget,
+    /// Precision of the i-th GEMM-bearing layer.
+    pub layers: Vec<PrecisionConfig>,
+    /// Predicted cost of executing `layers`.
+    pub predicted: PlanCost,
+}
+
+impl Plan {
+    /// The runtime precision plan executing this assignment: every GEMM
+    /// layer gets an explicit override (pinning is already baked into
+    /// `layers` by the search).
+    pub fn precision_plan(&self) -> PrecisionPlan {
+        PrecisionPlan::per_layer(PrecisionConfig::A8W8, self.layers.clone())
+    }
+
+    /// Checks the plan covers `net` (name and GEMM layer count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::NetworkMismatch`] or
+    /// [`PlanError::LayerMismatch`].
+    pub fn validate_for(&self, net: &Network) -> Result<(), PlanError> {
+        if self.network != net.name() {
+            return Err(PlanError::NetworkMismatch {
+                plan: self.network.clone(),
+                network: net.name().to_string(),
+            });
+        }
+        let expected = net.gemm_layer_count();
+        if self.layers.len() != expected {
+            return Err(PlanError::LayerMismatch {
+                expected,
+                actual: self.layers.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The narrowest activation/weight widths anywhere in the plan.
+    pub fn min_bits(&self) -> (u8, u8) {
+        self.layers.iter().fold((8, 8), |(a, w), pc| {
+            (a.min(pc.activations().bits()), w.min(pc.weights().bits()))
+        })
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("network", self.network.as_str())
+            .field("soc", self.soc.as_str())
+            .field("freq_ghz", self.freq_ghz)
+            .field("seed", self.seed)
+            .field("budget", self.budget.to_json())
+            .field(
+                "layers",
+                Json::Arr(
+                    self.layers
+                        .iter()
+                        .map(|pc| Json::Str(pc.to_string()))
+                        .collect(),
+                ),
+            )
+            .field("predicted", self.predicted.to_json())
+    }
+
+    /// Parses a plan serialized by [`Plan::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Parse`] on missing or mistyped fields.
+    pub fn from_json(doc: &Json) -> Result<Plan, PlanError> {
+        let str_field = |key: &str| -> Result<String, PlanError> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| PlanError::Parse {
+                    detail: format!("plan missing string field {key}"),
+                })
+        };
+        let num_field = |key: &str| -> Result<f64, PlanError> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| PlanError::Parse {
+                    detail: format!("plan missing numeric field {key}"),
+                })
+        };
+        let layers = doc
+            .get("layers")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| PlanError::Parse {
+                detail: "plan missing layers array".to_string(),
+            })?
+            .iter()
+            .map(parse_layer)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Plan {
+            network: str_field("network")?,
+            soc: str_field("soc")?,
+            freq_ghz: num_field("freq_ghz")?,
+            seed: num_field("seed")? as u64,
+            budget: Budget::from_json(doc.get("budget").ok_or_else(|| PlanError::Parse {
+                detail: "plan missing budget".to_string(),
+            })?)?,
+            layers,
+            predicted: PlanCost::from_json(doc.get("predicted").ok_or_else(|| {
+                PlanError::Parse {
+                    detail: "plan missing predicted cost".to_string(),
+                }
+            })?)?,
+        })
+    }
+}
+
+/// One evaluated full-plan point: an assignment plus its predicted cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontPoint {
+    /// Per-layer precision assignment.
+    pub layers: Vec<PrecisionConfig>,
+    /// Predicted cost of the assignment.
+    pub cost: PlanCost,
+}
+
+impl FrontPoint {
+    /// `true` when `other` is at least as good on latency (cycles),
+    /// energy and accuracy loss, and strictly better on one.
+    pub fn dominated_by(&self, other: &FrontPoint) -> bool {
+        let le = other.cost.cycles <= self.cost.cycles
+            && other.cost.energy_j <= self.cost.energy_j
+            && other.cost.top1_loss <= self.cost.top1_loss;
+        let lt = other.cost.cycles < self.cost.cycles
+            || other.cost.energy_j < self.cost.energy_j
+            || other.cost.top1_loss < self.cost.top1_loss;
+        le && lt
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field(
+                "layers",
+                Json::Arr(
+                    self.layers
+                        .iter()
+                        .map(|pc| Json::Str(pc.to_string()))
+                        .collect(),
+                ),
+            )
+            .field("cost", self.cost.to_json())
+    }
+
+    fn from_json(doc: &Json) -> Result<FrontPoint, PlanError> {
+        let layers = doc
+            .get("layers")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| PlanError::Parse {
+                detail: "front point missing layers".to_string(),
+            })?
+            .iter()
+            .map(parse_layer)
+            .collect::<Result<Vec<_>, _>>()?;
+        let cost = PlanCost::from_json(doc.get("cost").ok_or_else(|| PlanError::Parse {
+            detail: "front point missing cost".to_string(),
+        })?)?;
+        Ok(FrontPoint { layers, cost })
+    }
+}
+
+/// The Pareto-optimal subset of every full-plan point the search
+/// evaluated, on (cycles, energy, TOP-1 loss) — the planner's analogue
+/// of the paper's Fig. 7 frontier.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParetoFront {
+    /// Non-dominated points, in the order they were first evaluated.
+    pub points: Vec<FrontPoint>,
+}
+
+impl ParetoFront {
+    /// Filters `evaluated` down to its non-dominated subset,
+    /// deduplicating identical assignments first.
+    pub fn from_points(evaluated: &[FrontPoint]) -> ParetoFront {
+        let mut unique: Vec<&FrontPoint> = Vec::new();
+        for p in evaluated {
+            if !unique.iter().any(|q| q.layers == p.layers) {
+                unique.push(p);
+            }
+        }
+        let points = unique
+            .iter()
+            .filter(|p| !unique.iter().any(|q| p.dominated_by(q)))
+            .map(|p| (*p).clone())
+            .collect();
+        ParetoFront { points }
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj().field(
+            "points",
+            Json::Arr(self.points.iter().map(FrontPoint::to_json).collect()),
+        )
+    }
+
+    /// Parses a front serialized by [`ParetoFront::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Parse`] on malformed documents.
+    pub fn from_json(doc: &Json) -> Result<ParetoFront, PlanError> {
+        let points = doc
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| PlanError::Parse {
+                detail: "front missing points array".to_string(),
+            })?
+            .iter()
+            .map(FrontPoint::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ParetoFront { points })
+    }
+}
+
+/// A per-network tuning database: every plan searched for a network,
+/// keyed by budget, persisted as `PLANS_<net>.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanDb {
+    /// The network every stored plan belongs to.
+    pub network: String,
+    /// Stored plans, one per distinct budget.
+    pub plans: Vec<Plan>,
+}
+
+impl PlanDb {
+    /// An empty database for `network`.
+    pub fn new(network: &str) -> PlanDb {
+        PlanDb {
+            network: network.to_string(),
+            plans: Vec::new(),
+        }
+    }
+
+    /// The database file name for `network`: `PLANS_<net>.json`.
+    pub fn file_name(network: &str) -> String {
+        format!("PLANS_{network}.json")
+    }
+
+    /// Inserts `plan`, replacing any stored plan with the same budget.
+    pub fn insert(&mut self, plan: Plan) {
+        if let Some(slot) = self.plans.iter_mut().find(|p| p.budget == plan.budget) {
+            *slot = plan;
+        } else {
+            self.plans.push(plan);
+        }
+    }
+
+    /// The stored plan for `budget`, if any — the reload-without-
+    /// re-searching path.
+    pub fn find(&self, budget: &Budget) -> Option<&Plan> {
+        self.plans.iter().find(|p| &p.budget == budget)
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj().field("network", self.network.as_str()).field(
+            "plans",
+            Json::Arr(self.plans.iter().map(Plan::to_json).collect()),
+        )
+    }
+
+    /// Parses a database serialized by [`PlanDb::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Parse`] on malformed documents.
+    pub fn from_json(doc: &Json) -> Result<PlanDb, PlanError> {
+        let network = doc
+            .get("network")
+            .and_then(Json::as_str)
+            .ok_or_else(|| PlanError::Parse {
+                detail: "plan db missing network".to_string(),
+            })?
+            .to_string();
+        let plans = doc
+            .get("plans")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| PlanError::Parse {
+                detail: "plan db missing plans array".to_string(),
+            })?
+            .iter()
+            .map(Plan::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PlanDb { network, plans })
+    }
+
+    /// Loads `PLANS_<network>.json` from `dir`, returning `None` when no
+    /// database exists yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Io`] on read failures and
+    /// [`PlanError::Parse`] on malformed documents.
+    pub fn load(dir: &Path, network: &str) -> Result<Option<PlanDb>, PlanError> {
+        let path = dir.join(PlanDb::file_name(network));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(PlanError::Io {
+                    path: path.display().to_string(),
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let doc = Json::parse(&text).map_err(|e| PlanError::Parse {
+            detail: format!("{}: {e}", path.display()),
+        })?;
+        PlanDb::from_json(&doc).map(Some)
+    }
+
+    /// Writes the database to `dir` as `PLANS_<network>.json`, returning
+    /// the path written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Io`] on write failures.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, PlanError> {
+        let path = dir.join(PlanDb::file_name(&self.network));
+        std::fs::write(&path, self.to_json().pretty()).map_err(|e| PlanError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Ok(path)
+    }
+}

@@ -1,0 +1,349 @@
+//! The search engine: exhaustive per-layer scoring, per-layer Pareto
+//! pruning, then greedy refinement with a seeded deterministic
+//! tie-break.
+//!
+//! 49^L full assignments are infeasible for the zoo networks (ResNet-18
+//! alone has 21 GEMM layers), so the search never enumerates them.
+//! Instead it prices every layer × (a,w) point once (49·L memoized
+//! simulations), prunes each layer to its Pareto-optimal candidates on
+//! (cycles, energy, loss), starts from the most accurate assignment and
+//! greedily applies the single-layer swap with the best
+//! cycles-saved-per-loss-added ratio until no swap fits the budget.
+//! The greedy walk is serial and every simulation is deterministic, so
+//! planning is bit-reproducible across runs and host thread counts.
+
+use mixgemm_binseg::PrecisionConfig;
+use mixgemm_dnn::Network;
+use mixgemm_gemm::{Fidelity, GemmOptions, Parallelism};
+use mixgemm_harness::{metrics, timeline};
+
+use crate::cost::{CostModel, LayerCandidate};
+use crate::error::PlanError;
+use crate::plan::{Budget, FrontPoint, ParetoFront, Plan, PlanCost};
+
+/// A coarse anchor-aligned candidate grid for quick searches: the
+/// published QAT diagonal plus the widest asymmetric points. Use with
+/// [`Planner::with_grid`] to trade search breadth for simulation time
+/// (≈6x fewer cold simulations than the full 49-point sweep).
+pub const COARSE_GRID: [PrecisionConfig; 8] = [
+    PrecisionConfig::A8W8,
+    PrecisionConfig::A8W4,
+    PrecisionConfig::A4W8,
+    PrecisionConfig::A6W6,
+    PrecisionConfig::A5W5,
+    PrecisionConfig::A4W4,
+    PrecisionConfig::A3W3,
+    PrecisionConfig::A2W2,
+];
+
+/// SplitMix64-style tie-break hash: a deterministic, seed-dependent
+/// total order over (layer, a, w) used only to break exact score ties.
+fn tie_hash(seed: u64, layer: usize, pc: PrecisionConfig) -> u64 {
+    let a = pc.activations().bits() as u64;
+    let w = pc.weights().bits() as u64;
+    let mut z = seed ^ (layer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (a << 32) ^ w;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The result of one search: the budget-satisfying plan, the Pareto
+/// front over everything the search evaluated, and the raw evaluated
+/// points themselves (for audits and property tests).
+#[derive(Clone, Debug)]
+pub struct PlanOutcome {
+    /// The plan satisfying the budget with the fewest predicted cycles
+    /// the search found.
+    pub plan: Plan,
+    /// Non-dominated subset of `evaluated` on (cycles, energy, loss).
+    pub front: ParetoFront,
+    /// Every full assignment the search priced, in evaluation order.
+    pub evaluated: Vec<FrontPoint>,
+}
+
+/// The mixed-precision auto-planner.
+///
+/// Construction is cheap; [`Planner::plan`] does the work. All
+/// configuration is deterministic — two planners with equal settings
+/// produce bit-identical [`PlanOutcome`]s for the same network.
+#[derive(Clone, Copy, Debug)]
+pub struct Planner {
+    fidelity: Fidelity,
+    seed: u64,
+    parallelism: Parallelism,
+    grid: &'static [PrecisionConfig],
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner::new()
+    }
+}
+
+impl Planner {
+    /// A serial planner at sampled fidelity with seed 0, searching the
+    /// full 49-point (a,w) grid.
+    pub fn new() -> Self {
+        Planner {
+            fidelity: Fidelity::Sampled,
+            seed: 0,
+            parallelism: Parallelism::serial(),
+            grid: &PrecisionConfig::ALL,
+        }
+    }
+
+    /// Sets the simulation fidelity candidate points are priced at.
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Sets the tie-break seed (plans are bit-reproducible per seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the host-thread fan-out for cold candidate simulations.
+    /// Results are identical for every thread count.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Restricts the candidate (a,w) grid. The default is the full
+    /// 49-point [`PrecisionConfig::ALL`]; a smaller grid trades search
+    /// breadth for simulation time (pinned layers always price `a8-w8`,
+    /// whether or not the grid contains it).
+    pub fn with_grid(mut self, grid: &'static [PrecisionConfig]) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Plans `net` on the default Sargantana SoC.
+    ///
+    /// # Errors
+    ///
+    /// See [`Planner::plan_with`].
+    pub fn plan(&self, net: &Network, budget: &Budget) -> Result<PlanOutcome, PlanError> {
+        let par = self.parallelism;
+        self.plan_with(net, budget, move |pc| {
+            GemmOptions::new(pc).with_parallelism(par)
+        })
+    }
+
+    /// Plans `net` with caller-controlled GEMM options (SoC preset,
+    /// blocking, Source Buffer depth) per precision.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::UnknownNetwork`] for networks without accuracy
+    /// tables, [`PlanError::Infeasible`] when no assignment satisfies
+    /// `budget`, and simulation errors from the cost model.
+    pub fn plan_with<F>(
+        &self,
+        net: &Network,
+        budget: &Budget,
+        options: F,
+    ) -> Result<PlanOutcome, PlanError>
+    where
+        F: FnMut(PrecisionConfig) -> GemmOptions,
+    {
+        let _span = mixgemm_harness::span!("plan");
+        if self.grid.is_empty() {
+            return Err(PlanError::Infeasible {
+                network: net.name().to_string(),
+                detail: "candidate grid is empty".to_string(),
+            });
+        }
+        let model = CostModel::build(
+            net,
+            self.fidelity,
+            budget.pin_first_last,
+            self.grid,
+            options,
+        )?;
+        let layer_count = model.layer_count();
+        if layer_count == 0 {
+            return Err(PlanError::Infeasible {
+                network: model.network().to_string(),
+                detail: "network has no GEMM-bearing layers".to_string(),
+            });
+        }
+
+        // Per-layer candidate sets: prune each layer to its Pareto set
+        // (pinned layers already carry the single `a8-w8` candidate).
+        let rec = metrics::recorder();
+        let mut sets: Vec<Vec<LayerCandidate>> = Vec::with_capacity(layer_count);
+        for layer in 0..layer_count {
+            let set = model.pareto_candidates(layer);
+            rec.counter("planner.candidates.total")
+                .add(model.candidates(layer).len() as u64);
+            rec.counter("planner.candidates.kept").add(set.len() as u64);
+            sets.push(set);
+        }
+
+        // Start from the most accurate assignment (tie: fewer cycles,
+        // then the seeded hash) and remember every full plan we price.
+        let seed = self.seed;
+        let better_start = |layer: usize, a: &LayerCandidate, b: &LayerCandidate| {
+            (a.top1_loss, a.cycles, tie_hash(seed, layer, a.precision))
+                < (b.top1_loss, b.cycles, tie_hash(seed, layer, b.precision))
+        };
+        let mut current: Vec<LayerCandidate> = sets
+            .iter()
+            .enumerate()
+            .map(|(layer, set)| {
+                *set.iter()
+                    .reduce(|best, c| {
+                        if better_start(layer, c, best) {
+                            c
+                        } else {
+                            best
+                        }
+                    })
+                    .expect("candidate sets are never empty")
+            })
+            .collect();
+
+        let assignment = |cands: &[LayerCandidate]| -> Vec<PrecisionConfig> {
+            cands.iter().map(|c| c.precision).collect()
+        };
+        let mut evaluated: Vec<FrontPoint> = Vec::new();
+        let mut push_point = |layers: Vec<PrecisionConfig>, cost: PlanCost| {
+            evaluated.push(FrontPoint { layers, cost });
+        };
+
+        // Price the uniform plans over the grid (respecting pinning) so
+        // the front always contains the paper's Fig. 7-style uniform
+        // sweep.
+        for &pc in self.grid.iter() {
+            let layers: Vec<PrecisionConfig> = (0..layer_count)
+                .map(|layer| {
+                    if budget.pin_first_last && (layer == 0 || layer + 1 == layer_count) {
+                        PrecisionConfig::A8W8
+                    } else {
+                        pc
+                    }
+                })
+                .collect();
+            let cost = model.price(&layers);
+            push_point(layers, cost);
+        }
+
+        let mut cost = model.price(&assignment(&current));
+        push_point(assignment(&current), cost);
+
+        let loss_cap = budget.max_top1_loss.unwrap_or(f64::INFINITY);
+        if cost.top1_loss > loss_cap + 1e-12 {
+            return Err(PlanError::Infeasible {
+                network: model.network().to_string(),
+                detail: format!(
+                    "loss cap {:.3} below the most accurate plan's {:.3}",
+                    loss_cap, cost.top1_loss
+                ),
+            });
+        }
+
+        // Greedy refinement: apply the single-layer swap saving the most
+        // cycles per accuracy point added, until none fits the cap.
+        // Each accepted swap strictly reduces cycles, so this terminates.
+        let mut moves = 0u64;
+        loop {
+            let mut best: Option<(f64, u64, u64, usize, LayerCandidate)> = None;
+            for (layer, set) in sets.iter().enumerate() {
+                let cur = &current[layer];
+                for cand in set {
+                    if cand.precision == cur.precision || cand.cycles >= cur.cycles {
+                        continue;
+                    }
+                    let saved = cur.cycles - cand.cycles;
+                    let loss_added = cand.top1_loss - cur.top1_loss;
+                    if cost.top1_loss + loss_added > loss_cap + 1e-12 {
+                        continue;
+                    }
+                    let ratio = if loss_added <= 0.0 {
+                        f64::INFINITY
+                    } else {
+                        saved as f64 / loss_added
+                    };
+                    let hash = tie_hash(seed, layer, cand.precision);
+                    let candidate_key = (ratio, saved, hash, layer, *cand);
+                    let wins = match &best {
+                        None => true,
+                        Some((r, s, h, ..)) => {
+                            (ratio, saved, std::cmp::Reverse(hash))
+                                > (*r, *s, std::cmp::Reverse(*h))
+                        }
+                    };
+                    if wins {
+                        best = Some(candidate_key);
+                    }
+                }
+            }
+            let Some((_, _, _, layer, cand)) = best else {
+                break;
+            };
+            current[layer] = cand;
+            cost = model.price(&assignment(&current));
+            push_point(assignment(&current), cost);
+            moves += 1;
+        }
+        rec.counter("planner.moves").add(moves);
+
+        // Latency and energy caps are checked on the converged plan: the
+        // greedy walk already minimized cycles subject to the loss cap,
+        // and energy falls with cycles under the linear activity model.
+        let seconds = cost.seconds(model.freq_ghz());
+        if let Some(cap) = budget.max_latency {
+            if seconds > cap {
+                return Err(PlanError::Infeasible {
+                    network: model.network().to_string(),
+                    detail: format!("latency cap {cap:.6} s below best feasible {seconds:.6} s"),
+                });
+            }
+        }
+        if let Some(cap) = budget.max_energy {
+            if cost.energy_j > cap {
+                return Err(PlanError::Infeasible {
+                    network: model.network().to_string(),
+                    detail: format!(
+                        "energy cap {cap:.6} J below best feasible {:.6} J",
+                        cost.energy_j
+                    ),
+                });
+            }
+        }
+
+        for (layer, cand) in current.iter().enumerate() {
+            timeline::instant_with_args(
+                "plan_layer",
+                vec![
+                    ("layer", layer as u64),
+                    ("a_bits", cand.precision.activations().bits() as u64),
+                    ("w_bits", cand.precision.weights().bits() as u64),
+                    ("cycles", cand.cycles),
+                ],
+            );
+        }
+        rec.gauge("plan.predicted_cycles").set(cost.cycles as f64);
+        rec.gauge("plan.predicted_top1_loss").set(cost.top1_loss);
+        rec.gauge("plan.predicted_energy_j").set(cost.energy_j);
+
+        let plan = Plan {
+            network: model.network().to_string(),
+            soc: model.soc().to_string(),
+            freq_ghz: model.freq_ghz(),
+            seed,
+            budget: budget.clone(),
+            layers: assignment(&current),
+            predicted: cost,
+        };
+        let front = ParetoFront::from_points(&evaluated);
+        Ok(PlanOutcome {
+            plan,
+            front,
+            evaluated,
+        })
+    }
+}

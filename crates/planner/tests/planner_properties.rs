@@ -1,0 +1,106 @@
+//! Planner property tests: Pareto-optimality of the front and
+//! bit-determinism across runs, seeds and host thread counts.
+
+use mixgemm_dnn::zoo;
+use mixgemm_gemm::{Fidelity, Parallelism};
+use mixgemm_planner::{Budget, Planner};
+
+fn planner() -> Planner {
+    Planner::new().with_fidelity(Fidelity::Sampled)
+}
+
+#[test]
+fn front_points_are_pareto_optimal_over_evaluated() {
+    for net in [zoo::alexnet(), zoo::resnet18()] {
+        let outcome = planner()
+            .plan(&net, &Budget::new().with_max_top1_loss(1.5))
+            .unwrap();
+        assert!(!outcome.front.points.is_empty());
+        for point in &outcome.front.points {
+            for other in &outcome.evaluated {
+                assert!(
+                    !point.dominated_by(other),
+                    "{}: front point {:?} dominated by evaluated {:?}",
+                    net.name(),
+                    point.cost,
+                    other.cost
+                );
+            }
+        }
+        // The front must contain the evaluated point with the fewest
+        // cycles (nothing can dominate a cycle minimum's cycle axis).
+        let min_cycles = outcome.evaluated.iter().map(|p| p.cost.cycles).min();
+        assert_eq!(
+            outcome.front.points.iter().map(|p| p.cost.cycles).min(),
+            min_cycles
+        );
+    }
+}
+
+#[test]
+fn planning_is_bit_deterministic_across_runs_and_threads() {
+    let net = zoo::resnet18();
+    let budget = Budget::new().with_max_top1_loss(1.5);
+    let serial = planner().plan(&net, &budget).unwrap();
+    let rerun = planner().plan(&net, &budget).unwrap();
+    let threaded = planner()
+        .with_parallelism(Parallelism::new(4))
+        .plan(&net, &budget)
+        .unwrap();
+    assert_eq!(serial.plan, rerun.plan);
+    assert_eq!(serial.plan, threaded.plan);
+    assert_eq!(serial.front, rerun.front);
+    assert_eq!(serial.front, threaded.front);
+    assert_eq!(serial.evaluated, threaded.evaluated);
+}
+
+#[test]
+fn seed_changes_tie_breaks_but_not_feasibility() {
+    let net = zoo::alexnet();
+    let budget = Budget::new().with_max_top1_loss(1.5);
+    let a = planner().with_seed(1).plan(&net, &budget).unwrap();
+    let b = planner().with_seed(2).plan(&net, &budget).unwrap();
+    for outcome in [&a, &b] {
+        assert!(outcome.plan.predicted.top1_loss <= 1.5 + 1e-9);
+        assert_eq!(outcome.plan.layers.len(), net.gemm_layer_count());
+    }
+    // Same seed is reproducible even when seeds may diverge.
+    let a2 = planner().with_seed(1).plan(&net, &budget).unwrap();
+    assert_eq!(a.plan, a2.plan);
+}
+
+#[test]
+fn pinned_layers_stay_at_eight_bits() {
+    let net = zoo::alexnet();
+    let outcome = planner()
+        .plan(&net, &Budget::new().with_max_top1_loss(4.0))
+        .unwrap();
+    let first = outcome.plan.layers.first().unwrap();
+    let last = outcome.plan.layers.last().unwrap();
+    assert_eq!(first.to_string(), "a8-w8");
+    assert_eq!(last.to_string(), "a8-w8");
+}
+
+#[test]
+fn loss_cap_binds_and_infeasible_caps_error() {
+    let net = zoo::alexnet();
+    // Relaxing the cap can only speed the plan up.
+    let tight = planner()
+        .plan(&net, &Budget::new().with_max_top1_loss(0.5))
+        .unwrap();
+    let relaxed = planner()
+        .plan(&net, &Budget::new().with_max_top1_loss(4.0))
+        .unwrap();
+    assert!(tight.plan.predicted.top1_loss <= 0.5 + 1e-9);
+    assert!(relaxed.plan.predicted.cycles <= tight.plan.predicted.cycles);
+    // A latency cap below any feasible plan is reported infeasible.
+    let err = planner()
+        .plan(
+            &net,
+            &Budget::new()
+                .with_max_top1_loss(1.5)
+                .with_max_latency(1e-12),
+        )
+        .unwrap_err();
+    assert!(matches!(err, mixgemm_planner::PlanError::Infeasible { .. }));
+}

@@ -7,6 +7,7 @@
 use mixgemm::api::EdgeSoc;
 use mixgemm::dnn::runtime::{forward_quantized, PrecisionPlan, Tensor};
 use mixgemm::dnn::{zoo, ActKind, Network, OpKind, Shape};
+use mixgemm::PrecisionConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // A small CIFAR-scale CNN we can run functionally in milliseconds.
@@ -67,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // Per-layer anatomy of one network at a4-w4.
     {
         let plan = PrecisionPlan {
-            default: "a4-w4".parse()?,
+            default: PrecisionConfig::A4W4,
             pin_first_last: true,
             overrides: Vec::new(),
         };

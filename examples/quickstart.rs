@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     println!("  inner product = {}\n", trace.inner_product);
 
     // 2. A real mixed-precision GEMM: 8-bit activations x 4-bit weights.
-    let precision = "a8-w4".parse()?;
+    let precision = PrecisionConfig::A8W4;
     let (oa, ow) = mixgemm::PrecisionConfig::from_bits(8, 4)?.operand_types();
     let a = QuantMatrix::from_fn(64, 96, oa, |i, k| ((i * 7 + k * 3) % 250) as i32);
     let b = QuantMatrix::from_fn(96, 48, ow, |k, j| ((k + j * 5) % 15) as i32 - 8);

@@ -5,6 +5,7 @@
 
 use mixgemm::gemm::scaling::{multicore_projection, simd_projection};
 use mixgemm::gemm::{Fidelity, GemmDims, GemmOptions, MixGemmKernel};
+use mixgemm::PrecisionConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     println!("µ-engine datapath scaling (steady-state, engine-bound):\n");
@@ -27,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
     println!("\nMulti-core scaling of a simulated a8-w8 1024^3 GEMM");
     println!("(one µ-engine per core, shared L2/DRAM — §III-B, [67][73]):\n");
-    let report = MixGemmKernel::new(GemmOptions::new("a8-w8".parse()?))
+    let report = MixGemmKernel::new(GemmOptions::new(PrecisionConfig::A8W8))
         .simulate(GemmDims::square(1024), Fidelity::Sampled)?;
     println!("  {:>6} {:>10} {:>12}", "cores", "GOPS", "efficiency");
     for cores in [1, 2, 4, 8] {

@@ -50,7 +50,7 @@ fn gemm_functional_equivalence() {
 /// shape that straddles panel boundaries.
 #[test]
 fn compute_fast_pinned_equivalence() {
-    let pc: PrecisionConfig = "a5-w3".parse().unwrap();
+    let pc = PrecisionConfig::A5W3;
     let (oa, ow) = pc.operand_types();
     let (m, k, n) = (11, 43, 9);
     let a = QuantMatrix::from_fn(m, k, oa, |i, j| ((i * 13 + j * 5) % 32) as i32);

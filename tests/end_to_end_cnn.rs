@@ -4,6 +4,7 @@
 use mixgemm::api::EdgeSoc;
 use mixgemm::dnn::runtime::{forward_quantized, PrecisionPlan, Tensor};
 use mixgemm::dnn::{zoo, ActKind, Network, OpKind, Shape};
+use mixgemm::PrecisionConfig;
 
 fn tiny_net() -> Network {
     let mut net = Network::new("tiny", Shape::new(3, 16, 16));
@@ -59,10 +60,10 @@ fn all_six_networks_simulate_across_precisions() {
     let soc = EdgeSoc::sargantana();
     for net in zoo::all_networks() {
         let p8 = soc
-            .run_network(&net, PrecisionPlan::uniform("a8-w8".parse().unwrap()))
+            .run_network(&net, PrecisionPlan::uniform(PrecisionConfig::A8W8))
             .unwrap();
         let p2 = soc
-            .run_network(&net, PrecisionPlan::uniform("a2-w2".parse().unwrap()))
+            .run_network(&net, PrecisionPlan::uniform(PrecisionConfig::A2W2))
             .unwrap();
         assert!(
             p2.perf.conv_cycles() < p8.perf.conv_cycles(),
@@ -91,7 +92,7 @@ fn depthwise_and_dense_convs_coexist() {
     let soc = EdgeSoc::sargantana();
     let net = zoo::mobilenet_v1();
     let s = soc
-        .run_network(&net, PrecisionPlan::uniform("a4-w4".parse().unwrap()))
+        .run_network(&net, PrecisionPlan::uniform(PrecisionConfig::A4W4))
         .unwrap();
     let dw_layers = s.perf.layers.iter().filter(|l| l.reps > 1).count();
     assert_eq!(dw_layers, 13, "13 depthwise stages expected");

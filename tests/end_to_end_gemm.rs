@@ -20,7 +20,7 @@ fn quantize_gemm_requantize_roundtrip() {
         .map(|i| ((i * 7 % 89) as f32 / 44.5) - 1.0)
         .collect();
 
-    let precision: PrecisionConfig = "a8-w8".parse().unwrap();
+    let precision = PrecisionConfig::A8W8;
     let (oa, ow) = precision.operand_types();
     let qa = calibrate::absmax_per_tensor(oa, &a_f).unwrap();
     let qb = calibrate::absmax_per_tensor(ow, &b_f).unwrap();

@@ -1,0 +1,265 @@
+//! End-to-end mixed-precision planning: budgeted search on the zoo
+//! networks, plan execution through [`Session`], bit-identity of the
+//! planned serving path against the raw `dnn::runtime` path, and
+//! `PLANS_<net>.json` database round-trips.
+
+use mixgemm::api::Session;
+use mixgemm::dnn::runtime::{forward_quantized, PrecisionPlan, Tensor};
+use mixgemm::dnn::{zoo, ActKind, Network, OpKind, Shape};
+use mixgemm::planner::{Budget, Plan, PlanCost, PlanDb, PlanError, Planner, COARSE_GRID};
+use mixgemm::{Error, PrecisionConfig};
+
+/// The paper's §IV-B operating point: sub-1.5 % TOP-1 loss.
+const DEFAULT_LOSS_CAP: f64 = 1.5;
+
+/// On every zoo network, a plan searched under the 1.5 % loss budget
+/// executes in strictly fewer simulated cycles than uniform `a8-w8`,
+/// and its predicted cycle count lands within 5 % of the simulation.
+///
+/// The search runs over the coarse anchor grid to keep the six-network
+/// sweep tractable on one host; `plan_networks` covers the full
+/// 49-point grid.
+#[test]
+fn planner_beats_uniform_a8w8_on_every_zoo_network() {
+    let session = Session::builder().build();
+    let planner = Planner::new().with_grid(&COARSE_GRID);
+    let budget = Budget::default().with_max_top1_loss(DEFAULT_LOSS_CAP);
+    for net in [
+        zoo::alexnet(),
+        zoo::vgg16(),
+        zoo::resnet18(),
+        zoo::mobilenet_v1(),
+        zoo::regnet_x_400mf(),
+        zoo::efficientnet_b0(),
+    ] {
+        let uniform = session
+            .run_network(&net, &PrecisionPlan::uniform(PrecisionConfig::A8W8))
+            .unwrap();
+        let a8w8_cycles = uniform.perf.total_cycles();
+
+        let outcome = planner.plan(&net, &budget).unwrap();
+        assert!(
+            outcome.plan.predicted.top1_loss <= DEFAULT_LOSS_CAP + 1e-9,
+            "{}: plan loss {} beyond budget",
+            net.name(),
+            outcome.plan.predicted.top1_loss
+        );
+        // The paper pins first and last layers at 8-bit (§IV-A).
+        assert_eq!(outcome.plan.layers.first(), Some(&PrecisionConfig::A8W8));
+        assert_eq!(outcome.plan.layers.last(), Some(&PrecisionConfig::A8W8));
+
+        let run = session.run_network_planned(&net, &outcome.plan).unwrap();
+        let simulated = run.perf.total_cycles();
+        assert!(
+            simulated < a8w8_cycles,
+            "{}: planned {simulated} cycles must strictly beat uniform a8-w8 {a8w8_cycles}",
+            net.name()
+        );
+        let error =
+            (outcome.plan.predicted.cycles as f64 - simulated as f64).abs() / simulated as f64;
+        assert!(
+            error <= 0.05,
+            "{}: predicted {} vs simulated {simulated} ({:.2}% > 5%)",
+            net.name(),
+            outcome.plan.predicted.cycles,
+            error * 100.0
+        );
+    }
+}
+
+/// `Session::plan` searches the full 49-point grid, reports the search
+/// metrics, and its plan round-trips through `run_network_planned` with
+/// prediction gauges and the accuracy-proxy TOP-1.
+#[test]
+fn session_plan_executes_with_prediction_gauges() {
+    let session = Session::builder().build();
+    let net = zoo::alexnet();
+    let result = session
+        .plan(
+            &net,
+            &Budget::default().with_max_top1_loss(DEFAULT_LOSS_CAP),
+        )
+        .unwrap();
+    assert_eq!(result.plan.network, "alexnet");
+    assert!(!result.front.points.is_empty());
+    let total = result.metrics.counter("planner.candidates.total");
+    let kept = result.metrics.counter("planner.candidates.kept");
+    assert!(total > 0, "search must price candidates");
+    assert!(kept > 0 && kept <= total, "pruning kept {kept} of {total}");
+
+    let run = session.run_network_planned(&net, &result.plan).unwrap();
+    let predicted = run.metrics.gauge("plan.predicted_cycles").unwrap();
+    let simulated = run.metrics.gauge("plan.simulated_cycles").unwrap();
+    assert!(predicted > 0.0 && simulated > 0.0);
+    assert!((predicted - simulated).abs() / simulated <= 0.05);
+    // TOP-1 is the proxy prediction: FP32 baseline minus planned loss.
+    let top1 = run.top1.unwrap();
+    assert!(
+        (56.52 - DEFAULT_LOSS_CAP - 1e-9..=56.52 + 1e-9).contains(&top1),
+        "alexnet proxy TOP-1 {top1}"
+    );
+}
+
+/// A three-GEMM toy network with hand-assigned mixed precisions.
+fn tiny_net() -> (Network, Vec<PrecisionConfig>) {
+    let mut net = Network::new("tiny-planned", Shape::new(2, 8, 8));
+    net.push_seq(OpKind::Conv2d {
+        out_c: 4,
+        k: 3,
+        stride: 1,
+        pad: 1,
+        groups: 1,
+    })
+    .unwrap();
+    net.push_seq(OpKind::Activation(ActKind::Relu)).unwrap();
+    net.push_seq(OpKind::Conv2d {
+        out_c: 6,
+        k: 3,
+        stride: 1,
+        pad: 1,
+        groups: 1,
+    })
+    .unwrap();
+    net.push_seq(OpKind::GlobalAvgPool).unwrap();
+    net.push_seq(OpKind::Linear { out_features: 3 }).unwrap();
+    let layers = vec![
+        PrecisionConfig::A8W8,
+        PrecisionConfig::A4W6,
+        PrecisionConfig::A8W8,
+    ];
+    (net, layers)
+}
+
+/// A plan as the search would emit it, for a network it never priced.
+fn tiny_plan(layers: Vec<PrecisionConfig>) -> Plan {
+    Plan {
+        network: "tiny-planned".to_string(),
+        soc: "sargantana".to_string(),
+        freq_ghz: 1.0,
+        seed: 0,
+        budget: Budget::default().with_max_top1_loss(DEFAULT_LOSS_CAP),
+        layers,
+        predicted: PlanCost {
+            cycles: 0,
+            busy_cycles: 0,
+            macs: 0,
+            energy_j: 0.0,
+            top1_loss: 0.0,
+        },
+    }
+}
+
+/// Executing a mixed plan through the serving layer is bit-identical to
+/// the raw `dnn::runtime` forward pass under the same per-layer
+/// `PrecisionConfig`s, at every worker count.
+#[test]
+fn planned_forward_is_bit_identical_to_runtime_path() {
+    let (net, layers) = tiny_net();
+    let plan = tiny_plan(layers.clone());
+    let runtime_plan = PrecisionPlan::per_layer(PrecisionConfig::A8W8, layers);
+
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|s| {
+            Tensor::new(
+                Shape::new(2, 8, 8),
+                (0..2 * 64)
+                    .map(|i| ((i * 29 + s * 13) % 89) as f32 / 89.0 - 0.4)
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let expected: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|x| forward_quantized(&net, x, &runtime_plan, 11).unwrap().data)
+        .collect();
+
+    let session = Session::builder().build();
+    for workers in [1, 3] {
+        let batch = session
+            .forward_batch_planned(&net, &inputs, &plan, 11, workers)
+            .unwrap();
+        assert_eq!(batch.outputs.len(), inputs.len());
+        for (i, (got, want)) in batch.outputs.iter().zip(&expected).enumerate() {
+            assert_eq!(&got.data, want, "input {i} diverged at {workers} workers");
+        }
+    }
+}
+
+/// Plans validate their target: wrong network name or layer count is a
+/// typed planner error, not a silent mis-execution.
+#[test]
+fn mismatched_plans_are_rejected() {
+    let (net, layers) = tiny_net();
+    let session = Session::builder().build();
+
+    let mut wrong_net = tiny_plan(layers.clone());
+    wrong_net.network = "alexnet".to_string();
+    assert!(matches!(
+        session.run_network_planned(&net, &wrong_net),
+        Err(Error::Plan(PlanError::NetworkMismatch { .. }))
+    ));
+
+    let mut wrong_layers = tiny_plan(layers);
+    wrong_layers.layers.pop();
+    assert!(matches!(
+        session.forward_batch_planned(&net, &[], &wrong_layers, 0, 1),
+        Err(Error::Plan(PlanError::LayerMismatch { .. }))
+    ));
+}
+
+/// Budgets nothing satisfies surface as `Infeasible`, and networks
+/// without published accuracy tables as `UnknownNetwork`.
+#[test]
+fn impossible_budgets_and_unknown_networks_error() {
+    let session = Session::builder().build();
+    let impossible = Budget::default()
+        .with_max_top1_loss(DEFAULT_LOSS_CAP)
+        .with_max_latency(1e-12);
+    assert!(matches!(
+        session.plan(&zoo::alexnet(), &impossible),
+        Err(Error::Plan(PlanError::Infeasible { .. }))
+    ));
+
+    let (net, _) = tiny_net();
+    assert!(matches!(
+        session.plan(&net, &Budget::default()),
+        Err(Error::Plan(PlanError::UnknownNetwork { .. }))
+    ));
+}
+
+/// The tuning database round-trips: save, reload, budget lookup, and
+/// JSON fixpoint all reproduce the plan bit-for-bit.
+#[test]
+fn plan_database_round_trips() {
+    let (_, layers) = tiny_net();
+    let plan = tiny_plan(layers);
+
+    // JSON fixpoint on the plan itself.
+    let doc = mixgemm::harness::Json::parse(&plan.to_json().pretty()).unwrap();
+    assert_eq!(Plan::from_json(&doc).unwrap(), plan);
+
+    let dir = std::env::temp_dir().join(format!("mixgemm-plandb-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut db = PlanDb::new("tiny-planned");
+    db.insert(plan.clone());
+    // Re-inserting under the same budget replaces, not duplicates.
+    db.insert(plan.clone());
+    assert_eq!(db.plans.len(), 1);
+    let path = db.save(&dir).unwrap();
+    assert_eq!(
+        path.file_name().unwrap().to_str().unwrap(),
+        "PLANS_tiny-planned.json"
+    );
+
+    let reloaded = PlanDb::load(&dir, "tiny-planned").unwrap().unwrap();
+    assert_eq!(reloaded, db);
+    let found = reloaded.find(&plan.budget).unwrap();
+    assert_eq!(found, &plan);
+    assert!(reloaded
+        .find(&Budget::default().with_max_top1_loss(9.0))
+        .is_none());
+    // A missing database is `None`, not an error.
+    assert!(PlanDb::load(&dir, "never-planned").unwrap().is_none());
+    std::fs::remove_dir_all(&dir).ok();
+}
