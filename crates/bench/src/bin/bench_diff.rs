@@ -20,6 +20,13 @@
 //!   to stay within a loose `--factor` (default 10x) of the baseline,
 //!   because committed baselines come from a different host than CI.
 //!
+//! - **Host-described** subtrees — paths naming what the machine *is*
+//!   rather than how fast it ran (`host_cpus`, `host_isa`, SIMD `tiers`
+//!   arrays, `oversubscribed` flags, the Amdahl `serial_fraction` that
+//!   depends on which thread counts were sound) — are skipped entirely,
+//!   values and structure both, because committed baselines and CI
+//!   runners legitimately disagree on them.
+//!
 //! `check` validates that a JSON document parses and carries the given
 //! top-level keys; `check-trace` additionally validates Chrome Trace
 //! Event Format structure (`traceEvents` entries with `name`, `ph`,
@@ -42,6 +49,25 @@ fn is_rate_path(path: &str) -> bool {
     RATE_MARKERS.iter().any(|m| lower.contains(m))
 }
 
+/// Path substrings marking a subtree as a host description (CPU count,
+/// SIMD tiers, oversubscription flags): skipped entirely — structure
+/// included — since baseline and CI hosts legitimately differ.
+const IGNORE_MARKERS: [&str; 6] = [
+    "host_cpus",
+    "host_isa",
+    "tiers",
+    "oversubscribed",
+    "serial_fraction",
+    // How far a host's SIMD beats its own scalar path varies with the
+    // feature set; the kernel_throughput bin asserts the >= 3x floor.
+    "best_speedup",
+];
+
+fn is_ignored_path(path: &str) -> bool {
+    let lower = path.to_ascii_lowercase();
+    IGNORE_MARKERS.iter().any(|m| lower.contains(m))
+}
+
 /// One detected divergence between baseline and fresh documents.
 struct Finding {
     path: String,
@@ -56,6 +82,9 @@ fn diff_value(
     factor: f64,
     out: &mut Vec<Finding>,
 ) {
+    if is_ignored_path(path) {
+        return;
+    }
     match (base, fresh) {
         (Json::Num(b), Json::Num(f)) => {
             if is_rate_path(path) {
@@ -130,6 +159,7 @@ fn diff_value(
                 };
                 match fresh.get(key) {
                     Some(fv) => diff_value(&child, bv, fv, tol, factor, out),
+                    None if is_ignored_path(&child) => {}
                     None => out.push(Finding {
                         path: child,
                         detail: "missing from fresh artifact".to_string(),

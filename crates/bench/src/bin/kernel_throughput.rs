@@ -1,0 +1,162 @@
+//! Host micro-kernel throughput: single-thread wall-clock GOPS of the
+//! functional GEMM path under every SIMD tier the host offers
+//! (DESIGN.md §12), scalar included, across representative shapes and
+//! precision pairs — written to `BENCH_kernel.json`.
+//!
+//! Every tier is first checked bit-identical to the forced-scalar
+//! result on the exact operands being timed, so the speedups below are
+//! speedups of *the same answer*. On hosts with a SIMD tier the a8-w8
+//! 256x256x256 case must clear a 3x single-thread speedup over scalar;
+//! the run fails otherwise.
+//!
+//! Cross-host stability: the per-tier breakdown lives under the
+//! `host_tiers` key and the resolved tier under `host_isa`, both
+//! skipped by the `bench_diff` gate's ignore markers, so committed
+//! baselines survive CI runners with a different SIMD feature set.
+//!
+//! Run with: `cargo run --release -p mixgemm-bench --bin kernel_throughput`
+//! (`MIXGEMM_BENCH_QUICK=1` for a smoke run.)
+
+use mixgemm::gemm::{simd, GemmOptions, Isa, MixGemmKernel, QuantMatrix};
+use mixgemm::PrecisionConfig;
+use mixgemm_harness::{black_box, Bencher, Json};
+
+const SHAPES: [(usize, usize, usize); 3] = [(256, 256, 256), (64, 64, 64), (96, 192, 48)];
+const PRECISIONS: [PrecisionConfig; 4] = [
+    PrecisionConfig::A8W8,
+    PrecisionConfig::A4W4,
+    PrecisionConfig::A2W2,
+    PrecisionConfig::A8W2,
+];
+
+struct TierRun {
+    isa: Isa,
+    kernel_name: String,
+    seconds: f64,
+    gops: f64,
+}
+
+fn main() {
+    let bencher = Bencher::default();
+    // Ascending preference order with scalar (always available) first.
+    let tiers: Vec<Isa> = Isa::available_tiers();
+    let best = Isa::best_available();
+    println!(
+        "host kernel throughput, single thread (tiers: {})\n",
+        tiers
+            .iter()
+            .map(|t| t.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let mut cases = Vec::new();
+    let mut gate_speedup: Option<f64> = None;
+    for &(m, k, n) in &SHAPES {
+        for pcfg in PRECISIONS {
+            let (oa, ow) = pcfg.operand_types();
+            let a = QuantMatrix::from_fn(m, k, oa, |i, j| {
+                ((i * 31 + j * 7) % 251) as i32 % (oa.max_value() + 1)
+            });
+            let b = QuantMatrix::from_fn(k, n, ow, |i, j| {
+                ow.min_value()
+                    + ((i * 13 + j * 5) % (ow.max_value() - ow.min_value() + 1) as usize) as i32
+            });
+            let macs = (m * k * n) as f64;
+
+            let expect = MixGemmKernel::new(GemmOptions::new(pcfg).with_isa(Some(Isa::Scalar)))
+                .compute_fast(&a, &b)
+                .expect("scalar reference");
+
+            let mut runs: Vec<TierRun> = Vec::new();
+            for &tier in &tiers {
+                let kernel = MixGemmKernel::new(GemmOptions::new(pcfg).with_isa(Some(tier)));
+                assert_eq!(
+                    kernel.compute_fast(&a, &b).expect("tier run"),
+                    expect,
+                    "{tier} diverged from scalar on {m}x{k}x{n} {pcfg}"
+                );
+                let s = bencher.run(|| {
+                    black_box(kernel.compute_fast(black_box(&a), black_box(&b)).unwrap());
+                });
+                let seconds = s.min_secs();
+                runs.push(TierRun {
+                    isa: tier,
+                    kernel_name: simd::select(tier, oa, ow)
+                        .map(|k| k.name().to_string())
+                        .unwrap_or_else(|| "scalar-blocked".to_string()),
+                    seconds,
+                    gops: 2.0 * macs / seconds / 1e9,
+                });
+            }
+            let scalar_secs = runs[0].seconds;
+            let best_speedup = runs
+                .iter()
+                .map(|r| scalar_secs / r.seconds)
+                .fold(1.0f64, f64::max);
+            println!("{m}x{k}x{n} {pcfg}:");
+            for r in &runs {
+                println!(
+                    "  {:<8} {:>8.3} ms  {:>7.2} GOPS  {:>5.2}x  ({})",
+                    r.isa.name(),
+                    r.seconds * 1e3,
+                    r.gops,
+                    scalar_secs / r.seconds,
+                    r.kernel_name,
+                );
+            }
+            if (m, k, n) == (256, 256, 256) && pcfg == PrecisionConfig::A8W8 {
+                gate_speedup = Some(best_speedup);
+            }
+            cases.push(
+                Json::obj()
+                    .field("shape", format!("{m}x{k}x{n}"))
+                    .field("precision", pcfg.to_string())
+                    .field("scalar_seconds", scalar_secs)
+                    .field("scalar_gops", runs[0].gops)
+                    .field("best_speedup_vs_scalar", best_speedup)
+                    .field(
+                        "host_tiers",
+                        Json::Arr(
+                            runs.iter()
+                                .map(|r| {
+                                    Json::obj()
+                                        .field("isa", r.isa.name())
+                                        .field("kernel", r.kernel_name.as_str())
+                                        .field("seconds", r.seconds)
+                                        .field("gops", r.gops)
+                                        .field("speedup_vs_scalar", scalar_secs / r.seconds)
+                                })
+                                .collect(),
+                        ),
+                    ),
+            );
+        }
+    }
+
+    let doc = Json::obj()
+        .field("bench", "kernel_throughput")
+        .field("entry", "compute_fast")
+        .field("threads", 1usize)
+        .field("host_isa", best.name())
+        .field("cases", Json::Arr(cases));
+    std::fs::write("BENCH_kernel.json", doc.pretty()).expect("write BENCH_kernel.json");
+    println!(
+        "\nwrote BENCH_kernel.json (host best tier: {})",
+        best.name()
+    );
+
+    // Acceptance gate: with any SIMD tier available, the flagship
+    // a8-w8 256^3 case must beat scalar by at least 3x single-thread.
+    if best != Isa::Scalar {
+        let speedup = gate_speedup.expect("256^3 a8-w8 case always runs");
+        println!("a8-w8 256^3 best speedup over scalar: {speedup:.2}x (gate: >= 3x)");
+        assert!(
+            speedup >= 3.0,
+            "SIMD tier {} only reached {speedup:.2}x over scalar on a8-w8 256^3",
+            best.name()
+        );
+    } else {
+        println!("no SIMD tier on this host; speedup gate skipped");
+    }
+}

@@ -4,6 +4,13 @@
 //! Amdahl fit of the measured sweep, and the deterministic simulated
 //! multi-core sweep — written to `BENCH_parallel.json`.
 //!
+//! Thread counts above the real host CPU count are *oversubscribed*:
+//! their wall-clock "speedups" measure scheduler time-slicing, not
+//! parallel scaling, so each measured point carries an `oversubscribed`
+//! flag and the Amdahl serial-fraction fit (and the multi-core
+//! projection built on it) uses only the sound, non-oversubscribed
+//! points.
+//!
 //! Run with: `cargo run --release -p mixgemm-bench --bin parallel_scaling`
 //! (`MIXGEMM_BENCH_QUICK=1` for a smoke run.)
 
@@ -63,7 +70,12 @@ fn main() {
         let s = bencher.run(|| {
             black_box(kernel.compute(black_box(&a), black_box(&b)).unwrap());
         });
-        println!("kernel compute  {t}t: {:.3} ms", s.min_secs() * 1e3);
+        let note = if t > host_cpus {
+            " (oversubscribed)"
+        } else {
+            ""
+        };
+        println!("kernel compute  {t}t: {:.3} ms{note}", s.min_secs() * 1e3);
         fast_points.push(MeasuredPoint {
             threads: t,
             seconds: s.min_secs(),
@@ -83,6 +95,26 @@ fn main() {
     let fast_sweep = MeasuredSweep::new(fast_points).expect("sweep has a 1-thread point");
     let blocked_sweep = MeasuredSweep::new(blocked_points).expect("sweep has a 1-thread point");
 
+    // The Amdahl fit only sees thread counts the host can actually run
+    // in parallel; on a fully oversubscribed sweep that leaves the
+    // 1-thread baseline and the fit abstains (`serial_fraction` None,
+    // projection falls back to the analytic model).
+    let sound_points: Vec<MeasuredPoint> = fast_sweep
+        .points()
+        .iter()
+        .filter(|p| p.threads <= host_cpus)
+        .copied()
+        .collect();
+    let excluded = fast_sweep.points().len() - sound_points.len();
+    let fit_sweep =
+        MeasuredSweep::new(sound_points).expect("1-thread point is never oversubscribed");
+    if excluded > 0 {
+        println!(
+            "excluding {excluded} oversubscribed point(s) (threads > {host_cpus} host CPU(s)) \
+             from the Amdahl fit"
+        );
+    }
+
     // Deterministic simulated multi-core sweep on the cycle-level model:
     // host-independent, this is what the §III-B scaling argument rests on.
     let opts = GemmOptions::new(pcfg);
@@ -100,13 +132,19 @@ fn main() {
     let report = MixGemmKernel::new(opts)
         .simulate(GemmDims::square(N), Fidelity::Sampled)
         .expect("single-core report");
-    let projected = multicore_projection_measured(&report, &fast_sweep, 8);
-    if let Some(f) = fast_sweep.serial_fraction() {
+    let projected = multicore_projection_measured(&report, &fit_sweep, 8);
+    if let Some(f) = fit_sweep.serial_fraction() {
         println!(
             "\nmeasured serial fraction {f:.3} -> projected 8-core {:.2} GOPS \
              ({:.0}% efficiency)",
             projected.gops,
             100.0 * projected.efficiency
+        );
+    } else {
+        println!(
+            "\nno sound multi-thread point on this host -> projected 8-core {:.2} GOPS \
+             from the analytic model",
+            projected.gops
         );
     }
 
@@ -121,6 +159,7 @@ fn main() {
                         .field("threads", p.threads)
                         .field("seconds", p.seconds)
                         .field("speedup", s)
+                        .field("oversubscribed", p.threads > host_cpus)
                 })
                 .collect(),
         )
@@ -130,12 +169,13 @@ fn main() {
         .field("shape", format!("{N}x{N}x{N}"))
         .field("precision", pcfg.to_string())
         .field("host_cpus", host_cpus)
+        .field("host_isa", GemmOptions::new(pcfg).resolved_isa().name())
         .field("bit_identical", bit_identical)
         .field("measured_kernel_compute", sweep_json(&fast_sweep))
         .field("measured_compute_blocked", sweep_json(&blocked_sweep))
         .field(
             "measured_serial_fraction",
-            fast_sweep.serial_fraction().map_or(Json::Null, Json::Num),
+            fit_sweep.serial_fraction().map_or(Json::Null, Json::Num),
         )
         .field(
             "simulated_multicore",

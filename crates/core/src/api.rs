@@ -17,7 +17,7 @@ use mixgemm_dnn::runtime::{self, NetworkPerf, PrecisionPlan};
 use mixgemm_dnn::Network;
 use mixgemm_gemm::baseline::{self, BaselineKind};
 use mixgemm_gemm::{
-    Fidelity, GemmDims, GemmOptions, GemmReport, MixGemmKernel, Parallelism, QuantMatrix,
+    Fidelity, GemmDims, GemmOptions, GemmReport, Isa, MixGemmKernel, Parallelism, QuantMatrix,
 };
 use mixgemm_harness::metrics::{self, MetricsRegistry, MetricsReport, Recorder};
 use mixgemm_harness::timeline::{self, Timeline};
@@ -198,6 +198,7 @@ pub struct SessionBuilder {
     precision: PrecisionConfig,
     parallelism: Parallelism,
     fidelity: Fidelity,
+    isa: Option<Isa>,
     recorder: Option<Recorder>,
     timeline: Option<Arc<Timeline>>,
 }
@@ -220,6 +221,16 @@ impl SessionBuilder {
     /// The platform to time on (defaults to [`EdgeSoc::sargantana`]).
     pub fn platform(mut self, platform: EdgeSoc) -> Self {
         self.platform = platform;
+        self
+    }
+
+    /// Forces the host SIMD tier for the functional compute paths
+    /// (defaults to auto-detection, overridable via the `MIXGEMM_ISA`
+    /// environment variable). Results are bit-identical across tiers;
+    /// this only changes host-side speed. Runs fail with a parameter
+    /// error if the forced tier is unavailable on the host.
+    pub fn isa(mut self, isa: Option<Isa>) -> Self {
+        self.isa = isa;
         self
     }
 
@@ -254,7 +265,8 @@ impl SessionBuilder {
             kernel: MixGemmKernel::new(
                 self.platform
                     .gemm_options(self.precision)
-                    .with_parallelism(self.parallelism),
+                    .with_parallelism(self.parallelism)
+                    .with_isa(self.isa),
             ),
             platform: self.platform,
             fidelity: self.fidelity,
@@ -358,6 +370,7 @@ impl Session {
             precision: PrecisionConfig::A8W8,
             parallelism: Parallelism::serial(),
             fidelity: Fidelity::Sampled,
+            isa: None,
             recorder: None,
             timeline: None,
         }
@@ -398,6 +411,7 @@ impl Session {
         self.platform
             .gemm_options(precision)
             .with_parallelism(self.kernel.options().parallelism)
+            .with_isa(self.kernel.options().isa())
     }
 
     /// Computes `C = A * B` bit-exactly through the binary-segmentation
@@ -466,6 +480,7 @@ impl Session {
                     self.platform
                         .gemm_options(pc)
                         .with_parallelism(opts.parallelism)
+                        .with_isa(opts.isa())
                 })
             })
         })?;
@@ -505,6 +520,7 @@ impl Session {
                         self.platform
                             .gemm_options(pc)
                             .with_parallelism(opts.parallelism)
+                            .with_isa(opts.isa())
                     })
             })
         })?;

@@ -121,24 +121,33 @@ mod tests {
         assert!(s.metrics.span("simulate_network").is_some());
     }
 
-    /// The deprecated `EdgeSoc::run_gemm` shim must stay in lockstep
-    /// with its replacement, `Session::simulate`, until it is removed.
-    /// This test is its only remaining caller.
+    /// Forcing the scalar tier and letting the session auto-detect the
+    /// host ISA must produce bit-identical results; the report names
+    /// the tier each path dispatched to, and the simulated timing is
+    /// unaffected by host-side SIMD.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_gemm_matches_session_simulate() {
+    fn session_isa_override_is_bit_identical() {
         let dims = GemmDims::square(192);
-        let soc = EdgeSoc::sargantana().with_srcbuf_depth(16);
-        let old = soc.run_gemm(PrecisionConfig::A4W4, dims).unwrap();
-        let new = Session::builder()
-            .platform(soc)
+        let (oa, ow) = PrecisionConfig::A4W4.operand_types();
+        let a = QuantMatrix::from_fn(dims.m, dims.k, oa, |r, c| ((r + c) % 8) as i32);
+        let b = QuantMatrix::from_fn(dims.k, dims.n, ow, |r, c| ((r * c) % 5) as i32 - 2);
+        let scalar = Session::builder()
+            .platform(EdgeSoc::sargantana().with_srcbuf_depth(16))
             .precision(PrecisionConfig::A4W4)
             .fidelity(Fidelity::Sampled)
-            .build()
-            .simulate(dims)
-            .unwrap();
-        assert_eq!(old.report.cycles, new.report.cycles);
-        assert_eq!(old.report.macs, new.report.macs);
+            .isa(Some(mixgemm_gemm::Isa::Scalar))
+            .build();
+        let auto = Session::builder()
+            .platform(EdgeSoc::sargantana().with_srcbuf_depth(16))
+            .precision(PrecisionConfig::A4W4)
+            .fidelity(Fidelity::Sampled)
+            .build();
+        let r_scalar = scalar.run(&a, &b).unwrap();
+        let r_auto = auto.run(&a, &b).unwrap();
+        assert_eq!(r_scalar.c, r_auto.c);
+        assert_eq!(r_scalar.report.host_isa, "scalar");
+        assert_eq!(r_auto.report.host_isa, auto.options().resolved_isa().name());
+        assert_eq!(r_scalar.report.cycles, r_auto.report.cycles);
     }
 
     #[test]

@@ -639,6 +639,7 @@ impl BaselineSim {
             dims: self.dims,
             precision: None,
             kernel: self.kind.name(),
+            host_isa: "scalar",
             soc: self.soc.name,
             freq_ghz: self.soc.freq_ghz,
             cycles: self.total.cycles,

@@ -1,15 +1,18 @@
 use std::collections::HashMap;
 
 use mixgemm_binseg::chunk::ChunkShape;
-use mixgemm_binseg::{ip, BinSegConfig, PrecisionConfig};
+use mixgemm_binseg::{ip, BinSegConfig, OperandType, PrecisionConfig};
+use mixgemm_harness::{metrics, trace};
 use mixgemm_soc::{presets, CacheStats, Core, CoreStats, Op, Reg, SocConfig};
 use mixgemm_uengine::{EngineConfig, Pmu, TimedEngine, DEFAULT_SRCBUF_DEPTH};
 
 use crate::error::GemmError;
+use crate::isa::Isa;
 use crate::matrix::{GemmDims, QuantMatrix};
 use crate::parallel;
 use crate::params::{BlisParams, Parallelism};
 use crate::report::GemmReport;
+use crate::simd::{self, HostPanels, MicroKernel};
 
 /// Timing-simulation fidelity.
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
@@ -51,6 +54,13 @@ pub struct GemmOptions {
     /// (§III-B multi-threaded BLIS deployment). Serial by default;
     /// results are bit-identical for every thread count.
     pub parallelism: Parallelism,
+    /// SIMD tier the functional compute paths dispatch to. `None`
+    /// (default) auto-detects the best available tier, honoring the
+    /// `MIXGEMM_ISA` environment override ([`Isa::detected`]). Forcing
+    /// a tier that is unavailable on this host makes the compute paths
+    /// fail with [`GemmError::BadParams`]. Every tier is bit-identical
+    /// to [`Isa::Scalar`].
+    pub isa: Option<Isa>,
 }
 
 impl GemmOptions {
@@ -64,12 +74,20 @@ impl GemmOptions {
             srcbuf_depth: DEFAULT_SRCBUF_DEPTH,
             warm_start: true,
             parallelism: Parallelism::serial(),
+            isa: None,
         }
     }
 
     /// Builder-style parallelism override.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Builder-style SIMD-tier override (`None` restores
+    /// auto-detection).
+    pub fn with_isa(mut self, isa: Option<Isa>) -> Self {
+        self.isa = isa;
         self
     }
 
@@ -110,6 +128,20 @@ impl GemmOptions {
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
     }
+
+    /// The forced SIMD tier, `None` for auto-detection.
+    pub fn isa(&self) -> Option<Isa> {
+        self.isa
+    }
+
+    /// The SIMD tier the functional compute paths dispatch to under
+    /// these options on this host: the forced tier when set and
+    /// available, otherwise [`Isa::detected`].
+    pub fn resolved_isa(&self) -> Isa {
+        self.isa
+            .filter(|i| i.available())
+            .unwrap_or_else(Isa::detected)
+    }
 }
 
 /// Builds a [`GemmOptions`] field by field (see [`GemmOptions::builder`]).
@@ -146,6 +178,13 @@ impl GemmOptionsBuilder {
     /// Overrides the functional-path parallelism.
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.opts.parallelism = parallelism;
+        self
+    }
+
+    /// Forces a SIMD tier for the functional compute paths (`None`
+    /// restores auto-detection).
+    pub fn isa(mut self, isa: Option<Isa>) -> Self {
+        self.opts.isa = isa;
         self
     }
 
@@ -198,7 +237,17 @@ impl MixGemmKernel {
         // pack_a / pack_b spans (on cache miss) nest under "gemm" here.
         let a_rows = a.packed_rows();
         let b_cols = b.packed_cols();
-        self.binseg_kernel(&a_rows, &b_cols)
+        match self.dispatch(a.operand(), b.operand())? {
+            // The SIMD path builds its panels from the dense values
+            // (cheaper than unpacking µ-vectors and cached the same way).
+            Some(kern) => self.simd_kernel(
+                kern,
+                a.host_row_panels(kern.elem()),
+                b.host_col_panels(kern.elem()),
+                self.opts.parallelism,
+            ),
+            None => self.binseg_kernel(&a_rows, &b_cols),
+        }
     }
 
     /// Computes `C = A * B` directly from pre-packed operands — the
@@ -238,7 +287,76 @@ impl MixGemmKernel {
             });
         }
         let _gemm = mixgemm_harness::span!("gemm");
-        self.binseg_kernel(a, b)
+        match self.dispatch(a.operand(), b.operand())? {
+            // No dense form in hand here: panels come from unpacking
+            // the µ-vectors, cached on the shared packed operands so a
+            // serving bucket builds them once.
+            Some(kern) => self.simd_kernel(
+                kern,
+                a.host_panels(kern.elem()),
+                b.host_panels(kern.elem()),
+                self.opts.parallelism,
+            ),
+            None => self.binseg_kernel(a, b),
+        }
+    }
+
+    /// Resolves the micro-kernel the functional paths dispatch to for
+    /// operands of the given types: `None` means take the scalar path.
+    ///
+    /// Falls back to scalar when the operand types disagree with the
+    /// kernel precision (the scalar paths define the semantics of that
+    /// mismatch, and bit-identity to them is the invariant).
+    fn dispatch(
+        &self,
+        oa: OperandType,
+        ob: OperandType,
+    ) -> Result<Option<&'static dyn MicroKernel>, GemmError> {
+        let isa = match self.opts.isa {
+            Some(forced) => {
+                if !forced.available() {
+                    return Err(GemmError::BadParams {
+                        reason: "forced SIMD tier is not available on this host",
+                    });
+                }
+                forced
+            }
+            None => Isa::detected(),
+        };
+        if (oa, ob) != self.opts.precision.operand_types() {
+            return Ok(None);
+        }
+        Ok(simd::select(isa, oa, ob))
+    }
+
+    /// Opens the `kernel` span carrying the dispatched ISA as a
+    /// flight-recorder arg, and exports it as the `gemm.kernel.isa`
+    /// gauge plus a per-tier dispatch counter.
+    fn kernel_span(&self, isa: Isa) -> trace::Span {
+        let rec = metrics::recorder();
+        rec.gauge("gemm.kernel.isa").set_u64(isa.code());
+        rec.counter(&format!("gemm.kernel.dispatch.{}", isa.name()))
+            .inc();
+        trace::span_args("kernel", vec![("isa", isa.code())])
+    }
+
+    /// The SIMD tile path: walks C in MR×NR tiles over the host panels
+    /// through the same partitioned driver as the scalar paths, so
+    /// sharding, spans and counters behave identically.
+    fn simd_kernel(
+        &self,
+        kern: &'static dyn MicroKernel,
+        a: std::sync::Arc<HostPanels>,
+        b: std::sync::Arc<HostPanels>,
+        parallelism: Parallelism,
+    ) -> Result<Vec<i64>, GemmError> {
+        let (m, n) = (a.count(), b.count());
+        debug_assert_eq!(a.k(), b.k());
+        let _kernel = self.kernel_span(kern.isa());
+        parallel::compute_partitioned(m, n, &self.opts.params, parallelism, |rows, cols, out| {
+            simd::compute_region(kern, &a, &b, rows, cols, out);
+            Ok(())
+        })
     }
 
     /// The shared binary-segmentation inner loop of
@@ -251,7 +369,7 @@ impl MixGemmKernel {
         let (oa, ob) = self.opts.precision.operand_types();
         let cfg = BinSegConfig::new(oa, ob);
         let (m, k, n) = (a_rows.count(), a_rows.elems(), b_cols.count());
-        let _kernel = mixgemm_harness::span!("kernel");
+        let _kernel = self.kernel_span(Isa::Scalar);
         parallel::compute_partitioned(
             m,
             n,
@@ -312,7 +430,15 @@ impl MixGemmKernel {
             });
         }
         let _gemm = mixgemm_harness::span!("gemm");
-        let _kernel = mixgemm_harness::span!("kernel");
+        if let Some(kern) = self.dispatch(a.operand(), b.operand())? {
+            return self.simd_kernel(
+                kern,
+                a.host_row_panels(kern.elem()),
+                b.host_col_panels(kern.elem()),
+                Parallelism::new(threads),
+            );
+        }
+        let _kernel = self.kernel_span(Isa::Scalar);
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
         parallel::compute_partitioned(
             m,
@@ -916,6 +1042,7 @@ impl<'o> Sim<'o> {
             dims: self.dims,
             precision: Some(self.opts.precision),
             kernel: "mix-gemm",
+            host_isa: self.opts.resolved_isa().name(),
             soc: self.opts.soc.name,
             freq_ghz: self.opts.soc.freq_ghz,
             cycles: self.total.cycles,

@@ -53,21 +53,27 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed only inside the
+// architecture-specific intrinsic modules of `simd` (DESIGN.md §12);
+// everything else, including the dispatch and panel layers, stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asymmetric;
 pub mod baseline;
 pub mod dse;
 mod error;
+pub mod isa;
 mod kernel;
 mod matrix;
 pub mod parallel;
 mod params;
 mod report;
 pub mod scaling;
+pub mod simd;
 
 pub use error::GemmError;
+pub use isa::Isa;
 pub use kernel::{Fidelity, GemmOptions, GemmOptionsBuilder, MixGemmKernel};
 pub use matrix::{naive_gemm, GemmDims, PackedMatrix, QuantMatrix};
 pub use params::{BlisParams, Parallelism};

@@ -5,6 +5,15 @@ use mixgemm_binseg::{muvec, OperandType};
 use mixgemm_harness::metrics;
 
 use crate::error::GemmError;
+use crate::simd::{HostPanels, PanelElem, PanelSide};
+
+/// Cache slot index per [`PanelElem`] (the two host-panel layouts).
+fn elem_slot(elem: PanelElem) -> usize {
+    match elem {
+        PanelElem::I16Pair => 0,
+        PanelElem::U8Quad => 1,
+    }
+}
 
 /// GEMM problem dimensions: `C[m x n] = A[m x k] * B[k x n]`.
 #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
@@ -54,12 +63,28 @@ impl fmt::Display for GemmDims {
 /// `compute` calls against the same operand — the steady state of DNN
 /// inference, where weights persist across every input — pay the packing
 /// cost a single time.
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct PackedMatrix {
     op: OperandType,
     /// Elements per packed vector (the `k` extent).
     len: usize,
     vecs: Vec<Vec<u64>>,
+    /// Which GEMM operand this packing laid out (rows of A / cols of B).
+    side: PanelSide,
+    /// Lazily-built SIMD host panels, one slot per [`PanelElem`]
+    /// layout; shared across clones like the matrices' operand caches.
+    host_panels: [OnceLock<Arc<HostPanels>>; 2],
+}
+
+impl PartialEq for PackedMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality ignores the derived host-panel cache state (which is
+        // itself a pure function of the packed words).
+        self.op == other.op
+            && self.len == other.len
+            && self.side == other.side
+            && self.vecs == other.vecs
+    }
 }
 
 impl PackedMatrix {
@@ -97,6 +122,36 @@ impl PackedMatrix {
     pub fn words(&self) -> usize {
         self.vecs.iter().map(Vec::len).sum()
     }
+
+    /// The GEMM operand side this packing laid out.
+    #[inline]
+    pub fn side(&self) -> PanelSide {
+        self.side
+    }
+
+    /// The SIMD host panels of this operand in the `elem` layout, built
+    /// on first use by unpacking the µ-vectors and cached (shared
+    /// through the [`Arc`] across clones and serving buckets). Values
+    /// are exactly the packed values, so a kernel consuming these
+    /// panels sees the same operands as the binary-segmentation path.
+    pub fn host_panels(&self, elem: PanelElem) -> Arc<HostPanels> {
+        self.host_panels[elem_slot(elem)]
+            .get_or_init(|| {
+                let _pack = mixgemm_harness::span!("pack_panels");
+                Arc::new(HostPanels::build(
+                    elem,
+                    self.side,
+                    self.op,
+                    self.vecs.len(),
+                    self.len,
+                    |lane| {
+                        muvec::unpack_slice(self.op, &self.vecs[lane], self.len)
+                            .expect("packed from validated values")
+                    },
+                ))
+            })
+            .clone()
+    }
 }
 
 impl fmt::Debug for PackedMatrix {
@@ -125,6 +180,12 @@ pub struct QuantMatrix {
     data: Vec<i32>,
     packed_row_cache: OnceLock<Arc<PackedMatrix>>,
     packed_col_cache: OnceLock<Arc<PackedMatrix>>,
+    /// SIMD host panels built straight from the dense values (used by
+    /// the fast compute paths, which never touch the µ-vector form):
+    /// A-side (row) panels, one slot per [`PanelElem`] layout.
+    row_panel_cache: [OnceLock<Arc<HostPanels>>; 2],
+    /// B-side (column) panels, one slot per [`PanelElem`] layout.
+    col_panel_cache: [OnceLock<Arc<HostPanels>>; 2],
 }
 
 impl PartialEq for QuantMatrix {
@@ -164,6 +225,8 @@ impl QuantMatrix {
             data,
             packed_row_cache: OnceLock::new(),
             packed_col_cache: OnceLock::new(),
+            row_panel_cache: Default::default(),
+            col_panel_cache: Default::default(),
         })
     }
 
@@ -182,6 +245,8 @@ impl QuantMatrix {
             data,
             packed_row_cache: OnceLock::new(),
             packed_col_cache: OnceLock::new(),
+            row_panel_cache: Default::default(),
+            col_panel_cache: Default::default(),
         }
     }
 
@@ -194,6 +259,8 @@ impl QuantMatrix {
             data: vec![0; rows * cols],
             packed_row_cache: OnceLock::new(),
             packed_col_cache: OnceLock::new(),
+            row_panel_cache: Default::default(),
+            col_panel_cache: Default::default(),
         }
     }
 
@@ -271,6 +338,8 @@ impl QuantMatrix {
                     op: self.op,
                     len: self.cols,
                     vecs: self.pack_rows(),
+                    side: PanelSide::A,
+                    host_panels: Default::default(),
                 })
             })
             .clone();
@@ -297,6 +366,8 @@ impl QuantMatrix {
                     op: self.op,
                     len: self.rows,
                     vecs: self.pack_cols(),
+                    side: PanelSide::B,
+                    host_panels: Default::default(),
                 })
             })
             .clone();
@@ -308,6 +379,44 @@ impl QuantMatrix {
             })
             .inc();
         packed
+    }
+
+    /// A-side SIMD host panels of this matrix's rows in the `elem`
+    /// layout, built straight from the dense values on first use and
+    /// cached (shared across calls and clones). Used by the fast
+    /// compute paths, which skip the µ-vector form entirely.
+    pub fn host_row_panels(&self, elem: PanelElem) -> Arc<HostPanels> {
+        self.row_panel_cache[elem_slot(elem)]
+            .get_or_init(|| {
+                let _pack = mixgemm_harness::span!("pack_panels");
+                Arc::new(HostPanels::build(
+                    elem,
+                    PanelSide::A,
+                    self.op,
+                    self.rows,
+                    self.cols,
+                    |r| self.row(r).to_vec(),
+                ))
+            })
+            .clone()
+    }
+
+    /// B-side SIMD host panels of this matrix's columns in the `elem`
+    /// layout; see [`QuantMatrix::host_row_panels`].
+    pub fn host_col_panels(&self, elem: PanelElem) -> Arc<HostPanels> {
+        self.col_panel_cache[elem_slot(elem)]
+            .get_or_init(|| {
+                let _pack = mixgemm_harness::span!("pack_panels");
+                Arc::new(HostPanels::build(
+                    elem,
+                    PanelSide::B,
+                    self.op,
+                    self.cols,
+                    self.rows,
+                    |c| self.col(c),
+                ))
+            })
+            .clone()
     }
 
     /// Packed memory footprint in bytes (µ-vector format).

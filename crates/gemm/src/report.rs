@@ -23,6 +23,12 @@ pub struct GemmReport {
     pub precision: Option<PrecisionConfig>,
     /// Kernel name (e.g. `mix-gemm`, `blis-dgemm-f64`).
     pub kernel: &'static str,
+    /// The host SIMD tier the functional compute paths dispatch to
+    /// under the run's options ([`crate::Isa::name`]; `scalar` for the
+    /// baseline kernels, which have no SIMD path). Purely describes
+    /// host-side execution speed — simulated cycles model the µ-engine
+    /// and are unaffected.
+    pub host_isa: &'static str,
     /// SoC preset name the run was timed on.
     pub soc: &'static str,
     /// Core frequency in GHz.
@@ -83,6 +89,12 @@ impl GemmReport {
     /// simulated cycle counts, so the exported Chrome trace shows
     /// modelled cycles next to wall-clock spans.
     pub fn export_metrics(&self, rec: &MetricsRegistry) {
+        let isa_code = self
+            .host_isa
+            .parse::<crate::Isa>()
+            .map(crate::Isa::code)
+            .unwrap_or(0);
+        rec.gauge("gemm.kernel.isa").set_u64(isa_code);
         rec.gauge("sim.cycles").set_u64(self.cycles);
         rec.gauge("sim.macs").set_u64(self.macs);
         rec.gauge("sim.seconds").set(self.seconds());
@@ -143,6 +155,7 @@ mod tests {
             dims: GemmDims::square(64),
             precision: None,
             kernel: "test",
+            host_isa: "scalar",
             soc: "test-soc",
             freq_ghz: 1.2,
             cycles,

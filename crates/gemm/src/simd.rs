@@ -1,0 +1,899 @@
+//! SIMD micro-kernels for the host functional GEMM paths (DESIGN.md §12).
+//!
+//! The scalar functional paths compute each C element independently;
+//! the SIMD layer instead walks C in fixed [`MR`]×[`NR`] tiles fed from
+//! *host panels*: operand values repacked into a contiguous, 64-byte
+//! aligned, k-group-interleaved layout sized for vector loads. A
+//! [`MicroKernel`] performs the inner update for one tile over a strip
+//! of k-groups, accumulating in i32 lanes; the portable driver
+//! `compute_region` widens those partial sums into the i64 C tile
+//! between strips.
+//!
+//! # Bit-identity invariant
+//!
+//! Every kernel computes the same exact integer sum as the scalar
+//! reference, only reassociated — and integer addition is associative,
+//! so reassociation is invisible. The one hazard is intermediate
+//! overflow, which is excluded by construction:
+//!
+//! * operand values are at most 8-bit (|v| ≤ 255), so every product
+//!   fits i16×i16→i32 with huge margin;
+//! * the driver caps each strip at `strip_groups` k-groups, chosen
+//!   from the operands' magnitude bounds so the i32 tile accumulators
+//!   cannot overflow within a strip;
+//! * the saturating `pmaddubsw` kernel is only selected when the
+//!   per-pair bound `2·max_a·max_|w|` fits i16 (see [`select`]), so its
+//!   intermediate sums never saturate.
+//!
+//! The differential property tests (`tests/simd_equivalence.rs`) pin
+//! SIMD-vs-scalar equality across all 49 precision pairs, every
+//! available tier, and degenerate shapes.
+//!
+//! # Panel layout contract
+//!
+//! For element kind [`PanelElem::I16Pair`] (`group = 2`): a panel holds
+//! `width` lanes (rows of A: `width = MR`; columns of B: `width = NR`),
+//! stored group-major then lane-major then element-minor:
+//!
+//! ```text
+//! panel[g][lane][j]  at  g·(width·2) + lane·2 + j      (i16)
+//! ```
+//!
+//! so one k-group of a B panel is `NR·2` consecutive i16 — exactly one
+//! 512-bit or two 256-bit loads — and one k-group of an A lane is an
+//! adjacent (p₀,p₁) pair broadcastable as a single i32. Kind
+//! [`PanelElem::U8Quad`] (`group = 4`) is the same shape with u8
+//! activations / i8 weights and four k elements per group. Lanes past
+//! the matrix edge and k positions past `k` are zero, which contributes
+//! nothing to any dot product.
+
+use std::ops::Range;
+
+use mixgemm_binseg::OperandType;
+
+use crate::isa::Isa;
+
+/// Micro-tile rows (A lanes per panel). Matches `BlisParams::table1` mr.
+pub const MR: usize = 4;
+/// Micro-tile columns (B lanes per panel): one 512-bit / two 256-bit
+/// vectors of i32 accumulators.
+pub const NR: usize = 16;
+/// Accumulator tile size.
+pub const ACC: usize = MR * NR;
+
+/// The element kind a [`MicroKernel`] consumes from host panels.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum PanelElem {
+    /// i16 lanes, two k elements per group (`pmaddwd` / `vmlal` shape).
+    I16Pair,
+    /// u8 activations × i8 weights, four k elements per group
+    /// (`pmaddubsw` shape; selection guarantees no saturation).
+    U8Quad,
+}
+
+impl PanelElem {
+    /// k elements per interleave group.
+    pub fn group(self) -> usize {
+        match self {
+            PanelElem::I16Pair => 2,
+            PanelElem::U8Quad => 4,
+        }
+    }
+}
+
+/// Which GEMM operand a set of host panels feeds.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum PanelSide {
+    /// Row panels of A ([`MR`] lanes per panel).
+    A,
+    /// Column panels of B ([`NR`] lanes per panel).
+    B,
+}
+
+impl PanelSide {
+    /// Lanes per panel on this side.
+    pub fn width(self) -> usize {
+        match self {
+            PanelSide::A => MR,
+            PanelSide::B => NR,
+        }
+    }
+}
+
+/// A heap buffer whose payload starts on a 64-byte boundary, so panel
+/// loads are cache-line aligned. Built safely by over-allocating and
+/// offsetting; kernels still use unaligned loads, so alignment is a
+/// performance property, never a soundness requirement.
+#[derive(Debug)]
+struct AlignedVec<T> {
+    buf: Vec<T>,
+    offset: usize,
+    len: usize,
+}
+
+impl<T: Copy + Default> AlignedVec<T> {
+    fn zeroed(len: usize) -> Self {
+        let per_line = 64 / std::mem::size_of::<T>();
+        let mut buf = vec![T::default(); len + per_line];
+        let rem = buf.as_ptr() as usize % 64;
+        let offset = if rem == 0 {
+            0
+        } else {
+            (64 - rem) / std::mem::size_of::<T>()
+        };
+        // The Vec is never grown, so the base address — and with it the
+        // alignment of `offset` — stays fixed.
+        debug_assert!(offset + len <= buf.len());
+        let _ = &mut buf;
+        AlignedVec { buf, offset, len }
+    }
+
+    fn as_slice(&self) -> &[T] {
+        &self.buf[self.offset..self.offset + self.len]
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.buf[self.offset..self.offset + self.len]
+    }
+}
+
+/// Typed storage of one operand's host panels.
+#[derive(Debug)]
+enum PanelData {
+    I16(AlignedVec<i16>),
+    U8(AlignedVec<u8>),
+    I8(AlignedVec<i8>),
+}
+
+/// A borrowed slice of panel data, typed by element kind.
+#[derive(Copy, Clone, Debug)]
+pub enum PanelRef<'a> {
+    /// i16 panel data ([`PanelElem::I16Pair`], either side).
+    I16(&'a [i16]),
+    /// u8 panel data ([`PanelElem::U8Quad`] activations).
+    U8(&'a [u8]),
+    /// i8 panel data ([`PanelElem::U8Quad`] weights).
+    I8(&'a [i8]),
+}
+
+/// One GEMM operand repacked into the SIMD panel layout (see the
+/// module docs for the layout contract). Built once per matrix and
+/// element kind, cached on the owning matrix, and shared across calls.
+#[derive(Debug)]
+pub struct HostPanels {
+    elem: PanelElem,
+    side: PanelSide,
+    /// Logical lanes (rows of A / columns of B).
+    count: usize,
+    /// The k extent.
+    k: usize,
+    /// Interleave groups per lane: `ceil(k / group)`.
+    groups: usize,
+    /// Elements per panel: `groups * width * group`.
+    panel_stride: usize,
+    /// Panels: `ceil(count / width)`.
+    panels: usize,
+    /// Largest |value| the operand type admits, for strip sizing.
+    max_abs: i64,
+    data: PanelData,
+}
+
+impl HostPanels {
+    /// Builds panels for `count` lanes of `k` elements each; `fetch(i)`
+    /// returns lane `i`'s values (length `k`, already validated against
+    /// `op`). Lanes past `count` and k positions past `k` are zero.
+    pub fn build<F>(
+        elem: PanelElem,
+        side: PanelSide,
+        op: OperandType,
+        count: usize,
+        k: usize,
+        mut fetch: F,
+    ) -> HostPanels
+    where
+        F: FnMut(usize) -> Vec<i32>,
+    {
+        let group = elem.group();
+        let width = side.width();
+        let groups = k.div_ceil(group);
+        let panel_stride = groups * width * group;
+        let panels = count.div_ceil(width);
+        let total = panels * panel_stride;
+        let mut data = match (elem, side) {
+            (PanelElem::I16Pair, _) => PanelData::I16(AlignedVec::zeroed(total)),
+            (PanelElem::U8Quad, PanelSide::A) => PanelData::U8(AlignedVec::zeroed(total)),
+            (PanelElem::U8Quad, PanelSide::B) => PanelData::I8(AlignedVec::zeroed(total)),
+        };
+        for lane in 0..count {
+            let values = fetch(lane);
+            debug_assert_eq!(values.len(), k);
+            let panel = lane / width;
+            let lane_in = lane % width;
+            for (pos, &v) in values.iter().enumerate() {
+                let g = pos / group;
+                let j = pos % group;
+                let dst = panel * panel_stride + g * (width * group) + lane_in * group + j;
+                match &mut data {
+                    PanelData::I16(b) => b.as_mut_slice()[dst] = v as i16,
+                    PanelData::U8(b) => b.as_mut_slice()[dst] = v as u8,
+                    PanelData::I8(b) => b.as_mut_slice()[dst] = v as i8,
+                }
+            }
+        }
+        let max_abs = i64::from(
+            op.min_value()
+                .unsigned_abs()
+                .max(op.max_value().unsigned_abs()),
+        );
+        HostPanels {
+            elem,
+            side,
+            count,
+            k,
+            groups,
+            panel_stride,
+            panels,
+            max_abs,
+            data,
+        }
+    }
+
+    /// The element kind the panels were built for.
+    pub fn elem(&self) -> PanelElem {
+        self.elem
+    }
+
+    /// The operand side the panels were built for.
+    pub fn side(&self) -> PanelSide {
+        self.side
+    }
+
+    /// Logical lanes (rows of A / columns of B).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The k extent.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Groups `g0..g0 + gn` of panel `panel`, typed by element kind.
+    fn slice(&self, panel: usize, g0: usize, gn: usize) -> PanelRef<'_> {
+        let per_group = self.side.width() * self.elem.group();
+        let start = panel * self.panel_stride + g0 * per_group;
+        let end = start + gn * per_group;
+        match &self.data {
+            PanelData::I16(b) => PanelRef::I16(&b.as_slice()[start..end]),
+            PanelData::U8(b) => PanelRef::U8(&b.as_slice()[start..end]),
+            PanelData::I8(b) => PanelRef::I8(&b.as_slice()[start..end]),
+        }
+    }
+}
+
+/// The inner [`MR`]×[`NR`] tile update, specialized per ISA tier and
+/// panel element kind. Implementations accumulate exactly
+/// `acc[r·NR + c] += Σ_g Σ_j a(g,r,j)·b(g,c,j)` over `groups` k-groups
+/// — the driver guarantees via `strip_groups` that this cannot
+/// overflow i32.
+pub trait MicroKernel: Sync {
+    /// The tier this kernel requires.
+    fn isa(&self) -> Isa;
+    /// Stable kernel name for reports and metrics (e.g. `avx2-i16-madd`).
+    fn name(&self) -> &'static str;
+    /// The panel element kind this kernel consumes.
+    fn elem(&self) -> PanelElem;
+    /// Accumulates `groups` k-groups of one tile into `acc`.
+    ///
+    /// `a` and `b` are panel slices of exactly `groups` k-groups
+    /// ([`PanelSide::A`] and [`PanelSide::B`] layouts respectively), in
+    /// the variant matching [`MicroKernel::elem`].
+    fn update(&self, groups: usize, a: PanelRef<'_>, b: PanelRef<'_>, acc: &mut [i32; ACC]);
+}
+
+/// Portable scalar implementation of the [`MicroKernel`] panel
+/// contract. Never dispatched ([`select`] returns `None` for
+/// [`Isa::Scalar`]; the scalar GEMM paths don't go through panels) —
+/// it exists as the executable specification the SIMD kernels are
+/// differential-tested against at the panel level.
+pub struct ReferenceKernel;
+
+impl MicroKernel for ReferenceKernel {
+    fn isa(&self) -> Isa {
+        Isa::Scalar
+    }
+
+    fn name(&self) -> &'static str {
+        "scalar-ref"
+    }
+
+    fn elem(&self) -> PanelElem {
+        PanelElem::I16Pair
+    }
+
+    fn update(&self, groups: usize, a: PanelRef<'_>, b: PanelRef<'_>, acc: &mut [i32; ACC]) {
+        let (PanelRef::I16(a), PanelRef::I16(b)) = (a, b) else {
+            unreachable!("ReferenceKernel consumes I16Pair panels");
+        };
+        for g in 0..groups {
+            let ag = &a[g * MR * 2..(g + 1) * MR * 2];
+            let bg = &b[g * NR * 2..(g + 1) * NR * 2];
+            for r in 0..MR {
+                for c in 0..NR {
+                    acc[r * NR + c] += i32::from(ag[r * 2]) * i32::from(bg[c * 2])
+                        + i32::from(ag[r * 2 + 1]) * i32::from(bg[c * 2 + 1]);
+                }
+            }
+        }
+    }
+}
+
+/// Reference kernel instance for panel-level differential tests.
+pub static REFERENCE: ReferenceKernel = ReferenceKernel;
+
+/// Whether `pmaddubsw` (u8×i8 with *saturating* i16 pair sums) is exact
+/// for these operand types: activations must fit u8, weights i8, and
+/// the worst-case pair sum `2·max_a·max_|w|` must fit i16.
+fn maddubs_exact(oa: OperandType, ob: OperandType) -> bool {
+    let ma = i64::from(oa.max_value());
+    let mw = i64::from(
+        ob.min_value()
+            .unsigned_abs()
+            .max(ob.max_value().unsigned_abs()),
+    );
+    oa.min_value() >= 0
+        && oa.max_value() <= 255
+        && ob.min_value() >= -128
+        && ob.max_value() <= 127
+        && 2 * ma * mw <= i64::from(i16::MAX)
+}
+
+/// Picks the micro-kernel for an (ISA tier, operand-type pair), or
+/// `None` for the scalar paths. The tier must already be available
+/// (callers check [`Isa::available`]); the precision pair only affects
+/// *which* kernel runs, never whether the result is exact.
+pub fn select(isa: Isa, oa: OperandType, ob: OperandType) -> Option<&'static dyn MicroKernel> {
+    let _ = (oa, ob);
+    match isa {
+        Isa::Scalar => None,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => Some(if maddubs_exact(oa, ob) {
+            &x86::AVX2_U8
+        } else {
+            &x86::AVX2_I16
+        }),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => Some(&x86::AVX512_I16),
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => Some(&arm::NEON_I16),
+        #[allow(unreachable_patterns)]
+        _ => None,
+    }
+}
+
+/// Largest number of k-groups one strip may accumulate in i32 without
+/// overflow: `per_group = group · max_a · max_b` bounds a group's
+/// contribution to one accumulator, so `⌊i32::MAX / per_group⌋` groups
+/// are always safe. Zero-valued operand bounds mean nothing can
+/// overflow, so the whole k extent is one strip.
+fn strip_groups(elem: PanelElem, a: &HostPanels, b: &HostPanels) -> usize {
+    let per_group = elem.group() as i64 * a.max_abs * b.max_abs;
+    if per_group == 0 {
+        return usize::MAX;
+    }
+    ((i64::from(i32::MAX) / per_group) as usize).max(1)
+}
+
+/// Computes the `rows × cols` region of C through `kern`, writing
+/// row-major into `out` (width `cols.len()`), bit-identical to the
+/// scalar paths. This is the tile closure body the SIMD compute paths
+/// hand to `parallel::compute_partitioned`.
+pub(crate) fn compute_region(
+    kern: &dyn MicroKernel,
+    a: &HostPanels,
+    b: &HostPanels,
+    rows: Range<usize>,
+    cols: Range<usize>,
+    out: &mut [i64],
+) {
+    debug_assert_eq!(a.elem, kern.elem());
+    debug_assert_eq!(b.elem, kern.elem());
+    debug_assert_eq!(a.side, PanelSide::A);
+    debug_assert_eq!(b.side, PanelSide::B);
+    debug_assert_eq!(a.groups, b.groups);
+    if rows.is_empty() || cols.is_empty() {
+        return;
+    }
+    let width = cols.len();
+    let groups = a.groups;
+    let strip = strip_groups(kern.elem(), a, b);
+    let (p0, p1) = (rows.start / MR, (rows.end - 1) / MR);
+    let (q0, q1) = (cols.start / NR, (cols.end - 1) / NR);
+    for pi in p0..=p1 {
+        debug_assert!(pi < a.panels.max(1));
+        for qj in q0..=q1 {
+            debug_assert!(qj < b.panels.max(1));
+            let mut wide = [0i64; ACC];
+            let mut g0 = 0usize;
+            while g0 < groups {
+                let gn = strip.min(groups - g0);
+                let mut acc = [0i32; ACC];
+                kern.update(gn, a.slice(pi, g0, gn), b.slice(qj, g0, gn), &mut acc);
+                for (w, v) in wide.iter_mut().zip(acc.iter()) {
+                    *w += i64::from(*v);
+                }
+                g0 += gn;
+            }
+            let r_lo = rows.start.max(pi * MR);
+            let r_hi = rows.end.min(pi * MR + MR);
+            let c_lo = cols.start.max(qj * NR);
+            let c_hi = cols.end.min(qj * NR + NR);
+            for r in r_lo..r_hi {
+                let src = &wide[(r - pi * MR) * NR..];
+                let dst = &mut out[(r - rows.start) * width..];
+                for c in c_lo..c_hi {
+                    dst[c - cols.start] = src[c - qj * NR];
+                }
+            }
+        }
+    }
+}
+
+/// x86-64 kernels: AVX2 and AVX-512 integer multiply-add.
+///
+/// All `unsafe` in the gemm crate lives here (and in the `arm`
+/// sibling): `#[target_feature]` intrinsic bodies behind safe wrappers
+/// that assert slice bounds first. Dispatch only reaches a kernel after
+/// its tier's runtime feature probe succeeded.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::*;
+
+    use super::{Isa, MicroKernel, PanelElem, PanelRef, ACC, MR, NR};
+
+    /// AVX2 i16-pair kernel (`vpmaddwd`): exact for all 49 precision
+    /// pairs.
+    pub(super) struct Avx2I16;
+    /// AVX2 instance.
+    pub(super) static AVX2_I16: Avx2I16 = Avx2I16;
+
+    impl MicroKernel for Avx2I16 {
+        fn isa(&self) -> Isa {
+            Isa::Avx2
+        }
+
+        fn name(&self) -> &'static str {
+            "avx2-i16-madd"
+        }
+
+        fn elem(&self) -> PanelElem {
+            PanelElem::I16Pair
+        }
+
+        fn update(&self, groups: usize, a: PanelRef<'_>, b: PanelRef<'_>, acc: &mut [i32; ACC]) {
+            let (PanelRef::I16(a), PanelRef::I16(b)) = (a, b) else {
+                unreachable!("Avx2I16 consumes I16Pair panels");
+            };
+            assert!(a.len() >= groups * MR * 2 && b.len() >= groups * NR * 2);
+            // SAFETY: AVX2 is verified by the dispatch tier probe before
+            // this kernel is selectable; pointer extents asserted above.
+            unsafe { update_avx2_i16(groups, a.as_ptr(), b.as_ptr(), acc) }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn update_avx2_i16(groups: usize, a: *const i16, b: *const i16, acc: &mut [i32; ACC]) {
+        unsafe {
+            let zero = _mm256_setzero_si256();
+            let mut lo = [zero; MR]; // cols 0..8 per row
+            let mut hi = [zero; MR]; // cols 8..16 per row
+            for g in 0..groups {
+                let bp = b.add(g * NR * 2);
+                let b0 = _mm256_loadu_si256(bp.cast());
+                let b1 = _mm256_loadu_si256(bp.add(16).cast());
+                let ap = a.add(g * MR * 2);
+                for r in 0..MR {
+                    // One (p0,p1) i16 pair broadcast to every dword lane.
+                    let av = _mm256_set1_epi32(ap.add(r * 2).cast::<i32>().read_unaligned());
+                    lo[r] = _mm256_add_epi32(lo[r], _mm256_madd_epi16(av, b0));
+                    hi[r] = _mm256_add_epi32(hi[r], _mm256_madd_epi16(av, b1));
+                }
+            }
+            for r in 0..MR {
+                let out = acc.as_mut_ptr().add(r * NR);
+                let sum0 = _mm256_add_epi32(_mm256_loadu_si256(out.cast()), lo[r]);
+                _mm256_storeu_si256(out.cast(), sum0);
+                let sum1 = _mm256_add_epi32(_mm256_loadu_si256(out.add(8).cast()), hi[r]);
+                _mm256_storeu_si256(out.add(8).cast(), sum1);
+            }
+        }
+    }
+
+    /// AVX2 u8×i8 quad kernel (`vpmaddubsw` + `vpmaddwd` with ones):
+    /// twice the k throughput of the i16 kernel; selected only when
+    /// saturation is impossible (see `maddubs_exact`).
+    pub(super) struct Avx2U8;
+    /// AVX2 u8 instance.
+    pub(super) static AVX2_U8: Avx2U8 = Avx2U8;
+
+    impl MicroKernel for Avx2U8 {
+        fn isa(&self) -> Isa {
+            Isa::Avx2
+        }
+
+        fn name(&self) -> &'static str {
+            "avx2-u8i8-maddubs"
+        }
+
+        fn elem(&self) -> PanelElem {
+            PanelElem::U8Quad
+        }
+
+        fn update(&self, groups: usize, a: PanelRef<'_>, b: PanelRef<'_>, acc: &mut [i32; ACC]) {
+            let (PanelRef::U8(a), PanelRef::I8(b)) = (a, b) else {
+                unreachable!("Avx2U8 consumes U8Quad panels");
+            };
+            assert!(a.len() >= groups * MR * 4 && b.len() >= groups * NR * 4);
+            // SAFETY: AVX2 verified by the dispatch probe; bounds above.
+            unsafe { update_avx2_u8(groups, a.as_ptr(), b.as_ptr(), acc) }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn update_avx2_u8(groups: usize, a: *const u8, b: *const i8, acc: &mut [i32; ACC]) {
+        unsafe {
+            let zero = _mm256_setzero_si256();
+            let ones = _mm256_set1_epi16(1);
+            let mut lo = [zero; MR];
+            let mut hi = [zero; MR];
+            for g in 0..groups {
+                let bp = b.add(g * NR * 4);
+                let b0 = _mm256_loadu_si256(bp.cast());
+                let b1 = _mm256_loadu_si256(bp.add(32).cast());
+                let ap = a.add(g * MR * 4);
+                for r in 0..MR {
+                    let av = _mm256_set1_epi32(ap.add(r * 4).cast::<i32>().read_unaligned());
+                    // u8×i8 pair sums (exact: selection excludes
+                    // saturation), then pairwise widen to i32.
+                    let p0 = _mm256_maddubs_epi16(av, b0);
+                    let p1 = _mm256_maddubs_epi16(av, b1);
+                    lo[r] = _mm256_add_epi32(lo[r], _mm256_madd_epi16(p0, ones));
+                    hi[r] = _mm256_add_epi32(hi[r], _mm256_madd_epi16(p1, ones));
+                }
+            }
+            for r in 0..MR {
+                let out = acc.as_mut_ptr().add(r * NR);
+                let sum0 = _mm256_add_epi32(_mm256_loadu_si256(out.cast()), lo[r]);
+                _mm256_storeu_si256(out.cast(), sum0);
+                let sum1 = _mm256_add_epi32(_mm256_loadu_si256(out.add(8).cast()), hi[r]);
+                _mm256_storeu_si256(out.add(8).cast(), sum1);
+            }
+        }
+    }
+
+    /// AVX-512 i16-pair kernel: one 512-bit load covers a whole k-group
+    /// of the B panel (16 columns × one pair).
+    pub(super) struct Avx512I16;
+    /// AVX-512 instance.
+    pub(super) static AVX512_I16: Avx512I16 = Avx512I16;
+
+    impl MicroKernel for Avx512I16 {
+        fn isa(&self) -> Isa {
+            Isa::Avx512
+        }
+
+        fn name(&self) -> &'static str {
+            "avx512-i16-madd"
+        }
+
+        fn elem(&self) -> PanelElem {
+            PanelElem::I16Pair
+        }
+
+        fn update(&self, groups: usize, a: PanelRef<'_>, b: PanelRef<'_>, acc: &mut [i32; ACC]) {
+            let (PanelRef::I16(a), PanelRef::I16(b)) = (a, b) else {
+                unreachable!("Avx512I16 consumes I16Pair panels");
+            };
+            assert!(a.len() >= groups * MR * 2 && b.len() >= groups * NR * 2);
+            // SAFETY: AVX-512F+BW verified by the dispatch probe;
+            // bounds asserted above.
+            unsafe { update_avx512_i16(groups, a.as_ptr(), b.as_ptr(), acc) }
+        }
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn update_avx512_i16(groups: usize, a: *const i16, b: *const i16, acc: &mut [i32; ACC]) {
+        unsafe {
+            let zero = _mm512_setzero_si512();
+            // Two k-groups in flight per row: 8 independent FMA chains.
+            let mut even = [zero; MR];
+            let mut odd = [zero; MR];
+            let pairs = groups / 2;
+            for gp in 0..pairs {
+                let g = gp * 2;
+                let b0 = _mm512_loadu_epi16(b.add(g * NR * 2));
+                let b1 = _mm512_loadu_epi16(b.add((g + 1) * NR * 2));
+                let a0 = a.add(g * MR * 2);
+                let a1 = a.add((g + 1) * MR * 2);
+                for r in 0..MR {
+                    let av0 = _mm512_set1_epi32(a0.add(r * 2).cast::<i32>().read_unaligned());
+                    let av1 = _mm512_set1_epi32(a1.add(r * 2).cast::<i32>().read_unaligned());
+                    even[r] = _mm512_add_epi32(even[r], _mm512_madd_epi16(av0, b0));
+                    odd[r] = _mm512_add_epi32(odd[r], _mm512_madd_epi16(av1, b1));
+                }
+            }
+            if groups % 2 == 1 {
+                let g = groups - 1;
+                let b0 = _mm512_loadu_epi16(b.add(g * NR * 2));
+                let ap = a.add(g * MR * 2);
+                for (r, lane) in even.iter_mut().enumerate() {
+                    let av = _mm512_set1_epi32(ap.add(r * 2).cast::<i32>().read_unaligned());
+                    *lane = _mm512_add_epi32(*lane, _mm512_madd_epi16(av, b0));
+                }
+            }
+            for r in 0..MR {
+                let out = acc.as_mut_ptr().add(r * NR);
+                let sum = _mm512_add_epi32(even[r], odd[r]);
+                _mm512_storeu_epi32(out, _mm512_add_epi32(_mm512_loadu_epi32(out), sum));
+            }
+        }
+    }
+}
+
+/// AArch64 NEON kernel: `vmlal`-based widening i16 multiply-add.
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    #![allow(unsafe_code)]
+
+    use std::arch::aarch64::*;
+
+    use super::{Isa, MicroKernel, PanelElem, PanelRef, ACC, MR, NR};
+
+    /// NEON i16-pair kernel: exact for all 49 precision pairs.
+    pub(super) struct NeonI16;
+    /// NEON instance.
+    pub(super) static NEON_I16: NeonI16 = NeonI16;
+
+    impl MicroKernel for NeonI16 {
+        fn isa(&self) -> Isa {
+            Isa::Neon
+        }
+
+        fn name(&self) -> &'static str {
+            "neon-i16-mlal"
+        }
+
+        fn elem(&self) -> PanelElem {
+            PanelElem::I16Pair
+        }
+
+        fn update(&self, groups: usize, a: PanelRef<'_>, b: PanelRef<'_>, acc: &mut [i32; ACC]) {
+            let (PanelRef::I16(a), PanelRef::I16(b)) = (a, b) else {
+                unreachable!("NeonI16 consumes I16Pair panels");
+            };
+            assert!(a.len() >= groups * MR * 2 && b.len() >= groups * NR * 2);
+            // SAFETY: NEON verified by the dispatch probe; bounds above.
+            unsafe { update_neon_i16(groups, a.as_ptr(), b.as_ptr(), acc) }
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn update_neon_i16(groups: usize, a: *const i16, b: *const i16, acc: &mut [i32; ACC]) {
+        unsafe {
+            // acc quarters: [row][0..4] covering columns 0..4, 4..8,
+            // 8..12, 12..16 as int32x4 lanes.
+            let mut q = [[vdupq_n_s32(0); 4]; MR];
+            for g in 0..groups {
+                let bp = b.add(g * NR * 2);
+                // De-interleave the pair layout: .0 = p0 of 8 columns,
+                // .1 = p1 of the same columns.
+                let b0 = vld2q_s16(bp); // cols 0..8
+                let b1 = vld2q_s16(bp.add(16)); // cols 8..16
+                let ap = a.add(g * MR * 2);
+                for (r, qr) in q.iter_mut().enumerate() {
+                    let a0 = vdupq_n_s16(*ap.add(r * 2));
+                    let a1 = vdupq_n_s16(*ap.add(r * 2 + 1));
+                    qr[0] = vmlal_s16(qr[0], vget_low_s16(b0.0), vget_low_s16(a0));
+                    qr[0] = vmlal_s16(qr[0], vget_low_s16(b0.1), vget_low_s16(a1));
+                    qr[1] = vmlal_high_s16(qr[1], b0.0, a0);
+                    qr[1] = vmlal_high_s16(qr[1], b0.1, a1);
+                    qr[2] = vmlal_s16(qr[2], vget_low_s16(b1.0), vget_low_s16(a0));
+                    qr[2] = vmlal_s16(qr[2], vget_low_s16(b1.1), vget_low_s16(a1));
+                    qr[3] = vmlal_high_s16(qr[3], b1.0, a0);
+                    qr[3] = vmlal_high_s16(qr[3], b1.1, a1);
+                }
+            }
+            for (r, qr) in q.iter().enumerate() {
+                for (c4, lanes) in qr.iter().enumerate() {
+                    let out = acc.as_mut_ptr().add(r * NR + c4 * 4);
+                    vst1q_s32(out, vaddq_s32(vld1q_s32(out), *lanes));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixgemm_binseg::{DataSize, PrecisionConfig};
+
+    fn panels_from_fn(
+        elem: PanelElem,
+        side: PanelSide,
+        op: OperandType,
+        count: usize,
+        k: usize,
+        f: impl Fn(usize, usize) -> i32,
+    ) -> HostPanels {
+        HostPanels::build(elem, side, op, count, k, |lane| {
+            (0..k)
+                .map(|p| f(lane, p).clamp(op.min_value(), op.max_value()))
+                .collect()
+        })
+    }
+
+    fn naive(
+        a: &dyn Fn(usize, usize) -> i32,
+        b: &dyn Fn(usize, usize) -> i32,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<i64> {
+        let mut c = vec![0i64; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += i64::from(a(i, p)) * i64::from(b(p, j));
+                }
+            }
+        }
+        c
+    }
+
+    fn available_kernels(precision: PrecisionConfig) -> Vec<&'static dyn MicroKernel> {
+        let (oa, ob) = precision.operand_types();
+        let mut kernels: Vec<&'static dyn MicroKernel> = vec![&REFERENCE];
+        for isa in Isa::ALL {
+            if isa != Isa::Scalar && isa.available() {
+                if let Some(k) = select(isa, oa, ob) {
+                    kernels.push(k);
+                }
+            }
+        }
+        kernels
+    }
+
+    fn check_region(precision: PrecisionConfig, m: usize, k: usize, n: usize) {
+        let (oa, ob) = precision.operand_types();
+        let af = move |i: usize, p: usize| (i as i32 * 31 + p as i32 * 7 + 3) % 1009;
+        let bf = move |p: usize, j: usize| (p as i32 * 13 + j as i32 * 17 + 11) % 1013 - 500;
+        let afc = move |i: usize, p: usize| af(i, p).clamp(oa.min_value(), oa.max_value());
+        let bfc = move |p: usize, j: usize| bf(p, j).clamp(ob.min_value(), ob.max_value());
+        let want = naive(&afc, &bfc, m, k, n);
+        for kern in available_kernels(precision) {
+            let elem = kern.elem();
+            let ap = panels_from_fn(elem, PanelSide::A, oa, m, k, af);
+            // B panels are built lane = column, so fetch transposes.
+            let bp = panels_from_fn(elem, PanelSide::B, ob, n, k, |j, p| bf(p, j));
+            let mut out = vec![0i64; m * n];
+            compute_region(kern, &ap, &bp, 0..m, 0..n, &mut out);
+            assert_eq!(out, want, "{} {m}x{k}x{n}", kern.name());
+        }
+    }
+
+    #[test]
+    fn regions_match_naive_for_every_available_kernel() {
+        for pc in ["a8-w8", "a8-w4", "a4-w4", "a2-w2", "a7-w7", "a3-w6"] {
+            let precision: PrecisionConfig = pc.parse().unwrap();
+            for (m, k, n) in [
+                (4, 16, 16),
+                (5, 33, 17),
+                (1, 7, 1),
+                (3, 1, 19),
+                (4, 0, 16),
+                (13, 64, 29),
+            ] {
+                check_region(precision, m, k, n);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_regions_cover_offsets() {
+        let precision: PrecisionConfig = "a8-w8".parse().unwrap();
+        let (oa, ob) = precision.operand_types();
+        let (m, k, n) = (11, 40, 23);
+        let af = |i: usize, p: usize| ((i * 5 + p) % 251) as i32;
+        let bf = |p: usize, j: usize| ((p * 3 + j * 11) % 255) as i32 - 128;
+        let want = naive(&|i, p| af(i, p), &|p, j| bf(p, j), m, k, n);
+        for kern in available_kernels(precision) {
+            let ap = panels_from_fn(kern.elem(), PanelSide::A, oa, m, k, af);
+            let bp = panels_from_fn(kern.elem(), PanelSide::B, ob, n, k, |j, p| bf(p, j));
+            // Stitch C from misaligned sub-regions.
+            let mut c = vec![0i64; m * n];
+            for (rows, cols) in [(0..3usize, 0..23usize), (3..11, 0..5), (3..11, 5..23)] {
+                let mut out = vec![0i64; rows.len() * cols.len()];
+                compute_region(kern, &ap, &bp, rows.clone(), cols.clone(), &mut out);
+                for (li, i) in rows.clone().enumerate() {
+                    for (lj, j) in cols.clone().enumerate() {
+                        c[i * n + j] = out[li * cols.len() + lj];
+                    }
+                }
+            }
+            assert_eq!(c, want, "{}", kern.name());
+        }
+    }
+
+    #[test]
+    fn strip_widening_survives_extreme_magnitudes() {
+        // k large enough that i32 would overflow without strip widening:
+        // 255·(−128)·70000 ≈ −2.3e9 < i32::MIN.
+        let precision: PrecisionConfig = "a8-w8".parse().unwrap();
+        let (oa, ob) = precision.operand_types();
+        let (m, k, n) = (4, 70_000, 16);
+        let af = |_i: usize, _p: usize| 255;
+        let bf = |_p: usize, _j: usize| -128;
+        let want = vec![255i64 * -128 * k as i64; m * n];
+        for kern in available_kernels(precision) {
+            let ap = panels_from_fn(kern.elem(), PanelSide::A, oa, m, k, af);
+            let bp = panels_from_fn(kern.elem(), PanelSide::B, ob, n, k, |j, p| bf(p, j));
+            let strips = strip_groups(kern.elem(), &ap, &bp);
+            assert!(strips * kern.elem().group() < k, "strips must subdivide");
+            let mut out = vec![0i64; m * n];
+            compute_region(kern, &ap, &bp, 0..m, 0..n, &mut out);
+            assert_eq!(out, want, "{}", kern.name());
+        }
+    }
+
+    #[test]
+    fn maddubs_selection_respects_saturation_bound() {
+        let u = |bits| OperandType::unsigned(bits);
+        let s = |bits| OperandType::signed(bits);
+        // a8-w8: 2·255·128 > i16::MAX — must not pick the u8 kernel.
+        assert!(!maddubs_exact(u(DataSize::B8), s(DataSize::B8)));
+        // a8-w4: 2·255·8 fits comfortably.
+        assert!(maddubs_exact(u(DataSize::B8), s(DataSize::B4)));
+        // a7-w7: 2·127·64 = 16256 fits.
+        assert!(maddubs_exact(u(DataSize::B7), s(DataSize::B7)));
+        // Signed activations are out of contract for pmaddubsw.
+        assert!(!maddubs_exact(s(DataSize::B8), s(DataSize::B4)));
+        #[cfg(target_arch = "x86_64")]
+        if Isa::Avx2.available() {
+            let k = select(Isa::Avx2, u(DataSize::B8), s(DataSize::B4)).unwrap();
+            assert_eq!(k.elem(), PanelElem::U8Quad);
+            let k = select(Isa::Avx2, u(DataSize::B8), s(DataSize::B8)).unwrap();
+            assert_eq!(k.elem(), PanelElem::I16Pair);
+        }
+    }
+
+    #[test]
+    fn panels_are_aligned_and_zero_padded() {
+        let op = OperandType::unsigned(DataSize::B8);
+        let p = panels_from_fn(PanelElem::I16Pair, PanelSide::B, op, 5, 3, |l, q| {
+            (l * 10 + q) as i32
+        });
+        assert_eq!(p.count(), 5);
+        assert_eq!(p.k(), 3);
+        assert_eq!(p.groups, 2);
+        assert_eq!(p.panels, 1);
+        let PanelRef::I16(s) = p.slice(0, 0, 2) else {
+            panic!("i16 panels expected")
+        };
+        assert_eq!(s.as_ptr() as usize % 64, 0, "payload must be 64B-aligned");
+        // Lane 0 pair of group 0 = elements (0, 1); group 1 = (2, pad 0).
+        assert_eq!(&s[0..2], &[0, 1]);
+        assert_eq!(&s[NR * 2..NR * 2 + 2], &[2, 0]);
+        // Lanes 5..16 are padding.
+        assert!(s[5 * 2..NR * 2].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn select_scalar_is_none() {
+        let op = OperandType::unsigned(DataSize::B8);
+        let ow = OperandType::signed(DataSize::B8);
+        assert!(select(Isa::Scalar, op, ow).is_none());
+    }
+}

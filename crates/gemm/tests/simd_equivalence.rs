@@ -1,0 +1,194 @@
+//! Differential bit-identity tests for the SIMD dispatch layer
+//! (DESIGN.md §12): every available tier must produce *bit-identical*
+//! results to the forced-scalar path on every compute entry point,
+//! across all 49 precision pairs and the edge shapes that exercise
+//! partial micro-panels (1×N, M×1, K=0, dimensions that are not
+//! multiples of MR=4 / NR=16).
+
+use mixgemm_gemm::{
+    naive_gemm, GemmError, GemmOptions, Isa, MixGemmKernel, Parallelism, PrecisionConfig,
+    QuantMatrix,
+};
+
+/// Deterministic operand values spanning each operand type's full
+/// range, varied per (seed, position) so A and B differ.
+fn matrix(rows: usize, cols: usize, op: mixgemm_gemm::OperandType, seed: usize) -> QuantMatrix {
+    let lo = op.min_value();
+    let hi = op.max_value();
+    let span = (hi - lo + 1) as usize;
+    QuantMatrix::from_fn(rows, cols, op, |r, c| {
+        let x = r
+            .wrapping_mul(31)
+            .wrapping_add(c.wrapping_mul(17))
+            .wrapping_add(seed.wrapping_mul(101))
+            .wrapping_add(r * c % 7);
+        lo + (x % span) as i32
+    })
+}
+
+fn kernel(precision: PrecisionConfig, isa: Option<Isa>) -> MixGemmKernel {
+    MixGemmKernel::new(GemmOptions::new(precision).with_isa(isa))
+}
+
+/// The shapes every tier is checked on: typical interior tiles plus
+/// every partial-panel edge case the region walker has to pad.
+const SHAPES: [(usize, usize, usize); 9] = [
+    (16, 32, 32), // all dimensions multiples of MR/NR
+    (17, 33, 19), // none of them multiples
+    (1, 24, 40),  // single output row (partial A panel everywhere)
+    (9, 24, 1),   // single output column (partial B panel everywhere)
+    (1, 5, 1),    // single output element
+    (3, 0, 5),    // K = 0: the result must be all zeros
+    (4, 1, 16),   // K = 1: one group, padded
+    (23, 7, 15),  // small and ragged
+    (5, 129, 18), // K spans multiple accumulation strips per group
+];
+
+#[test]
+fn every_tier_matches_scalar_across_all_49_pairs() {
+    let tiers = Isa::available_tiers();
+    for precision in PrecisionConfig::ALL {
+        let (oa, ow) = precision.operand_types();
+        for &(m, k, n) in &SHAPES {
+            let a = matrix(m, k, oa, 1);
+            let b = matrix(k, n, ow, 2);
+            let expect = naive_gemm(&a, &b).unwrap();
+            let scalar = kernel(precision, Some(Isa::Scalar));
+            assert_eq!(
+                scalar.compute(&a, &b).unwrap(),
+                expect,
+                "scalar compute vs naive, {precision} {m}x{k}x{n}"
+            );
+            for &tier in &tiers {
+                let fast = kernel(precision, Some(tier));
+                assert_eq!(
+                    fast.compute(&a, &b).unwrap(),
+                    expect,
+                    "{tier} compute vs scalar, {precision} {m}x{k}x{n}"
+                );
+                assert_eq!(
+                    fast.compute_fast(&a, &b).unwrap(),
+                    expect,
+                    "{tier} compute_fast vs scalar, {precision} {m}x{k}x{n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_path_matches_scalar_on_every_tier() {
+    for precision in [
+        PrecisionConfig::A8W8,
+        PrecisionConfig::A4W4,
+        PrecisionConfig::A2W8,
+        PrecisionConfig::A8W2,
+        PrecisionConfig::A3W5,
+    ] {
+        let (oa, ow) = precision.operand_types();
+        for &(m, k, n) in &SHAPES {
+            let a = matrix(m, k, oa, 3);
+            let b = matrix(k, n, ow, 4);
+            let rows = a.packed_rows();
+            let cols = b.packed_cols();
+            let expect = kernel(precision, Some(Isa::Scalar))
+                .compute_packed(&rows, &cols)
+                .unwrap();
+            assert_eq!(expect, naive_gemm(&a, &b).unwrap());
+            for tier in Isa::available_tiers() {
+                assert_eq!(
+                    kernel(precision, Some(tier))
+                        .compute_packed(&rows, &cols)
+                        .unwrap(),
+                    expect,
+                    "{tier} compute_packed, {precision} {m}x{k}x{n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_simd_matches_serial_scalar() {
+    let precision = PrecisionConfig::A8W8;
+    let (oa, ow) = precision.operand_types();
+    let a = matrix(37, 65, oa, 5);
+    let b = matrix(65, 29, ow, 6);
+    let expect = naive_gemm(&a, &b).unwrap();
+    for tier in Isa::available_tiers() {
+        for threads in [1, 2, 3, 8] {
+            let kern = MixGemmKernel::new(
+                GemmOptions::new(precision)
+                    .with_isa(Some(tier))
+                    .with_parallelism(Parallelism::new(threads)),
+            );
+            assert_eq!(
+                kern.compute_parallel(&a, &b, threads).unwrap(),
+                expect,
+                "{tier} x {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn forcing_an_unavailable_tier_is_a_parameter_error() {
+    let missing: Vec<Isa> = Isa::ALL.into_iter().filter(|i| !i.available()).collect();
+    let precision = PrecisionConfig::A8W8;
+    let (oa, ow) = precision.operand_types();
+    let a = matrix(8, 8, oa, 7);
+    let b = matrix(8, 8, ow, 8);
+    for tier in missing {
+        let err = kernel(precision, Some(tier)).compute(&a, &b).unwrap_err();
+        assert!(
+            matches!(err, GemmError::BadParams { .. }),
+            "expected BadParams for forced {tier}, got {err:?}"
+        );
+    }
+}
+
+/// `MIXGEMM_ISA` is read once per process, so the env-matrix half of
+/// this satellite lives in CI (the suite runs under
+/// `MIXGEMM_ISA=scalar` and the best tier); here we pin the pure
+/// resolution policy the env variable feeds.
+#[test]
+fn env_resolution_policy() {
+    assert_eq!(mixgemm_gemm::isa::resolve(Some("scalar")), Isa::Scalar);
+    // Unknown or unavailable names fall back to the best available tier.
+    assert_eq!(
+        mixgemm_gemm::isa::resolve(Some("not-a-tier")),
+        Isa::best_available()
+    );
+    assert_eq!(mixgemm_gemm::isa::resolve(None), Isa::best_available());
+    for tier in Isa::available_tiers() {
+        assert_eq!(mixgemm_gemm::isa::resolve(Some(tier.name())), tier);
+    }
+}
+
+/// The dispatch decision is observable: the report names the resolved
+/// tier and the registry counts dispatches per kernel name.
+#[test]
+fn report_and_metrics_name_the_dispatched_tier() {
+    use mixgemm_harness::metrics::{self, MetricsRegistry};
+    use std::sync::Arc;
+
+    let precision = PrecisionConfig::A8W8;
+    let (oa, ow) = precision.operand_types();
+    let a = matrix(24, 24, oa, 9);
+    let b = matrix(24, 24, ow, 10);
+    for tier in Isa::available_tiers() {
+        let kern = kernel(precision, Some(tier));
+        let reg = Arc::new(MetricsRegistry::new());
+        metrics::with_recorder(reg.clone(), || kern.compute(&a, &b).unwrap());
+        let report = reg.report();
+        let isa_gauge = report.gauge("gemm.kernel.isa").unwrap();
+        assert_eq!(isa_gauge as u64, tier.code(), "gauge for {tier}");
+        let dispatches: u64 = report
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("gemm.kernel.dispatch."))
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(dispatches > 0, "no dispatch counter recorded for {tier}");
+    }
+}

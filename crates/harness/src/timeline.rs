@@ -225,6 +225,18 @@ impl Timeline {
         self.push(name, Phase::Begin, trace, Vec::new());
     }
 
+    /// Records a [`Phase::Begin`] event with numeric arguments — used by
+    /// spans that carry per-slice metadata (e.g. the dispatched SIMD ISA
+    /// on `gemm/kernel` slices) into the exported Chrome trace.
+    pub fn begin_with_args(
+        &self,
+        name: &str,
+        trace: Option<TraceId>,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        self.push(name, Phase::Begin, trace, args);
+    }
+
     /// Records a [`Phase::End`] event.
     pub fn end(&self, name: &str, trace: Option<TraceId>) {
         self.push(name, Phase::End, trace, Vec::new());

@@ -79,10 +79,18 @@ pub struct Span {
 
 /// Captures the current timeline (if any) and emits the begin event.
 fn timeline_begin(path: &str) -> (Option<Arc<Timeline>>, Option<TraceId>) {
+    timeline_begin_with_args(path, Vec::new())
+}
+
+/// As [`timeline_begin`], attaching numeric args to the begin event.
+fn timeline_begin_with_args(
+    path: &str,
+    args: Vec<(&'static str, u64)>,
+) -> (Option<Arc<Timeline>>, Option<TraceId>) {
     match timeline::current() {
         Some(tl) => {
             let trace = timeline::current_trace();
-            tl.begin(path, trace);
+            tl.begin_with_args(path, trace, args);
             (Some(tl), trace)
         }
         None => (None, None),
@@ -103,6 +111,29 @@ pub fn span(name: &str) -> Span {
         (p.join("/"), depth)
     });
     let (timeline, trace) = timeline_begin(&path);
+    Span {
+        rec,
+        path,
+        start: Instant::now(),
+        depth,
+        timeline,
+        trace,
+    }
+}
+
+/// As [`span`], attaching numeric args to the begin event on the
+/// current timeline (if one is installed). Span aggregation is
+/// unaffected — args only show up in the exported flight-recorder
+/// trace, e.g. the dispatched ISA on `gemm/kernel` slices.
+pub fn span_args(name: &str, args: Vec<(&'static str, u64)>) -> Span {
+    let rec = metrics::recorder();
+    let (path, depth) = PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let depth = p.len();
+        p.push(name.to_string());
+        (p.join("/"), depth)
+    });
+    let (timeline, trace) = timeline_begin_with_args(&path, args);
     Span {
         rec,
         path,
@@ -260,6 +291,33 @@ mod tests {
         );
         // Aggregated stats recorded too — one instrumentation point.
         assert_eq!(reg.span_stats("gemm/pack_b").unwrap().count, 1);
+    }
+
+    #[test]
+    fn span_args_attach_to_begin_event_only() {
+        use crate::timeline::Phase;
+
+        let reg = Arc::new(MetricsRegistry::new());
+        let tl = Arc::new(Timeline::new());
+        metrics::with_recorder(reg.clone(), || {
+            timeline::with_timeline(tl.clone(), || {
+                let _outer = span("gemm");
+                let _inner = span_args("kernel", vec![("isa", 2)]);
+            });
+        });
+        let events = tl.events();
+        let begin = events
+            .iter()
+            .find(|e| e.name == "gemm/kernel" && e.phase == Phase::Begin)
+            .unwrap();
+        assert_eq!(begin.args, [("isa", 2)]);
+        let end = events
+            .iter()
+            .find(|e| e.name == "gemm/kernel" && e.phase == Phase::End)
+            .unwrap();
+        assert!(end.args.is_empty());
+        // Aggregation path identical to plain spans.
+        assert_eq!(reg.span_stats("gemm/kernel").unwrap().count, 1);
     }
 
     #[test]
