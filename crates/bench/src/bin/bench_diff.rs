@@ -25,7 +25,11 @@
 //!   arrays, `oversubscribed` flags, the Amdahl `serial_fraction` that
 //!   depends on which thread counts were sound) — are skipped entirely,
 //!   values and structure both, because committed baselines and CI
-//!   runners legitimately disagree on them.
+//!   runners legitimately disagree on them. Open-loop load fields
+//!   (arrival schedules, completion/drop counts, steal and seal
+//!   tallies, SLO verdicts, scaling monotonicity) are in this class
+//!   too: they derive from the host's calibrated capacity, and the
+//!   `load_gen` bin asserts their invariants in-process.
 //!
 //! `check` validates that a JSON document parses and carries the given
 //! top-level keys; `check-trace` additionally validates Chrome Trace
@@ -52,7 +56,7 @@ fn is_rate_path(path: &str) -> bool {
 /// Path substrings marking a subtree as a host description (CPU count,
 /// SIMD tiers, oversubscription flags): skipped entirely — structure
 /// included — since baseline and CI hosts legitimately differ.
-const IGNORE_MARKERS: [&str; 6] = [
+const IGNORE_MARKERS: [&str; 16] = [
     "host_cpus",
     "host_isa",
     "tiers",
@@ -61,6 +65,25 @@ const IGNORE_MARKERS: [&str; 6] = [
     // How far a host's SIMD beats its own scalar path varies with the
     // feature set; the kernel_throughput bin asserts the >= 3x floor.
     "best_speedup",
+    // Open-loop load artifacts (load_gen): arrival schedules are
+    // derived from the host's calibrated capacity, and completion /
+    // drop / steal / seal counts follow the host's scheduling
+    // interleavings. The load_gen bin itself asserts the scaling floor
+    // and SLO invariants in-process; the diff only gates structure and
+    // the rate envelope.
+    "arrival",
+    "completed",
+    "dropped",
+    "steal",
+    "sealed",
+    "slo",
+    "monotonic",
+    // Run-mode descriptors: committed baselines may come from a full
+    // run while CI regenerates under MIXGEMM_BENCH_QUICK, so the mode
+    // flag and its derived trial count legitimately differ.
+    "quick",
+    "trials",
+    "min_scaling",
 ];
 
 fn is_ignored_path(path: &str) -> bool {

@@ -1,0 +1,421 @@
+//! Open-loop load harness for the sharded serving scheduler: Poisson
+//! arrivals over a DNN-like precision/shape mix, driven into a
+//! long-lived `Server` at 1/2/4 workers, reporting saturated throughput
+//! and nominal-load p50/p99 latency against SLOs — written to
+//! `BENCH_load.json`.
+//!
+//! Methodology: arrival times are pre-generated from an exponential
+//! interarrival distribution (open-loop — the generator never waits for
+//! completions, modeling many independent clients rather than one
+//! closed feedback loop). Each worker count is measured twice:
+//!
+//! - **saturated** (λ = 3x the calibrated single-worker capacity):
+//!   throughput = completed / makespan, the scheduler's sustainable
+//!   rate. The regression gate: this must be monotonically
+//!   non-decreasing in the worker count (within `MIN_SCALING` slack for
+//!   host noise — the pre-sharding scheduler *lost* 11% going 1→2
+//!   workers, which this catches).
+//! - **nominal** (λ = 0.6x capacity): end-to-end p50/p99 latency from
+//!   the `serve.latency_us` histogram, compared against scale-free SLOs
+//!   derived from the calibrated mean service time.
+//!
+//! Run with: `cargo run --release -p mixgemm-bench --bin load_gen`
+//! (`MIXGEMM_BENCH_QUICK=1` for a smoke run.)
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mixgemm::api::Session;
+use mixgemm::gemm::QuantMatrix;
+use mixgemm::serve::{GemmRequest, ServeOptions, Server};
+use mixgemm::PrecisionConfig;
+use mixgemm_harness::{Json, Rng};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Throughput at w+1 workers must be at least this fraction of the
+/// throughput at w workers: catches scheduler-contention regressions
+/// (the old single-mutex queue scored 0.89) while absorbing run-to-run
+/// noise, including single-core hosts where extra workers cannot win.
+const MIN_SCALING: f64 = 0.9;
+
+/// Quick-mode floor: 400-arrival phases on shared CI runners cannot
+/// resolve a 10% regression from noise, so the smoke run only rejects
+/// outright scaling collapse; the precise `MIN_SCALING` gate runs in
+/// full mode on the bench host.
+const MIN_SCALING_QUICK: f64 = 0.6;
+
+/// One request class in the traffic mix: a layer-like GEMM shape at a
+/// precision, weighted by how often clients request it.
+struct MixEntry {
+    precision: PrecisionConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    weight: u64,
+}
+
+/// The serving traffic: activations stream against shared weight
+/// operands, mixed across precisions the way a mixed-precision planner
+/// assigns them (low-bit heavy layers, a8-w8 head).
+fn traffic_mix() -> Vec<MixEntry> {
+    vec![
+        MixEntry {
+            precision: PrecisionConfig::A8W8,
+            m: 16,
+            k: 64,
+            n: 16,
+            weight: 3,
+        },
+        MixEntry {
+            precision: PrecisionConfig::A4W4,
+            m: 24,
+            k: 96,
+            n: 24,
+            weight: 4,
+        },
+        MixEntry {
+            precision: PrecisionConfig::A2W4,
+            m: 16,
+            k: 128,
+            n: 8,
+            weight: 3,
+        },
+    ]
+}
+
+/// Pre-built request templates: one shared weight matrix per mix entry,
+/// a pool of activation matrices per entry. Cloning a template request
+/// reuses the `Arc`'d operands, so packing amortizes exactly as in
+/// steady-state serving.
+fn build_pool(mix: &[MixEntry], rng: &mut Rng) -> Vec<Vec<GemmRequest>> {
+    mix.iter()
+        .map(|e| {
+            let (oa, ow) = e.precision.operand_types();
+            let weights = Arc::new(QuantMatrix::from_fn(e.k, e.n, ow, |r, c| {
+                (((r * 31 + c * 7) % (ow.max_value() - ow.min_value() + 1) as usize) as i32)
+                    + ow.min_value()
+            }));
+            (0..4)
+                .map(|_| {
+                    let data: Vec<i32> =
+                        rng.vec_of(e.m * e.k, |r| r.i32_in(oa.min_value(), oa.max_value()));
+                    let a = QuantMatrix::from_fn(e.m, e.k, oa, |r, c| data[r * e.k + c]);
+                    GemmRequest::new(Arc::new(a), weights.clone()).with_precision(e.precision)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Draws arrival schedule: request template indices (weighted by mix)
+/// and exponential interarrival gaps for rate `lambda` (arrivals/sec).
+fn schedule(
+    mix: &[MixEntry],
+    pool: &[Vec<GemmRequest>],
+    lambda: f64,
+    arrivals: usize,
+    rng: &mut Rng,
+) -> Vec<(GemmRequest, Duration)> {
+    let total_weight: u64 = mix.iter().map(|e| e.weight).sum();
+    let mut at = 0.0f64;
+    (0..arrivals)
+        .map(|_| {
+            let mut pick = rng.usize_in(0, total_weight as usize - 1) as u64;
+            let mut entry = 0;
+            for (i, e) in mix.iter().enumerate() {
+                if pick < e.weight {
+                    entry = i;
+                    break;
+                }
+                pick -= e.weight;
+            }
+            let req = pool[entry][rng.usize_in(0, pool[entry].len() - 1)].clone();
+            // Inverse-CDF exponential sample; clamp the uniform away
+            // from 0 so ln() stays finite.
+            let u = rng.f64_in(1e-12, 1.0);
+            at += -u.ln() / lambda;
+            (req, Duration::from_secs_f64(at))
+        })
+        .collect()
+}
+
+/// Outcome of one open-loop run.
+struct RunStats {
+    completed: usize,
+    dropped: usize,
+    throughput_per_sec: f64,
+    p50_latency_us: f64,
+    p99_latency_us: f64,
+    steals: u64,
+    sealed_by_size: u64,
+    sealed_by_age: u64,
+}
+
+/// Drives one pre-generated arrival schedule into a fresh server,
+/// open-loop: each request is submitted at its absolute arrival time
+/// (spinning only when ahead of schedule — under saturation the
+/// generator is perpetually behind and submits immediately, which is
+/// exactly the open-loop semantics of a backlogged arrival process).
+fn drive(session: &Session, server: &Server, plan: &[(GemmRequest, Duration)]) -> RunStats {
+    let steals0 = session.metrics().counter("serve.steals");
+    let size0 = session.metrics().counter("serve.seal.size");
+    let age0 = session.metrics().counter("serve.seal.age");
+    let lat0 = session
+        .metrics()
+        .histogram("serve.latency_us")
+        .map(|h| h.count)
+        .unwrap_or(0);
+
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(plan.len());
+    let mut dropped = 0usize;
+    for (req, due) in plan {
+        // Pace to the arrival schedule: hybrid sleep (coarse) + spin
+        // (sub-200µs precision).
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= *due {
+                break;
+            }
+            let ahead = *due - elapsed;
+            if ahead > Duration::from_micros(200) {
+                std::thread::sleep(ahead - Duration::from_micros(100));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        match server.submit(req.clone()) {
+            Ok(t) => tickets.push(t),
+            Err(_) => dropped += 1, // backpressure: open-loop clients just observe the drop
+        }
+    }
+    let mut completed = 0usize;
+    for t in tickets {
+        if t.wait().is_ok() {
+            completed += 1;
+        }
+    }
+    let makespan = start.elapsed().as_secs_f64();
+
+    let hist = session
+        .metrics()
+        .histogram("serve.latency_us")
+        .expect("latency histogram recorded");
+    assert_eq!(
+        hist.count - lat0,
+        completed as u64,
+        "every completion must record a latency sample"
+    );
+    RunStats {
+        completed,
+        dropped,
+        throughput_per_sec: completed as f64 / makespan,
+        // Cumulative-histogram quantiles: fine here because each run
+        // uses a fresh session (see caller).
+        p50_latency_us: hist.p50(),
+        p99_latency_us: hist.p99(),
+        steals: session.metrics().counter("serve.steals") - steals0,
+        sealed_by_size: session.metrics().counter("serve.seal.size") - size0,
+        sealed_by_age: session.metrics().counter("serve.seal.age") - age0,
+    }
+}
+
+fn stats_json(label: &str, lambda: f64, arrivals: usize, s: &RunStats) -> Json {
+    let mut doc = Json::obj()
+        .field("phase", label)
+        .field("lambda_per_sec", lambda)
+        .field("arrivals", arrivals)
+        .field("completed", s.completed)
+        .field("dropped", s.dropped)
+        .field("throughput_per_sec", s.throughput_per_sec);
+    // Latency percentiles only make sense for the paced (nominal)
+    // phase: under open-loop saturation the queue grows for the whole
+    // phase, so "latency" just measures backlog length — it scales
+    // with the arrival count rather than describing the scheduler.
+    if label == "nominal" {
+        doc = doc
+            .field("p50_latency_us", s.p50_latency_us)
+            .field("p99_latency_us", s.p99_latency_us);
+    }
+    doc.field("steals", s.steals)
+        .field("sealed_by_size", s.sealed_by_size)
+        .field("sealed_by_age", s.sealed_by_age)
+}
+
+fn main() {
+    let quick = std::env::var("MIXGEMM_BENCH_QUICK").is_ok();
+    let arrivals = if quick { 400 } else { 4000 };
+    // Best-of-3 even in quick mode: a 400-arrival phase lasts
+    // milliseconds, and single-trial makespans on shared CI runners are
+    // noise-dominated.
+    let trials: usize = 3;
+    let mix = traffic_mix();
+    let mut rng = Rng::new(0x010A_D6E4);
+    let pool = build_pool(&mix, &mut rng);
+
+    // --- Calibration: single-worker capacity over the same mix. ---
+    // A fresh server, every template submitted back-to-back (backlogged
+    // arrivals), timed to completion.
+    let calibrate = Session::builder().build();
+    let cal_server = calibrate.serve(
+        ServeOptions::builder()
+            .workers(1)
+            .queue_capacity(1 << 14)
+            .max_bucket(16)
+            .max_bucket_age(Duration::from_micros(500))
+            .build(),
+    );
+    let cal_n = if quick { 200 } else { 1000 };
+    let cal_start = Instant::now();
+    let cal_tickets: Vec<_> = (0..cal_n)
+        .map(|i| {
+            let class = i % pool.len();
+            let req = pool[class][i % pool[class].len()].clone();
+            cal_server.submit(req).expect("calibration submit")
+        })
+        .collect();
+    for t in cal_tickets {
+        t.wait().expect("calibration request");
+    }
+    let capacity_rps = cal_n as f64 / cal_start.elapsed().as_secs_f64();
+    drop(cal_server);
+    println!("load_gen — calibrated single-worker capacity: {capacity_rps:>10.1} req/s");
+
+    let lambda_saturated = 3.0 * capacity_rps;
+    let lambda_nominal = 0.6 * capacity_rps;
+    // Scale-free SLOs from the calibrated mean service time: nominal
+    // p50 within 20x the mean, p99 within 200x (queueing headroom).
+    let mean_service_us = 1e6 / capacity_rps;
+    let slo_p50_us = 20.0 * mean_service_us;
+    let slo_p99_us = 200.0 * mean_service_us;
+
+    let mut runs = Vec::new();
+    let mut saturated_tput = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        let run_phase = |lambda: f64, seed: u64| {
+            // Best of `trials`: open-loop makespans are noisy on shared
+            // hosts; max throughput converges on the scheduler's real
+            // sustainable rate.
+            let mut best: Option<RunStats> = None;
+            for trial in 0..trials {
+                // Fresh session + server per trial so latency
+                // histograms and counters are per-run.
+                let session = Session::builder().build();
+                let server = session.serve(
+                    ServeOptions::builder()
+                        .workers(workers)
+                        .queue_capacity(1 << 14)
+                        .max_bucket(16)
+                        .max_bucket_age(Duration::from_micros(500))
+                        .build(),
+                );
+                let mut srng = Rng::new(seed ^ (trial as u64) << 32 ^ workers as u64);
+                let plan = schedule(&mix, &pool, lambda, arrivals, &mut srng);
+                let stats = drive(&session, &server, &plan);
+                server.drain();
+                let better = match &best {
+                    Some(b) => stats.throughput_per_sec > b.throughput_per_sec,
+                    None => true,
+                };
+                if better {
+                    best = Some(stats);
+                }
+            }
+            best.expect("at least one trial")
+        };
+
+        let sat = run_phase(lambda_saturated, 0x5A7);
+        let nom = run_phase(lambda_nominal, 0x401);
+        assert_eq!(
+            sat.completed + sat.dropped,
+            arrivals,
+            "every arrival accounted for"
+        );
+        println!(
+            "{workers} worker(s): saturated {:>10.1} req/s | nominal p50 {:>8.0} us p99 {:>8.0} us | steals {} | sealed size/age {}/{}",
+            sat.throughput_per_sec,
+            nom.p50_latency_us,
+            nom.p99_latency_us,
+            sat.steals,
+            sat.sealed_by_size,
+            sat.sealed_by_age
+        );
+        saturated_tput.push(sat.throughput_per_sec);
+        runs.push(
+            Json::obj()
+                .field("workers", workers)
+                .field(
+                    "saturated",
+                    stats_json("saturated", lambda_saturated, arrivals, &sat),
+                )
+                .field(
+                    "nominal",
+                    stats_json("nominal", lambda_nominal, arrivals, &nom)
+                        .field("slo_p50_met", nom.p50_latency_us <= slo_p50_us)
+                        .field("slo_p99_met", nom.p99_latency_us <= slo_p99_us),
+                ),
+        );
+    }
+
+    // The regression gate: saturated throughput must not collapse as
+    // workers are added (the pre-sharding scheduler lost 11% at 2
+    // workers; single-core hosts legitimately sit flat at ~1.0x).
+    let mut monotonic = true;
+    let floor = if quick {
+        MIN_SCALING_QUICK
+    } else {
+        MIN_SCALING
+    };
+    for w in 1..saturated_tput.len() {
+        let ratio = saturated_tput[w] / saturated_tput[w - 1];
+        assert!(
+            ratio >= floor,
+            "saturated throughput fell {:.1}% going {} -> {} workers (floor {:.0}%)",
+            (1.0 - ratio) * 100.0,
+            WORKER_COUNTS[w - 1],
+            WORKER_COUNTS[w],
+            (1.0 - floor) * 100.0
+        );
+        if saturated_tput[w] < saturated_tput[w - 1] {
+            monotonic = false;
+        }
+    }
+    println!(
+        "scaling 1->2->4 workers: {:.3}x, {:.3}x (floor {MIN_SCALING})",
+        saturated_tput[1] / saturated_tput[0],
+        saturated_tput[2] / saturated_tput[1]
+    );
+
+    let doc = Json::obj()
+        .field("bench", "load_gen")
+        .field("quick", quick)
+        .field("arrival_distribution", "poisson")
+        .field("arrivals_per_phase", arrivals)
+        .field("trials", trials)
+        .field(
+            "precision_mix",
+            Json::Arr(
+                mix.iter()
+                    .map(|e| {
+                        Json::obj()
+                            .field("precision", e.precision.to_string())
+                            .field("m", e.m)
+                            .field("k", e.k)
+                            .field("n", e.n)
+                            .field("weight", e.weight)
+                    })
+                    .collect(),
+            ),
+        )
+        .field("calibrated_capacity_per_sec", capacity_rps)
+        .field("lambda_saturated_per_sec", lambda_saturated)
+        .field("lambda_nominal_per_sec", lambda_nominal)
+        .field("slo_p50_us", slo_p50_us)
+        .field("slo_p99_us", slo_p99_us)
+        .field("runs", Json::Arr(runs))
+        .field("monotonic_non_decreasing", monotonic)
+        .field("min_scaling_floor", floor);
+    std::fs::write("BENCH_load.json", doc.pretty()).expect("write BENCH_load.json");
+    println!("wrote BENCH_load.json");
+}

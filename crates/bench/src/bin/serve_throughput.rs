@@ -1,5 +1,5 @@
 //! Serving-layer throughput: a DNN-like request mix (few shapes, shared
-//! weight operands, many activations) through `Session::run_batch_with`
+//! weight operands, many activations) through `Session::run_batch_opts`
 //! at several worker counts vs a serial `Session::run` loop — with the
 //! scheduler's bucket and packed-operand hit rates — written to
 //! `BENCH_serve.json`.
@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use mixgemm::api::Session;
 use mixgemm::gemm::QuantMatrix;
-use mixgemm::serve::GemmRequest;
+use mixgemm::serve::{GemmRequest, ServeOptions};
 use mixgemm::PrecisionConfig;
 use mixgemm_harness::{black_box, Bencher, Json, Rng};
 
@@ -74,7 +74,10 @@ fn main() {
     // Batched sweep across worker counts.
     let mut batched = Vec::new();
     for &workers in &WORKER_COUNTS {
-        let report = session.run_batch_with(requests.clone(), workers);
+        let report = session.run_batch_opts(
+            requests.clone(),
+            &ServeOptions::builder().workers(workers).build(),
+        );
         assert_eq!(report.buckets, shapes.len(), "one bucket per shape");
         for (i, (got, want)) in report.results.iter().zip(&reference).enumerate() {
             assert_eq!(
@@ -84,7 +87,10 @@ fn main() {
             );
         }
         let s = bencher.run(|| {
-            black_box(session.run_batch_with(black_box(requests.clone()), workers));
+            black_box(session.run_batch_opts(
+                black_box(requests.clone()),
+                &ServeOptions::builder().workers(workers).build(),
+            ));
         });
         let rps = n_requests as f64 / s.min_secs();
         println!(
@@ -98,7 +104,10 @@ fn main() {
     // registry (the timing loops above share operand packs, so a clean
     // recorder keeps the rates interpretable).
     let observed = Session::builder().precision(precision).build();
-    let report = observed.run_batch_with(requests.clone(), 2);
+    let report = observed.run_batch_opts(
+        requests.clone(),
+        &ServeOptions::builder().workers(2).build(),
+    );
     let bucket_hit_rate = report
         .metrics
         .hit_rate("serve.bucket")

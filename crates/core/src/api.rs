@@ -4,9 +4,13 @@
 //! [`Session`] is the primary entry point: one builder-configured object
 //! that computes bit-exact GEMMs, times them on the modelled SoC, and
 //! reports the observability layer's counters and span timings for
-//! every run. The older [`EdgeSoc`] facade remains for platform
-//! construction and network sweeps; its stringly-typed
-//! [`EdgeSoc::run_gemm`] flow is deprecated in favor of
+//! every run. Batched and streaming execution live in
+//! [`crate::serve`]: [`Session::run_batch_opts`] schedules a one-shot
+//! batch and [`Session::serve`] starts a long-lived
+//! [`crate::serve::Server`], both configured by
+//! [`crate::serve::ServeOptions`]. The older [`EdgeSoc`] facade
+//! remains for platform construction and network sweeps; its
+//! stringly-typed [`EdgeSoc::run_gemm`] flow is deprecated in favor of
 //! `Session` with [`PrecisionConfig`] constants such as
 //! [`PrecisionConfig::A4W4`].
 

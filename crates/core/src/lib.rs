@@ -30,8 +30,13 @@
 //!
 //! The [`api`] module offers the high-level entry point:
 //! [`api::Session`] computes bit-exact GEMMs, times them on the
-//! modelled SoC, and reports the run's metrics in one call. Failures
-//! across the whole workspace unify into [`enum@Error`].
+//! modelled SoC, and reports the run's metrics in one call. The
+//! [`serve`] module layers request scheduling on top: one-shot batches
+//! via [`api::Session::run_batch_opts`] and a long-lived
+//! [`serve::Server`] (sharded work-stealing worker pool with
+//! continuous batching and deadline-aware admission, configured by
+//! [`serve::ServeOptions`]). Failures across the whole workspace unify
+//! into [`enum@Error`].
 //!
 //! # Quickstart
 //!

@@ -1,49 +1,70 @@
-//! The batched serving layer: a bounded request queue feeding a worker
-//! pool with **shape-bucketed scheduling**.
+//! The serving layer: sharded work-stealing scheduling with
+//! **continuous shape-bucketed batching** and deadline-aware admission.
 //!
-//! A [`Session`] handles one GEMM per
-//! [`Session::run`] call; production traffic arrives as
-//! many concurrent requests that overwhelmingly share shapes and
-//! precisions (DNN serving replays the same layer geometries for every
-//! input). This module amortizes that sharing:
+//! A [`Session`] handles one GEMM per [`Session::run`] call; production
+//! traffic arrives as many concurrent requests that overwhelmingly
+//! share shapes and precisions (DNN serving replays the same layer
+//! geometries for every input). This module amortizes that sharing
+//! without serializing on a single queue:
 //!
-//! - [`Session::run_batch`] buckets a batch of [`GemmRequest`]s by
-//!   `(GemmDims, PrecisionConfig)` and fans the buckets out across a
-//!   worker pool. Each bucket packs its operands once (through the
-//!   [`QuantMatrix`] packed-operand cache and
-//!   [`MixGemmKernel::compute_packed`]) and runs the cycle-level timing
-//!   simulation once (memoized process-wide, shared with the dnn layer's
-//!   [`SimCache`]).
-//! - [`Session::serve`] starts a [`Server`]: a bounded queue plus
-//!   long-lived workers. [`Server::submit`] applies backpressure
-//!   ([`ServeError::QueueFull`]) when the queue is at capacity, honors
-//!   per-request deadlines ([`ServeError::DeadlineExpired`] without
-//!   running the GEMM), and [`Server::drain`] finishes the queue before
-//!   shutting the workers down.
+//! - [`Session::run_batch_opts`] buckets a batch of [`GemmRequest`]s by
+//!   `(GemmDims, PrecisionConfig)` and fans the buckets out across
+//!   per-worker deques with work stealing. Each bucket packs its
+//!   operands once (through the [`QuantMatrix`] packed-operand cache
+//!   and [`MixGemmKernel::compute_packed`]) and runs the cycle-level
+//!   timing simulation once (memoized process-wide, shared with the
+//!   dnn layer's [`SimCache`]).
+//! - [`Session::serve`] starts a [`Server`]: requests admit into a
+//!   *forming* shape bucket that seals onto a per-worker shard deque
+//!   when a size or age threshold fires (**continuous batching** —
+//!   packing still happens once per bucket, but workers never idle
+//!   behind a closed batch). Idle workers **steal** sealed buckets from
+//!   other shards, so one hot shard never strands the pool.
+//!   [`Server::submit`] applies backpressure
+//!   ([`ServeError::QueueFull`]) when the admitted-but-unscheduled
+//!   request count reaches capacity, honors per-request deadlines, and
+//!   — under [`AdmissionPolicy::Reject`] /
+//!   [`AdmissionPolicy::Deprioritize`] — rejects or deprioritizes
+//!   requests whose deadline cannot be met at enqueue time, using an
+//!   EWMA of observed service times. [`Server::drain`] seals every
+//!   forming bucket and finishes the queue before shutting the workers
+//!   down.
+//!
+//! Configuration lives on [`ServeOptions`] (built via
+//! [`ServeOptions::builder`], mirroring
+//! [`GemmOptions::builder`](mixgemm_gemm::GemmOptions::builder)); the
+//! older [`ServeConfig`] converts into it losslessly.
 //!
 //! **Bit-identity guarantee:** every result returned by the serving
-//! layer is bit-identical to an independent
-//! [`Session::run`] of the same request —
-//! bucketing, operand sharing and worker scheduling never change values
-//! (property-tested across all 49 precision pairs in
-//! `tests/serving.rs`).
+//! layer is bit-identical to an independent [`Session::run`] of the
+//! same request — bucketing, operand sharing, stealing and worker
+//! scheduling never change values (property-tested across all 49
+//! precision pairs in `tests/serving.rs`).
 //!
 //! The scheduler reports itself through the observability layer:
-//! `serve.queue.depth` (gauge), `serve.requests` / `serve.buckets` /
+//! `serve.queue.depth` (requests admitted but not yet claimed — the sum
+//! of forming and sealed requests across every shard) and per-shard
+//! `serve.shard.<i>.depth` gauges, `serve.requests` / `serve.buckets` /
 //! `serve.bucket.hit` / `serve.bucket.miss` / `serve.sim_memo.*` /
-//! `serve.deadline_expired` / `serve.rejected` (counters),
-//! `serve.queue.wait_us` / `serve.service_us` latency histograms (with
-//! p50/p90/p99 quantiles) and `serve/bucket` / `serve/pack` /
-//! `serve/compute` spans, all in the session's recorder. With a
-//! flight-recorder timeline attached
+//! `serve.deadline_expired` / `serve.rejected` / `serve.steals` /
+//! `serve.steal.requests` / `serve.sealed` / `serve.seal.size` /
+//! `serve.seal.age` / `serve.seal.drain` / `serve.admission.rejected` /
+//! `serve.admission.deprioritized` (counters), `serve.queue.wait_us` /
+//! `serve.service_us` / `serve.latency_us` / `serve.bucket.age_us` /
+//! `serve.bucket.size` histograms (with p50/p90/p99 quantiles) and
+//! `serve/bucket` / `serve/pack` / `serve/compute` spans, all in the
+//! session's recorder. With a flight-recorder timeline attached
 //! ([`SessionBuilder::timeline`](crate::api::SessionBuilder::timeline)),
 //! every request additionally emits enqueue → schedule → pack →
-//! compute → complete stage events under its [`TraceId`], and the
-//! completion marker carries the simulated PMU cycle counts.
+//! compute → complete stage events under its [`TraceId`] (the schedule
+//! marker names the executing shard), every sealed bucket emits a
+//! `serve/seal` marker carrying its size, age and shard, and every
+//! steal emits a `serve/steal` marker naming the victim and thief
+//! shards — enough to see in a Perfetto trace where contention went.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -53,7 +74,7 @@ use mixgemm_dnn::runtime::{self, PrecisionPlan, Tensor};
 use mixgemm_dnn::simcache::{SimCache, SimKey};
 use mixgemm_dnn::{DnnError, Network};
 use mixgemm_gemm::{GemmDims, GemmError, GemmReport, MixGemmKernel, QuantMatrix};
-use mixgemm_harness::metrics::{self, MetricsReport};
+use mixgemm_harness::metrics::{self, Gauge, MetricsReport};
 use mixgemm_harness::timeline::{self, TraceId};
 use mixgemm_harness::trace;
 use mixgemm_planner::Plan;
@@ -61,14 +82,14 @@ use mixgemm_planner::Plan;
 use crate::api::Session;
 use crate::error::Error;
 
-/// Errors raised by the serving layer itself (queueing, deadlines,
-/// shutdown) — GEMM failures inside a request surface as
+/// Errors raised by the serving layer itself (queueing, admission,
+/// deadlines, shutdown) — GEMM failures inside a request surface as
 /// [`Error::Gemm`] instead.
 #[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
 pub enum ServeError {
-    /// The bounded request queue is at capacity; the request was
-    /// rejected without being enqueued (backpressure).
+    /// The admitted-but-unscheduled request count is at capacity; the
+    /// request was rejected without being enqueued (backpressure).
     QueueFull {
         /// The configured queue capacity.
         capacity: usize,
@@ -78,6 +99,14 @@ pub enum ServeError {
     DeadlineExpired,
     /// The server is draining or shut down and accepts no new requests.
     ShutDown,
+    /// Deadline-aware admission ([`AdmissionPolicy::Reject`]) predicted
+    /// at enqueue time that the request cannot complete before its
+    /// deadline; it was rejected without being enqueued.
+    AdmissionRejected {
+        /// The scheduler's completion estimate (µs from submission)
+        /// that exceeded the request's deadline.
+        estimated_us: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -88,11 +117,42 @@ impl fmt::Display for ServeError {
             }
             ServeError::DeadlineExpired => write!(f, "request deadline expired before execution"),
             ServeError::ShutDown => write!(f, "server is draining and accepts no new requests"),
+            ServeError::AdmissionRejected { estimated_us } => write!(
+                f,
+                "deadline unmeetable at admission (estimated completion in {estimated_us} us)"
+            ),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Deadline-aware admission control for a [`Server`] (see
+/// [`ServeOptionsBuilder::admission`]).
+///
+/// The scheduler keeps an exponentially weighted moving average of
+/// per-request service time; at enqueue time it estimates a new
+/// request's completion as `pending_requests x EWMA / workers` and
+/// compares that against the request's deadline. Requests without a
+/// deadline are always admitted normally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdmissionPolicy {
+    /// Admit everything; deadlines are only checked when a worker picks
+    /// the request up (the pre-sharding behavior). The default.
+    #[default]
+    Accept,
+    /// Reject requests whose deadline the estimate says cannot be met
+    /// ([`ServeError::AdmissionRejected`], counted as
+    /// `serve.admission.rejected`).
+    Reject,
+    /// Admit deadline-unmeetable requests into low-priority buckets
+    /// that workers only run once every normal shard is empty (counted
+    /// as `serve.admission.deprioritized`). Their deadline is still
+    /// enforced at execution, so they typically fail with
+    /// [`ServeError::DeadlineExpired`] instead of stalling live traffic.
+    Deprioritize,
+}
 
 /// One GEMM request: shared operands plus optional per-request precision
 /// and deadline.
@@ -103,13 +163,18 @@ impl std::error::Error for ServeError {}
 /// packed-operand cache lives on the [`QuantMatrix`], so every request
 /// touching a given operand after the first reuses its packed form.
 ///
+/// `(A, B)` operand pairs convert directly
+/// (`impl From<(Arc<QuantMatrix>, Arc<QuantMatrix>)>` and owned
+/// equivalents), so [`Server::submit`] accepts plain tuples.
+///
 /// Every request carries a process-unique [`TraceId`] from birth; when
 /// the session has a flight-recorder
 /// [`Timeline`](mixgemm_harness::timeline::Timeline) attached, the
 /// scheduler emits enqueue → schedule → pack → compute → complete stage
 /// events under that id, so one request's journey can be followed across
-/// queue and worker threads in the exported Chrome trace.
+/// queue, shard and worker threads in the exported Chrome trace.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct GemmRequest {
     a: Arc<QuantMatrix>,
     b: Arc<QuantMatrix>,
@@ -149,7 +214,9 @@ impl GemmRequest {
 
     /// Sets an absolute deadline: a worker that picks the request up
     /// after this instant fails it with [`ServeError::DeadlineExpired`]
-    /// without running the GEMM.
+    /// without running the GEMM. Under [`AdmissionPolicy::Reject`] /
+    /// [`AdmissionPolicy::Deprioritize`] the deadline is additionally
+    /// checked against a completion estimate at enqueue time.
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
         self
@@ -203,6 +270,18 @@ impl GemmRequest {
     }
 }
 
+impl From<(Arc<QuantMatrix>, Arc<QuantMatrix>)> for GemmRequest {
+    fn from((a, b): (Arc<QuantMatrix>, Arc<QuantMatrix>)) -> Self {
+        GemmRequest::new(a, b)
+    }
+}
+
+impl From<(QuantMatrix, QuantMatrix)> for GemmRequest {
+    fn from((a, b): (QuantMatrix, QuantMatrix)) -> Self {
+        GemmRequest::owned(a, b)
+    }
+}
+
 /// The outcome of one served request: the bit-exact result matrix and
 /// the cycle-level report of its shape class (simulated once per
 /// bucket — the simulation is data-independent, so every request in the
@@ -217,15 +296,18 @@ pub struct ServedGemm {
     pub report: GemmReport,
 }
 
-/// The outcome of one [`Session::run_batch`] call.
+/// The outcome of one [`Session::run_batch_opts`] call.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct BatchReport {
     /// Per-request outcomes, in submission order.
     pub results: Vec<Result<ServedGemm, Error>>,
     /// Everything recorded during the batch: bucket counters, pack and
-    /// kernel spans, operand-cache and simulation-memo hit rates.
+    /// kernel spans, operand-cache and simulation-memo hit rates, steal
+    /// counters.
     pub metrics: MetricsReport,
-    /// Distinct `(dims, precision)` buckets the batch scheduled.
+    /// Distinct `(dims, precision)` scheduling classes in the batch
+    /// (independent of how [`ServeOptions::max_bucket`] chunked them).
     pub buckets: usize,
 }
 
@@ -238,6 +320,122 @@ impl BatchReport {
     /// Propagates the first per-request error in submission order.
     pub fn into_outputs(self) -> Result<Vec<ServedGemm>, Error> {
         self.results.into_iter().collect()
+    }
+}
+
+/// Configures the serving layer: worker/shard count, queue capacity,
+/// continuous-batching thresholds and admission policy.
+///
+/// Built with [`ServeOptions::builder`] (mirroring
+/// [`GemmOptions::builder`](mixgemm_gemm::GemmOptions::builder)); the
+/// legacy [`ServeConfig`] converts into it via `From`. One `ServeOptions`
+/// drives both entry points: [`Session::run_batch_opts`] (one-shot) and
+/// [`Session::serve`] (long-lived [`Server`]).
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct ServeOptions {
+    /// Worker threads (and therefore shard deques); at least 1.
+    pub workers: usize,
+    /// Bounded admission capacity: submissions while
+    /// `forming + sealed-but-unclaimed` requests are at this level are
+    /// rejected with [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Start with the workers paused: requests enqueue but nothing runs
+    /// until [`Server::resume`] — deterministic queue-buildup for tests
+    /// and warm-up.
+    pub start_paused: bool,
+    /// Continuous-batching size threshold: a forming bucket seals onto a
+    /// shard as soon as it holds this many requests.
+    pub max_bucket: usize,
+    /// Continuous-batching age threshold: a forming bucket seals once
+    /// its oldest request has waited this long, full or not.
+    pub max_bucket_age: Duration,
+    /// Deadline-aware admission policy (server path only).
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 2,
+            queue_capacity: 64,
+            start_paused: false,
+            max_bucket: 32,
+            max_bucket_age: Duration::from_micros(200),
+            admission: AdmissionPolicy::Accept,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Starts a builder from the defaults: 2 workers, capacity 64,
+    /// running, buckets seal at 32 requests or 200 µs, admission
+    /// [`AdmissionPolicy::Accept`].
+    pub fn builder() -> ServeOptionsBuilder {
+        ServeOptionsBuilder {
+            opts: ServeOptions::default(),
+        }
+    }
+}
+
+impl From<ServeConfig> for ServeOptions {
+    fn from(config: ServeConfig) -> Self {
+        ServeOptions {
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            start_paused: config.start_paused,
+            ..ServeOptions::default()
+        }
+    }
+}
+
+/// Builds a [`ServeOptions`] field by field (see
+/// [`ServeOptions::builder`]).
+#[derive(Clone, Debug)]
+pub struct ServeOptionsBuilder {
+    opts: ServeOptions,
+}
+
+impl ServeOptionsBuilder {
+    /// Sets the worker/shard count (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.opts.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the bounded admission capacity (clamped to at least 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.opts.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Starts the server paused (see [`ServeOptions::start_paused`]).
+    pub fn start_paused(mut self, paused: bool) -> Self {
+        self.opts.start_paused = paused;
+        self
+    }
+
+    /// Sets the bucket size threshold (clamped to at least 1).
+    pub fn max_bucket(mut self, max_bucket: usize) -> Self {
+        self.opts.max_bucket = max_bucket.max(1);
+        self
+    }
+
+    /// Sets the bucket age threshold.
+    pub fn max_bucket_age(mut self, age: Duration) -> Self {
+        self.opts.max_bucket_age = age;
+        self
+    }
+
+    /// Sets the deadline-aware admission policy.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.opts.admission = policy;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ServeOptions {
+        self.opts
     }
 }
 
@@ -264,7 +462,8 @@ fn duration_us(d: Duration) -> f64 {
 
 /// Runs one bucket: simulate the shape class once (memoized), then
 /// compute every request through the shared packed operands. Returns
-/// `(input position, outcome)` pairs in input order.
+/// `(input position, outcome)` pairs in input order. `shard` names the
+/// executing worker's shard for the `serve/schedule` stage marker.
 ///
 /// Runs with the session's timeline (if any) installed on the executing
 /// thread, so pack/kernel spans emit timeline events and each request
@@ -274,6 +473,7 @@ fn run_bucket(
     dims: GemmDims,
     precision: PrecisionConfig,
     requests: &[(usize, GemmRequest)],
+    shard: Option<u64>,
 ) -> Vec<(usize, Result<ServedGemm, Error>)> {
     let rec = session.recorder().clone();
     timeline::with_timeline_opt(session.timeline().cloned(), || {
@@ -334,7 +534,12 @@ fn run_bucket(
                     // span events.
                     let outcome = timeline::with_trace(req.trace, || {
                         let scheduled = Instant::now();
-                        timeline::instant("serve/schedule");
+                        match shard {
+                            Some(s) => {
+                                timeline::instant_with_args("serve/schedule", vec![("shard", s)])
+                            }
+                            None => timeline::instant("serve/schedule"),
+                        }
                         if let Some(enqueued) = req.enqueued {
                             rec.histogram("serve.queue.wait_us")
                                 .record(duration_us(scheduled.duration_since(enqueued)));
@@ -365,6 +570,13 @@ fn run_bucket(
                         })();
                         rec.histogram("serve.service_us")
                             .record(duration_us(scheduled.elapsed()));
+                        if let Some(enqueued) = req.enqueued {
+                            // End-to-end latency (enqueue -> completion):
+                            // what an open-loop load generator's SLOs are
+                            // measured against.
+                            rec.histogram("serve.latency_us")
+                                .record(duration_us(enqueued.elapsed()));
+                        }
                         match &result {
                             Ok(served) => {
                                 // The completion marker carries the simulated
@@ -395,29 +607,49 @@ impl Session {
     /// Runs a batch of requests through the shape-bucketed scheduler on
     /// the session's configured
     /// [`parallelism`](crate::api::SessionBuilder::parallelism) as the
-    /// worker count. See [`Session::run_batch_with`].
+    /// worker count. See [`Session::run_batch_opts`].
     pub fn run_batch(&self, requests: Vec<GemmRequest>) -> BatchReport {
         let workers = self.options().parallelism.threads;
-        self.run_batch_with(requests, workers)
+        self.run_batch_opts(
+            requests,
+            &ServeOptions::builder().workers(workers.max(1)).build(),
+        )
     }
 
     /// Runs a batch of requests through the shape-bucketed scheduler on
     /// an explicit number of workers.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use run_batch_opts(requests, &ServeOptions::builder().workers(n).build())"
+    )]
+    pub fn run_batch_with(&self, requests: Vec<GemmRequest>, workers: usize) -> BatchReport {
+        self.run_batch_opts(
+            requests,
+            &ServeOptions::builder().workers(workers.max(1)).build(),
+        )
+    }
+
+    /// Runs a batch of requests through the sharded work-stealing
+    /// scheduler configured by `opts`.
     ///
     /// Requests are grouped into `(dims, precision)` buckets in
-    /// submission order; workers claim whole buckets, so each bucket
-    /// packs its operands once and simulates its shape class once.
-    /// Results come back in submission order regardless of worker
-    /// scheduling, and every result is bit-identical to an independent
-    /// [`Session::run`] of the same request.
-    /// Per-request failures (dimension mismatches, expired deadlines)
-    /// land in [`BatchReport::results`] without failing the batch.
+    /// submission order (chunked at [`ServeOptions::max_bucket`]), the
+    /// chunks are dealt round-robin onto per-worker shard deques, and
+    /// each worker drains its own shard front-first, **stealing** from
+    /// the back of other shards when its own runs dry — so a skewed
+    /// bucket mix can never idle the pool. Each bucket packs its
+    /// operands once and simulates its shape class once. Results come
+    /// back in submission order regardless of worker scheduling, and
+    /// every result is bit-identical to an independent [`Session::run`]
+    /// of the same request. Per-request failures (dimension mismatches,
+    /// expired deadlines) land in [`BatchReport::results`] without
+    /// failing the batch.
     ///
     /// ```
     /// use std::sync::Arc;
     /// use mixgemm::api::Session;
     /// use mixgemm::gemm::QuantMatrix;
-    /// use mixgemm::serve::GemmRequest;
+    /// use mixgemm::serve::{GemmRequest, ServeOptions};
     /// use mixgemm::PrecisionConfig;
     ///
     /// let session = Session::builder().precision(PrecisionConfig::A4W4).build();
@@ -429,12 +661,13 @@ impl Session {
     ///         GemmRequest::new(Arc::new(a), b.clone())
     ///     })
     ///     .collect();
-    /// let report = session.run_batch_with(batch, 2);
+    /// let opts = ServeOptions::builder().workers(2).build();
+    /// let report = session.run_batch_opts(batch, &opts);
     /// assert_eq!(report.buckets, 1); // one shared (dims, precision) class
     /// assert_eq!(report.results.len(), 3);
     /// assert!(report.results.iter().all(|r| r.is_ok()));
     /// ```
-    pub fn run_batch_with(&self, requests: Vec<GemmRequest>, workers: usize) -> BatchReport {
+    pub fn run_batch_opts(&self, requests: Vec<GemmRequest>, opts: &ServeOptions) -> BatchReport {
         let snap = self.recorder().snapshot();
         let n = requests.len();
         let mut results: Vec<Option<Result<ServedGemm, Error>>> = (0..n).map(|_| None).collect();
@@ -461,41 +694,91 @@ impl Session {
                 })
                 .push((pos, req));
         }
-        let buckets: Vec<(BucketKey, Vec<(usize, GemmRequest)>)> = order
-            .into_iter()
-            .map(|key| {
-                let reqs = by_key.remove(&key).expect("bucket recorded in order");
-                (key, reqs)
-            })
-            .collect();
-        let bucket_count = buckets.len();
+        let bucket_count = order.len();
 
-        let workers = workers.clamp(1, bucket_count.max(1));
+        // Chunk each class at the continuous-batching size threshold so
+        // a giant class still spreads across workers.
+        let max_bucket = opts.max_bucket.max(1);
+        let mut chunks: Vec<(BucketKey, Vec<(usize, GemmRequest)>)> = Vec::new();
+        for key in order {
+            let mut reqs = by_key.remove(&key).expect("bucket recorded in order");
+            while reqs.len() > max_bucket {
+                let rest = reqs.split_off(max_bucket);
+                chunks.push((key, std::mem::replace(&mut reqs, rest)));
+            }
+            chunks.push((key, reqs));
+        }
+
+        let workers = opts.workers.clamp(1, chunks.len().max(1));
         if workers <= 1 {
-            for ((dims, precision), reqs) in &buckets {
-                for (pos, outcome) in run_bucket(self, *dims, *precision, reqs) {
+            for ((dims, precision), reqs) in &chunks {
+                for (pos, outcome) in run_bucket(self, *dims, *precision, reqs, Some(0)) {
                     results[pos] = Some(outcome);
                 }
             }
         } else {
-            // Workers claim bucket indices from a shared cursor and
-            // complete in any order; scattering by submission position
-            // restores the caller's ordering.
-            let next = AtomicUsize::new(0);
+            // Deal chunk indices round-robin onto per-worker shard
+            // deques; workers drain their own shard front-first and
+            // steal from the back of the others when empty.
+            let shards: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+                .map(|w| {
+                    Mutex::new(
+                        (0..chunks.len())
+                            .filter(|i| i % workers == w)
+                            .collect::<VecDeque<usize>>(),
+                    )
+                })
+                .collect();
             let done: Mutex<Vec<(usize, Result<ServedGemm, Error>)>> = Mutex::new(Vec::new());
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(((dims, precision), reqs)) = buckets.get(i) else {
+            let rec = self.recorder().clone();
+            let worker_body = |w: usize| loop {
+                let mut claimed = shards[w].lock().expect("serve shard poisoned").pop_front();
+                if claimed.is_none() {
+                    for delta in 1..workers {
+                        let victim = (w + delta) % workers;
+                        let stolen = shards[victim]
+                            .lock()
+                            .expect("serve shard poisoned")
+                            .pop_back();
+                        if let Some(idx) = stolen {
+                            rec.counter("serve.steals").inc();
+                            rec.counter("serve.steal.requests")
+                                .add(chunks[idx].1.len() as u64);
+                            if let Some(tl) = self.timeline() {
+                                tl.instant_with_args(
+                                    "serve/steal",
+                                    None,
+                                    vec![
+                                        ("from_shard", victim as u64),
+                                        ("to_shard", w as u64),
+                                        ("requests", chunks[idx].1.len() as u64),
+                                    ],
+                                );
+                            }
+                            claimed = Some(idx);
                             break;
-                        };
-                        let outcomes = run_bucket(self, *dims, *precision, reqs);
-                        done.lock()
-                            .expect("serve results poisoned")
-                            .extend(outcomes);
-                    });
+                        }
+                    }
                 }
+                let Some(idx) = claimed else {
+                    break;
+                };
+                let ((dims, precision), reqs) = &chunks[idx];
+                let outcomes = run_bucket(self, *dims, *precision, reqs, Some(w as u64));
+                done.lock()
+                    .expect("serve results poisoned")
+                    .extend(outcomes);
+            };
+            // The calling thread is worker 0: a W-worker batch spawns
+            // only W-1 threads, and spawn latency overlaps with worker
+            // 0 already computing — decisive for small batches where
+            // thread creation rivals the GEMM work itself.
+            std::thread::scope(|scope| {
+                let body = &worker_body;
+                for w in 1..workers {
+                    scope.spawn(move || body(w));
+                }
+                body(0);
             });
             for (pos, outcome) in done.into_inner().expect("serve results poisoned") {
                 results[pos] = Some(outcome);
@@ -512,12 +795,13 @@ impl Session {
         }
     }
 
-    /// Starts a [`Server`] over a clone of this session: a bounded
-    /// request queue feeding `config.workers` long-lived worker threads
-    /// that schedule by shape bucket. The server records into this
-    /// session's registry.
-    pub fn serve(&self, config: ServeConfig) -> Server {
-        Server::start(self.clone(), config)
+    /// Starts a [`Server`] over a clone of this session: per-worker
+    /// shard deques with work stealing, continuous shape-bucketed
+    /// batching and (optionally) deadline-aware admission, configured
+    /// by `options` (a [`ServeOptions`] or legacy [`ServeConfig`]).
+    /// The server records into this session's registry.
+    pub fn serve(&self, options: impl Into<ServeOptions>) -> Server {
+        Server::start(self.clone(), options.into())
     }
 
     /// Runs quantized inference over a batch of inputs through the
@@ -616,8 +900,11 @@ pub struct ForwardBatch {
     pub metrics: MetricsReport,
 }
 
-/// Configures a [`Server`] (see [`Session::serve`]).
+/// Legacy [`Server`] configuration, superseded by [`ServeOptions`]
+/// (which it converts into via `From`, keeping the
+/// continuous-batching and admission defaults).
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct ServeConfig {
     /// Worker threads draining the queue (at least 1; default 2).
     pub workers: usize,
@@ -687,21 +974,48 @@ impl fmt::Debug for Ticket {
 }
 
 impl Ticket {
+    /// Blocks until the request completes (or `deadline` passes, when
+    /// given) and returns its outcome; `None` on timeout.
+    fn wait_until(&self, deadline: Option<Instant>) -> Option<Result<ServedGemm, Error>> {
+        let mut done = self.slot.done.lock().expect("serve slot poisoned");
+        loop {
+            if let Some(outcome) = done.take() {
+                return Some(outcome);
+            }
+            match deadline {
+                None => done = self.slot.cv.wait(done).expect("serve slot poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    let (guard, _timed_out) = self
+                        .slot
+                        .cv
+                        .wait_timeout(done, d - now)
+                        .expect("serve slot poisoned");
+                    done = guard;
+                }
+            }
+        }
+    }
+
     /// Blocks until the request completes and returns its outcome.
     ///
     /// # Errors
     ///
     /// Returns the request's failure: [`Error::Serve`] for scheduler
-    /// errors (expired deadline, shutdown) or [`Error::Gemm`] for
-    /// computation failures.
+    /// errors (expired deadline, admission rejection, shutdown) or
+    /// [`Error::Gemm`] for computation failures.
     pub fn wait(self) -> Result<ServedGemm, Error> {
-        let mut done = self.slot.done.lock().expect("serve slot poisoned");
-        loop {
-            if let Some(outcome) = done.take() {
-                return outcome;
-            }
-            done = self.slot.cv.wait(done).expect("serve slot poisoned");
-        }
+        self.wait_until(None).expect("unbounded wait completed")
+    }
+
+    /// Blocks up to `timeout` for the request to complete; `None` when
+    /// the timeout elapses first (the ticket stays valid and can be
+    /// waited on again).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ServedGemm, Error>> {
+        self.wait_until(Instant::now().checked_add(timeout))
     }
 
     /// The outcome, if the request already completed (non-blocking).
@@ -710,121 +1024,476 @@ impl Ticket {
     }
 }
 
-struct QueueState {
-    pending: VecDeque<(GemmRequest, Arc<Slot>)>,
-    paused: bool,
+/// A request admitted to a [`Server`], waiting in a forming or sealed
+/// bucket.
+struct Pending {
+    req: GemmRequest,
+    slot: Arc<Slot>,
+}
+
+/// A bucket admitted but not yet sealed: it still accepts requests of
+/// its `(dims, precision)` class until the size or age threshold fires.
+struct Forming {
+    requests: Vec<Pending>,
+    born: Instant,
+}
+
+/// A sealed bucket on a shard deque (or the low-priority queue),
+/// waiting for a worker to claim it.
+struct Sealed {
+    dims: GemmDims,
+    precision: PrecisionConfig,
+    requests: Vec<Pending>,
+}
+
+/// Forming-bucket state and the drain/pause flags, guarded by one
+/// mutex workers only touch when their shard (and every steal victim)
+/// is empty — the hot claim path is per-shard.
+struct Control {
+    /// Forming buckets keyed by scheduling class plus the
+    /// deprioritized flag (low-priority requests form separately so
+    /// they never delay a live bucket's seal).
+    forming: HashMap<(BucketKey, bool), Forming>,
     draining: bool,
+}
+
+/// One worker's deque of sealed buckets. The owner pops from the front
+/// (oldest first); thieves steal from the back.
+struct ShardQueue {
+    queue: Mutex<VecDeque<Sealed>>,
+    /// Requests currently sealed on this shard (mirrors the
+    /// `serve.shard.<i>.depth` gauge).
+    depth: AtomicUsize,
+    /// The pre-resolved `serve.shard.<i>.depth` gauge — claims are the
+    /// hot path, so no name formatting or registry lookup there.
+    gauge: Arc<Gauge>,
 }
 
 struct Shared {
     session: Session,
-    capacity: usize,
-    state: Mutex<QueueState>,
+    opts: ServeOptions,
+    control: Mutex<Control>,
     work: Condvar,
+    shards: Vec<ShardQueue>,
+    /// Deprioritized sealed buckets; only claimed when every shard is
+    /// empty.
+    low: Mutex<VecDeque<Sealed>>,
+    next_shard: AtomicUsize,
+    /// Requests admitted into forming buckets (updated under the
+    /// control lock; atomic so depth gauges read it lock-free).
+    forming_count: AtomicUsize,
+    /// Requests sealed onto shards (or the low-priority queue) but not
+    /// yet claimed by a worker.
+    queued: AtomicUsize,
+    paused: AtomicBool,
+    /// EWMA of observed per-request service time (µs), feeding the
+    /// admission estimate. 0 until the first bucket completes.
+    service_ewma_us: AtomicU64,
+    /// The pre-resolved `serve.queue.depth` gauge.
+    depth_gauge: Arc<Gauge>,
 }
 
-/// A running serving instance: bounded queue + worker pool over one
-/// session (see [`Session::serve`]).
+impl Shared {
+    /// `forming + sealed-but-unclaimed` requests — the admission
+    /// capacity measure and the `serve.queue.depth` gauge.
+    fn depth(&self) -> usize {
+        self.forming_count.load(Ordering::Acquire) + self.queued.load(Ordering::Acquire)
+    }
+
+    fn publish_depth(&self) {
+        self.depth_gauge.set(self.depth() as f64);
+    }
+
+    fn publish_shard_depth(&self, shard: usize) {
+        self.shards[shard]
+            .gauge
+            .set(self.shards[shard].depth.load(Ordering::Acquire) as f64);
+    }
+
+    /// Seals one forming bucket onto a shard deque (round-robin) or the
+    /// low-priority queue. Caller holds the control lock; shard locks
+    /// nest inside it (submit uses the same order).
+    fn seal(&self, key: (BucketKey, bool), forming: Forming, why: &'static str) {
+        let ((dims, precision), low) = key;
+        let n = forming.requests.len();
+        self.forming_count.fetch_sub(n, Ordering::AcqRel);
+        self.queued.fetch_add(n, Ordering::AcqRel);
+        let rec = self.session.recorder();
+        rec.counter("serve.sealed").inc();
+        rec.counter(why).inc();
+        let age_us = duration_us(forming.born.elapsed());
+        rec.histogram("serve.bucket.age_us").record(age_us);
+        rec.histogram("serve.bucket.size").record(n as f64);
+        let sealed = Sealed {
+            dims,
+            precision,
+            requests: forming.requests,
+        };
+        let mut args = vec![("bucket_size", n as u64), ("bucket_age_us", age_us as u64)];
+        if low {
+            self.low
+                .lock()
+                .expect("serve low queue poisoned")
+                .push_back(sealed);
+            args.push(("low_priority", 1));
+        } else {
+            let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+            self.shards[shard]
+                .queue
+                .lock()
+                .expect("serve shard poisoned")
+                .push_back(sealed);
+            self.shards[shard].depth.fetch_add(n, Ordering::AcqRel);
+            self.publish_shard_depth(shard);
+            args.push(("shard", shard as u64));
+        }
+        if let Some(tl) = self.session.timeline() {
+            tl.instant_with_args("serve/seal", None, args);
+        }
+        self.publish_depth();
+    }
+
+    /// Seals every forming bucket that is ready: aged past
+    /// [`ServeOptions::max_bucket_age`], or all of them while draining.
+    /// Caller holds the control lock. Returns how many buckets sealed.
+    fn seal_ready(&self, control: &mut Control, now: Instant) -> usize {
+        let draining = control.draining;
+        let ready: Vec<(BucketKey, bool)> = control
+            .forming
+            .iter()
+            .filter(|(_, f)| draining || now.duration_since(f.born) >= self.opts.max_bucket_age)
+            .map(|(k, _)| *k)
+            .collect();
+        let sealed = ready.len();
+        for key in ready {
+            let forming = control.forming.remove(&key).expect("forming key listed");
+            self.seal(
+                key,
+                forming,
+                if draining {
+                    "serve.seal.drain"
+                } else {
+                    "serve.seal.age"
+                },
+            );
+        }
+        sealed
+    }
+
+    /// The next instant at which a forming bucket ages out, if any.
+    fn next_age_deadline(&self, control: &Control) -> Option<Instant> {
+        control
+            .forming
+            .values()
+            .map(|f| f.born + self.opts.max_bucket_age)
+            .min()
+    }
+
+    /// Pops the oldest sealed bucket from `worker`'s own shard.
+    fn pop_local(&self, worker: usize) -> Option<Sealed> {
+        let sealed = self.shards[worker]
+            .queue
+            .lock()
+            .expect("serve shard poisoned")
+            .pop_front()?;
+        self.note_claim(worker, &sealed);
+        Some(sealed)
+    }
+
+    /// Steals the newest sealed bucket from another shard, scanning
+    /// round-robin from `worker + 1`.
+    fn steal(&self, worker: usize) -> Option<Sealed> {
+        let n = self.shards.len();
+        for delta in 1..n {
+            let victim = (worker + delta) % n;
+            let stolen = self.shards[victim]
+                .queue
+                .lock()
+                .expect("serve shard poisoned")
+                .pop_back();
+            if let Some(sealed) = stolen {
+                let rec = self.session.recorder();
+                rec.counter("serve.steals").inc();
+                rec.counter("serve.steal.requests")
+                    .add(sealed.requests.len() as u64);
+                if let Some(tl) = self.session.timeline() {
+                    tl.instant_with_args(
+                        "serve/steal",
+                        None,
+                        vec![
+                            ("from_shard", victim as u64),
+                            ("to_shard", worker as u64),
+                            ("requests", sealed.requests.len() as u64),
+                        ],
+                    );
+                }
+                self.shards[victim]
+                    .depth
+                    .fetch_sub(sealed.requests.len(), Ordering::AcqRel);
+                self.publish_shard_depth(victim);
+                self.queued
+                    .fetch_sub(sealed.requests.len(), Ordering::AcqRel);
+                self.publish_depth();
+                return Some(sealed);
+            }
+        }
+        None
+    }
+
+    /// Claims a deprioritized bucket once every shard is empty.
+    fn pop_low(&self) -> Option<Sealed> {
+        let sealed = self
+            .low
+            .lock()
+            .expect("serve low queue poisoned")
+            .pop_front()?;
+        self.queued
+            .fetch_sub(sealed.requests.len(), Ordering::AcqRel);
+        self.publish_depth();
+        Some(sealed)
+    }
+
+    fn note_claim(&self, shard: usize, sealed: &Sealed) {
+        self.shards[shard]
+            .depth
+            .fetch_sub(sealed.requests.len(), Ordering::AcqRel);
+        self.publish_shard_depth(shard);
+        self.queued
+            .fetch_sub(sealed.requests.len(), Ordering::AcqRel);
+        self.publish_depth();
+    }
+
+    /// Runs one claimed bucket, fills its tickets, and folds its
+    /// per-request service time into the admission EWMA.
+    fn run_sealed(&self, sealed: Sealed, worker: usize) {
+        let positioned: Vec<(usize, GemmRequest)> = sealed
+            .requests
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.req.clone()))
+            .collect();
+        let started = Instant::now();
+        let outcomes = run_bucket(
+            &self.session,
+            sealed.dims,
+            sealed.precision,
+            &positioned,
+            Some(worker as u64),
+        );
+        let per_request_us =
+            (duration_us(started.elapsed()) / positioned.len().max(1) as f64) as u64;
+        let prev = self.service_ewma_us.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            per_request_us
+        } else {
+            (prev * 7 + per_request_us) / 8
+        };
+        self.service_ewma_us.store(next.max(1), Ordering::Relaxed);
+        for (i, outcome) in outcomes {
+            let slot = &sealed.requests[i].slot;
+            *slot.done.lock().expect("serve slot poisoned") = Some(outcome);
+            slot.cv.notify_all();
+        }
+    }
+}
+
+/// A running serving instance: per-worker shard deques with work
+/// stealing, continuous shape-bucketed batching and deadline-aware
+/// admission over one session (see [`Session::serve`]).
 ///
-/// Dropping the server drains it gracefully: already-queued requests
-/// finish, then the workers exit.
+/// Dropping the server drains it gracefully: forming buckets seal,
+/// already-queued requests finish, then the workers exit.
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    fn start(session: Session, config: ServeConfig) -> Server {
+    fn start(session: Session, opts: ServeOptions) -> Server {
+        let workers = opts.workers.max(1);
+        let paused = opts.start_paused;
+        let shards = (0..workers)
+            .map(|w| ShardQueue {
+                queue: Mutex::new(VecDeque::new()),
+                depth: AtomicUsize::new(0),
+                gauge: session.recorder().gauge(&format!("serve.shard.{w}.depth")),
+            })
+            .collect();
+        let depth_gauge = session.recorder().gauge("serve.queue.depth");
         let shared = Arc::new(Shared {
             session,
-            capacity: config.queue_capacity.max(1),
-            state: Mutex::new(QueueState {
-                pending: VecDeque::new(),
-                paused: config.start_paused,
+            opts,
+            control: Mutex::new(Control {
+                forming: HashMap::new(),
                 draining: false,
             }),
             work: Condvar::new(),
+            shards,
+            low: Mutex::new(VecDeque::new()),
+            next_shard: AtomicUsize::new(0),
+            forming_count: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            paused: AtomicBool::new(paused),
+            service_ewma_us: AtomicU64::new(0),
+            depth_gauge,
         });
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
+        // Zero every depth gauge up front so dashboards see the full
+        // shard layout before the first request lands.
+        shared.publish_depth();
+        for shard in 0..shared.shards.len() {
+            shared.publish_shard_depth(shard);
+        }
+        let workers = (0..workers)
+            .map(|w| {
                 let shared = shared.clone();
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn serve worker")
             })
             .collect();
         Server { shared, workers }
     }
 
-    /// Enqueues a request, returning a [`Ticket`] to wait on.
+    /// Enqueues a request (anything convertible into a [`GemmRequest`],
+    /// e.g. an `(a, b)` operand pair), returning a [`Ticket`] to wait
+    /// on. The request joins its `(dims, precision)` forming bucket,
+    /// which seals onto a shard once the size or age threshold fires.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::QueueFull`] when the bounded queue is at
-    /// capacity (the request is dropped — backpressure),
-    /// [`ServeError::ShutDown`] after [`Server::drain`], and
+    /// Returns [`ServeError::QueueFull`] when the admitted-but-unclaimed
+    /// request count is at capacity (the request is dropped —
+    /// backpressure), [`ServeError::ShutDown`] after [`Server::drain`],
+    /// [`ServeError::AdmissionRejected`] under
+    /// [`AdmissionPolicy::Reject`] when the deadline cannot be met, and
     /// [`Error::Gemm`] immediately for dimension mismatches.
-    pub fn submit(&self, mut request: GemmRequest) -> Result<Ticket, Error> {
+    pub fn submit(&self, request: impl Into<GemmRequest>) -> Result<Ticket, Error> {
+        let mut request: GemmRequest = request.into();
         if request.a.cols() != request.b.rows() {
             return Err(Error::Gemm(GemmError::DimensionMismatch {
                 a_cols: request.a.cols(),
                 b_rows: request.b.rows(),
             }));
         }
-        let rec = self.shared.session.recorder();
-        let mut st = self.shared.state.lock().expect("serve queue poisoned");
-        if st.draining {
+        let shared = &self.shared;
+        let rec = shared.session.recorder();
+        let mut control = shared.control.lock().expect("serve control poisoned");
+        if control.draining {
             return Err(Error::Serve(ServeError::ShutDown));
         }
-        if st.pending.len() >= self.shared.capacity {
+        if shared.depth() >= shared.opts.queue_capacity {
             rec.counter("serve.rejected").inc();
             return Err(Error::Serve(ServeError::QueueFull {
-                capacity: self.shared.capacity,
+                capacity: shared.opts.queue_capacity,
             }));
         }
+
+        // Deadline-aware admission: estimate this request's completion
+        // from the queue depth and the observed service-time EWMA.
+        let mut low_priority = false;
+        if shared.opts.admission != AdmissionPolicy::Accept {
+            if let Some(deadline) = request.deadline {
+                let ewma = shared.service_ewma_us.load(Ordering::Relaxed);
+                let pending = shared.depth() as u64;
+                let estimated_us =
+                    ewma.saturating_mul(pending + 1) / (shared.shards.len() as u64).max(1);
+                let unmeetable = Instant::now() + Duration::from_micros(estimated_us) > deadline;
+                if unmeetable {
+                    match shared.opts.admission {
+                        AdmissionPolicy::Reject => {
+                            rec.counter("serve.admission.rejected").inc();
+                            if let Some(tl) = shared.session.timeline() {
+                                tl.instant_with_args(
+                                    "serve/admission_reject",
+                                    Some(request.trace),
+                                    vec![("estimated_us", estimated_us)],
+                                );
+                            }
+                            return Err(Error::Serve(ServeError::AdmissionRejected {
+                                estimated_us,
+                            }));
+                        }
+                        AdmissionPolicy::Deprioritize => {
+                            rec.counter("serve.admission.deprioritized").inc();
+                            if let Some(tl) = shared.session.timeline() {
+                                tl.instant_with_args(
+                                    "serve/deprioritize",
+                                    Some(request.trace),
+                                    vec![("estimated_us", estimated_us)],
+                                );
+                            }
+                            low_priority = true;
+                        }
+                        AdmissionPolicy::Accept => unreachable!("checked above"),
+                    }
+                }
+            }
+        }
+
         let slot = Arc::new(Slot {
             done: Mutex::new(None),
             cv: Condvar::new(),
         });
-        request.mark_enqueued(&self.shared.session);
-        st.pending.push_back((request, slot.clone()));
-        rec.gauge("serve.queue.depth").set(st.pending.len() as f64);
-        let paused = st.paused;
-        drop(st);
-        if !paused {
-            self.shared.work.notify_one();
+        request.mark_enqueued(&shared.session);
+        let key = (
+            key_of(&request, shared.session.options().precision),
+            low_priority,
+        );
+        let bucket_created = !control.forming.contains_key(&key);
+        let forming = control.forming.entry(key).or_insert_with(|| Forming {
+            requests: Vec::new(),
+            born: Instant::now(),
+        });
+        forming.requests.push(Pending {
+            req: request,
+            slot: slot.clone(),
+        });
+        shared.forming_count.fetch_add(1, Ordering::AcqRel);
+        let sealed = forming.requests.len() >= shared.opts.max_bucket;
+        if sealed {
+            let forming = control.forming.remove(&key).expect("forming just filled");
+            shared.seal(key, forming, "serve.seal.size");
+        }
+        shared.publish_depth();
+        drop(control);
+        // Wakeup coalescing: waking a parked worker per *submission*
+        // would cost two context switches each just to find nothing
+        // claimable (ruinous when workers oversubscribe the cores).
+        // A worker only needs waking when a bucket actually sealed, or
+        // when a brand-new forming bucket needs a parked worker to arm
+        // its age timeout (growing an existing bucket changes neither).
+        if sealed || bucket_created {
+            shared.work.notify_one();
         }
         Ok(Ticket { slot })
     }
 
-    /// Unpauses a server started with [`ServeConfig::start_paused`].
+    /// Unpauses a server started with [`ServeOptions::start_paused`].
     pub fn resume(&self) {
-        let mut st = self.shared.state.lock().expect("serve queue poisoned");
-        st.paused = false;
-        drop(st);
+        self.shared.paused.store(false, Ordering::Release);
         self.shared.work.notify_all();
     }
 
-    /// The number of requests currently queued (not yet claimed by a
-    /// worker).
+    /// The number of requests admitted but not yet claimed by a worker:
+    /// forming-bucket requests plus sealed requests across every shard
+    /// (what the `serve.queue.depth` gauge reports).
     pub fn queue_depth(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("serve queue poisoned")
-            .pending
-            .len()
+        self.shared.depth()
     }
 
     /// Stops accepting submissions (later [`Server::submit`] calls fail
-    /// with [`ServeError::ShutDown`]) while already-queued requests
-    /// still run to completion. Also unpauses a paused server so the
-    /// queue can empty. Call [`Server::drain`] — or drop the server — to
-    /// wait for the workers.
+    /// with [`ServeError::ShutDown`]) while forming buckets seal and
+    /// already-queued requests still run to completion. Also unpauses a
+    /// paused server so the queue can empty. Call [`Server::drain`] —
+    /// or drop the server — to wait for the workers.
     pub fn close(&self) {
         self.begin_drain();
     }
 
-    /// Graceful shutdown: stops accepting submissions, lets the workers
-    /// finish every queued request, and joins them.
+    /// Graceful shutdown: stops accepting submissions, seals every
+    /// forming bucket, lets the workers finish every queued request,
+    /// and joins them.
     pub fn drain(mut self) {
         self.begin_drain();
         for handle in self.workers.drain(..) {
@@ -833,11 +1502,13 @@ impl Server {
     }
 
     fn begin_drain(&self) {
-        let mut st = self.shared.state.lock().expect("serve queue poisoned");
-        st.draining = true;
-        // A paused server must still drain.
-        st.paused = false;
-        drop(st);
+        let mut control = self.shared.control.lock().expect("serve control poisoned");
+        control.draining = true;
+        // A paused server must still drain, and forming buckets must
+        // not strand their tickets.
+        self.shared.paused.store(false, Ordering::Release);
+        self.shared.seal_ready(&mut control, Instant::now());
+        drop(control);
         self.shared.work.notify_all();
     }
 }
@@ -854,70 +1525,67 @@ impl Drop for Server {
 impl fmt::Debug for Server {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Server")
-            .field("capacity", &self.shared.capacity)
+            .field("capacity", &self.shared.opts.queue_capacity)
             .field("workers", &self.workers.len())
+            .field("max_bucket", &self.shared.opts.max_bucket)
+            .field("max_bucket_age", &self.shared.opts.max_bucket_age)
             .finish()
     }
 }
 
-/// Removes the front request's whole shape bucket from the queue,
-/// preserving submission order within the bucket.
-fn take_front_bucket(
-    st: &mut QueueState,
-    default_precision: PrecisionConfig,
-) -> (BucketKey, Vec<(GemmRequest, Arc<Slot>)>) {
-    let key = key_of(
-        &st.pending.front().expect("queue checked non-empty").0,
-        default_precision,
-    );
-    let mut bucket = Vec::new();
-    let mut rest = VecDeque::with_capacity(st.pending.len());
-    while let Some((req, slot)) = st.pending.pop_front() {
-        if key_of(&req, default_precision) == key {
-            bucket.push((req, slot));
-        } else {
-            rest.push_back((req, slot));
-        }
-    }
-    st.pending = rest;
-    (key, bucket)
-}
-
-fn worker_loop(shared: &Shared) {
-    let default_precision = shared.session.options().precision;
+/// One worker: drain the local shard front-first, steal from other
+/// shards' backs, fall back to deprioritized buckets, and only then
+/// park on the control condvar (sealing aged forming buckets on the
+/// way). The hot claim path never touches the control mutex.
+fn worker_loop(shared: &Shared, worker: usize) {
     loop {
-        let (key, bucket) = {
-            let mut st = shared.state.lock().expect("serve queue poisoned");
-            loop {
-                if !st.paused && !st.pending.is_empty() {
-                    let taken = take_front_bucket(&mut st, default_precision);
-                    shared
-                        .session
-                        .recorder()
-                        .gauge("serve.queue.depth")
-                        .set(st.pending.len() as f64);
-                    // Another bucket may remain for an idle co-worker.
-                    if !st.pending.is_empty() {
-                        shared.work.notify_one();
-                    }
-                    break taken;
-                }
-                if st.draining && st.pending.is_empty() {
-                    return;
-                }
-                st = shared.work.wait(st).expect("serve queue poisoned");
+        if !shared.paused.load(Ordering::Acquire) {
+            let claimed = shared
+                .pop_local(worker)
+                .or_else(|| shared.steal(worker))
+                .or_else(|| shared.pop_low());
+            if let Some(sealed) = claimed {
+                shared.run_sealed(sealed, worker);
+                continue;
             }
-        };
-        let (dims, precision) = key;
-        let positioned: Vec<(usize, GemmRequest)> = bucket
-            .iter()
-            .enumerate()
-            .map(|(i, (req, _))| (i, req.clone()))
-            .collect();
-        for (i, outcome) in run_bucket(&shared.session, dims, precision, &positioned) {
-            let (_, slot) = &bucket[i];
-            *slot.done.lock().expect("serve slot poisoned") = Some(outcome);
-            slot.cv.notify_all();
         }
+        // Nothing claimable: park on the control mutex. Re-check the
+        // shards after any seal, and time the wait out at the next
+        // forming bucket's age deadline so continuous batching never
+        // depends on a submission to make progress.
+        let mut control = shared.control.lock().expect("serve control poisoned");
+        loop {
+            if shared.paused.load(Ordering::Acquire) {
+                control = shared.work.wait(control).expect("serve control poisoned");
+                continue;
+            }
+            let sealed = shared.seal_ready(&mut control, Instant::now());
+            if sealed > 0 || shared.queued.load(Ordering::Acquire) > 0 {
+                if sealed > 1 {
+                    // More than this worker can claim at once: recruit
+                    // a second parked worker for the rest.
+                    shared.work.notify_one();
+                }
+                break;
+            }
+            if control.draining && control.forming.is_empty() {
+                return;
+            }
+            match shared.next_age_deadline(&control) {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    let wait = deadline.saturating_duration_since(now);
+                    let (guard, _timed_out) = shared
+                        .work
+                        .wait_timeout(control, wait)
+                        .expect("serve control poisoned");
+                    control = guard;
+                }
+                None => {
+                    control = shared.work.wait(control).expect("serve control poisoned");
+                }
+            }
+        }
+        drop(control);
     }
 }

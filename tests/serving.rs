@@ -10,9 +10,13 @@ use std::time::{Duration, Instant};
 
 use mixgemm::api::Session;
 use mixgemm::gemm::QuantMatrix;
-use mixgemm::serve::{GemmRequest, ServeConfig, ServeError};
+use mixgemm::serve::{AdmissionPolicy, GemmRequest, ServeConfig, ServeError, ServeOptions};
 use mixgemm::{Error, OperandType, PrecisionConfig};
 use mixgemm_harness::{check, ensure, ensure_eq, Rng};
+
+fn worker_opts(workers: usize) -> ServeOptions {
+    ServeOptions::builder().workers(workers).build()
+}
 
 fn rand_matrix(rng: &mut Rng, rows: usize, cols: usize, op: OperandType) -> QuantMatrix {
     let data = rng.vec_of(rows * cols, |r| r.i32_in(op.min_value(), op.max_value()));
@@ -55,7 +59,7 @@ fn run_batch_bit_identical_to_sequential_for_all_49_pairs() {
             .collect();
 
         let workers = rng.usize_in(1, 8);
-        let report = session.run_batch_with(requests, workers);
+        let report = session.run_batch_opts(requests, &worker_opts(workers));
         assert_eq!(report.results.len(), expected.len(), "{pc}");
         for (i, (got, want)) in report.results.iter().zip(&expected).enumerate() {
             let got = got.as_ref().unwrap_or_else(|e| panic!("{pc} req {i}: {e}"));
@@ -85,7 +89,7 @@ fn run_batch_matches_per_precision_sessions_under_mixed_buckets() {
             expected.push(reference.run(&a, &b).map_err(|e| e.to_string())?.c);
             requests.push(GemmRequest::new(a, b).with_precision(pc));
         }
-        let report = session.run_batch_with(requests, workers);
+        let report = session.run_batch_opts(requests, &worker_opts(workers));
         ensure_eq!(report.results.len(), n_req);
         for (got, want) in report.results.iter().zip(&expected) {
             let got = got.as_ref().map_err(|e| e.to_string())?;
@@ -207,7 +211,7 @@ fn degenerate_dims_are_bit_identical() {
         .iter()
         .map(|req| session.run(req.a(), req.b()).unwrap().c)
         .collect();
-    let report = session.run_batch_with(requests, 4);
+    let report = session.run_batch_opts(requests, &worker_opts(4));
     for (i, (got, want)) in report.results.iter().zip(&expected).enumerate() {
         assert_eq!(got.as_ref().unwrap().c, *want, "dims case {i}");
     }
@@ -305,7 +309,7 @@ fn bucketing_amortizes_packing_across_requests() {
     let requests: Vec<GemmRequest> = (0..6)
         .map(|_| GemmRequest::new(Arc::new(rand_matrix(&mut rng, 8, 16, oa)), b.clone()))
         .collect();
-    let report = session.run_batch_with(requests, 2);
+    let report = session.run_batch_opts(requests, &worker_opts(2));
     assert_eq!(report.buckets, 1);
     assert_eq!(report.metrics.counter("serve.requests"), 6);
     assert_eq!(report.metrics.counter("serve.bucket.hit"), 5);
@@ -364,4 +368,355 @@ fn forward_batch_matches_per_input_forward() {
             assert_eq!(&got.data, want, "workers = {workers}");
         }
     }
+}
+
+/// The tentpole guarantee on the **long-lived server**: for all 49
+/// precision pairs, the sharded work-stealing scheduler with continuous
+/// batching (tiny size threshold so buckets seal mid-stream, across
+/// 1..=8 workers) returns exactly the bytes of independent
+/// `Session::run` calls.
+#[test]
+fn server_bit_identical_to_sequential_for_all_49_pairs() {
+    for (case, &pc) in PrecisionConfig::ALL.iter().enumerate() {
+        let mut rng = Rng::new(0xC0FF_EE00 ^ (case as u64).wrapping_mul(0x9E37_79B9));
+        let session = Session::builder().precision(pc).build();
+        let (oa, ow) = pc.operand_types();
+        let workers = case % 8 + 1;
+
+        let shapes: Vec<(usize, usize, usize)> = (0..2)
+            .map(|_| (rng.usize_in(1, 7), rng.usize_in(1, 17), rng.usize_in(1, 5)))
+            .collect();
+        let requests: Vec<GemmRequest> = (0..6)
+            .map(|i| {
+                let (m, k, n) = shapes[i % shapes.len()];
+                GemmRequest::owned(
+                    rand_matrix(&mut rng, m, k, oa),
+                    rand_matrix(&mut rng, k, n, ow),
+                )
+            })
+            .collect();
+        let expected: Vec<Vec<i64>> = requests
+            .iter()
+            .map(|req| session.run(req.a(), req.b()).unwrap().c)
+            .collect();
+
+        let server = session.serve(
+            ServeOptions::builder()
+                .workers(workers)
+                .max_bucket(2)
+                .max_bucket_age(Duration::from_micros(50))
+                .build(),
+        );
+        let tickets: Vec<_> = requests
+            .into_iter()
+            .map(|req| server.submit(req).unwrap())
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let got = ticket
+                .wait()
+                .unwrap_or_else(|e| panic!("{pc} req {i}: {e}"));
+            assert_eq!(
+                got.c, expected[i],
+                "{pc} request {i} diverged ({workers} workers)"
+            );
+        }
+        server.drain();
+    }
+}
+
+/// Work stealing drains skewed shards without corrupting results: many
+/// single-request buckets dealt round-robin across 4 shards, with the
+/// owner workers racing thieves. Results stay bit-identical on every
+/// attempt; across a few attempts at least one steal must land (on any
+/// scheduler interleaving, a worker that drains its own shard first
+/// steals from a loaded one).
+#[test]
+fn stealing_drains_skewed_shards_bit_identically() {
+    let pc = PrecisionConfig::A4W4;
+    let session = Session::builder().precision(pc).build();
+    let (oa, ow) = pc.operand_types();
+    let mut rng = Rng::new(0x0005_7EA1);
+    let mut stolen = 0;
+    for _attempt in 0..5 {
+        let requests: Vec<GemmRequest> = (0..64)
+            .map(|i| {
+                // Distinct k per request: 64 distinct shape classes, so
+                // every bucket seals by size immediately (max_bucket 1).
+                GemmRequest::owned(
+                    rand_matrix(&mut rng, 2, i + 1, oa),
+                    rand_matrix(&mut rng, i + 1, 2, ow),
+                )
+            })
+            .collect();
+        let expected: Vec<Vec<i64>> = requests
+            .iter()
+            .map(|req| session.run(req.a(), req.b()).unwrap().c)
+            .collect();
+        let before = session.metrics().counter("serve.steals");
+        let server = session.serve(
+            ServeOptions::builder()
+                .workers(4)
+                .queue_capacity(128)
+                .max_bucket(1)
+                .start_paused(true)
+                .build(),
+        );
+        let tickets: Vec<_> = requests
+            .into_iter()
+            .map(|req| server.submit(req).unwrap())
+            .collect();
+        server.resume();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(ticket.wait().unwrap().c, expected[i], "request {i}");
+        }
+        server.drain();
+        stolen += session.metrics().counter("serve.steals") - before;
+        if stolen > 0 {
+            break;
+        }
+    }
+    assert!(stolen > 0, "no steal landed across 5 skewed attempts");
+    // Every steal moved whole buckets' worth of requests.
+    assert!(session.metrics().counter("serve.steal.requests") >= stolen);
+}
+
+/// Continuous batching's age threshold: requests that never fill a
+/// bucket still run once the bucket ages out — no submission needed to
+/// trigger progress.
+#[test]
+fn forming_bucket_ages_out_without_further_submissions() {
+    let pc = PrecisionConfig::A6W2;
+    let session = Session::builder().precision(pc).build();
+    let (oa, ow) = pc.operand_types();
+    let mut rng = Rng::new(0xA6E);
+    let server = session.serve(
+        ServeOptions::builder()
+            .workers(1)
+            .max_bucket(100) // never size-seals
+            .max_bucket_age(Duration::from_millis(5))
+            .build(),
+    );
+    let requests: Vec<GemmRequest> = (0..3)
+        .map(|_| {
+            GemmRequest::owned(
+                rand_matrix(&mut rng, 4, 12, oa),
+                rand_matrix(&mut rng, 12, 4, ow),
+            )
+        })
+        .collect();
+    let expected: Vec<Vec<i64>> = requests
+        .iter()
+        .map(|req| session.run(req.a(), req.b()).unwrap().c)
+        .collect();
+    let tickets: Vec<_> = requests
+        .into_iter()
+        .map(|req| server.submit(req).unwrap())
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        assert_eq!(ticket.wait().unwrap().c, expected[i], "request {i}");
+    }
+    assert!(
+        session.metrics().counter("serve.seal.age") >= 1,
+        "bucket should have sealed by age"
+    );
+    server.drain();
+}
+
+/// Deadline-aware admission under `Reject`: a request whose deadline
+/// cannot be met is refused at enqueue time — before packing, before
+/// queueing — and counted; meetable requests admit normally.
+#[test]
+fn admission_rejects_unmeetable_deadline_at_enqueue() {
+    let pc = PrecisionConfig::A4W4;
+    let session = Session::builder().precision(pc).build();
+    let (oa, ow) = pc.operand_types();
+    let mut rng = Rng::new(0xDEAD);
+    let server = session.serve(
+        ServeOptions::builder()
+            .workers(1)
+            .admission(AdmissionPolicy::Reject)
+            .build(),
+    );
+    let mk = |rng: &mut Rng| {
+        GemmRequest::owned(rand_matrix(rng, 4, 16, oa), rand_matrix(rng, 16, 4, ow))
+    };
+    // Warm the service-time EWMA so the estimate is live.
+    for _ in 0..4 {
+        server.submit(mk(&mut rng)).unwrap().wait().unwrap();
+    }
+    // A deadline already in the past can never be met.
+    match server.submit(mk(&mut rng).with_deadline(Instant::now() - Duration::from_secs(1))) {
+        Err(Error::Serve(ServeError::AdmissionRejected { .. })) => {}
+        other => panic!("expected AdmissionRejected, got {other:?}"),
+    }
+    assert_eq!(session.metrics().counter("serve.admission.rejected"), 1);
+    // The rejection never entered the queue.
+    assert_eq!(server.queue_depth(), 0);
+    // A generous deadline admits and completes.
+    let ok = server
+        .submit(mk(&mut rng).with_timeout(Duration::from_secs(3600)))
+        .unwrap();
+    assert!(ok.wait().is_ok());
+    server.drain();
+}
+
+/// Deadline-aware admission under `Deprioritize`: the unmeetable
+/// request is admitted into a low-priority bucket (counted), runs only
+/// after live traffic, and still gets a deterministic outcome — its
+/// expired deadline fails at execution, never silently dropped.
+#[test]
+fn admission_deprioritizes_unmeetable_deadline() {
+    let pc = PrecisionConfig::A4W4;
+    let session = Session::builder().precision(pc).build();
+    let (oa, ow) = pc.operand_types();
+    let mut rng = Rng::new(0xDE_0102);
+    let server = session.serve(
+        ServeOptions::builder()
+            .workers(2)
+            .admission(AdmissionPolicy::Deprioritize)
+            .build(),
+    );
+    let doomed = server
+        .submit(
+            GemmRequest::owned(
+                rand_matrix(&mut rng, 4, 8, oa),
+                rand_matrix(&mut rng, 8, 4, ow),
+            )
+            .with_deadline(Instant::now() - Duration::from_secs(1)),
+        )
+        .unwrap();
+    match doomed.wait() {
+        Err(Error::Serve(ServeError::DeadlineExpired)) => {}
+        other => panic!("expected DeadlineExpired, got {other:?}"),
+    }
+    assert_eq!(
+        session.metrics().counter("serve.admission.deprioritized"),
+        1
+    );
+    server.drain();
+}
+
+/// Drain must wait for *forming* buckets, not just sealed ones: with an
+/// age threshold far beyond the test and a size threshold never reached,
+/// only the drain path can complete these requests.
+#[test]
+fn drain_seals_and_completes_forming_buckets() {
+    let pc = PrecisionConfig::A7W7;
+    let session = Session::builder().precision(pc).build();
+    let (oa, ow) = pc.operand_types();
+    let mut rng = Rng::new(0xD4A1);
+    let server = session.serve(
+        ServeOptions::builder()
+            .workers(2)
+            .max_bucket(100)
+            .max_bucket_age(Duration::from_secs(600)) // never ages out in-test
+            .build(),
+    );
+    let requests: Vec<GemmRequest> = (0..5)
+        .map(|_| {
+            GemmRequest::owned(
+                rand_matrix(&mut rng, 3, 10, oa),
+                rand_matrix(&mut rng, 10, 3, ow),
+            )
+        })
+        .collect();
+    let expected: Vec<Vec<i64>> = requests
+        .iter()
+        .map(|req| session.run(req.a(), req.b()).unwrap().c)
+        .collect();
+    let tickets: Vec<_> = requests
+        .into_iter()
+        .map(|req| server.submit(req).unwrap())
+        .collect();
+    // Still forming: nothing sealed, nothing can run yet.
+    server.drain();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let got = ticket
+            .try_wait()
+            .unwrap_or_else(|| panic!("request {i} not completed by drain"))
+            .unwrap();
+        assert_eq!(got.c, expected[i], "request {i}");
+    }
+    assert!(session.metrics().counter("serve.seal.drain") >= 1);
+    // After drain everything is claimed: depth gauges read zero.
+    assert_eq!(session.metrics().gauge("serve.queue.depth"), Some(0.0));
+    assert_eq!(session.metrics().gauge("serve.shard.0.depth"), Some(0.0));
+    assert_eq!(session.metrics().gauge("serve.shard.1.depth"), Some(0.0));
+}
+
+/// `Ticket::wait_timeout` and tuple submission: a paused server times
+/// the wait out (ticket stays live), resume completes it; `(a, b)`
+/// pairs submit directly via `Into<GemmRequest>`.
+#[test]
+fn wait_timeout_and_tuple_submission() {
+    let pc = PrecisionConfig::A4W4;
+    let session = Session::builder().precision(pc).build();
+    let (oa, ow) = pc.operand_types();
+    let mut rng = Rng::new(0x71C7E7);
+    let a = Arc::new(rand_matrix(&mut rng, 5, 9, oa));
+    let b = Arc::new(rand_matrix(&mut rng, 9, 5, ow));
+    let expected = session.run(&a, &b).unwrap().c;
+
+    let server = session.serve(
+        ServeOptions::builder()
+            .workers(1)
+            .start_paused(true)
+            .build(),
+    );
+    let ticket = server.submit((a, b)).unwrap();
+    // Paused: the timeout elapses with no result.
+    assert!(ticket.wait_timeout(Duration::from_millis(10)).is_none());
+    server.resume();
+    let got = ticket
+        .wait_timeout(Duration::from_secs(60))
+        .expect("resumed server completes the request")
+        .unwrap();
+    assert_eq!(got.c, expected);
+    // The outcome was consumed by wait_timeout.
+    assert!(ticket.try_wait().is_none());
+    server.drain();
+}
+
+/// The deprecated `run_batch_with` wrapper delegates to
+/// `run_batch_opts` with identical results.
+#[test]
+fn deprecated_run_batch_with_matches_run_batch_opts() {
+    let pc = PrecisionConfig::A2W2;
+    let session = Session::builder().precision(pc).build();
+    let (oa, ow) = pc.operand_types();
+    let mut rng = Rng::new(0x01D_FACE);
+    let requests: Vec<GemmRequest> = (0..4)
+        .map(|_| {
+            GemmRequest::owned(
+                rand_matrix(&mut rng, 3, 6, oa),
+                rand_matrix(&mut rng, 6, 3, ow),
+            )
+        })
+        .collect();
+    #[allow(deprecated)]
+    let old = session.run_batch_with(requests.clone(), 2);
+    let new = session.run_batch_opts(requests, &worker_opts(2));
+    assert_eq!(old.results.len(), new.results.len());
+    for (o, n) in old.results.iter().zip(&new.results) {
+        assert_eq!(o.as_ref().unwrap().c, n.as_ref().unwrap().c);
+    }
+    assert_eq!(old.buckets, new.buckets);
+}
+
+/// `ServeConfig` converts losslessly into `ServeOptions`, keeping the
+/// continuous-batching defaults.
+#[test]
+fn serve_config_converts_into_options() {
+    let opts: ServeOptions = ServeConfig::new()
+        .workers(5)
+        .queue_capacity(17)
+        .start_paused(true)
+        .into();
+    assert_eq!(opts.workers, 5);
+    assert_eq!(opts.queue_capacity, 17);
+    assert!(opts.start_paused);
+    let defaults = ServeOptions::default();
+    assert_eq!(opts.max_bucket, defaults.max_bucket);
+    assert_eq!(opts.max_bucket_age, defaults.max_bucket_age);
+    assert_eq!(opts.admission, defaults.admission);
 }

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use mixgemm::api::Session;
 use mixgemm::gemm::QuantMatrix;
-use mixgemm::serve::{GemmRequest, ServeConfig};
+use mixgemm::serve::{GemmRequest, ServeConfig, ServeOptions};
 use mixgemm::{OperandType, PrecisionConfig};
 use mixgemm_harness::timeline::{Event, Phase, Timeline};
 use mixgemm_harness::{Json, Rng};
@@ -50,7 +50,10 @@ fn traced_session(timeline: &Arc<Timeline>) -> Session {
 fn begin_end_events_pair_and_nest_per_thread() {
     let tl = Arc::new(Timeline::new());
     let session = traced_session(&tl);
-    let report = session.run_batch_with(request_mix(0xA11CE), 2);
+    let report = session.run_batch_opts(
+        request_mix(0xA11CE),
+        &ServeOptions::builder().workers(2).build(),
+    );
     assert!(report.results.iter().all(|r| r.is_ok()));
 
     let events = tl.events();
@@ -88,7 +91,7 @@ fn request_stage_timestamps_are_monotone() {
     let session = traced_session(&tl);
     let requests = request_mix(0xBEE);
     let traces: Vec<_> = requests.iter().map(|r| r.trace_id()).collect();
-    let report = session.run_batch_with(requests, 2);
+    let report = session.run_batch_opts(requests, &ServeOptions::builder().workers(2).build());
     assert!(report.results.iter().all(|r| r.is_ok()));
 
     let events = tl.events();
@@ -133,7 +136,10 @@ fn request_stage_timestamps_are_monotone() {
 fn ring_drops_oldest_first_with_counter() {
     let tl = Arc::new(Timeline::with_capacity(16));
     let session = traced_session(&tl);
-    let report = session.run_batch_with(request_mix(0xD00D), 1);
+    let report = session.run_batch_opts(
+        request_mix(0xD00D),
+        &ServeOptions::builder().workers(1).build(),
+    );
     assert!(report.results.iter().all(|r| r.is_ok()));
 
     assert_eq!(tl.len(), 16, "ring must sit exactly at capacity");
@@ -162,8 +168,11 @@ fn tracing_on_off_results_bit_identical() {
     let traced = traced_session(&tl);
     let bare = Session::builder().precision(PrecisionConfig::A4W4).build();
 
-    let on = traced.run_batch_with(requests.clone(), 2);
-    let off = bare.run_batch_with(requests, 2);
+    let on = traced.run_batch_opts(
+        requests.clone(),
+        &ServeOptions::builder().workers(2).build(),
+    );
+    let off = bare.run_batch_opts(requests, &ServeOptions::builder().workers(2).build());
     assert!(!tl.is_empty(), "traced session must have recorded events");
     for (i, (a, b)) in on.results.iter().zip(&off.results).enumerate() {
         let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
@@ -220,7 +229,10 @@ fn queue_wait_histogram_reports_quantiles() {
 fn chrome_trace_export_is_well_formed() {
     let tl = Arc::new(Timeline::new());
     let session = traced_session(&tl);
-    let report = session.run_batch_with(request_mix(0x7EA), 2);
+    let report = session.run_batch_opts(
+        request_mix(0x7EA),
+        &ServeOptions::builder().workers(2).build(),
+    );
     assert!(report.results.iter().all(|r| r.is_ok()));
 
     let doc = Json::parse(&tl.to_chrome_trace().pretty()).expect("export must parse");
