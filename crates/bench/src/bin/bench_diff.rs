@@ -56,7 +56,7 @@ fn is_rate_path(path: &str) -> bool {
 /// Path substrings marking a subtree as a host description (CPU count,
 /// SIMD tiers, oversubscription flags): skipped entirely — structure
 /// included — since baseline and CI hosts legitimately differ.
-const IGNORE_MARKERS: [&str; 16] = [
+const IGNORE_MARKERS: [&str; 17] = [
     "host_cpus",
     "host_isa",
     "tiers",
@@ -84,6 +84,11 @@ const IGNORE_MARKERS: [&str; 16] = [
     "quick",
     "trials",
     "min_scaling",
+    // Host wall-clock cross-checks in the tune_sweep artifact: the
+    // winning host blocking and its nanosecond scores depend on the
+    // machine that ran the sweep; the deterministic simulated grid
+    // next to them is what the diff gates.
+    "host_measured",
 ];
 
 fn is_ignored_path(path: &str) -> bool {

@@ -1,0 +1,172 @@
+//! Per-shape autotuning sweep: tuned vs derived-default blocking across
+//! a serving-shape grid on the Sargantana preset — written to
+//! `BENCH_tune.json`, with the tuned winners persisted to
+//! `TUNE_sargantana-rv64g.json` (the database a
+//! `Session::builder().tune_db_dir(".")` picks up).
+//!
+//! The search oracle is the memoized cycle-level simulator, so the grid
+//! half of the artifact is fully deterministic and diffs byte-exactly
+//! across hosts; a small host wall-clock cross-check (tuned vs default
+//! blocking through `compute_fast`) lives under the `host_measured` key,
+//! which the `bench_diff` gate ignores.
+//!
+//! Acceptance gate (in-bin): tuned blocking must reach >= 1.1x the
+//! default's simulated GOPS on at least one skinny serving shape
+//! (`min(m, n) <= 16`). The win comes from asymmetric precisions whose
+//! chunk shapes free register-file slots: `a2-w8` loads one A µ-vector
+//! per chunk, legalising an `mr = 8..16` µ-panel that covers a skinny
+//! problem's full row extent and rides the GEMV fast path that skips B
+//! packing.
+//!
+//! Run with: `cargo run --release -p mixgemm-bench --bin tune_sweep`
+//! (`MIXGEMM_BENCH_QUICK=1` reduces only the host wall-clock trial
+//! count — the deterministic grid is identical in both modes.)
+
+use mixgemm::gemm::{GemmDims, ShapeClass, Tuner};
+use mixgemm::soc::presets;
+use mixgemm::PrecisionConfig;
+use mixgemm_harness::Json;
+
+/// The serving-shape grid: skinny decode/batch shapes, fat-weight
+/// GEMV-like shapes, and one square anchor.
+const SHAPES: [(usize, usize, usize); 7] = [
+    (8, 2048, 256),
+    (16, 2048, 16),
+    (4, 4096, 64),
+    (1, 1024, 1024),
+    (256, 1024, 8),
+    (512, 4096, 16),
+    (256, 256, 256),
+];
+
+const PRECISIONS: [PrecisionConfig; 5] = [
+    PrecisionConfig::A8W8,
+    PrecisionConfig::A4W8,
+    PrecisionConfig::A2W8,
+    PrecisionConfig::A8W4,
+    PrecisionConfig::A2W2,
+];
+
+/// The host wall-clock cross-check subset (kept small: the full grid's
+/// candidate sweep is the simulator's job).
+const HOST_SHAPES: [(usize, usize, usize); 2] = [(8, 2048, 256), (256, 256, 256)];
+const HOST_PRECISIONS: [PrecisionConfig; 2] = [PrecisionConfig::A2W8, PrecisionConfig::A8W8];
+
+fn main() {
+    let quick = std::env::var("MIXGEMM_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let soc = presets::sargantana();
+    let shapes: Vec<GemmDims> = SHAPES
+        .iter()
+        .map(|&(m, k, n)| GemmDims::new(m, k, n))
+        .collect();
+
+    println!(
+        "tuning {} shape buckets x {} precisions on {} (simulated oracle)\n",
+        shapes.len(),
+        PRECISIONS.len(),
+        soc.name
+    );
+    let tuner = Tuner::new(soc);
+    let db = tuner.tune(&shapes, &PRECISIONS).expect("tuner sweep");
+
+    let mut grid = Vec::new();
+    let mut best_skinny: (f64, String) = (1.0, String::new());
+    for &(m, k, n) in &SHAPES {
+        let class = ShapeClass::of(GemmDims::new(m, k, n));
+        let rep = class.representative();
+        let macs = (rep.m * rep.k * rep.n) as f64;
+        for precision in PRECISIONS {
+            let entry = db.find(class, precision).expect("tuned entry");
+            let speedup = entry.speedup();
+            let default_gops = 2.0 * macs * soc.freq_ghz / entry.default_score as f64;
+            let tuned_gops = 2.0 * macs * soc.freq_ghz / entry.score as f64;
+            let skinny = rep.m.min(rep.n) <= 16;
+            if skinny && speedup > best_skinny.0 {
+                best_skinny = (speedup, format!("{class} {precision}"));
+            }
+            println!(
+                "{class} {precision}: default {:>7.2} GOPS -> tuned {:>7.2} GOPS ({speedup:.3}x)  [{}]",
+                default_gops, tuned_gops, entry.params
+            );
+            grid.push(
+                Json::obj()
+                    .field("m", class.m)
+                    .field("k", class.k)
+                    .field("n", class.n)
+                    .field("precision", precision.to_string())
+                    .field("default_cycles", entry.default_score)
+                    .field("tuned_cycles", entry.score)
+                    .field("default_gops", default_gops)
+                    .field("tuned_gops", tuned_gops)
+                    .field("speedup", speedup)
+                    .field("params", entry.params.to_string()),
+            );
+        }
+    }
+
+    let path = db.save(std::path::Path::new(".")).expect("save tune db");
+    println!("\nwrote {} ({} entries)", path.display(), db.len());
+
+    // Host wall-clock cross-check: tuned-vs-default on the real SIMD
+    // path. Host-dependent, so it lives under an ignored key; quick
+    // mode only trims trials, never the structure.
+    let trials = if quick { 1 } else { 3 };
+    let host_shapes: Vec<GemmDims> = HOST_SHAPES
+        .iter()
+        .map(|&(m, k, n)| GemmDims::new(m, k, n))
+        .collect();
+    let host_db = tuner
+        .tune_host(&host_shapes, &HOST_PRECISIONS, None, trials)
+        .expect("host sweep");
+    let mut host_cases = Vec::new();
+    for &(m, k, n) in &HOST_SHAPES {
+        let class = ShapeClass::of(GemmDims::new(m, k, n));
+        for precision in HOST_PRECISIONS {
+            let entry = host_db.find(class, precision).expect("host entry");
+            println!(
+                "host {class} {precision}: default {} ns -> tuned {} ns ({:.3}x)  [{}]",
+                entry.default_score,
+                entry.score,
+                entry.speedup(),
+                entry.params
+            );
+            host_cases.push(
+                Json::obj()
+                    .field("shape", class.to_string())
+                    .field("precision", precision.to_string())
+                    .field("default_ns", entry.default_score)
+                    .field("tuned_ns", entry.score)
+                    .field("speedup", entry.speedup())
+                    .field("params", entry.params.to_string()),
+            );
+        }
+    }
+
+    let doc = Json::obj()
+        .field("bench", "tune_sweep")
+        .field("target", soc.name)
+        .field("quick", quick)
+        .field("best_skinny_speedup", best_skinny.0)
+        .field("grid", Json::Arr(grid))
+        .field(
+            "host_measured",
+            Json::obj()
+                .field("target", host_db.target.as_str())
+                .field("trials", trials)
+                .field("cases", Json::Arr(host_cases)),
+        );
+    std::fs::write("BENCH_tune.json", doc.pretty()).expect("write BENCH_tune.json");
+    println!("\nwrote BENCH_tune.json");
+
+    // Acceptance gate: a skinny serving shape must gain >= 1.1x from
+    // tuned blocking in the deterministic simulation.
+    println!(
+        "best skinny-shape speedup: {:.3}x on {} (gate: >= 1.1x)",
+        best_skinny.0, best_skinny.1
+    );
+    assert!(
+        best_skinny.0 >= 1.1,
+        "tuned blocking only reached {:.3}x on skinny shapes (need >= 1.1x)",
+        best_skinny.0
+    );
+}

@@ -14,6 +14,7 @@
 //! `Session` with [`PrecisionConfig`] constants such as
 //! [`PrecisionConfig::A4W4`].
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use mixgemm_binseg::PrecisionConfig;
@@ -22,6 +23,7 @@ use mixgemm_dnn::Network;
 use mixgemm_gemm::baseline::{self, BaselineKind};
 use mixgemm_gemm::{
     Fidelity, GemmDims, GemmOptions, GemmReport, Isa, MixGemmKernel, Parallelism, QuantMatrix,
+    TuneDb,
 };
 use mixgemm_harness::metrics::{self, MetricsRegistry, MetricsReport, Recorder};
 use mixgemm_harness::timeline::{self, Timeline};
@@ -205,6 +207,8 @@ pub struct SessionBuilder {
     isa: Option<Isa>,
     recorder: Option<Recorder>,
     timeline: Option<Arc<Timeline>>,
+    tune: Option<Arc<TuneDb>>,
+    tune_dir: Option<PathBuf>,
 }
 
 impl SessionBuilder {
@@ -263,21 +267,57 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches an in-memory tuned-blocking database
+    /// ([`mixgemm_gemm::tune`]): every kernel the session builds — the
+    /// direct entry points, the serving layer's per-bucket kernels, the
+    /// network runtime's per-precision kernels — resolves its blocking
+    /// per shape bucket through it. Takes precedence over
+    /// [`SessionBuilder::tune_db_dir`].
+    pub fn tune_db(mut self, tune: Arc<TuneDb>) -> Self {
+        self.tune = Some(tune);
+        self
+    }
+
+    /// Load-or-derive tuned blocking: at [`SessionBuilder::build`] time
+    /// the session loads `TUNE_<soc>.json` for its platform from `dir`.
+    /// A missing file simply leaves the derived blocking in place; an
+    /// unreadable or malformed database *also* falls back to derived
+    /// blocking — counting `gemm.tune.fallback` in the session's
+    /// registry instead of failing the build.
+    pub fn tune_db_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.tune_dir = Some(dir.into());
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Session {
+        let recorder = self
+            .recorder
+            .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+        let tune = match (self.tune, &self.tune_dir) {
+            (Some(db), _) => Some(db),
+            (None, Some(dir)) => match TuneDb::load(dir, self.platform.soc.name) {
+                Ok(found) => found.map(Arc::new),
+                Err(_) => {
+                    recorder.counter("gemm.tune.fallback").inc();
+                    None
+                }
+            },
+            (None, None) => None,
+        };
         Session {
             kernel: MixGemmKernel::new(
                 self.platform
                     .gemm_options(self.precision)
                     .with_parallelism(self.parallelism)
-                    .with_isa(self.isa),
+                    .with_isa(self.isa)
+                    .with_tune(tune.clone()),
             ),
             platform: self.platform,
             fidelity: self.fidelity,
-            recorder: self
-                .recorder
-                .unwrap_or_else(|| Arc::new(MetricsRegistry::new())),
+            recorder,
             timeline: self.timeline,
+            tune,
         }
     }
 }
@@ -363,6 +403,7 @@ pub struct Session {
     fidelity: Fidelity,
     recorder: Recorder,
     timeline: Option<Arc<Timeline>>,
+    tune: Option<Arc<TuneDb>>,
 }
 
 impl Session {
@@ -377,7 +418,16 @@ impl Session {
             isa: None,
             recorder: None,
             timeline: None,
+            tune: None,
+            tune_dir: None,
         }
+    }
+
+    /// The tuned-blocking database the session resolved at build time
+    /// (attached directly or loaded from
+    /// [`SessionBuilder::tune_db_dir`]), if any.
+    pub fn tune_db(&self) -> Option<&Arc<TuneDb>> {
+        self.tune.as_ref()
     }
 
     /// The registry this session records into.
@@ -409,13 +459,15 @@ impl Session {
     }
 
     /// GEMM options for an arbitrary precision on this session's
-    /// platform, keeping the session's parallelism — how the serving
-    /// layer builds per-bucket kernels.
+    /// platform, keeping the session's parallelism and tuned-blocking
+    /// database — how the serving layer builds per-bucket kernels, so
+    /// each sealed bucket runs its shape's tuned blocking.
     pub(crate) fn gemm_options_for(&self, precision: PrecisionConfig) -> GemmOptions {
         self.platform
             .gemm_options(precision)
             .with_parallelism(self.kernel.options().parallelism)
             .with_isa(self.kernel.options().isa())
+            .with_tune(self.tune.clone())
     }
 
     /// Computes `C = A * B` bit-exactly through the binary-segmentation
@@ -485,6 +537,7 @@ impl Session {
                         .gemm_options(pc)
                         .with_parallelism(opts.parallelism)
                         .with_isa(opts.isa())
+                        .with_tune(self.tune.clone())
                 })
             })
         })?;
@@ -525,6 +578,7 @@ impl Session {
                             .gemm_options(pc)
                             .with_parallelism(opts.parallelism)
                             .with_isa(opts.isa())
+                            .with_tune(self.tune.clone())
                     })
             })
         })?;

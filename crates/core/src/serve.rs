@@ -41,6 +41,19 @@
 //! scheduling never change values (property-tested across all 49
 //! precision pairs in `tests/serving.rs`).
 //!
+//! **Tuned blocking:** when the session carries a
+//! [`TuneDb`](mixgemm_gemm::TuneDb) (attached or loaded via
+//! [`SessionBuilder::tune_db_dir`](crate::api::SessionBuilder::tune_db_dir)),
+//! each claimed bucket's kernel resolves the tuned blocking for the
+//! bucket's exact `(GemmDims, PrecisionConfig)` through the per-bucket
+//! [`GemmOptions`](mixgemm_gemm::GemmOptions) — skinny serving shapes
+//! run their tuned µ-panel geometry while square shapes keep the
+//! derived default, and the per-shape simulation memo keys on the
+//! *effective* blocking so tuned and default timings never alias.
+//! Lookups surface as `gemm.tune.hit` / `gemm.tune.miss` counters and
+//! a `tuned` arg on the kernel timeline events; tuned blocking never
+//! changes results (the bit-identity guarantee above covers it).
+//!
 //! The scheduler reports itself through the observability layer:
 //! `serve.queue.depth` (requests admitted but not yet claimed — the sum
 //! of forming and sealed requests across every shard) and per-shard

@@ -47,6 +47,12 @@ pub struct SimKey {
 
 impl SimKey {
     /// Builds the key for simulating `dims` under `opts` at `fidelity`.
+    ///
+    /// The key stores the *effective* blocking
+    /// ([`GemmOptions::blocking_for`]): with a tuned database attached,
+    /// two option sets that resolve the same tuned winner share one
+    /// entry, and a database that changes a shape's blocking never
+    /// aliases a stale memoized cost.
     pub fn new(dims: GemmDims, fidelity: Fidelity, opts: &GemmOptions) -> Self {
         SimKey {
             dims,
@@ -55,7 +61,7 @@ impl SimKey {
             soc_name: opts.soc.name,
             soc_freq_bits: opts.soc.freq_ghz.to_bits(),
             soc_issue_width: opts.soc.issue_width,
-            params: opts.params,
+            params: opts.blocking_for(dims),
             srcbuf_depth: opts.srcbuf_depth,
             warm_start: opts.warm_start,
         }
@@ -204,5 +210,44 @@ mod tests {
             .clone()
             .with_parallelism(mixgemm_gemm::Parallelism::new(8));
         assert_eq!(SimKey::new(dims, Fidelity::Sampled, &par), sampled);
+    }
+
+    #[test]
+    fn key_uses_effective_tuned_blocking() {
+        use mixgemm_gemm::{ShapeClass, TuneDb, TuneEntry, TuneSource};
+        let precision: PrecisionConfig = "a2-w8".parse().unwrap();
+        let opts = GemmOptions::new(precision);
+        let dims = GemmDims::new(8, 64, 32);
+        let plain = SimKey::new(dims, Fidelity::Sampled, &opts);
+
+        let tuned_params = BlisParams {
+            mr: 8,
+            nr: 2,
+            ..BlisParams::table1()
+        };
+        let mut db = TuneDb::new("sargantana");
+        db.insert(TuneEntry {
+            class: ShapeClass::of(dims),
+            precision,
+            params: tuned_params,
+            score: 90,
+            default_score: 100,
+            source: TuneSource::Simulated,
+        });
+        let tuned = opts.clone().with_tune(Some(std::sync::Arc::new(db)));
+        // A tuned winner re-keys the shape it covers...
+        assert_ne!(SimKey::new(dims, Fidelity::Sampled, &tuned), plain);
+        let mut explicit = opts.clone();
+        explicit.params = tuned_params;
+        assert_eq!(
+            SimKey::new(dims, Fidelity::Sampled, &tuned),
+            SimKey::new(dims, Fidelity::Sampled, &explicit)
+        );
+        // ...and leaves uncovered shapes keyed by the default blocking.
+        let other = GemmDims::new(200, 64, 32);
+        assert_eq!(
+            SimKey::new(other, Fidelity::Sampled, &tuned),
+            SimKey::new(other, Fidelity::Sampled, &opts)
+        );
     }
 }

@@ -44,14 +44,46 @@ use crate::params::BlisParams;
 ///
 /// For the Sargantana preset (32 KB L1, 512 KB L2) this yields the
 /// paper's Table I values `mc = nc = kc = 256`, `mr = nr = 4`.
+///
+/// # Panics
+///
+/// Panics when the cache geometry cannot host any legal blocking (an
+/// L2 too small for even one `mr`-row A panel at the derived `kc`);
+/// use [`derive_blocking`] for the fallible form. Every shipped SoC
+/// preset derives successfully.
 pub fn analytical_params(soc: &SocConfig) -> BlisParams {
+    derive_blocking(soc).expect("SoC cache geometry cannot host a legal blocking")
+}
+
+/// The fallible core of [`analytical_params`]: derives BLIS blocking
+/// from the SoC cache geometry, rejecting pathological geometries
+/// instead of clamping into a degenerate panel.
+///
+/// The analytical model sizes `mc = L2 / (2 * kc)`; an earlier version
+/// silently clamped that quotient up to `mr` when a tiny L2 (or a huge
+/// L1-derived `kc`) drove it below `mr`, producing an "L2-resident" A
+/// panel that does not actually fit L2. The clamp is now an error.
+///
+/// # Errors
+///
+/// Returns [`GemmError::BadParams`] when `L2 / (2 * kc) < mr`, i.e. the
+/// L2 cannot hold even the minimum legal A panel at the derived `kc`.
+pub fn derive_blocking(soc: &SocConfig) -> Result<BlisParams, GemmError> {
     let mr = (DEFAULT_ACCMEM_SLOTS as f64).sqrt() as usize; // 4
     let nr = DEFAULT_ACCMEM_SLOTS / mr; // 4
     let kc = (soc.l1.size_bytes / (2 * (mr + nr) * 8)).max(mr);
     // Mix-GEMM panels store 8-bit-or-narrower data: ~1 byte per element.
-    let mc = (soc.l2.size_bytes / (2 * kc)).clamp(mr, kc);
+    let mc_raw = soc.l2.size_bytes / (2 * kc);
+    if mc_raw < mr {
+        return Err(GemmError::BadParams {
+            reason: "L2 too small to hold an mr-row A panel at the derived kc",
+        });
+    }
+    let mc = mc_raw.min(kc);
     let nc = mc;
-    BlisParams { mc, nc, kc, mr, nr }
+    let params = BlisParams { mc, nc, kc, mr, nr };
+    params.validate()?;
+    Ok(params)
 }
 
 /// Result of simulating one candidate blocking around the optimum.
@@ -212,6 +244,29 @@ mod tests {
         let p = analytical_params(&presets::sargantana());
         assert_eq!((p.mc, p.nc, p.kc, p.mr, p.nr), (256, 256, 256, 4, 4));
         assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn derive_blocking_stays_legal_on_pathological_caches() {
+        // 1 KiB L1 + 1 KiB L2: kc collapses to 8, mc tracks it, and the
+        // result is still a legal (validated) blocking — no silent
+        // clamp into a degenerate panel.
+        let p = derive_blocking(&presets::sargantana_small_caches(1, 1)).unwrap();
+        assert_eq!((p.mc, p.nc, p.kc, p.mr, p.nr), (8, 8, 8, 4, 4));
+        assert!(p.validate().is_ok());
+        assert!(p.mc >= p.mr && p.nc >= p.nr);
+    }
+
+    #[test]
+    fn derive_blocking_rejects_l2_smaller_than_a_panel() {
+        // A huge L1 drives kc to 8192, at which point a 1 KiB L2 cannot
+        // hold even a 4-row A panel: the old code clamped mc up to mr
+        // (claiming an L2 fit that does not exist); now it errors.
+        let soc = presets::sargantana_small_caches(1024, 1);
+        assert!(matches!(
+            derive_blocking(&soc),
+            Err(GemmError::BadParams { .. })
+        ));
     }
 
     #[test]

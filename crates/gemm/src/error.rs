@@ -23,6 +23,19 @@ pub enum GemmError {
         /// Explanation of the violated constraint.
         reason: &'static str,
     },
+    /// A `TUNE_<target>.json` autotuning database failed to parse or
+    /// violated its schema (bad version, illegal blocking entry).
+    TuneParse {
+        /// What was malformed.
+        detail: String,
+    },
+    /// Reading or writing a `TUNE_<target>.json` database failed.
+    TuneIo {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GemmError {
@@ -35,6 +48,10 @@ impl fmt::Display for GemmError {
             GemmError::Value(e) => write!(f, "matrix value error: {e}"),
             GemmError::Engine(e) => write!(f, "µ-engine rejected the instruction stream: {e}"),
             GemmError::BadParams { reason } => write!(f, "invalid blocking parameters: {reason}"),
+            GemmError::TuneParse { detail } => write!(f, "malformed tuning database: {detail}"),
+            GemmError::TuneIo { path, detail } => {
+                write!(f, "tuning database I/O failed for {path}: {detail}")
+            }
         }
     }
 }

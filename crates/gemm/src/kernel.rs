@@ -1,4 +1,5 @@
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mixgemm_binseg::chunk::ChunkShape;
 use mixgemm_binseg::{ip, BinSegConfig, OperandType, PrecisionConfig};
@@ -13,6 +14,7 @@ use crate::parallel;
 use crate::params::{BlisParams, Parallelism};
 use crate::report::GemmReport;
 use crate::simd::{self, HostPanels, MicroKernel};
+use crate::tune::TuneDb;
 
 /// Timing-simulation fidelity.
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
@@ -61,6 +63,15 @@ pub struct GemmOptions {
     /// fail with [`GemmError::BadParams`]. Every tier is bit-identical
     /// to [`Isa::Scalar`].
     pub isa: Option<Isa>,
+    /// Per-shape tuned blocking database. When set, every compute and
+    /// simulate entry point resolves its effective blocking through
+    /// [`GemmOptions::blocking_for`] — the tuned winner for the
+    /// problem's shape bucket when one exists, [`GemmOptions::params`]
+    /// otherwise. `None` (default) always uses `params`. Tuned
+    /// blocking only changes C partitioning and panel walking, never
+    /// results: every tuned config is bit-identical to the default
+    /// (pinned by `tests/tuning.rs`).
+    pub tune: Option<Arc<TuneDb>>,
 }
 
 impl GemmOptions {
@@ -75,6 +86,7 @@ impl GemmOptions {
             warm_start: true,
             parallelism: Parallelism::serial(),
             isa: None,
+            tune: None,
         }
     }
 
@@ -88,6 +100,13 @@ impl GemmOptions {
     /// auto-detection).
     pub fn with_isa(mut self, isa: Option<Isa>) -> Self {
         self.isa = isa;
+        self
+    }
+
+    /// Builder-style tuned-blocking database override (`None` restores
+    /// fixed [`GemmOptions::params`] blocking).
+    pub fn with_tune(mut self, tune: Option<Arc<TuneDb>>) -> Self {
+        self.tune = tune;
         self
     }
 
@@ -132,6 +151,24 @@ impl GemmOptions {
     /// The forced SIMD tier, `None` for auto-detection.
     pub fn isa(&self) -> Option<Isa> {
         self.isa
+    }
+
+    /// The tuned-blocking database consulted by
+    /// [`GemmOptions::blocking_for`], if any.
+    pub fn tune_db(&self) -> Option<&Arc<TuneDb>> {
+        self.tune.as_ref()
+    }
+
+    /// The effective blocking for an `m x k x n` problem under these
+    /// options: the tuned winner for the problem's shape bucket when
+    /// the [`GemmOptions::tune`] database holds one, otherwise
+    /// [`GemmOptions::params`]. Pure — no counters; the kernel entry
+    /// points record `gemm.tune.{hit,miss}` around the same lookup.
+    pub fn blocking_for(&self, dims: GemmDims) -> BlisParams {
+        self.tune
+            .as_ref()
+            .and_then(|db| db.lookup(dims, self.precision))
+            .unwrap_or(self.params)
     }
 
     /// The SIMD tier the functional compute paths dispatch to under
@@ -188,6 +225,13 @@ impl GemmOptionsBuilder {
         self
     }
 
+    /// Attaches a tuned-blocking database (`None` restores fixed
+    /// blocking).
+    pub fn tune(mut self, tune: Option<Arc<TuneDb>>) -> Self {
+        self.opts.tune = tune;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> GemmOptions {
         self.opts
@@ -209,6 +253,29 @@ impl MixGemmKernel {
     /// The options.
     pub fn options(&self) -> &GemmOptions {
         &self.opts
+    }
+
+    /// Resolves the effective blocking for a problem and records the
+    /// tune-lookup outcome: `gemm.tune.hit` when a database supplied a
+    /// tuned config, `gemm.tune.miss` when a database was attached but
+    /// held no entry for the bucket. No counters move without a
+    /// database (`gemm.tune.fallback` is the session loader's counter
+    /// for a database that failed to load). The returned flag feeds
+    /// the `tuned` arg on `kernel` timeline events.
+    fn tuned_params(&self, dims: GemmDims) -> (BlisParams, bool) {
+        match &self.opts.tune {
+            None => (self.opts.params, false),
+            Some(db) => match db.lookup(dims, self.opts.precision) {
+                Some(p) => {
+                    metrics::recorder().counter("gemm.tune.hit").inc();
+                    (p, true)
+                }
+                None => {
+                    metrics::recorder().counter("gemm.tune.miss").inc();
+                    (self.opts.params, false)
+                }
+            },
+        }
     }
 
     /// Computes `C = A * B` bit-exactly through the binary-segmentation
@@ -234,6 +301,7 @@ impl MixGemmKernel {
             });
         }
         let _gemm = mixgemm_harness::span!("gemm");
+        let (params, tuned) = self.tuned_params(GemmDims::new(a.rows(), a.cols(), b.cols()));
         // pack_a / pack_b spans (on cache miss) nest under "gemm" here.
         let a_rows = a.packed_rows();
         let b_cols = b.packed_cols();
@@ -245,8 +313,10 @@ impl MixGemmKernel {
                 a.host_row_panels(kern.elem()),
                 b.host_col_panels(kern.elem()),
                 self.opts.parallelism,
+                &params,
+                tuned,
             ),
-            None => self.binseg_kernel(&a_rows, &b_cols),
+            None => self.binseg_kernel(&a_rows, &b_cols, &params, tuned),
         }
     }
 
@@ -287,6 +357,7 @@ impl MixGemmKernel {
             });
         }
         let _gemm = mixgemm_harness::span!("gemm");
+        let (params, tuned) = self.tuned_params(GemmDims::new(a.count(), a.elems(), b.count()));
         match self.dispatch(a.operand(), b.operand())? {
             // No dense form in hand here: panels come from unpacking
             // the µ-vectors, cached on the shared packed operands so a
@@ -296,8 +367,10 @@ impl MixGemmKernel {
                 a.host_panels(kern.elem()),
                 b.host_panels(kern.elem()),
                 self.opts.parallelism,
+                &params,
+                tuned,
             ),
-            None => self.binseg_kernel(a, b),
+            None => self.binseg_kernel(a, b, &params, tuned),
         }
     }
 
@@ -329,15 +402,19 @@ impl MixGemmKernel {
         Ok(simd::select(isa, oa, ob))
     }
 
-    /// Opens the `kernel` span carrying the dispatched ISA as a
-    /// flight-recorder arg, and exports it as the `gemm.kernel.isa`
-    /// gauge plus a per-tier dispatch counter.
-    fn kernel_span(&self, isa: Isa) -> trace::Span {
+    /// Opens the `kernel` span carrying the dispatched ISA and whether
+    /// tuned blocking was applied as flight-recorder args, and exports
+    /// the ISA as the `gemm.kernel.isa` gauge plus a per-tier dispatch
+    /// counter.
+    fn kernel_span(&self, isa: Isa, tuned: bool) -> trace::Span {
         let rec = metrics::recorder();
         rec.gauge("gemm.kernel.isa").set_u64(isa.code());
         rec.counter(&format!("gemm.kernel.dispatch.{}", isa.name()))
             .inc();
-        trace::span_args("kernel", vec![("isa", isa.code())])
+        trace::span_args(
+            "kernel",
+            vec![("isa", isa.code()), ("tuned", u64::from(tuned))],
+        )
     }
 
     /// The SIMD tile path: walks C in MR×NR tiles over the host panels
@@ -346,14 +423,16 @@ impl MixGemmKernel {
     fn simd_kernel(
         &self,
         kern: &'static dyn MicroKernel,
-        a: std::sync::Arc<HostPanels>,
-        b: std::sync::Arc<HostPanels>,
+        a: Arc<HostPanels>,
+        b: Arc<HostPanels>,
         parallelism: Parallelism,
+        params: &BlisParams,
+        tuned: bool,
     ) -> Result<Vec<i64>, GemmError> {
         let (m, n) = (a.count(), b.count());
         debug_assert_eq!(a.k(), b.k());
-        let _kernel = self.kernel_span(kern.isa());
-        parallel::compute_partitioned(m, n, &self.opts.params, parallelism, |rows, cols, out| {
+        let _kernel = self.kernel_span(kern.isa(), tuned);
+        parallel::compute_partitioned(m, n, params, parallelism, |rows, cols, out| {
             simd::compute_region(kern, &a, &b, rows, cols, out);
             Ok(())
         })
@@ -365,27 +444,22 @@ impl MixGemmKernel {
         &self,
         a_rows: &crate::matrix::PackedMatrix,
         b_cols: &crate::matrix::PackedMatrix,
+        params: &BlisParams,
+        tuned: bool,
     ) -> Result<Vec<i64>, GemmError> {
         let (oa, ob) = self.opts.precision.operand_types();
         let cfg = BinSegConfig::new(oa, ob);
         let (m, k, n) = (a_rows.count(), a_rows.elems(), b_cols.count());
-        let _kernel = self.kernel_span(Isa::Scalar);
-        parallel::compute_partitioned(
-            m,
-            n,
-            &self.opts.params,
-            self.opts.parallelism,
-            |rows, cols, out| {
-                let w = cols.len();
-                for (li, i) in rows.enumerate() {
-                    for (lj, j) in cols.clone().enumerate() {
-                        out[li * w + lj] =
-                            ip::inner_product(&cfg, a_rows.get(i), b_cols.get(j), k)?;
-                    }
+        let _kernel = self.kernel_span(Isa::Scalar, tuned);
+        parallel::compute_partitioned(m, n, params, self.opts.parallelism, |rows, cols, out| {
+            let w = cols.len();
+            for (li, i) in rows.enumerate() {
+                for (lj, j) in cols.clone().enumerate() {
+                    out[li * w + lj] = ip::inner_product(&cfg, a_rows.get(i), b_cols.get(j), k)?;
                 }
-                Ok(())
-            },
-        )
+            }
+            Ok(())
+        })
     }
 
     /// Computes `C = A * B` with plain blocked integer arithmetic.
@@ -430,20 +504,23 @@ impl MixGemmKernel {
             });
         }
         let _gemm = mixgemm_harness::span!("gemm");
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let (params, tuned) = self.tuned_params(GemmDims::new(m, k, n));
         if let Some(kern) = self.dispatch(a.operand(), b.operand())? {
             return self.simd_kernel(
                 kern,
                 a.host_row_panels(kern.elem()),
                 b.host_col_panels(kern.elem()),
                 Parallelism::new(threads),
+                &params,
+                tuned,
             );
         }
-        let _kernel = self.kernel_span(Isa::Scalar);
-        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let _kernel = self.kernel_span(Isa::Scalar, tuned);
         parallel::compute_partitioned(
             m,
             n,
-            &self.opts.params,
+            &params,
             Parallelism::new(threads),
             |rows, cols, out| {
                 let w = cols.len();
@@ -478,8 +555,9 @@ impl MixGemmKernel {
     /// the instruction generator, not user error).
     pub fn simulate(&self, dims: GemmDims, fidelity: Fidelity) -> Result<GemmReport, GemmError> {
         let _sim = mixgemm_harness::span!("simulate");
-        self.opts.params.validate()?;
-        let mut sim = Sim::new(&self.opts, dims, fidelity)?;
+        let (params, _tuned) = self.tuned_params(dims);
+        params.validate()?;
+        let mut sim = Sim::new(&self.opts, params, dims, fidelity)?;
         sim.run()?;
         Ok(sim.into_report())
     }
@@ -612,11 +690,16 @@ struct Snapshot {
 }
 
 impl<'o> Sim<'o> {
-    fn new(opts: &'o GemmOptions, dims: GemmDims, fidelity: Fidelity) -> Result<Self, GemmError> {
+    fn new(
+        opts: &'o GemmOptions,
+        params: BlisParams,
+        dims: GemmDims,
+        fidelity: Fidelity,
+    ) -> Result<Self, GemmError> {
         let shape = ChunkShape::balanced(opts.precision);
         let (oa, ob) = opts.precision.operand_types();
         let binseg = BinSegConfig::new(oa, ob);
-        let mut p = opts.params;
+        let mut p = params;
         // Skinny-matrix register re-balancing: when n < nr (depthwise
         // convolutions lower to N = 1), widen mr so the AccMem and the
         // register file stay filled — the bs.set flexibility makes the C

@@ -29,7 +29,11 @@
 //! measured thread sweeps; [`parallel`] partitions the functional compute
 //! paths across host threads along the BLIS panel loops
 //! ([`Parallelism`]), and [`QuantMatrix`] caches its packed-operand form
-//! ([`PackedMatrix`]) so repeated calls pack once.
+//! ([`PackedMatrix`]) so repeated calls pack once. The [`tune`] module
+//! makes the blocking derivation empirical: a per-shape autotuner
+//! persists winners to a versioned `TUNE_<target>.json` database
+//! ([`TuneDb`]) that [`GemmOptions::blocking_for`] consults on every
+//! kernel entry.
 //!
 //! # Example
 //!
@@ -71,6 +75,7 @@ mod params;
 mod report;
 pub mod scaling;
 pub mod simd;
+pub mod tune;
 
 pub use error::GemmError;
 pub use isa::Isa;
@@ -78,6 +83,7 @@ pub use kernel::{Fidelity, GemmOptions, GemmOptionsBuilder, MixGemmKernel};
 pub use matrix::{naive_gemm, GemmDims, PackedMatrix, QuantMatrix};
 pub use params::{BlisParams, Parallelism};
 pub use report::GemmReport;
+pub use tune::{ShapeClass, TuneDb, TuneEntry, TuneSource, Tuner};
 
 // Re-export the vocabulary types downstream users need.
 pub use mixgemm_binseg::{DataSize, OperandType, PrecisionConfig, Signedness};

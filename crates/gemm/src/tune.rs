@@ -1,0 +1,775 @@
+//! Per-shape autotuning of the BLIS blocking parameters.
+//!
+//! The Table I blocking (`mc = nc = kc = 256`, `mr = nr = 4`) is derived
+//! once per SoC from cache geometry ([`crate::dse::derive_blocking`]) and
+//! is a strong all-round default — but the optimum varies across the
+//! shape spectrum. Skinny serving GEMMs (autoregressive decode, small
+//! batches, depthwise lowerings) leave most of the register file and the
+//! B-panel reuse on the table: an `m = 8` problem at `a2-w8` runs the
+//! default `mr = 4` µ-panel twice per B µ-panel, while a legal `mr = 8`
+//! covers all of C's rows in one pass *and* rides the GEMV fast path
+//! that skips B packing entirely.
+//!
+//! [`Tuner`] makes that empirical: it sweeps a deterministic candidate
+//! grid per ([`ShapeClass`], [`PrecisionConfig`]) — every candidate
+//! respecting the µ-engine's register budget — and persists winners to a
+//! versioned [`TuneDb`] (`TUNE_<target>.json`, the same JSON round-trip
+//! discipline as the planner's `PLANS_<net>.json`). The search oracle is
+//! the memoized cycle-level simulator for SoC targets ([`Tuner::tune`])
+//! and wall-clock measurement for the host SIMD path
+//! ([`Tuner::tune_host`]).
+//!
+//! Correctness is structural: host compute paths use blocking only to
+//! partition C, and integer accumulation per element is
+//! blocking-independent, so every tuned config is bit-identical to the
+//! reference — the `tests/tuning.rs` differential suite pins that across
+//! all 49 precision pairs for every config the tuner can emit.
+//!
+//! # Candidate legality
+//!
+//! Candidates must satisfy [`BlisParams::validate`] (AccMem:
+//! `mr * nr <= 16`) *and* the register file split of paper §III-C: 16
+//! slots for A µ-vector slices and 16 for B, so `kua * mr <= 16` and
+//! `kub * nr <= 16` with `kua`/`kub` from
+//! [`ChunkShape::balanced`]. Asymmetric precisions are where this pays:
+//! `a2-w8` has `kua = 1`, legalising `mr = 16`, while symmetric `a8-w8`
+//! (`kua = kub = 4`) is already register-bound at `4 x 4`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use mixgemm_binseg::chunk::ChunkShape;
+use mixgemm_binseg::PrecisionConfig;
+use mixgemm_harness::Json;
+use mixgemm_soc::SocConfig;
+
+use crate::dse;
+use crate::error::GemmError;
+use crate::isa::Isa;
+use crate::kernel::{Fidelity, GemmOptions, MixGemmKernel};
+use crate::matrix::{GemmDims, QuantMatrix};
+use crate::params::BlisParams;
+
+/// On-disk schema version of [`TuneDb`]; bumped on breaking changes.
+pub const TUNE_DB_VERSION: u64 = 1;
+
+/// Register-file slots available to A µ-vector slices (paper §III-C:
+/// the 32-entry file splits into 16 A + 16 B slices).
+const A_REG_SLOTS: usize = 16;
+/// Register-file slots available to B µ-vector slices.
+const B_REG_SLOTS: usize = 16;
+
+/// The shape bucket tuned configs are keyed by: each dimension rounded
+/// up to the next power of two (zero stays zero), so one tuned entry
+/// covers the cloud of nearby shapes the serving layer's buckets
+/// produce without exploding the database.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct ShapeClass {
+    /// Bucketed row count (power of two, or zero).
+    pub m: usize,
+    /// Bucketed depth (power of two, or zero).
+    pub k: usize,
+    /// Bucketed column count (power of two, or zero).
+    pub n: usize,
+}
+
+fn bucket(x: usize) -> usize {
+    if x == 0 {
+        0
+    } else {
+        x.next_power_of_two()
+    }
+}
+
+impl ShapeClass {
+    /// The bucket containing `dims`.
+    pub fn of(dims: GemmDims) -> Self {
+        ShapeClass {
+            m: bucket(dims.m),
+            k: bucket(dims.k),
+            n: bucket(dims.n),
+        }
+    }
+
+    /// The representative problem the tuner searches on: the bucket's
+    /// upper corner.
+    pub fn representative(&self) -> GemmDims {
+        GemmDims::new(self.m, self.k, self.n)
+    }
+}
+
+impl std::fmt::Display for ShapeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.k, self.n)
+    }
+}
+
+/// How a [`TuneEntry`]'s score was obtained.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum TuneSource {
+    /// Cycle-accurate simulation on the target SoC; the score is
+    /// simulated cycles.
+    Simulated,
+    /// Wall-clock measurement on the host; the score is nanoseconds.
+    Measured,
+}
+
+impl TuneSource {
+    /// The JSON string form.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TuneSource::Simulated => "simulated",
+            TuneSource::Measured => "measured",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, GemmError> {
+        match s {
+            "simulated" => Ok(TuneSource::Simulated),
+            "measured" => Ok(TuneSource::Measured),
+            other => Err(GemmError::TuneParse {
+                detail: format!("unknown tune source {other:?}"),
+            }),
+        }
+    }
+}
+
+/// One tuned winner: the best blocking the search found for a
+/// (shape bucket, precision) pair, with the scores that justify it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TuneEntry {
+    /// The shape bucket the entry covers.
+    pub class: ShapeClass,
+    /// The precision pair the entry was tuned for.
+    pub precision: PrecisionConfig,
+    /// The winning blocking.
+    pub params: BlisParams,
+    /// Score of the winner (simulated cycles or measured nanoseconds,
+    /// per [`TuneEntry::source`]).
+    pub score: u64,
+    /// Score of the derived default blocking on the same problem.
+    pub default_score: u64,
+    /// How the scores were obtained.
+    pub source: TuneSource,
+}
+
+impl TuneEntry {
+    /// The win over the derived default (`>= 1.0` by construction: the
+    /// default is always a candidate).
+    pub fn speedup(&self) -> f64 {
+        if self.score == 0 {
+            1.0
+        } else {
+            self.default_score as f64 / self.score as f64
+        }
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("m", self.class.m)
+            .field("k", self.class.k)
+            .field("n", self.class.n)
+            .field("precision", self.precision.to_string())
+            .field(
+                "params",
+                Json::obj()
+                    .field("mc", self.params.mc)
+                    .field("nc", self.params.nc)
+                    .field("kc", self.params.kc)
+                    .field("mr", self.params.mr)
+                    .field("nr", self.params.nr),
+            )
+            .field("score", self.score)
+            .field("default_score", self.default_score)
+            .field("source", self.source.as_str())
+    }
+
+    /// Parses an entry serialized by [`TuneEntry::to_json`], validating
+    /// the stored blocking (unknown extra fields are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::TuneParse`] on missing/mistyped fields, an
+    /// unparsable precision, or a blocking that fails
+    /// [`BlisParams::validate`] or the register budget.
+    pub fn from_json(doc: &Json) -> Result<TuneEntry, GemmError> {
+        let num = |doc: &Json, key: &str| -> Result<u64, GemmError> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| GemmError::TuneParse {
+                    detail: format!("entry missing numeric field {key}"),
+                })
+                .map(|v| v as u64)
+        };
+        let precision_str =
+            doc.get("precision")
+                .and_then(Json::as_str)
+                .ok_or_else(|| GemmError::TuneParse {
+                    detail: "entry missing precision".to_string(),
+                })?;
+        let precision: PrecisionConfig =
+            precision_str.parse().map_err(|_| GemmError::TuneParse {
+                detail: format!("invalid precision {precision_str:?}"),
+            })?;
+        let p = doc.get("params").ok_or_else(|| GemmError::TuneParse {
+            detail: "entry missing params".to_string(),
+        })?;
+        let params = BlisParams {
+            mc: num(p, "mc")? as usize,
+            nc: num(p, "nc")? as usize,
+            kc: num(p, "kc")? as usize,
+            mr: num(p, "mr")? as usize,
+            nr: num(p, "nr")? as usize,
+        };
+        if !is_feasible(&params, precision) {
+            return Err(GemmError::TuneParse {
+                detail: format!("entry blocking {params} is illegal for {precision}"),
+            });
+        }
+        let entry = TuneEntry {
+            class: ShapeClass {
+                m: num(doc, "m")? as usize,
+                k: num(doc, "k")? as usize,
+                n: num(doc, "n")? as usize,
+            },
+            precision,
+            params,
+            score: num(doc, "score")?,
+            default_score: num(doc, "default_score")?,
+            source: TuneSource::parse(doc.get("source").and_then(Json::as_str).ok_or_else(
+                || GemmError::TuneParse {
+                    detail: "entry missing source".to_string(),
+                },
+            )?)?,
+        };
+        Ok(entry)
+    }
+}
+
+/// `true` when `params` is a legal blocking for `precision` on the
+/// µ-engine: [`BlisParams::validate`] passes and the µ-kernel's
+/// register loads fit the 16 A-slice + 16 B-slice register file
+/// (`kua * mr <= 16`, `kub * nr <= 16`, which implies the paper's
+/// `kua * mr + kub * nr <= 32` budget).
+pub fn is_feasible(params: &BlisParams, precision: PrecisionConfig) -> bool {
+    if params.validate().is_err() {
+        return false;
+    }
+    let shape = ChunkShape::balanced(precision);
+    shape.kua() * params.mr <= A_REG_SLOTS && shape.kub() * params.nr <= B_REG_SLOTS
+}
+
+/// A versioned on-disk database of tuned blocking winners for one
+/// target (a SoC preset name, or `host-<isa>` for wall-clock entries),
+/// persisted as `TUNE_<target>.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneDb {
+    /// Schema version (always [`TUNE_DB_VERSION`] in memory).
+    pub version: u64,
+    /// The target the scores were obtained on.
+    pub target: String,
+    /// Tuned winners, one per (shape bucket, precision).
+    pub entries: Vec<TuneEntry>,
+}
+
+impl TuneDb {
+    /// An empty database for `target`.
+    pub fn new(target: &str) -> TuneDb {
+        TuneDb {
+            version: TUNE_DB_VERSION,
+            target: target.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The conventional target name for host wall-clock tuning under
+    /// `isa`: `host-<isa>`.
+    pub fn host_target(isa: Isa) -> String {
+        format!("host-{}", isa.name())
+    }
+
+    /// The database file name for `target`: `TUNE_<target>.json`.
+    pub fn file_name(target: &str) -> String {
+        format!("TUNE_{target}.json")
+    }
+
+    /// Inserts `entry`, replacing any stored entry for the same
+    /// (shape bucket, precision).
+    pub fn insert(&mut self, entry: TuneEntry) {
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.class == entry.class && e.precision == entry.precision)
+        {
+            *slot = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// The stored entry for (`class`, `precision`), if any.
+    pub fn find(&self, class: ShapeClass, precision: PrecisionConfig) -> Option<&TuneEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.class == class && e.precision == precision)
+    }
+
+    /// The tuned blocking for a concrete problem, if its bucket was
+    /// tuned — the hot-path lookup [`GemmOptions::blocking_for`] and the
+    /// kernel dispatch go through.
+    pub fn lookup(&self, dims: GemmDims, precision: PrecisionConfig) -> Option<BlisParams> {
+        self.find(ShapeClass::of(dims), precision).map(|e| e.params)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("version", self.version)
+            .field("target", self.target.as_str())
+            .field(
+                "entries",
+                Json::Arr(self.entries.iter().map(TuneEntry::to_json).collect()),
+            )
+    }
+
+    /// Parses a database serialized by [`TuneDb::to_json`]. Unknown
+    /// fields anywhere in the document are tolerated (forward
+    /// compatibility); an unknown *version* is not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::TuneParse`] on schema violations.
+    pub fn from_json(doc: &Json) -> Result<TuneDb, GemmError> {
+        let version =
+            doc.get("version")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| GemmError::TuneParse {
+                    detail: "tune db missing version".to_string(),
+                })? as u64;
+        if version != TUNE_DB_VERSION {
+            return Err(GemmError::TuneParse {
+                detail: format!("unsupported tune db version {version} (want {TUNE_DB_VERSION})"),
+            });
+        }
+        let target = doc
+            .get("target")
+            .and_then(Json::as_str)
+            .ok_or_else(|| GemmError::TuneParse {
+                detail: "tune db missing target".to_string(),
+            })?
+            .to_string();
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| GemmError::TuneParse {
+                detail: "tune db missing entries array".to_string(),
+            })?
+            .iter()
+            .map(TuneEntry::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TuneDb {
+            version,
+            target,
+            entries,
+        })
+    }
+
+    /// Loads `TUNE_<target>.json` from `dir`, returning `None` when no
+    /// database exists yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::TuneIo`] on read failures and
+    /// [`GemmError::TuneParse`] on malformed documents — callers that
+    /// want load-or-derive semantics (the `Session` builder) treat both
+    /// as "fall back to derived blocking".
+    pub fn load(dir: &Path, target: &str) -> Result<Option<TuneDb>, GemmError> {
+        let path = dir.join(TuneDb::file_name(target));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(GemmError::TuneIo {
+                    path: path.display().to_string(),
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let doc = Json::parse(&text).map_err(|e| GemmError::TuneParse {
+            detail: format!("{}: {e}", path.display()),
+        })?;
+        TuneDb::from_json(&doc).map(Some)
+    }
+
+    /// Writes the database to `dir` as `TUNE_<target>.json`, returning
+    /// the path written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::TuneIo`] on write failures.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, GemmError> {
+        let path = dir.join(TuneDb::file_name(&self.target));
+        std::fs::write(&path, self.to_json().pretty()).map_err(|e| GemmError::TuneIo {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Ok(path)
+    }
+}
+
+/// µ-panel register shapes the candidate generator sweeps, in fixed
+/// order (earliest wins ties). All are filtered through [`is_feasible`]
+/// per precision before use.
+const REG_SHAPES: [(usize, usize); 9] = [
+    (4, 4),
+    (2, 8),
+    (8, 2),
+    (1, 16),
+    (16, 1),
+    (2, 4),
+    (4, 2),
+    (1, 8),
+    (8, 1),
+];
+
+/// The blocking autotuner: sweeps a deterministic candidate grid per
+/// (shape bucket, precision) and returns the winners as a [`TuneDb`].
+///
+/// The search is fully deterministic — candidates are generated in a
+/// fixed order, simulated costs are memoized in an ordered map, and the
+/// earliest candidate wins score ties — so the same inputs produce a
+/// byte-identical database on every run.
+#[derive(Clone, Debug)]
+pub struct Tuner {
+    soc: SocConfig,
+    fidelity: Fidelity,
+}
+
+impl Tuner {
+    /// A tuner searching for `soc` at sampled fidelity.
+    pub fn new(soc: SocConfig) -> Tuner {
+        Tuner {
+            soc,
+            fidelity: Fidelity::Sampled,
+        }
+    }
+
+    /// Overrides the simulation fidelity of the search oracle.
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Tuner {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// The SoC the tuner targets.
+    pub fn soc(&self) -> &SocConfig {
+        &self.soc
+    }
+
+    /// The derived default blocking the tuner measures candidates
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::dse::derive_blocking`] failures.
+    pub fn default_params(&self) -> Result<BlisParams, GemmError> {
+        dse::derive_blocking(&self.soc)
+    }
+
+    /// The deterministic candidate list for one (problem, precision):
+    /// the derived default first, then the cross product of `kc`
+    /// scalings (including one covering all of `k`), `mc`/`nc`
+    /// scalings, and the `REG_SHAPES` register shapes — filtered to
+    /// configs that are [feasible](is_feasible) for `precision`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::dse::derive_blocking`] failures.
+    pub fn candidates(
+        &self,
+        dims: GemmDims,
+        precision: PrecisionConfig,
+    ) -> Result<Vec<BlisParams>, GemmError> {
+        let base = self.default_params()?;
+        let mut kcs = vec![base.kc, base.kc * 2, base.kc * 4, base.kc * 8];
+        if dims.k > 0 {
+            // One block covering the whole depth (no C re-accumulation).
+            kcs.push(bucket(dims.k).max(base.mr));
+        }
+        kcs.sort_unstable();
+        kcs.dedup();
+        let mut out = vec![base];
+        for &kc in &kcs {
+            for mc in [base.mc, base.mc * 2, base.mc * 4] {
+                for (mr, nr) in REG_SHAPES {
+                    let p = BlisParams {
+                        mc: mc.max(mr),
+                        nc: mc.max(nr),
+                        kc,
+                        mr,
+                        nr,
+                    };
+                    if is_feasible(&p, precision) && !out.contains(&p) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Simulated cycles of `params` on the representative problem,
+    /// memoized across candidates and shape buckets.
+    fn simulated_score(
+        &self,
+        memo: &mut BTreeMap<ScoreKey, u64>,
+        dims: GemmDims,
+        precision: PrecisionConfig,
+        params: BlisParams,
+    ) -> Result<u64, GemmError> {
+        let key = (
+            (dims.m, dims.k, dims.n),
+            precision.to_string(),
+            (params.mc, params.nc, params.kc, params.mr, params.nr),
+        );
+        if let Some(&cycles) = memo.get(&key) {
+            return Ok(cycles);
+        }
+        let mut opts = GemmOptions::new(precision);
+        opts.soc = self.soc;
+        opts.params = params;
+        let cycles = MixGemmKernel::new(opts)
+            .simulate(dims, self.fidelity)?
+            .cycles;
+        memo.insert(key, cycles);
+        Ok(cycles)
+    }
+
+    /// Tunes every (shape bucket, precision) pair with the cycle-level
+    /// simulator as the search oracle, returning a [`TuneDb`] targeting
+    /// the tuner's SoC preset.
+    ///
+    /// Shapes are bucketed first (first-seen order, duplicates merged)
+    /// and each bucket is searched on its representative problem. The
+    /// winner minimizes simulated cycles; the derived default is always
+    /// a candidate, so a stored entry is never worse than the default.
+    ///
+    /// # Errors
+    ///
+    /// Propagates blocking-derivation and simulation errors.
+    pub fn tune(
+        &self,
+        shapes: &[GemmDims],
+        precisions: &[PrecisionConfig],
+    ) -> Result<TuneDb, GemmError> {
+        let mut db = TuneDb::new(self.soc.name);
+        let mut memo: BTreeMap<ScoreKey, u64> = BTreeMap::new();
+        for class in dedup_classes(shapes) {
+            let rep = class.representative();
+            for &precision in precisions {
+                let base = self.default_params()?;
+                let default_score = self.simulated_score(&mut memo, rep, precision, base)?;
+                let mut best = (base, default_score);
+                for cand in self.candidates(rep, precision)? {
+                    let score = self.simulated_score(&mut memo, rep, precision, cand)?;
+                    // Strict `<`: the earliest candidate wins ties, so
+                    // winner selection is order-deterministic.
+                    if score < best.1 {
+                        best = (cand, score);
+                    }
+                }
+                db.insert(TuneEntry {
+                    class,
+                    precision,
+                    params: best.0,
+                    score: best.1,
+                    default_score,
+                    source: TuneSource::Simulated,
+                });
+            }
+        }
+        Ok(db)
+    }
+
+    /// Tunes with host wall-clock as the oracle: times the functional
+    /// [`MixGemmKernel::compute_fast`] path on deterministic operands
+    /// for each candidate and keeps the fastest. Scores are nanoseconds
+    /// (best of `trials`); the database targets
+    /// [`TuneDb::host_target`] of the resolved ISA.
+    ///
+    /// Host blocking only steers C partitioning, so wall-clock spreads
+    /// are modest compared to the simulated oracle — but the measured
+    /// winner is still never worse than the default on the machine that
+    /// ran the search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates blocking-derivation and compute errors.
+    pub fn tune_host(
+        &self,
+        shapes: &[GemmDims],
+        precisions: &[PrecisionConfig],
+        isa: Option<Isa>,
+        trials: usize,
+    ) -> Result<TuneDb, GemmError> {
+        let resolved = isa.filter(|i| i.available()).unwrap_or_else(Isa::detected);
+        let mut db = TuneDb::new(&TuneDb::host_target(resolved));
+        let trials = trials.max(1);
+        for class in dedup_classes(shapes) {
+            let rep = class.representative();
+            if rep.m == 0 || rep.k == 0 || rep.n == 0 {
+                continue;
+            }
+            for &precision in precisions {
+                let (oa, ow) = precision.operand_types();
+                let a = QuantMatrix::from_fn(rep.m, rep.k, oa, |i, j| {
+                    ((i * 31 + j * 7) % 251) as i32 % (oa.max_value() + 1)
+                });
+                let b = QuantMatrix::from_fn(rep.k, rep.n, ow, |i, j| {
+                    ow.min_value()
+                        + ((i * 13 + j * 5) % (ow.max_value() - ow.min_value() + 1) as usize) as i32
+                });
+                let time = |params: BlisParams| -> Result<u64, GemmError> {
+                    let mut opts = GemmOptions::new(precision).with_isa(Some(resolved));
+                    opts.soc = self.soc;
+                    opts.params = params;
+                    let kernel = MixGemmKernel::new(opts);
+                    kernel.compute_fast(&a, &b)?; // warm packing caches
+                    let mut best = u64::MAX;
+                    for _ in 0..trials {
+                        let t0 = Instant::now();
+                        mixgemm_harness::black_box(kernel.compute_fast(&a, &b)?);
+                        best = best.min(t0.elapsed().as_nanos() as u64);
+                    }
+                    Ok(best)
+                };
+                let base = self.default_params()?;
+                let default_score = time(base)?;
+                let mut best = (base, default_score);
+                for cand in self.candidates(rep, precision)? {
+                    let score = time(cand)?;
+                    if score < best.1 {
+                        best = (cand, score);
+                    }
+                }
+                db.insert(TuneEntry {
+                    class,
+                    precision,
+                    params: best.0,
+                    score: best.1,
+                    default_score,
+                    source: TuneSource::Measured,
+                });
+            }
+        }
+        Ok(db)
+    }
+}
+
+/// Ordered memo key: (dims, precision, params).
+type ScoreKey = (
+    (usize, usize, usize),
+    String,
+    (usize, usize, usize, usize, usize),
+);
+
+/// Buckets `shapes` in first-seen order, merging duplicates.
+fn dedup_classes(shapes: &[GemmDims]) -> Vec<ShapeClass> {
+    let mut classes: Vec<ShapeClass> = Vec::new();
+    for &s in shapes {
+        let c = ShapeClass::of(s);
+        if !classes.contains(&c) {
+            classes.push(c);
+        }
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixgemm_soc::presets;
+
+    #[test]
+    fn shape_class_buckets_to_powers_of_two() {
+        let c = ShapeClass::of(GemmDims::new(5, 2000, 200));
+        assert_eq!((c.m, c.k, c.n), (8, 2048, 256));
+        assert_eq!(c, ShapeClass::of(GemmDims::new(8, 1025, 129)));
+        assert_eq!(c.representative(), GemmDims::new(8, 2048, 256));
+        let z = ShapeClass::of(GemmDims::new(0, 16, 1));
+        assert_eq!((z.m, z.k, z.n), (0, 16, 1));
+    }
+
+    #[test]
+    fn candidates_are_deterministic_legal_and_led_by_default() {
+        let tuner = Tuner::new(presets::sargantana());
+        let dims = GemmDims::new(8, 2048, 256);
+        for pc in ["a8-w8", "a2-w8", "a8-w2"] {
+            let precision: PrecisionConfig = pc.parse().unwrap();
+            let cands = tuner.candidates(dims, precision).unwrap();
+            assert_eq!(cands[0], BlisParams::table1(), "{pc}");
+            assert!(cands.len() > 1, "{pc}");
+            for p in &cands {
+                assert!(is_feasible(p, precision), "{pc}: {p} infeasible");
+            }
+            assert_eq!(cands, tuner.candidates(dims, precision).unwrap());
+        }
+    }
+
+    #[test]
+    fn symmetric_precisions_stay_register_bound_at_4x4() {
+        // a8-w8 has kua = kub = 4: no register shape other than those
+        // with kua*mr <= 16 and kub*nr <= 16 survives, so wide/tall
+        // µ-panels like (8,2) must be filtered out.
+        let precision: PrecisionConfig = "a8-w8".parse().unwrap();
+        let mut p = BlisParams::table1();
+        p.mr = 8;
+        p.nr = 2;
+        assert!(!is_feasible(&p, precision));
+        // ...while a2-w8 (kua = 1) legalises mr = 8 and even mr = 16.
+        let asym: PrecisionConfig = "a2-w8".parse().unwrap();
+        assert!(is_feasible(&p, asym));
+        p.mr = 16;
+        p.nr = 1;
+        assert!(is_feasible(&p, asym));
+    }
+
+    #[test]
+    fn tune_prefers_tall_micro_panels_on_skinny_asymmetric_problems() {
+        let tuner = Tuner::new(presets::sargantana());
+        let shapes = [GemmDims::new(8, 2048, 256)];
+        let precisions = [PrecisionConfig::A2W8];
+        let db = tuner.tune(&shapes, &precisions).unwrap();
+        let entry = db
+            .find(ShapeClass::of(shapes[0]), precisions[0])
+            .expect("tuned entry");
+        assert!(
+            entry.speedup() >= 1.1,
+            "expected >= 1.1x on skinny a2-w8, got {:.3}x with {}",
+            entry.speedup(),
+            entry.params
+        );
+        assert!(
+            entry.params.mr > 4,
+            "winner should widen mr: {}",
+            entry.params
+        );
+        // Lookup covers the whole bucket, not just the representative.
+        assert_eq!(
+            db.lookup(GemmDims::new(5, 1500, 200), precisions[0]),
+            Some(entry.params)
+        );
+        assert_eq!(db.lookup(GemmDims::new(64, 64, 64), precisions[0]), None);
+    }
+}

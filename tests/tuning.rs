@@ -1,0 +1,386 @@
+//! The autotuning correctness suite: every blocking config the tuner
+//! can emit is bit-identical to the reference across all 49 precision
+//! pairs and every compute entry point; the `TUNE_<target>.json`
+//! database round-trips byte-exactly, tolerates unknown fields, and a
+//! corrupted database degrades a [`Session`] to derived blocking (with
+//! a `gemm.tune.fallback` counter) instead of erroring; and the tuner
+//! search itself is byte-deterministic.
+
+use std::sync::Arc;
+
+use mixgemm::api::Session;
+use mixgemm::gemm::tune::{is_feasible, TUNE_DB_VERSION};
+use mixgemm::gemm::{
+    naive_gemm, BlisParams, GemmDims, GemmError, GemmOptions, MixGemmKernel, OperandType,
+    QuantMatrix, ShapeClass, TuneDb, TuneEntry, TuneSource, Tuner,
+};
+use mixgemm::soc::presets;
+use mixgemm::PrecisionConfig;
+use mixgemm_harness::{check, ensure, ensure_eq, Json};
+
+fn mat(rows: usize, cols: usize, op: OperandType, seed: i32) -> QuantMatrix {
+    QuantMatrix::from_fn(rows, cols, op, |r, c| {
+        let span = (op.max_value() - op.min_value() + 1) as i64;
+        (op.min_value() as i64 + ((r * 31 + c * 7 + seed as usize) as i64 % span)) as i32
+    })
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mixgemm-tunedb-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The headline guarantee: for every config the tuner's candidate
+/// generator can emit, all three compute entry points are bit-identical
+/// to naive integer GEMM, across all 49 precision pairs.
+#[test]
+fn every_emittable_config_is_bit_identical_across_all_49_pairs() {
+    let tuner = Tuner::new(presets::sargantana());
+    let dims = GemmDims::new(10, 40, 9);
+    for &precision in PrecisionConfig::ALL.iter() {
+        let (oa, ow) = precision.operand_types();
+        let a = mat(dims.m, dims.k, oa, 3);
+        let b = mat(dims.k, dims.n, ow, 11);
+        let want = naive_gemm(&a, &b).unwrap();
+        let a_packed = a.packed_rows();
+        let b_packed = b.packed_cols();
+        let candidates = tuner.candidates(dims, precision).unwrap();
+        assert!(
+            candidates.len() > 1,
+            "{precision}: degenerate candidate set"
+        );
+        for params in candidates {
+            assert!(is_feasible(&params, precision), "{precision} {params}");
+            let mut opts = GemmOptions::new(precision);
+            opts.params = params;
+            let kernel = MixGemmKernel::new(opts);
+            assert_eq!(
+                kernel.compute(&a, &b).unwrap(),
+                want,
+                "{precision} {params} compute"
+            );
+            assert_eq!(
+                kernel.compute_packed(&a_packed, &b_packed).unwrap(),
+                want,
+                "{precision} {params} compute_packed"
+            );
+            assert_eq!(
+                kernel.compute_parallel(&a, &b, 3).unwrap(),
+                want,
+                "{precision} {params} compute_parallel"
+            );
+        }
+    }
+}
+
+/// Degenerate shapes — empty inner dimension, single-row skinny,
+/// single-column, and mr/nr-unaligned edges — stay bit-identical under
+/// every candidate blocking.
+#[test]
+fn tuner_candidates_handle_degenerate_shapes() {
+    let tuner = Tuner::new(presets::sargantana());
+    let shapes = [
+        GemmDims::new(3, 0, 5),    // k = 0: C is all zeros
+        GemmDims::new(1, 37, 23),  // m = 1 skinny (GEMV)
+        GemmDims::new(5, 16, 1),   // n = 1 (depthwise lowering)
+        GemmDims::new(13, 37, 11), // nothing divides mr/nr/kc
+    ];
+    for pc in ["a8-w8", "a2-w8", "a8-w2", "a3-w5", "a2-w2"] {
+        let precision: PrecisionConfig = pc.parse().unwrap();
+        let (oa, ow) = precision.operand_types();
+        for dims in shapes {
+            let a = mat(dims.m, dims.k, oa, 5);
+            let b = mat(dims.k, dims.n, ow, 9);
+            let want = naive_gemm(&a, &b).unwrap();
+            for params in tuner.candidates(dims, precision).unwrap() {
+                let mut opts = GemmOptions::new(precision);
+                opts.params = params;
+                let kernel = MixGemmKernel::new(opts);
+                assert_eq!(
+                    kernel.compute(&a, &b).unwrap(),
+                    want,
+                    "{pc} {dims} {params} compute"
+                );
+                assert_eq!(
+                    kernel.compute_parallel(&a, &b, 2).unwrap(),
+                    want,
+                    "{pc} {dims} {params} compute_parallel"
+                );
+            }
+        }
+    }
+}
+
+/// Property: any feasible blocking within the tuner's legal bounds —
+/// not just grid points — is bit-identical to the reference on random
+/// problems, under a random thread count.
+#[test]
+fn random_feasible_blocking_is_bit_identical() {
+    const REG_SHAPES: [(usize, usize); 9] = [
+        (4, 4),
+        (2, 8),
+        (8, 2),
+        (1, 16),
+        (16, 1),
+        (2, 4),
+        (4, 2),
+        (1, 8),
+        (8, 1),
+    ];
+    check("random feasible blocking bit-identity", 48, |rng| {
+        let precision = *rng.pick(&PrecisionConfig::ALL);
+        let (mr, nr) = {
+            let cand = *rng.pick(&REG_SHAPES);
+            // (4,4) is feasible for every precision (kua, kub <= 4).
+            if is_feasible(
+                &BlisParams {
+                    mc: cand.0,
+                    nc: cand.1,
+                    kc: 1,
+                    mr: cand.0,
+                    nr: cand.1,
+                },
+                precision,
+            ) {
+                cand
+            } else {
+                (4, 4)
+            }
+        };
+        let params = BlisParams {
+            mc: rng.usize_in(1, 64).max(mr),
+            nc: rng.usize_in(1, 64).max(nr),
+            kc: rng.usize_in(1, 80),
+            mr,
+            nr,
+        };
+        ensure!(is_feasible(&params, precision), "{precision} {params}");
+        let (m, k, n) = (
+            rng.usize_in(1, 12),
+            rng.usize_in(0, 48),
+            rng.usize_in(1, 10),
+        );
+        let (oa, ow) = precision.operand_types();
+        let a = mat(m, k, oa, rng.i32_in(0, 1000));
+        let b = mat(k, n, ow, rng.i32_in(0, 1000));
+        let want = naive_gemm(&a, &b).unwrap();
+        let mut opts = GemmOptions::new(precision);
+        opts.params = params;
+        let kernel = MixGemmKernel::new(opts);
+        ensure_eq!(kernel.compute(&a, &b).unwrap(), want);
+        let threads = rng.usize_in(1, 4);
+        ensure_eq!(kernel.compute_parallel(&a, &b, threads).unwrap(), want);
+        Ok(())
+    });
+}
+
+/// `TUNE_<target>.json` round-trips: serialize → parse → deserialize →
+/// serialize is a fixed point (byte-identical pretty text, equal
+/// database), through a real file on disk.
+#[test]
+fn tune_database_round_trips() {
+    let tuner = Tuner::new(presets::sargantana());
+    let shapes = [GemmDims::new(8, 200, 40), GemmDims::new(60, 60, 60)];
+    let precisions = [PrecisionConfig::A2W8, PrecisionConfig::A8W8];
+    let db = tuner.tune(&shapes, &precisions).unwrap();
+    assert_eq!(db.len(), 4);
+
+    let text = db.to_json().pretty();
+    let reparsed = TuneDb::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(reparsed, db);
+    assert_eq!(reparsed.to_json().pretty(), text);
+
+    let dir = fresh_dir("roundtrip");
+    let path = db.save(&dir).unwrap();
+    assert_eq!(
+        path.file_name().unwrap().to_str().unwrap(),
+        format!("TUNE_{}.json", db.target)
+    );
+    let loaded = TuneDb::load(&dir, &db.target).unwrap().expect("saved db");
+    assert_eq!(loaded, db);
+    // Loading a target that was never tuned is not an error.
+    assert_eq!(TuneDb::load(&dir, "no-such-target").unwrap(), None);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Unknown fields anywhere in the document are tolerated (forward
+/// compatibility); schema violations — bad version, illegal blocking,
+/// missing fields, garbage text — are hard parse errors.
+#[test]
+fn tune_database_tolerates_unknown_fields_but_rejects_schema_violations() {
+    let mut db = TuneDb::new("sargantana-rv64g");
+    db.insert(TuneEntry {
+        class: ShapeClass::of(GemmDims::new(8, 2048, 256)),
+        precision: PrecisionConfig::A2W8,
+        params: BlisParams {
+            mr: 8,
+            nr: 2,
+            ..BlisParams::table1()
+        },
+        score: 900,
+        default_score: 1500,
+        source: TuneSource::Simulated,
+    });
+
+    // Decorate every object in the document with extra fields.
+    let mut doc = db.to_json().field("comment", "from a future version");
+    if let Json::Obj(fields) = &mut doc {
+        for (key, value) in fields.iter_mut() {
+            if key == "entries" {
+                if let Json::Arr(entries) = value {
+                    for e in entries.iter_mut() {
+                        *e = e
+                            .clone()
+                            .field("host_notes", Json::obj().field("cpus", 64u64));
+                    }
+                }
+            }
+        }
+    }
+    let text = doc.pretty();
+    let parsed = TuneDb::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(parsed, db);
+
+    // Unsupported version.
+    let bad = db.to_json().field("version", TUNE_DB_VERSION + 1);
+    assert!(matches!(
+        TuneDb::from_json(&bad),
+        Err(GemmError::TuneParse { .. })
+    ));
+    // An entry whose blocking violates the register budget is rejected
+    // even though it is well-formed JSON.
+    let mut evil = db.clone();
+    evil.entries[0].params.mr = 16;
+    evil.entries[0].params.nr = 16;
+    assert!(matches!(
+        TuneDb::from_json(&evil.to_json()),
+        Err(GemmError::TuneParse { .. })
+    ));
+    // Garbage text fails at the JSON layer.
+    let dir = fresh_dir("corrupt-parse");
+    std::fs::write(dir.join(TuneDb::file_name("sargantana-rv64g")), "{nope").unwrap();
+    assert!(matches!(
+        TuneDb::load(&dir, "sargantana-rv64g"),
+        Err(GemmError::TuneParse { .. })
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A corrupted on-disk database never breaks a [`Session`]: the build
+/// falls back to derived blocking, counts `gemm.tune.fallback`, and
+/// runs produce the same bits as an untuned session. A merely *missing*
+/// database is not a fallback.
+#[test]
+fn session_falls_back_to_derived_blocking_on_corrupt_database() {
+    let dir = fresh_dir("corrupt-session");
+    std::fs::write(
+        dir.join(TuneDb::file_name("sargantana-rv64g")),
+        "this is not json",
+    )
+    .unwrap();
+    let session = Session::builder()
+        .precision(PrecisionConfig::A4W4)
+        .tune_db_dir(&dir)
+        .build();
+    assert!(session.tune_db().is_none());
+    assert_eq!(session.metrics().counter("gemm.tune.fallback"), 1);
+
+    let (oa, ow) = PrecisionConfig::A4W4.operand_types();
+    let a = mat(6, 32, oa, 1);
+    let b = mat(32, 4, ow, 2);
+    let got = session.run(&a, &b).unwrap();
+    let want = Session::builder().precision(PrecisionConfig::A4W4).build();
+    assert_eq!(got.c, want.run(&a, &b).unwrap().c);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Missing database: no fallback counter, still no tune db.
+    let empty = fresh_dir("missing-db");
+    let clean = Session::builder().tune_db_dir(&empty).build();
+    assert!(clean.tune_db().is_none());
+    assert_eq!(clean.metrics().counter("gemm.tune.fallback"), 0);
+    std::fs::remove_dir_all(&empty).unwrap();
+}
+
+/// A session with a tuned database reports lookup outcomes — hit for a
+/// covered bucket, miss for an uncovered one — and tuned blocking never
+/// changes the computed bits.
+#[test]
+fn session_reports_tune_hits_and_misses_and_stays_bit_identical() {
+    let precision = PrecisionConfig::A2W8;
+    let dims = GemmDims::new(8, 64, 32);
+    let mut db = TuneDb::new("sargantana-rv64g");
+    db.insert(TuneEntry {
+        class: ShapeClass::of(dims),
+        precision,
+        params: BlisParams {
+            mr: 8,
+            nr: 2,
+            ..BlisParams::table1()
+        },
+        score: 90,
+        default_score: 120,
+        source: TuneSource::Simulated,
+    });
+    let session = Session::builder()
+        .precision(precision)
+        .tune_db(Arc::new(db))
+        .build();
+    assert!(session.tune_db().is_some());
+
+    let (oa, ow) = precision.operand_types();
+    let a = mat(dims.m, dims.k, oa, 7);
+    let b = mat(dims.k, dims.n, ow, 13);
+    let tuned = session.run(&a, &b).unwrap();
+    assert!(
+        tuned.metrics.counter("gemm.tune.hit") >= 1,
+        "covered bucket must count a hit"
+    );
+    let untuned = Session::builder().precision(precision).build();
+    assert_eq!(tuned.c, untuned.run(&a, &b).unwrap().c);
+
+    // An uncovered shape counts a miss and uses the default blocking.
+    let a2 = mat(100, 64, oa, 7);
+    let after = session.run(&a2, &b).unwrap();
+    assert!(after.metrics.counter("gemm.tune.miss") >= 1);
+    assert_eq!(after.c, untuned.run(&a2, &b).unwrap().c);
+}
+
+/// The tuner search is byte-deterministic: the same shape grid on the
+/// same SoC preset yields a byte-identical database across runs.
+#[test]
+fn tuner_is_deterministic_across_runs() {
+    let shapes = [
+        GemmDims::new(8, 2048, 256),
+        GemmDims::new(16, 2048, 16),
+        GemmDims::new(100, 100, 100),
+    ];
+    let precisions = [
+        PrecisionConfig::A2W8,
+        PrecisionConfig::A8W8,
+        PrecisionConfig::A8W4,
+    ];
+    let run = || {
+        Tuner::new(presets::sargantana())
+            .tune(&shapes, &precisions)
+            .unwrap()
+            .to_json()
+            .pretty()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "tuner output must be byte-identical");
+    // Winners never lose to the default they were searched against.
+    let db = TuneDb::from_json(&Json::parse(&first).unwrap()).unwrap();
+    for entry in &db.entries {
+        assert!(
+            entry.score <= entry.default_score,
+            "{} {}: tuned {} worse than default {}",
+            entry.class,
+            entry.precision,
+            entry.score,
+            entry.default_score
+        );
+    }
+}
