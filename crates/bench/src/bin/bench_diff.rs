@@ -56,7 +56,7 @@ fn is_rate_path(path: &str) -> bool {
 /// Path substrings marking a subtree as a host description (CPU count,
 /// SIMD tiers, oversubscription flags): skipped entirely — structure
 /// included — since baseline and CI hosts legitimately differ.
-const IGNORE_MARKERS: [&str; 17] = [
+const IGNORE_MARKERS: [&str; 25] = [
     "host_cpus",
     "host_isa",
     "tiers",
@@ -89,6 +89,21 @@ const IGNORE_MARKERS: [&str; 17] = [
     // machine that ran the sweep; the deterministic simulated grid
     // next to them is what the diff gates.
     "host_measured",
+    // Telemetry-probe artifacts: the sampler's overhead percentage and
+    // per-tick cost are pure host measurements (the probe gates the 2%
+    // ceiling in-process), and burn rates / breach / deprioritization
+    // counts follow the host's scheduling interleavings.
+    "sampler_overhead",
+    "tick",
+    "burn",
+    "breach",
+    "deprioritized",
+    // ... and its round structure: quick smoke runs use far fewer and
+    // far shorter rounds than the committed full baseline, so the round
+    // counts and raw wall seconds exceed even the 10x rate envelope.
+    "rounds",
+    "reps",
+    "secs",
 ];
 
 fn is_ignored_path(path: &str) -> bool {

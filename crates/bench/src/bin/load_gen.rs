@@ -20,7 +20,11 @@
 //!   derived from the calibrated mean service time.
 //!
 //! Run with: `cargo run --release -p mixgemm-bench --bin load_gen`
-//! (`MIXGEMM_BENCH_QUICK=1` for a smoke run.)
+//! (`MIXGEMM_BENCH_QUICK=1` for a smoke run.) Set
+//! `MIXGEMM_SCRAPE_PORT=9464` to attach the live telemetry layer to
+//! every load-driving session and scrape `curl localhost:9464/metrics`
+//! while it runs (sampler + endpoint are observability-only: the
+//! measured throughputs stay gated the same way).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -29,6 +33,7 @@ use mixgemm::api::Session;
 use mixgemm::gemm::QuantMatrix;
 use mixgemm::serve::{GemmRequest, ServeOptions, Server};
 use mixgemm::PrecisionConfig;
+use mixgemm_harness::telemetry::TelemetryOptions;
 use mixgemm_harness::{Json, Rng};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
@@ -243,6 +248,25 @@ fn stats_json(label: &str, lambda: f64, arrivals: usize, s: &RunStats) -> Json {
         .field("sealed_by_age", s.sealed_by_age)
 }
 
+/// A load-driving session, with the live telemetry layer attached when
+/// `MIXGEMM_SCRAPE_PORT` is set (each phase rebinds the same port as
+/// its predecessor's session drops; if a bind races a lingering socket
+/// the session falls back to sampling without HTTP and keeps serving).
+fn build_session() -> Session {
+    let mut builder = Session::builder();
+    if let Some(port) = std::env::var("MIXGEMM_SCRAPE_PORT")
+        .ok()
+        .and_then(|p| p.parse::<u16>().ok())
+    {
+        builder = builder.telemetry(
+            TelemetryOptions::new()
+                .tick(Duration::from_millis(50))
+                .http(port),
+        );
+    }
+    builder.build()
+}
+
 fn main() {
     let quick = std::env::var("MIXGEMM_BENCH_QUICK").is_ok();
     let arrivals = if quick { 400 } else { 4000 };
@@ -257,7 +281,12 @@ fn main() {
     // --- Calibration: single-worker capacity over the same mix. ---
     // A fresh server, every template submitted back-to-back (backlogged
     // arrivals), timed to completion.
-    let calibrate = Session::builder().build();
+    let calibrate = build_session();
+    if let Some(t) = calibrate.telemetry() {
+        if let Some(addr) = t.local_addr() {
+            println!("load_gen — scrape endpoint live at http://{addr}/metrics");
+        }
+    }
     let cal_server = calibrate.serve(
         ServeOptions::builder()
             .workers(1)
@@ -301,7 +330,7 @@ fn main() {
             for trial in 0..trials {
                 // Fresh session + server per trial so latency
                 // histograms and counters are per-run.
-                let session = Session::builder().build();
+                let session = build_session();
                 let server = session.serve(
                     ServeOptions::builder()
                         .workers(workers)

@@ -1,0 +1,314 @@
+//! Probe for the live telemetry layer: measures the sampler's overhead
+//! on a serving workload (paired on/off rounds), drives the serving SLO
+//! tracker through a nominal and a saturating phase, and scrapes the
+//! OpenMetrics endpoint end-to-end — written to `BENCH_telemetry.json`.
+//!
+//! Methodology:
+//!
+//! - **Overhead**: the same batched serving workload runs in fresh
+//!   sessions with and without the background sampler (25 ms tick,
+//!   no HTTP), alternating rounds so host drift hits both sides
+//!   equally. `sampler_overhead_pct` compares best-of-rounds; the full run
+//!   gates it under 2% (the quick smoke run only rejects collapse —
+//!   sub-second rounds on shared runners cannot resolve percents).
+//! - **SLO burn rate**: a server with a generous latency objective must
+//!   report burn ≈ 0 under light load; one with an unmeetable
+//!   objective must exceed burn 1.0, count a breach, and deprioritize
+//!   background submissions while breaching.
+//! - **Scrape**: a session with the HTTP endpoint enabled serves
+//!   `/metrics` (validated with the in-tree OpenMetrics parser, with
+//!   windowed quantiles, per-(precision, shape-class) attribution and
+//!   the SLO gauges present), `/healthz` and `/timeline`.
+//!
+//! Run with: `cargo run --release -p mixgemm-bench --bin telemetry_probe`
+//! (`MIXGEMM_BENCH_QUICK=1` for a smoke run.)
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mixgemm::api::Session;
+use mixgemm::gemm::QuantMatrix;
+use mixgemm::serve::{GemmRequest, ServeOptions};
+use mixgemm::{PrecisionConfig, SloPolicy};
+use mixgemm_harness::telemetry::TelemetryOptions;
+use mixgemm_harness::timeline::Timeline;
+use mixgemm_harness::{openmetrics, Json};
+
+/// A deterministic serving batch: activations streaming against shared
+/// weights across a small shape/precision mix.
+fn build_batch(copies: usize) -> Vec<GemmRequest> {
+    let mix: [(PrecisionConfig, usize, usize, usize); 3] = [
+        (PrecisionConfig::A8W8, 16, 64, 16),
+        (PrecisionConfig::A4W4, 24, 96, 24),
+        (PrecisionConfig::A2W4, 16, 128, 8),
+    ];
+    let mut out = Vec::new();
+    for (pc, m, k, n) in mix {
+        let (oa, ow) = pc.operand_types();
+        let weights = Arc::new(QuantMatrix::from_fn(k, n, ow, |r, c| {
+            (((r * 31 + c * 7) % (ow.max_value() - ow.min_value() + 1) as usize) as i32)
+                + ow.min_value()
+        }));
+        for i in 0..copies {
+            let a = QuantMatrix::from_fn(m, k, oa, move |r, c| {
+                (((r * 13 + c * 5 + i) % (oa.max_value() - oa.min_value() + 1) as usize) as i32)
+                    + oa.min_value()
+            });
+            out.push(GemmRequest::new(Arc::new(a), weights.clone()).with_precision(pc));
+        }
+    }
+    out
+}
+
+/// One overhead round: run `reps` batches through a fresh session,
+/// optionally with the sampler attached. Returns (wall seconds, tick
+/// stats from the session registry when sampling).
+fn overhead_round(reps: usize, sampled: bool) -> (f64, Option<(u64, f64, f64)>) {
+    let mut builder = Session::builder().precision(PrecisionConfig::A4W4);
+    if sampled {
+        builder = builder.telemetry(TelemetryOptions::new().tick(Duration::from_millis(25)));
+    }
+    let session = builder.build();
+    let opts = ServeOptions::builder().workers(2).build();
+    let start = Instant::now();
+    for _ in 0..reps {
+        let report = session.run_batch_opts(build_batch(8), &opts);
+        assert!(report.results.iter().all(|r| r.is_ok()));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let ticks = if sampled {
+        // Force one final sample so short rounds still report cost.
+        let t = session.telemetry().expect("telemetry attached");
+        t.sample_now();
+        session
+            .metrics()
+            .histogram("telemetry.tick_us")
+            .map(|h| (h.count, h.p50(), h.p99()))
+    } else {
+        None
+    };
+    (secs, ticks)
+}
+
+/// Best-of-rounds: the minimum wall time is the round least disturbed
+/// by scheduler interference, so comparing minima isolates the
+/// sampler's intrinsic cost from host noise (which on a shared runner
+/// swamps a 2% signal if medians are compared instead).
+fn best(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Minimal HTTP/1.1 GET against the scrape endpoint; returns (status,
+/// body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect scrape endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn main() {
+    let quick = std::env::var("MIXGEMM_BENCH_QUICK").is_ok();
+    let rounds: usize = if quick { 3 } else { 9 };
+    // Full rounds must be long enough to resolve a 2% delta against
+    // scheduler noise: ~0.8 ms per rep puts 400 reps near 350 ms/round.
+    let reps: usize = if quick { 2 } else { 400 };
+
+    // --- Phase 1: sampler overhead, paired alternating rounds. ---
+    let mut base_times = Vec::new();
+    let mut tel_times = Vec::new();
+    let mut last_ticks = None;
+    overhead_round(1, false); // warm caches and the sim memo off the clock
+    for _ in 0..rounds {
+        base_times.push(overhead_round(reps, false).0);
+        let (secs, ticks) = overhead_round(reps, true);
+        tel_times.push(secs);
+        if ticks.is_some() {
+            last_ticks = ticks;
+        }
+    }
+    let baseline_secs = best(&base_times);
+    let telemetry_secs = best(&tel_times);
+    let sampler_overhead_pct = (telemetry_secs / baseline_secs - 1.0) * 100.0;
+    let (tick_count, tick_us_p50, tick_us_p99) = last_ticks.expect("sampler ticked");
+    println!(
+        "telemetry_probe — sampler overhead: {sampler_overhead_pct:+.2}% \
+         (off {baseline_secs:.3}s, on {telemetry_secs:.3}s; {tick_count} ticks, \
+         tick p50 {tick_us_p50:.1} us p99 {tick_us_p99:.1} us)"
+    );
+    // The acceptance gate: the sampler must cost under 2% of workload
+    // wall time. Quick rounds are too short to resolve percents on
+    // shared runners, so the smoke run only rejects outright collapse.
+    let overhead_ceiling_pct = if quick { 50.0 } else { 2.0 };
+    assert!(
+        sampler_overhead_pct < overhead_ceiling_pct,
+        "sampler overhead {sampler_overhead_pct:.2}% over the {overhead_ceiling_pct}% ceiling"
+    );
+
+    // --- Phase 2: nominal load burns no error budget. ---
+    let nominal = Session::builder().precision(PrecisionConfig::A4W4).build();
+    let server = nominal.serve(
+        ServeOptions::builder()
+            .workers(2)
+            .slo(SloPolicy::new(10_000_000.0)) // 10 s target: unmissable
+            .build(),
+    );
+    let tickets: Vec<_> = build_batch(8)
+        .into_iter()
+        .map(|r| server.submit(r).expect("nominal submit"))
+        .collect();
+    for t in tickets {
+        t.wait().expect("nominal request");
+    }
+    let slo = server.slo().expect("slo tracker configured").clone();
+    slo.evaluate_now();
+    let nominal_burn_rate = slo.burn_rate();
+    assert!(
+        nominal_burn_rate < 0.5 && !slo.breaching(),
+        "nominal load must not breach (burn {nominal_burn_rate})"
+    );
+    drop(server);
+    println!("nominal SLO burn rate: {nominal_burn_rate:.3}");
+
+    // --- Phase 3: an unmeetable objective breaches and sheds. ---
+    let hot = Session::builder().precision(PrecisionConfig::A4W4).build();
+    let server = hot.serve(
+        ServeOptions::builder()
+            .workers(2)
+            // 50 ns p99 target: every real completion is over budget.
+            .slo(SloPolicy::new(0.05).budget(0.01))
+            .build(),
+    );
+    let tickets: Vec<_> = build_batch(8)
+        .into_iter()
+        .map(|r| server.submit(r).expect("hot submit"))
+        .collect();
+    for t in tickets {
+        t.wait().expect("hot request");
+    }
+    let slo = server.slo().expect("slo tracker configured").clone();
+    slo.evaluate_now();
+    let saturated_burn_rate = slo.burn_rate();
+    assert!(
+        saturated_burn_rate > 1.0 && slo.breaching(),
+        "unmeetable objective must breach (burn {saturated_burn_rate})"
+    );
+    // Background traffic submitted during a breach goes low-priority.
+    let bg: Vec<_> = build_batch(4)
+        .into_iter()
+        .map(|r| server.submit(r.with_background(true)).expect("bg submit"))
+        .collect();
+    for t in bg {
+        t.wait().expect("bg request");
+    }
+    let breaches = hot.metrics().counter("serve.slo.breaches");
+    let deprioritized = hot.metrics().counter("serve.slo.deprioritized");
+    assert!(breaches >= 1, "breach transition must be counted");
+    assert!(
+        deprioritized > 0,
+        "background submissions during a breach must be deprioritized"
+    );
+    drop(server);
+    println!(
+        "saturated SLO burn rate: {saturated_burn_rate:.1} \
+         (breaches {breaches}, deprioritized {deprioritized})"
+    );
+
+    // --- Phase 4: end-to-end scrape. ---
+    let scraped = Session::builder()
+        .precision(PrecisionConfig::A4W4)
+        .timeline(Arc::new(Timeline::new()))
+        .telemetry(
+            TelemetryOptions::new()
+                .tick(Duration::from_millis(10))
+                .http(0),
+        )
+        .build();
+    let server = scraped.serve(
+        ServeOptions::builder()
+            .workers(2)
+            .slo(SloPolicy::new(10_000_000.0))
+            .build(),
+    );
+    let tickets: Vec<_> = build_batch(8)
+        .into_iter()
+        .map(|r| server.submit(r).expect("scrape-phase submit"))
+        .collect();
+    for t in tickets {
+        t.wait().expect("scrape-phase request");
+    }
+    server.slo().expect("slo tracker configured").evaluate_now();
+    let addr = scraped
+        .telemetry()
+        .expect("telemetry attached")
+        .local_addr()
+        .expect("http endpoint bound");
+
+    let (status, metrics_body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200, "/metrics status");
+    let scrape_samples = match openmetrics::validate(&metrics_body) {
+        Ok(n) => n,
+        Err(e) => panic!("scrape payload failed OpenMetrics validation: {e}"),
+    };
+    for needle in [
+        "# TYPE serve_latency_us histogram",
+        "serve_latency_us_p99{window=\"60s\"}",
+        "serve_requests_rate{window=",
+        "serve_slo_burn_rate",
+        // 24x96x24 at a4-w4: the shape class buckets to the next power
+        // of two per dimension.
+        "serve_attr_a4_w4_32x128x32_cycles_total",
+        "serve_attr_a4_w4_32x128x32_energy_pj_total",
+    ] {
+        assert!(
+            metrics_body.contains(needle),
+            "scrape payload missing `{needle}`"
+        );
+    }
+    let (status, health) = http_get(addr, "/healthz");
+    assert_eq!((status, health.trim()), (200, "ok"), "/healthz");
+    let (status, timeline_body) = http_get(addr, "/timeline");
+    assert_eq!(status, 200, "/timeline status");
+    assert!(
+        timeline_body.contains("traceEvents") && timeline_body.contains("serve/complete"),
+        "/timeline must export the request stage events"
+    );
+    drop(server);
+    println!("scrape: {scrape_samples} samples validated; /healthz and /timeline ok");
+
+    let doc = Json::obj()
+        .field("bench", "telemetry_probe")
+        .field("quick", quick)
+        .field("rounds", rounds)
+        .field("reps_per_round", reps)
+        .field("baseline_secs", baseline_secs)
+        .field("telemetry_secs", telemetry_secs)
+        .field("sampler_overhead_pct", sampler_overhead_pct)
+        .field("sampler_tick_count", tick_count)
+        .field("sampler_tick_us_p50", tick_us_p50)
+        .field("sampler_tick_us_p99", tick_us_p99)
+        .field("nominal_burn_rate", nominal_burn_rate)
+        .field("saturated_burn_rate", saturated_burn_rate)
+        .field("slo_breaches", breaches)
+        .field("slo_deprioritized", deprioritized)
+        .field("scrape_samples", scrape_samples)
+        .field("scrape_valid", true);
+    std::fs::write("BENCH_telemetry.json", doc.pretty()).expect("write BENCH_telemetry.json");
+    println!("wrote BENCH_telemetry.json");
+}

@@ -26,6 +26,7 @@ use mixgemm_gemm::{
     TuneDb,
 };
 use mixgemm_harness::metrics::{self, MetricsRegistry, MetricsReport, Recorder};
+use mixgemm_harness::telemetry::{Telemetry, TelemetryOptions};
 use mixgemm_harness::timeline::{self, Timeline};
 use mixgemm_phys::energy::ActivityProfile;
 use mixgemm_planner::{Budget, ParetoFront, Plan, Planner};
@@ -209,6 +210,7 @@ pub struct SessionBuilder {
     timeline: Option<Arc<Timeline>>,
     tune: Option<Arc<TuneDb>>,
     tune_dir: Option<PathBuf>,
+    telemetry: Option<TelemetryOptions>,
 }
 
 impl SessionBuilder {
@@ -278,6 +280,21 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches live telemetry: a background sampler aggregates the
+    /// session's registry into 1s/10s/60s sliding windows on the
+    /// configured tick, and — when
+    /// [`TelemetryOptions::http`](mixgemm_harness::telemetry::TelemetryOptions::http)
+    /// is set — an OpenMetrics scrape endpoint serves `/metrics`,
+    /// `/healthz` and `/timeline` on localhost. Telemetry observes the
+    /// same registry every run records into; it never changes results
+    /// (differentially tested in `tests/telemetry.rs`). If the HTTP
+    /// port cannot be bound at build time the session falls back to
+    /// sampling without an endpoint, counting `telemetry.start_failed`.
+    pub fn telemetry(mut self, opts: TelemetryOptions) -> Self {
+        self.telemetry = Some(opts);
+        self
+    }
+
     /// Load-or-derive tuned blocking: at [`SessionBuilder::build`] time
     /// the session loads `TUNE_<soc>.json` for its platform from `dir`.
     /// A missing file simply leaves the derived blocking in place; an
@@ -305,6 +322,21 @@ impl SessionBuilder {
             },
             (None, None) => None,
         };
+        let telemetry = self.telemetry.and_then(|opts| {
+            match Telemetry::start(recorder.clone(), self.timeline.clone(), opts.clone()) {
+                Ok(t) => Some(Arc::new(t)),
+                Err(_) => {
+                    // Port taken (or sockets unavailable): keep the
+                    // session usable — sample without an endpoint.
+                    recorder.counter("telemetry.start_failed").inc();
+                    let mut fallback = opts;
+                    fallback.http_port = None;
+                    Telemetry::start(recorder.clone(), self.timeline.clone(), fallback)
+                        .ok()
+                        .map(Arc::new)
+                }
+            }
+        });
         Session {
             kernel: MixGemmKernel::new(
                 self.platform
@@ -318,6 +350,7 @@ impl SessionBuilder {
             recorder,
             timeline: self.timeline,
             tune,
+            telemetry,
         }
     }
 }
@@ -404,6 +437,10 @@ pub struct Session {
     recorder: Recorder,
     timeline: Option<Arc<Timeline>>,
     tune: Option<Arc<TuneDb>>,
+    /// Live sampler + scrape endpoint over `recorder`; `Arc`-shared so
+    /// the session stays `Clone` (clones observe the same telemetry —
+    /// it stops when the last clone drops).
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Session {
@@ -420,6 +457,7 @@ impl Session {
             timeline: None,
             tune: None,
             tune_dir: None,
+            telemetry: None,
         }
     }
 
@@ -439,6 +477,14 @@ impl Session {
     /// [`SessionBuilder::timeline`], if any.
     pub fn timeline(&self) -> Option<&Arc<Timeline>> {
         self.timeline.as_ref()
+    }
+
+    /// The live telemetry layer attached with
+    /// [`SessionBuilder::telemetry`], if any — use
+    /// [`Telemetry::local_addr`] to find the scrape endpoint's bound
+    /// address.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The session's GEMM options (precision, blocking, SoC,

@@ -84,8 +84,10 @@ pub use mixgemm_binseg::{BinSegConfig, DataSize, OperandType, PrecisionConfig, S
 pub mod api;
 pub mod error;
 pub mod serve;
+pub mod slo;
 
 pub use error::Error;
+pub use slo::{SloPolicy, SloTracker};
 
 #[cfg(test)]
 mod tests {

@@ -63,10 +63,20 @@
 //! `serve.steal.requests` / `serve.sealed` / `serve.seal.size` /
 //! `serve.seal.age` / `serve.seal.drain` / `serve.admission.rejected` /
 //! `serve.admission.deprioritized` (counters), `serve.queue.wait_us` /
-//! `serve.service_us` / `serve.latency_us` / `serve.bucket.age_us` /
+//! `serve.service_us` / `serve.latency_us` (plus per-priority
+//! `serve.latency_us.live` / `.low` splits) / `serve.bucket.age_us` /
 //! `serve.bucket.size` histograms (with p50/p90/p99 quantiles) and
 //! `serve/bucket` / `serve/pack` / `serve/compute` spans, all in the
-//! session's recorder. With a flight-recorder timeline attached
+//! session's recorder. Completed buckets additionally book
+//! per-(precision, shape-class) attribution counters —
+//! `serve.attr.<precision>.<class>.{requests,cycles,macs,energy_pj}`
+//! — and a server built with [`ServeOptions`]`::slo` runs an
+//! [`SloTracker`] over `serve.latency_us`,
+//! exporting `serve.slo.burn_rate` / `serve.slo.window_p99_us` /
+//! `serve.slo.breaching` gauges, `serve.slo.breaches` /
+//! `serve.slo.deprioritized` counters, and demoting
+//! [`GemmRequest::with_background`] submissions to the low-priority
+//! queue while the error budget is burning too fast. With a flight-recorder timeline attached
 //! ([`SessionBuilder::timeline`](crate::api::SessionBuilder::timeline)),
 //! every request additionally emits enqueue → schedule → pack →
 //! compute → complete stage events under its [`TraceId`] (the schedule
@@ -86,14 +96,16 @@ use mixgemm_binseg::PrecisionConfig;
 use mixgemm_dnn::runtime::{self, PrecisionPlan, Tensor};
 use mixgemm_dnn::simcache::{SimCache, SimKey};
 use mixgemm_dnn::{DnnError, Network};
-use mixgemm_gemm::{GemmDims, GemmError, GemmReport, MixGemmKernel, QuantMatrix};
+use mixgemm_gemm::{GemmDims, GemmError, GemmReport, MixGemmKernel, QuantMatrix, ShapeClass};
 use mixgemm_harness::metrics::{self, Gauge, MetricsReport};
 use mixgemm_harness::timeline::{self, TraceId};
 use mixgemm_harness::trace;
+use mixgemm_phys::energy::ActivityProfile;
 use mixgemm_planner::Plan;
 
 use crate::api::Session;
 use crate::error::Error;
+use crate::slo::{SloPolicy, SloTracker};
 
 /// Errors raised by the serving layer itself (queueing, admission,
 /// deadlines, shutdown) — GEMM failures inside a request surface as
@@ -197,6 +209,9 @@ pub struct GemmRequest {
     /// When the scheduler accepted the request (set on submission);
     /// `serve.queue.wait_us` measures from here to worker pickup.
     enqueued: Option<Instant>,
+    /// Deferrable traffic: the first to be deprioritized when the
+    /// server's SLO is breaching (see [`GemmRequest::with_background`]).
+    background: bool,
 }
 
 impl GemmRequest {
@@ -209,6 +224,7 @@ impl GemmRequest {
             deadline: None,
             trace: TraceId::next(),
             enqueued: None,
+            background: false,
         }
     }
 
@@ -242,6 +258,18 @@ impl GemmRequest {
         self
     }
 
+    /// Marks the request as background (deferrable) traffic. While the
+    /// server's SLO tracker reports a breach
+    /// ([`SloTracker::breaching`]), background submissions are shunted
+    /// to the low-priority queue — only claimed when every shard is
+    /// empty — so live traffic recovers first. Without an SLO
+    /// configured ([`ServeOptionsBuilder::slo`]) the flag has no
+    /// scheduling effect.
+    pub fn with_background(mut self, background: bool) -> Self {
+        self.background = background;
+        self
+    }
+
     /// The A operand.
     pub fn a(&self) -> &Arc<QuantMatrix> {
         &self.a
@@ -260,6 +288,12 @@ impl GemmRequest {
     /// The deadline, if any.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
+    }
+
+    /// Whether the request is marked background/deferrable (see
+    /// [`GemmRequest::with_background`]).
+    pub fn background(&self) -> bool {
+        self.background
     }
 
     /// The GEMM dimensions the request describes.
@@ -365,6 +399,11 @@ pub struct ServeOptions {
     pub max_bucket_age: Duration,
     /// Deadline-aware admission policy (server path only).
     pub admission: AdmissionPolicy,
+    /// Latency objective for served requests (server path only). When
+    /// set, the server runs an [`SloTracker`] over `serve.latency_us`
+    /// and, while the objective is breaching, deprioritizes
+    /// [`background`](GemmRequest::with_background) submissions.
+    pub slo: Option<SloPolicy>,
 }
 
 impl Default for ServeOptions {
@@ -376,6 +415,7 @@ impl Default for ServeOptions {
             max_bucket: 32,
             max_bucket_age: Duration::from_micros(200),
             admission: AdmissionPolicy::Accept,
+            slo: None,
         }
     }
 }
@@ -446,6 +486,14 @@ impl ServeOptionsBuilder {
         self
     }
 
+    /// Sets the latency objective (see [`ServeOptions::slo`]): the
+    /// server tracks its error-budget burn rate and deprioritizes
+    /// background traffic while breaching.
+    pub fn slo(mut self, policy: SloPolicy) -> Self {
+        self.opts.slo = Some(policy);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> ServeOptions {
         self.opts
@@ -476,7 +524,10 @@ fn duration_us(d: Duration) -> f64 {
 /// Runs one bucket: simulate the shape class once (memoized), then
 /// compute every request through the shared packed operands. Returns
 /// `(input position, outcome)` pairs in input order. `shard` names the
-/// executing worker's shard for the `serve/schedule` stage marker.
+/// executing worker's shard for the `serve/schedule` stage marker;
+/// `low` says the bucket came off the low-priority queue, splitting the
+/// latency histogram into `serve.latency_us.live` / `.low` alongside
+/// the combined `serve.latency_us`.
 ///
 /// Runs with the session's timeline (if any) installed on the executing
 /// thread, so pack/kernel spans emit timeline events and each request
@@ -487,6 +538,7 @@ fn run_bucket(
     precision: PrecisionConfig,
     requests: &[(usize, GemmRequest)],
     shard: Option<u64>,
+    low: bool,
 ) -> Vec<(usize, Result<ServedGemm, Error>)> {
     let rec = session.recorder().clone();
     timeline::with_timeline_opt(session.timeline().cloned(), || {
@@ -539,7 +591,7 @@ fn run_bucket(
                 }
             };
 
-            requests
+            let outcomes: Vec<(usize, Result<ServedGemm, Error>)> = requests
                 .iter()
                 .map(|(pos, req)| {
                     // All stage events of one request share its TraceId —
@@ -586,22 +638,39 @@ fn run_bucket(
                         if let Some(enqueued) = req.enqueued {
                             // End-to-end latency (enqueue -> completion):
                             // what an open-loop load generator's SLOs are
-                            // measured against.
-                            rec.histogram("serve.latency_us")
-                                .record(duration_us(enqueued.elapsed()));
+                            // measured against. The combined histogram
+                            // drives the SLO tracker; the per-priority
+                            // split shows what breach-time deprioritizing
+                            // costs the background tier.
+                            let latency = duration_us(enqueued.elapsed());
+                            rec.histogram("serve.latency_us").record(latency);
+                            rec.histogram(if low {
+                                "serve.latency_us.low"
+                            } else {
+                                "serve.latency_us.live"
+                            })
+                            .record(latency);
                         }
                         match &result {
                             Ok(served) => {
                                 // The completion marker carries the simulated
-                                // PMU cycle counts so the Chrome trace shows
-                                // modelled cycles next to wall time.
+                                // PMU cycle counts and modelled energy so the
+                                // Chrome trace shows them next to wall time.
                                 let busy = served.report.pmu.map(|p| p.busy_cycles).unwrap_or(0);
+                                let pj = ActivityProfile {
+                                    total_cycles: served.report.cycles,
+                                    busy_cycles: busy,
+                                    macs: served.report.macs,
+                                    freq_ghz: served.report.freq_ghz,
+                                }
+                                .energy_pj();
                                 timeline::instant_with_args(
                                     "serve/complete",
                                     vec![
                                         ("sim_cycles", served.report.cycles),
                                         ("pmu_busy_cycles", busy),
                                         ("macs", served.report.macs),
+                                        ("energy_pj", pj as u64),
                                     ],
                                 );
                             }
@@ -611,7 +680,36 @@ fn run_bucket(
                     });
                     (*pos, outcome)
                 })
-                .collect()
+                .collect();
+
+            // Per-(precision, shape-class) attribution: break the
+            // bucket's modelled cost down so the scrape endpoint can
+            // answer "where do my cycles and joules go". The simulation
+            // is shared by every request in the bucket, so this is one
+            // multiply per bucket, not per-request bookkeeping.
+            let ok_count = outcomes.iter().filter(|(_, r)| r.is_ok()).count() as u64;
+            if ok_count > 0 {
+                if let Ok(report) = &report {
+                    let class = ShapeClass::of(dims);
+                    let busy = report.pmu.map(|p| p.busy_cycles).unwrap_or(0);
+                    let pj = ActivityProfile {
+                        total_cycles: report.cycles,
+                        busy_cycles: busy,
+                        macs: report.macs,
+                        freq_ghz: report.freq_ghz,
+                    }
+                    .energy_pj();
+                    let prefix = format!("serve.attr.{precision}.{class}");
+                    rec.counter(&format!("{prefix}.requests")).add(ok_count);
+                    rec.counter(&format!("{prefix}.cycles"))
+                        .add(report.cycles.saturating_mul(ok_count));
+                    rec.counter(&format!("{prefix}.macs"))
+                        .add(report.macs.saturating_mul(ok_count));
+                    rec.counter(&format!("{prefix}.energy_pj"))
+                        .add((pj * ok_count as f64) as u64);
+                }
+            }
+            outcomes
         })
     })
 }
@@ -725,7 +823,7 @@ impl Session {
         let workers = opts.workers.clamp(1, chunks.len().max(1));
         if workers <= 1 {
             for ((dims, precision), reqs) in &chunks {
-                for (pos, outcome) in run_bucket(self, *dims, *precision, reqs, Some(0)) {
+                for (pos, outcome) in run_bucket(self, *dims, *precision, reqs, Some(0), false) {
                     results[pos] = Some(outcome);
                 }
             }
@@ -777,7 +875,7 @@ impl Session {
                     break;
                 };
                 let ((dims, precision), reqs) = &chunks[idx];
-                let outcomes = run_bucket(self, *dims, *precision, reqs, Some(w as u64));
+                let outcomes = run_bucket(self, *dims, *precision, reqs, Some(w as u64), false);
                 done.lock()
                     .expect("serve results poisoned")
                     .extend(outcomes);
@@ -1057,6 +1155,9 @@ struct Sealed {
     dims: GemmDims,
     precision: PrecisionConfig,
     requests: Vec<Pending>,
+    /// Sealed from the low-priority side (splits the latency histogram
+    /// per priority tier in [`run_bucket`]).
+    low: bool,
 }
 
 /// Forming-bucket state and the drain/pause flags, guarded by one
@@ -1104,6 +1205,11 @@ struct Shared {
     service_ewma_us: AtomicU64,
     /// The pre-resolved `serve.queue.depth` gauge.
     depth_gauge: Arc<Gauge>,
+    /// Burn-rate tracker over `serve.latency_us`, present when
+    /// [`ServeOptions::slo`] is set. Evaluated from the submit and
+    /// bucket-completion paths; its breach flag deprioritizes
+    /// background submissions.
+    slo: Option<Arc<SloTracker>>,
 }
 
 impl Shared {
@@ -1141,6 +1247,7 @@ impl Shared {
             dims,
             precision,
             requests: forming.requests,
+            low,
         };
         let mut args = vec![("bucket_size", n as u64), ("bucket_age_us", age_us as u64)];
         if low {
@@ -1292,6 +1399,7 @@ impl Shared {
             sealed.precision,
             &positioned,
             Some(worker as u64),
+            sealed.low,
         );
         let per_request_us =
             (duration_us(started.elapsed()) / positioned.len().max(1) as f64) as u64;
@@ -1306,6 +1414,11 @@ impl Shared {
             let slot = &sealed.requests[i].slot;
             *slot.done.lock().expect("serve slot poisoned") = Some(outcome);
             slot.cv.notify_all();
+        }
+        // Fresh latency samples just landed: give the SLO tracker a
+        // chance to fold them in (rate-limited internally).
+        if let Some(slo) = &self.slo {
+            slo.maybe_evaluate();
         }
     }
 }
@@ -1333,6 +1446,14 @@ impl Server {
             })
             .collect();
         let depth_gauge = session.recorder().gauge("serve.queue.depth");
+        let slo = opts.slo.map(|policy| {
+            Arc::new(SloTracker::new(
+                policy,
+                "serve.latency_us",
+                session.recorder().clone(),
+                session.timeline().cloned(),
+            ))
+        });
         let shared = Arc::new(Shared {
             session,
             opts,
@@ -1349,6 +1470,7 @@ impl Server {
             paused: AtomicBool::new(paused),
             service_ewma_us: AtomicU64::new(0),
             depth_gauge,
+            slo,
         });
         // Zero every depth gauge up front so dashboards see the full
         // shard layout before the first request lands.
@@ -1444,6 +1566,24 @@ impl Server {
             }
         }
 
+        // SLO breach shedding: while the error budget burns faster than
+        // it refills, background submissions yield the shards to live
+        // traffic (they still run, via the low-priority queue).
+        if let Some(slo) = &shared.slo {
+            slo.maybe_evaluate();
+            if !low_priority && request.background && slo.breaching() {
+                rec.counter("serve.slo.deprioritized").inc();
+                if let Some(tl) = shared.session.timeline() {
+                    tl.instant_with_args(
+                        "serve/slo_deprioritize",
+                        Some(request.trace),
+                        vec![("burn_rate_milli", (slo.burn_rate() * 1000.0) as u64)],
+                    );
+                }
+                low_priority = true;
+            }
+        }
+
         let slot = Arc::new(Slot {
             done: Mutex::new(None),
             cv: Condvar::new(),
@@ -1493,6 +1633,12 @@ impl Server {
     /// (what the `serve.queue.depth` gauge reports).
     pub fn queue_depth(&self) -> usize {
         self.shared.depth()
+    }
+
+    /// The server's SLO tracker, when [`ServeOptions::slo`] was set —
+    /// exposes the live burn rate and breach state.
+    pub fn slo(&self) -> Option<&Arc<SloTracker>> {
+        self.shared.slo.as_ref()
     }
 
     /// Stops accepting submissions (later [`Server::submit`] calls fail

@@ -1,0 +1,338 @@
+//! Serving SLO tracking: latency objectives, windowed error budgets and
+//! burn rates.
+//!
+//! An SLO here is "no more than `budget` of requests slower than
+//! `target_p99_us`, judged over a sliding `window`". The tracker
+//! evaluates that objective continuously from the serving layer's
+//! latency histograms and condenses it into one number, the **burn
+//! rate**: the fraction of windowed requests over target divided by the
+//! budget. Burn rate 1.0 means the error budget is being consumed
+//! exactly as fast as it refills; above 1.0 the service is breaching;
+//! near 0 it is comfortably inside objective. This is the standard
+//! SRE formulation, computed from the same mergeable log-bucket
+//! histograms the telemetry sampler windows — see DESIGN.md §15.
+//!
+//! [`SloTracker`] is deliberately self-contained: it snapshots the
+//! histogram and keeps its own ring of per-evaluation deltas
+//! ([`HistogramSummary::since`] / [`HistogramSummary::merge`]), so SLO
+//! enforcement works even when no [`Telemetry`] sampler is attached —
+//! the scrape endpoint then merely *exposes* the gauges the tracker
+//! maintains (`serve.slo.burn_rate`, `serve.slo.window_p99_us`,
+//! `serve.slo.breaching`).
+//!
+//! The serving layer wires the tracker into admission: while the
+//! objective is breaching, requests marked
+//! [`background`](crate::serve::GemmRequest::with_background) are
+//! shunted to the low-priority queue (counted as
+//! `serve.slo.deprioritized`), shedding deferrable load first — see
+//! [`ServeOptionsBuilder::slo`](crate::serve::ServeOptionsBuilder::slo).
+//!
+//! [`Telemetry`]: mixgemm_harness::telemetry::Telemetry
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mixgemm_harness::metrics::{HistogramSummary, Recorder};
+use mixgemm_harness::timeline::Timeline;
+
+/// A latency service-level objective for served requests.
+///
+/// Reads as: over any trailing [`window`](SloPolicy::window), at most
+/// [`budget`](SloPolicy::budget) of requests may exceed
+/// [`target_p99_us`](SloPolicy::target_p99_us).
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub struct SloPolicy {
+    /// Latency target in microseconds; requests slower than this spend
+    /// error budget.
+    pub target_p99_us: f64,
+    /// Sliding evaluation window.
+    pub window: Duration,
+    /// Allowed fraction of over-target requests (e.g. `0.01` for a p99
+    /// objective). Burn rate = observed fraction / budget.
+    pub budget: f64,
+}
+
+impl SloPolicy {
+    /// An objective with the given latency target, a 10 s window and a
+    /// 1% budget (a p99 objective).
+    pub fn new(target_p99_us: f64) -> SloPolicy {
+        SloPolicy {
+            target_p99_us,
+            window: Duration::from_secs(10),
+            budget: 0.01,
+        }
+    }
+
+    /// Sets the sliding window (clamped to ≥ 10 ms).
+    pub fn window(mut self, window: Duration) -> Self {
+        self.window = window.max(Duration::from_millis(10));
+        self
+    }
+
+    /// Sets the error budget as a fraction in `(0, 1]`.
+    pub fn budget(mut self, budget: f64) -> Self {
+        self.budget = budget.clamp(1e-6, 1.0);
+        self
+    }
+}
+
+struct SloState {
+    /// Histogram snapshot at the previous evaluation.
+    prev: HistogramSummary,
+    /// Per-evaluation deltas inside the window, oldest first.
+    ring: VecDeque<(Instant, HistogramSummary)>,
+    last_eval: Option<Instant>,
+}
+
+/// Continuous evaluation of one [`SloPolicy`] against a latency
+/// histogram (see the module docs for the burn-rate definition).
+///
+/// Created by the serving layer when
+/// [`ServeOptionsBuilder::slo`](crate::serve::ServeOptionsBuilder::slo)
+/// is set; evaluations are driven from the submit and bucket-completion
+/// paths (rate-limited, so the hot path pays an atomic load almost
+/// always) and publish:
+///
+/// - `serve.slo.burn_rate` gauge — the current burn rate;
+/// - `serve.slo.window_p99_us` gauge — windowed p99 of the tracked
+///   histogram;
+/// - `serve.slo.breaching` gauge — 1 while burn rate > 1;
+/// - `serve.slo.breaches` counter — breach-state entries;
+/// - `serve.slo.breach` / `serve.slo.recover` timeline instants at the
+///   transitions (args carry the burn rate ×1000).
+#[derive(Debug)]
+pub struct SloTracker {
+    policy: SloPolicy,
+    metric: String,
+    registry: Recorder,
+    timeline: Option<Arc<Timeline>>,
+    state: Mutex<SloState>,
+    breaching: AtomicBool,
+    burn_bits: AtomicU64,
+}
+
+impl std::fmt::Debug for SloState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloState")
+            .field("ring_len", &self.ring.len())
+            .finish()
+    }
+}
+
+impl SloTracker {
+    /// A tracker evaluating `policy` against the histogram named
+    /// `metric` in `registry` (the serving layer uses
+    /// `serve.latency_us`). Breach/recover instants go to `timeline`
+    /// when given.
+    pub fn new(
+        policy: SloPolicy,
+        metric: impl Into<String>,
+        registry: Recorder,
+        timeline: Option<Arc<Timeline>>,
+    ) -> SloTracker {
+        let metric = metric.into();
+        let prev = registry.histogram(&metric).summary();
+        SloTracker {
+            policy,
+            metric,
+            registry,
+            timeline,
+            state: Mutex::new(SloState {
+                prev,
+                ring: VecDeque::new(),
+                last_eval: None,
+            }),
+            breaching: AtomicBool::new(false),
+            burn_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// The tracked objective.
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// The most recently computed burn rate (0 before any evaluation).
+    pub fn burn_rate(&self) -> f64 {
+        f64::from_bits(self.burn_bits.load(Ordering::Relaxed))
+    }
+
+    /// Whether the last evaluation found the objective breaching
+    /// (burn rate > 1).
+    pub fn breaching(&self) -> bool {
+        self.breaching.load(Ordering::Relaxed)
+    }
+
+    /// Evaluates if enough time has passed since the last evaluation
+    /// (window/8, clamped to 5–250 ms) — the hot-path entry point, cheap
+    /// when it declines.
+    pub fn maybe_evaluate(&self) {
+        let min_interval =
+            (self.policy.window / 8).clamp(Duration::from_millis(5), Duration::from_millis(250));
+        let now = Instant::now();
+        {
+            let state = self.state.lock().expect("slo tracker poisoned");
+            if let Some(last) = state.last_eval {
+                if now.duration_since(last) < min_interval {
+                    return;
+                }
+            }
+        }
+        self.evaluate_now();
+    }
+
+    /// Evaluates the objective immediately: snapshots the histogram,
+    /// windows the delta ring, recomputes the burn rate and publishes
+    /// the gauges (and transition events, when the breach state flips).
+    pub fn evaluate_now(&self) {
+        let now = Instant::now();
+        let cur = self.registry.histogram(&self.metric).summary();
+        let (burn, windowed_p99) = {
+            let mut state = self.state.lock().expect("slo tracker poisoned");
+            state.last_eval = Some(now);
+            let delta = cur.since(&state.prev);
+            state.prev = cur;
+            if delta.count > 0 {
+                state.ring.push_back((now, delta));
+            }
+            while state
+                .ring
+                .front()
+                .is_some_and(|(t, _)| now.duration_since(*t) > self.policy.window)
+            {
+                state.ring.pop_front();
+            }
+            let mut merged = HistogramSummary::default();
+            for (_, d) in &state.ring {
+                merged.merge(d);
+            }
+            let over = merged.fraction_above(self.policy.target_p99_us);
+            (over / self.policy.budget, merged.p99())
+        };
+        self.burn_bits.store(burn.to_bits(), Ordering::Relaxed);
+        self.registry.gauge("serve.slo.burn_rate").set(burn);
+        self.registry
+            .gauge("serve.slo.window_p99_us")
+            .set(windowed_p99);
+        let breaching = burn > 1.0;
+        let was = self.breaching.swap(breaching, Ordering::Relaxed);
+        self.registry
+            .gauge("serve.slo.breaching")
+            .set(if breaching { 1.0 } else { 0.0 });
+        if breaching && !was {
+            self.registry.counter("serve.slo.breaches").inc();
+            if let Some(tl) = &self.timeline {
+                tl.instant_with_args(
+                    "serve.slo.breach",
+                    None,
+                    vec![("burn_rate_milli", (burn * 1000.0) as u64)],
+                );
+            }
+        } else if !breaching && was {
+            if let Some(tl) = &self.timeline {
+                tl.instant_with_args(
+                    "serve.slo.recover",
+                    None,
+                    vec![("burn_rate_milli", (burn * 1000.0) as u64)],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixgemm_harness::metrics::MetricsRegistry;
+
+    fn tracker(policy: SloPolicy) -> (Arc<SloTracker>, Recorder, Arc<Timeline>) {
+        let reg: Recorder = Arc::new(MetricsRegistry::new());
+        let tl = Arc::new(Timeline::new());
+        let t = Arc::new(SloTracker::new(
+            policy,
+            "serve.latency_us",
+            reg.clone(),
+            Some(tl.clone()),
+        ));
+        (t, reg, tl)
+    }
+
+    #[test]
+    fn nominal_load_burns_nothing() {
+        let (t, reg, _) = tracker(SloPolicy::new(1_000.0).budget(0.01));
+        let h = reg.histogram("serve.latency_us");
+        for _ in 0..500 {
+            h.record(50.0);
+        }
+        t.evaluate_now();
+        assert_eq!(t.burn_rate(), 0.0);
+        assert!(!t.breaching());
+        assert_eq!(reg.report().gauge("serve.slo.burn_rate"), Some(0.0));
+        assert_eq!(reg.report().gauge("serve.slo.breaching"), Some(0.0));
+    }
+
+    #[test]
+    fn saturation_breaches_and_recovers() {
+        let (t, reg, tl) = tracker(
+            SloPolicy::new(100.0)
+                .budget(0.01)
+                .window(Duration::from_millis(10)),
+        );
+        let h = reg.histogram("serve.latency_us");
+        // 20% of requests over a 1% budget -> burn rate 20.
+        for i in 0..100 {
+            h.record(if i % 5 == 0 { 10_000.0 } else { 10.0 });
+        }
+        t.evaluate_now();
+        assert!(t.burn_rate() > 1.0, "burn {}", t.burn_rate());
+        assert!(t.breaching());
+        assert_eq!(reg.report().counter("serve.slo.breaches"), 1);
+        assert!(tl.events().iter().any(|e| e.name == "serve.slo.breach"));
+        // Recovery: wait out the window, then record only fast traffic.
+        std::thread::sleep(Duration::from_millis(15));
+        for _ in 0..100 {
+            h.record(10.0);
+        }
+        t.evaluate_now();
+        assert!(!t.breaching(), "burn {}", t.burn_rate());
+        assert!(tl.events().iter().any(|e| e.name == "serve.slo.recover"));
+        // Re-entering breach counts again.
+        std::thread::sleep(Duration::from_millis(15));
+        for _ in 0..100 {
+            h.record(50_000.0);
+        }
+        t.evaluate_now();
+        assert!(t.breaching());
+        assert_eq!(reg.report().counter("serve.slo.breaches"), 2);
+    }
+
+    #[test]
+    fn maybe_evaluate_rate_limits() {
+        let (t, reg, _) = tracker(SloPolicy::new(100.0).window(Duration::from_secs(10)));
+        let h = reg.histogram("serve.latency_us");
+        h.record(10.0);
+        t.maybe_evaluate();
+        let first = t.state.lock().unwrap().last_eval;
+        assert!(first.is_some());
+        // Immediately after, the rate limiter declines.
+        h.record(10.0);
+        t.maybe_evaluate();
+        assert_eq!(t.state.lock().unwrap().last_eval, first);
+        // A forced evaluation always runs.
+        t.evaluate_now();
+        assert_ne!(t.state.lock().unwrap().last_eval, first);
+    }
+
+    #[test]
+    fn policy_builder_clamps() {
+        let p = SloPolicy::new(500.0)
+            .window(Duration::from_nanos(1))
+            .budget(0.0);
+        assert_eq!(p.window, Duration::from_millis(10));
+        assert!(p.budget > 0.0);
+        assert_eq!(p.target_p99_us, 500.0);
+    }
+}

@@ -22,7 +22,13 @@
 //! - [`timeline`] — a flight recorder: a bounded ring buffer of
 //!   timestamped begin/end/instant events with per-request [`TraceId`]s
 //!   and a Chrome Trace Event (Perfetto) exporter, fed automatically by
-//!   [`span!`] when a [`Timeline`] is installed.
+//!   [`span!`] when a [`Timeline`] is installed;
+//! - [`telemetry`] — a live layer over [`metrics`]: a background sampler
+//!   aggregating per-tick deltas into 1s/10s/60s sliding windows, plus a
+//!   hand-rolled HTTP scrape endpoint (`/metrics`, `/healthz`,
+//!   `/timeline`);
+//! - [`openmetrics`] — OpenMetrics/Prometheus text exposition rendering
+//!   and a structural validator for the scrape payload.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,8 +36,10 @@
 pub mod bench;
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
 pub mod prop;
 pub mod rng;
+pub mod telemetry;
 pub mod timeline;
 pub mod trace;
 
@@ -40,5 +48,6 @@ pub use json::Json;
 pub use metrics::{MetricsRegistry, MetricsReport, Recorder};
 pub use prop::check;
 pub use rng::Rng;
+pub use telemetry::{Telemetry, TelemetryOptions};
 pub use timeline::{Timeline, TraceId};
 pub use trace::Span;

@@ -272,10 +272,74 @@ impl HistogramSummary {
         self.quantile(0.99)
     }
 
+    /// Merges another summary into this one: counts, sums and buckets
+    /// add; extremes widen. Log-bucketed summaries merge losslessly
+    /// (bucket boundaries are global constants), which is what lets the
+    /// telemetry layer combine per-tick deltas into sliding windows —
+    /// quantiles of the merged summary carry the same one-bucket error
+    /// bound as quantiles of a directly recorded one.
+    pub fn merge(&mut self, other: &HistogramSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// The fraction of samples strictly above `threshold`, estimated
+    /// from the log buckets: a sample counts as above when its bucket
+    /// lies beyond the bucket containing `threshold` (one-bucket
+    /// resolution, matching [`HistogramSummary::quantile`]). Zero when
+    /// empty — the error-budget input of SLO burn-rate tracking.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let limit = hist_bucket_of(threshold);
+        let above: u64 = self.buckets[limit + 1..].iter().sum();
+        above as f64 / self.count as f64
+    }
+
+    /// Cumulative bucket counts as `(upper_bound, count_at_or_below)`
+    /// pairs, trimmed to the occupied prefix — the Prometheus/
+    /// OpenMetrics `_bucket{le="..."}` series. The final implicit
+    /// `+Inf` bucket is [`HistogramSummary::count`]. Empty when no
+    /// samples were recorded.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let last = match self.buckets.iter().rposition(|&n| n > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut cum = 0u64;
+        (0..=last)
+            .map(|idx| {
+                cum += self.buckets[idx];
+                // Bucket idx covers values up to 2^(MIN_EXP + idx/SUB);
+                // bucket 0 pools non-positive samples below the first
+                // boundary.
+                let le = (HIST_MIN_EXP + idx as f64 / HIST_SUB).exp2();
+                (le, cum)
+            })
+            .collect()
+    }
+
     /// The summary of everything recorded after `before` was captured:
     /// count/sum/bucket deltas, with the cumulative extremes kept (min/
-    /// max cannot be windowed from running aggregates).
-    fn since(&self, before: &HistogramSummary) -> HistogramSummary {
+    /// max cannot be windowed from running aggregates). `before` must be
+    /// an earlier snapshot of the same stream — the inverse of
+    /// [`HistogramSummary::merge`], and what lets SLO trackers window a
+    /// live histogram without a full sampler.
+    pub fn since(&self, before: &HistogramSummary) -> HistogramSummary {
         let mut buckets = self.buckets;
         for (b, prev) in buckets.iter_mut().zip(before.buckets.iter()) {
             *b = b.saturating_sub(*prev);
@@ -941,5 +1005,207 @@ mod tests {
         }
         // Identical content modulo the timestamp column.
         assert_eq!(stamped.lines().count(), lines.lines().count());
+    }
+
+    /// Parses one line-protocol line back into (kind, name, fields,
+    /// timestamp). Field values keep their textual form so tests can
+    /// pin the `i` integer suffix exactly.
+    fn parse_line(line: &str) -> (String, String, Vec<(String, String)>, Option<String>) {
+        let (head, rest) = line.split_once(' ').expect("measurement/fields split");
+        let (kind, name) = head.split_once(",name=").expect("name tag");
+        let mut parts = rest.split(' ');
+        let fields_raw = parts.next().expect("fields");
+        let ts = parts.next().map(str::to_string);
+        assert_eq!(parts.next(), None, "trailing columns in: {line}");
+        let fields = fields_raw
+            .split(',')
+            .map(|f| {
+                let (k, v) = f.split_once('=').expect("field k=v");
+                (k.to_string(), v.to_string())
+            })
+            .collect();
+        (kind.to_string(), name.to_string(), fields, ts)
+    }
+
+    #[test]
+    fn line_protocol_round_trips_values_suffixes_and_timestamps() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hits").add(42);
+        reg.gauge("pmu.cycles").set_u64(9_000_000_123);
+        reg.gauge("ratio").set(2.5);
+        let h = reg.histogram("lat");
+        h.record(8.0);
+        h.record(8.0);
+        reg.record_span("a/b", Duration::from_nanos(777));
+        let ts: u64 = 1_700_000_000_123_456_789;
+        let report = reg.report();
+        for (text, want_ts) in [
+            (report.to_line_protocol(), None),
+            (report.to_line_protocol_at(ts), Some(ts.to_string())),
+        ] {
+            let mut seen = 0;
+            for line in text.lines() {
+                let (kind, name, fields, got_ts) = parse_line(line);
+                assert_eq!(got_ts, want_ts, "timestamp column in: {line}");
+                let field =
+                    |k: &str| -> &str { &fields.iter().find(|(fk, _)| fk == k).expect(k).1 };
+                match (kind.as_str(), name.as_str()) {
+                    ("counter", "hits") => {
+                        // Counters are always integers: `i` suffix, no dot.
+                        assert_eq!(field("value"), "42i");
+                        seen += 1;
+                    }
+                    ("gauge", "pmu.cycles") => {
+                        // Integer-valued gauge: integer syntax, full
+                        // precision (no float rounding of large counts).
+                        assert_eq!(field("value"), "9000000123i");
+                        seen += 1;
+                    }
+                    ("gauge", "ratio") => {
+                        assert_eq!(field("value"), "2.5");
+                        seen += 1;
+                    }
+                    ("histogram", "lat") => {
+                        assert_eq!(field("count"), "2i");
+                        assert_eq!(field("sum"), "16i");
+                        assert_eq!(field("min"), "8i");
+                        assert_eq!(field("max"), "8i");
+                        seen += 1;
+                    }
+                    ("span", "a/b") => {
+                        assert_eq!(field("count"), "1i");
+                        assert_eq!(field("total_ns"), "777i");
+                        seen += 1;
+                    }
+                    other => panic!("unexpected line {other:?}"),
+                }
+            }
+            assert_eq!(seen, 5, "metrics missing from export:\n{text}");
+        }
+    }
+
+    #[test]
+    fn prop_quantiles_within_one_bucket_of_exact() {
+        // The log buckets are 2^(1/3) wide and the estimate is the
+        // geometric midpoint of the rank's bucket, so every quantile
+        // must land within half a bucket (factor 2^(1/6)) of the exact
+        // order statistic. This bound is what makes the windowed SLO
+        // math trustworthy.
+        let tol = (1.0f64 / 6.0).exp2() - 1.0 + 1e-9;
+        crate::prop::check("histogram quantile accuracy", 64, |rng| {
+            let n = rng.usize_in(1, 400);
+            let mut summary = HistogramSummary::default();
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Log-uniform over ~9 decades, away from the pooled
+                // non-positive bucket and the clamped table ends.
+                let v = rng.f64_in(-4.0, 30.0).exp2();
+                summary.record(v);
+                samples.push(v);
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for q in [0.50, 0.90, 0.99] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let exact = samples[rank - 1];
+                let got = summary.quantile(q);
+                let err = (got - exact).abs() / exact;
+                if err > tol {
+                    return Err(format!(
+                        "q={q} n={n}: estimate {got} vs exact {exact} (rel err {err:.4})"
+                    ));
+                }
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn prop_merge_equals_single_pass() {
+        // Splitting a stream across summaries and merging must be
+        // indistinguishable from one summary over the whole stream —
+        // the invariant that makes per-tick deltas mergeable into
+        // sliding windows.
+        crate::prop::check("histogram merge associativity", 48, |rng| {
+            let n = rng.usize_in(0, 200);
+            let split = if n == 0 { 0 } else { rng.usize_in(0, n) };
+            let mut whole = HistogramSummary::default();
+            let mut left = HistogramSummary::default();
+            let mut right = HistogramSummary::default();
+            for i in 0..n {
+                let v = rng.f64_in(-8.0, 32.0).exp2();
+                whole.record(v);
+                if i < split {
+                    left.record(v);
+                } else {
+                    right.record(v);
+                }
+            }
+            left.merge(&right);
+            if left.count != whole.count
+                || left.min != whole.min
+                || left.max != whole.max
+                || (left.sum - whole.sum).abs() > whole.sum.abs() * 1e-12
+            {
+                return Err(format!(
+                    "merged ({}, {}, {}, {}) != whole ({}, {}, {}, {})",
+                    left.count,
+                    left.sum,
+                    left.min,
+                    left.max,
+                    whole.count,
+                    whole.sum,
+                    whole.min,
+                    whole.max
+                ));
+            }
+            for q in [0.5, 0.9, 0.99] {
+                if left.quantile(q) != whole.quantile(q) {
+                    return Err(format!("quantile({q}) differs after merge"));
+                }
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_complete() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("c");
+        for v in [0.5, 3.0, 3.1, 700.0, 700.0, 1e6] {
+            h.record(v);
+        }
+        let s = h.summary();
+        let cum = s.cumulative_buckets();
+        assert!(!cum.is_empty());
+        let mut prev = 0u64;
+        let mut prev_le = f64::NEG_INFINITY;
+        for &(le, n) in &cum {
+            assert!(le > prev_le, "upper bounds must increase");
+            assert!(n >= prev, "cumulative counts must be monotone");
+            prev = n;
+            prev_le = le;
+        }
+        assert_eq!(cum.last().unwrap().1, s.count);
+        assert_eq!(HistogramSummary::default().cumulative_buckets(), Vec::new());
+    }
+
+    #[test]
+    fn fraction_above_matches_bucket_tail() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("f");
+        for _ in 0..90 {
+            h.record(10.0);
+        }
+        for _ in 0..10 {
+            h.record(10_000.0);
+        }
+        let s = h.summary();
+        // Threshold between the two modes: exactly the slow tail.
+        let frac = s.fraction_above(1_000.0);
+        assert!((frac - 0.10).abs() < 1e-12, "fraction {frac}");
+        // Threshold above everything / below everything.
+        assert_eq!(s.fraction_above(1e9), 0.0);
+        assert_eq!(s.fraction_above(0.001), 1.0);
+        assert_eq!(HistogramSummary::default().fraction_above(1.0), 0.0);
     }
 }

@@ -1,0 +1,449 @@
+//! OpenMetrics / Prometheus text exposition for [`crate::metrics`].
+//!
+//! The workspace runs offline, so instead of pulling in a Prometheus
+//! client this module hand-renders the [text exposition format]: one
+//! `# TYPE` / `# HELP` header per metric family followed by its
+//! samples, histograms expanded into cumulative `_bucket{le="..."}` /
+//! `_sum` / `_count` series, the document terminated by `# EOF`. The
+//! live telemetry layer ([`crate::telemetry`]) serves this under
+//! `/metrics` so any Prometheus-compatible scraper can attach to a
+//! running [`Server`](crate::metrics::MetricsRegistry) without new
+//! dependencies.
+//!
+//! [`validate`] is the matching consumer: a strict structural check
+//! (well-formed `# TYPE` lines, every sample belonging to a declared
+//! family, monotone cumulative bucket counts, terminal `# EOF`) used by
+//! the scrape-endpoint smoke test in CI — the same hand-rolled
+//! builder/parser pairing as [`crate::json`].
+//!
+//! [text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsReport;
+
+/// Rewrites a registry metric name (`serve.latency_us`,
+/// `gemm/kernel`) into a legal exposition metric name
+/// (`serve_latency_us`, `gemm_kernel`): every character outside
+/// `[a-zA-Z0-9_:]` becomes `_`, and a leading digit gains a `_`
+/// prefix.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { ch } else { '_' });
+    }
+    out
+}
+
+/// Formats a sample value: integers render without a fractional part,
+/// non-finite values as `+Inf` / `-Inf` / `NaN` (as the format
+/// specifies).
+fn number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// An exposition document under construction: families declared with
+/// [`Exposition::family`], samples appended with [`Exposition::sample`],
+/// closed by [`Exposition::finish`].
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    /// Declares a metric family: writes its `# HELP` and `# TYPE`
+    /// header. `name` must already be sanitized; `kind` is `counter`,
+    /// `gauge` or `histogram`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Appends one sample line. `suffix` is appended to the family name
+    /// (`_total`, `_bucket`, `_sum`, `_count`, or empty); labels render
+    /// as `{k="v",...}` when non-empty.
+    pub fn sample(&mut self, name: &str, suffix: &str, labels: &[(&str, String)], value: f64) {
+        let _ = write!(self.out, "{name}{suffix}");
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(
+                    self.out,
+                    "{k}=\"{}\"",
+                    v.replace('\\', "\\\\").replace('"', "\\\"")
+                );
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", number(value));
+    }
+
+    /// Terminates the document with `# EOF` and returns it.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("# EOF\n");
+        self.out
+    }
+}
+
+/// Renders a [`MetricsReport`] as an exposition document body (no
+/// windowed series — the telemetry layer appends those). Counters
+/// become `<name>_total` counter families, gauges stay `<name>`,
+/// histograms expand to `_bucket`/`_sum`/`_count`, and span stats
+/// export as a `<path>_span_ns_total` counter pair.
+pub fn render_report(report: &MetricsReport, ex: &mut Exposition) {
+    for (k, v) in &report.counters {
+        let name = sanitize(k);
+        ex.family(&format!("{name}_total"), "counter", "mixgemm counter");
+        ex.sample(&name, "_total", &[], *v as f64);
+    }
+    for (k, v) in &report.gauges {
+        let name = sanitize(k);
+        ex.family(&name, "gauge", "mixgemm gauge");
+        ex.sample(&name, "", &[], *v);
+    }
+    for (k, h) in &report.histograms {
+        let name = sanitize(k);
+        ex.family(&name, "histogram", "mixgemm histogram");
+        let mut last = 0u64;
+        for (le, cum) in h.cumulative_buckets() {
+            ex.sample(&name, "_bucket", &[("le", number(le))], cum as f64);
+            last = cum;
+        }
+        debug_assert!(last <= h.count);
+        ex.sample(
+            &name,
+            "_bucket",
+            &[("le", "+Inf".to_string())],
+            h.count as f64,
+        );
+        ex.sample(&name, "_sum", &[], h.sum);
+        ex.sample(&name, "_count", &[], h.count as f64);
+    }
+    for (k, s) in &report.spans {
+        let name = sanitize(k);
+        ex.family(
+            &format!("{name}_span_total"),
+            "counter",
+            "mixgemm span count",
+        );
+        ex.sample(&format!("{name}_span"), "_total", &[], s.count as f64);
+        ex.family(
+            &format!("{name}_span_ns_total"),
+            "counter",
+            "mixgemm span nanoseconds",
+        );
+        ex.sample(&format!("{name}_span_ns"), "_total", &[], s.total_ns as f64);
+    }
+}
+
+/// One parsed sample line: family-resolved name, `le` label (when
+/// present), full label string, value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label set: {line}"))?;
+            (
+                &line[..open],
+                format!("{} {}", &line[open..=close], &line[close + 1..]),
+            )
+        }
+        None => ("", String::new()),
+    };
+    // Two shapes: `name value` or `name{labels} value`.
+    if name_part.is_empty() {
+        let mut parts = line.splitn(2, ' ');
+        let head = parts.next().unwrap_or("");
+        let value = parts
+            .next()
+            .ok_or_else(|| format!("sample missing value: {line}"))?
+            .trim();
+        let value: f64 = parse_value(value)?;
+        return Ok(Sample {
+            name: head.to_string(),
+            labels: Vec::new(),
+            value,
+        });
+    }
+    let _ = rest;
+    let open = line.find('{').unwrap();
+    let close = line
+        .rfind('}')
+        .ok_or_else(|| format!("unclosed label set: {line}"))?;
+    let name = line[..open].to_string();
+    let labels_raw = &line[open + 1..close];
+    let value = parse_value(line[close + 1..].trim())?;
+    let mut labels = Vec::new();
+    for pair in labels_raw.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("malformed label `{pair}` in: {line}"))?;
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted label value `{v}` in: {line}"))?;
+        labels.push((k.to_string(), v.replace("\\\"", "\"").replace("\\\\", "\\")));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        t => t
+            .parse::<f64>()
+            .map_err(|_| format!("invalid sample value: {t}")),
+    }
+}
+
+/// Validates an exposition document structurally:
+///
+/// - every `# TYPE` line is well formed and names a known kind;
+/// - every sample line parses and belongs to a declared family
+///   (honoring the `_total` / `_bucket` / `_sum` / `_count` suffix
+///   conventions of counters and histograms);
+/// - histogram `_bucket` series are cumulative: counts are monotone
+///   non-decreasing in `le` order, every series carries a terminal
+///   `le="+Inf"` bucket equal to the family's `_count`;
+/// - the document terminates with `# EOF`.
+///
+/// Returns the number of sample lines on success.
+///
+/// # Errors
+///
+/// Returns a description of the first structural violation.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut families: HashMap<String, String> = HashMap::new();
+    // Histogram bucket state per family: ordered (le, cum) plus counts.
+    let mut buckets: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+    let mut hist_counts: HashMap<String, f64> = HashMap::new();
+    let mut samples = 0usize;
+    let mut saw_eof = false;
+    for line in text.lines() {
+        if saw_eof {
+            return Err(format!("content after # EOF: {line}"));
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if rest == "EOF" {
+                saw_eof = true;
+                continue;
+            }
+            let mut parts = rest.splitn(3, ' ');
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("# TYPE missing name: {line}"))?;
+                    let kind = parts
+                        .next()
+                        .ok_or_else(|| format!("# TYPE missing kind: {line}"))?;
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("unknown family kind `{kind}`: {line}"));
+                    }
+                    if families
+                        .insert(name.to_string(), kind.to_string())
+                        .is_some()
+                    {
+                        return Err(format!("family `{name}` declared twice"));
+                    }
+                }
+                Some("HELP") => {
+                    if parts.next().is_none() {
+                        return Err(format!("# HELP missing name: {line}"));
+                    }
+                }
+                _ => return Err(format!("malformed comment line: {line}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("malformed comment line: {line}"));
+        }
+        let sample = parse_sample(line)?;
+        samples += 1;
+        // Resolve the sample to its declared family.
+        let family = if families.contains_key(&sample.name) {
+            sample.name.clone()
+        } else {
+            ["_bucket", "_sum", "_count", "_total"]
+                .iter()
+                .find_map(|suffix| {
+                    let base = sample.name.strip_suffix(suffix)?;
+                    match suffix {
+                        // `x_total` belongs to counter family `x_total`.
+                        &"_total" => families
+                            .contains_key(&format!("{base}_total"))
+                            .then(|| format!("{base}_total")),
+                        _ => {
+                            let kind = families.get(base)?;
+                            (kind == "histogram").then(|| base.to_string())
+                        }
+                    }
+                })
+                .ok_or_else(|| format!("sample `{}` has no declared family", sample.name))?
+        };
+        let kind = families.get(&family).expect("family resolved").clone();
+        if kind == "histogram" && sample.name.ends_with("_bucket") {
+            let le = sample
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("_bucket sample without le label: {line}"))?;
+            let le = parse_value(&le.1)?;
+            let series = buckets.entry(family.clone()).or_default();
+            if let Some(&(prev_le, prev_cum)) = series.last() {
+                if le <= prev_le {
+                    return Err(format!("bucket le not increasing in `{family}`"));
+                }
+                if sample.value < prev_cum {
+                    return Err(format!(
+                        "bucket counts not cumulative in `{family}`: {} after {prev_cum}",
+                        sample.value
+                    ));
+                }
+            }
+            series.push((le, sample.value));
+        } else if kind == "histogram" && sample.name.ends_with("_count") {
+            hist_counts.insert(family.clone(), sample.value);
+        }
+    }
+    if !saw_eof {
+        return Err("document not terminated by # EOF".to_string());
+    }
+    for (family, series) in &buckets {
+        let Some(&(last_le, last_cum)) = series.last() else {
+            continue;
+        };
+        if !last_le.is_infinite() {
+            return Err(format!("histogram `{family}` missing le=\"+Inf\" bucket"));
+        }
+        if let Some(&count) = hist_counts.get(family) {
+            if (last_cum - count).abs() > f64::EPSILON {
+                return Err(format!(
+                    "histogram `{family}` +Inf bucket {last_cum} != _count {count}"
+                ));
+            }
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn sanitize_rewrites_illegal_characters() {
+        assert_eq!(sanitize("serve.latency_us"), "serve_latency_us");
+        assert_eq!(sanitize("gemm/kernel"), "gemm_kernel");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("ok_name:x"), "ok_name:x");
+    }
+
+    #[test]
+    fn report_renders_and_validates() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.requests").add(42);
+        reg.gauge("serve.queue.depth").set(3.0);
+        let h = reg.histogram("serve.latency_us");
+        for v in [10.0, 100.0, 1000.0, 120.0] {
+            h.record(v);
+        }
+        reg.record_span("gemm/kernel", std::time::Duration::from_nanos(5000));
+        let mut ex = Exposition::new();
+        render_report(&reg.report(), &mut ex);
+        let text = ex.finish();
+        assert!(text.contains("# TYPE serve_requests_total counter"));
+        assert!(text.contains("serve_requests_total 42"));
+        assert!(text.contains("# TYPE serve_latency_us histogram"));
+        assert!(text.contains("serve_latency_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("serve_latency_us_count 4"));
+        assert!(text.contains("gemm_kernel_span_ns_total 5000"));
+        assert!(text.ends_with("# EOF\n"));
+        let n = validate(&text).expect("valid exposition");
+        assert!(n >= 8, "expected at least 8 samples, got {n}");
+    }
+
+    #[test]
+    fn validate_rejects_structural_violations() {
+        for (bad, why) in [
+            ("serve_x 1\n# EOF\n", "sample without family"),
+            ("# TYPE x widget\nx 1\n# EOF\n", "unknown kind"),
+            ("# TYPE x gauge\nx 1\n", "missing EOF"),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n# EOF\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_count 2\n# EOF\n",
+                "missing +Inf",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n# EOF\n",
+                "+Inf != count",
+            ),
+            (
+                "# TYPE x gauge\nx{le=\"oops} 1\n# EOF\n",
+                "unterminated label",
+            ),
+        ] {
+            assert!(validate(bad).is_err(), "accepted {why}: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn windowed_labels_roundtrip() {
+        let mut ex = Exposition::new();
+        ex.family("serve_latency_us_p99", "gauge", "windowed p99");
+        ex.sample(
+            "serve_latency_us_p99",
+            "",
+            &[("window", "10s".to_string())],
+            1234.5,
+        );
+        let text = ex.finish();
+        assert!(text.contains("serve_latency_us_p99{window=\"10s\"} 1234.5"));
+        validate(&text).expect("valid exposition");
+    }
+}

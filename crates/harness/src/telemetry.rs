@@ -1,0 +1,696 @@
+//! Live telemetry: a background sampler turning the snapshot-based
+//! [`MetricsRegistry`] into windowed time series, plus a hand-rolled
+//! HTTP scrape endpoint.
+//!
+//! Everything else in the observability stack is pull-on-demand: a
+//! bench bin decides when to call [`MetricsRegistry::report_since`] and
+//! dump JSON. A long-running server needs the opposite — someone
+//! outside the process asking "what is p99 *right now*". [`Telemetry`]
+//! closes that gap with three pieces, all on `std` only:
+//!
+//! 1. **Sampler.** A background thread polls the registry every
+//!    [`TelemetryOptions::tick`], pushing the per-tick
+//!    [`MetricsReport`] delta into a bounded ring. Counter deltas sum
+//!    into window rates, gauges keep last/min/max, and the log-bucket
+//!    [`HistogramSummary`] deltas merge losslessly
+//!    ([`HistogramSummary::merge`]) so p50/p90/p99 over 1s/10s/60s
+//!    sliding windows cost one bucket-array sum, not a re-sort. The
+//!    sampler instruments itself (`telemetry.tick_us`,
+//!    `telemetry.ticks`) into the same registry it polls.
+//! 2. **Scrape endpoint.** A `std::net::TcpListener` responder serving
+//!    `GET /metrics` (OpenMetrics text exposition via
+//!    [`crate::openmetrics`], cumulative families plus
+//!    `{window="..."}`-labelled rates and quantiles), `GET /healthz`,
+//!    and `GET /timeline` (the current [`Timeline`] ring as Chrome
+//!    Trace JSON, so Perfetto can attach to a live server).
+//! 3. **Window accessors.** [`Telemetry::counter_rate`],
+//!    [`Telemetry::gauge_window`] and [`Telemetry::histogram_window`]
+//!    expose the same aggregates in-process — this is what the serving
+//!    layer's SLO tracker reads.
+//!
+//! Telemetry is observe-only: it reads atomics the hot paths already
+//! maintain, so enabling it cannot change computed results (the
+//! differential tests in `mixgemm` pin this).
+//!
+//! [`MetricsRegistry`]: crate::metrics::MetricsRegistry
+//! [`MetricsRegistry::report_since`]: crate::metrics::MetricsRegistry::report_since
+
+use std::collections::VecDeque;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::metrics::{HistogramSummary, MetricsReport, MetricsSnapshot, Recorder};
+use crate::openmetrics::{self, Exposition};
+use crate::timeline::Timeline;
+
+/// The standard sliding windows exposed by the scrape endpoint:
+/// 1 s / 10 s / 60 s.
+pub const WINDOWS: [Duration; 3] = [
+    Duration::from_secs(1),
+    Duration::from_secs(10),
+    Duration::from_secs(60),
+];
+
+/// Configuration for [`Telemetry::start`].
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct TelemetryOptions {
+    /// Sampler period. Each tick captures one registry delta; windows
+    /// are assembled from whole ticks, so the tick is the aggregation
+    /// resolution. Default 100 ms.
+    pub tick: Duration,
+    /// Number of ticks retained in the ring. The default (1024) covers
+    /// the largest standard window (60 s) at the default tick with
+    /// headroom.
+    pub history: usize,
+    /// Port for the HTTP scrape endpoint; `None` disables HTTP
+    /// entirely, `Some(0)` binds an ephemeral port (see
+    /// [`Telemetry::local_addr`]).
+    pub http_port: Option<u16>,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        TelemetryOptions {
+            tick: Duration::from_millis(100),
+            history: 1024,
+            http_port: None,
+        }
+    }
+}
+
+impl TelemetryOptions {
+    /// Options with all defaults (100 ms tick, 1024-tick ring, no HTTP).
+    pub fn new() -> TelemetryOptions {
+        TelemetryOptions::default()
+    }
+
+    /// Sets the sampler period (clamped to ≥ 1 ms).
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.tick = tick.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Sets the ring length in ticks (clamped to ≥ 2).
+    pub fn history(mut self, ticks: usize) -> Self {
+        self.history = ticks.max(2);
+        self
+    }
+
+    /// Enables the HTTP scrape endpoint on `port` (0 = ephemeral).
+    pub fn http(mut self, port: u16) -> Self {
+        self.http_port = Some(port);
+        self
+    }
+}
+
+/// Windowed view of a gauge: newest sampled value plus the extremes
+/// over the window.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct GaugeWindow {
+    /// The most recently sampled value.
+    pub last: f64,
+    /// Minimum sampled value inside the window.
+    pub min: f64,
+    /// Maximum sampled value inside the window.
+    pub max: f64,
+}
+
+/// One sampler tick: the delta report covering `(at_ns - span_ns,
+/// at_ns]` relative to the telemetry epoch.
+#[derive(Clone, Debug)]
+struct TickSample {
+    at_ns: u64,
+    span_ns: u64,
+    report: MetricsReport,
+}
+
+#[derive(Default)]
+struct State {
+    prev: MetricsSnapshot,
+    ring: VecDeque<TickSample>,
+    last_at_ns: u64,
+    ticks: u64,
+}
+
+struct Shared {
+    registry: Recorder,
+    timeline: Option<Arc<Timeline>>,
+    opts: TelemetryOptions,
+    epoch: Instant,
+    state: Mutex<State>,
+    stop: Mutex<bool>,
+    stop_cv: Condvar,
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// One sampler tick: capture the registry delta since the previous
+    /// tick, push it into the ring, and record the sampler's own cost.
+    fn sample(&self) {
+        let t0 = Instant::now();
+        let at_ns = self.now_ns();
+        let snap = self.registry.snapshot();
+        let mut state = self.state.lock().expect("telemetry poisoned");
+        let report = self.registry.report_since(&state.prev);
+        state.prev = snap;
+        let span_ns = at_ns.saturating_sub(state.last_at_ns).max(1);
+        state.last_at_ns = at_ns;
+        state.ticks += 1;
+        state.ring.push_back(TickSample {
+            at_ns,
+            span_ns,
+            report,
+        });
+        while state.ring.len() > self.opts.history {
+            state.ring.pop_front();
+        }
+        drop(state);
+        self.registry.counter("telemetry.ticks").inc();
+        self.registry
+            .histogram("telemetry.tick_us")
+            .record(t0.elapsed().as_nanos() as f64 / 1_000.0);
+    }
+
+    /// Ticks whose delta falls inside `window` (ending at the newest
+    /// tick), oldest first, plus the covered duration in seconds.
+    fn window_ticks(&self, window: Duration) -> (Vec<TickSample>, f64) {
+        let state = self.state.lock().expect("telemetry poisoned");
+        let Some(newest) = state.ring.back() else {
+            return (Vec::new(), 0.0);
+        };
+        let horizon = newest.at_ns.saturating_sub(window.as_nanos() as u64);
+        let mut picked: Vec<TickSample> = state
+            .ring
+            .iter()
+            .rev()
+            .take_while(|t| t.at_ns > horizon)
+            .cloned()
+            .collect();
+        picked.reverse();
+        let covered_ns: u64 = picked.iter().map(|t| t.span_ns).sum();
+        (picked, covered_ns as f64 / 1e9)
+    }
+
+    fn counter_rate(&self, name: &str, window: Duration) -> Option<f64> {
+        let (ticks, covered) = self.window_ticks(window);
+        if ticks.is_empty() || covered <= 0.0 {
+            return None;
+        }
+        let total: u64 = ticks
+            .iter()
+            .map(|t| {
+                t.report
+                    .counters
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map_or(0, |(_, v)| *v)
+            })
+            .sum();
+        Some(total as f64 / covered)
+    }
+
+    fn gauge_window(&self, name: &str, window: Duration) -> Option<GaugeWindow> {
+        let (ticks, _) = self.window_ticks(window);
+        let mut out: Option<GaugeWindow> = None;
+        for t in &ticks {
+            let Some((_, v)) = t.report.gauges.iter().find(|(k, _)| k == name) else {
+                continue;
+            };
+            out = Some(match out {
+                None => GaugeWindow {
+                    last: *v,
+                    min: *v,
+                    max: *v,
+                },
+                Some(w) => GaugeWindow {
+                    last: *v,
+                    min: w.min.min(*v),
+                    max: w.max.max(*v),
+                },
+            });
+        }
+        out
+    }
+
+    fn histogram_window(&self, name: &str, window: Duration) -> Option<HistogramSummary> {
+        let (ticks, _) = self.window_ticks(window);
+        let mut merged: Option<HistogramSummary> = None;
+        for t in &ticks {
+            let Some((_, h)) = t.report.histograms.iter().find(|(k, _)| k == name) else {
+                continue;
+            };
+            match merged.as_mut() {
+                None => merged = Some(*h),
+                Some(m) => m.merge(h),
+            }
+        }
+        merged
+    }
+
+    /// Renders the full exposition document: cumulative families, then
+    /// `{window="1s"|"10s"|"60s"}`-labelled windowed series — counter
+    /// rates (`<name>_rate`), gauge extremes (`<name>_min`/`_max`),
+    /// histogram quantiles (`<name>_p50`/`_p90`/`_p99`) and windowed
+    /// sample rates (`<name>_rate`).
+    fn render_exposition(&self) -> String {
+        let mut ex = Exposition::new();
+        let cumulative = self.registry.report();
+        openmetrics::render_report(&cumulative, &mut ex);
+        let labels: Vec<(Duration, String)> = WINDOWS
+            .iter()
+            .map(|w| (*w, format!("{}s", w.as_secs())))
+            .collect();
+        for (k, _) in &cumulative.counters {
+            let name = format!("{}_rate", openmetrics::sanitize(k));
+            ex.family(&name, "gauge", "windowed counter rate per second");
+            for (window, label) in &labels {
+                if let Some(rate) = self.counter_rate(k, *window) {
+                    ex.sample(&name, "", &[("window", label.clone())], rate);
+                }
+            }
+        }
+        for (k, _) in &cumulative.gauges {
+            let base = openmetrics::sanitize(k);
+            let min_name = format!("{base}_min");
+            let max_name = format!("{base}_max");
+            ex.family(&min_name, "gauge", "windowed gauge minimum");
+            ex.family(&max_name, "gauge", "windowed gauge maximum");
+            for (window, label) in &labels {
+                if let Some(w) = self.gauge_window(k, *window) {
+                    ex.sample(&min_name, "", &[("window", label.clone())], w.min);
+                    ex.sample(&max_name, "", &[("window", label.clone())], w.max);
+                }
+            }
+        }
+        for (k, _) in &cumulative.histograms {
+            let base = openmetrics::sanitize(k);
+            for (suffix, q) in [("_p50", 0.50), ("_p90", 0.90), ("_p99", 0.99)] {
+                let name = format!("{base}{suffix}");
+                ex.family(&name, "gauge", "windowed histogram quantile");
+                for (window, label) in &labels {
+                    if let Some(h) = self.histogram_window(k, *window) {
+                        if h.count > 0 {
+                            ex.sample(&name, "", &[("window", label.clone())], h.quantile(q));
+                        }
+                    }
+                }
+            }
+            let name = format!("{base}_rate");
+            ex.family(&name, "gauge", "windowed histogram samples per second");
+            for (window, label) in &labels {
+                let (ticks, covered) = self.window_ticks(*window);
+                if covered <= 0.0 {
+                    continue;
+                }
+                let total: u64 = ticks
+                    .iter()
+                    .map(|t| {
+                        t.report
+                            .histograms
+                            .iter()
+                            .find(|(hk, _)| hk == k)
+                            .map_or(0, |(_, h)| h.count)
+                    })
+                    .sum();
+                if total > 0 {
+                    ex.sample(
+                        &name,
+                        "",
+                        &[("window", label.clone())],
+                        total as f64 / covered,
+                    );
+                }
+            }
+        }
+        ex.finish()
+    }
+
+    fn timeline_json(&self) -> Json {
+        match &self.timeline {
+            Some(tl) => tl.to_chrome_trace(),
+            None => Json::obj().field("traceEvents", Json::Arr(Vec::new())),
+        }
+    }
+}
+
+/// Handle to a running telemetry layer. Dropping it stops the sampler
+/// and HTTP threads (joining both).
+pub struct Telemetry {
+    shared: Arc<Shared>,
+    addr: Option<SocketAddr>,
+    sampler: Option<JoinHandle<()>>,
+    http: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("tick", &self.shared.opts.tick)
+            .field("history", &self.shared.opts.history)
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// Starts the sampler (and, when [`TelemetryOptions::http_port`] is
+    /// set, the HTTP responder) over `registry`. `timeline`, when
+    /// given, backs the `/timeline` endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the HTTP port cannot be opened; the
+    /// sampler is not started in that case.
+    pub fn start(
+        registry: Recorder,
+        timeline: Option<Arc<Timeline>>,
+        opts: TelemetryOptions,
+    ) -> std::io::Result<Telemetry> {
+        let shared = Arc::new(Shared {
+            epoch: Instant::now(),
+            state: Mutex::new(State {
+                prev: registry.snapshot(),
+                ..State::default()
+            }),
+            registry,
+            timeline,
+            opts: opts.clone(),
+            stop: Mutex::new(false),
+            stop_cv: Condvar::new(),
+            stopping: AtomicBool::new(false),
+        });
+        let (addr, http) = match opts.http_port {
+            Some(port) => {
+                let listener = TcpListener::bind(("127.0.0.1", port))?;
+                let addr = listener.local_addr()?;
+                let shared = shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name("telemetry-http".to_string())
+                    .spawn(move || http_loop(&shared, listener))
+                    .expect("spawn telemetry http thread");
+                (Some(addr), Some(handle))
+            }
+            None => (None, None),
+        };
+        let sampler = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("telemetry-sampler".to_string())
+                .spawn(move || sampler_loop(&shared))
+                .expect("spawn telemetry sampler thread")
+        };
+        Ok(Telemetry {
+            shared,
+            addr,
+            sampler: Some(sampler),
+            http,
+        })
+    }
+
+    /// The bound scrape address, when HTTP is enabled.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Number of sampler ticks taken so far.
+    pub fn ticks(&self) -> u64 {
+        self.shared.state.lock().expect("telemetry poisoned").ticks
+    }
+
+    /// Takes one sampler tick immediately, without waiting for the
+    /// period — lets tests and scrape-time refreshes drive the ring
+    /// deterministically.
+    pub fn sample_now(&self) {
+        self.shared.sample();
+    }
+
+    /// The counter's per-second rate over the trailing `window`
+    /// (deltas summed over the ticks in the window, divided by the
+    /// duration those ticks actually covered). `None` until at least
+    /// one tick exists.
+    pub fn counter_rate(&self, name: &str, window: Duration) -> Option<f64> {
+        self.shared.counter_rate(name, window)
+    }
+
+    /// Last/min/max of the gauge over the trailing `window`. `None`
+    /// when the gauge was never sampled inside the window.
+    pub fn gauge_window(&self, name: &str, window: Duration) -> Option<GaugeWindow> {
+        self.shared.gauge_window(name, window)
+    }
+
+    /// The histogram's deltas merged over the trailing `window`
+    /// ([`HistogramSummary::merge`] over the ticks inside it), giving
+    /// windowed count/sum/quantiles. `None` when no tick in the window
+    /// recorded the histogram.
+    pub fn histogram_window(&self, name: &str, window: Duration) -> Option<HistogramSummary> {
+        self.shared.histogram_window(name, window)
+    }
+
+    /// Renders the full OpenMetrics exposition document — what
+    /// `GET /metrics` serves (see [`crate::openmetrics`] for format
+    /// details).
+    pub fn render_openmetrics(&self) -> String {
+        self.shared.render_exposition()
+    }
+
+    /// The `/timeline` payload: the attached [`Timeline`] as Chrome
+    /// Trace JSON, or an empty `traceEvents` document when no timeline
+    /// is attached.
+    pub fn timeline_json(&self) -> Json {
+        self.shared.timeline_json()
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        {
+            let mut stop = self.shared.stop.lock().expect("telemetry poisoned");
+            *stop = true;
+            self.shared.stop_cv.notify_all();
+        }
+        if let Some(handle) = self.sampler.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.http.take() {
+            // Unblock the accept loop with a throwaway connection.
+            if let Some(addr) = self.addr {
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+fn sampler_loop(shared: &Shared) {
+    let mut stop = shared.stop.lock().expect("telemetry poisoned");
+    loop {
+        if *stop {
+            return;
+        }
+        let (guard, _timeout) = shared
+            .stop_cv
+            .wait_timeout(stop, shared.opts.tick)
+            .expect("telemetry poisoned");
+        stop = guard;
+        if *stop {
+            return;
+        }
+        drop(stop);
+        shared.sample();
+        stop = shared.stop.lock().expect("telemetry poisoned");
+    }
+}
+
+/// Minimal HTTP/1.1 GET responder: one request per connection,
+/// `Connection: close`. Scrapes are rare (~1/s) and responses small,
+/// so serving inline on the accept thread keeps the responder trivial.
+fn http_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = handle_conn(shared, stream);
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the header terminator (or 8 KiB cap); the body of a
+    // GET is ignored.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("GET"), Some(path)) => Some(path.to_string()),
+                _ => None,
+            }
+        })
+        .unwrap_or_default();
+    shared.registry.counter("telemetry.http.requests").inc();
+    let (status, content_type, body) = match path.split('?').next().unwrap_or("") {
+        "/metrics" => {
+            // Refresh the ring so a scrape right after activity sees it
+            // even between sampler ticks.
+            shared.sample();
+            (
+                "200 OK",
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                shared.render_exposition(),
+            )
+        }
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/timeline" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            shared.timeline_json().pretty(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn registry() -> Recorder {
+        Arc::new(MetricsRegistry::new())
+    }
+
+    // A huge tick keeps the background sampler quiet so tests drive the
+    // ring deterministically via sample_now().
+    fn manual_opts() -> TelemetryOptions {
+        TelemetryOptions::new().tick(Duration::from_secs(3600))
+    }
+
+    #[test]
+    fn sampler_windows_aggregate_counters_gauges_histograms() {
+        let reg = registry();
+        let tel = Telemetry::start(reg.clone(), None, manual_opts()).expect("start telemetry");
+        reg.counter("work.items").add(100);
+        reg.gauge("depth").set(4.0);
+        let h = reg.histogram("lat_us");
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            h.record(v);
+        }
+        tel.sample_now();
+        reg.counter("work.items").add(50);
+        reg.gauge("depth").set(9.0);
+        h.record(1000.0);
+        tel.sample_now();
+        assert!(tel.ticks() >= 2);
+        let w = Duration::from_secs(60);
+        let rate = tel.counter_rate("work.items", w).expect("rate");
+        assert!(rate > 0.0, "rate {rate}");
+        let g = tel.gauge_window("depth", w).expect("gauge window");
+        assert_eq!(g.last, 9.0);
+        assert_eq!(g.min, 4.0);
+        assert_eq!(g.max, 9.0);
+        let merged = tel.histogram_window("lat_us", w).expect("histogram window");
+        assert_eq!(merged.count, 5);
+        assert!(merged.max >= 1000.0);
+        // Sampler self-instrumentation lands in the registry.
+        assert!(reg.report().counter("telemetry.ticks") >= 2);
+    }
+
+    #[test]
+    fn ring_is_bounded_by_history() {
+        let reg = registry();
+        let tel =
+            Telemetry::start(reg.clone(), None, manual_opts().history(4)).expect("start telemetry");
+        for i in 0..10 {
+            reg.counter("c").add(i + 1);
+            tel.sample_now();
+        }
+        let ring_len = tel.shared.state.lock().unwrap().ring.len();
+        assert!(ring_len <= 4, "ring grew to {ring_len}");
+        assert_eq!(tel.ticks(), 10);
+    }
+
+    #[test]
+    fn exposition_is_valid_and_windowed() {
+        let reg = registry();
+        let tel = Telemetry::start(reg.clone(), None, manual_opts()).expect("start telemetry");
+        reg.counter("serve.requests").add(7);
+        reg.histogram("serve.latency_us").record(123.0);
+        tel.sample_now();
+        let text = tel.render_openmetrics();
+        crate::openmetrics::validate(&text).expect("valid exposition");
+        assert!(text.contains("serve_requests_total 7"));
+        assert!(text.contains("serve_requests_rate{window=\"1s\"}"));
+        assert!(text.contains("serve_latency_us_p99{window=\"60s\"}"));
+    }
+
+    #[test]
+    fn http_endpoints_serve_metrics_healthz_timeline() {
+        let reg = registry();
+        let timeline = Arc::new(Timeline::new());
+        timeline.instant("probe", None);
+        let tel = Telemetry::start(reg.clone(), Some(timeline), manual_opts().http(0))
+            .expect("start telemetry");
+        reg.counter("serve.requests").add(3);
+        let addr = tel.local_addr().expect("http addr");
+        let get = |path: &str| -> (String, String) {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            stream.read_to_string(&mut out).expect("read response");
+            let split = out.find("\r\n\r\n").expect("header terminator");
+            let (head, body) = out.split_at(split);
+            (head.to_string(), body[4..].to_string())
+        };
+        let (head, body) = get("/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        crate::openmetrics::validate(&body).expect("scrape is valid exposition");
+        assert!(body.contains("serve_requests_total 3"));
+        let (head, body) = get("/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+        let (head, body) = get("/timeline");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let json = Json::parse(&body).expect("timeline parses");
+        assert!(json.get("traceEvents").is_some());
+        let (head, _) = get("/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+}

@@ -294,9 +294,35 @@ impl Timeline {
     /// fractional), `pid`, `tid` and `args` (with `trace_id` when the
     /// event belongs to a request). Serialize with [`Json::pretty`] and
     /// load the file in `chrome://tracing` or Perfetto.
+    ///
+    /// When the ring has evicted events, the export would otherwise
+    /// silently start mid-stream — so a `timeline/truncated` instant is
+    /// prepended at the first retained timestamp, carrying the
+    /// [`Timeline::dropped`] count and that timestamp under `args`, and
+    /// the top-level `droppedEvents` field repeats the count.
     pub fn to_chrome_trace(&self) -> Json {
         let events = self.events();
-        let mut arr = Vec::with_capacity(events.len());
+        let dropped = self.dropped();
+        let mut arr = Vec::with_capacity(events.len() + 1);
+        if dropped > 0 {
+            let first_retained_ns = events.first().map_or_else(|| self.now_ns(), |e| e.ts_ns);
+            arr.push(
+                Json::obj()
+                    .field("name", "timeline/truncated")
+                    .field("ph", "i")
+                    .field("ts", first_retained_ns as f64 / 1_000.0)
+                    .field("pid", 1u64)
+                    .field("tid", 0u64)
+                    // Global-scoped instant: the gap affects every track.
+                    .field("s", "g")
+                    .field(
+                        "args",
+                        Json::obj()
+                            .field("dropped_events", dropped)
+                            .field("first_retained_ts_ns", first_retained_ns),
+                    ),
+            );
+        }
         for e in events {
             let mut obj = Json::obj()
                 .field("name", e.name)
@@ -320,7 +346,7 @@ impl Timeline {
         Json::obj()
             .field("traceEvents", Json::Arr(arr))
             .field("displayTimeUnit", "ms")
-            .field("droppedEvents", self.dropped())
+            .field("droppedEvents", dropped)
     }
 }
 
@@ -521,5 +547,45 @@ mod tests {
         assert!(doc.contains("\"tid\""));
         assert!(doc.contains("\"trace_id\""));
         assert!(doc.contains("\"cycles\": 42"));
+        // No eviction happened, so no truncation marker is emitted.
+        assert!(!doc.contains("timeline/truncated"));
+    }
+
+    #[test]
+    fn chrome_trace_marks_truncation_after_eviction() {
+        let tl = Timeline::with_capacity(3);
+        for i in 0..8u64 {
+            tl.push(format!("e{i}"), Phase::Instant, None, Vec::new());
+        }
+        let doc = tl.to_chrome_trace();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).expect("arr");
+        // Marker + the 3 retained events.
+        assert_eq!(events.len(), 4);
+        let marker = &events[0];
+        assert_eq!(
+            marker.get("name").and_then(Json::as_str),
+            Some("timeline/truncated")
+        );
+        assert_eq!(
+            marker
+                .get("args")
+                .and_then(|a| a.get("dropped_events"))
+                .and_then(Json::as_f64),
+            Some(5.0)
+        );
+        let first_retained = tl.events()[0].ts_ns;
+        assert_eq!(
+            marker
+                .get("args")
+                .and_then(|a| a.get("first_retained_ts_ns"))
+                .and_then(Json::as_f64),
+            Some(first_retained as f64)
+        );
+        // The marker sits at (not after) the first retained timestamp.
+        assert_eq!(
+            marker.get("ts").and_then(Json::as_f64),
+            Some(first_retained as f64 / 1_000.0)
+        );
+        assert_eq!(doc.get("droppedEvents").and_then(Json::as_f64), Some(5.0));
     }
 }

@@ -40,6 +40,12 @@ impl ActivityProfile {
             * 1e-12
     }
 
+    /// Total energy in picojoules — the integer-friendly unit the
+    /// serving layer uses for per-request attribution counters.
+    pub fn energy_pj(&self) -> f64 {
+        self.busy_cycles as f64 * ACTIVE_PJ_PER_CYCLE + self.total_cycles as f64 * IDLE_PJ_PER_CYCLE
+    }
+
     /// Average power in watts.
     pub fn power_w(&self) -> f64 {
         if self.total_cycles == 0 {

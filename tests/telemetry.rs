@@ -1,0 +1,188 @@
+//! Cross-crate invariants of the live telemetry layer: attaching the
+//! background sampler and scrape endpoint never changes a computed
+//! result, the endpoint serves a valid OpenMetrics document for both
+//! idle and loaded servers, and the serving SLO tracker's gauges are
+//! visible through a scrape.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mixgemm::api::Session;
+use mixgemm::gemm::QuantMatrix;
+use mixgemm::harness::openmetrics;
+use mixgemm::harness::telemetry::TelemetryOptions;
+use mixgemm::harness::timeline::Timeline;
+use mixgemm::serve::{GemmRequest, ServeOptions};
+use mixgemm::{PrecisionConfig, SloPolicy};
+
+fn mat(rows: usize, cols: usize, op: mixgemm::OperandType, seed: usize) -> QuantMatrix {
+    QuantMatrix::from_fn(rows, cols, op, |r, c| {
+        let span = (op.max_value() - op.min_value() + 1) as i64;
+        (op.min_value() as i64 + ((r * 31 + c * 7 + seed) as i64 % span)) as i32
+    })
+}
+
+fn batch(copies: usize) -> Vec<GemmRequest> {
+    let mut out = Vec::new();
+    for (pc, m, k, n) in [
+        (PrecisionConfig::A8W8, 16, 64, 16),
+        (PrecisionConfig::A4W4, 24, 96, 24),
+    ] {
+        let (oa, ow) = pc.operand_types();
+        let weights = Arc::new(mat(k, n, ow, k + n));
+        for i in 0..copies {
+            let a = Arc::new(mat(m, k, oa, m + i));
+            out.push(GemmRequest::new(a, weights.clone()).with_precision(pc));
+        }
+    }
+    out
+}
+
+/// Minimal HTTP/1.1 GET; returns (status, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect scrape endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn telemetry_never_changes_results() {
+    // Property: the C matrices computed with the sampler and scrape
+    // endpoint attached are bit-identical to a bare session's, for the
+    // direct path and the batched serving path alike.
+    let opts = ServeOptions::builder()
+        .workers(2)
+        .slo(SloPolicy::new(10_000_000.0))
+        .build();
+
+    let bare = Session::builder().precision(PrecisionConfig::A4W4).build();
+    let reference = bare.run_batch_opts(batch(4), &opts);
+
+    let sampled = Session::builder()
+        .precision(PrecisionConfig::A4W4)
+        .telemetry(
+            TelemetryOptions::new()
+                .tick(Duration::from_millis(5))
+                .http(0),
+        )
+        .build();
+    assert!(
+        sampled.telemetry().is_some(),
+        "builder must attach the telemetry handle"
+    );
+    let observed = sampled.run_batch_opts(batch(4), &opts);
+
+    assert_eq!(reference.results.len(), observed.results.len());
+    for (r, o) in reference.results.iter().zip(&observed.results) {
+        let (r, o) = (r.as_ref().unwrap(), o.as_ref().unwrap());
+        assert_eq!(r.c, o.c, "telemetry must not perturb results");
+        assert_eq!(r.report.cycles, o.report.cycles);
+    }
+}
+
+#[test]
+fn idle_server_scrape_is_valid() {
+    // A paused server — telemetry attached, zero requests served — must
+    // still answer /metrics with a well-formed exposition and /healthz
+    // with ok. Monitoring must not require traffic.
+    let session = Session::builder()
+        .precision(PrecisionConfig::A4W4)
+        .telemetry(
+            TelemetryOptions::new()
+                .tick(Duration::from_millis(10))
+                .http(0),
+        )
+        .build();
+    let server = session.serve(
+        ServeOptions::builder()
+            .workers(1)
+            .start_paused(true)
+            .slo(SloPolicy::new(10_000_000.0))
+            .build(),
+    );
+    // One evaluation over the empty window publishes the SLO gauges so
+    // dashboards see burn 0, not a missing series.
+    server.slo().expect("tracker configured").evaluate_now();
+    let addr = session
+        .telemetry()
+        .expect("telemetry attached")
+        .local_addr()
+        .expect("http endpoint bound");
+
+    let (status, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    openmetrics::validate(&body).expect("idle exposition must be valid");
+    assert!(
+        body.contains("serve_slo_burn_rate 0"),
+        "paused server must publish a zero burn rate"
+    );
+    let (status, health) = http_get(addr, "/healthz");
+    assert_eq!((status, health.trim()), (200, "ok"));
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, 404, "unknown paths must 404");
+}
+
+#[test]
+fn loaded_server_scrape_exposes_slo_and_attribution() {
+    let session = Session::builder()
+        .precision(PrecisionConfig::A4W4)
+        .timeline(Arc::new(Timeline::new()))
+        .telemetry(
+            TelemetryOptions::new()
+                .tick(Duration::from_millis(10))
+                .http(0),
+        )
+        .build();
+    let server = session.serve(
+        ServeOptions::builder()
+            .workers(2)
+            .slo(SloPolicy::new(10_000_000.0))
+            .build(),
+    );
+    let tickets: Vec<_> = batch(4)
+        .into_iter()
+        .map(|r| server.submit(r).expect("submit"))
+        .collect();
+    for t in tickets {
+        t.wait().expect("request succeeds");
+    }
+    server.slo().expect("tracker configured").evaluate_now();
+
+    let addr = session
+        .telemetry()
+        .expect("telemetry attached")
+        .local_addr()
+        .expect("http endpoint bound");
+    let (status, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    openmetrics::validate(&body).expect("loaded exposition must be valid");
+    for needle in [
+        "# TYPE serve_latency_us histogram",
+        "serve_slo_burn_rate",
+        // 24x96x24 buckets to the next power of two per dimension.
+        "serve_attr_a4_w4_32x128x32_requests_total",
+        "serve_attr_a4_w4_32x128x32_energy_pj_total",
+    ] {
+        assert!(body.contains(needle), "exposition missing `{needle}`");
+    }
+    let (status, tl) = http_get(addr, "/timeline");
+    assert_eq!(status, 200);
+    assert!(tl.contains("traceEvents") && tl.contains("serve/complete"));
+}
