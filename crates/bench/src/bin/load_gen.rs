@@ -86,6 +86,25 @@ fn traffic_mix() -> Vec<MixEntry> {
             n: 8,
             weight: 3,
         },
+        // Decode-regime requests: M = 1 single-token GEMMs shaped like
+        // an autoregressive transformer's per-step QKV projection
+        // (fat-N) and second FFN (fat-K), at the asymmetric precisions
+        // a decode plan assigns. These exercise the GEMV fast path
+        // under open-loop load alongside the batch-like layers above.
+        MixEntry {
+            precision: PrecisionConfig::A8W4,
+            m: 1,
+            k: 96,
+            n: 288,
+            weight: 3,
+        },
+        MixEntry {
+            precision: PrecisionConfig::A4W8,
+            m: 1,
+            k: 384,
+            n: 96,
+            weight: 2,
+        },
     ]
 }
 

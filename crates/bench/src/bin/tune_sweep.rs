@@ -39,6 +39,20 @@ const SHAPES: [(usize, usize, usize); 7] = [
     (256, 256, 256),
 ];
 
+/// Decode-regime shape classes: the `M = 1..8` skinny GEMMs an
+/// autoregressive transformer emits per generated token (GPT-2-small
+/// QKV / output-projection / FFN dimensions, plus one per-head
+/// attention GEMM at a ~64-token context). Kept disjoint from the
+/// serving buckets above after power-of-two bucketing so every class
+/// appears once in the artifact.
+const DECODE_SHAPES: [(usize, usize, usize); 5] = [
+    (1, 768, 2304),
+    (2, 768, 3072),
+    (4, 3072, 768),
+    (8, 768, 768),
+    (1, 64, 64),
+];
+
 const PRECISIONS: [PrecisionConfig; 5] = [
     PrecisionConfig::A8W8,
     PrecisionConfig::A4W8,
@@ -57,6 +71,7 @@ fn main() {
     let soc = presets::sargantana();
     let shapes: Vec<GemmDims> = SHAPES
         .iter()
+        .chain(DECODE_SHAPES.iter())
         .map(|&(m, k, n)| GemmDims::new(m, k, n))
         .collect();
 
@@ -71,7 +86,12 @@ fn main() {
 
     let mut grid = Vec::new();
     let mut best_skinny: (f64, String) = (1.0, String::new());
-    for &(m, k, n) in &SHAPES {
+    let mut best_decode: (f64, String) = (1.0, String::new());
+    let tagged = SHAPES
+        .iter()
+        .map(|s| (s, false))
+        .chain(DECODE_SHAPES.iter().map(|s| (s, true)));
+    for (&(m, k, n), decode) in tagged {
         let class = ShapeClass::of(GemmDims::new(m, k, n));
         let rep = class.representative();
         let macs = (rep.m * rep.k * rep.n) as f64;
@@ -84,6 +104,9 @@ fn main() {
             if skinny && speedup > best_skinny.0 {
                 best_skinny = (speedup, format!("{class} {precision}"));
             }
+            if decode && speedup > best_decode.0 {
+                best_decode = (speedup, format!("{class} {precision}"));
+            }
             println!(
                 "{class} {precision}: default {:>7.2} GOPS -> tuned {:>7.2} GOPS ({speedup:.3}x)  [{}]",
                 default_gops, tuned_gops, entry.params
@@ -94,6 +117,7 @@ fn main() {
                     .field("k", class.k)
                     .field("n", class.n)
                     .field("precision", precision.to_string())
+                    .field("decode_regime", decode)
                     .field("default_cycles", entry.default_score)
                     .field("tuned_cycles", entry.score)
                     .field("default_gops", default_gops)
@@ -147,6 +171,7 @@ fn main() {
         .field("target", soc.name)
         .field("quick", quick)
         .field("best_skinny_speedup", best_skinny.0)
+        .field("best_decode_speedup", best_decode.0)
         .field("grid", Json::Arr(grid))
         .field(
             "host_measured",
@@ -168,5 +193,18 @@ fn main() {
         best_skinny.0 >= 1.1,
         "tuned blocking only reached {:.3}x on skinny shapes (need >= 1.1x)",
         best_skinny.0
+    );
+
+    // Decode-bin gate: the M = 1..8 transformer decode classes must
+    // also see a tuned win — these are the shapes the autoregressive
+    // serving path hits on every generated token.
+    println!(
+        "best decode-regime speedup: {:.3}x on {} (gate: >= 1.1x)",
+        best_decode.0, best_decode.1
+    );
+    assert!(
+        best_decode.0 >= 1.1,
+        "tuned blocking only reached {:.3}x on decode-regime shapes (need >= 1.1x)",
+        best_decode.0
     );
 }

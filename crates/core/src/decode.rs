@@ -1,0 +1,107 @@
+//! Autoregressive transformer decode through the serving scheduler.
+//!
+//! The decode loop is the skinny-GEMM regime Mix-GEMM's packing is most
+//! stressed by: per generated token, every decoder block issues one
+//! `M = 1` QKV projection, `2 · n_heads` attention GEMMs against the
+//! quantized KV-cache, an output projection and two FFN GEMMs. This
+//! module routes all of them through [`crate::serve::Server`] via
+//! [`ServerExec`], so continuous batching, deadline-aware admission,
+//! SLO burn-rate tracking and per-(precision, shape-class) attribution
+//! apply to transformer serving exactly as they do to raw GEMM traffic.
+//!
+//! Results are bit-identical to the in-process
+//! [`transformer::DirectExec`] path — the serving layer's existing
+//! serve ≡ run contract extends to every decode GEMM, and
+//! `tests/transformer.rs` pins decode-through-the-server against the
+//! cache-free full-attention oracle at every step.
+
+use std::sync::Arc;
+
+use mixgemm_binseg::PrecisionConfig;
+use mixgemm_dnn::kvcache::KvCache;
+use mixgemm_dnn::transformer::{self, GemmExec, TransformerModel};
+use mixgemm_dnn::DnnError;
+use mixgemm_gemm::QuantMatrix;
+
+use crate::serve::{GemmRequest, Server};
+
+/// A [`GemmExec`] that submits every transformer GEMM to a serving
+/// [`Server`] and waits its ticket. Weight/KV operands arrive as
+/// [`Arc`]s, so the server's packed-operand cache amortizes packing
+/// across decode steps and concurrent streams.
+pub struct ServerExec<'a> {
+    server: &'a Server,
+}
+
+impl<'a> ServerExec<'a> {
+    /// Wraps a running server.
+    pub fn new(server: &'a Server) -> Self {
+        ServerExec { server }
+    }
+}
+
+impl GemmExec for ServerExec<'_> {
+    fn gemm(
+        &self,
+        a: QuantMatrix,
+        b: Arc<QuantMatrix>,
+        precision: PrecisionConfig,
+    ) -> Result<Vec<i64>, DnnError> {
+        let request = GemmRequest::new(Arc::new(a), b).with_precision(precision);
+        let ticket = self
+            .server
+            .submit(request)
+            .map_err(|e| DnnError::Transformer {
+                detail: format!("decode GEMM submit failed: {e}"),
+            })?;
+        let served = ticket.wait().map_err(|e| DnnError::Transformer {
+            detail: format!("decode GEMM failed in serve: {e}"),
+        })?;
+        Ok(served.c)
+    }
+}
+
+/// The result of one autoregressive run.
+#[derive(Clone, Debug)]
+pub struct DecodeRun {
+    /// Prompt length consumed by prefill.
+    pub prompt_len: usize,
+    /// Greedily decoded tokens, in generation order.
+    pub generated: Vec<u32>,
+    /// The final hidden state (absent only when both the prompt and the
+    /// generation budget are empty).
+    pub last_hidden: Option<Vec<f32>>,
+}
+
+/// Runs prefill over `prompt` then greedily decodes `gen` tokens, every
+/// GEMM flowing through `server`. An empty prompt starts generation
+/// from token 0 (the toy models' BOS stand-in).
+///
+/// # Errors
+///
+/// Propagates serving and transformer errors (including running past
+/// the model's maximum sequence length).
+pub fn decode_autoregressive(
+    server: &Server,
+    model: &TransformerModel,
+    cache: &mut KvCache,
+    prompt: &[u32],
+    gen: usize,
+) -> Result<DecodeRun, crate::Error> {
+    let exec = ServerExec::new(server);
+    let mut hidden = transformer::prefill(model, cache, prompt, &exec)?;
+    let mut generated = Vec::with_capacity(gen);
+    for _ in 0..gen {
+        let next = match &hidden {
+            Some(h) => model.greedy_next(h),
+            None => 0,
+        };
+        hidden = Some(transformer::decode_step(model, cache, next, &exec)?);
+        generated.push(next);
+    }
+    Ok(DecodeRun {
+        prompt_len: prompt.len(),
+        generated,
+        last_hidden: hidden,
+    })
+}

@@ -82,6 +82,7 @@ pub use mixgemm_uengine as uengine;
 pub use mixgemm_binseg::{BinSegConfig, DataSize, OperandType, PrecisionConfig, Signedness};
 
 pub mod api;
+pub mod decode;
 pub mod error;
 pub mod serve;
 pub mod slo;

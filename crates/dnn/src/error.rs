@@ -42,6 +42,13 @@ pub enum DnnError {
         /// Actual element count.
         actual: usize,
     },
+    /// A transformer decode/prefill invariant was violated (sequence
+    /// bound, vocabulary range, head geometry) or a serving executor
+    /// failed mid-stream.
+    Transformer {
+        /// Explanation.
+        detail: String,
+    },
     /// An error bubbled up from the GEMM layer.
     Gemm(mixgemm_gemm::GemmError),
     /// An error bubbled up from quantization or requantization.
@@ -74,6 +81,7 @@ impl fmt::Display for DnnError {
                     "tensor data of {actual} elements, shape implies {expected}"
                 )
             }
+            DnnError::Transformer { detail } => write!(f, "transformer error: {detail}"),
             DnnError::Gemm(e) => write!(f, "gemm error: {e}"),
             DnnError::Quant(e) => write!(f, "quant error: {e}"),
         }

@@ -1,0 +1,350 @@
+//! Quantized KV-cache for autoregressive transformer decode.
+//!
+//! Each decoder block stores, per attention head, the quantized K and V
+//! rows of every retained token:
+//!
+//! - **K** quantizes *per token* (absmax over the row) at the weight
+//!   width of the block's attention-score layer, with the scale stored
+//!   alongside — in the scores GEMM `Q Kᵀ` the cached rows are the B
+//!   operand's *columns*, so their per-token scales dequantize exactly
+//!   like per-channel weight scales;
+//! - **V** quantizes at a *static* per-block scale derived from an
+//!   offline calibration range ([`KvCacheConfig::v_absmax`]) at the
+//!   weight width of the block's attention-value layer. A static scale
+//!   is required for exactness: per-token V scales would not factor out
+//!   of the `P × V` contraction.
+//!
+//! Capacity is bounded: the cache retains a sliding window of the most
+//! recent [`KvCacheConfig::capacity`] tokens and evicts the oldest row
+//! from every (block, head) in lockstep when full. The differential
+//! oracle ([`crate::transformer::forward_reference`]) applies the same
+//! window as an attention mask, so eviction is also proven bit-exact.
+//!
+//! Counters track appended, reused (served-from-cache) and evicted
+//! tokens plus the packed byte footprint at the configured widths, and
+//! surface through [`KvCache::stats`] into `BENCH_decode.json`.
+
+use std::sync::Arc;
+
+use mixgemm_binseg::{muvec, OperandType};
+use mixgemm_gemm::QuantMatrix;
+use mixgemm_quant::calibrate;
+
+use crate::error::DnnError;
+use crate::transformer::{GemmRole, TransformerModel};
+
+/// Default static V calibration range when no offline profile exists:
+/// post-LayerNorm value projections at the zoo's weight magnitudes sit
+/// well inside ±4.
+pub const DEFAULT_V_ABSMAX: f32 = 4.0;
+
+/// KV-cache sizing and calibration.
+#[derive(Copy, Clone, Debug)]
+pub struct KvCacheConfig {
+    /// Maximum retained tokens per (block, head); older tokens evict in
+    /// sliding-window order.
+    pub capacity: usize,
+    /// Static absmax calibration range for V quantization.
+    pub v_absmax: f32,
+}
+
+impl KvCacheConfig {
+    /// A config with the given capacity and the default V range.
+    pub fn new(capacity: usize) -> Self {
+        KvCacheConfig {
+            capacity,
+            v_absmax: DEFAULT_V_ABSMAX,
+        }
+    }
+}
+
+/// Quantized K/V storage for one attention head: `rows × d_head`,
+/// oldest retained token first.
+struct HeadKv {
+    k: Vec<i32>,
+    k_scales: Vec<f32>,
+    v: Vec<i32>,
+}
+
+/// Per-block storage plus the block's quantization parameters, derived
+/// from the model's planned precisions at construction.
+struct BlockKv {
+    heads: Vec<HeadKv>,
+    k_op: OperandType,
+    v_op: OperandType,
+    v_scale: f32,
+}
+
+/// Cache observability counters and footprint.
+#[derive(Copy, Clone, Debug)]
+pub struct KvStats {
+    /// Tokens appended over the cache's lifetime.
+    pub appended_tokens: u64,
+    /// Cached tokens reused across all decode steps (per step, every
+    /// retained prior token is one reuse).
+    pub reused_tokens: u64,
+    /// Tokens evicted by the sliding window.
+    pub evicted_tokens: u64,
+    /// Tokens currently retained.
+    pub retained: usize,
+    /// Retention bound.
+    pub capacity: usize,
+    /// Packed K + V bytes across all blocks and heads at the stored
+    /// operand widths (binary-segmentation packing).
+    pub packed_bytes: u64,
+}
+
+/// A bounded, quantized KV-cache for one decode stream.
+pub struct KvCache {
+    d_head: usize,
+    capacity: usize,
+    blocks: Vec<BlockKv>,
+    next_pos: usize,
+    appended: u64,
+    reused: u64,
+    evicted: u64,
+}
+
+impl KvCache {
+    /// Builds an empty cache for `model`, sizing per-head storage and
+    /// deriving each block's K/V operand types from the model's planned
+    /// attention precisions (K at the scores layer's weight width, V at
+    /// the attention-value layer's weight width).
+    pub fn new(model: &TransformerModel, config: KvCacheConfig) -> Self {
+        let cfg = model.config();
+        let capacity = config.capacity.max(1);
+        let blocks = (0..cfg.n_layers)
+            .map(|b| {
+                let (_, k_op) = model.precision(b, GemmRole::Scores).operand_types();
+                let (_, v_op) = model.precision(b, GemmRole::AttnValue).operand_types();
+                BlockKv {
+                    heads: (0..cfg.n_heads)
+                        .map(|_| HeadKv {
+                            k: Vec::new(),
+                            k_scales: Vec::new(),
+                            v: Vec::new(),
+                        })
+                        .collect(),
+                    k_op,
+                    v_op,
+                    v_scale: static_v_scale(config.v_absmax, v_op),
+                }
+            })
+            .collect();
+        KvCache {
+            d_head: cfg.d_head(),
+            capacity,
+            blocks,
+            next_pos: 0,
+            appended: 0,
+            reused: 0,
+            evicted: 0,
+        }
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The absolute position the next appended token will occupy.
+    pub fn next_pos(&self) -> usize {
+        self.next_pos
+    }
+
+    /// Tokens currently retained (`min(next_pos, capacity)` once the
+    /// in-flight step's appends settle).
+    pub fn retained(&self) -> usize {
+        self.next_pos.min(self.capacity)
+    }
+
+    /// Retained tokens including the row appended by the in-flight
+    /// step — the context length `t` of that step's attention GEMMs.
+    pub fn retained_after_append(&self) -> usize {
+        (self.next_pos + 1).min(self.capacity)
+    }
+
+    /// True when no token has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.next_pos == 0
+    }
+
+    /// Appends one token's K and V rows for `(block, head)`, quantizing
+    /// per the block's stored operand types and evicting the oldest row
+    /// if the head is full.
+    ///
+    /// # Errors
+    ///
+    /// Rejects rows whose length differs from `d_head`.
+    pub(crate) fn append(
+        &mut self,
+        block: usize,
+        head: usize,
+        k_row: &[f32],
+        v_row: &[f32],
+    ) -> Result<(), DnnError> {
+        if k_row.len() != self.d_head || v_row.len() != self.d_head {
+            return Err(DnnError::Transformer {
+                detail: format!(
+                    "KV row length {}/{} does not match d_head {}",
+                    k_row.len(),
+                    v_row.len(),
+                    self.d_head
+                ),
+            });
+        }
+        let dh = self.d_head;
+        let cap = self.capacity;
+        let blk = &mut self.blocks[block];
+        let (kq, ks) = quantize_token_row(k_row, blk.k_op)?;
+        let vq = quantize_static_row(v_row, blk.v_op, blk.v_scale);
+        let h = &mut blk.heads[head];
+        if h.k_scales.len() == cap {
+            h.k.drain(..dh);
+            h.v.drain(..dh);
+            h.k_scales.remove(0);
+        }
+        h.k.extend_from_slice(&kq);
+        h.v.extend_from_slice(&vq);
+        h.k_scales.push(ks);
+        Ok(())
+    }
+
+    /// The cached K rows of `(block, head)` as the scores-GEMM B
+    /// operand (`d_head × t`, token-per-column) with per-token scales.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-construction errors.
+    pub(crate) fn k_matrix(
+        &self,
+        block: usize,
+        head: usize,
+    ) -> Result<(Arc<QuantMatrix>, Vec<f32>), DnnError> {
+        let blk = &self.blocks[block];
+        let h = &blk.heads[head];
+        let t = h.k_scales.len();
+        let dh = self.d_head;
+        let mut data = vec![0i32; dh * t];
+        for (tok, row) in h.k.chunks(dh).enumerate() {
+            for (i, &val) in row.iter().enumerate() {
+                data[i * t + tok] = val;
+            }
+        }
+        Ok((
+            Arc::new(QuantMatrix::new(dh, t, blk.k_op, data)?),
+            h.k_scales.clone(),
+        ))
+    }
+
+    /// The cached V rows of `(block, head)` as the attention-value
+    /// GEMM's B operand (`t × d_head`, token-per-row).
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-construction errors.
+    pub(crate) fn v_matrix(&self, block: usize, head: usize) -> Result<Arc<QuantMatrix>, DnnError> {
+        let blk = &self.blocks[block];
+        let h = &blk.heads[head];
+        let t = h.k_scales.len();
+        Ok(Arc::new(QuantMatrix::new(
+            t,
+            self.d_head,
+            blk.v_op,
+            h.v.clone(),
+        )?))
+    }
+
+    /// The static V dequantization scale of `block`.
+    pub(crate) fn v_scale(&self, block: usize) -> f32 {
+        self.blocks[block].v_scale
+    }
+
+    /// Commits the in-flight token: advances the position and updates
+    /// the reuse/eviction counters. Called once per decoded token after
+    /// every block's appends.
+    pub(crate) fn advance(&mut self) {
+        self.appended += 1;
+        self.reused += self.retained() as u64;
+        if self.next_pos >= self.capacity {
+            self.evicted += 1;
+        }
+        self.next_pos += 1;
+    }
+
+    /// Lifetime counters and the packed byte footprint.
+    pub fn stats(&self) -> KvStats {
+        let mut packed = 0u64;
+        for blk in &self.blocks {
+            for h in &blk.heads {
+                packed += muvec::bytes_for(blk.k_op, h.k.len()) as u64;
+                packed += muvec::bytes_for(blk.v_op, h.v.len()) as u64;
+            }
+        }
+        KvStats {
+            appended_tokens: self.appended,
+            reused_tokens: self.reused,
+            evicted_tokens: self.evicted,
+            retained: self.retained(),
+            capacity: self.capacity,
+            packed_bytes: packed,
+        }
+    }
+}
+
+/// The static V scale for a calibration range at `op`'s width.
+fn static_v_scale(v_absmax: f32, op: OperandType) -> f32 {
+    v_absmax / op.max_value() as f32
+}
+
+/// The static V scale at the default calibration range — used by the
+/// cache-free reference path so both paths quantize V identically.
+pub(crate) fn static_v_scale_default(op: OperandType) -> f32 {
+    static_v_scale(DEFAULT_V_ABSMAX, op)
+}
+
+/// Quantizes one token row by its own absmax at `op`, returning the
+/// values and the scale (1.0 for an all-zero row).
+pub(crate) fn quantize_token_row(
+    row: &[f32],
+    op: OperandType,
+) -> Result<(Vec<i32>, f32), DnnError> {
+    let q = calibrate::absmax_per_tensor(op, row)?;
+    Ok((q.quantize_slice(row)?, q.scale(0)))
+}
+
+/// Quantizes one row at a fixed symmetric scale, clamping to `op`'s
+/// representable range — shared by the cache's V storage and the
+/// reference path's V matrices.
+pub(crate) fn quantize_static_row(row: &[f32], op: OperandType, scale: f32) -> Vec<i32> {
+    let lo = op.min_value() as f32;
+    let hi = op.max_value() as f32;
+    row.iter()
+        .map(|&x| (x / scale).round().clamp(lo, hi) as i32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixgemm_binseg::{DataSize, OperandType};
+
+    #[test]
+    fn static_quantization_clamps_and_zeros() {
+        let op = OperandType::signed(DataSize::B8);
+        let scale = static_v_scale(4.0, op);
+        let q = quantize_static_row(&[0.0, 4.0, -4.0, 100.0, -100.0], op, scale);
+        assert_eq!(q[0], 0);
+        assert_eq!(q[1], op.max_value());
+        assert_eq!(q[3], op.max_value());
+        assert_eq!(q[4], op.min_value());
+    }
+
+    #[test]
+    fn token_row_quantization_is_zero_safe() {
+        let op = OperandType::unsigned(DataSize::B4);
+        let (q, s) = quantize_token_row(&[0.0, 0.0, 0.0], op).unwrap();
+        assert_eq!(q, vec![0, 0, 0]);
+        assert_eq!(s, 1.0);
+    }
+}

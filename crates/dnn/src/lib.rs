@@ -26,7 +26,11 @@
 //!   parallel fan-out over uncached shapes;
 //! - [`winograd`]: an exact integer F(2x2, 3x3) fast convolution, used to
 //!   demonstrate the §II-A claim that fast algorithms fit quantized
-//!   values poorly (restrictive applicability, inflated operand ranges).
+//!   values poorly (restrictive applicability, inflated operand ranges);
+//! - [`transformer`] + [`kvcache`]: GPT-style decoder workloads — QKV /
+//!   attention / FFN GEMMs with quantized KV-cached autoregressive
+//!   decode, bit-identical to full-attention recompute (the skinny-GEMM
+//!   regime where binary-segmentation packing overhead matters most).
 //!
 //! # Example
 //!
@@ -56,11 +60,13 @@
 mod error;
 mod graph;
 pub mod im2col;
+pub mod kvcache;
 mod layer;
 pub mod memory;
 pub mod runtime;
 pub mod simcache;
 mod tensor;
+pub mod transformer;
 pub mod winograd;
 pub mod zoo;
 

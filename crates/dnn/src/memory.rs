@@ -108,6 +108,20 @@ mod tests {
     }
 
     #[test]
+    fn transformer_parameter_counts_match_literature() {
+        use crate::transformer;
+        // GPT-2 small is 124,439,808 parameters with tied embeddings
+        // (Radford et al. 2019 report "124M").
+        let gpt2 = transformer::gpt2_small();
+        assert_eq!(gpt2.param_count(), 124_439_808);
+        assert!((gpt2.param_count() as f64 / 1e6 - 124.4).abs() < 0.1);
+        // The toy config is exact by construction: embeddings
+        // (256 + 64) · 32, two blocks of 12,704, final LayerNorm 64.
+        let tiny = transformer::tiny_gpt();
+        assert_eq!(tiny.param_count(), 35_712);
+    }
+
+    #[test]
     fn narrower_weights_shrink_the_model() {
         let net = zoo::resnet18();
         let at = |cfg: &str| {

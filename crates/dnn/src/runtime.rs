@@ -647,7 +647,7 @@ pub fn forward_quantized_batch(
 }
 
 /// Deterministic pseudo-random weights in `[-limit, limit]`.
-fn gen_weights(seed: u64, len: usize, limit: f32) -> Vec<f32> {
+pub(crate) fn gen_weights(seed: u64, len: usize, limit: f32) -> Vec<f32> {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     (0..len)
         .map(|_| {

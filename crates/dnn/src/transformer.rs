@@ -1,0 +1,935 @@
+//! Transformer decoder workloads on the quantized GEMM path.
+//!
+//! The zoo's CNNs lower convolutions to a handful of large GEMMs; a
+//! decoder-only transformer is the opposite regime — per generated
+//! token it issues *many small skinny* GEMMs (the "Cambrian Explosion"
+//! survey's framing of quantized LLM inference), which is exactly where
+//! binary-segmentation packing overhead matters most. This module
+//! defines that workload family end-to-end:
+//!
+//! - [`TransformerConfig`]: a GPT-style decoder stack (QKV projection,
+//!   per-head attention-score and attention-value GEMMs, output
+//!   projection, two FFN GEMMs per block) with literature-checked
+//!   parameter counting and GEMM-shape enumeration for both the
+//!   *prefill* (M = prompt length) and *decode* (M = 1) regimes;
+//! - [`TransformerModel`]: deterministically generated weights
+//!   (per-output-channel symmetric quantization, same §IV-A recipe as
+//!   the CNN runtime), pre-quantized once per planned layer precision
+//!   and shared as [`Arc`]s so serving streams amortize operand packing;
+//! - [`decode_step`] / [`prefill`]: autoregressive execution against a
+//!   quantized [`KvCache`], with every GEMM routed through a pluggable
+//!   [`GemmExec`] (the in-process kernel by default; the serving crate
+//!   implements it over the sharded scheduler);
+//! - [`forward_reference`]: a from-scratch full-attention recompute
+//!   with no cache, the differential oracle `tests/transformer.rs`
+//!   pins decode against bit-for-bit at every step.
+//!
+//! # Quantization boundaries (why cached decode is bit-identical)
+//!
+//! Bit-identity between incremental decode and full recompute holds
+//! because every data-dependent quantization decision is *per token*:
+//!
+//! - activations quantize per row (per token) by absmax, so a token's
+//!   quantized values do not depend on its batch neighbours;
+//! - cached K rows quantize per token with their scale stored alongside
+//!   — in the scores GEMM they are per-*column* scales of B, exactly
+//!   like per-channel weights, so dequantization stays exact;
+//! - cached V rows quantize with a *static* per-layer scale (an offline
+//!   calibration constant, [`crate::kvcache::KvCacheConfig::v_absmax`])
+//!   because per-token V scales would not factor out of the P × V
+//!   contraction;
+//! - softmax probabilities quantize with the fixed scale `1 / q_max`
+//!   (they live in `[0, 1]`), and masked entries quantize to exactly
+//!   zero, so integer GEMM contributions outside the causal window are
+//!   exactly zero.
+//!
+//! Integer GEMMs are exact at any blocking or parallelism, and both
+//! paths share the same f32 helper functions in the same evaluation
+//! order, so the remaining float glue agrees to the last bit.
+//!
+//! # Example
+//!
+//! ```
+//! use mixgemm_dnn::transformer::{self, DirectExec, TransformerModel};
+//! use mixgemm_dnn::kvcache::{KvCache, KvCacheConfig};
+//! use mixgemm_dnn::runtime::PrecisionPlan;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cfg = transformer::tiny_gpt();
+//! cfg.n_layers = 1; // keep the doctest cheap
+//! let plan = PrecisionPlan {
+//!     default: "a8-w8".parse()?,
+//!     pin_first_last: false,
+//!     overrides: Vec::new(),
+//! };
+//! let model = TransformerModel::new(cfg, &plan, 7)?;
+//! let mut cache = KvCache::new(&model, KvCacheConfig::new(16));
+//! let hidden = transformer::decode_step(&model, &mut cache, 3, &DirectExec)?;
+//! assert_eq!(hidden.len(), model.config().d_model);
+//! assert_eq!(cache.stats().appended_tokens, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use mixgemm_binseg::{OperandType, PrecisionConfig};
+use mixgemm_gemm::{GemmDims, GemmOptions, MixGemmKernel, QuantMatrix};
+use mixgemm_quant::calibrate;
+
+use crate::error::DnnError;
+use crate::kvcache::{quantize_static_row, quantize_token_row, KvCache};
+use crate::runtime::{gen_weights, PrecisionPlan};
+
+/// LayerNorm epsilon, shared by every normalization site.
+const LN_EPS: f32 = 1e-5;
+
+/// The planner's two transformer layer families: attention GEMMs are
+/// more quantization-sensitive than FFN GEMMs (KV-cache and attention
+/// logits amplify rounding error through softmax), so the per-layer
+/// (a,w) search treats them as distinct classes.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum LayerClass {
+    /// QKV projection, attention-score, attention-value and output
+    /// projection GEMMs.
+    Attention,
+    /// The two feed-forward GEMMs.
+    Ffn,
+}
+
+impl fmt::Display for LayerClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerClass::Attention => f.write_str("attention"),
+            LayerClass::Ffn => f.write_str("ffn"),
+        }
+    }
+}
+
+/// The six GEMM sites of one decoder block, in execution order.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum GemmRole {
+    /// Fused Q/K/V projection: `(m, d_model, 3 d_model)`.
+    Qkv,
+    /// Per-head attention scores `Q Kᵀ`: `(m, d_head, ctx)`.
+    Scores,
+    /// Per-head attention-value product `P V`: `(m, ctx, d_head)`.
+    AttnValue,
+    /// Attention output projection: `(m, d_model, d_model)`.
+    OutProj,
+    /// FFN up-projection: `(m, d_model, d_ff)`.
+    Ffn1,
+    /// FFN down-projection: `(m, d_ff, d_model)`.
+    Ffn2,
+}
+
+impl GemmRole {
+    /// GEMM sites per decoder block.
+    pub const PER_BLOCK: usize = 6;
+
+    /// All roles in execution order.
+    pub const ALL: [GemmRole; GemmRole::PER_BLOCK] = [
+        GemmRole::Qkv,
+        GemmRole::Scores,
+        GemmRole::AttnValue,
+        GemmRole::OutProj,
+        GemmRole::Ffn1,
+        GemmRole::Ffn2,
+    ];
+
+    /// Position within a block (matches [`GemmRole::ALL`] order).
+    pub fn index(self) -> usize {
+        match self {
+            GemmRole::Qkv => 0,
+            GemmRole::Scores => 1,
+            GemmRole::AttnValue => 2,
+            GemmRole::OutProj => 3,
+            GemmRole::Ffn1 => 4,
+            GemmRole::Ffn2 => 5,
+        }
+    }
+
+    /// The planner layer class this role belongs to.
+    pub fn class(self) -> LayerClass {
+        match self {
+            GemmRole::Ffn1 | GemmRole::Ffn2 => LayerClass::Ffn,
+            _ => LayerClass::Attention,
+        }
+    }
+}
+
+impl fmt::Display for GemmRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GemmRole::Qkv => "qkv",
+            GemmRole::Scores => "scores",
+            GemmRole::AttnValue => "attn_value",
+            GemmRole::OutProj => "out_proj",
+            GemmRole::Ffn1 => "ffn1",
+            GemmRole::Ffn2 => "ffn2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One GEMM of the transformer workload, for planning and pricing.
+#[derive(Copy, Clone, Debug)]
+pub struct TransformerGemm {
+    /// Decoder block index.
+    pub block: usize,
+    /// The GEMM site.
+    pub role: GemmRole,
+    /// The planner layer class.
+    pub class: LayerClass,
+    /// GEMM dimensions (per repetition).
+    pub dims: GemmDims,
+    /// Repetitions (per-head GEMMs repeat `n_heads` times).
+    pub reps: u64,
+}
+
+/// A GPT-style decoder-only transformer configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct TransformerConfig {
+    /// Model name (matches the accuracy tables and `PLANS_<name>.json`).
+    pub name: &'static str,
+    /// Decoder blocks.
+    pub n_layers: usize,
+    /// Hidden width.
+    pub d_model: usize,
+    /// Attention heads (`d_model % n_heads == 0`).
+    pub n_heads: usize,
+    /// FFN inner width.
+    pub d_ff: usize,
+    /// Vocabulary size (embedding rows; the LM head is tied).
+    pub vocab: usize,
+    /// Maximum sequence length (learned positional embeddings).
+    pub max_seq: usize,
+}
+
+impl TransformerConfig {
+    /// Per-head width.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// GEMM-bearing layer count (six sites per block), the length of a
+    /// per-layer precision plan for this model.
+    pub fn gemm_layer_count(&self) -> usize {
+        GemmRole::PER_BLOCK * self.n_layers
+    }
+
+    /// Flat plan index of `(block, role)`.
+    pub fn layer_index(&self, block: usize, role: GemmRole) -> usize {
+        block * GemmRole::PER_BLOCK + role.index()
+    }
+
+    /// Trainable parameters, GPT-2 accounting: tied token embedding,
+    /// learned positional embedding, per-block QKV/output/FFN weights
+    /// and biases plus two LayerNorms, and the final LayerNorm.
+    pub fn param_count(&self) -> u64 {
+        let d = self.d_model as u64;
+        let ff = self.d_ff as u64;
+        let embed = (self.vocab as u64) * d + (self.max_seq as u64) * d;
+        // qkv (3d² + 3d) + out (d² + d) + 2 LN (4d) + ffn (2·d·ff + ff + d).
+        let per_block = 4 * d * d + 2 * d * ff + 9 * d + ff;
+        embed + (self.n_layers as u64) * per_block + 2 * d
+    }
+
+    /// The GEMM dimensions of one site at row count `m` over a context
+    /// of `ctx` visible tokens, with its repetition count.
+    pub fn role_dims(&self, role: GemmRole, m: usize, ctx: usize) -> (GemmDims, u64) {
+        let d = self.d_model;
+        match role {
+            GemmRole::Qkv => (GemmDims::new(m, d, 3 * d), 1),
+            GemmRole::Scores => (GemmDims::new(m, self.d_head(), ctx), self.n_heads as u64),
+            GemmRole::AttnValue => (GemmDims::new(m, ctx, self.d_head()), self.n_heads as u64),
+            GemmRole::OutProj => (GemmDims::new(m, d, d), 1),
+            GemmRole::Ffn1 => (GemmDims::new(m, d, self.d_ff), 1),
+            GemmRole::Ffn2 => (GemmDims::new(m, self.d_ff, d), 1),
+        }
+    }
+
+    /// Every GEMM of a prefill pass over `seq` prompt tokens, in
+    /// execution order (block-major, [`GemmRole::ALL`] within a block).
+    pub fn prefill_gemms(&self, seq: usize) -> Vec<TransformerGemm> {
+        self.gemms_at(seq, seq)
+    }
+
+    /// Every GEMM of one decode step with `ctx` visible tokens
+    /// (retained cache plus the token being generated).
+    pub fn decode_gemms(&self, ctx: usize) -> Vec<TransformerGemm> {
+        self.gemms_at(1, ctx)
+    }
+
+    fn gemms_at(&self, m: usize, ctx: usize) -> Vec<TransformerGemm> {
+        let mut out = Vec::with_capacity(self.gemm_layer_count());
+        for block in 0..self.n_layers {
+            for role in GemmRole::ALL {
+                let (dims, reps) = self.role_dims(role, m, ctx);
+                out.push(TransformerGemm {
+                    block,
+                    role,
+                    class: role.class(),
+                    dims,
+                    reps,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A 2-block toy GPT for functional tests and the decode bench:
+/// small enough to run the differential suite in debug builds.
+pub fn tiny_gpt() -> TransformerConfig {
+    TransformerConfig {
+        name: "tiny-gpt",
+        n_layers: 2,
+        d_model: 32,
+        n_heads: 4,
+        d_ff: 128,
+        vocab: 256,
+        max_seq: 64,
+    }
+}
+
+/// The GPT-2 "small" geometry (Radford et al. 2019): 12 blocks of
+/// width 768 with 12 heads and a 3072-wide FFN over a 50257-token
+/// vocabulary — 124.4 M parameters with tied embeddings.
+pub fn gpt2_small() -> TransformerConfig {
+    TransformerConfig {
+        name: "gpt2-small",
+        n_layers: 12,
+        d_model: 768,
+        n_heads: 12,
+        d_ff: 3072,
+        vocab: 50257,
+        max_seq: 1024,
+    }
+}
+
+/// Where a transformer GEMM executes. The default [`DirectExec`] runs
+/// the in-process kernel; `mixgemm::decode::ServerExec` submits through
+/// the sharded serving scheduler so continuous batching, admission and
+/// SLO tracking apply. Results are bit-identical either way (the
+/// serving layer's contract).
+pub trait GemmExec {
+    /// Computes `a × b` at `precision`, returning the row-major `i64`
+    /// accumulator matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel or scheduler failures.
+    fn gemm(
+        &self,
+        a: QuantMatrix,
+        b: Arc<QuantMatrix>,
+        precision: PrecisionConfig,
+    ) -> Result<Vec<i64>, DnnError>;
+}
+
+/// Executes GEMMs directly on the in-process Mix-GEMM kernel.
+pub struct DirectExec;
+
+impl GemmExec for DirectExec {
+    fn gemm(
+        &self,
+        a: QuantMatrix,
+        b: Arc<QuantMatrix>,
+        precision: PrecisionConfig,
+    ) -> Result<Vec<i64>, DnnError> {
+        let kernel = MixGemmKernel::new(GemmOptions::new(precision));
+        Ok(kernel.compute_fast(&a, &b)?)
+    }
+}
+
+/// One pre-quantized projection: the K × N weight matrix (shared via
+/// [`Arc`] so concurrent decode streams reuse its packed form) and its
+/// per-output-column dequantization scales.
+struct ProjWeights {
+    b: Arc<QuantMatrix>,
+    scales: Vec<f32>,
+}
+
+/// One decoder block's weights and norms.
+struct BlockWeights {
+    ln1_g: Vec<f32>,
+    ln1_b: Vec<f32>,
+    ln2_g: Vec<f32>,
+    ln2_b: Vec<f32>,
+    qkv: ProjWeights,
+    out: ProjWeights,
+    ffn1: ProjWeights,
+    ffn2: ProjWeights,
+}
+
+/// A decoder-only transformer with deterministically generated weights,
+/// pre-quantized per the resolved precision plan (weights quantize once
+/// at construction; activations quantize per token at run time).
+pub struct TransformerModel {
+    config: TransformerConfig,
+    precisions: Vec<PrecisionConfig>,
+    embed: Vec<f32>,
+    pos: Vec<f32>,
+    lnf_g: Vec<f32>,
+    lnf_b: Vec<f32>,
+    blocks: Vec<BlockWeights>,
+}
+
+impl TransformerModel {
+    /// Builds a model from `config` with weights derived from `seed`,
+    /// quantizing each projection at the plan's weight width for its
+    /// layer ([`TransformerConfig::layer_index`] ordering).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization errors; rejects configs whose head count
+    /// does not divide the hidden width.
+    pub fn new(
+        config: TransformerConfig,
+        plan: &PrecisionPlan,
+        seed: u64,
+    ) -> Result<Self, DnnError> {
+        if config.n_heads == 0 || !config.d_model.is_multiple_of(config.n_heads) {
+            return Err(DnnError::Transformer {
+                detail: format!(
+                    "{}: n_heads {} must divide d_model {}",
+                    config.name, config.n_heads, config.d_model
+                ),
+            });
+        }
+        let count = config.gemm_layer_count();
+        let precisions: Vec<PrecisionConfig> =
+            (0..count).map(|i| plan.layer_precision(i, count)).collect();
+
+        let d = config.d_model;
+        let embed = gen_weights(seed ^ 0x7E3D, config.vocab * d, 0.5);
+        let pos = gen_weights(seed ^ 0x9051, config.max_seq * d, 0.1);
+        let mut blocks = Vec::with_capacity(config.n_layers);
+        for block in 0..config.n_layers {
+            let proj = |role: GemmRole, k: usize, n: usize| -> Result<ProjWeights, DnnError> {
+                let layer = config.layer_index(block, role);
+                let pc = precisions[layer];
+                let (_, ow) = pc.operand_types();
+                let w_seed = seed ^ ((layer as u64 + 1) << 17);
+                quantize_projection(k, n, ow, w_seed)
+            };
+            blocks.push(BlockWeights {
+                ln1_g: vec![1.0; d],
+                ln1_b: vec![0.0; d],
+                ln2_g: vec![1.0; d],
+                ln2_b: vec![0.0; d],
+                qkv: proj(GemmRole::Qkv, d, 3 * d)?,
+                out: proj(GemmRole::OutProj, d, d)?,
+                ffn1: proj(GemmRole::Ffn1, d, config.d_ff)?,
+                ffn2: proj(GemmRole::Ffn2, config.d_ff, d)?,
+            });
+        }
+        Ok(TransformerModel {
+            config,
+            precisions,
+            embed,
+            pos,
+            lnf_g: vec![1.0; d],
+            lnf_b: vec![0.0; d],
+            blocks,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.config
+    }
+
+    /// The resolved precision of `(block, role)`.
+    pub fn precision(&self, block: usize, role: GemmRole) -> PrecisionConfig {
+        self.precisions[self.config.layer_index(block, role)]
+    }
+
+    /// The embedding row of a token, plus the positional row for `pos`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range tokens and positions at or beyond
+    /// [`TransformerConfig::max_seq`].
+    pub fn embed_token(&self, token: u32, pos: usize) -> Result<Vec<f32>, DnnError> {
+        let d = self.config.d_model;
+        if token as usize >= self.config.vocab {
+            return Err(DnnError::Transformer {
+                detail: format!("token {token} outside vocabulary of {}", self.config.vocab),
+            });
+        }
+        if pos >= self.config.max_seq {
+            return Err(DnnError::Transformer {
+                detail: format!(
+                    "position {pos} at or beyond max_seq {}",
+                    self.config.max_seq
+                ),
+            });
+        }
+        let t = token as usize;
+        Ok((0..d)
+            .map(|i| self.embed[t * d + i] + self.pos[pos * d + i])
+            .collect())
+    }
+
+    /// Greedy tied-embedding decoding: the vocabulary row with the
+    /// largest dot product against `hidden` (first index wins ties).
+    /// Intended for toy-scale models; the product is O(vocab · d).
+    pub fn greedy_next(&self, hidden: &[f32]) -> u32 {
+        let d = self.config.d_model;
+        let mut best = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for v in 0..self.config.vocab {
+            let mut s = 0.0f32;
+            for (i, h) in hidden.iter().enumerate().take(d) {
+                s += self.embed[v * d + i] * h;
+            }
+            if s > best_score {
+                best_score = s;
+                best = v;
+            }
+        }
+        best as u32
+    }
+}
+
+/// Generates and quantizes one K × N projection per output column
+/// (column-of-B = output channel, the §IV-A per-channel weight recipe).
+fn quantize_projection(
+    k: usize,
+    n: usize,
+    ow: OperandType,
+    seed: u64,
+) -> Result<ProjWeights, DnnError> {
+    // Generate out-major (N × K) so per-channel calibration sees one
+    // contiguous block per output, then transpose into B's K × N form.
+    let w_f = gen_weights(seed, n * k, (2.0 / k as f32).sqrt());
+    let q = calibrate::absmax_per_channel(ow, &w_f, n)?;
+    let wq = q.quantize_slice(&w_f)?;
+    let scales: Vec<f32> = (0..n).map(|c| q.scale(c)).collect();
+    let mut b_data = vec![0i32; k * n];
+    for col in 0..n {
+        for row in 0..k {
+            b_data[row * n + col] = wq[col * k + row];
+        }
+    }
+    Ok(ProjWeights {
+        b: Arc::new(QuantMatrix::new(k, n, ow, b_data)?),
+        scales,
+    })
+}
+
+/// Row-wise LayerNorm in f32.
+fn layer_norm_row(x: &[f32], g: &[f32], b: &[f32]) -> Vec<f32> {
+    let n = x.len() as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv = 1.0 / (var + LN_EPS).sqrt();
+    x.iter()
+        .zip(g.iter().zip(b))
+        .map(|(&v, (&gi, &bi))| (v - mean) * inv * gi + bi)
+        .collect()
+}
+
+/// GELU (tanh approximation), the GPT-2 FFN activation.
+fn gelu(v: f32) -> f32 {
+    0.5 * v * (1.0 + (0.797_884_6 * (v + 0.044_715 * v * v * v)).tanh())
+}
+
+/// In-place softmax over one contiguous causal window, ascending order.
+fn softmax_in_place(p: &mut [f32]) {
+    let max = p.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let mut sum = 0.0f32;
+    for v in p.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in p.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// One attention logit from its integer accumulator: `acc · s_q · s_k /
+/// √d_head`, in this exact multiply order in both execution paths.
+fn score_logit(acc: i64, q_scale: f32, k_scale: f32, inv_sqrt_dh: f32) -> f32 {
+    acc as f32 * q_scale * k_scale * inv_sqrt_dh
+}
+
+/// Dequantizes one projection output: `acc · s_row · s_col`.
+fn dequant(acc: i64, row_scale: f32, col_scale: f32) -> f32 {
+    acc as f32 * row_scale * col_scale
+}
+
+/// Quantizes `m` activation rows per row (absmax) at `oa`, returning
+/// the matrix and one scale per row.
+fn quantize_rows(
+    rows: &[f32],
+    m: usize,
+    k: usize,
+    oa: OperandType,
+) -> Result<(QuantMatrix, Vec<f32>), DnnError> {
+    let mut data = Vec::with_capacity(m * k);
+    let mut scales = Vec::with_capacity(m);
+    for r in 0..m {
+        let (q, s) = quantize_token_row(&rows[r * k..(r + 1) * k], oa)?;
+        data.extend_from_slice(&q);
+        scales.push(s);
+    }
+    Ok((QuantMatrix::new(m, k, oa, data)?, scales))
+}
+
+/// Runs `m` rows through a pre-quantized projection: per-row activation
+/// quantization, integer GEMM via `exec`, per-(row, column) dequant.
+fn project(
+    exec: &impl GemmExec,
+    rows: &[f32],
+    m: usize,
+    w: &ProjWeights,
+    pc: PrecisionConfig,
+) -> Result<Vec<f32>, DnnError> {
+    let (oa, _) = pc.operand_types();
+    let k = w.b.rows();
+    let n = w.b.cols();
+    let (a, row_scales) = quantize_rows(rows, m, k, oa)?;
+    let c = exec.gemm(a, w.b.clone(), pc)?;
+    let mut y = vec![0.0f32; m * n];
+    for r in 0..m {
+        for col in 0..n {
+            y[r * n + col] = dequant(c[r * n + col], row_scales[r], w.scales[col]);
+        }
+    }
+    Ok(y)
+}
+
+/// Quantizes one softmax-probability row at the fixed `1 / q_max` scale
+/// (probabilities live in `[0, 1]`; zeros stay exactly zero).
+fn quantize_probs(probs: &[f32], oa: OperandType) -> Vec<i32> {
+    let qmax = oa.max_value() as f32;
+    probs
+        .iter()
+        .map(|&p| (p * qmax).round().clamp(0.0, qmax) as i32)
+        .collect()
+}
+
+/// The fixed softmax-probability scale for `oa`.
+fn prob_scale(oa: OperandType) -> f32 {
+    1.0 / oa.max_value() as f32
+}
+
+/// Executes one autoregressive decode step: embeds `token` at the
+/// cache's next position, runs every block with cached K/V (appending
+/// this token's K/V per head), and returns the final-LayerNorm hidden
+/// state. Bit-identical to [`forward_reference`] over the same token
+/// history with `window = cache.capacity()`.
+///
+/// # Errors
+///
+/// Propagates GEMM/quantization errors; rejects positions at or beyond
+/// the model's maximum sequence length.
+pub fn decode_step(
+    model: &TransformerModel,
+    cache: &mut KvCache,
+    token: u32,
+    exec: &impl GemmExec,
+) -> Result<Vec<f32>, DnnError> {
+    let cfg = *model.config();
+    let d = cfg.d_model;
+    let dh = cfg.d_head();
+    let inv_sqrt_dh = 1.0 / (dh as f32).sqrt();
+    let mut h = model.embed_token(token, cache.next_pos())?;
+
+    for (block, w) in model.blocks.iter().enumerate() {
+        let resid = h.clone();
+        let t = layer_norm_row(&h, &w.ln1_g, &w.ln1_b);
+        let qkv = project(exec, &t, 1, &w.qkv, model.precision(block, GemmRole::Qkv))?;
+        let pc_s = model.precision(block, GemmRole::Scores);
+        let pc_av = model.precision(block, GemmRole::AttnValue);
+        let (oa_s, _) = pc_s.operand_types();
+        let (oa_av, _) = pc_av.operand_types();
+
+        let mut attn = vec![0.0f32; d];
+        for head in 0..cfg.n_heads {
+            let q_row = &qkv[head * dh..(head + 1) * dh];
+            let k_row = &qkv[d + head * dh..d + (head + 1) * dh];
+            let v_row = &qkv[2 * d + head * dh..2 * d + (head + 1) * dh];
+            cache.append(block, head, k_row, v_row)?;
+            let t_len = cache.retained_after_append();
+
+            // Scores: 1 × d_head × t, per-token K scales as B columns.
+            let (kq, k_scales) = cache.k_matrix(block, head)?;
+            let (qq, q_scale) = quantize_token_row(q_row, oa_s)?;
+            let a = QuantMatrix::new(1, dh, oa_s, qq)?;
+            let c = exec.gemm(a, kq, pc_s)?;
+            let mut probs: Vec<f32> = (0..t_len)
+                .map(|j| score_logit(c[j], q_scale, k_scales[j], inv_sqrt_dh))
+                .collect();
+            softmax_in_place(&mut probs);
+
+            // Attention-value: 1 × t × d_head against statically scaled V.
+            let pq = quantize_probs(&probs, oa_av);
+            let vq = cache.v_matrix(block, head)?;
+            let a2 = QuantMatrix::new(1, t_len, oa_av, pq)?;
+            let c2 = exec.gemm(a2, vq, pc_av)?;
+            let ps = prob_scale(oa_av);
+            let vs = cache.v_scale(block);
+            for r in 0..dh {
+                attn[head * dh + r] = dequant(c2[r], ps, vs);
+            }
+        }
+
+        let o = project(
+            exec,
+            &attn,
+            1,
+            &w.out,
+            model.precision(block, GemmRole::OutProj),
+        )?;
+        for i in 0..d {
+            h[i] = resid[i] + o[i];
+        }
+
+        let resid2 = h.clone();
+        let t2 = layer_norm_row(&h, &w.ln2_g, &w.ln2_b);
+        let mut f1 = project(
+            exec,
+            &t2,
+            1,
+            &w.ffn1,
+            model.precision(block, GemmRole::Ffn1),
+        )?;
+        for v in f1.iter_mut() {
+            *v = gelu(*v);
+        }
+        let f2 = project(
+            exec,
+            &f1,
+            1,
+            &w.ffn2,
+            model.precision(block, GemmRole::Ffn2),
+        )?;
+        for i in 0..d {
+            h[i] = resid2[i] + f2[i];
+        }
+    }
+    cache.advance();
+    Ok(layer_norm_row(&h, &model.lnf_g, &model.lnf_b))
+}
+
+/// Prefills the cache from a prompt. When the prompt fits the cache
+/// window and the cache is fresh, the projections and FFNs run as
+/// *batched* `M = prompt` GEMMs (one batched run); otherwise each token
+/// falls back to [`decode_step`]. Returns the last token's hidden
+/// state, or `None` for an empty prompt.
+///
+/// # Errors
+///
+/// Propagates GEMM/quantization errors.
+pub fn prefill(
+    model: &TransformerModel,
+    cache: &mut KvCache,
+    tokens: &[u32],
+    exec: &impl GemmExec,
+) -> Result<Option<Vec<f32>>, DnnError> {
+    if tokens.is_empty() {
+        return Ok(None);
+    }
+    if cache.next_pos() != 0 || tokens.len() > cache.capacity() {
+        let mut last = None;
+        for &t in tokens {
+            last = Some(decode_step(model, cache, t, exec)?);
+        }
+        return Ok(last);
+    }
+    let hidden = forward_batch(model, tokens, cache.capacity(), exec, Some(cache))?;
+    let d = model.config().d_model;
+    let s = tokens.len();
+    Ok(Some(hidden[(s - 1) * d..s * d].to_vec()))
+}
+
+/// Recomputes the full forward pass from scratch — no KV-cache, full
+/// per-head score matrices with causal + sliding-window masking — and
+/// returns the last token's hidden state. This is the differential
+/// oracle for [`decode_step`]: with `window` equal to the cache
+/// capacity, the two agree bit-for-bit at every step.
+///
+/// # Errors
+///
+/// Propagates GEMM/quantization errors; rejects empty token lists.
+pub fn forward_reference(
+    model: &TransformerModel,
+    tokens: &[u32],
+    window: usize,
+    exec: &impl GemmExec,
+) -> Result<Vec<f32>, DnnError> {
+    if tokens.is_empty() {
+        return Err(DnnError::Transformer {
+            detail: "forward_reference needs at least one token".to_string(),
+        });
+    }
+    let hidden = forward_batch(model, tokens, window, exec, None)?;
+    let d = model.config().d_model;
+    let s = tokens.len();
+    Ok(hidden[(s - 1) * d..s * d].to_vec())
+}
+
+/// The shared batched forward pass: `M = tokens` projections and FFNs,
+/// full per-head attention with causal + window masking. With `cache`
+/// set, every token's K/V rows are appended (prefill); without, the
+/// attention matrices are rebuilt from scratch (reference oracle).
+fn forward_batch(
+    model: &TransformerModel,
+    tokens: &[u32],
+    window: usize,
+    exec: &impl GemmExec,
+    mut cache: Option<&mut KvCache>,
+) -> Result<Vec<f32>, DnnError> {
+    let cfg = *model.config();
+    let d = cfg.d_model;
+    let dh = cfg.d_head();
+    let s = tokens.len();
+    let inv_sqrt_dh = 1.0 / (dh as f32).sqrt();
+    if let Some(c) = cache.as_deref() {
+        debug_assert_eq!(c.next_pos(), 0, "batched prefill needs a fresh cache");
+        debug_assert!(s <= c.capacity(), "batched prefill fits the window");
+    }
+
+    let mut h = Vec::with_capacity(s * d);
+    for (i, &t) in tokens.iter().enumerate() {
+        h.extend(model.embed_token(t, i)?);
+    }
+
+    for (block, w) in model.blocks.iter().enumerate() {
+        let resid = h.clone();
+        let mut t = Vec::with_capacity(s * d);
+        for r in 0..s {
+            t.extend(layer_norm_row(&h[r * d..(r + 1) * d], &w.ln1_g, &w.ln1_b));
+        }
+        let qkv = project(exec, &t, s, &w.qkv, model.precision(block, GemmRole::Qkv))?;
+        let pc_s = model.precision(block, GemmRole::Scores);
+        let pc_av = model.precision(block, GemmRole::AttnValue);
+        let (oa_s, ow_s) = pc_s.operand_types();
+        let (oa_av, ow_av) = pc_av.operand_types();
+        let three_d = 3 * d;
+
+        let mut attn = vec![0.0f32; s * d];
+        for head in 0..cfg.n_heads {
+            // Gather per-head Q/K/V rows from the fused projection.
+            let q_at = |r: usize| &qkv[r * three_d + head * dh..r * three_d + (head + 1) * dh];
+            let k_at =
+                |r: usize| &qkv[r * three_d + d + head * dh..r * three_d + d + (head + 1) * dh];
+            let v_at = |r: usize| {
+                &qkv[r * three_d + 2 * d + head * dh..r * three_d + 2 * d + (head + 1) * dh]
+            };
+
+            // K as d_head × s (scores B operand) with per-token scales;
+            // V as s × d_head at the static scale — the exact
+            // quantization the cache stores, so cached decode agrees.
+            let mut k_cols = vec![0i32; dh * s];
+            let mut k_scales = Vec::with_capacity(s);
+            let mut v_data = Vec::with_capacity(s * dh);
+            let v_scale = match cache.as_deref() {
+                Some(c) => c.v_scale(block),
+                None => crate::kvcache::static_v_scale_default(ow_av),
+            };
+            for r in 0..s {
+                let (kq, ks) = quantize_token_row(k_at(r), ow_s)?;
+                for (row, &val) in kq.iter().enumerate() {
+                    k_cols[row * s + r] = val;
+                }
+                k_scales.push(ks);
+                v_data.extend(quantize_static_row(v_at(r), ow_av, v_scale));
+                if let Some(c) = cache.as_deref_mut() {
+                    c.append(block, head, k_at(r), v_at(r))?;
+                }
+            }
+            let kq_mat = Arc::new(QuantMatrix::new(dh, s, ow_s, k_cols)?);
+            let vq_mat = Arc::new(QuantMatrix::new(s, dh, ow_av, v_data)?);
+
+            // Scores: s × d_head × s, then causal + window masking.
+            let mut q_rows = Vec::with_capacity(s * dh);
+            for r in 0..s {
+                q_rows.extend_from_slice(q_at(r));
+            }
+            let (a, q_scales) = quantize_rows(&q_rows, s, dh, oa_s)?;
+            let c = exec.gemm(a, kq_mat, pc_s)?;
+
+            let mut p = vec![0.0f32; s * s];
+            for r in 0..s {
+                let lo = (r + 1).saturating_sub(window);
+                let mut row: Vec<f32> = (lo..=r)
+                    .map(|j| score_logit(c[r * s + j], q_scales[r], k_scales[j], inv_sqrt_dh))
+                    .collect();
+                softmax_in_place(&mut row);
+                for (off, v) in row.into_iter().enumerate() {
+                    p[r * s + lo + off] = v;
+                }
+            }
+            let pq: Vec<i32> = p
+                .chunks(s)
+                .flat_map(|row| quantize_probs(row, oa_av))
+                .collect();
+            let a2 = QuantMatrix::new(s, s, oa_av, pq)?;
+            let c2 = exec.gemm(a2, vq_mat, pc_av)?;
+            let ps = prob_scale(oa_av);
+            for r in 0..s {
+                for col in 0..dh {
+                    attn[r * d + head * dh + col] = dequant(c2[r * dh + col], ps, v_scale);
+                }
+            }
+        }
+        let o = project(
+            exec,
+            &attn,
+            s,
+            &w.out,
+            model.precision(block, GemmRole::OutProj),
+        )?;
+        for i in 0..s * d {
+            h[i] = resid[i] + o[i];
+        }
+
+        let resid2 = h.clone();
+        let mut t2 = Vec::with_capacity(s * d);
+        for r in 0..s {
+            t2.extend(layer_norm_row(&h[r * d..(r + 1) * d], &w.ln2_g, &w.ln2_b));
+        }
+        let mut f1 = project(
+            exec,
+            &t2,
+            s,
+            &w.ffn1,
+            model.precision(block, GemmRole::Ffn1),
+        )?;
+        for v in f1.iter_mut() {
+            *v = gelu(*v);
+        }
+        let f2 = project(
+            exec,
+            &f1,
+            s,
+            &w.ffn2,
+            model.precision(block, GemmRole::Ffn2),
+        )?;
+        for i in 0..s * d {
+            h[i] = resid2[i] + f2[i];
+        }
+    }
+
+    if let Some(c) = cache {
+        for _ in 0..s {
+            c.advance();
+        }
+    }
+
+    let mut out = Vec::with_capacity(s * d);
+    for r in 0..s {
+        out.extend(layer_norm_row(
+            &h[r * d..(r + 1) * d],
+            &model.lnf_g,
+            &model.lnf_b,
+        ));
+    }
+    Ok(out)
+}

@@ -83,17 +83,36 @@ impl LossCurve {
     }
 }
 
-/// One GEMM-bearing layer's simulation problem.
-#[derive(Clone, Copy, Debug)]
+/// One plannable layer described as a set of GEMM problems.
+///
+/// CNN layers are a single `(dims, reps)` problem (grouped convolutions
+/// repeat one per group). Transformer layers price a whole decode
+/// workload: the prefill GEMM plus every decode step's skinny GEMM at
+/// its growing context length — the planner sums them, so one (a,w)
+/// choice governs the layer across both regimes.
+#[derive(Clone, Debug)]
+pub struct LayerSpec {
+    /// The `(dims, repetitions)` GEMM problems the layer executes.
+    pub gemms: Vec<(GemmDims, u64)>,
+    /// Relative accuracy-attribution weight (normalized across layers
+    /// internally); CNN layers use raw MACs, transformer layers scale
+    /// attention classes up.
+    pub loss_weight: f64,
+    /// Price this layer at `a8-w8` only (the §IV-A first/last rule).
+    pub pinned: bool,
+}
+
+/// One GEMM-bearing layer's resolved simulation problem.
+#[derive(Clone, Debug)]
 pub struct LayerInfo {
     /// GEMM layer index (0-based over GEMM-bearing layers).
     pub index: usize,
-    /// Per-group GEMM dimensions.
-    pub dims: GemmDims,
-    /// GEMM repetitions (grouped convolutions run one per group).
-    pub reps: u64,
+    /// The `(dims, repetitions)` GEMM problems of the layer.
+    pub gemms: Vec<(GemmDims, u64)>,
     /// Total MACs of the layer.
     pub macs: u64,
+    /// Whether the layer is pinned to `a8-w8`.
+    pub pinned: bool,
 }
 
 /// One priced candidate: a layer executed at one (a,w) point.
@@ -165,20 +184,60 @@ impl CostModel {
         fidelity: Fidelity,
         pin_first_last: bool,
         candidate_grid: &[PrecisionConfig],
+        options: F,
+    ) -> Result<CostModel, PlanError>
+    where
+        F: FnMut(PrecisionConfig) -> GemmOptions,
+    {
+        let table = accuracy::for_network(net.name()).ok_or_else(|| PlanError::UnknownNetwork {
+            name: net.name().to_string(),
+        })?;
+        let mut specs = Vec::new();
+        for node in net.nodes() {
+            let input = net.shape(node.inputs[0]);
+            let Some((dims, reps)) = layer_gemm(&node.op, input) else {
+                continue;
+            };
+            specs.push(LayerSpec {
+                gemms: vec![(dims, reps)],
+                loss_weight: (dims.macs() * reps) as f64,
+                pinned: false,
+            });
+        }
+        let count = specs.len();
+        if pin_first_last && count > 0 {
+            specs[0].pinned = true;
+            specs[count - 1].pinned = true;
+        }
+        CostModel::from_specs(net.name(), &table, specs, fidelity, candidate_grid, options)
+    }
+
+    /// Prices an arbitrary set of [`LayerSpec`]s — the generalized
+    /// entry point behind [`CostModel::build`]. Transformer planning
+    /// uses it directly: each layer's `gemms` holds the prefill problem
+    /// plus every decode step's skinny GEMM, and attention layers carry
+    /// a scaled `loss_weight`.
+    ///
+    /// # Errors
+    ///
+    /// Simulation errors from pricing uncached shapes.
+    pub fn from_specs<F>(
+        name: &str,
+        table: &NetworkAccuracy,
+        specs: Vec<LayerSpec>,
+        fidelity: Fidelity,
+        candidate_grid: &[PrecisionConfig],
         mut options: F,
     ) -> Result<CostModel, PlanError>
     where
         F: FnMut(PrecisionConfig) -> GemmOptions,
     {
         let _span = mixgemm_harness::span!("cost_model");
-        let table = accuracy::for_network(net.name()).ok_or_else(|| PlanError::UnknownNetwork {
-            name: net.name().to_string(),
-        })?;
-        let curve = LossCurve::from_table(&table);
+        let curve = LossCurve::from_table(table);
 
-        // Resolve layers and candidate simulation problems (serial).
-        // `a8-w8` is always resolved: pinned layers execute there and the
-        // SoC identity is read off its options.
+        // Resolve candidate simulation problems (serial). `a8-w8` is
+        // always resolved: pinned layers execute there and the SoC
+        // identity is read off its options.
         let mut opts_by_precision: HashMap<PrecisionConfig, GemmOptions> = HashMap::new();
         for &pc in candidate_grid
             .iter()
@@ -190,24 +249,20 @@ impl CostModel {
         let soc = a8w8.soc.name.to_string();
         let freq_ghz = a8w8.soc.freq_ghz;
 
-        let mut layers = Vec::new();
-        for node in net.nodes() {
-            let input = net.shape(node.inputs[0]);
-            let Some((dims, reps)) = layer_gemm(&node.op, input) else {
-                continue;
-            };
-            layers.push(LayerInfo {
-                index: layers.len(),
-                dims,
-                reps,
-                macs: dims.macs() * reps,
-            });
-        }
+        let layers: Vec<LayerInfo> = specs
+            .iter()
+            .enumerate()
+            .map(|(index, spec)| LayerInfo {
+                index,
+                gemms: spec.gemms.clone(),
+                macs: spec.gemms.iter().map(|(d, r)| d.macs() * r).sum(),
+                pinned: spec.pinned,
+            })
+            .collect();
         let total_macs: u64 = layers.iter().map(|l| l.macs).sum();
-        let layer_count = layers.len();
-        let pinned = |index: usize| pin_first_last && (index == 0 || index + 1 == layer_count);
-        let grid = |index: usize| -> &[PrecisionConfig] {
-            if pinned(index) {
+        let total_weight: f64 = specs.iter().map(|s| s.loss_weight.max(0.0)).sum();
+        let grid = |pinned: bool| -> &[PrecisionConfig] {
+            if pinned {
                 std::slice::from_ref(&PrecisionConfig::A8W8)
             } else {
                 candidate_grid
@@ -219,10 +274,12 @@ impl CostModel {
         let cache = SimCache::global();
         let mut missing: Vec<(SimKey, GemmDims, PrecisionConfig)> = Vec::new();
         for layer in &layers {
-            for &pc in grid(layer.index) {
-                let key = SimKey::new(layer.dims, fidelity, &opts_by_precision[&pc]);
-                if cache.get(&key).is_none() && !missing.iter().any(|(k, _, _)| k == &key) {
-                    missing.push((key, layer.dims, pc));
+            for &pc in grid(layer.pinned) {
+                for &(dims, _) in &layer.gemms {
+                    let key = SimKey::new(dims, fidelity, &opts_by_precision[&pc]);
+                    if cache.get(&key).is_none() && !missing.iter().any(|(k, _, _)| k == &key) {
+                        missing.push((key, dims, pc));
+                    }
                 }
             }
         }
@@ -286,29 +343,34 @@ impl CostModel {
             }
         }
 
-        // Assemble candidate tables from the memo.
+        // Assemble candidate tables from the memo: a layer's cost at a
+        // precision sums over all its GEMM problems.
         let mut candidates = Vec::with_capacity(layers.len());
-        for layer in &layers {
-            let mac_share = if total_macs == 0 {
+        for (layer, spec) in layers.iter().zip(&specs) {
+            let loss_share = if total_weight <= 0.0 {
                 0.0
             } else {
-                layer.macs as f64 / total_macs as f64
+                spec.loss_weight.max(0.0) / total_weight
             };
-            let mut row = Vec::with_capacity(grid(layer.index).len());
-            for &pc in grid(layer.index) {
-                let key = SimKey::new(layer.dims, fidelity, &opts_by_precision[&pc]);
-                let (cycles_per_gemm, busy_per_gemm) = match cache.get(&key) {
-                    Some(cost) => cost,
-                    // Another thread cleared the global cache mid-build;
-                    // recompute rather than fail.
-                    None => {
-                        let cost = simulate_one(layer.dims, pc)?;
-                        cache.insert(key, cost);
-                        cost
-                    }
-                };
-                let cycles = cycles_per_gemm * layer.reps;
-                let busy_cycles = busy_per_gemm * layer.reps;
+            let mut row = Vec::with_capacity(grid(layer.pinned).len());
+            for &pc in grid(layer.pinned) {
+                let mut cycles = 0u64;
+                let mut busy_cycles = 0u64;
+                for &(dims, reps) in &layer.gemms {
+                    let key = SimKey::new(dims, fidelity, &opts_by_precision[&pc]);
+                    let (cycles_per_gemm, busy_per_gemm) = match cache.get(&key) {
+                        Some(cost) => cost,
+                        // Another thread cleared the global cache
+                        // mid-build; recompute rather than fail.
+                        None => {
+                            let cost = simulate_one(dims, pc)?;
+                            cache.insert(key, cost);
+                            cost
+                        }
+                    };
+                    cycles += cycles_per_gemm * reps;
+                    busy_cycles += busy_per_gemm * reps;
+                }
                 let energy_j = ActivityProfile {
                     total_cycles: cycles,
                     busy_cycles,
@@ -321,14 +383,14 @@ impl CostModel {
                     cycles,
                     busy_cycles,
                     energy_j,
-                    top1_loss: curve.network_loss(pc) * mac_share,
+                    top1_loss: curve.network_loss(pc) * loss_share,
                 });
             }
             candidates.push(row);
         }
 
         Ok(CostModel {
-            network: net.name().to_string(),
+            network: name.to_string(),
             soc,
             freq_ghz,
             fp32_top1: table.fp32_top1,
@@ -372,6 +434,11 @@ impl CostModel {
     /// The layer simulation problems.
     pub fn layers(&self) -> &[LayerInfo] {
         &self.layers
+    }
+
+    /// Whether `layer` is pinned to `a8-w8`.
+    pub fn pinned(&self, layer: usize) -> bool {
+        self.layers[layer].pinned
     }
 
     /// The priced candidates of a layer in candidate-grid order: the

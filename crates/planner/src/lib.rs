@@ -31,8 +31,10 @@ pub mod cost;
 pub mod error;
 pub mod plan;
 pub mod search;
+pub mod transformer;
 
-pub use cost::{CostModel, LayerCandidate, LayerInfo, LossCurve};
+pub use cost::{CostModel, LayerCandidate, LayerInfo, LayerSpec, LossCurve};
 pub use error::PlanError;
 pub use plan::{Budget, FrontPoint, ParetoFront, Plan, PlanCost, PlanDb};
 pub use search::{PlanOutcome, Planner, COARSE_GRID};
+pub use transformer::{decode_layer_specs, DecodeWorkload, ATTENTION_LOSS_WEIGHT};

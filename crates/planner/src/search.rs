@@ -163,6 +163,73 @@ impl Planner {
             self.grid,
             options,
         )?;
+        self.plan_model(&model, budget)
+    }
+
+    /// Plans a transformer decode workload: six GEMM sites per decoder
+    /// block (QKV, scores, attention-value, output projection, two FFN
+    /// GEMMs), each priced over the full workload — the batched prefill
+    /// problem plus every decode step's skinny GEMM at its growing
+    /// context — with attention layers carrying a scaled accuracy
+    /// weight ([`crate::transformer::ATTENTION_LOSS_WEIGHT`]), so the
+    /// search trades attention precision and FFN precision as distinct
+    /// classes. The resulting plan maps positionally onto
+    /// `PrecisionPlan::per_layer` for `TransformerModel::new`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::UnknownNetwork`] for configs without accuracy
+    /// tables, [`PlanError::Infeasible`] when the workload exceeds the
+    /// model's maximum sequence length or no assignment satisfies
+    /// `budget`, and simulation errors from the cost model.
+    pub fn plan_transformer(
+        &self,
+        config: &mixgemm_dnn::transformer::TransformerConfig,
+        workload: crate::transformer::DecodeWorkload,
+        budget: &Budget,
+    ) -> Result<PlanOutcome, PlanError> {
+        let _span = mixgemm_harness::span!("plan_transformer");
+        if self.grid.is_empty() {
+            return Err(PlanError::Infeasible {
+                network: config.name.to_string(),
+                detail: "candidate grid is empty".to_string(),
+            });
+        }
+        let table = mixgemm_qat::accuracy::for_network(config.name).ok_or_else(|| {
+            PlanError::UnknownNetwork {
+                name: config.name.to_string(),
+            }
+        })?;
+        if workload.prefill + workload.gen > config.max_seq {
+            return Err(PlanError::Infeasible {
+                network: config.name.to_string(),
+                detail: format!(
+                    "workload of {} prefill + {} decode tokens exceeds max_seq {}",
+                    workload.prefill, workload.gen, config.max_seq
+                ),
+            });
+        }
+        let specs = crate::transformer::decode_layer_specs(config, workload);
+        let par = self.parallelism;
+        let model = CostModel::from_specs(
+            config.name,
+            &table,
+            specs,
+            self.fidelity,
+            self.grid,
+            move |pc| GemmOptions::new(pc).with_parallelism(par),
+        )?;
+        self.plan_model(&model, budget)
+    }
+
+    /// Runs the greedy budgeted search over an already-priced
+    /// [`CostModel`] — the shared engine behind [`Planner::plan_with`]
+    /// and [`Planner::plan_transformer`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Infeasible`] when no assignment satisfies `budget`.
+    pub fn plan_model(&self, model: &CostModel, budget: &Budget) -> Result<PlanOutcome, PlanError> {
         let layer_count = model.layer_count();
         if layer_count == 0 {
             return Err(PlanError::Infeasible {
@@ -220,7 +287,7 @@ impl Planner {
         for &pc in self.grid.iter() {
             let layers: Vec<PrecisionConfig> = (0..layer_count)
                 .map(|layer| {
-                    if budget.pin_first_last && (layer == 0 || layer + 1 == layer_count) {
+                    if model.pinned(layer) {
                         PrecisionConfig::A8W8
                     } else {
                         pc

@@ -1,0 +1,320 @@
+//! Differential tests for the transformer subsystem: autoregressive
+//! decode with the quantized KV-cache must be **bit-identical** to
+//! recomputing full attention from scratch at every step — across
+//! precision pairs, per-layer mixed plans, sliding-window eviction, and
+//! 1–4 serving workers — plus KV-cache capacity edge cases and
+//! empty/single-token prompts.
+
+use mixgemm::api::Session;
+use mixgemm::decode::{self, ServerExec};
+use mixgemm::dnn::kvcache::{KvCache, KvCacheConfig};
+use mixgemm::dnn::runtime::PrecisionPlan;
+use mixgemm::dnn::transformer::{self, DirectExec, GemmRole, TransformerConfig, TransformerModel};
+use mixgemm::dnn::DnnError;
+use mixgemm::serve::ServeOptions;
+use mixgemm::PrecisionConfig;
+
+/// A sub-tiny config so the exhaustive differential sweeps stay fast in
+/// debug builds.
+fn micro_gpt() -> TransformerConfig {
+    TransformerConfig {
+        name: "micro-gpt",
+        n_layers: 2,
+        d_model: 16,
+        n_heads: 2,
+        d_ff: 32,
+        vocab: 64,
+        max_seq: 32,
+    }
+}
+
+fn uniform_plan(pc: &str) -> PrecisionPlan {
+    PrecisionPlan {
+        default: pc.parse().unwrap(),
+        pin_first_last: false,
+        overrides: Vec::new(),
+    }
+}
+
+fn tokens(n: usize) -> Vec<u32> {
+    (0..n).map(|i| ((i * 13 + 5) % 64) as u32).collect()
+}
+
+/// Bit-exact f32 comparison (no tolerance anywhere in this suite).
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} differs ({g} vs {w})"
+        );
+    }
+}
+
+/// The tentpole guarantee: at **every** decode step, the cached
+/// incremental hidden state equals a from-scratch full-attention
+/// recompute over the whole token history, bit for bit — across a
+/// representative set of uniform precision pairs.
+#[test]
+fn decode_bit_identical_to_full_recompute_across_precisions() {
+    for pc in ["a8-w8", "a4-w8", "a3-w3", "a2-w4", "a8-w2"] {
+        let model = TransformerModel::new(micro_gpt(), &uniform_plan(pc), 0xBEEF).unwrap();
+        let mut cache = KvCache::new(&model, KvCacheConfig::new(32));
+        let toks = tokens(10);
+        for step in 1..=toks.len() {
+            let hidden =
+                transformer::decode_step(&model, &mut cache, toks[step - 1], &DirectExec).unwrap();
+            let reference =
+                transformer::forward_reference(&model, &toks[..step], 32, &DirectExec).unwrap();
+            assert_bits_eq(&hidden, &reference, &format!("{pc} step {step}"));
+        }
+    }
+}
+
+/// A mixed per-layer plan (every block's six GEMM sites at different
+/// (a,w) pairs) keeps the identity — KV precisions derive per block
+/// from the plan's attention layers.
+#[test]
+fn decode_bit_identical_under_mixed_per_layer_plan() {
+    let cfg = micro_gpt();
+    // Length 5 is coprime to the 6-role block stride, so the same role
+    // gets different precisions in different blocks.
+    let cycle = ["a8-w8", "a4-w4", "a6-w3", "a3-w8", "a8-w2"];
+    let layers: Vec<PrecisionConfig> = (0..cfg.gemm_layer_count())
+        .map(|i| cycle[i % cycle.len()].parse().unwrap())
+        .collect();
+    let plan = PrecisionPlan::per_layer("a8-w8".parse().unwrap(), layers);
+    let model = TransformerModel::new(cfg, &plan, 0x1234).unwrap();
+    // Distinct attention precisions actually landed on the two blocks.
+    assert_ne!(
+        model.precision(0, GemmRole::Scores),
+        model.precision(1, GemmRole::Scores)
+    );
+    let mut cache = KvCache::new(&model, KvCacheConfig::new(32));
+    let toks = tokens(8);
+    for step in 1..=toks.len() {
+        let hidden =
+            transformer::decode_step(&model, &mut cache, toks[step - 1], &DirectExec).unwrap();
+        let reference =
+            transformer::forward_reference(&model, &toks[..step], 32, &DirectExec).unwrap();
+        assert_bits_eq(&hidden, &reference, &format!("mixed plan step {step}"));
+    }
+}
+
+/// Sliding-window eviction: with capacity 4 over 12 tokens, cached
+/// decode equals the reference with the same window applied as a mask,
+/// and the eviction counters add up.
+#[test]
+fn eviction_window_bit_identical_and_counted() {
+    let model = TransformerModel::new(micro_gpt(), &uniform_plan("a6-w4"), 0x77).unwrap();
+    let mut cache = KvCache::new(&model, KvCacheConfig::new(4));
+    let toks = tokens(12);
+    for step in 1..=toks.len() {
+        let hidden =
+            transformer::decode_step(&model, &mut cache, toks[step - 1], &DirectExec).unwrap();
+        let reference =
+            transformer::forward_reference(&model, &toks[..step], 4, &DirectExec).unwrap();
+        assert_bits_eq(&hidden, &reference, &format!("window step {step}"));
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.appended_tokens, 12);
+    assert_eq!(stats.retained, 4);
+    assert_eq!(stats.evicted_tokens, 8);
+    // Reuse: step t reuses min(t-1, capacity) cached tokens.
+    let expected_reuse: u64 = (1..=12u64).map(|t| (t - 1).min(4)).sum();
+    assert_eq!(stats.reused_tokens, expected_reuse);
+    assert!(stats.packed_bytes > 0);
+}
+
+/// Decode routed through the sharded serving scheduler is bit-identical
+/// to the in-process kernel path — and therefore to the full-recompute
+/// oracle — for 1 to 4 workers.
+#[test]
+fn decode_through_server_bit_identical_for_1_to_4_workers() {
+    let model = TransformerModel::new(micro_gpt(), &uniform_plan("a4-w4"), 0xABC).unwrap();
+    let toks = tokens(6);
+
+    // Direct-path reference trace of hidden states.
+    let mut direct_cache = KvCache::new(&model, KvCacheConfig::new(32));
+    let direct: Vec<Vec<f32>> = toks
+        .iter()
+        .map(|&t| transformer::decode_step(&model, &mut direct_cache, t, &DirectExec).unwrap())
+        .collect();
+
+    for workers in 1..=4usize {
+        let session = Session::builder().build();
+        let server = session.serve(ServeOptions::builder().workers(workers).build());
+        let exec = ServerExec::new(&server);
+        let mut cache = KvCache::new(&model, KvCacheConfig::new(32));
+        for (i, &t) in toks.iter().enumerate() {
+            let hidden = transformer::decode_step(&model, &mut cache, t, &exec).unwrap();
+            assert_bits_eq(&hidden, &direct[i], &format!("{workers} workers, step {i}"));
+        }
+        server.drain();
+    }
+}
+
+/// Batched prefill (M = prompt GEMMs) leaves exactly the same cache and
+/// hidden state as feeding the prompt token-by-token, and subsequent
+/// decode steps agree bit for bit.
+#[test]
+fn batched_prefill_equals_token_by_token() {
+    let model = TransformerModel::new(micro_gpt(), &uniform_plan("a5-w6"), 0x51).unwrap();
+    let toks = tokens(7);
+
+    let mut stepped_cache = KvCache::new(&model, KvCacheConfig::new(32));
+    let mut stepped_last = None;
+    for &t in &toks {
+        stepped_last =
+            Some(transformer::decode_step(&model, &mut stepped_cache, t, &DirectExec).unwrap());
+    }
+
+    let mut batch_cache = KvCache::new(&model, KvCacheConfig::new(32));
+    let batch_last = transformer::prefill(&model, &mut batch_cache, &toks, &DirectExec)
+        .unwrap()
+        .unwrap();
+    assert_bits_eq(&batch_last, &stepped_last.unwrap(), "prefill last hidden");
+    assert_eq!(batch_cache.next_pos(), stepped_cache.next_pos());
+    assert_eq!(
+        batch_cache.stats().appended_tokens,
+        stepped_cache.stats().appended_tokens
+    );
+
+    // Continue decoding from both caches: still identical.
+    for t in [3u32, 9, 27] {
+        let a = transformer::decode_step(&model, &mut batch_cache, t, &DirectExec).unwrap();
+        let b = transformer::decode_step(&model, &mut stepped_cache, t, &DirectExec).unwrap();
+        assert_bits_eq(&a, &b, "post-prefill decode");
+    }
+}
+
+/// Prompts longer than the cache window fall back to per-token prefill
+/// and still match the windowed reference.
+#[test]
+fn prefill_longer_than_window_falls_back_and_matches() {
+    let model = TransformerModel::new(micro_gpt(), &uniform_plan("a8-w8"), 0x99).unwrap();
+    let mut cache = KvCache::new(&model, KvCacheConfig::new(4));
+    let toks = tokens(9);
+    let last = transformer::prefill(&model, &mut cache, &toks, &DirectExec)
+        .unwrap()
+        .unwrap();
+    let reference = transformer::forward_reference(&model, &toks, 4, &DirectExec).unwrap();
+    assert_bits_eq(&last, &reference, "long-prompt prefill");
+    assert_eq!(cache.stats().evicted_tokens, 5);
+}
+
+/// Empty and single-token prompts: prefill of nothing is a no-op
+/// returning `None`; a single token works through both prefill and the
+/// serving decode helper.
+#[test]
+fn empty_and_single_token_prompts() {
+    let model = TransformerModel::new(micro_gpt(), &uniform_plan("a4-w4"), 0x42).unwrap();
+
+    let mut cache = KvCache::new(&model, KvCacheConfig::new(16));
+    assert!(transformer::prefill(&model, &mut cache, &[], &DirectExec)
+        .unwrap()
+        .is_none());
+    assert!(cache.is_empty());
+    assert_eq!(cache.stats().appended_tokens, 0);
+
+    let one = transformer::prefill(&model, &mut cache, &[5], &DirectExec)
+        .unwrap()
+        .unwrap();
+    let reference = transformer::forward_reference(&model, &[5], 16, &DirectExec).unwrap();
+    assert_bits_eq(&one, &reference, "single-token prompt");
+
+    // The serving helper handles an empty prompt by seeding from token
+    // 0, and a zero-budget run returns no hidden state at all.
+    let session = Session::builder().build();
+    let server = session.serve(ServeOptions::builder().workers(2).build());
+    let mut c2 = KvCache::new(&model, KvCacheConfig::new(16));
+    let run = decode::decode_autoregressive(&server, &model, &mut c2, &[], 3).unwrap();
+    assert_eq!(run.generated.len(), 3);
+    assert_eq!(run.generated[0], 0);
+    assert!(run.last_hidden.is_some());
+    let mut c3 = KvCache::new(&model, KvCacheConfig::new(16));
+    let empty = decode::decode_autoregressive(&server, &model, &mut c3, &[], 0).unwrap();
+    assert!(empty.last_hidden.is_none());
+    assert!(empty.generated.is_empty());
+    server.drain();
+}
+
+/// Capacity-one cache: every step evicts, attention sees only the
+/// current token, and the window-1 reference still agrees.
+#[test]
+fn capacity_one_cache_still_bit_identical() {
+    let model = TransformerModel::new(micro_gpt(), &uniform_plan("a3-w3"), 0x7E).unwrap();
+    let mut cache = KvCache::new(&model, KvCacheConfig::new(1));
+    let toks = tokens(5);
+    for step in 1..=toks.len() {
+        let hidden =
+            transformer::decode_step(&model, &mut cache, toks[step - 1], &DirectExec).unwrap();
+        let reference =
+            transformer::forward_reference(&model, &toks[..step], 1, &DirectExec).unwrap();
+        assert_bits_eq(&hidden, &reference, &format!("capacity-1 step {step}"));
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.retained, 1);
+    assert_eq!(stats.evicted_tokens, 4);
+    assert_eq!(stats.reused_tokens, 4);
+}
+
+/// Greedy autoregressive generation through the server produces the
+/// same token sequence as the direct in-process path.
+#[test]
+fn served_generation_matches_direct_generation() {
+    let model = TransformerModel::new(micro_gpt(), &uniform_plan("a8-w4"), 0x600D).unwrap();
+    let prompt = [1u32, 7, 2];
+
+    let mut direct_cache = KvCache::new(&model, KvCacheConfig::new(32));
+    let mut hidden = transformer::prefill(&model, &mut direct_cache, &prompt, &DirectExec)
+        .unwrap()
+        .unwrap();
+    let mut direct_tokens = Vec::new();
+    for _ in 0..6 {
+        let next = model.greedy_next(&hidden);
+        hidden = transformer::decode_step(&model, &mut direct_cache, next, &DirectExec).unwrap();
+        direct_tokens.push(next);
+    }
+
+    let session = Session::builder().build();
+    let server = session.serve(ServeOptions::builder().workers(3).build());
+    let mut cache = KvCache::new(&model, KvCacheConfig::new(32));
+    let run = decode::decode_autoregressive(&server, &model, &mut cache, &prompt, 6).unwrap();
+    assert_eq!(run.generated, direct_tokens);
+    assert_bits_eq(
+        run.last_hidden.as_ref().unwrap(),
+        &hidden,
+        "served generation last hidden",
+    );
+    server.drain();
+}
+
+/// Guard rails: bad geometry, out-of-vocab tokens and sequence overflow
+/// surface as transformer errors rather than panics.
+#[test]
+fn invariant_violations_error_cleanly() {
+    let mut bad = micro_gpt();
+    bad.n_heads = 3; // does not divide d_model = 16
+    assert!(matches!(
+        TransformerModel::new(bad, &uniform_plan("a8-w8"), 1),
+        Err(DnnError::Transformer { .. })
+    ));
+
+    let mut tiny = micro_gpt();
+    tiny.max_seq = 3;
+    let model = TransformerModel::new(tiny, &uniform_plan("a8-w8"), 1).unwrap();
+    let mut cache = KvCache::new(&model, KvCacheConfig::new(8));
+    for t in 0..3u32 {
+        transformer::decode_step(&model, &mut cache, t, &DirectExec).unwrap();
+    }
+    assert!(matches!(
+        transformer::decode_step(&model, &mut cache, 0, &DirectExec),
+        Err(DnnError::Transformer { .. })
+    ));
+    assert!(matches!(
+        transformer::decode_step(&model, &mut cache, 99, &DirectExec),
+        Err(DnnError::Transformer { .. })
+    ));
+}
